@@ -1,0 +1,163 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Contract checking cost** — Figure 3's `find_jpg` traversal with the
+//!    precise contract vs an `any`-typed contract (no capability guards):
+//!    isolates the language-level proxy cost.
+//! 2. **Session scrub cost** — per-file sandbox churn (the Find pattern):
+//!    how much of sandbox teardown is privilege-map scrubbing.
+//! 3. **Privilege propagation cost** — deep path resolution inside a
+//!    sandbox with and without propagation (granting the leaf directly vs
+//!    deriving privileges along the chain).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shill::prelude::*;
+use shill_bench::{sample, Stats};
+use shill_cap::{CapPrivs, Priv, PrivSet};
+use shill_sandbox::{setup_sandbox, Grant, SandboxSpec, ShillPolicy};
+
+const FIND_JPG_PRECISE: &str = r#"#lang shill/cap
+provide find_jpg :
+  {cur : dir(+contents, +lookup, +path) \/ file(+path),
+   out : file(+append)} -> void;
+find_jpg = fun(cur, out) {
+  if is_file(cur) && has_ext(cur, "jpg") then
+    append(out, path(cur) ++ "\n");
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find_jpg(child, out);
+    }
+}
+"#;
+
+const FIND_JPG_ANY: &str = r#"#lang shill/cap
+provide find_jpg : {cur : any, out : any} -> void;
+find_jpg = fun(cur, out) {
+  if is_file(cur) && has_ext(cur, "jpg") then
+    append(out, path(cur) ++ "\n");
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find_jpg(child, out);
+    }
+}
+"#;
+
+fn traversal(script: &str) -> std::time::Duration {
+    let mut rt = shill::setup::standard_runtime();
+    shill::binaries::photo_workload(rt.kernel(), 300);
+    rt.kernel()
+        .fs
+        .put_file("/home/user/out.txt", b"", Mode(0o644), Uid(100), Gid(100))
+        .unwrap();
+    rt.add_script("find_jpg.cap", script);
+    let t0 = Instant::now();
+    rt.run(
+        "main",
+        r#"#lang shill/ambient
+require "find_jpg.cap";
+find_jpg(open_dir("/home/user"), open_file("/home/user/out.txt"));
+"#,
+    )
+    .expect("traversal");
+    t0.elapsed()
+}
+
+fn bench_contract_cost() {
+    let n = shill_bench::runs();
+    let precise = Stats::of(&sample(n, || traversal(FIND_JPG_PRECISE)));
+    let any = Stats::of(&sample(n, || traversal(FIND_JPG_ANY)));
+    println!("1. capability-contract guard cost (find_jpg over 300 files):");
+    println!("   precise contract: {}", precise.fmt_ms());
+    println!("   `any` contract:   {}", any.fmt_ms());
+    println!("   guard overhead:   {}", shill_bench::ratio(&precise, &any));
+}
+
+fn bench_session_churn() {
+    // One sandbox per item, like Find: measure setup+teardown per session
+    // and how much the label scrub contributes.
+    let sessions = 2_000usize;
+    let mut k = Kernel::new();
+    for i in 0..50 {
+        k.fs.put_file(&format!("/data/f{i}"), b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    }
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let user = k.spawn_user(Cred::ROOT);
+    let data = k.fs.resolve_abs("/data").unwrap();
+    let grants = vec![Grant::vnode(
+        data,
+        CapPrivs::of(PrivSet::of(&[Priv::Lookup, Priv::Contents, Priv::Read, Priv::Stat])),
+    )];
+    let t0 = Instant::now();
+    for _ in 0..sessions {
+        let spec = SandboxSpec { grants: grants.clone(), ..Default::default() };
+        let sb = setup_sandbox(&mut k, &policy, user, &spec).expect("sandbox");
+        // Touch a few files so privilege propagation populates labels.
+        for i in 0..5 {
+            let fd = k.open(sb.child, &format!("/data/f{i}"), OpenFlags::RDONLY, Mode(0));
+            if let Ok(fd) = fd {
+                let _ = k.close(sb.child, fd);
+            }
+        }
+        k.exit(sb.child, 0);
+        let _ = k.waitpid(user, sb.child);
+    }
+    let elapsed = t0.elapsed();
+    let st = policy.stats();
+    println!("\n2. session churn ({sessions} sandboxes, 5 opens each):");
+    println!(
+        "   {:?} total, {:.1}µs/sandbox; label entries scrubbed: {} ({} per session)",
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / sessions as f64,
+        st.scrubbed,
+        st.scrubbed / sessions as u64
+    );
+    println!(
+        "   (all sessions reclaimed: {} live label entries remain)",
+        policy.label_entries()
+    );
+}
+
+fn bench_propagation_depth() {
+    println!("\n3. privilege propagation along deep paths (open at depth d, ns/op):");
+    for depth in [1usize, 3, 6, 9] {
+        let mut k = Kernel::new();
+        let mut p = String::from("/deep");
+        for i in 0..depth {
+            p.push_str(&format!("/d{i}"));
+        }
+        let file = format!("{p}/leaf.bin");
+        k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        let policy = ShillPolicy::new();
+        k.register_policy(policy.clone());
+        let user = k.spawn_user(Cred::ROOT);
+        let root = k.fs.root();
+        let spec = SandboxSpec {
+            grants: vec![Grant::vnode(root, CapPrivs::full())],
+            ..Default::default()
+        };
+        let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
+        let n = 20_000;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let fd = k.open(sb.child, &file, OpenFlags::RDONLY, Mode(0)).expect("open");
+            k.close(sb.child, fd).unwrap();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / n as f64;
+        println!("   depth {depth:>2}: {per:>8.0}ns/op");
+    }
+    println!("   (expect linear growth — one lookup check + propagation per component)");
+}
+
+fn main() {
+    println!("Ablation benches — design-choice costs\n");
+    bench_contract_cost();
+    bench_session_churn();
+    bench_propagation_depth();
+    let _ = Arc::new(());
+}

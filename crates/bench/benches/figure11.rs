@@ -1,0 +1,153 @@
+//! Figure 11: "Overhead of SHILL for microbenchmarks" — per-system-call
+//! privilege-checking cost, comparing the "SHILL installed" configuration
+//! (module loaded, process unsandboxed) against "Sandboxed" (process inside
+//! an entered session with privileges granted).
+//!
+//! Microbenchmarks: pread-1B, pread-1MB, create-unlink, and
+//! open-read-close with 1 and 5 lookups; plus the paper's observation that
+//! open overhead "increases linearly in the length of the path".
+
+use std::time::{Duration, Instant};
+
+use shill_bench::Stats;
+use shill_cap::CapPrivs;
+use shill_kernel::{Fd, Kernel, OpenFlags, Pid};
+use shill_sandbox::{setup_sandbox, Grant, SandboxSpec, ShillPolicy};
+use shill_vfs::{Cred, Gid, Mode, Uid};
+
+fn iters(base: usize) -> usize {
+    let mult: f64 = std::env::var("SHILL_BENCH_MICRO_MULT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    ((base as f64) * mult).max(1.0) as usize
+}
+
+/// Build the bench tree and return a kernel + acting pid for a config.
+fn setup(sandboxed: bool) -> (Kernel, Pid) {
+    let mut k = Kernel::new();
+    k.fs.put_file("/bench/one.bin", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/bench/mega.bin", &vec![7u8; 1 << 20], Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.put_file("/bench/d1/d2/d3/d4/deep.bin", b"y", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.mkdir_p("/bench/scratch", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let user = k.spawn_user(Cred::ROOT);
+    if !sandboxed {
+        return (k, user);
+    }
+    // Full privileges on the whole bench tree: overhead measured is pure
+    // checking cost, not denials.
+    let root = k.fs.root();
+    let bench = k.fs.resolve_abs("/bench").unwrap();
+    let spec = SandboxSpec {
+        grants: vec![
+            Grant::vnode(root, CapPrivs::full()),
+            Grant::vnode(bench, CapPrivs::full()),
+        ],
+        ..Default::default()
+    };
+    let sb = setup_sandbox(&mut k, &policy, user, &spec).expect("sandbox");
+    (k, sb.child)
+}
+
+/// ns/op for one microbenchmark under one configuration.
+fn bench_op(name: &str, sandboxed: bool, n: usize, op: &dyn Fn(&mut Kernel, Pid, Fd)) -> f64 {
+    let (mut k, pid) = setup(sandboxed);
+    // Pre-open the target descriptor outside the timed region.
+    let fd = match name {
+        "pread-1B" => k.open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0)).unwrap(),
+        "pread-1MB" => k.open(pid, "/bench/mega.bin", OpenFlags::RDONLY, Mode(0)).unwrap(),
+        _ => k.open(pid, "/bench/scratch", OpenFlags::dir(), Mode(0)).unwrap(),
+    };
+    let t0 = Instant::now();
+    for _ in 0..n {
+        op(&mut k, pid, fd);
+    }
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn row(name: &str, n: usize, op: &dyn Fn(&mut Kernel, Pid, Fd)) {
+    // Three repetitions per configuration for a CI.
+    let installed: Vec<Duration> =
+        (0..3).map(|_| Duration::from_nanos(bench_op(name, false, n, op) as u64)).collect();
+    let sandboxed: Vec<Duration> =
+        (0..3).map(|_| Duration::from_nanos(bench_op(name, true, n, op) as u64)).collect();
+    let i = Stats::of(&installed);
+    let s = Stats::of(&sandboxed);
+    let diff = s.mean.as_nanos() as i128 - i.mean.as_nanos() as i128;
+    let pct = 100.0 * diff as f64 / i.mean.as_nanos().max(1) as f64;
+    println!(
+        "{:<22} {:>12.0}ns {:>12.0}ns {:>+10}ns ({:+5.1}%)",
+        name,
+        i.mean.as_nanos(),
+        s.mean.as_nanos(),
+        diff,
+        pct
+    );
+}
+
+fn main() {
+    println!("Figure 11 — syscall microbenchmarks (ns/op; mean of 3 reps)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>20}",
+        "operation", "SHILL installed", "Sandboxed", "difference"
+    );
+
+    row("pread-1B", iters(200_000), &|k, pid, fd| {
+        k.pread(pid, fd, 0, 1).expect("pread");
+    });
+    row("pread-1MB", iters(2_000), &|k, pid, fd| {
+        k.pread(pid, fd, 0, 1 << 20).expect("pread");
+    });
+    row("create-unlink", iters(20_000), &|k, pid, dirfd| {
+        let f = k
+            .openat(pid, Some(dirfd), "tmpfile", OpenFlags { read: true, write: true, create: true, ..Default::default() }, Mode(0o644))
+            .expect("create");
+        k.close(pid, f).expect("close");
+        k.unlinkat(pid, Some(dirfd), "tmpfile", false).expect("unlink");
+    });
+    row("open-read-close/1", iters(50_000), &|k, pid, _| {
+        let f = k.open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0)).expect("open");
+        k.read(pid, f, 1).expect("read");
+        k.close(pid, f).expect("close");
+    });
+    row("open-read-close/5", iters(50_000), &|k, pid, _| {
+        let f = k.open(pid, "/bench/d1/d2/d3/d4/deep.bin", OpenFlags::RDONLY, Mode(0)).expect("open");
+        k.read(pid, f, 1).expect("read");
+        k.close(pid, f).expect("close");
+    });
+
+    // Linearity in path length (§4.2: "overhead increases linearly in the
+    // length of the path (i.e., linearly with the number of lookup system
+    // calls required)").
+    println!("\nopen-read-close overhead vs path depth (sandboxed − installed, ns/op):");
+    let mut k0 = Kernel::new();
+    let mut path = String::from("/bench");
+    k0.fs.mkdir_p("/bench", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    let mut paths = Vec::new();
+    for d in 1..=8 {
+        path.push_str(&format!("/n{d}"));
+        paths.push(format!("{path}/f.bin"));
+    }
+    drop(k0);
+    for (depth, p) in paths.iter().enumerate() {
+        let n = iters(20_000);
+        let make = |sandboxed: bool| -> f64 {
+            let (mut k, pid) = setup(sandboxed);
+            // Ensure the nested path exists in this kernel.
+            k.fs.put_file(p, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..n {
+                let f = k.open(pid, p, OpenFlags::RDONLY, Mode(0)).expect("open");
+                k.read(pid, f, 1).expect("read");
+                k.close(pid, f).expect("close");
+            }
+            t0.elapsed().as_nanos() as f64 / n as f64
+        };
+        let inst = make(false);
+        let sand = make(true);
+        println!("  depth {:>2}: {:>8.0}ns", depth + 2, sand - inst);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 9: "Performance of SHILL for a variety of tasks" — the case-study
+//! benchmarks under the four configurations (Baseline, SHILL installed,
+//! Sandboxed, SHILL version).
+//!
+//! Scales are reduced relative to the paper's testbed (see DESIGN.md's
+//! substitution table); tune with SHILL_BENCH_RUNS / SHILL_BENCH_FIND_SCALE
+//! / SHILL_BENCH_STUDENTS / SHILL_BENCH_REQUESTS.
+
+use shill::scenarios::{run_apache, run_emacs, run_find, run_grading, Config, EmacsStep};
+use shill_bench::{ratio, runs, sample, Stats};
+
+fn measure(config: Config, f: &dyn Fn(Config) -> std::time::Duration) -> Stats {
+    Stats::of(&sample(runs(), || f(config)))
+}
+
+fn main() {
+    let n = runs();
+    let students = shill_bench::grading_students();
+    let scale = shill_bench::find_scale();
+    let reqs = shill_bench::apache_requests();
+    let fsize = shill_bench::apache_file_size();
+
+    println!("Figure 9 — case-study timings ({n} runs each; mean ±95% CI)");
+    println!(
+        "workloads: grading {students} students ×3 tests; emacs {} sources; apache {reqs} req × {}KB; find tree 1/{scale} of 57,817 files",
+        shill::scenarios::EMACS_SOURCES,
+        fsize / 1024
+    );
+    println!();
+    println!(
+        "{:<12} {:>22} {:>22} {:>28} {:>28}",
+        "benchmark", "Baseline", "SHILL installed", "Sandboxed", "SHILL version"
+    );
+
+    let report = |name: &str, f: &dyn Fn(Config) -> std::time::Duration, has_shill: bool| {
+        let base = measure(Config::Baseline, f);
+        let inst = measure(Config::Installed, f);
+        let sand = measure(Config::Sandboxed, f);
+        let shill = if has_shill { Some(measure(Config::ShillVersion, f)) } else { None };
+        let shill_s = match &shill {
+            Some(s) => format!("{} ({})", s.fmt_ms(), ratio(s, &base)),
+            None => "—".to_string(),
+        };
+        println!(
+            "{:<12} {:>22} {:>22} {:>28} {:>28}",
+            name,
+            base.fmt_ms(),
+            format!("{} ({})", inst.fmt_ms(), ratio(&inst, &base)),
+            format!("{} ({})", sand.fmt_ms(), ratio(&sand, &base)),
+            shill_s
+        );
+    };
+
+    report("Grading", &|c| run_grading(c, students, 3).wall, true);
+    report("Emacs", &|c| run_emacs(c, EmacsStep::Total).wall, true);
+    report("Download", &|c| run_emacs(c, EmacsStep::Download).wall, false);
+    report("Untar", &|c| run_emacs(c, EmacsStep::Untar).wall, false);
+    report("Configure", &|c| run_emacs(c, EmacsStep::Configure).wall, false);
+    report("Make", &|c| run_emacs(c, EmacsStep::Make).wall, false);
+    report("Install", &|c| run_emacs(c, EmacsStep::Install).wall, false);
+    report("Uninstall", &|c| run_emacs(c, EmacsStep::Uninstall).wall, false);
+    report("Apache", &|c| run_apache(c, reqs, fsize).wall, false);
+    report("Find", &|c| run_find(c, scale).wall, true);
+
+    println!();
+    println!("paper shape targets: Installed ≈ Baseline everywhere; Sandboxed/SHILL ≤ ~1.2×");
+    println!("except Download-sandboxed ≈1.7×, Uninstall-sandboxed ≈6.6×, Find-SHILL ≈6.0×");
+    println!("(short tasks are dominated by runtime startup; Find by per-file sandboxes).");
+}

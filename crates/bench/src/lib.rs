@@ -1,0 +1,129 @@
+//! Shared measurement utilities for the SHILL benchmark harness.
+//!
+//! The paper runs each benchmark 50 times and reports mean time with a 95%
+//! confidence interval (§4.2). We do the same with a configurable repeat
+//! count (`SHILL_BENCH_RUNS`, default 5 — the simulation is deterministic,
+//! so variance is scheduler noise only).
+
+use std::time::{Duration, Instant};
+
+/// Repeat count for macro benchmarks.
+pub fn runs() -> usize {
+    std::env::var("SHILL_BENCH_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(5)
+}
+
+/// Scale divisor for the Find source tree (paper: 57,817 files at scale 1).
+pub fn find_scale() -> usize {
+    std::env::var("SHILL_BENCH_FIND_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(40)
+}
+
+/// Students in the grading benchmark.
+pub fn grading_students() -> usize {
+    std::env::var("SHILL_BENCH_STUDENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(12)
+}
+
+/// Requests in the Apache benchmark (paper: 5000 × 50 MB).
+pub fn apache_requests() -> usize {
+    std::env::var("SHILL_BENCH_REQUESTS").ok().and_then(|s| s.parse().ok()).unwrap_or(120)
+}
+
+/// File size for the Apache benchmark.
+pub fn apache_file_size() -> usize {
+    std::env::var("SHILL_BENCH_FILE_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(512 * 1024)
+}
+
+/// Mean and 95% confidence half-width of a sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub mean: Duration,
+    pub ci95: Duration,
+    pub n: usize,
+}
+
+impl Stats {
+    pub fn of(samples: &[Duration]) -> Stats {
+        let n = samples.len().max(1);
+        let mean_ns = samples.iter().map(|d| d.as_nanos()).sum::<u128>() / n as u128;
+        let var = samples
+            .iter()
+            .map(|d| {
+                let x = d.as_nanos() as f64 - mean_ns as f64;
+                x * x
+            })
+            .sum::<f64>()
+            / (n.saturating_sub(1).max(1)) as f64;
+        let ci = 1.96 * (var / n as f64).sqrt();
+        Stats {
+            mean: Duration::from_nanos(mean_ns as u64),
+            ci95: Duration::from_nanos(ci as u64),
+            n,
+        }
+    }
+
+    /// Format as `12.34ms ±0.56`.
+    pub fn fmt_ms(&self) -> String {
+        format!(
+            "{:9.3}ms ±{:6.3}",
+            self.mean.as_secs_f64() * 1e3,
+            self.ci95.as_secs_f64() * 1e3
+        )
+    }
+
+    pub fn fmt_us(&self) -> String {
+        format!(
+            "{:9.3}µs ±{:6.3}",
+            self.mean.as_secs_f64() * 1e6,
+            self.ci95.as_secs_f64() * 1e6
+        )
+    }
+}
+
+/// Time `f` `n` times, returning per-run durations. `f` is responsible for
+/// its own setup (it is timed whole, like the paper's command invocations).
+pub fn sample<F: FnMut() -> Duration>(n: usize, mut f: F) -> Vec<Duration> {
+    (0..n).map(|_| f()).collect()
+}
+
+/// Time a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed(), v)
+}
+
+/// Ratio between two means, as `×` string; `—` when baseline is ~zero.
+pub fn ratio(vs_baseline: &Stats, baseline: &Stats) -> String {
+    let b = baseline.mean.as_secs_f64();
+    if b <= 0.0 {
+        return "—".into();
+    }
+    format!("{:5.2}×", vs_baseline.mean.as_secs_f64() / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = Stats::of(&[Duration::from_millis(10); 8]);
+        assert_eq!(s.mean, Duration::from_millis(10));
+        assert_eq!(s.ci95, Duration::ZERO);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn stats_ci_grows_with_variance() {
+        let tight = Stats::of(&[Duration::from_millis(10), Duration::from_millis(10)]);
+        let wide = Stats::of(&[Duration::from_millis(5), Duration::from_millis(15)]);
+        assert!(wide.ci95 > tight.ci95);
+        assert_eq!(wide.mean, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        let a = Stats::of(&[Duration::from_millis(20)]);
+        let b = Stats::of(&[Duration::from_millis(10)]);
+        assert_eq!(ratio(&a, &b), " 2.00×");
+    }
+}

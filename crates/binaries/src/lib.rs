@@ -1,0 +1,26 @@
+//! # shill-binaries
+//!
+//! Simulated native executables for the SHILL reproduction. Each binary is
+//! a Rust function that works exclusively through the simulated kernel's
+//! system calls, so the SHILL sandbox's MAC checks apply to it exactly as
+//! they would to a real binary under the paper's FreeBSD kernel module.
+//!
+//! Includes the core utilities and the programs the paper's four case
+//! studies run (`ocamlc`/`ocamlrun`/`gmake` for grading; `curl`/`tar`/
+//! `configure`/`cc` for the Emacs package manager; `apached` for the web
+//! server; `find`/`grep` for find-and-exec), plus deterministic workload
+//! generators for §4's benchmarks.
+
+pub mod build;
+pub mod coreutils;
+pub mod netbins;
+pub mod registry;
+pub mod tar;
+pub mod util;
+pub mod workloads;
+
+pub use registry::{install_all, BinSpec, BINARIES, LIBRARIES};
+pub use workloads::{
+    emacs_mirror, emacs_mirror_addr, grading_workload, photo_workload, source_tree, web_workload,
+    GradingWorkload, Lcg, SourceTree, SubmissionKind, WebWorkload,
+};

@@ -1,0 +1,109 @@
+//! A minimal archive format ("simtar") used by the `tar` binary and the
+//! Emacs-mirror workload.
+//!
+//! Layout: a sequence of entries, each introduced by a header line:
+//!
+//! ```text
+//! DIR <path>\n
+//! FILE <path> <len> <mode-octal>\n<len raw bytes>\n
+//! ```
+
+/// One archive entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    Dir { path: String },
+    File { path: String, data: Vec<u8>, mode: u16 },
+}
+
+/// Serialize entries into archive bytes.
+pub fn pack(entries: &[Entry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        match e {
+            Entry::Dir { path } => {
+                out.extend_from_slice(format!("DIR {path}\n").as_bytes());
+            }
+            Entry::File { path, data, mode } => {
+                out.extend_from_slice(
+                    format!("FILE {path} {} {:o}\n", data.len(), mode).as_bytes(),
+                );
+                out.extend_from_slice(data);
+                out.push(b'\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parse archive bytes. Returns `None` on malformed input.
+pub fn unpack(bytes: &[u8]) -> Option<Vec<Entry>> {
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let nl = bytes[i..].iter().position(|b| *b == b'\n')? + i;
+        let header = std::str::from_utf8(&bytes[i..nl]).ok()?;
+        i = nl + 1;
+        if header.is_empty() {
+            continue;
+        }
+        let mut parts = header.split(' ');
+        match parts.next()? {
+            "DIR" => {
+                let path = parts.next()?.to_string();
+                entries.push(Entry::Dir { path });
+            }
+            "FILE" => {
+                let path = parts.next()?.to_string();
+                let len: usize = parts.next()?.parse().ok()?;
+                let mode = u16::from_str_radix(parts.next()?, 8).ok()?;
+                if i + len > bytes.len() {
+                    return None;
+                }
+                let data = bytes[i..i + len].to_vec();
+                i += len;
+                if bytes.get(i) == Some(&b'\n') {
+                    i += 1;
+                }
+                entries.push(Entry::File { path, data, mode });
+            }
+            _ => return None,
+        }
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            Entry::Dir { path: "emacs-24".into() },
+            Entry::Dir { path: "emacs-24/src".into() },
+            Entry::File { path: "emacs-24/src/main.c".into(), data: b"int main(){}\n".to_vec(), mode: 0o644 },
+            Entry::File { path: "emacs-24/configure".into(), data: b"#!SIMBIN configure\n".to_vec(), mode: 0o755 },
+            Entry::File { path: "emacs-24/empty".into(), data: vec![], mode: 0o600 },
+        ];
+        let packed = pack(&entries);
+        assert_eq!(unpack(&packed).unwrap(), entries);
+    }
+
+    #[test]
+    fn binary_payloads_survive() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let entries = vec![Entry::File { path: "bin".into(), data: data.clone(), mode: 0o644 }];
+        let packed = pack(&entries);
+        match &unpack(&packed).unwrap()[0] {
+            Entry::File { data: d, .. } => assert_eq!(*d, data),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn malformed_is_rejected() {
+        assert!(unpack(b"NOPE x\n").is_none());
+        assert!(unpack(b"FILE a 100 644\nshort").is_none());
+        assert_eq!(unpack(b"").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for simulated binaries: every binary works exclusively
+//! through system calls, so MAC checks fire exactly as they would for real
+//! executables under the paper's kernel module.
+
+use shill_kernel::{Fd, Kernel, OpenFlags, Pid};
+use shill_vfs::{Mode, SysResult};
+
+/// Read a whole file by path.
+pub fn slurp(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<Vec<u8>> {
+    let fd = k.open(pid, path, OpenFlags::RDONLY, Mode(0))?;
+    let mut out = Vec::new();
+    let mut off = 0u64;
+    loop {
+        let chunk = k.pread(pid, fd, off, 65536)?;
+        if chunk.is_empty() {
+            break;
+        }
+        off += chunk.len() as u64;
+        out.extend(chunk);
+    }
+    k.close(pid, fd)?;
+    Ok(out)
+}
+
+/// Create/truncate a file by path and write contents.
+pub fn spit(k: &mut Kernel, pid: Pid, path: &str, data: &[u8], mode: Mode) -> SysResult<()> {
+    let fd = k.open(pid, path, OpenFlags::creat_trunc_w(), mode)?;
+    k.pwrite(pid, fd, 0, data)?;
+    k.close(pid, fd)?;
+    Ok(())
+}
+
+/// Append a line to a file by path (creating it if missing).
+pub fn append_line(k: &mut Kernel, pid: Pid, path: &str, line: &str) -> SysResult<()> {
+    let mut flags = OpenFlags::append_only();
+    flags.create = true;
+    let fd = k.open(pid, path, flags, Mode::FILE_DEFAULT)?;
+    k.write(pid, fd, line.as_bytes())?;
+    k.write(pid, fd, b"\n")?;
+    k.close(pid, fd)?;
+    Ok(())
+}
+
+/// Write to the process's stdout descriptor; ignores EBADF so binaries can
+/// run without wired stdio.
+///
+/// Uses the kernel's append path: descriptors duplicated across `fork` in
+/// this simulator have *independent* offsets (a real kernel shares the open
+/// file description), so positional writes from sibling children would
+/// overwrite each other. Appending reproduces the observable shared-offset
+/// behaviour for the `> file` redirections the scenarios use.
+pub fn stdout(k: &mut Kernel, pid: Pid, data: &[u8]) {
+    let _ = k.append_fd(pid, Fd::STDOUT, data);
+}
+
+/// Write a diagnostic to stderr.
+pub fn stderr(k: &mut Kernel, pid: Pid, msg: &str) {
+    let _ = k.append_fd(pid, Fd::STDERR, msg.as_bytes());
+}
+
+/// Glob match supporting a single `*` (enough for `-name "*.c"`).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    match pattern.find('*') {
+        None => pattern == name,
+        Some(i) => {
+            let (pre, post) = (&pattern[..i], &pattern[i + 1..]);
+            name.len() >= pre.len() + post.len() && name.starts_with(pre) && name.ends_with(post)
+        }
+    }
+}
+
+/// Join a directory path and a name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir.ends_with('/') {
+        format!("{dir}{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::{Cred, Gid, Uid};
+
+    #[test]
+    fn glob() {
+        assert!(glob_match("*.c", "main.c"));
+        assert!(glob_match("*.c", ".c"));
+        assert!(!glob_match("*.c", "main.h"));
+        assert!(glob_match("main.*", "main.c"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("*.tar.gz", "x.gz"));
+    }
+
+    #[test]
+    fn slurp_spit_roundtrip() {
+        let mut k = Kernel::new();
+        k.fs.mkdir_p("/d", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        let pid = k.spawn_user(Cred::ROOT);
+        spit(&mut k, pid, "/d/f", b"hello", Mode::FILE_DEFAULT).unwrap();
+        assert_eq!(slurp(&mut k, pid, "/d/f").unwrap(), b"hello");
+        append_line(&mut k, pid, "/d/f", "x").unwrap();
+        assert_eq!(slurp(&mut k, pid, "/d/f").unwrap(), b"hellox\n");
+    }
+}

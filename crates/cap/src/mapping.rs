@@ -1,0 +1,94 @@
+//! Mapping between MAC framework operations and SHILL privileges.
+//!
+//! "We chose privileges and operations to align closely with the operations
+//! that our capability-based sandbox can interpose on, so that we can ensure
+//! that giving a capability to a sandbox conveys the same authority as
+//! giving that capability to a SHILL script" (§3.1.1). This module is that
+//! alignment, used by the `shill-sandbox` policy to translate each hook
+//! invocation into a privilege check.
+
+use shill_kernel::{PipeOp, SocketOp, VnodeOp};
+
+use crate::privs::Priv;
+
+/// The privilege required for a vnode operation.
+pub fn vnode_op_priv(op: &VnodeOp<'_>) -> Priv {
+    match op {
+        VnodeOp::Read => Priv::Read,
+        VnodeOp::Write => Priv::Write,
+        VnodeOp::Exec => Priv::Exec,
+        VnodeOp::Stat => Priv::Stat,
+        VnodeOp::Lookup(_) => Priv::Lookup,
+        VnodeOp::ReadDir => Priv::Contents,
+        VnodeOp::CreateFile(_) => Priv::CreateFile,
+        VnodeOp::CreateDir(_) => Priv::CreateDir,
+        VnodeOp::CreateSymlink(_) => Priv::CreateSymlink,
+        VnodeOp::UnlinkFile(_) => Priv::UnlinkFile,
+        VnodeOp::UnlinkDir(_) => Priv::UnlinkDir,
+        VnodeOp::UnlinkSymlink(_) => Priv::UnlinkSymlink,
+        VnodeOp::Link(_) => Priv::Link,
+        VnodeOp::RenameFrom(_) | VnodeOp::RenameTo(_) => Priv::Rename,
+        VnodeOp::Chmod => Priv::Chmod,
+        VnodeOp::Chown => Priv::Chown,
+        VnodeOp::Chflags => Priv::Chflags,
+        VnodeOp::Utimes => Priv::Utimes,
+        VnodeOp::Truncate => Priv::Truncate,
+        VnodeOp::ReadSymlink => Priv::ReadSymlink,
+        VnodeOp::Chdir => Priv::Chdir,
+        VnodeOp::PathLookup => Priv::Path,
+    }
+}
+
+/// The privilege required for a socket operation.
+pub fn socket_op_priv(op: &SocketOp) -> Priv {
+    match op {
+        SocketOp::Create(_) => Priv::SockCreate,
+        SocketOp::Bind(_) => Priv::SockBind,
+        SocketOp::Connect(_) => Priv::SockConnect,
+        SocketOp::Listen => Priv::SockListen,
+        SocketOp::Accept => Priv::SockAccept,
+        SocketOp::Send => Priv::SockSend,
+        SocketOp::Recv => Priv::SockRecv,
+    }
+}
+
+/// The privilege required for a pipe operation.
+pub fn pipe_op_priv(op: PipeOp) -> Priv {
+    match op {
+        PipeOp::Read => Priv::Read,
+        PipeOp::Write => Priv::Write,
+        PipeOp::Stat => Priv::Stat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vnode_op_maps() {
+        // Spot-check the alignments the paper describes.
+        assert_eq!(vnode_op_priv(&VnodeOp::Lookup("x")), Priv::Lookup);
+        assert_eq!(vnode_op_priv(&VnodeOp::ReadDir), Priv::Contents);
+        assert_eq!(vnode_op_priv(&VnodeOp::PathLookup), Priv::Path);
+        assert_eq!(vnode_op_priv(&VnodeOp::CreateFile("f")), Priv::CreateFile);
+        assert_eq!(vnode_op_priv(&VnodeOp::RenameFrom("a")), Priv::Rename);
+        assert_eq!(vnode_op_priv(&VnodeOp::RenameTo("b")), Priv::Rename);
+    }
+
+    #[test]
+    fn socket_ops_map_to_the_seven() {
+        use shill_kernel::SockDomain;
+        let ops = [
+            SocketOp::Create(SockDomain::Inet),
+            SocketOp::Bind(shill_kernel::SockAddr::Inet { host: "h".into(), port: 1 }),
+            SocketOp::Connect(shill_kernel::SockAddr::Inet { host: "h".into(), port: 1 }),
+            SocketOp::Listen,
+            SocketOp::Accept,
+            SocketOp::Send,
+            SocketOp::Recv,
+        ];
+        let privs: std::collections::BTreeSet<_> = ops.iter().map(socket_op_priv).collect();
+        assert_eq!(privs.len(), 7, "each socket op maps to a distinct privilege");
+    }
+}

@@ -1,0 +1,378 @@
+//! The privilege vocabulary.
+//!
+//! "In total, SHILL has twenty-four different privileges for filesystem
+//! capabilities and seven different privileges for sockets" (§3.1.1). The
+//! paper names only a subset (`+read`, `+write`, `+append`, `+exec`,
+//! `+stat`, `+path`, `+contents`, `+lookup`, `+create-file`, `+create-dir`,
+//! `+read-symlink`, `+unlink-*`); the remainder are reconstructed from the
+//! operations the FreeBSD MAC framework can interpose on and are marked
+//! "(reconstructed)" below. There is additionally one privilege for pipe
+//! factories (`+create-pipe`), giving 32 total — which is why [`PrivSet`]
+//! fits in a `u32`-like representation (we use `u64` for headroom).
+
+use std::fmt;
+
+/// A single privilege. Filesystem privileges come first (24), then socket
+/// privileges (7), then the pipe-factory privilege.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Priv {
+    // --- filesystem (24) ---
+    /// Read file contents.
+    Read = 0,
+    /// Overwrite file contents.
+    Write,
+    /// Append to file contents.
+    Append,
+    /// Execute the file in a sandbox.
+    Exec,
+    /// Read metadata.
+    Stat,
+    /// Obtain a pathname for the capability.
+    Path,
+    /// List directory entries.
+    Contents,
+    /// Derive capabilities for directory children.
+    Lookup,
+    /// Read a symlink target during resolution.
+    ReadSymlink,
+    /// Create regular files in the directory (derives a capability).
+    CreateFile,
+    /// Create subdirectories (derives a capability).
+    CreateDir,
+    /// Create symlinks in the directory (reconstructed).
+    CreateSymlink,
+    /// Remove file links from the directory.
+    UnlinkFile,
+    /// Remove subdirectories.
+    UnlinkDir,
+    /// Remove symlinks.
+    UnlinkSymlink,
+    /// Move entries out of / into the directory (reconstructed).
+    Rename,
+    /// Install hard links in the directory (reconstructed).
+    Link,
+    /// Change permission bits (paper: "changing modes").
+    Chmod,
+    /// Change ownership (reconstructed).
+    Chown,
+    /// Change BSD file flags (reconstructed).
+    Chflags,
+    /// Change timestamps (reconstructed).
+    Utimes,
+    /// Truncate or extend the file (reconstructed).
+    Truncate,
+    /// Use the directory as a working directory (reconstructed).
+    Chdir,
+    /// Advisory file locking (reconstructed).
+    Lock,
+    // --- sockets (7) ---
+    /// Create sockets (socket factory).
+    SockCreate,
+    /// Bind to a local address.
+    SockBind,
+    /// Connect to a remote address.
+    SockConnect,
+    /// Listen for connections.
+    SockListen,
+    /// Accept connections.
+    SockAccept,
+    /// Send messages.
+    SockSend,
+    /// Receive messages.
+    SockRecv,
+    // --- pipe factory ---
+    /// Create pipes (pipe factory).
+    PipeCreate,
+}
+
+/// All privileges, in declaration order.
+pub const ALL_PRIVS: [Priv; 32] = [
+    Priv::Read,
+    Priv::Write,
+    Priv::Append,
+    Priv::Exec,
+    Priv::Stat,
+    Priv::Path,
+    Priv::Contents,
+    Priv::Lookup,
+    Priv::ReadSymlink,
+    Priv::CreateFile,
+    Priv::CreateDir,
+    Priv::CreateSymlink,
+    Priv::UnlinkFile,
+    Priv::UnlinkDir,
+    Priv::UnlinkSymlink,
+    Priv::Rename,
+    Priv::Link,
+    Priv::Chmod,
+    Priv::Chown,
+    Priv::Chflags,
+    Priv::Utimes,
+    Priv::Truncate,
+    Priv::Chdir,
+    Priv::Lock,
+    Priv::SockCreate,
+    Priv::SockBind,
+    Priv::SockConnect,
+    Priv::SockListen,
+    Priv::SockAccept,
+    Priv::SockSend,
+    Priv::SockRecv,
+    Priv::PipeCreate,
+];
+
+/// The 24 filesystem privileges (paper §3.1.1).
+pub fn filesystem_privs() -> &'static [Priv] {
+    &ALL_PRIVS[0..24]
+}
+
+/// The 7 socket privileges (paper §3.1.1).
+pub fn socket_privs() -> &'static [Priv] {
+    &ALL_PRIVS[24..31]
+}
+
+impl Priv {
+    /// The surface syntax name, e.g. `"read"` for `+read`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priv::Read => "read",
+            Priv::Write => "write",
+            Priv::Append => "append",
+            Priv::Exec => "exec",
+            Priv::Stat => "stat",
+            Priv::Path => "path",
+            Priv::Contents => "contents",
+            Priv::Lookup => "lookup",
+            Priv::ReadSymlink => "read-symlink",
+            Priv::CreateFile => "create-file",
+            Priv::CreateDir => "create-dir",
+            Priv::CreateSymlink => "create-symlink",
+            Priv::UnlinkFile => "unlink-file",
+            Priv::UnlinkDir => "unlink-dir",
+            Priv::UnlinkSymlink => "unlink-symlink",
+            Priv::Rename => "rename",
+            Priv::Link => "link",
+            Priv::Chmod => "chmod",
+            Priv::Chown => "chown",
+            Priv::Chflags => "chflags",
+            Priv::Utimes => "utimes",
+            Priv::Truncate => "truncate",
+            Priv::Chdir => "chdir",
+            Priv::Lock => "lock",
+            Priv::SockCreate => "sock-create",
+            Priv::SockBind => "sock-bind",
+            Priv::SockConnect => "sock-connect",
+            Priv::SockListen => "sock-listen",
+            Priv::SockAccept => "sock-accept",
+            Priv::SockSend => "sock-send",
+            Priv::SockRecv => "sock-recv",
+            Priv::PipeCreate => "create-pipe",
+        }
+    }
+
+    /// Parse a privilege name (without the leading `+`).
+    pub fn parse(name: &str) -> Option<Priv> {
+        ALL_PRIVS.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Whether exercising this privilege *derives a new capability*
+    /// (lookup and the create family), and therefore accepts a
+    /// `with { ... }` modifier in contracts (§2.2).
+    pub fn derives(self) -> bool {
+        matches!(
+            self,
+            Priv::Lookup | Priv::CreateFile | Priv::CreateDir | Priv::CreateSymlink
+        )
+    }
+
+    fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+}
+
+impl fmt::Display for Priv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}", self.name())
+    }
+}
+
+/// A set of privileges.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PrivSet(u64);
+
+impl PrivSet {
+    pub const EMPTY: PrivSet = PrivSet(0);
+
+    /// Every privilege ("full privileges" in the paper's Figure 1 contract).
+    pub fn full() -> PrivSet {
+        let mut s = PrivSet::EMPTY;
+        for p in ALL_PRIVS {
+            s.insert(p);
+        }
+        s
+    }
+
+    pub fn of(privs: &[Priv]) -> PrivSet {
+        let mut s = PrivSet::EMPTY;
+        for &p in privs {
+            s.insert(p);
+        }
+        s
+    }
+
+    pub fn insert(&mut self, p: Priv) {
+        self.0 |= p.bit();
+    }
+
+    pub fn remove(&mut self, p: Priv) {
+        self.0 &= !p.bit();
+    }
+
+    pub fn contains(&self, p: Priv) -> bool {
+        self.0 & p.bit() != 0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn union(self, other: PrivSet) -> PrivSet {
+        PrivSet(self.0 | other.0)
+    }
+
+    pub fn intersection(self, other: PrivSet) -> PrivSet {
+        PrivSet(self.0 & other.0)
+    }
+
+    pub fn is_subset(&self, other: &PrivSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Priv> + '_ {
+        ALL_PRIVS.into_iter().filter(|p| self.contains(*p))
+    }
+
+    /// The read-only file privilege set used by the stdlib `readonly`
+    /// contract: `file(+stat,+read,+path)` (§3.1.4).
+    pub fn readonly_file() -> PrivSet {
+        PrivSet::of(&[Priv::Stat, Priv::Read, Priv::Path])
+    }
+
+    /// The read-only directory privilege set used by the stdlib `readonly`
+    /// contract: `dir(+read-symlink,+contents,+lookup,+stat,+read,+path)`.
+    pub fn readonly_dir() -> PrivSet {
+        PrivSet::of(&[
+            Priv::ReadSymlink,
+            Priv::Contents,
+            Priv::Lookup,
+            Priv::Stat,
+            Priv::Read,
+            Priv::Path,
+        ])
+    }
+}
+
+impl fmt::Debug for PrivSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for PrivSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Priv> for PrivSet {
+    fn from_iter<T: IntoIterator<Item = Priv>>(iter: T) -> Self {
+        let mut s = PrivSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_hold() {
+        assert_eq!(filesystem_privs().len(), 24, "paper: 24 filesystem privileges");
+        assert_eq!(socket_privs().len(), 7, "paper: 7 socket privileges");
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in ALL_PRIVS {
+            assert_eq!(Priv::parse(p.name()), Some(p), "{p}");
+        }
+        assert_eq!(Priv::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s = PrivSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Priv::Read);
+        s.insert(Priv::Lookup);
+        assert!(s.contains(Priv::Read));
+        assert!(!s.contains(Priv::Write));
+        assert_eq!(s.len(), 2);
+        s.remove(Priv::Read);
+        assert!(!s.contains(Priv::Read));
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let small = PrivSet::of(&[Priv::Read, Priv::Stat]);
+        let big = PrivSet::readonly_file();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert_eq!(small.union(big), big);
+        assert_eq!(small.intersection(big), small);
+        assert!(PrivSet::EMPTY.is_subset(&small));
+        assert!(small.is_subset(&PrivSet::full()));
+    }
+
+    #[test]
+    fn derives_flags() {
+        assert!(Priv::Lookup.derives());
+        assert!(Priv::CreateFile.derives());
+        assert!(Priv::CreateDir.derives());
+        assert!(!Priv::Read.derives());
+        assert!(!Priv::UnlinkFile.derives());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Priv::CreateFile.to_string(), "+create-file");
+        let s = PrivSet::of(&[Priv::Read, Priv::Path]);
+        assert_eq!(s.to_string(), "{+read,+path}");
+    }
+
+    #[test]
+    fn full_has_all() {
+        let f = PrivSet::full();
+        assert_eq!(f.len(), 32);
+        for p in ALL_PRIVS {
+            assert!(f.contains(p));
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Raw (unguarded) capabilities: unforgeable references to kernel resources.
+//!
+//! "Conceptually, SHILL capabilities correspond to operating system
+//! representations of resources, such as file descriptors, and built-in
+//! functions such as `append` and `lookup` are wrappers for the
+//! corresponding system calls" (§2.1). A [`RawCap`] carries the descriptor
+//! (held by the SHILL runtime's process) plus enough metadata to answer
+//! kind queries without a syscall.
+//!
+//! Contract enforcement does **not** live here: `shill-contracts` wraps raw
+//! capabilities in guards. This layer is what the ambient language creates
+//! with the user's full authority; DAC is still enforced by the kernel on
+//! every operation.
+//!
+//! Capability-safety invariants this layer maintains:
+//! * `lookup` accepts a single component only, and refuses `.` and `..`
+//!   ("a script cannot use ... lookup(cur,\"..\") to obtain the parent
+//!   directory", §2.1).
+//! * Capabilities cannot be constructed from paths (only the ambient
+//!   runtime does that, and only via [`RawCap::open_path`] which it alone calls).
+
+use shill_kernel::{Fd, Kernel, OpenFlags, Pid, SockAddr, SockDomain};
+use shill_vfs::{Errno, FileType, Mode, NodeId, Stat, SysResult};
+
+/// What kind of resource a capability designates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CapKind {
+    File,
+    Dir,
+    /// One end of a pipe. Unix convention groups these with files
+    /// ("file capabilities include capabilities for files, pipes, and
+    /// devices", §2.2).
+    PipeEnd,
+    /// Character device.
+    Device,
+    Socket,
+    /// The right to create pipes (§3.1.1).
+    PipeFactory,
+    /// The right to create sockets (§3.1.1).
+    SocketFactory,
+}
+
+impl CapKind {
+    /// Unix-convention "file": files, pipe ends, and devices.
+    pub fn is_file_like(self) -> bool {
+        matches!(self, CapKind::File | CapKind::PipeEnd | CapKind::Device)
+    }
+}
+
+/// A raw capability.
+#[derive(Debug, Clone)]
+pub struct RawCap {
+    pub kind: CapKind,
+    /// Descriptor in the runtime process. Factories have no descriptor.
+    pub fd: Option<Fd>,
+    /// Underlying vnode for filesystem-backed capabilities; this is what
+    /// gets granted (with privileges) to sandbox sessions.
+    pub node: Option<NodeId>,
+    /// Name under which the capability was created/derived (display,
+    /// `has_ext`). Not used for access.
+    pub name: String,
+    /// Whether the descriptor was opened readable / writable (the maximum
+    /// DAC allowed at creation).
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl RawCap {
+    /// Make a pipe-factory capability.
+    pub fn pipe_factory() -> RawCap {
+        RawCap {
+            kind: CapKind::PipeFactory,
+            fd: None,
+            node: None,
+            name: "<pipe-factory>".into(),
+            readable: false,
+            writable: false,
+        }
+    }
+
+    /// Make a socket-factory capability.
+    pub fn socket_factory() -> RawCap {
+        RawCap {
+            kind: CapKind::SocketFactory,
+            fd: None,
+            node: None,
+            name: "<socket-factory>".into(),
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn fd(&self) -> SysResult<Fd> {
+        self.fd.ok_or(Errno::EBADF)
+    }
+
+    pub fn is_dir(&self) -> bool {
+        self.kind == CapKind::Dir
+    }
+
+    pub fn is_file(&self) -> bool {
+        self.kind.is_file_like()
+    }
+
+    /// Open a capability for an existing path with the maximum access DAC
+    /// grants the process. **Ambient-only**: capability-safe code never
+    /// sees paths.
+    pub fn open_path(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<RawCap> {
+        let node = k.resolve(pid, None, path, true)?;
+        let ftype = k.fs.node(node)?.file_type();
+        let name = path.rsplit('/').find(|c| !c.is_empty()).unwrap_or("/").to_string();
+        Self::open_node(k, pid, node, ftype, name)
+    }
+
+    /// Open a capability for a resolved node (shared by `open_path` and
+    /// `lookup`). Tries read+write, then degrades, recording what DAC
+    /// allowed — "the capability has all privileges that the invoking user
+    /// is allowed for this file" (§2.5).
+    fn open_node(
+        k: &mut Kernel,
+        pid: Pid,
+        node: NodeId,
+        ftype: FileType,
+        name: String,
+    ) -> SysResult<RawCap> {
+        let kind = match ftype {
+            FileType::Directory => CapKind::Dir,
+            FileType::CharDevice => CapKind::Device,
+            FileType::Regular | FileType::Symlink => CapKind::File,
+            FileType::Socket => CapKind::File,
+            FileType::Fifo => CapKind::PipeEnd,
+        };
+        let path = k.fs.path_of(node).ok_or(Errno::ENOENT)?;
+        if kind == CapKind::Dir {
+            let fd = k.open(pid, &path, OpenFlags::dir(), Mode(0))?;
+            return Ok(RawCap { kind, fd: Some(fd), node: Some(node), name, readable: true, writable: false });
+        }
+        // Degrade through access combinations.
+        let attempts: [(OpenFlags, bool, bool); 3] = [
+            (OpenFlags::rdwr(), true, true),
+            (OpenFlags::RDONLY, true, false),
+            (OpenFlags::wronly(), false, true),
+        ];
+        let mut last = Errno::EACCES;
+        for (flags, r, w) in attempts {
+            match k.open(pid, &path, flags, Mode(0)) {
+                Ok(fd) => {
+                    return Ok(RawCap { kind, fd: Some(fd), node: Some(node), name, readable: r, writable: w })
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    // --- queries ---------------------------------------------------------
+
+    /// `path` builtin: the paper's `path` syscall with last-known-path
+    /// fallback (§3.1.3).
+    pub fn path(&self, k: &mut Kernel, pid: Pid) -> SysResult<String> {
+        let fd = self.fd()?;
+        match k.path_syscall(pid, fd) {
+            Ok(p) => Ok(p),
+            Err(Errno::ENOENT) => k.fd_last_path(pid, fd)?.ok_or(Errno::ENOENT),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `stat` builtin.
+    pub fn stat(&self, k: &mut Kernel, pid: Pid) -> SysResult<Stat> {
+        k.fstat(pid, self.fd()?)
+    }
+
+    // --- file operations ---------------------------------------------------
+
+    /// Read the entire contents.
+    pub fn read_all(&self, k: &mut Kernel, pid: Pid) -> SysResult<Vec<u8>> {
+        let fd = self.fd()?;
+        if self.kind == CapKind::PipeEnd || self.kind == CapKind::Socket {
+            // Drain until EOF/EAGAIN.
+            let mut out = Vec::new();
+            loop {
+                match k.read(pid, fd, 65536) {
+                    Ok(chunk) if chunk.is_empty() => break,
+                    Ok(chunk) => out.extend(chunk),
+                    Err(Errno::EAGAIN) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::new();
+        let mut off = 0u64;
+        loop {
+            let chunk = k.pread(pid, fd, off, 65536)?;
+            if chunk.is_empty() {
+                break;
+            }
+            off += chunk.len() as u64;
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Positional read.
+    pub fn read_at(&self, k: &mut Kernel, pid: Pid, off: u64, len: usize) -> SysResult<Vec<u8>> {
+        k.pread(pid, self.fd()?, off, len)
+    }
+
+    /// Overwrite contents (truncate + write).
+    pub fn write_all(&self, k: &mut Kernel, pid: Pid, data: &[u8]) -> SysResult<()> {
+        let fd = self.fd()?;
+        match self.kind {
+            CapKind::File => {
+                k.ftruncate(pid, fd, 0)?;
+                k.pwrite(pid, fd, 0, data)?;
+                Ok(())
+            }
+            CapKind::PipeEnd | CapKind::Socket | CapKind::Device => {
+                k.write(pid, fd, data)?;
+                Ok(())
+            }
+            _ => Err(Errno::EISDIR),
+        }
+    }
+
+    /// Append.
+    pub fn append(&self, k: &mut Kernel, pid: Pid, data: &[u8]) -> SysResult<()> {
+        k.append_fd(pid, self.fd()?, data)?;
+        Ok(())
+    }
+
+    /// Truncate.
+    pub fn truncate(&self, k: &mut Kernel, pid: Pid, len: u64) -> SysResult<()> {
+        k.ftruncate(pid, self.fd()?, len)
+    }
+
+    /// Change mode bits.
+    pub fn chmod(&self, k: &mut Kernel, pid: Pid, mode: Mode) -> SysResult<()> {
+        k.fchmod(pid, self.fd()?, mode)
+    }
+
+    // --- directory operations -----------------------------------------------
+
+    /// `contents` builtin: list entry names.
+    pub fn contents(&self, k: &mut Kernel, pid: Pid) -> SysResult<Vec<String>> {
+        k.readdirfd(pid, self.fd()?)
+    }
+
+    /// `lookup` builtin: derive a capability for a direct child. Single
+    /// component only; `.` and `..` refused (capability safety, §2.1).
+    pub fn lookup(&self, k: &mut Kernel, pid: Pid, name: &str) -> SysResult<RawCap> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        let dirfd = self.fd()?;
+        let st = k.fstatat(pid, Some(dirfd), name, false)?;
+        Self::open_node(k, pid, st.node, st.ftype, name.to_string())
+    }
+
+    /// Create a file in this directory, deriving a capability for it.
+    pub fn create_file(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> SysResult<RawCap> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        let dirfd = self.fd()?;
+        let mut flags = OpenFlags::rdwr();
+        flags.create = true;
+        flags.exclusive = true;
+        let fd = k.openat(pid, Some(dirfd), name, flags, mode)?;
+        let node = k.process(pid)?.fd_node(fd)?;
+        Ok(RawCap {
+            kind: CapKind::File,
+            fd: Some(fd),
+            node: Some(node),
+            name: name.to_string(),
+            readable: true,
+            writable: true,
+        })
+    }
+
+    /// Create a subdirectory, deriving a capability (uses the paper's
+    /// fd-returning `mkdirat`).
+    pub fn create_dir(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> SysResult<RawCap> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        let dirfd = self.fd()?;
+        let fd = k.mkdirat(pid, Some(dirfd), name, mode)?;
+        let node = k.process(pid)?.fd_node(fd)?;
+        Ok(RawCap {
+            kind: CapKind::Dir,
+            fd: Some(fd),
+            node: Some(node),
+            name: name.to_string(),
+            readable: true,
+            writable: false,
+        })
+    }
+
+    /// Remove a file link in this directory. Uses the TOCTTOU-safe
+    /// `funlinkat` when the caller supplies the expected file capability.
+    pub fn unlink_file(&self, k: &mut Kernel, pid: Pid, name: &str) -> SysResult<()> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        k.unlinkat(pid, Some(self.fd()?), name, false)
+    }
+
+    /// TOCTTOU-safe unlink: remove `name` only if it still refers to `file`.
+    pub fn unlink_exactly(&self, k: &mut Kernel, pid: Pid, file: &RawCap, name: &str) -> SysResult<()> {
+        k.funlinkat(pid, self.fd()?, file.fd()?, name)
+    }
+
+    /// Remove an empty subdirectory.
+    pub fn unlink_dir(&self, k: &mut Kernel, pid: Pid, name: &str) -> SysResult<()> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        k.unlinkat(pid, Some(self.fd()?), name, true)
+    }
+
+    /// Remove a symlink.
+    pub fn unlink_symlink(&self, k: &mut Kernel, pid: Pid, name: &str) -> SysResult<()> {
+        self.unlink_file(k, pid, name)
+    }
+
+    /// Read a symlink target within this directory.
+    pub fn read_symlink(&self, k: &mut Kernel, pid: Pid, name: &str) -> SysResult<String> {
+        if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        k.readlinkat(pid, Some(self.fd()?), name)
+    }
+
+    /// Install a hard link to `file` under `name` (the paper's `flinkat`).
+    pub fn link(&self, k: &mut Kernel, pid: Pid, file: &RawCap, name: &str) -> SysResult<()> {
+        k.flinkat(pid, file.fd()?, self.fd()?, name)
+    }
+
+    /// Move `file` (verified linked at `oldname` here) into `dst/newname`
+    /// (the paper's `frenameat`).
+    pub fn rename_into(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        file: &RawCap,
+        oldname: &str,
+        dst: &RawCap,
+        newname: &str,
+    ) -> SysResult<()> {
+        k.frenameat(pid, file.fd()?, self.fd()?, oldname, dst.fd()?, newname)
+    }
+
+    // --- factories -----------------------------------------------------------
+
+    /// Pipe factory `create`: returns `(read_end, write_end)` capabilities.
+    pub fn create_pipe(&self, k: &mut Kernel, pid: Pid) -> SysResult<(RawCap, RawCap)> {
+        if self.kind != CapKind::PipeFactory {
+            return Err(Errno::EINVAL);
+        }
+        let (r, w) = k.pipe(pid)?;
+        Ok((
+            RawCap {
+                kind: CapKind::PipeEnd,
+                fd: Some(r),
+                node: None,
+                name: "<pipe-r>".into(),
+                readable: true,
+                writable: false,
+            },
+            RawCap {
+                kind: CapKind::PipeEnd,
+                fd: Some(w),
+                node: None,
+                name: "<pipe-w>".into(),
+                readable: false,
+                writable: true,
+            },
+        ))
+    }
+
+    /// Socket factory `create`.
+    pub fn create_socket(&self, k: &mut Kernel, pid: Pid, domain: SockDomain) -> SysResult<RawCap> {
+        if self.kind != CapKind::SocketFactory {
+            return Err(Errno::EINVAL);
+        }
+        let fd = k.socket(pid, domain)?;
+        Ok(RawCap {
+            kind: CapKind::Socket,
+            fd: Some(fd),
+            node: None,
+            name: "<socket>".into(),
+            readable: true,
+            writable: true,
+        })
+    }
+
+    /// Connect a socket capability.
+    pub fn sock_connect(&self, k: &mut Kernel, pid: Pid, addr: SockAddr) -> SysResult<()> {
+        k.connect(pid, self.fd()?, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::{Cred, Gid, Uid};
+
+    fn setup() -> (Kernel, Pid) {
+        let mut k = Kernel::new();
+        k.fs.put_file("/home/alice/dog.jpg", b"JPG", Mode::FILE_DEFAULT, Uid(100), Gid(100)).unwrap();
+        k.fs.put_file("/home/alice/notes.txt", b"text", Mode::FILE_DEFAULT, Uid(100), Gid(100)).unwrap();
+        k.fs.mkdir_p("/home/alice/sub", Mode::DIR_DEFAULT, Uid(100), Gid(100)).unwrap();
+        let pid = k.spawn_user(Cred::user(100));
+        (k, pid)
+    }
+
+    #[test]
+    fn open_path_and_queries() {
+        let (mut k, pid) = setup();
+        let cap = RawCap::open_path(&mut k, pid, "/home/alice/dog.jpg").unwrap();
+        assert!(cap.is_file());
+        assert!(!cap.is_dir());
+        assert_eq!(cap.name, "dog.jpg");
+        assert_eq!(cap.path(&mut k, pid).unwrap(), "/home/alice/dog.jpg");
+        assert_eq!(cap.read_all(&mut k, pid).unwrap(), b"JPG");
+    }
+
+    #[test]
+    fn dir_contents_and_lookup() {
+        let (mut k, pid) = setup();
+        let dir = RawCap::open_path(&mut k, pid, "/home/alice").unwrap();
+        assert!(dir.is_dir());
+        let names = dir.contents(&mut k, pid).unwrap();
+        assert_eq!(names, vec!["dog.jpg", "notes.txt", "sub"]);
+        let child = dir.lookup(&mut k, pid, "dog.jpg").unwrap();
+        assert_eq!(child.read_all(&mut k, pid).unwrap(), b"JPG");
+    }
+
+    #[test]
+    fn lookup_refuses_dotdot_and_multi() {
+        let (mut k, pid) = setup();
+        let dir = RawCap::open_path(&mut k, pid, "/home/alice/sub").unwrap();
+        assert_eq!(dir.lookup(&mut k, pid, "..").unwrap_err(), Errno::EINVAL);
+        assert_eq!(dir.lookup(&mut k, pid, ".").unwrap_err(), Errno::EINVAL);
+        assert_eq!(dir.lookup(&mut k, pid, "a/b").unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (mut k, pid) = setup();
+        let dir = RawCap::open_path(&mut k, pid, "/home/alice").unwrap();
+        let f = dir.create_file(&mut k, pid, "new.txt", Mode::FILE_DEFAULT).unwrap();
+        f.write_all(&mut k, pid, b"hello").unwrap();
+        f.append(&mut k, pid, b" world").unwrap();
+        assert_eq!(f.read_all(&mut k, pid).unwrap(), b"hello world");
+        let d = dir.create_dir(&mut k, pid, "work", Mode::DIR_DEFAULT).unwrap();
+        assert!(d.is_dir());
+        assert!(k.fs.resolve_abs("/home/alice/work").is_ok());
+    }
+
+    #[test]
+    fn unlink_and_toctou_safe_variant() {
+        let (mut k, pid) = setup();
+        let dir = RawCap::open_path(&mut k, pid, "/home/alice").unwrap();
+        let f = dir.lookup(&mut k, pid, "notes.txt").unwrap();
+        dir.unlink_exactly(&mut k, pid, &f, "notes.txt").unwrap();
+        assert!(k.fs.resolve_abs("/home/alice/notes.txt").is_err());
+        dir.unlink_file(&mut k, pid, "dog.jpg").unwrap();
+        assert!(k.fs.resolve_abs("/home/alice/dog.jpg").is_err());
+    }
+
+    #[test]
+    fn pipe_factory_roundtrip() {
+        let (mut k, pid) = setup();
+        let factory = RawCap::pipe_factory();
+        let (r, w) = factory.create_pipe(&mut k, pid).unwrap();
+        w.append(&mut k, pid, b"through").unwrap();
+        assert_eq!(r.read_all(&mut k, pid).unwrap(), b"through");
+        // A file capability is not a pipe factory.
+        let dir = RawCap::open_path(&mut k, pid, "/home/alice").unwrap();
+        assert_eq!(dir.create_pipe(&mut k, pid).unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn socket_factory_roundtrip() {
+        let (mut k, pid) = setup();
+        let addr = SockAddr::Inet { host: "mirror".into(), port: 80 };
+        k.net.register_remote(addr.clone(), Box::new(|_| b"tarball".to_vec()));
+        let factory = RawCap::socket_factory();
+        let sock = factory.create_socket(&mut k, pid, SockDomain::Inet).unwrap();
+        sock.sock_connect(&mut k, pid, addr).unwrap();
+        sock.write_all(&mut k, pid, b"GET").unwrap();
+        assert_eq!(sock.read_all(&mut k, pid).unwrap(), b"tarball");
+    }
+
+    #[test]
+    fn dac_limits_capability_creation() {
+        let (mut k, _) = setup();
+        k.fs.put_file("/home/alice/private", b"secret", Mode(0o600), Uid(100), Gid(100)).unwrap();
+        let stranger = k.spawn_user(Cred::user(999));
+        assert_eq!(
+            RawCap::open_path(&mut k, stranger, "/home/alice/private").unwrap_err(),
+            Errno::EACCES
+        );
+        // Alice herself can.
+        let alice = k.spawn_user(Cred::user(100));
+        let cap = RawCap::open_path(&mut k, alice, "/home/alice/private").unwrap();
+        assert!(cap.readable && cap.writable);
+    }
+
+    #[test]
+    fn readonly_file_gets_readonly_cap() {
+        let (mut k, _) = setup();
+        k.fs.put_file("/etc/conf", b"cfg", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        let user = k.spawn_user(Cred::user(100));
+        let cap = RawCap::open_path(&mut k, user, "/etc/conf").unwrap();
+        assert!(cap.readable);
+        assert!(!cap.writable);
+        assert_eq!(cap.write_all(&mut k, user, b"x").unwrap_err(), Errno::EBADF);
+    }
+}

@@ -1,0 +1,132 @@
+//! Blame assignment (paper §2.2).
+//!
+//! "Each contract establishes an agreement between two parties: the provider
+//! of the value with the contract and the value's consumer. ... If a
+//! contract is violated, the SHILL runtime aborts execution and, to help
+//! with auditing and debugging, indicates which part of the script failed to
+//! meet its obligations."
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The two contractual parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// The provider of the value (must deliver at least what the contract
+    /// promises — e.g. a capability that really has the privileges).
+    Provider,
+    /// The consumer (must use the value within the contract — e.g. never
+    /// exercise a privilege the contract withholds).
+    Consumer,
+}
+
+/// Identities attached to one contract boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blame {
+    /// Name of the providing side (e.g. the ambient script or caller).
+    pub provider: String,
+    /// Name of the consuming side (e.g. the capability-safe script).
+    pub consumer: String,
+    /// Human-readable contract source, e.g.
+    /// `cur : dir(+contents, +lookup with {+path})`.
+    pub contract: String,
+}
+
+impl Blame {
+    pub fn new(
+        provider: impl Into<String>,
+        consumer: impl Into<String>,
+        contract: impl Into<String>,
+    ) -> Arc<Blame> {
+        Arc::new(Blame {
+            provider: provider.into(),
+            consumer: consumer.into(),
+            contract: contract.into(),
+        })
+    }
+
+    /// Swap the parties: used when a value flows *out* of a component (a
+    /// function argument position reverses obligations — standard
+    /// higher-order contract blame).
+    pub fn swapped(&self) -> Arc<Blame> {
+        Arc::new(Blame {
+            provider: self.consumer.clone(),
+            consumer: self.provider.clone(),
+            contract: self.contract.clone(),
+        })
+    }
+
+    pub fn party_name(&self, p: Party) -> &str {
+        match p {
+            Party::Provider => &self.provider,
+            Party::Consumer => &self.consumer,
+        }
+    }
+}
+
+/// A contract violation: who broke which promise, doing what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub blamed: Party,
+    pub blamed_name: String,
+    pub contract: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "contract violation: {} broke the contract `{}`: {}",
+            self.blamed_name, self.contract, self.message
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+impl Violation {
+    pub fn consumer(blame: &Blame, message: impl Into<String>) -> Violation {
+        Violation {
+            blamed: Party::Consumer,
+            blamed_name: blame.consumer.clone(),
+            contract: blame.contract.clone(),
+            message: message.into(),
+        }
+    }
+
+    pub fn provider(blame: &Blame, message: impl Into<String>) -> Violation {
+        Violation {
+            blamed: Party::Provider,
+            blamed_name: blame.provider.clone(),
+            contract: blame.contract.clone(),
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swapped_reverses_parties() {
+        let b = Blame::new("user", "script", "cur : is_dir");
+        let s = b.swapped();
+        assert_eq!(s.provider, "script");
+        assert_eq!(s.consumer, "user");
+        assert_eq!(s.contract, b.contract);
+    }
+
+    #[test]
+    fn violation_message_names_the_party() {
+        let b = Blame::new("user", "find_jpg", "out : file(+append)");
+        let v = Violation::consumer(&b, "attempted +read");
+        let text = v.to_string();
+        assert!(text.contains("find_jpg"));
+        assert!(text.contains("out : file(+append)"));
+        assert!(text.contains("+read"));
+        let p = Violation::provider(&b, "capability lacks +append");
+        assert!(p.to_string().contains("user"));
+    }
+}

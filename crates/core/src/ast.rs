@@ -1,0 +1,275 @@
+//! Abstract syntax for SHILL scripts.
+//!
+//! Two dialects share this AST (§2.5): capability-safe scripts
+//! (`#lang shill/cap`) and ambient scripts (`#lang shill/ambient`). The
+//! parser enforces the ambient dialect's restrictions ("straight line code
+//! that can import capability-safe scripts, create capabilities ... and call
+//! functions").
+
+use std::rc::Rc;
+
+use shill_cap::{CapPrivs, PrivSet};
+
+/// Which dialect a script is written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// `#lang shill/cap` — capability-safe.
+    CapSafe,
+    /// `#lang shill/ambient` — ambient authority, heavily restricted syntax.
+    Ambient,
+}
+
+/// A source position for error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parsed script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    pub dialect: Dialect,
+    /// `require` declarations, in order.
+    pub requires: Vec<String>,
+    /// `provide name : contract;` declarations.
+    pub provides: Vec<Provide>,
+    /// Top-level statements (definitions and expressions).
+    pub body: Vec<Stmt>,
+}
+
+/// One `provide` declaration.
+#[derive(Debug, Clone)]
+pub struct Provide {
+    pub name: String,
+    pub contract: ContractExpr,
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `name = expr;` — an immutable binding.
+    Def { name: String, expr: Expr, pos: Pos },
+    /// A bare expression. The boolean records whether it was terminated by
+    /// an explicit `;`: a semicolon-terminated final statement makes the
+    /// enclosing block evaluate to void (statement position), while a bare
+    /// trailing expression is the block's value.
+    Expr(Expr, bool),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    /// `++`: string/list concatenation.
+    Concat,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Void(Pos),
+    Bool(bool, Pos),
+    Num(i64, Pos),
+    Str(String, Pos),
+    Var(String, Pos),
+    List(Vec<Expr>, Pos),
+    /// `fun(a, b) { ... }`.
+    Fun { params: Vec<String>, body: Rc<Vec<Stmt>>, pos: Pos },
+    /// `f(a, b, key = c)`.
+    Call { callee: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)>, pos: Pos },
+    /// `if c then t [else e]` — branches are blocks or single statements.
+    If { cond: Box<Expr>, then: Rc<Vec<Stmt>>, els: Option<Rc<Vec<Stmt>>>, pos: Pos },
+    /// `for x in e { ... }`.
+    For { var: String, iter: Box<Expr>, body: Rc<Vec<Stmt>>, pos: Pos },
+    Unary { op: UnOp, expr: Box<Expr>, pos: Pos },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    /// A contract written in expression position (contracts are values and
+    /// can be bound to names, enabling user-defined contract abbreviations).
+    Contract(Box<ContractExpr>, Pos),
+}
+
+impl Expr {
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Void(p)
+            | Expr::Bool(_, p)
+            | Expr::Num(_, p)
+            | Expr::Str(_, p)
+            | Expr::Var(_, p)
+            | Expr::List(_, p)
+            | Expr::Fun { pos: p, .. }
+            | Expr::Call { pos: p, .. }
+            | Expr::If { pos: p, .. }
+            | Expr::For { pos: p, .. }
+            | Expr::Unary { pos: p, .. }
+            | Expr::Binary { pos: p, .. }
+            | Expr::Contract(_, p) => *p,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Contract syntax (§2.2). Contracts are first-class: they appear in
+/// `provide` declarations and may be bound to names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContractExpr {
+    /// Flat kind predicates: `is_file`, `is_dir`, `is_bool`, ...
+    IsFile,
+    IsDir,
+    IsPipe,
+    IsBool,
+    IsNum,
+    IsString,
+    IsList,
+    IsFun,
+    /// Postcondition `void` (no value returned).
+    Void,
+    /// `any`: no constraint.
+    Any,
+    /// `file(+read, +path, ...)` — file-kind capability with privileges.
+    File(CapPrivs),
+    /// `dir(+lookup with {...}, ...)`.
+    Dir(CapPrivs),
+    /// `socket(+sock-send, ...)`.
+    Socket(CapPrivs),
+    /// A pipe-factory capability.
+    PipeFactory,
+    /// A socket-factory capability with at most these privileges.
+    SocketFactory(PrivSet),
+    /// `native_wallet` (§3.1.4).
+    NativeWallet,
+    /// Any wallet.
+    Wallet,
+    /// Disjunction `c1 \/ c2`.
+    Or(Vec<ContractExpr>),
+    /// Conjunction `c1 && c2`.
+    And(Vec<ContractExpr>),
+    /// Function contract `{a : C1, b : C2} -> C3`.
+    Func(Rc<FuncContract>),
+    /// Bounded polymorphism: `forall X with {+p, ...} . C` (§2.4.2).
+    Forall { var: String, bound: PrivSet, body: Box<ContractExpr> },
+    /// A contract variable occurrence (`X`) inside a `forall` body.
+    Var(String),
+    /// A named contract resolved from the environment at wrap time
+    /// (user-defined abbreviations like `readonly`, or imported wallet
+    /// contracts like `ocaml_wallet`).
+    Named(String),
+    /// A user-defined predicate: the named function is called with the
+    /// value; contract holds if it returns `true`.
+    Predicate(String),
+}
+
+/// A function contract: named argument preconditions plus a postcondition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncContract {
+    /// `(arg name, contract)` pairs, positional order.
+    pub args: Vec<(String, ContractExpr)>,
+    /// Keyword-argument contracts (optional arguments like `stdout`).
+    pub kwargs: Vec<(String, ContractExpr)>,
+    /// The postcondition.
+    pub result: ContractExpr,
+}
+
+/// Render a contract back to (approximately) its source form — used in
+/// blame messages so violations cite the contract text.
+pub fn contract_to_string(c: &ContractExpr) -> String {
+    match c {
+        ContractExpr::IsFile => "is_file".into(),
+        ContractExpr::IsDir => "is_dir".into(),
+        ContractExpr::IsPipe => "is_pipe".into(),
+        ContractExpr::IsBool => "is_bool".into(),
+        ContractExpr::IsNum => "is_num".into(),
+        ContractExpr::IsString => "is_string".into(),
+        ContractExpr::IsList => "is_list".into(),
+        ContractExpr::IsFun => "is_fun".into(),
+        ContractExpr::Void => "void".into(),
+        ContractExpr::Any => "any".into(),
+        ContractExpr::File(p) => format!("file{p}"),
+        ContractExpr::Dir(p) => format!("dir{p}"),
+        ContractExpr::Socket(p) => format!("socket{p}"),
+        ContractExpr::PipeFactory => "pipe_factory".into(),
+        ContractExpr::SocketFactory(p) => format!("socket_factory{p}"),
+        ContractExpr::NativeWallet => "native_wallet".into(),
+        ContractExpr::Wallet => "wallet".into(),
+        ContractExpr::Or(cs) => cs.iter().map(contract_to_string).collect::<Vec<_>>().join(" \\/ "),
+        ContractExpr::And(cs) => cs.iter().map(contract_to_string).collect::<Vec<_>>().join(" && "),
+        ContractExpr::Func(fc) => {
+            let args = fc
+                .args
+                .iter()
+                .map(|(n, c)| format!("{n} : {}", contract_to_string(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{args}}} -> {}", contract_to_string(&fc.result))
+        }
+        ContractExpr::Forall { var, bound, body } => {
+            format!("forall {var} with {bound} . {}", contract_to_string(body))
+        }
+        ContractExpr::Var(v) => v.clone(),
+        ContractExpr::Named(n) => n.clone(),
+        ContractExpr::Predicate(n) => format!("<predicate {n}>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_cap::{Priv, PrivSet};
+
+    #[test]
+    fn contract_rendering() {
+        let c = ContractExpr::Or(vec![
+            ContractExpr::Dir(CapPrivs::of(PrivSet::of(&[Priv::Contents, Priv::Lookup]))),
+            ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Path]))),
+        ]);
+        let s = contract_to_string(&c);
+        assert!(s.contains("dir(+contents, +lookup)"));
+        assert!(s.contains("\\/"));
+        assert!(s.contains("file(+path)"));
+    }
+
+    #[test]
+    fn func_contract_rendering() {
+        let fc = FuncContract {
+            args: vec![
+                ("cur".into(), ContractExpr::Var("X".into())),
+                ("out".into(), ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Append])))),
+            ],
+            kwargs: vec![],
+            result: ContractExpr::Void,
+        };
+        let c = ContractExpr::Forall {
+            var: "X".into(),
+            bound: PrivSet::of(&[Priv::Lookup, Priv::Contents]),
+            body: Box::new(ContractExpr::Func(Rc::new(fc))),
+        };
+        let s = contract_to_string(&c);
+        assert!(s.starts_with("forall X with"));
+        assert!(s.contains("cur : X"));
+        assert!(s.contains("-> void"));
+    }
+}

@@ -1,0 +1,747 @@
+//! Built-in functions: the capability-consuming wrappers around system
+//! calls (§2.1), list/string helpers, and the `exec` sandbox launcher
+//! (§2.3).
+
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use shill_cap::{CapKind, CapPrivs, Priv, PrivSet, RawCap};
+use shill_contracts::{CapError, GuardedCap};
+use shill_kernel::{FdObject, ObjId, Ulimits};
+use shill_sandbox::{Grant, SandboxSpec};
+use shill_vfs::Mode;
+
+use crate::ast::ContractExpr;
+use crate::env::Env;
+use crate::eval::Interp;
+use crate::value::{EvalResult, ShillError, Value, Wallet};
+
+/// Builtins available in both dialects.
+const COMMON: &[&str] = &[
+    "is_file",
+    "is_dir",
+    "is_pipe",
+    "is_syserror",
+    "is_bool",
+    "is_num",
+    "is_string",
+    "is_list",
+    "is_void",
+    "is_fun",
+    "has_ext",
+    "path",
+    "read",
+    "write",
+    "append",
+    "contents",
+    "lookup",
+    "create_file",
+    "create_dir",
+    "unlink_file",
+    "unlink_dir",
+    "read_symlink",
+    "link",
+    "create_pipe",
+    "create_socket",
+    "sock_connect",
+    "sock_send",
+    "sock_recv",
+    "exec",
+    "length",
+    "nth",
+    "split",
+    "starts_with",
+    "ends_with",
+    "strip_prefix",
+    "to_string",
+    "display",
+    "wallet_get",
+    "wallet_keys",
+    "wallet_set",
+    "wallet_add_dep",
+    "stat_size",
+];
+
+/// Install common builtins and standard contract abbreviations.
+pub fn install_common(env: &Env) {
+    for name in COMMON {
+        env.define_internal(name, Value::Builtin(name));
+    }
+    // §3.1.4: "a programmer can specify the contract `readonly` rather than
+    // the more verbose dir(...) ∨ file(...)".
+    let readonly = ContractExpr::Or(vec![
+        ContractExpr::Dir(CapPrivs::of(PrivSet::readonly_dir())),
+        ContractExpr::File(CapPrivs::of(PrivSet::readonly_file())),
+    ]);
+    env.define_internal("readonly", Value::Contract(Rc::new(readonly)));
+    let writeable = ContractExpr::File(CapPrivs::of(PrivSet::of(&[
+        Priv::Write,
+        Priv::Append,
+        Priv::Truncate,
+        Priv::Stat,
+        Priv::Path,
+    ])));
+    env.define_internal("writeable", Value::Contract(Rc::new(writeable)));
+    let appendonly = ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Append, Priv::Path])));
+    env.define_internal("appendonly", Value::Contract(Rc::new(appendonly)));
+}
+
+/// Install ambient-only bindings: path-based capability creation, stdio
+/// capabilities, the factories, and wallet creation (§2.5).
+pub fn install_ambient(interp: &mut Interp, env: &Env) {
+    for name in ["open_file", "open_dir", "create_wallet"] {
+        env.define_internal(name, Value::Builtin(name));
+    }
+    env.define_internal("pipe_factory", Value::Cap(Rc::new(GuardedCap::unguarded(RawCap::pipe_factory()))));
+    env.define_internal(
+        "socket_factory",
+        Value::Cap(Rc::new(GuardedCap::unguarded(RawCap::socket_factory()))),
+    );
+    // stdio: capabilities for the controlling terminal.
+    for (name, dev) in [("stdin", "/dev/tty"), ("stdout", "/dev/tty"), ("stderr", "/dev/tty")] {
+        if let Ok(cap) = RawCap::open_path(&mut interp.kernel, interp.pid, dev) {
+            env.define_internal(name, Value::Cap(Rc::new(GuardedCap::unguarded(cap))));
+        }
+    }
+}
+
+fn arity(args: &[Value], n: usize, name: &str) -> Result<(), ShillError> {
+    if args.len() != n {
+        return Err(ShillError::Runtime(format!(
+            "{name} expects {n} argument(s), got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn want_str(v: &Value, what: &str) -> Result<String, ShillError> {
+    match v {
+        Value::Str(s) => Ok((**s).clone()),
+        other => Err(ShillError::Runtime(format!("{what} must be a string, got {}", other.type_name()))),
+    }
+}
+
+/// Convert a capability-op result: system errors become `SysErr` *values*
+/// (observable via `is_syserror`), contract violations abort.
+fn cap_result(r: Result<Value, CapError>) -> EvalResult {
+    match r {
+        Ok(v) => Ok(v),
+        Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+        Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+    }
+}
+
+/// Dispatch a builtin call.
+pub fn call_builtin(
+    interp: &mut Interp,
+    name: &str,
+    args: Vec<Value>,
+    kwargs: Vec<(String, Value)>,
+) -> EvalResult {
+    if name != "exec" && !kwargs.is_empty() {
+        return Err(ShillError::Runtime(format!("{name} does not accept keyword arguments")));
+    }
+    match name {
+        // --- type predicates ------------------------------------------------
+        "is_file" => {
+            arity(&args, 1, name)?;
+            let inner = strip_seals(&args[0]);
+            Ok(Value::Bool(matches!(inner, Value::Cap(c) if c.is_file())))
+        }
+        "is_dir" => {
+            arity(&args, 1, name)?;
+            let inner = strip_seals(&args[0]);
+            Ok(Value::Bool(matches!(inner, Value::Cap(c) if c.is_dir())))
+        }
+        "is_pipe" => {
+            arity(&args, 1, name)?;
+            let inner = strip_seals(&args[0]);
+            Ok(Value::Bool(matches!(inner, Value::Cap(c) if c.kind() == CapKind::PipeEnd)))
+        }
+        "is_syserror" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::SysErr(_))))
+        }
+        "is_bool" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::Bool(_))))
+        }
+        "is_num" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::Num(_))))
+        }
+        "is_string" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::Str(_))))
+        }
+        "is_list" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::List(_))))
+        }
+        "is_void" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(matches!(args[0], Value::Void)))
+        }
+        "is_fun" => {
+            arity(&args, 1, name)?;
+            Ok(Value::Bool(args[0].is_callable()))
+        }
+
+        // --- capability queries ------------------------------------------------
+        "path" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Path)?;
+            let pid = interp.pid;
+            cap_result(cap.path(&mut interp.kernel, pid).map(Value::str))
+        }
+        "has_ext" => {
+            arity(&args, 2, name)?;
+            let ext = want_str(&args[1], "extension")?;
+            let p = match &args[0] {
+                Value::Str(s) => (**s).clone(),
+                v => {
+                    let (cap, _brands) = interp.unseal_for(v, Priv::Path)?;
+                    let pid = interp.pid;
+                    match cap.path(&mut interp.kernel, pid) {
+                        Ok(p) => p,
+                        Err(CapError::Sys(_)) => return Ok(Value::Bool(false)),
+                        Err(CapError::Violation(v)) => return Err(ShillError::Violation(v)),
+                    }
+                }
+            };
+            Ok(Value::Bool(p.ends_with(&format!(".{ext}"))))
+        }
+        "stat_size" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Stat)?;
+            let pid = interp.pid;
+            cap_result(cap.stat(&mut interp.kernel, pid).map(|st| Value::Num(st.size as i64)))
+        }
+
+        // --- file operations ------------------------------------------------
+        "read" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Read)?;
+            let pid = interp.pid;
+            cap_result(
+                cap.read_all(&mut interp.kernel, pid)
+                    .map(|d| Value::str(String::from_utf8_lossy(&d).into_owned())),
+            )
+        }
+        "write" => {
+            arity(&args, 2, name)?;
+            let data = want_str(&args[1], "data")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Write)?;
+            let pid = interp.pid;
+            cap_result(cap.write_all(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+        }
+        "append" => {
+            arity(&args, 2, name)?;
+            let data = want_str(&args[1], "data")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Append)?;
+            let pid = interp.pid;
+            cap_result(cap.append(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+        }
+
+        // --- directory operations ----------------------------------------------
+        "contents" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::Contents)?;
+            let pid = interp.pid;
+            cap_result(
+                cap.contents(&mut interp.kernel, pid)
+                    .map(|names| Value::list(names.into_iter().map(Value::str).collect())),
+            )
+        }
+        "lookup" => {
+            arity(&args, 2, name)?;
+            let child_name = want_str(&args[1], "name")?;
+            let (cap, brands) = interp.unseal_for(&args[0], Priv::Lookup)?;
+            let pid = interp.pid;
+            match cap.lookup(&mut interp.kernel, pid, &child_name) {
+                Ok(derived) => Ok(Interp::reseal(Value::Cap(Rc::new(derived)), brands)),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }
+        "create_file" => {
+            arity(&args, 2, name)?;
+            let fname = want_str(&args[1], "name")?;
+            let (cap, brands) = interp.unseal_for(&args[0], Priv::CreateFile)?;
+            let pid = interp.pid;
+            match cap.create_file(&mut interp.kernel, pid, &fname, Mode::FILE_DEFAULT) {
+                Ok(derived) => Ok(Interp::reseal(Value::Cap(Rc::new(derived)), brands)),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }
+        "create_dir" => {
+            arity(&args, 2, name)?;
+            let dname = want_str(&args[1], "name")?;
+            let (cap, brands) = interp.unseal_for(&args[0], Priv::CreateDir)?;
+            let pid = interp.pid;
+            match cap.create_dir(&mut interp.kernel, pid, &dname, Mode::DIR_DEFAULT) {
+                Ok(derived) => Ok(Interp::reseal(Value::Cap(Rc::new(derived)), brands)),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }
+        "unlink_file" => {
+            arity(&args, 2, name)?;
+            let n = want_str(&args[1], "name")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::UnlinkFile)?;
+            let pid = interp.pid;
+            cap_result(cap.unlink_file(&mut interp.kernel, pid, &n).map(|_| Value::Void))
+        }
+        "unlink_dir" => {
+            arity(&args, 2, name)?;
+            let n = want_str(&args[1], "name")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::UnlinkDir)?;
+            let pid = interp.pid;
+            cap_result(cap.unlink_dir(&mut interp.kernel, pid, &n).map(|_| Value::Void))
+        }
+        "read_symlink" => {
+            arity(&args, 2, name)?;
+            let n = want_str(&args[1], "name")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::ReadSymlink)?;
+            let pid = interp.pid;
+            cap_result(cap.read_symlink(&mut interp.kernel, pid, &n).map(Value::str))
+        }
+        "link" => {
+            arity(&args, 3, name)?;
+            let n = want_str(&args[2], "name")?;
+            let (dir, _b1) = interp.unseal_for(&args[0], Priv::Link)?;
+            let (file, _b2) = interp.unseal_for(&args[1], Priv::Path)?;
+            let pid = interp.pid;
+            cap_result(dir.link(&mut interp.kernel, pid, &file, &n).map(|_| Value::Void))
+        }
+        "create_pipe" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::PipeCreate)?;
+            let pid = interp.pid;
+            match cap.create_pipe(&mut interp.kernel, pid) {
+                Ok((r, w)) => Ok(Value::list(vec![
+                    Value::Cap(Rc::new(r)),
+                    Value::Cap(Rc::new(w)),
+                ])),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }
+
+        // --- sockets (paper §3.1.1's suggested extension: "adding built-in
+        // functions for socket operations to the language") ------------------
+        "create_socket" => {
+            arity(&args, 2, name)?;
+            let domain = match want_str(&args[1], "domain")?.as_str() {
+                "inet" => shill_kernel::SockDomain::Inet,
+                "unix" => shill_kernel::SockDomain::Unix,
+                other => {
+                    return Err(ShillError::Runtime(format!(
+                        "unknown socket domain {other:?} (inet|unix)"
+                    )))
+                }
+            };
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockCreate)?;
+            let pid = interp.pid;
+            match cap.create_socket(&mut interp.kernel, pid, domain) {
+                Ok(sock) => Ok(Value::Cap(Rc::new(sock))),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }
+        "sock_connect" => {
+            arity(&args, 2, name)?;
+            let addr = want_str(&args[1], "address")?;
+            let addr = match addr.rsplit_once(':') {
+                Some((host, port)) => shill_kernel::SockAddr::Inet {
+                    host: host.to_string(),
+                    port: port.parse().map_err(|_| {
+                        ShillError::Runtime(format!("bad port in address {addr:?}"))
+                    })?,
+                },
+                None => shill_kernel::SockAddr::Unix { path: addr },
+            };
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockConnect)?;
+            let pid = interp.pid;
+            cap_result(cap.sock_connect(&mut interp.kernel, pid, addr).map(|_| Value::Void))
+        }
+        "sock_send" => {
+            arity(&args, 2, name)?;
+            let data = want_str(&args[1], "data")?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockSend)?;
+            let pid = interp.pid;
+            cap_result(cap.sock_send(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+        }
+        "sock_recv" => {
+            arity(&args, 1, name)?;
+            let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockRecv)?;
+            let pid = interp.pid;
+            cap_result(
+                cap.sock_recv(&mut interp.kernel, pid)
+                    .map(|d| Value::str(String::from_utf8_lossy(&d).into_owned())),
+            )
+        }
+
+        // --- exec (sandbox launcher) ------------------------------------------
+        "exec" => builtin_exec(interp, args, kwargs),
+
+        // --- lists & strings -----------------------------------------------------
+        "length" => {
+            arity(&args, 1, name)?;
+            match &args[0] {
+                Value::List(l) => Ok(Value::Num(l.len() as i64)),
+                Value::Str(s) => Ok(Value::Num(s.len() as i64)),
+                other => Err(ShillError::Runtime(format!("length of {}", other.type_name()))),
+            }
+        }
+        "nth" => {
+            arity(&args, 2, name)?;
+            let i = match args[1] {
+                Value::Num(n) if n >= 0 => n as usize,
+                _ => return Err(ShillError::Runtime("nth index must be a non-negative number".into())),
+            };
+            match &args[0] {
+                Value::List(l) => l
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| ShillError::Runtime(format!("nth: index {i} out of bounds"))),
+                other => Err(ShillError::Runtime(format!("nth on {}", other.type_name()))),
+            }
+        }
+        "split" => {
+            arity(&args, 2, name)?;
+            let s = want_str(&args[0], "string")?;
+            let sep = want_str(&args[1], "separator")?;
+            Ok(Value::list(
+                s.split(&sep).filter(|p| !p.is_empty()).map(Value::str).collect(),
+            ))
+        }
+        "starts_with" => {
+            arity(&args, 2, name)?;
+            let s = want_str(&args[0], "string")?;
+            let p = want_str(&args[1], "prefix")?;
+            Ok(Value::Bool(s.starts_with(&p)))
+        }
+        "ends_with" => {
+            arity(&args, 2, name)?;
+            let s = want_str(&args[0], "string")?;
+            let p = want_str(&args[1], "suffix")?;
+            Ok(Value::Bool(s.ends_with(&p)))
+        }
+        "strip_prefix" => {
+            arity(&args, 2, name)?;
+            let s = want_str(&args[0], "string")?;
+            let p = want_str(&args[1], "prefix")?;
+            Ok(Value::str(s.strip_prefix(&p).unwrap_or(&s).to_string()))
+        }
+        "to_string" => {
+            arity(&args, 1, name)?;
+            Ok(Value::str(args[0].display()))
+        }
+        "display" => {
+            for a in &args {
+                interp.out.extend_from_slice(a.display().as_bytes());
+            }
+            interp.out.push(b'\n');
+            Ok(Value::Void)
+        }
+
+        // --- wallets ----------------------------------------------------------------
+        "wallet_get" => {
+            arity(&args, 2, name)?;
+            let key = want_str(&args[1], "key")?;
+            match &args[0] {
+                Value::Wallet(w) => Ok(Value::list(
+                    w.map.borrow().get(&key).cloned().unwrap_or_default(),
+                )),
+                other => Err(ShillError::Runtime(format!("wallet_get on {}", other.type_name()))),
+            }
+        }
+        "wallet_keys" => {
+            arity(&args, 1, name)?;
+            match &args[0] {
+                Value::Wallet(w) => Ok(Value::list(
+                    w.map.borrow().keys().cloned().map(Value::str).collect(),
+                )),
+                other => Err(ShillError::Runtime(format!("wallet_keys on {}", other.type_name()))),
+            }
+        }
+        "wallet_set" => {
+            arity(&args, 3, name)?;
+            let key = want_str(&args[1], "key")?;
+            let items = match &args[2] {
+                Value::List(l) => l.iter().cloned().collect(),
+                other => vec![other.clone()],
+            };
+            match &args[0] {
+                Value::Wallet(w) => {
+                    w.map.borrow_mut().insert(key, items);
+                    Ok(Value::Void)
+                }
+                other => Err(ShillError::Runtime(format!("wallet_set on {}", other.type_name()))),
+            }
+        }
+        "wallet_add_dep" => {
+            // wallet_add_dep(wallet, program, cap): register an extra
+            // dependency for a program (§4.1: adding /usr/local/lib/ocaml
+            // as a dependency for OCaml executables).
+            arity(&args, 3, name)?;
+            let prog = want_str(&args[1], "program")?;
+            match &args[0] {
+                Value::Wallet(w) => {
+                    w.map
+                        .borrow_mut()
+                        .entry(format!("deps:{prog}"))
+                        .or_default()
+                        .push(args[2].clone());
+                    Ok(Value::Void)
+                }
+                other => Err(ShillError::Runtime(format!("wallet_add_dep on {}", other.type_name()))),
+            }
+        }
+
+        // --- ambient-only ----------------------------------------------------------
+        "open_file" | "open_dir" => {
+            arity(&args, 1, name)?;
+            let p = want_str(&args[0], "path")?;
+            let pid = interp.pid;
+            match RawCap::open_path(&mut interp.kernel, pid, &p) {
+                Ok(cap) => {
+                    if name == "open_dir" && !cap.is_dir() {
+                        return Err(ShillError::Runtime(format!("{p} is not a directory")));
+                    }
+                    if name == "open_file" && cap.is_dir() {
+                        return Err(ShillError::Runtime(format!("{p} is a directory")));
+                    }
+                    Ok(Value::Cap(Rc::new(GuardedCap::unguarded(cap))))
+                }
+                Err(e) => Ok(Value::SysErr(e)),
+            }
+        }
+        "create_wallet" => {
+            arity(&args, 0, name)?;
+            Ok(Value::Wallet(Rc::new(Wallet {
+                kind: "native".into(),
+                map: std::cell::RefCell::new(Default::default()),
+            })))
+        }
+
+        other => Err(ShillError::Runtime(format!("unknown builtin {other}"))),
+    }
+}
+
+fn strip_seals(v: &Value) -> &Value {
+    let mut cur = v;
+    while let Value::Sealed { inner, .. } = cur {
+        cur = inner;
+    }
+    cur
+}
+
+/// Effective privileges to grant a sandbox for a (possibly sealed,
+/// possibly guarded) capability value.
+fn grant_privs(interp: &Interp, v: &Value) -> Option<(ObjId, Arc<CapPrivs>)> {
+    let _ = interp;
+    let mut bound: Option<PrivSet> = None;
+    let mut cur = v;
+    while let Value::Sealed { brand, inner } = cur {
+        bound = Some(match bound {
+            Some(b) => b.intersection(brand.bound),
+            None => brand.bound,
+        });
+        cur = inner;
+    }
+    let Value::Cap(cap) = cur else { return None };
+    let obj = match (&cap.raw.node, &cap.raw.fd) {
+        (Some(n), _) => ObjId::Vnode(*n),
+        (None, Some(_fd)) => return None, // handled by caller with fd_object
+        _ => return None,
+    };
+    let mut privs = cap.effective_privs();
+    if let Some(b) = bound {
+        let mut cp = (*privs).clone();
+        cp.privs = cp.privs.intersection(b);
+        privs = Arc::new(cp);
+    }
+    Some((obj, privs))
+}
+
+/// Resolve the kernel object for a capability (pipes/sockets have no vnode).
+fn obj_of(interp: &Interp, cap: &GuardedCap) -> Option<ObjId> {
+    if let Some(n) = cap.raw.node {
+        return Some(ObjId::Vnode(n));
+    }
+    let fd = cap.raw.fd?;
+    match interp.kernel.fd_object(interp.pid, fd).ok()? {
+        FdObject::Vnode(n) => Some(ObjId::Vnode(n)),
+        FdObject::Pipe(id, _) => Some(ObjId::Pipe(id)),
+        FdObject::Socket(s) => Some(ObjId::Socket(s)),
+    }
+}
+
+/// The `exec` builtin (§2.3): run an executable in a capability-based
+/// sandbox. Positional: the executable capability and the argv list
+/// (strings or capabilities — capabilities are passed as paths). Keyword:
+/// `stdin`/`stdout`/`stderr` capabilities, `extras` (additional
+/// capabilities, §2.3), `timeout` (cpu tick ulimit).
+fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
+    if args.len() != 2 {
+        return Err(ShillError::Runtime("exec expects (executable, argv-list)".into()));
+    }
+    let policy = interp
+        .policy
+        .clone()
+        .ok_or_else(|| ShillError::Runtime("exec requires the SHILL kernel module".into()))?;
+
+    let setup_start = Instant::now();
+
+    // Executable capability: +exec required.
+    let (exec_cap, _brands) = interp.unseal_for(&args[0], Priv::Exec)?;
+    let exec_node = exec_cap
+        .raw
+        .node
+        .ok_or_else(|| ShillError::Runtime("executable capability has no file".into()))?;
+
+    let mut grants: Vec<Grant> = Vec::new();
+    let push_grant = |grants: &mut Vec<Grant>, obj: ObjId, privs: Arc<CapPrivs>| {
+        grants.push(Grant { obj, privs });
+    };
+    push_grant(&mut grants, ObjId::Vnode(exec_node), exec_cap.effective_privs());
+
+    // argv: strings pass through; capabilities become paths AND grants.
+    let argv_list = match &args[1] {
+        Value::List(l) => l.clone(),
+        other => {
+            return Err(ShillError::Runtime(format!(
+                "exec argv must be a list, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let mut argv: Vec<String> = Vec::with_capacity(argv_list.len());
+    for item in argv_list.iter() {
+        match item {
+            Value::Str(s) => argv.push((**s).clone()),
+            v @ (Value::Cap(_) | Value::Sealed { .. }) => {
+                let (cap, _b) = interp.unseal_for(v, Priv::Path)?;
+                let pid = interp.pid;
+                let p = match cap.path(&mut interp.kernel, pid) {
+                    Ok(p) => p,
+                    Err(CapError::Sys(e)) => return Ok(Value::SysErr(e)),
+                    Err(CapError::Violation(viol)) => return Err(ShillError::Violation(viol)),
+                };
+                argv.push(p);
+                if let Some((obj, privs)) = grant_privs(interp, v) {
+                    push_grant(&mut grants, obj, privs);
+                }
+            }
+            other => {
+                return Err(ShillError::Runtime(format!(
+                    "exec argv entries must be strings or capabilities, got {}",
+                    other.type_name()
+                )))
+            }
+        }
+    }
+
+    let mut spec = SandboxSpec::default();
+    let mut timeout: Option<u64> = None;
+
+    for (key, v) in &kwargs {
+        match key.as_str() {
+            "stdin" | "stdout" | "stderr" => {
+                let needed = if key == "stdin" { Priv::Read } else { Priv::Append };
+                let (cap, _b) = interp.unseal_for(v, needed)?;
+                let fd = cap
+                    .raw
+                    .fd
+                    .ok_or_else(|| ShillError::Runtime(format!("{key} capability has no descriptor")))?;
+                match key.as_str() {
+                    "stdin" => spec.stdin = Some(fd),
+                    "stdout" => spec.stdout = Some(fd),
+                    _ => spec.stderr = Some(fd),
+                }
+            }
+            "extras" => {
+                let list = match v {
+                    Value::List(l) => l.iter().cloned().collect::<Vec<_>>(),
+                    single => vec![single.clone()],
+                };
+                for item in flatten(list) {
+                    match strip_seals(&item) {
+                        Value::Cap(cap) if cap.kind() == CapKind::PipeFactory => {
+                            if cap.allows(Priv::PipeCreate) {
+                                spec.pipe_factory = true;
+                            }
+                        }
+                        Value::Cap(cap) if cap.kind() == CapKind::SocketFactory => {
+                            spec.socket_privs =
+                                spec.socket_privs.union(Interp::socket_factory_privs(cap));
+                        }
+                        Value::Cap(cap) => {
+                            if let Some((obj, privs)) = grant_privs(interp, &item) {
+                                push_grant(&mut grants, obj, privs);
+                            } else if let Some(obj) = obj_of(interp, cap) {
+                                push_grant(&mut grants, obj, cap.effective_privs());
+                            }
+                        }
+                        _ => {
+                            return Err(ShillError::Runtime(
+                                "exec extras must be capabilities".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            "timeout" => {
+                if let Value::Num(n) = v {
+                    timeout = Some((*n).max(0) as u64);
+                }
+            }
+            other => {
+                return Err(ShillError::Runtime(format!("exec: unknown keyword argument {other}")))
+            }
+        }
+    }
+    spec.grants = grants;
+    if let Some(t) = timeout {
+        spec.ulimits = Some(Ulimits { max_cpu_ticks: t, ..Default::default() });
+    }
+
+    // Sandbox setup (fork / shill_init / grants / shill_enter).
+    let parent = interp.pid;
+    let sandbox = shill_sandbox::setup_sandbox(&mut interp.kernel, &policy, parent, &spec)
+        .map_err(ShillError::Sys)?;
+    interp.profile.sandboxes += 1;
+    interp.profile.sandbox_setup += setup_start.elapsed();
+
+    // Sandboxed execution.
+    let exec_start = Instant::now();
+    let status = match interp.kernel.exec_node(sandbox.child, exec_node, &argv) {
+        Ok(s) => s,
+        Err(e) => {
+            interp.kernel.exit(sandbox.child, 126);
+            let _ = interp.kernel.waitpid(parent, sandbox.child);
+            interp.profile.sandboxed_exec += exec_start.elapsed();
+            return Ok(Value::SysErr(e));
+        }
+    };
+    interp.kernel.exit(sandbox.child, status);
+    let status = interp.kernel.waitpid(parent, sandbox.child).map_err(ShillError::Sys)?;
+    interp.profile.sandboxed_exec += exec_start.elapsed();
+    Ok(Value::Num(status as i64))
+}
+
+fn flatten(items: Vec<Value>) -> Vec<Value> {
+    let mut out = Vec::new();
+    for v in items {
+        match v {
+            Value::List(l) => out.extend(flatten(l.iter().cloned().collect())),
+            other => out.push(other),
+        }
+    }
+    out
+}

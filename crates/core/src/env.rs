@@ -1,0 +1,107 @@
+//! Lexical environments.
+//!
+//! SHILL "does not have mutable variables" (§2.1): `define` inserts a fresh
+//! binding and re-defining a name already bound *in the same scope* is an
+//! error. Inner scopes may shadow outer ones (loop variables, parameters).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::value::{ShillError, Value};
+
+struct EnvNode {
+    vars: RefCell<HashMap<String, Value>>,
+    parent: Option<Env>,
+}
+
+/// A shared, immutable-by-policy environment frame.
+#[derive(Clone)]
+pub struct Env(Rc<EnvNode>);
+
+impl Env {
+    /// A fresh root environment.
+    pub fn root() -> Env {
+        Env(Rc::new(EnvNode { vars: RefCell::new(HashMap::new()), parent: None }))
+    }
+
+    /// A child scope.
+    pub fn child(&self) -> Env {
+        Env(Rc::new(EnvNode {
+            vars: RefCell::new(HashMap::new()),
+            parent: Some(self.clone()),
+        }))
+    }
+
+    /// Define a new binding. Fails if the name is already bound in *this*
+    /// frame — SHILL has no mutation or redefinition.
+    pub fn define(&self, name: &str, value: Value) -> Result<(), ShillError> {
+        let mut vars = self.0.vars.borrow_mut();
+        if vars.contains_key(name) {
+            return Err(ShillError::Runtime(format!(
+                "`{name}` is already defined; SHILL bindings are immutable"
+            )));
+        }
+        vars.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Define allowing replacement — used only by the runtime itself to
+    /// install builtins/stdlib before user code runs.
+    pub fn define_internal(&self, name: &str, value: Value) {
+        self.0.vars.borrow_mut().insert(name.to_string(), value);
+    }
+
+    /// Look a name up through the scope chain.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        if let Some(v) = self.0.vars.borrow().get(name) {
+            return Some(v.clone());
+        }
+        self.0.parent.as_ref()?.lookup(name)
+    }
+
+    /// Whether the name is bound anywhere in scope.
+    pub fn bound(&self, name: &str) -> bool {
+        self.lookup(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let env = Env::root();
+        env.define("x", Value::Num(1)).unwrap();
+        assert!(matches!(env.lookup("x"), Some(Value::Num(1))));
+        assert!(env.lookup("y").is_none());
+    }
+
+    #[test]
+    fn no_redefinition_in_same_scope() {
+        let env = Env::root();
+        env.define("x", Value::Num(1)).unwrap();
+        assert!(env.define("x", Value::Num(2)).is_err());
+        // The original binding is untouched.
+        assert!(matches!(env.lookup("x"), Some(Value::Num(1))));
+    }
+
+    #[test]
+    fn shadowing_in_child_scope_is_fine() {
+        let env = Env::root();
+        env.define("x", Value::Num(1)).unwrap();
+        let inner = env.child();
+        inner.define("x", Value::Num(2)).unwrap();
+        assert!(matches!(inner.lookup("x"), Some(Value::Num(2))));
+        assert!(matches!(env.lookup("x"), Some(Value::Num(1))));
+    }
+
+    #[test]
+    fn child_sees_parent() {
+        let env = Env::root();
+        env.define("x", Value::Num(7)).unwrap();
+        let inner = env.child().child();
+        assert!(matches!(inner.lookup("x"), Some(Value::Num(7))));
+    }
+}

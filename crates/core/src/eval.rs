@@ -1,0 +1,811 @@
+//! The SHILL evaluator: expression evaluation, function application,
+//! contract application at boundaries, and the module system.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use shill_cap::PrivSet;
+use shill_contracts::{Blame, GuardedCap, SealBrand, Violation};
+use shill_kernel::{Kernel, Pid};
+use shill_sandbox::ShillPolicy;
+
+use crate::ast::{
+    contract_to_string, BinOp, ContractExpr, Dialect, Expr, Script, Stmt, UnOp,
+};
+use crate::builtins;
+use crate::env::Env;
+use crate::parse::parse_script;
+use crate::profile::Profile;
+use crate::value::{Closure, ContractedFn, EvalResult, ShillError, Value};
+
+/// Maximum evaluation depth (recursion guard).
+/// Applications may nest this deep. The bound is set so that the native
+/// stack (each interpreter level costs a handful of Rust frames, which are
+/// large in debug builds) cannot overflow before the interpreter reports a
+/// clean "evaluation depth exceeded" error — including on 2 MiB test
+/// threads.
+const MAX_DEPTH: usize = 220;
+
+/// Exported bindings of an evaluated module.
+pub type ModuleExports = Rc<HashMap<String, Value>>;
+
+/// The interpreter: kernel, policy module, the runtime's process, module
+/// store, and profiling state.
+pub struct Interp {
+    pub kernel: Kernel,
+    /// The SHILL policy module, when loaded. `exec` requires it.
+    pub policy: Option<Arc<ShillPolicy>>,
+    /// The runtime's own (unsandboxed) process.
+    pub pid: Pid,
+    /// Module name → source text ("the filesystem" for `require`).
+    pub scripts: HashMap<String, String>,
+    module_cache: HashMap<String, ModuleExports>,
+    /// Modules currently being loaded (cycle detection).
+    loading: Vec<String>,
+    pub profile: Profile,
+    /// Output of the `display` builtin.
+    pub out: Vec<u8>,
+    depth: usize,
+}
+
+impl Interp {
+    /// Build an interpreter around an existing kernel. `policy` should
+    /// already be registered with the kernel by the caller.
+    pub fn new(kernel: Kernel, policy: Option<Arc<ShillPolicy>>, pid: Pid) -> Interp {
+        Interp {
+            kernel,
+            policy,
+            pid,
+            scripts: HashMap::new(),
+            module_cache: HashMap::new(),
+            loading: Vec::new(),
+            profile: Profile::default(),
+            out: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// Register a script under a module name for `require`.
+    pub fn add_script(&mut self, name: &str, source: &str) {
+        self.scripts.insert(name.to_string(), source.to_string());
+    }
+
+    fn enter(&mut self) -> Result<(), ShillError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(ShillError::Runtime("evaluation depth exceeded".into()));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    // --- script evaluation ---------------------------------------------------
+
+    /// Evaluate a whole script (usually an ambient script). Returns the
+    /// value of the last top-level expression.
+    pub fn run_script(&mut self, name: &str, source: &str) -> EvalResult {
+        let script = parse_script(source)?;
+        let env = self.base_env(script.dialect);
+        let (_, last) = self.eval_script_in(&script, name, &env)?;
+        Ok(last)
+    }
+
+    /// Evaluate a script and collect its provided (contract-wrapped)
+    /// exports.
+    fn eval_script_in(
+        &mut self,
+        script: &Script,
+        name: &str,
+        env: &Env,
+    ) -> Result<(HashMap<String, Value>, Value), ShillError> {
+        for req in &script.requires {
+            let exports = self.load_module(req)?;
+            for (n, v) in exports.iter() {
+                // Imports install into the base frame and may shadow the
+                // pre-installed builtins/abbreviations (e.g. `shill/contracts`
+                // re-exports `readonly`); user definitions still cannot
+                // rebind them afterwards.
+                env.define_internal(n, v.clone());
+            }
+        }
+        let mut last = Value::Void;
+        for stmt in &script.body {
+            last = self.eval_stmt(env, stmt)?;
+        }
+        // Wrap provides with their contracts at the module boundary.
+        let mut exports = HashMap::new();
+        for p in &script.provides {
+            let v = env.lookup(&p.name).ok_or_else(|| {
+                ShillError::Runtime(format!("provided `{}` is not defined", p.name))
+            })?;
+            let blame = Blame::new(
+                format!("client of {name}"),
+                format!("{name}:{}", p.name),
+                contract_to_string(&p.contract),
+            );
+            // positive=false: the provided value flows *out* of the module
+            // to its client; function wrappers created here get
+            // `into_body = true` (calling them enters the module).
+            let wrapped = self.apply_contract(v, &p.contract, blame, &[], env, false)?;
+            exports.insert(p.name.clone(), wrapped);
+        }
+        Ok((exports, last))
+    }
+
+    /// Load (or fetch cached) a module by name. Only capability-safe
+    /// scripts can be required (§2.5: "capability-safe scripts cannot
+    /// import ambient scripts").
+    pub fn load_module(&mut self, name: &str) -> Result<ModuleExports, ShillError> {
+        if let Some(m) = self.module_cache.get(name) {
+            return Ok(Rc::clone(m));
+        }
+        // Rust-implemented standard library modules.
+        if let Some(m) = crate::stdlib::stdlib_module(name) {
+            let m = Rc::new(m);
+            self.module_cache.insert(name.to_string(), Rc::clone(&m));
+            return Ok(m);
+        }
+        if self.loading.iter().any(|l| l == name) {
+            return Err(ShillError::Runtime(format!("cyclic require of {name:?}")));
+        }
+        let source = self
+            .scripts
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ShillError::Runtime(format!("unknown module {name:?}")))?;
+        let script = parse_script(&source)?;
+        if script.dialect != Dialect::CapSafe {
+            return Err(ShillError::Runtime(format!(
+                "cannot require {name:?}: only capability-safe scripts may be imported"
+            )));
+        }
+        self.loading.push(name.to_string());
+        let env = self.base_env(Dialect::CapSafe);
+        let result = self.eval_script_in(&script, name, &env);
+        self.loading.pop();
+        let (exports, _) = result?;
+        let m = Rc::new(exports);
+        self.module_cache.insert(name.to_string(), Rc::clone(&m));
+        Ok(m)
+    }
+
+    /// The initial environment for a dialect: builtins, plus ambient-only
+    /// bindings for ambient scripts.
+    pub fn base_env(&mut self, dialect: Dialect) -> Env {
+        let env = Env::root();
+        builtins::install_common(&env);
+        if dialect == Dialect::Ambient {
+            builtins::install_ambient(self, &env);
+        }
+        env
+    }
+
+    // --- statements / expressions ---------------------------------------------
+
+    pub fn eval_stmt(&mut self, env: &Env, stmt: &Stmt) -> EvalResult {
+        match stmt {
+            Stmt::Def { name, expr, .. } => {
+                let v = self.eval_expr(env, expr)?;
+                // Name closures after their binding for blame messages.
+                if let Value::Closure(c) = &v {
+                    if c.name.borrow().is_empty() {
+                        *c.name.borrow_mut() = name.clone();
+                    }
+                }
+                env.define(name, v)?;
+                Ok(Value::Void)
+            }
+            Stmt::Expr(e, semi) => {
+                let v = self.eval_expr(env, e)?;
+                // A `;`-terminated statement is evaluated for effect only;
+                // this is what makes `-> void` contracts satisfiable by
+                // bodies like `wrapper(args, stdout = out);` (Figure 4).
+                Ok(if *semi { Value::Void } else { v })
+            }
+        }
+    }
+
+    fn eval_block(&mut self, env: &Env, stmts: &[Stmt]) -> EvalResult {
+        let scope = env.child();
+        let mut last = Value::Void;
+        for s in stmts {
+            last = self.eval_stmt(&scope, s)?;
+        }
+        Ok(last)
+    }
+
+    pub fn eval_expr(&mut self, env: &Env, expr: &Expr) -> EvalResult {
+        self.enter()?;
+        let r = self.eval_expr_inner(env, expr);
+        self.leave();
+        r
+    }
+
+    fn eval_expr_inner(&mut self, env: &Env, expr: &Expr) -> EvalResult {
+        match expr {
+            Expr::Void(_) => Ok(Value::Void),
+            Expr::Bool(b, _) => Ok(Value::Bool(*b)),
+            Expr::Num(n, _) => Ok(Value::Num(*n)),
+            Expr::Str(s, _) => Ok(Value::str(s.clone())),
+            Expr::Var(name, pos) => env.lookup(name).ok_or_else(|| {
+                ShillError::Runtime(format!("unbound variable `{name}` at {pos}"))
+            }),
+            Expr::List(items, _) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval_expr(env, e)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Fun { params, body, .. } => Ok(Value::Closure(Rc::new(Closure {
+                name: std::cell::RefCell::new(String::new()),
+                params: params.clone(),
+                body: Rc::clone(body),
+                env: env.clone(),
+            }))),
+            Expr::Contract(c, _) => Ok(Value::Contract(Rc::new((**c).clone()))),
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval_expr(env, expr)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.truthy()?)),
+                    UnOp::Neg => match v {
+                        Value::Num(n) => Ok(Value::Num(-n)),
+                        other => Err(ShillError::Runtime(format!(
+                            "cannot negate {}",
+                            other.type_name()
+                        ))),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(env, *op, lhs, rhs),
+            Expr::If { cond, then, els, .. } => {
+                let c = self.eval_expr(env, cond)?.truthy()?;
+                if c {
+                    self.eval_block(env, then)
+                } else if let Some(e) = els {
+                    self.eval_block(env, e)
+                } else {
+                    Ok(Value::Void)
+                }
+            }
+            Expr::For { var, iter, body, .. } => {
+                let it = self.eval_expr(env, iter)?;
+                let items: Vec<Value> = match it {
+                    Value::List(l) => l.iter().cloned().collect(),
+                    other => {
+                        return Err(ShillError::Runtime(format!(
+                            "for-loop expects a list, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                for item in items {
+                    let scope = env.child();
+                    scope.define(var, item)?;
+                    self.eval_block(&scope, body)?;
+                }
+                Ok(Value::Void)
+            }
+            Expr::Call { callee, args, kwargs, pos } => {
+                let f = self.eval_expr(env, callee)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval_expr(env, a)?);
+                }
+                let mut kw = Vec::with_capacity(kwargs.len());
+                for (n, e) in kwargs {
+                    kw.push((n.clone(), self.eval_expr(env, e)?));
+                }
+                self.apply(f, argv, kw).map_err(|e| match e {
+                    ShillError::Runtime(m) => ShillError::Runtime(format!("{m} (call at {pos})")),
+                    other => other,
+                })
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, env: &Env, op: BinOp, lhs: &Expr, rhs: &Expr) -> EvalResult {
+        // Short-circuit logicals.
+        match op {
+            BinOp::And => {
+                let l = self.eval_expr(env, lhs)?;
+                if !l.truthy()? {
+                    return Ok(Value::Bool(false));
+                }
+                let r = self.eval_expr(env, rhs)?;
+                return Ok(Value::Bool(r.truthy()?));
+            }
+            BinOp::Or => {
+                let l = self.eval_expr(env, lhs)?;
+                if l.truthy()? {
+                    return Ok(Value::Bool(true));
+                }
+                let r = self.eval_expr(env, rhs)?;
+                return Ok(Value::Bool(r.truthy()?));
+            }
+            _ => {}
+        }
+        let l = self.eval_expr(env, lhs)?;
+        let r = self.eval_expr(env, rhs)?;
+        let num = |v: &Value| -> Result<i64, ShillError> {
+            match v {
+                Value::Num(n) => Ok(*n),
+                other => Err(ShillError::Runtime(format!(
+                    "arithmetic on {}",
+                    other.type_name()
+                ))),
+            }
+        };
+        match op {
+            BinOp::Eq => Ok(Value::Bool(l.equals(&r))),
+            BinOp::Ne => Ok(Value::Bool(!l.equals(&r))),
+            BinOp::Lt => Ok(Value::Bool(num(&l)? < num(&r)?)),
+            BinOp::Le => Ok(Value::Bool(num(&l)? <= num(&r)?)),
+            BinOp::Gt => Ok(Value::Bool(num(&l)? > num(&r)?)),
+            BinOp::Ge => Ok(Value::Bool(num(&l)? >= num(&r)?)),
+            BinOp::Add => Ok(Value::Num(num(&l)?.wrapping_add(num(&r)?))),
+            BinOp::Sub => Ok(Value::Num(num(&l)?.wrapping_sub(num(&r)?))),
+            BinOp::Mul => Ok(Value::Num(num(&l)?.wrapping_mul(num(&r)?))),
+            BinOp::Concat => match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+                (Value::List(a), Value::List(b)) => {
+                    let mut out: Vec<Value> = a.iter().cloned().collect();
+                    out.extend(b.iter().cloned());
+                    Ok(Value::list(out))
+                }
+                _ => Err(ShillError::Runtime(format!(
+                    "++ expects two strings or two lists, got {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                ))),
+            },
+            BinOp::And | BinOp::Or => unreachable!(),
+        }
+    }
+
+    // --- application ----------------------------------------------------------
+
+    pub fn apply(&mut self, f: Value, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
+        self.enter()?;
+        let r = self.apply_inner(f, args, kwargs);
+        self.leave();
+        r
+    }
+
+    fn apply_inner(&mut self, f: Value, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
+        match f {
+            Value::Closure(c) => {
+                if args.len() != c.params.len() {
+                    return Err(ShillError::Runtime(format!(
+                        "{} expects {} arguments, got {}",
+                        c.name.borrow(),
+                        c.params.len(),
+                        args.len()
+                    )));
+                }
+                if !kwargs.is_empty() {
+                    return Err(ShillError::Runtime(format!(
+                        "{} does not accept keyword arguments",
+                        c.name.borrow()
+                    )));
+                }
+                let scope = c.env.child();
+                for (p, v) in c.params.iter().zip(args) {
+                    scope.define(p, v)?;
+                }
+                self.eval_block(&scope, &c.body)
+            }
+            Value::Contracted(cf) => self.apply_contracted(&cf, args, kwargs),
+            Value::Native(nf) => {
+                let f = &nf.f;
+                // Native functions are Rust closures that may re-enter the
+                // interpreter; clone the Rc to end the borrow.
+                let nf2 = Rc::clone(&nf);
+                let _ = f;
+                (nf2.f)(self, args, kwargs)
+            }
+            Value::Builtin(name) => builtins::call_builtin(self, name, args, kwargs),
+            other => Err(ShillError::Runtime(format!(
+                "cannot call a {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn apply_contracted(
+        &mut self,
+        cf: &ContractedFn,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> EvalResult {
+        self.profile.contract_applications += 1;
+        let fc = &cf.contract;
+        if args.len() != fc.args.len() {
+            return Err(ShillError::Violation(Violation::provider(
+                &cf.blame,
+                format!("expected {} arguments, got {}", fc.args.len(), args.len()),
+            )));
+        }
+        // Mint a fresh brand per call for polymorphic contracts (§2.4.2).
+        let mut seals = cf.seals.clone();
+        if let Some((var, bound)) = &cf.forall {
+            let brand = SealBrand::mint(var.clone(), *bound, Arc::clone(&cf.blame));
+            seals.push((var.clone(), brand));
+        }
+        // Precondition: wrap each argument. The argument's *provider* is the
+        // caller; violations of flat checks blame the caller side. Domain
+        // polarity is `cf.into_body`: values entering the guarded body seal.
+        // Named contracts resolve in the contract's defining environment.
+        let env = cf.cenv.clone();
+        let mut wrapped_args = Vec::with_capacity(args.len());
+        for (v, (argname, c)) in args.into_iter().zip(fc.args.iter()) {
+            let blame = Blame::new(
+                cf.blame.provider.clone(),
+                cf.blame.consumer.clone(),
+                format!("{argname} : {}", contract_to_string(c)),
+            );
+            wrapped_args.push(self.apply_contract(v, c, blame, &seals, &env, cf.into_body)?);
+        }
+        // Keyword arguments: check those with declared contracts.
+        let mut wrapped_kwargs = Vec::with_capacity(kwargs.len());
+        for (name, v) in kwargs {
+            let declared = fc.kwargs.iter().find(|(n, _)| *n == name).map(|(_, c)| c);
+            match declared {
+                Some(c) => {
+                    let blame = Blame::new(
+                        cf.blame.provider.clone(),
+                        cf.blame.consumer.clone(),
+                        format!("{name} = : {}", contract_to_string(c)),
+                    );
+                    wrapped_kwargs
+                        .push((name, self.apply_contract(v, c, blame, &seals, &env, cf.into_body)?));
+                }
+                None => wrapped_kwargs.push((name, v)),
+            }
+        }
+        let result = self.apply(cf.inner.clone(), wrapped_args, wrapped_kwargs)?;
+        // Postcondition: the function is the provider of the result; range
+        // polarity is the flip of the domain's.
+        let blame = Blame::new(
+            cf.blame.consumer.clone(),
+            cf.blame.provider.clone(),
+            contract_to_string(&fc.result),
+        );
+        self.apply_contract(result, &fc.result, blame, &seals, &env, !cf.into_body)
+    }
+
+    // --- contract application ---------------------------------------------------
+
+    /// Check whether a value passes `c`'s first-order (immediate) test —
+    /// used to select a disjunct of an `Or` contract.
+    #[allow(clippy::only_used_in_recursion)]
+    fn first_order(&mut self, v: &Value, c: &ContractExpr, seals: &[(String, Arc<SealBrand>)], env: &Env) -> bool {
+        // See through seals for kind queries.
+        let v = match v {
+            Value::Sealed { inner, .. } => inner,
+            other => other,
+        };
+        match c {
+            ContractExpr::IsFile | ContractExpr::File(_) => {
+                matches!(v, Value::Cap(cap) if cap.is_file())
+            }
+            ContractExpr::IsDir | ContractExpr::Dir(_) => {
+                matches!(v, Value::Cap(cap) if cap.is_dir())
+            }
+            ContractExpr::IsPipe => {
+                matches!(v, Value::Cap(cap) if cap.kind() == shill_cap::CapKind::PipeEnd)
+            }
+            ContractExpr::Socket(_) => {
+                matches!(v, Value::Cap(cap) if cap.kind() == shill_cap::CapKind::Socket)
+            }
+            ContractExpr::PipeFactory => {
+                matches!(v, Value::Cap(cap) if cap.kind() == shill_cap::CapKind::PipeFactory)
+            }
+            ContractExpr::SocketFactory(_) => {
+                matches!(v, Value::Cap(cap) if cap.kind() == shill_cap::CapKind::SocketFactory)
+            }
+            ContractExpr::IsBool => matches!(v, Value::Bool(_)),
+            ContractExpr::IsNum => matches!(v, Value::Num(_)),
+            ContractExpr::IsString => matches!(v, Value::Str(_)),
+            ContractExpr::IsList => matches!(v, Value::List(_)),
+            ContractExpr::IsFun | ContractExpr::Func(_) | ContractExpr::Forall { .. } => {
+                v.is_callable()
+            }
+            ContractExpr::Void => matches!(v, Value::Void),
+            ContractExpr::Any => true,
+            ContractExpr::NativeWallet => {
+                matches!(v, Value::Wallet(w) if w.kind == "native")
+            }
+            ContractExpr::Wallet => matches!(v, Value::Wallet(_)),
+            ContractExpr::Or(cs) => cs.iter().any(|c| self.first_order(v, c, seals, env)),
+            ContractExpr::And(cs) => cs.iter().all(|c| self.first_order(v, c, seals, env)),
+            ContractExpr::Var(_) => matches!(v, Value::Cap(_) | Value::Sealed { .. }),
+            ContractExpr::Named(name) => match env.lookup(name) {
+                Some(Value::Contract(inner)) => self.first_order(v, &inner, seals, env),
+                Some(f) if f.is_callable() => true, // predicate: decided at apply
+                _ => false,
+            },
+            ContractExpr::Predicate(_) => true,
+        }
+    }
+
+    /// Apply a contract to a value: flat checks verify, capability contracts
+    /// wrap with guards, function contracts wrap with [`ContractedFn`],
+    /// `forall` variables seal (`positive`) or unseal (`!positive`).
+    pub fn apply_contract(
+        &mut self,
+        v: Value,
+        c: &ContractExpr,
+        blame: Arc<Blame>,
+        seals: &[(String, Arc<SealBrand>)],
+        env: &Env,
+        positive: bool,
+    ) -> EvalResult {
+        self.profile.contract_applications += 1;
+        let fail = |msg: String| -> ShillError {
+            ShillError::Violation(Violation::provider(&blame, msg))
+        };
+        match c {
+            ContractExpr::Any => Ok(v),
+            ContractExpr::Void => match v {
+                Value::Void => Ok(Value::Void),
+                other => Err(fail(format!("expected void, got {}", other.type_name()))),
+            },
+            ContractExpr::IsBool
+            | ContractExpr::IsNum
+            | ContractExpr::IsString
+            | ContractExpr::IsList
+            | ContractExpr::IsFun
+            | ContractExpr::IsFile
+            | ContractExpr::IsDir
+            | ContractExpr::IsPipe => {
+                if self.first_order(&v, c, seals, env) {
+                    Ok(v)
+                } else {
+                    Err(fail(format!(
+                        "value of type {} does not satisfy {}",
+                        v.type_name(),
+                        contract_to_string(c)
+                    )))
+                }
+            }
+            ContractExpr::File(privs) | ContractExpr::Dir(privs) | ContractExpr::Socket(privs) => {
+                if !self.first_order(&v, c, seals, env) {
+                    return Err(fail(format!(
+                        "value of type {} does not satisfy {}",
+                        v.type_name(),
+                        contract_to_string(c)
+                    )));
+                }
+                match v {
+                    Value::Cap(cap) => {
+                        self.profile.guard_checks += 1;
+                        Ok(Value::Cap(Rc::new(
+                            cap.restrict(Arc::new(privs.clone()), Arc::clone(&blame)),
+                        )))
+                    }
+                    Value::Sealed { .. } => Err(fail(
+                        "cannot apply a capability contract to a sealed value".into(),
+                    )),
+                    _ => unreachable!("first_order checked"),
+                }
+            }
+            ContractExpr::PipeFactory => {
+                if self.first_order(&v, c, seals, env) {
+                    Ok(v)
+                } else {
+                    Err(fail("expected a pipe factory".into()))
+                }
+            }
+            ContractExpr::SocketFactory(privs) => match v {
+                Value::Cap(cap) if cap.kind() == shill_cap::CapKind::SocketFactory => {
+                    let mut cp = shill_cap::CapPrivs::of(*privs);
+                    cp.privs.insert(shill_cap::Priv::SockCreate);
+                    Ok(Value::Cap(Rc::new(cap.restrict(Arc::new(cp), Arc::clone(&blame)))))
+                }
+                other => Err(fail(format!(
+                    "expected a socket factory, got {}",
+                    other.type_name()
+                ))),
+            },
+            ContractExpr::NativeWallet | ContractExpr::Wallet => {
+                if self.first_order(&v, c, seals, env) {
+                    Ok(v)
+                } else {
+                    Err(fail(format!(
+                        "expected a {} wallet, got {}",
+                        if matches!(c, ContractExpr::NativeWallet) { "native" } else { "" },
+                        v.type_name()
+                    )))
+                }
+            }
+            ContractExpr::And(cs) => {
+                let mut out = v;
+                for c in cs {
+                    out = self.apply_contract(out, c, Arc::clone(&blame), seals, env, positive)?;
+                }
+                Ok(out)
+            }
+            ContractExpr::Or(cs) => {
+                for branch in cs {
+                    if self.first_order(&v, branch, seals, env) {
+                        return self.apply_contract(v, branch, blame, seals, env, positive);
+                    }
+                }
+                Err(fail(format!(
+                    "value of type {} matches no branch of {}",
+                    v.type_name(),
+                    contract_to_string(c)
+                )))
+            }
+            ContractExpr::Func(fc) => {
+                if !v.is_callable() {
+                    return Err(fail(format!("expected a function, got {}", v.type_name())));
+                }
+                // Polarity flips at each function-contract nesting: a
+                // function received as an *argument* (positive context) is
+                // called by the body, sending values back out — so its
+                // wrapper's domain unseals, and the contractual parties
+                // swap (standard higher-order blame).
+                Ok(Value::Contracted(Rc::new(ContractedFn {
+                    inner: v,
+                    contract: Rc::clone(fc),
+                    forall: None,
+                    blame: if positive { blame.swapped() } else { blame },
+                    seals: seals.to_vec(),
+                    into_body: !positive,
+                    cenv: env.clone(),
+                })))
+            }
+            ContractExpr::Forall { var, bound, body } => {
+                let ContractExpr::Func(fc) = &**body else {
+                    return Err(fail("forall must wrap a function contract".into()));
+                };
+                if !v.is_callable() {
+                    return Err(fail(format!("expected a function, got {}", v.type_name())));
+                }
+                Ok(Value::Contracted(Rc::new(ContractedFn {
+                    inner: v,
+                    contract: Rc::clone(fc),
+                    forall: Some((var.clone(), *bound)),
+                    blame: if positive { blame.swapped() } else { blame },
+                    seals: seals.to_vec(),
+                    into_body: !positive,
+                    cenv: env.clone(),
+                })))
+            }
+            ContractExpr::Var(name) => {
+                let Some((_, brand)) = seals.iter().rev().find(|(n, _)| n == name) else {
+                    return Err(fail(format!("unbound contract variable {name}")));
+                };
+                if positive {
+                    // Value flows INTO the guarded component: seal it.
+                    match &v {
+                        Value::Cap(_) | Value::Sealed { .. } => Ok(Value::Sealed {
+                            brand: Arc::clone(brand),
+                            inner: Rc::new(v),
+                        }),
+                        other => Err(fail(format!(
+                            "contract variable {name} expects a capability, got {}",
+                            other.type_name()
+                        ))),
+                    }
+                } else {
+                    // Value flows OUT to a context that bound X: unseal.
+                    match v {
+                        Value::Sealed { brand: b, inner } if b.same(brand) => {
+                            Ok((*inner).clone())
+                        }
+                        Value::Sealed { brand: b, .. } => Err(ShillError::Violation(
+                            Violation::consumer(
+                                &blame,
+                                format!(
+                                    "sealed value of {} leaked into context expecting {}",
+                                    b.var, name
+                                ),
+                            ),
+                        )),
+                        other => Ok(other), // unsealed values pass through
+                    }
+                }
+            }
+            ContractExpr::Named(name) => match env.lookup(name) {
+                Some(Value::Contract(inner)) => {
+                    self.apply_contract(v, &inner, blame, seals, env, positive)
+                }
+                Some(f) if f.is_callable() => {
+                    // User-defined predicate (§2.4.2: "user-defined
+                    // predicates written in SHILL itself").
+                    let verdict = self.apply(f, vec![v.clone()], vec![])?;
+                    match verdict {
+                        Value::Bool(true) => Ok(v),
+                        Value::Bool(false) => {
+                            Err(fail(format!("predicate `{name}` rejected the value")))
+                        }
+                        other => Err(ShillError::Runtime(format!(
+                            "predicate `{name}` returned {}, expected a boolean",
+                            other.type_name()
+                        ))),
+                    }
+                }
+                _ => Err(ShillError::Runtime(format!("unknown contract `{name}`"))),
+            },
+            ContractExpr::Predicate(name) => {
+                let f = env
+                    .lookup(name)
+                    .ok_or_else(|| ShillError::Runtime(format!("unknown predicate `{name}`")))?;
+                let verdict = self.apply(f, vec![v.clone()], vec![])?;
+                match verdict {
+                    Value::Bool(true) => Ok(v),
+                    _ => Err(fail(format!("predicate `{name}` rejected the value"))),
+                }
+            }
+        }
+    }
+
+    // --- helpers shared with builtins ------------------------------------------
+
+    /// Unwrap a (possibly multiply) sealed capability, checking that every
+    /// brand's bound allows `needed`. Returns the inner guarded capability
+    /// and the brand chain for re-sealing derived capabilities.
+    pub fn unseal_for(
+        &mut self,
+        v: &Value,
+        needed: shill_cap::Priv,
+    ) -> Result<(Rc<GuardedCap>, Vec<Arc<SealBrand>>), ShillError> {
+        let mut brands = Vec::new();
+        let mut cur = v.clone();
+        loop {
+            match cur {
+                Value::Sealed { brand, inner } => {
+                    if !brand.bound.contains(needed) {
+                        return Err(ShillError::Violation(Violation::consumer(
+                            &brand.blame,
+                            format!(
+                                "operation {needed} is outside the bound of contract variable {}",
+                                brand.var
+                            ),
+                        )));
+                    }
+                    brands.push(brand);
+                    cur = (*inner).clone();
+                }
+                Value::Cap(cap) => {
+                    self.profile.guard_checks += 1;
+                    return Ok((cap, brands));
+                }
+                other => {
+                    return Err(ShillError::Runtime(format!(
+                        "expected a capability, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Re-seal a derived capability with a brand chain (outermost last).
+    pub fn reseal(mut v: Value, brands: Vec<Arc<SealBrand>>) -> Value {
+        for brand in brands.into_iter().rev() {
+            v = Value::Sealed { brand, inner: Rc::new(v) };
+        }
+        v
+    }
+
+    /// The socket-factory privileges of a capability (used by `exec`).
+    pub fn socket_factory_privs(cap: &GuardedCap) -> PrivSet {
+        let eff = cap.effective_privs();
+        let mut out = PrivSet::EMPTY;
+        for p in shill_cap::privs::socket_privs() {
+            if eff.allows(*p) {
+                out.insert(*p);
+            }
+        }
+        out
+    }
+}

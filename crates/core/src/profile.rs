@@ -1,0 +1,71 @@
+//! Runtime profiling instrumentation.
+//!
+//! Figure 10 of the paper breaks script time into: total, "Racket startup"
+//! (here: runtime + stdlib initialization and script compilation), sandbox
+//! setup, sandboxed execution, and "remaining time" (script evaluation
+//! including contract checking). The runtime accumulates the same buckets.
+
+use std::time::Duration;
+
+/// Accumulated phase timings and counters for one runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profile {
+    /// Runtime construction + stdlib installation + script parsing.
+    pub startup: Duration,
+    /// Time spent forking/granting/entering sandboxes (the `exec` builtin's
+    /// setup path).
+    pub sandbox_setup: Duration,
+    /// Time spent inside sandboxed executables.
+    pub sandboxed_exec: Duration,
+    /// Wall-clock total of `run` calls.
+    pub total: Duration,
+    /// Number of sandboxes created (Figure 10 discussion: Grading creates
+    /// 5,371; Find 15,292).
+    pub sandboxes: u64,
+    /// Contract applications performed (wrap-time).
+    pub contract_applications: u64,
+    /// Guard checks performed (operation-time).
+    pub guard_checks: u64,
+}
+
+impl Profile {
+    /// "Remaining time": script evaluation including contract checking —
+    /// computed exactly as the paper does, by subtraction.
+    pub fn remaining(&self) -> Duration {
+        self.total
+            .saturating_sub(self.startup)
+            .saturating_sub(self.sandbox_setup)
+            .saturating_sub(self.sandboxed_exec)
+    }
+
+    pub fn reset(&mut self) {
+        *self = Profile::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_is_total_minus_phases() {
+        let p = Profile {
+            startup: Duration::from_millis(100),
+            sandbox_setup: Duration::from_millis(200),
+            sandboxed_exec: Duration::from_millis(300),
+            total: Duration::from_millis(1000),
+            ..Default::default()
+        };
+        assert_eq!(p.remaining(), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn remaining_saturates() {
+        let p = Profile {
+            startup: Duration::from_millis(100),
+            total: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert_eq!(p.remaining(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,255 @@
+//! Runtime values.
+//!
+//! Capability safety at the value level (§2.1): there is no constructor from
+//! strings to capabilities, capabilities have no serialized form
+//! (`to_display` renders an opaque token), and the interpreter offers no
+//! mutable variables — so "SHILL scripts cannot store or share capabilities
+//! through memory, the filesystem, or the network".
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use shill_contracts::{Blame, GuardedCap, SealBrand, Violation};
+use shill_vfs::Errno;
+
+use crate::ast::{FuncContract, Stmt};
+use crate::env::Env;
+
+/// A user-defined function.
+pub struct Closure {
+    /// Name for blame and diagnostics (binding name or `<anonymous>`).
+    pub name: RefCell<String>,
+    pub params: Vec<String>,
+    pub body: Rc<Vec<Stmt>>,
+    pub env: Env,
+}
+
+/// A function contract wrapper around a callable value.
+pub struct ContractedFn {
+    pub inner: Value,
+    pub contract: Rc<FuncContract>,
+    /// `forall` information: variable name and privilege bound, if present.
+    pub forall: Option<(String, shill_cap::PrivSet)>,
+    pub blame: Arc<Blame>,
+    /// Contract-variable bindings captured when this wrapper was itself
+    /// created inside a polymorphic instantiation.
+    pub seals: Vec<(String, Arc<SealBrand>)>,
+    /// Polarity: `true` when calling this wrapper sends arguments *into*
+    /// the component the contract guards (so `forall` variables in the
+    /// domain seal); flips at each function-contract nesting (§2.4.2).
+    pub into_body: bool,
+    /// The environment the contract was written in: named contract
+    /// abbreviations and user-defined predicates resolve here at call time.
+    pub cenv: Env,
+}
+
+/// Native (Rust-implemented) function, e.g. the wrapper `pkg_native`
+/// returns. Receives evaluated positional and keyword arguments.
+pub type NativeFnImpl =
+    dyn Fn(&mut crate::eval::Interp, Vec<Value>, Vec<(String, Value)>) -> Result<Value, ShillError>;
+
+pub struct NativeFn {
+    pub name: String,
+    pub f: Box<NativeFnImpl>,
+}
+
+/// A capability wallet (§2.4.1): "a map from strings to lists of
+/// capabilities". `kind` distinguishes native wallets (built by
+/// `populate_native_wallet`) for the `native_wallet` contract.
+pub struct Wallet {
+    pub kind: String,
+    pub map: RefCell<BTreeMap<String, Vec<Value>>>,
+}
+
+/// Runtime values.
+#[derive(Clone)]
+pub enum Value {
+    Void,
+    Bool(bool),
+    Num(i64),
+    Str(Rc<String>),
+    List(Rc<Vec<Value>>),
+    /// A capability (possibly contract-guarded).
+    Cap(Rc<GuardedCap>),
+    /// A sealed capability inside a polymorphic function body (§2.4.2).
+    Sealed { brand: Arc<SealBrand>, inner: Rc<Value> },
+    Closure(Rc<Closure>),
+    Contracted(Rc<ContractedFn>),
+    Native(Rc<NativeFn>),
+    /// A builtin, by name (dispatched in `builtins.rs`).
+    Builtin(&'static str),
+    /// A first-class contract value (user-defined abbreviations).
+    Contract(Rc<crate::ast::ContractExpr>),
+    Wallet(Rc<Wallet>),
+    /// A system error produced by a capability operation; scripts observe
+    /// these with `is_syserror` (paper Figure 3 line 11).
+    SysErr(Errno),
+}
+
+/// Top-level script errors.
+#[derive(Debug)]
+pub enum ShillError {
+    Parse(crate::parse::ParseError),
+    /// Contract violation: aborts execution with blame (§2.2).
+    Violation(Violation),
+    /// Unrecoverable system error escaping the runtime.
+    Sys(Errno),
+    /// Other runtime errors (unbound variable, arity, type errors...).
+    Runtime(String),
+}
+
+impl fmt::Display for ShillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShillError::Parse(e) => write!(f, "{e}"),
+            ShillError::Violation(v) => write!(f, "{v}"),
+            ShillError::Sys(e) => write!(f, "system error: {e}"),
+            ShillError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShillError {}
+
+impl From<Violation> for ShillError {
+    fn from(v: Violation) -> Self {
+        ShillError::Violation(v)
+    }
+}
+
+impl From<crate::parse::ParseError> for ShillError {
+    fn from(e: crate::parse::ParseError) -> Self {
+        ShillError::Parse(e)
+    }
+}
+
+pub type EvalResult = Result<Value, ShillError>;
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Void => "void",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Cap(_) => "capability",
+            Value::Sealed { .. } => "sealed capability",
+            Value::Closure(_) | Value::Contracted(_) | Value::Native(_) | Value::Builtin(_) => {
+                "function"
+            }
+            Value::Contract(_) => "contract",
+            Value::Wallet(_) => "wallet",
+            Value::SysErr(_) => "syserror",
+        }
+    }
+
+    pub fn is_callable(&self) -> bool {
+        matches!(
+            self,
+            Value::Closure(_) | Value::Contracted(_) | Value::Native(_) | Value::Builtin(_)
+        )
+    }
+
+    pub fn truthy(&self) -> Result<bool, ShillError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ShillError::Runtime(format!(
+                "expected a boolean condition, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Structural equality for `==`. Capabilities compare by identity-ish
+    /// (same underlying node); functions are never equal.
+    pub fn equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Void, Value::Void) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::SysErr(a), Value::SysErr(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equals(y))
+            }
+            (Value::Cap(a), Value::Cap(b)) => match (a.raw.node, b.raw.node) {
+                (Some(x), Some(y)) => x == y,
+                _ => Rc::ptr_eq(a, b),
+            },
+            _ => false,
+        }
+    }
+
+    /// Rendering for `to_string`/output. Capabilities render opaquely: they
+    /// are deliberately not serializable.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Void => "void".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => n.to_string(),
+            Value::Str(s) => (**s).clone(),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(|v| v.display()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Cap(c) => format!("<capability {}>", c.name()),
+            Value::Sealed { brand, .. } => format!("<sealed {}>", brand.var),
+            Value::Closure(c) => format!("<fun {}>", c.name.borrow()),
+            Value::Contracted(c) => format!("<contracted fun via {}>", c.blame.contract),
+            Value::Native(n) => format!("<native {}>", n.name),
+            Value::Builtin(n) => format!("<builtin {n}>"),
+            Value::Contract(c) => format!("<contract {}>", crate::ast::contract_to_string(c)),
+            Value::Wallet(w) => format!("<{} wallet>", w.kind),
+            Value::SysErr(e) => format!("<syserror {}>", e.name()),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_caps_opaquely() {
+        // No constructor from strings: the only way to get a Cap is via the
+        // ambient runtime. Here we just check non-cap rendering.
+        assert_eq!(Value::Num(42).display(), "42");
+        assert_eq!(Value::str("hi").display(), "hi");
+        assert_eq!(
+            Value::list(vec![Value::Num(1), Value::Bool(true)]).display(),
+            "[1, true]"
+        );
+        assert_eq!(Value::SysErr(Errno::ENOENT).display(), "<syserror ENOENT>");
+    }
+
+    #[test]
+    fn equality_is_structural_for_data() {
+        assert!(Value::list(vec![Value::Num(1)]).equals(&Value::list(vec![Value::Num(1)])));
+        assert!(!Value::str("a").equals(&Value::str("b")));
+        assert!(!Value::Num(1).equals(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn truthiness_requires_bool() {
+        assert!(Value::Bool(true).truthy().unwrap());
+        assert!(Value::Num(1).truthy().is_err());
+    }
+}

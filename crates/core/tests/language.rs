@@ -1,0 +1,552 @@
+//! End-to-end tests of the SHILL language: evaluation, capability safety,
+//! contracts with blame, polymorphic sealing, wallets, and sandboxed exec.
+//! The paper's Figures 3–6 run here as executable programs.
+
+use std::sync::Arc;
+
+use shill_core::{RuntimeConfig, ShillError, ShillRuntime, Value};
+use shill_kernel::{Fd, Kernel, OpenFlags, Pid};
+use shill_vfs::{Cred, Gid, Mode, Uid};
+
+/// A kernel with a small home tree and a couple of simulated binaries.
+fn test_kernel() -> Kernel {
+    let mut k = Kernel::new();
+    k.fs.put_file("/home/u/pics/dog.jpg", b"JPGDATA", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file("/home/u/pics/cat.jpg", b"JPGCAT", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file("/home/u/pics/readme.txt", b"text", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file("/home/u/pics/deep/bird.jpg", b"JPGBIRD", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file("/home/u/out.txt", b"", Mode(0o644), Uid(100), Gid(100)).unwrap();
+
+    // Simulated jpeginfo: writes info about its -i argument to stdout.
+    k.register_exec(
+        "jpeginfo",
+        Arc::new(|k: &mut Kernel, pid: Pid, argv: &[String]| {
+            let file = argv.iter().skip(1).find(|a| !a.starts_with('-'));
+            let Some(file) = file else { return 2 };
+            let fd = match k.open(pid, file, OpenFlags::RDONLY, Mode(0)) {
+                Ok(fd) => fd,
+                Err(_) => return 1,
+            };
+            let data = k.read(pid, fd, 1 << 20).unwrap_or_default();
+            let _ = k.close(pid, fd);
+            let msg = format!("{file}: {} bytes\n", data.len());
+            if k.write(pid, Fd::STDOUT, msg.as_bytes()).is_err() {
+                return 1;
+            }
+            0
+        }),
+    );
+    k.fs.put_file(
+        "/usr/local/bin/jpeginfo",
+        b"#!SIMBIN jpeginfo\nNEEDS /lib/libc.so\nNEEDS /lib/libjpeg.so\n",
+        Mode(0o755),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    k.fs.put_file("/lib/libc.so", b"LIBC", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/lib/libjpeg.so", b"LIBJPEG", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k
+}
+
+fn runtime() -> ShillRuntime {
+    ShillRuntime::new(test_kernel(), RuntimeConfig::WithPolicy, Cred::user(100))
+}
+
+// --- basic evaluation ---------------------------------------------------------
+
+#[test]
+fn arithmetic_and_strings() {
+    let mut rt = runtime();
+    let v = rt.run_ok("#lang shill/ambient\nx = 2 + 3 * 4;\nto_string(x)");
+    assert!(matches!(v, Value::Str(s) if *s == "14"));
+    let v = rt.run("main2", "#lang shill/ambient\ns = \"a\" ++ \"b\";\ns").unwrap();
+    assert!(matches!(v, Value::Str(s) if *s == "ab"));
+}
+
+#[test]
+fn closures_and_recursion_in_cap_scripts() {
+    let mut rt = runtime();
+    rt.add_script(
+        "fact.cap",
+        "#lang shill/cap\nfact = fun(n) { if n <= 1 then 1 else n * fact(n - 1) };\nprovide fact : {n : is_num} -> is_num;",
+    );
+    let v = rt.run_ok("#lang shill/ambient\nrequire \"fact.cap\";\nfact(6)");
+    assert!(matches!(v, Value::Num(720)));
+}
+
+#[test]
+fn prelude_helpers_available() {
+    let mut rt = runtime();
+    rt.add_script(
+        "uses_prelude.cap",
+        r#"#lang shill/cap
+require "shill/prelude";
+inc_all = fun(xs) { map(fun(x) { x + 1 }, xs) };
+provide inc_all : {xs : is_list} -> is_list;
+"#,
+    );
+    let v = rt.run_ok(
+        "#lang shill/ambient\nrequire \"uses_prelude.cap\";\nys = inc_all([1, 2, 3]);\nnth(ys, 2)",
+    );
+    assert!(matches!(v, Value::Num(4)));
+}
+
+#[test]
+fn immutability_enforced() {
+    let mut rt = runtime();
+    let err = rt.run("main", "#lang shill/ambient\nx = 1;\nx = 2;").unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("immutable"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn ambient_cannot_use_control_flow() {
+    let mut rt = runtime();
+    assert!(matches!(
+        rt.run("main", "#lang shill/ambient\nif true then 1;"),
+        Err(ShillError::Parse(_))
+    ));
+}
+
+#[test]
+fn cap_scripts_lack_ambient_builtins() {
+    let mut rt = runtime();
+    rt.add_script(
+        "sneaky.cap",
+        "#lang shill/cap\nsteal = fun() { open_file(\"/home/u/out.txt\") };\nprovide steal : {} -> any;",
+    );
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"sneaky.cap\";\nsteal();")
+        .unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("unbound variable `open_file`"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn require_rejects_ambient_modules() {
+    let mut rt = runtime();
+    rt.add_script("amb", "#lang shill/ambient\nx = 1;");
+    let err = rt.run("main", "#lang shill/ambient\nrequire \"amb\";").unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("capability-safe"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+// --- figure 3: find_jpg -------------------------------------------------------
+
+const FIND_JPG: &str = r#"#lang shill/cap
+
+provide find_jpg :
+  {cur : dir(+contents, +lookup, +path) \/ file(+path),
+   out : file(+append)} -> void;
+
+find_jpg = fun(cur, out) {
+  if is_file(cur) && has_ext(cur, "jpg") then
+    append(out, path(cur) ++ "\n");
+
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find_jpg(child, out);
+    }
+}
+"#;
+
+#[test]
+fn figure3_find_jpg_end_to_end() {
+    let mut rt = runtime();
+    rt.add_script("find_jpg.cap", FIND_JPG);
+    rt.run_ok(
+        r#"#lang shill/ambient
+require "find_jpg.cap";
+pics = open_dir("/home/u/pics");
+out = open_file("/home/u/out.txt");
+find_jpg(pics, out);
+"#,
+    );
+    let node = rt.kernel().fs.resolve_abs("/home/u/out.txt").unwrap();
+    let content = rt.kernel().fs.read(node, 0, 4096).unwrap();
+    let text = String::from_utf8(content).unwrap();
+    assert!(text.contains("/home/u/pics/dog.jpg"));
+    assert!(text.contains("/home/u/pics/cat.jpg"));
+    assert!(text.contains("/home/u/pics/deep/bird.jpg"));
+    assert!(!text.contains("readme.txt"));
+}
+
+#[test]
+fn find_jpg_contract_blocks_reading_out() {
+    // A malicious variant that tries to *read* the output capability,
+    // which the contract only grants +append on.
+    let mut rt = runtime();
+    rt.add_script(
+        "evil.cap",
+        r#"#lang shill/cap
+provide evil :
+  {cur : dir(+contents, +lookup, +path) \/ file(+path),
+   out : file(+append)} -> void;
+evil = fun(cur, out) { read(out); }
+"#,
+    );
+    let err = rt
+        .run(
+            "main",
+            r#"#lang shill/ambient
+require "evil.cap";
+pics = open_dir("/home/u/pics");
+out = open_file("/home/u/out.txt");
+evil(pics, out);
+"#,
+        )
+        .unwrap_err();
+    match err {
+        ShillError::Violation(v) => {
+            assert!(v.blamed_name.contains("evil"), "consumer blamed: {v}");
+            assert!(v.message.contains("+read"), "{v}");
+        }
+        other => panic!("expected violation, got {other}"),
+    }
+}
+
+#[test]
+fn find_jpg_contract_blocks_unlink_on_derived() {
+    // Derived children inherit the contract: unlink is not granted.
+    let mut rt = runtime();
+    rt.add_script(
+        "evil2.cap",
+        r#"#lang shill/cap
+provide evil2 : {cur : dir(+contents, +lookup)} -> void;
+evil2 = fun(cur) {
+  for name in contents(cur) {
+    unlink_file(cur, name);
+  }
+}
+"#,
+    );
+    let err = rt
+        .run(
+            "main",
+            r#"#lang shill/ambient
+require "evil2.cap";
+pics = open_dir("/home/u/pics");
+evil2(pics);
+"#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ShillError::Violation(_)));
+    // Nothing was deleted.
+    assert!(rt.kernel().fs.resolve_abs("/home/u/pics/dog.jpg").is_ok());
+}
+
+#[test]
+fn provider_blamed_for_wrong_kind() {
+    let mut rt = runtime();
+    rt.add_script(
+        "wants_dir.cap",
+        "#lang shill/cap\nf = fun(d) { contents(d) };\nprovide f : {d : is_dir} -> any;",
+    );
+    let err = rt
+        .run(
+            "main",
+            r#"#lang shill/ambient
+require "wants_dir.cap";
+file = open_file("/home/u/out.txt");
+f(file);
+"#,
+        )
+        .unwrap_err();
+    match err {
+        ShillError::Violation(v) => {
+            // The caller (provider of the argument) is blamed.
+            assert!(v.blamed_name.contains("client of"), "{v}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+// --- figure 5: polymorphic find -----------------------------------------------
+
+const POLY_FIND: &str = r#"#lang shill/cap
+
+provide find :
+  forall X with {+lookup, +contents} .
+  {cur : X, filter : X -> is_bool, cmd : X -> void} -> void;
+
+find = fun(cur, filter, cmd) {
+  if is_file(cur) && filter(cur) then
+    cmd(cur);
+
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find(child, filter, cmd);
+    }
+}
+"#;
+
+#[test]
+fn figure5_polymorphic_find_works() {
+    let mut rt = runtime();
+    rt.add_script("find.cap", POLY_FIND);
+    rt.add_script(
+        "client.cap",
+        r#"#lang shill/cap
+require "find.cap";
+provide run_it : {root : dir(+contents, +lookup, +path, +stat) \/ file(+path, +stat), out : file(+append)} -> void;
+run_it = fun(root, out) {
+  find(root,
+       fun(f) { has_ext(f, "jpg") },
+       fun(f) { append(out, path(f) ++ "\n"); });
+}
+"#,
+    );
+    rt.run_ok(
+        r#"#lang shill/ambient
+require "client.cap";
+pics = open_dir("/home/u/pics");
+out = open_file("/home/u/out.txt");
+run_it(pics, out);
+"#,
+    );
+    let node = rt.kernel().fs.resolve_abs("/home/u/out.txt").unwrap();
+    let text = String::from_utf8(rt.kernel().fs.read(node, 0, 4096).unwrap()).unwrap();
+    assert!(text.contains("dog.jpg"));
+    assert!(text.contains("bird.jpg"));
+    assert!(!text.contains("readme"));
+}
+
+#[test]
+fn polymorphic_find_body_cannot_exceed_bound() {
+    // A dishonest `find` that tries to use +path on the sealed argument —
+    // outside the forall bound {+lookup, +contents}.
+    let mut rt = runtime();
+    rt.add_script(
+        "badfind.cap",
+        r#"#lang shill/cap
+provide find :
+  forall X with {+lookup, +contents} .
+  {cur : X, filter : X -> is_bool, cmd : X -> void} -> void;
+find = fun(cur, filter, cmd) {
+  display(path(cur));
+}
+"#,
+    );
+    let err = rt
+        .run(
+            "main",
+            r#"#lang shill/ambient
+require "badfind.cap";
+pics = open_dir("/home/u/pics");
+find(pics, is_file, is_file);
+"#,
+        )
+        .unwrap_err();
+    match err {
+        ShillError::Violation(v) => {
+            assert!(v.message.contains("+path"), "{v}");
+            assert!(v.message.contains('X'), "{v}");
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn polymorphic_filter_gets_unsealed_value() {
+    // The filter may use privileges beyond the bound (here +stat via
+    // stat_size) because X unseals on the way out to it (§2.4.2).
+    let mut rt = runtime();
+    rt.add_script("find.cap", POLY_FIND);
+    rt.add_script(
+        "client.cap",
+        r#"#lang shill/cap
+require "find.cap";
+provide count_nonempty : {root : dir(+contents, +lookup, +stat) \/ file(+stat), out : file(+append)} -> void;
+count_nonempty = fun(root, out) {
+  find(root,
+       fun(f) { stat_size(f) > 0 },
+       fun(f) { append(out, "hit\n"); });
+}
+"#,
+    );
+    rt.run_ok(
+        r#"#lang shill/ambient
+require "client.cap";
+pics = open_dir("/home/u/pics");
+out = open_file("/home/u/out.txt");
+count_nonempty(pics, out);
+"#,
+    );
+    let node = rt.kernel().fs.resolve_abs("/home/u/out.txt").unwrap();
+    let text = String::from_utf8(rt.kernel().fs.read(node, 0, 4096).unwrap()).unwrap();
+    // 4 files, all non-empty.
+    assert_eq!(text.matches("hit").count(), 4);
+}
+
+// --- figures 4 & 6: jpeginfo with wallets and sandboxed exec --------------------
+
+const JPEGINFO_CAP: &str = r#"#lang shill/cap
+require shill/native;
+
+provide jpeginfo :
+  {wallet : native_wallet, out : file(+write, +append),
+   arg : file(+read, +path)} -> void;
+
+jpeginfo = fun(wallet, out, arg) {
+  jpeg_wrapper = pkg_native("jpeginfo", wallet);
+  jpeg_wrapper(["-i", arg], stdout = out);
+}
+"#;
+
+const JPEGINFO_AMBIENT: &str = r#"#lang shill/ambient
+require shill/native;
+require "jpeginfo.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root, "/usr/local/bin", "/lib", pipe_factory);
+
+dog = open_file("/home/u/pics/dog.jpg");
+out = open_file("/home/u/out.txt");
+jpeginfo(wallet, out, dog);
+"#;
+
+#[test]
+fn figure4_and_6_jpeginfo_sandboxed() {
+    let mut rt = runtime();
+    rt.add_script("jpeginfo.cap", JPEGINFO_CAP);
+    rt.run_ok(JPEGINFO_AMBIENT);
+    let node = rt.kernel().fs.resolve_abs("/home/u/out.txt").unwrap();
+    let text = String::from_utf8(rt.kernel().fs.read(node, 0, 4096).unwrap()).unwrap();
+    assert!(text.contains("/home/u/pics/dog.jpg: 7 bytes"), "{text}");
+    // Exactly one sandbox was created.
+    assert_eq!(rt.profile().sandboxes, 1);
+    assert!(rt.profile().contract_applications > 0);
+}
+
+#[test]
+fn sandboxed_jpeginfo_cannot_read_ungranted_file() {
+    // Pass a path *string* for a file the sandbox has no capability for:
+    // the sandboxed binary must fail to open it.
+    let mut rt = runtime();
+    rt.add_script("jpeginfo.cap", JPEGINFO_CAP);
+    rt.add_script(
+        "sneaky.cap",
+        r#"#lang shill/cap
+require shill/native;
+provide sneak : {wallet : native_wallet, out : file(+write, +append)} -> any;
+sneak = fun(wallet, out) {
+  w = pkg_native("jpeginfo", wallet);
+  w(["-i", "/home/u/pics/cat.jpg"], stdout = out)
+}
+"#,
+    );
+    let v = rt.run_ok(
+        r#"#lang shill/ambient
+require "sneaky.cap";
+require shill/native;
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root, "/usr/local/bin", "/lib", pipe_factory);
+out = open_file("/home/u/out.txt");
+sneak(wallet, out)
+"#,
+    );
+    // jpeginfo exits 1: open of the un-granted path failed inside the
+    // sandbox (traversal root is lookup-only; no +read propagates).
+    assert!(matches!(v, Value::Num(1)), "got {v:?}");
+}
+
+#[test]
+fn exec_without_policy_module_fails() {
+    let mut rt = ShillRuntime::new(test_kernel(), RuntimeConfig::NoPolicy, Cred::user(100));
+    rt.add_script("jpeginfo.cap", JPEGINFO_CAP);
+    let err = rt.run("main", JPEGINFO_AMBIENT).unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("kernel module"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+// --- wallets -------------------------------------------------------------------
+
+#[test]
+fn wallet_contract_enforced() {
+    let mut rt = runtime();
+    rt.add_script(
+        "w.cap",
+        "#lang shill/cap\nf = fun(w) { wallet_keys(w) };\nprovide f : {w : native_wallet} -> is_list;",
+    );
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"w.cap\";\nf(42);")
+        .unwrap_err();
+    assert!(matches!(err, ShillError::Violation(_)));
+    let v = rt.run_ok(
+        "#lang shill/ambient\nrequire \"w.cap\";\nw = create_wallet();\nwallet_set(w, \"k\", [1]);\nf(w)",
+    );
+    assert!(matches!(v, Value::List(_)));
+}
+
+#[test]
+fn capabilities_are_not_serializable() {
+    let mut rt = runtime();
+    let v = rt.run_ok(
+        "#lang shill/ambient\nd = open_dir(\"/home/u/pics\");\nto_string(d)",
+    );
+    match v {
+        Value::Str(s) => {
+            assert!(s.contains("<capability"), "{s}");
+            assert!(!s.contains("/home"), "path must not leak through display: {s}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn syserror_values_are_observable_not_fatal() {
+    let mut rt = runtime();
+    let v = rt.run_ok(
+        "#lang shill/ambient\nd = open_dir(\"/home/u/pics\");\nc = lookup(d, \"missing\");\nis_syserror(c)",
+    );
+    assert!(matches!(v, Value::Bool(true)));
+}
+
+#[test]
+fn user_defined_contract_abbreviations() {
+    let mut rt = runtime();
+    rt.add_script(
+        "ro.cap",
+        r#"#lang shill/cap
+f = fun(x) { read(x) };
+provide f : {x : readonly} -> is_string;
+"#,
+    );
+    let v = rt.run_ok(
+        "#lang shill/ambient\nrequire \"ro.cap\";\nfile = open_file(\"/home/u/pics/readme.txt\");\nf(file)",
+    );
+    assert!(matches!(v, Value::Str(s) if *s == "text"));
+}
+
+#[test]
+fn profile_counts_contract_work() {
+    let mut rt = runtime();
+    rt.add_script("find_jpg.cap", FIND_JPG);
+    rt.run_ok(
+        r#"#lang shill/ambient
+require "find_jpg.cap";
+pics = open_dir("/home/u/pics");
+out = open_file("/home/u/out.txt");
+find_jpg(pics, out);
+"#,
+    );
+    let p = rt.profile();
+    assert!(p.contract_applications > 5, "{p:?}");
+    assert!(p.guard_checks > 0, "{p:?}");
+    assert!(p.total > std::time::Duration::ZERO);
+}

@@ -1,0 +1,142 @@
+//! Tests for the Rust-implemented stdlib modules: `shill/filesys`,
+//! `shill/contracts`, and module-system behaviours (caching, unknown
+//! modules, prelude availability).
+
+use shill_core::{RuntimeConfig, ShillError, ShillRuntime, Value};
+use shill_kernel::Kernel;
+use shill_vfs::{Cred, Gid, Mode, Uid};
+
+fn rt() -> ShillRuntime {
+    let mut k = Kernel::new();
+    k.fs.put_file("/srv/app/conf/main.cfg", b"cfg!", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT)
+}
+
+#[test]
+fn filesys_resolve_path_walks_by_lookup() {
+    let mut r = rt();
+    r.add_script(
+        "m.cap",
+        r#"#lang shill/cap
+require shill/filesys;
+provide fetch : {root : dir(+lookup, +read)} -> is_string;
+fetch = fun(root) {
+  c = resolve_path(root, "app/conf/main.cfg");
+  read(c)
+};
+"#,
+    );
+    let v = r
+        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))")
+        .unwrap();
+    assert_eq!(v.display(), "cfg!");
+}
+
+#[test]
+fn filesys_resolve_path_respects_contracts() {
+    // A lookup-only directory cannot resolve into a READ: the derived
+    // capability inherits the lookup-only guard.
+    let mut r = rt();
+    r.add_script(
+        "m.cap",
+        r#"#lang shill/cap
+require shill/filesys;
+provide fetch : {root : dir(+lookup)} -> is_string;
+fetch = fun(root) {
+  c = resolve_path(root, "app/conf/main.cfg");
+  read(c)
+};
+"#,
+    );
+    let err = r
+        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))")
+        .unwrap_err();
+    assert!(matches!(err, ShillError::Violation(_)), "{err}");
+}
+
+#[test]
+fn filesys_resolve_path_missing_is_syserror() {
+    let mut r = rt();
+    r.add_script(
+        "m.cap",
+        r#"#lang shill/cap
+require shill/filesys;
+provide probe : {root : dir(+lookup)} -> is_bool;
+probe = fun(root) { is_syserror(resolve_path(root, "no/such/thing")) };
+"#,
+    );
+    let v = r
+        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nprobe(open_dir(\"/srv\"))")
+        .unwrap();
+    assert!(matches!(v, Value::Bool(true)));
+}
+
+#[test]
+fn contracts_module_abbreviations_importable() {
+    let mut r = rt();
+    r.add_script(
+        "m.cap",
+        r#"#lang shill/cap
+require shill/contracts;
+provide run_it : {exe : executable} -> is_bool;
+run_it = fun(exe) { is_file(exe) };
+"#,
+    );
+    r.kernel()
+        .fs
+        .put_file("/bin/thing", b"#!SIMBIN thing\n", Mode(0o755), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let v = r
+        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nrun_it(open_file(\"/bin/thing\"))")
+        .unwrap();
+    assert!(matches!(v, Value::Bool(true)));
+}
+
+#[test]
+fn modules_are_cached_across_requires() {
+    // Two scripts require the same module; its top level runs once (the
+    // display output appears exactly once).
+    let mut r = rt();
+    r.add_script(
+        "shared.cap",
+        "#lang shill/cap\ndisplay(\"loading shared\");\nprovide s : {} -> is_num;\ns = fun() { 5 };",
+    );
+    r.add_script(
+        "a.cap",
+        "#lang shill/cap\nrequire \"shared.cap\";\nprovide a : {} -> is_num;\na = fun() { s() };",
+    );
+    r.add_script(
+        "b.cap",
+        "#lang shill/cap\nrequire \"shared.cap\";\nprovide b : {} -> is_num;\nb = fun() { s() + 1 };",
+    );
+    let v = r
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"a.cap\";\nrequire \"b.cap\";\na() + b()",
+        )
+        .unwrap();
+    assert_eq!(v.display(), "11");
+    assert_eq!(r.output().matches("loading shared").count(), 1, "module body ran once");
+}
+
+#[test]
+fn cyclic_requires_detected() {
+    let mut r = rt();
+    r.add_script("x.cap", "#lang shill/cap\nrequire \"y.cap\";\nprovide fx : {} -> any;\nfx = fun() { 1 };");
+    r.add_script("y.cap", "#lang shill/cap\nrequire \"x.cap\";\nprovide fy : {} -> any;\nfy = fun() { 2 };");
+    let err = r.run("main", "#lang shill/ambient\nrequire \"x.cap\";\nfx()").unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("cyclic"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn unknown_module_reports_name() {
+    let mut r = rt();
+    let err = r.run("main", "#lang shill/ambient\nrequire \"nope.cap\";").unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("nope.cap"), "{m}"),
+        other => panic!("{other}"),
+    }
+}

@@ -1,0 +1,646 @@
+//! The kernel object: process table, policy registry, executable registry,
+//! path walking (`namei`), and process lifecycle. File/socket system calls
+//! live in [`crate::syscalls`] as further `impl Kernel` blocks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use shill_vfs::{
+    dac, Access, Cred, DeviceKind, Errno, Filesystem, Mode, NodeId, SysResult,
+};
+
+use crate::mac::{MacCtx, MacPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
+use crate::net::NetStack;
+use crate::pipe::PipeTable;
+use crate::process::{FdObject, OpenFile, ProcState, Process};
+use crate::stats::KernelStats;
+use crate::types::{Fd, ObjId, Pid, PipeEnd, Ulimits};
+
+/// A registered executable: the simulated analogue of a binary image.
+/// Handlers receive the kernel, the pid they run as, and `argv`.
+pub type ExecHandler = Arc<dyn Fn(&mut Kernel, Pid, &[String]) -> i32 + Send + Sync>;
+
+/// Maximum symlink traversals in one path resolution.
+const MAX_SYMLINK_HOPS: u32 = 32;
+
+/// Result of a path walk.
+#[derive(Debug, Clone)]
+pub struct Lookup {
+    /// Directory containing the final component.
+    pub parent: NodeId,
+    /// The final component name (after symlink resolution of the dirname).
+    pub name: String,
+    /// The final node, if it exists.
+    pub node: Option<NodeId>,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    pub fs: Filesystem,
+    pub pipes: PipeTable,
+    pub net: NetStack,
+    pub stats: KernelStats,
+    /// Bytes written to the console (tty device); visible to tests.
+    pub console: Vec<u8>,
+    procs: HashMap<Pid, Process>,
+    policies: Vec<Arc<dyn MacPolicy>>,
+    exec_handlers: HashMap<String, ExecHandler>,
+    pub(crate) sysctls: HashMap<String, String>,
+    pub(crate) kenv: HashMap<String, String>,
+    next_pid: u32,
+    rng: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// A kernel with a root filesystem containing `/dev/{null,zero,tty,random}`,
+    /// `/tmp`, and an `init` process (pid 1, root, cwd `/`).
+    pub fn new() -> Kernel {
+        let mut fs = Filesystem::new();
+        let root = fs.root();
+        let dev = fs
+            .create_dir(root, "dev", Mode::DIR_DEFAULT, shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL)
+            .expect("mkdir /dev");
+        fs.create_device(dev, "null", DeviceKind::Null, Mode::RW_ALL).expect("null");
+        fs.create_device(dev, "zero", DeviceKind::Zero, Mode::RW_ALL).expect("zero");
+        fs.create_device(dev, "tty", DeviceKind::Tty, Mode::RW_ALL).expect("tty");
+        fs.create_device(dev, "random", DeviceKind::Random, Mode(0o444)).expect("random");
+        fs.mkdir_p("/tmp", Mode(0o777), shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL)
+            .expect("mkdir /tmp");
+
+        let mut procs = HashMap::new();
+        procs.insert(Pid(1), Process::new(Pid(1), Pid(1), Cred::ROOT, root));
+
+        let mut sysctls = HashMap::new();
+        sysctls.insert("kern.ostype".to_string(), "SimBSD".to_string());
+        sysctls.insert("kern.osrelease".to_string(), "9.2-SHILL".to_string());
+        sysctls.insert("hw.ncpu".to_string(), "6".to_string());
+
+        Kernel {
+            fs,
+            pipes: PipeTable::new(),
+            net: NetStack::new(),
+            stats: KernelStats::default(),
+            console: Vec::new(),
+            procs,
+            policies: Vec::new(),
+            exec_handlers: HashMap::new(),
+            sysctls,
+            kenv: HashMap::new(),
+            next_pid: 1,
+            rng: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    // --- policy / executable registries ---------------------------------
+
+    /// Load a MAC policy module (the "SHILL installed" configuration).
+    pub fn register_policy(&mut self, policy: Arc<dyn MacPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Unload a policy by name (what `kldunload` would do; the SHILL policy
+    /// itself denies this from inside a sandbox).
+    pub fn unregister_policy(&mut self, name: &str) -> bool {
+        let before = self.policies.len();
+        self.policies.retain(|p| p.name() != name);
+        before != self.policies.len()
+    }
+
+    /// Whether a policy with this name is loaded.
+    pub fn has_policy(&self, name: &str) -> bool {
+        self.policies.iter().any(|p| p.name() == name)
+    }
+
+    /// Register a simulated executable under `program` (matched against the
+    /// `#!SIMBIN <program>` line of executable files).
+    pub fn register_exec(&mut self, program: &str, handler: ExecHandler) {
+        self.exec_handlers.insert(program.to_string(), handler);
+    }
+
+    /// Look up a registered executable handler by program name.
+    pub(crate) fn exec_handler(&self, program: &str) -> Option<ExecHandler> {
+        self.exec_handlers.get(program).cloned()
+    }
+
+    // --- processes -------------------------------------------------------
+
+    pub fn process(&self, pid: Pid) -> SysResult<&Process> {
+        self.procs.get(&pid).ok_or(Errno::ESRCH)
+    }
+
+    pub fn process_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(Errno::ESRCH)
+    }
+
+    pub(crate) fn ctx(&self, pid: Pid) -> SysResult<MacCtx> {
+        Ok(MacCtx { pid, cred: self.process(pid)?.cred })
+    }
+
+    /// Charge one syscall tick against the process's cpu ulimit.
+    pub(crate) fn charge(&mut self, pid: Pid) -> SysResult<()> {
+        KernelStats::bump(&self.stats.syscalls);
+        let p = self.process_mut(pid)?;
+        if !p.alive() {
+            return Err(Errno::ESRCH);
+        }
+        p.cpu_ticks += 1;
+        if p.cpu_ticks > p.ulimits.max_cpu_ticks {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(())
+    }
+
+    /// Create a fresh top-level user process (child of init) with the given
+    /// credentials; used by ambient scripts and test setup.
+    pub fn spawn_user(&mut self, cred: Cred) -> Pid {
+        self.next_pid += 1;
+        let pid = Pid(self.next_pid);
+        let root = self.fs.root();
+        self.procs.insert(pid, Process::new(pid, Pid(1), cred, root));
+        if let Some(init) = self.procs.get_mut(&Pid(1)) {
+            init.children.push(pid);
+        }
+        for p in self.policies.clone() {
+            p.proc_fork(Pid(1), pid);
+        }
+        pid
+    }
+
+    /// Fork: the child inherits credentials, cwd, ulimits, and descriptors
+    /// (with reference counts bumped). MAC policies are notified so session
+    /// membership is inherited (paper §3.2.1: "Processes spawned by a
+    /// process in a session are by default placed in the same session").
+    pub fn fork(&mut self, parent: Pid) -> SysResult<Pid> {
+        self.charge(parent)?;
+        KernelStats::bump(&self.stats.forks);
+        let (cred, cwd, ulimits, fds) = {
+            let p = self.process(parent)?;
+            let live = p.children.len() as u32;
+            if live >= p.ulimits.max_processes {
+                return Err(Errno::EAGAIN);
+            }
+            (p.cred, p.cwd, p.ulimits, p.fds.clone())
+        };
+        self.next_pid += 1;
+        let pid = Pid(self.next_pid);
+        let mut child = Process::new(pid, parent, cred, cwd);
+        child.ulimits = ulimits;
+        for (fd, of) in fds {
+            match of.object {
+                FdObject::Vnode(n) => self.fs.incref(n),
+                FdObject::Pipe(id, end) => {
+                    let _ = self.pipes.addref(id, end == PipeEnd::Write);
+                }
+                FdObject::Socket(_) => {}
+            }
+            child.install_fd(fd, of);
+        }
+        self.procs.insert(pid, child);
+        self.process_mut(parent)?.children.push(pid);
+        for p in self.policies.clone() {
+            p.proc_fork(parent, pid);
+        }
+        Ok(pid)
+    }
+
+    /// Terminate a process: close descriptors, notify policies, zombify.
+    pub fn exit(&mut self, pid: Pid, status: i32) {
+        let fds: Vec<Fd> = match self.procs.get(&pid) {
+            Some(p) if p.alive() => p.fds.keys().copied().collect(),
+            _ => return,
+        };
+        for fd in fds {
+            let _ = self.close(pid, fd);
+        }
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.state = ProcState::Zombie(status);
+        }
+        for p in self.policies.clone() {
+            p.proc_exit(pid);
+        }
+    }
+
+    /// Wait for a zombie child and reap it. `EAGAIN` while still running
+    /// (cannot block in a synchronous simulator), `ECHILD` if not a child.
+    pub fn waitpid(&mut self, parent: Pid, child: Pid) -> SysResult<i32> {
+        self.charge(parent)?;
+        if !self.process(parent)?.children.contains(&child) {
+            return Err(Errno::ECHILD);
+        }
+        for p in self.policies.clone() {
+            p.proc_check(self.ctx(parent)?, ProcOp::Wait(child))?;
+            KernelStats::bump(&self.stats.mac_other_checks);
+        }
+        let status = match self.process(child)?.state {
+            ProcState::Zombie(s) => s,
+            ProcState::Running => return Err(Errno::EAGAIN),
+            ProcState::Reaped => return Err(Errno::ECHILD),
+        };
+        self.procs.remove(&child);
+        self.process_mut(parent)?.children.retain(|c| *c != child);
+        Ok(status)
+    }
+
+    /// Send a (fatal) signal. The only delivery the simulator models is
+    /// termination, which is all the case studies need.
+    pub fn kill(&mut self, pid: Pid, target: Pid) -> SysResult<()> {
+        self.charge(pid)?;
+        if !self.procs.contains_key(&target) {
+            return Err(Errno::ESRCH);
+        }
+        for p in self.policies.clone() {
+            p.proc_check(self.ctx(pid)?, ProcOp::Signal(target))?;
+            KernelStats::bump(&self.stats.mac_other_checks);
+        }
+        self.exit(target, -9);
+        Ok(())
+    }
+
+    /// Attach a debugger (ptrace-style); always refused across sessions by
+    /// the SHILL policy, permitted by the bare kernel.
+    pub fn pdebug(&mut self, pid: Pid, target: Pid) -> SysResult<()> {
+        self.charge(pid)?;
+        if !self.procs.contains_key(&target) {
+            return Err(Errno::ESRCH);
+        }
+        for p in self.policies.clone() {
+            p.proc_check(self.ctx(pid)?, ProcOp::Debug(target))?;
+            KernelStats::bump(&self.stats.mac_other_checks);
+        }
+        Ok(())
+    }
+
+    /// Set ulimits on a (child) process before exec, per the paper's
+    /// `exec(..., ulimit = ...)` option.
+    pub fn set_ulimits(&mut self, pid: Pid, limits: Ulimits) -> SysResult<()> {
+        self.process_mut(pid)?.ulimits = limits;
+        Ok(())
+    }
+
+    // --- MAC helpers ------------------------------------------------------
+
+    pub(crate) fn mac_vnode(&self, pid: Pid, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let ctx = self.ctx(pid)?;
+        for p in &self.policies {
+            KernelStats::bump(&self.stats.mac_vnode_checks);
+            p.vnode_check(ctx, node, op)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn mac_post_lookup(&self, pid: Pid, dir: NodeId, name: &str, child: NodeId) {
+        if self.policies.is_empty() {
+            return;
+        }
+        if let Ok(ctx) = self.ctx(pid) {
+            for p in &self.policies {
+                p.vnode_post_lookup(ctx, dir, name, child);
+            }
+        }
+    }
+
+    pub(crate) fn mac_post_create(
+        &self,
+        pid: Pid,
+        dir: NodeId,
+        name: &str,
+        child: NodeId,
+        ftype: shill_vfs::FileType,
+    ) {
+        if let Ok(ctx) = self.ctx(pid) {
+            for p in &self.policies {
+                p.vnode_post_create(ctx, dir, name, child, ftype);
+            }
+        }
+    }
+
+    pub(crate) fn mac_pipe(&self, pid: Pid, obj: ObjId, op: PipeOp) -> SysResult<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let ctx = self.ctx(pid)?;
+        for p in &self.policies {
+            KernelStats::bump(&self.stats.mac_other_checks);
+            p.pipe_check(ctx, obj, op)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn mac_socket(&self, pid: Pid, obj: ObjId, op: &SocketOp) -> SysResult<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let ctx = self.ctx(pid)?;
+        for p in &self.policies {
+            KernelStats::bump(&self.stats.mac_other_checks);
+            p.socket_check(ctx, obj, op)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn mac_system(&self, pid: Pid, op: &SystemOp) -> SysResult<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let ctx = self.ctx(pid)?;
+        for p in &self.policies {
+            KernelStats::bump(&self.stats.mac_other_checks);
+            p.system_check(ctx, op)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn notify_vnode_destroy(&self, node: NodeId) {
+        for p in &self.policies {
+            p.vnode_destroy(node);
+        }
+    }
+
+    pub(crate) fn policies(&self) -> &[Arc<dyn MacPolicy>] {
+        &self.policies
+    }
+
+    /// Deterministic pseudo-random byte source for `/dev/random`.
+    pub(crate) fn next_random(&mut self) -> u8 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng & 0xFF) as u8
+    }
+
+    // --- path walking (namei) --------------------------------------------
+
+    /// Starting node for a path: root for absolute, `dirfd`'s node when
+    /// given, else the process's cwd.
+    fn walk_start(&self, pid: Pid, dirfd: Option<Fd>, path: &str) -> SysResult<NodeId> {
+        if path.starts_with('/') {
+            return Ok(self.fs.root());
+        }
+        match dirfd {
+            Some(fd) => self.process(pid)?.fd_node(fd),
+            None => Ok(self.process(pid)?.cwd),
+        }
+    }
+
+    /// Resolve one component within `cur`, performing DAC search, the MAC
+    /// lookup check, `.`/`..` handling, and the post-lookup notification.
+    fn walk_component(&self, pid: Pid, cred: Cred, cur: NodeId, name: &str) -> SysResult<NodeId> {
+        KernelStats::bump(&self.stats.lookups);
+        let dir = self.fs.node(cur)?;
+        if !dir.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        if !dac::check_access(dir, cred, Access::Exec) {
+            return Err(Errno::EACCES);
+        }
+        self.mac_vnode(pid, cur, &VnodeOp::Lookup(name))?;
+        let child = match name {
+            "." => cur,
+            ".." => self.fs.parent_of(cur)?,
+            _ => self.fs.lookup(cur, name)?,
+        };
+        // The paper adds mac_vnode_post_lookup precisely here: after a
+        // successful lookup, so the policy can propagate privileges (or
+        // decline to, for "." / "..").
+        self.mac_post_lookup(pid, cur, name, child);
+        Ok(child)
+    }
+
+    /// Full path resolution. With `parent_mode`, resolves the dirname and
+    /// reports the final component without requiring it to exist (create/
+    /// unlink/rename preparation). `follow_last` controls trailing-symlink
+    /// traversal.
+    pub fn namei(
+        &self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        follow_last: bool,
+        parent_mode: bool,
+    ) -> SysResult<Lookup> {
+        if path.is_empty() {
+            return Err(Errno::ENOENT);
+        }
+        if path.len() > 1024 {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        let cred = self.process(pid)?.cred;
+        let mut hops = 0u32;
+        self.namei_inner(pid, cred, self.walk_start(pid, dirfd, path)?, path, follow_last, parent_mode, &mut hops)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn namei_inner(
+        &self,
+        pid: Pid,
+        cred: Cred,
+        start: NodeId,
+        path: &str,
+        follow_last: bool,
+        parent_mode: bool,
+        hops: &mut u32,
+    ) -> SysResult<Lookup> {
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.is_empty() {
+            // Path was "/" or "." equivalent: the node itself.
+            return Ok(Lookup { parent: start, name: String::new(), node: Some(start) });
+        }
+        let mut cur = start;
+        for (i, comp) in comps.iter().enumerate() {
+            let last = i + 1 == comps.len();
+            if !shill_vfs::node::valid_component(comp) {
+                return Err(Errno::ENAMETOOLONG);
+            }
+            if last && parent_mode {
+                if *comp == "." || *comp == ".." {
+                    return Err(Errno::EINVAL);
+                }
+                // Look the final component up, tolerating absence.
+                let node = match self.walk_component(pid, cred, cur, comp) {
+                    Ok(n) => Some(self.follow_symlinks(pid, cred, cur, n, follow_last, hops)?),
+                    Err(Errno::ENOENT) => None,
+                    Err(e) => return Err(e),
+                };
+                return Ok(Lookup { parent: cur, name: comp.to_string(), node });
+            }
+            let child = self.walk_component(pid, cred, cur, comp)?;
+            let follow = !last || follow_last;
+            cur = self.follow_symlinks(pid, cred, cur, child, follow, hops)?;
+        }
+        let name = comps.last().map(|s| s.to_string()).unwrap_or_default();
+        Ok(Lookup { parent: start, name, node: Some(cur) })
+    }
+
+    /// Iteratively resolve symlinks at `node` (looked up inside `dir`).
+    fn follow_symlinks(
+        &self,
+        pid: Pid,
+        cred: Cred,
+        dir: NodeId,
+        node: NodeId,
+        follow: bool,
+        hops: &mut u32,
+    ) -> SysResult<NodeId> {
+        if !follow {
+            return Ok(node);
+        }
+        let mut cur = node;
+        while self.fs.node(cur)?.is_symlink() {
+            *hops += 1;
+            if *hops > MAX_SYMLINK_HOPS {
+                return Err(Errno::ELOOP);
+            }
+            self.mac_vnode(pid, cur, &VnodeOp::ReadSymlink)?;
+            let target = self.fs.readlink(cur)?;
+            let base = if target.starts_with('/') { self.fs.root() } else { dir };
+            let res = self.namei_inner(pid, cred, base, &target, true, false, hops)?;
+            cur = res.node.ok_or(Errno::ENOENT)?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolve a path to an existing node (convenience over `namei`).
+    pub fn resolve(&self, pid: Pid, dirfd: Option<Fd>, path: &str, follow: bool) -> SysResult<NodeId> {
+        self.namei(pid, dirfd, path, follow, false)?.node.ok_or(Errno::ENOENT)
+    }
+
+    // --- descriptor plumbing shared by syscalls ---------------------------
+
+    /// Install an open vnode descriptor, bumping the open reference.
+    pub(crate) fn install_vnode_fd(
+        &mut self,
+        pid: Pid,
+        node: NodeId,
+        readable: bool,
+        writable: bool,
+        append: bool,
+    ) -> SysResult<Fd> {
+        let last_path = self.fs.path_of(node);
+        self.fs.incref(node);
+        let p = self.process_mut(pid)?;
+        let fd = match p.alloc_fd() {
+            Ok(fd) => fd,
+            Err(e) => {
+                self.fs.decref(node);
+                return Err(e);
+            }
+        };
+        let p = self.process_mut(pid)?;
+        p.install_fd(
+            fd,
+            OpenFile { object: FdObject::Vnode(node), offset: 0, readable, writable, append, last_path },
+        );
+        Ok(fd)
+    }
+
+    /// Inspect what a descriptor refers to (used when granting capabilities
+    /// backed by pipes/sockets to sandbox sessions).
+    pub fn fd_object(&self, pid: Pid, fd: Fd) -> SysResult<FdObject> {
+        Ok(self.process(pid)?.file(fd)?.object.clone())
+    }
+
+    /// Duplicate an open descriptor from one process into another at a fixed
+    /// descriptor number (stdio wiring for sandboxed children). Reference
+    /// counts are bumped like `dup2` across a fork would.
+    pub fn transfer_fd(&mut self, src: Pid, src_fd: Fd, dst: Pid, dst_fd: Fd) -> SysResult<()> {
+        let of = self.process(src)?.file(src_fd)?.clone();
+        match of.object {
+            FdObject::Vnode(n) => self.fs.incref(n),
+            FdObject::Pipe(id, end) => self.pipes.addref(id, end == PipeEnd::Write)?,
+            FdObject::Socket(_) => {}
+        }
+        self.process_mut(dst)?.install_fd(dst_fd, of);
+        Ok(())
+    }
+
+    /// Close a descriptor, releasing the underlying object reference.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> SysResult<()> {
+        let of = self.process_mut(pid)?.fds.remove(&fd).ok_or(Errno::EBADF)?;
+        match of.object {
+            FdObject::Vnode(n) => {
+                let existed = self.fs.exists(n);
+                self.fs.decref(n);
+                if existed && !self.fs.exists(n) {
+                    self.notify_vnode_destroy(n);
+                }
+            }
+            FdObject::Pipe(id, end) => self.pipes.release(id, end == PipeEnd::Write),
+            FdObject::Socket(s) => self.net.close(s),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_kernel_has_devices_and_init() {
+        let k = Kernel::new();
+        assert!(k.fs.resolve_abs("/dev/null").is_ok());
+        assert!(k.fs.resolve_abs("/dev/tty").is_ok());
+        assert!(k.fs.resolve_abs("/tmp").is_ok());
+        assert!(k.process(Pid(1)).is_ok());
+    }
+
+    #[test]
+    fn spawn_and_fork_lineage() {
+        let mut k = Kernel::new();
+        let u = k.spawn_user(Cred::user(100));
+        let c = k.fork(u).unwrap();
+        assert_eq!(k.process(c).unwrap().ppid, u);
+        assert!(k.process(u).unwrap().children.contains(&c));
+    }
+
+    #[test]
+    fn waitpid_reaps_zombie() {
+        let mut k = Kernel::new();
+        let u = k.spawn_user(Cred::user(100));
+        let c = k.fork(u).unwrap();
+        assert_eq!(k.waitpid(u, c).unwrap_err(), Errno::EAGAIN);
+        k.exit(c, 7);
+        assert_eq!(k.waitpid(u, c).unwrap(), 7);
+        assert_eq!(k.waitpid(u, c).unwrap_err(), Errno::ECHILD);
+        assert!(k.process(c).is_err());
+    }
+
+    #[test]
+    fn kill_terminates() {
+        let mut k = Kernel::new();
+        let u = k.spawn_user(Cred::user(100));
+        let c = k.fork(u).unwrap();
+        k.kill(u, c).unwrap();
+        assert_eq!(k.waitpid(u, c).unwrap(), -9);
+    }
+
+    #[test]
+    fn cpu_ulimit_trips() {
+        let mut k = Kernel::new();
+        let u = k.spawn_user(Cred::user(100));
+        k.set_ulimits(u, Ulimits { max_cpu_ticks: 2, ..Default::default() }).unwrap();
+        assert!(k.fork(u).is_ok()); // tick 1
+        let r2 = k.fork(u); // tick 2
+        assert!(r2.is_ok());
+        assert_eq!(k.fork(u).unwrap_err(), Errno::EAGAIN); // tick 3 > 2
+    }
+
+    #[test]
+    fn policy_registry_load_unload() {
+        let mut k = Kernel::new();
+        k.register_policy(Arc::new(crate::mac::NullPolicy));
+        assert!(k.has_policy("null"));
+        assert!(k.unregister_policy("null"));
+        assert!(!k.has_policy("null"));
+        assert!(!k.unregister_policy("null"));
+    }
+}

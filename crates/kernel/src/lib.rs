@@ -1,0 +1,27 @@
+//! # shill-kernel
+//!
+//! The simulated commodity kernel the SHILL reproduction runs on: processes
+//! and descriptors, a full `*at` system-call surface (plus the paper's new
+//! `flinkat`, `funlinkat`, `frenameat`, fd-returning `mkdirat`, and `path`
+//! syscalls), anonymous pipes, a socket layer with simulated remote hosts,
+//! and a TrustedBSD-style MAC framework ([`mac::MacPolicy`]) with the two
+//! hooks the paper added (`vnode_post_lookup`, `vnode_post_create`).
+//!
+//! The SHILL sandbox itself is a *policy module* implemented in the
+//! `shill-sandbox` crate; this crate is policy-agnostic.
+
+pub mod kernel;
+pub mod mac;
+pub mod net;
+pub mod pipe;
+pub mod process;
+pub mod stats;
+pub mod syscalls;
+pub mod types;
+
+pub use kernel::{ExecHandler, Kernel, Lookup};
+pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
+pub use net::{InjConnId, RemoteHandler};
+pub use process::{FdObject, OpenFile, ProcState, Process};
+pub use stats::{KernelStats, StatsSnapshot};
+pub use types::{Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits};

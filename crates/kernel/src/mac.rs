@@ -1,0 +1,217 @@
+//! The MAC framework: the simulated analogue of the TrustedBSD MAC
+//! framework the paper builds its sandbox on (§3.2).
+//!
+//! The framework "allows FreeBSD's access control mechanisms to be extended
+//! with third-party mandatory access control policies by mediating access to
+//! sensitive kernel objects and invoking access control checks specified by
+//! third-party policy modules". Here, policy modules implement [`MacPolicy`]
+//! and the kernel invokes each hook at the same points the TrustedBSD
+//! framework would, including the two hooks the paper *added*:
+//! `mac_vnode_post_lookup` and `mac_vnode_post_create` (§3.2.2).
+//!
+//! Labels: TrustedBSD attaches policy-agnostic labels to kernel objects.
+//! Policies in this simulator keep their own label tables keyed by
+//! [`crate::types::ObjId`] (interior mutability behind `&self` hooks), which
+//! is observationally equivalent and avoids threading label storage through
+//! every kernel object.
+
+use shill_vfs::{Cred, FileType, NodeId, SysResult};
+
+use crate::types::{ObjId, Pid, SockAddr, SockDomain};
+
+/// Subject context passed to every hook: which process is acting and under
+/// which credentials. Policies that need richer state (e.g. the SHILL
+/// sandbox's sessions) key their own tables by `pid`.
+#[derive(Debug, Clone, Copy)]
+pub struct MacCtx {
+    pub pid: Pid,
+    pub cred: Cred,
+}
+
+/// Vnode operations mediated by the framework. Each corresponds to one
+/// `mac_vnode_check_*` entry point; the SHILL policy maps these onto its
+/// twenty-four filesystem privileges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VnodeOp<'a> {
+    /// Read file contents.
+    Read,
+    /// Write file contents. NOTE: the framework "exposes a single entry
+    /// point for operations that write to filesystem objects" (§3.2.3), so
+    /// the kernel emits `Write` for both write and append system calls and
+    /// policies cannot distinguish them. (The SHILL *language* can.)
+    Write,
+    /// Execute a file image.
+    Exec,
+    /// Read metadata (`stat`).
+    Stat,
+    /// Look up `name` within a directory.
+    Lookup(&'a str),
+    /// Enumerate directory entries.
+    ReadDir,
+    /// Create a regular file named `name` in a directory.
+    CreateFile(&'a str),
+    /// Create a subdirectory.
+    CreateDir(&'a str),
+    /// Create a symlink.
+    CreateSymlink(&'a str),
+    /// Remove the file link `name` from a directory.
+    UnlinkFile(&'a str),
+    /// Remove the subdirectory `name`.
+    UnlinkDir(&'a str),
+    /// Remove the symlink `name`.
+    UnlinkSymlink(&'a str),
+    /// Install a hard link named `name` to an existing file.
+    Link(&'a str),
+    /// Move an entry out of this directory (rename source side).
+    RenameFrom(&'a str),
+    /// Move an entry into this directory (rename destination side).
+    RenameTo(&'a str),
+    /// Change permission bits.
+    Chmod,
+    /// Change ownership.
+    Chown,
+    /// Change file flags (`chflags`).
+    Chflags,
+    /// Change timestamps.
+    Utimes,
+    /// Truncate or extend the file.
+    Truncate,
+    /// Read a symlink target.
+    ReadSymlink,
+    /// Use the directory as working directory (`chdir`).
+    Chdir,
+    /// Translate the vnode back to a path (the paper's new `path` syscall).
+    PathLookup,
+}
+
+/// Socket-level operations (`mac_socket_check_*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketOp {
+    Create(SockDomain),
+    Bind(SockAddr),
+    Connect(SockAddr),
+    Listen,
+    Accept,
+    Send,
+    Recv,
+}
+
+/// Pipe operations (`mac_pipe_check_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeOp {
+    Read,
+    Write,
+    Stat,
+}
+
+/// Process-on-process operations (`mac_proc_check_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcOp {
+    Signal(Pid),
+    Wait(Pid),
+    Debug(Pid),
+}
+
+/// Global (non-object) surfaces a policy may restrict; paper Figure 7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemOp {
+    /// `sysctl` read.
+    SysctlRead(String),
+    /// `sysctl` write.
+    SysctlWrite(String),
+    /// Kernel environment access (`kenv`).
+    KernelEnv,
+    /// Kernel module load/unload (`kldload`/`kldunload`).
+    KernelModule,
+    /// POSIX IPC objects (shm/sem/mq).
+    PosixIpc,
+    /// System V IPC objects.
+    SysvIpc,
+}
+
+/// A mandatory access control policy module.
+///
+/// All check hooks return `Ok(())` to permit; an `Err` veto aborts the system
+/// call with that errno (the framework composes policies by conjunction,
+/// exactly like TrustedBSD). Notification hooks (`post_*`, lifecycle) return
+/// nothing. Hooks take `&self`: policies use interior mutability for their
+/// label state, as label updates happen inside read-path system calls.
+pub trait MacPolicy: Send + Sync {
+    /// Short policy name (e.g. `"shill"`), used in logs.
+    fn name(&self) -> &str;
+
+    // --- checks ---------------------------------------------------------
+    fn vnode_check(&self, _ctx: MacCtx, _node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
+        Ok(())
+    }
+    fn pipe_check(&self, _ctx: MacCtx, _pipe: ObjId, _op: PipeOp) -> SysResult<()> {
+        Ok(())
+    }
+    fn socket_check(&self, _ctx: MacCtx, _sock: ObjId, _op: &SocketOp) -> SysResult<()> {
+        Ok(())
+    }
+    fn proc_check(&self, _ctx: MacCtx, _op: ProcOp) -> SysResult<()> {
+        Ok(())
+    }
+    fn system_check(&self, _ctx: MacCtx, _op: &SystemOp) -> SysResult<()> {
+        Ok(())
+    }
+
+    // --- notifications --------------------------------------------------
+    /// Invoked after a lookup completes successfully; the paper added this
+    /// hook so the policy can propagate privileges to the child vnode.
+    fn vnode_post_lookup(&self, _ctx: MacCtx, _dir: NodeId, _name: &str, _child: NodeId) {}
+
+    /// Invoked after a create completes successfully (paper-added hook).
+    fn vnode_post_create(
+        &self,
+        _ctx: MacCtx,
+        _dir: NodeId,
+        _name: &str,
+        _child: NodeId,
+        _ftype: FileType,
+    ) {
+    }
+
+    /// A pipe pair was created by `ctx.pid`.
+    fn pipe_post_create(&self, _ctx: MacCtx, _pipe: ObjId) {}
+
+    /// A socket was created by `ctx.pid`.
+    fn socket_post_create(&self, _ctx: MacCtx, _sock: ObjId) {}
+
+    /// A vnode is being reclaimed; drop labels.
+    fn vnode_destroy(&self, _node: NodeId) {}
+
+    // --- process lifecycle ----------------------------------------------
+    /// `child` was forked from `parent` (label/session inheritance).
+    fn proc_fork(&self, _parent: Pid, _child: Pid) {}
+
+    /// `pid` exited; release per-process state (session membership etc.).
+    fn proc_exit(&self, _pid: Pid) {}
+}
+
+/// A do-nothing policy used by tests to verify hook plumbing and by the
+/// "SHILL installed" benchmark configuration (module loaded, no sandbox).
+#[derive(Debug, Default)]
+pub struct NullPolicy;
+
+impl MacPolicy for NullPolicy {
+    fn name(&self) -> &str {
+        "null"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::Cred;
+
+    #[test]
+    fn null_policy_permits_everything() {
+        let p = NullPolicy;
+        let ctx = MacCtx { pid: Pid(1), cred: Cred::ROOT };
+        assert!(p.vnode_check(ctx, NodeId(1), &VnodeOp::Read).is_ok());
+        assert!(p.socket_check(ctx, ObjId::Socket(crate::types::SockId(1)), &SocketOp::Listen).is_ok());
+        assert!(p.system_check(ctx, &SystemOp::KernelModule).is_ok());
+    }
+}

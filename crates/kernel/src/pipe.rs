@@ -1,0 +1,178 @@
+//! Anonymous pipes.
+//!
+//! Execution in the simulator is synchronous (a spawned executable runs to
+//! completion inside `exec`), so pipes behave as unbounded buffers: writers
+//! append, readers drain FIFO. Reading an empty pipe yields EOF when no
+//! write end remains open, and `EAGAIN` otherwise (non-blocking semantics —
+//! a blocking read could never be satisfied in a synchronous world).
+
+use std::collections::{HashMap, VecDeque};
+
+use shill_vfs::{Errno, SysResult};
+
+use crate::types::PipeId;
+
+/// One pipe buffer plus reference counts for each end.
+#[derive(Debug)]
+struct PipeBuf {
+    data: VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+/// Table of live pipes.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: HashMap<PipeId, PipeBuf>,
+    next: u64,
+}
+
+impl PipeTable {
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Allocate a new pipe with one reader and one writer reference.
+    pub fn create(&mut self) -> PipeId {
+        self.next += 1;
+        let id = PipeId(self.next);
+        self.pipes.insert(id, PipeBuf { data: VecDeque::new(), readers: 1, writers: 1 });
+        id
+    }
+
+    /// Number of live pipes (tests).
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+
+    /// Add a reference to one end (descriptor duplication / fork).
+    pub fn addref(&mut self, id: PipeId, write_end: bool) -> SysResult<()> {
+        let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
+        if write_end {
+            p.writers += 1;
+        } else {
+            p.readers += 1;
+        }
+        Ok(())
+    }
+
+    /// Drop a reference to one end; the pipe is reclaimed when both sides
+    /// reach zero.
+    pub fn release(&mut self, id: PipeId, write_end: bool) {
+        let remove = match self.pipes.get_mut(&id) {
+            Some(p) => {
+                if write_end {
+                    p.writers = p.writers.saturating_sub(1);
+                } else {
+                    p.readers = p.readers.saturating_sub(1);
+                }
+                p.readers == 0 && p.writers == 0
+            }
+            None => false,
+        };
+        if remove {
+            self.pipes.remove(&id);
+        }
+    }
+
+    /// Write into the pipe. Fails with `EPIPE` when no reader remains.
+    pub fn write(&mut self, id: PipeId, buf: &[u8]) -> SysResult<usize> {
+        let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
+        if p.readers == 0 {
+            return Err(Errno::EPIPE);
+        }
+        p.data.extend(buf.iter().copied());
+        Ok(buf.len())
+    }
+
+    /// Read up to `len` bytes. Empty + writers alive → `EAGAIN`; empty + no
+    /// writers → EOF (empty vec).
+    pub fn read(&mut self, id: PipeId, len: usize) -> SysResult<Vec<u8>> {
+        let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
+        if p.data.is_empty() {
+            if p.writers == 0 {
+                return Ok(Vec::new());
+            }
+            return Err(Errno::EAGAIN);
+        }
+        let n = len.min(p.data.len());
+        Ok(p.data.drain(..n).collect())
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self, id: PipeId) -> SysResult<usize> {
+        Ok(self.pipes.get(&id).ok_or(Errno::EBADF)?.data.len())
+    }
+
+    /// Drain everything buffered without consuming an end reference
+    /// (used by the runtime to collect a sandboxed child's stdout).
+    pub fn drain_all(&mut self, id: PipeId) -> SysResult<Vec<u8>> {
+        let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
+        Ok(p.data.drain(..).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.write(id, b"abc").unwrap();
+        t.write(id, b"def").unwrap();
+        assert_eq!(t.read(id, 4).unwrap(), b"abcd");
+        assert_eq!(t.read(id, 10).unwrap(), b"ef");
+    }
+
+    #[test]
+    fn empty_with_writer_is_eagain() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        assert_eq!(t.read(id, 1).unwrap_err(), Errno::EAGAIN);
+    }
+
+    #[test]
+    fn empty_without_writer_is_eof() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.release(id, true);
+        assert_eq!(t.read(id, 1).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn write_without_reader_is_epipe() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.release(id, false);
+        assert_eq!(t.write(id, b"x").unwrap_err(), Errno::EPIPE);
+    }
+
+    #[test]
+    fn reclaimed_after_both_ends_close() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        assert_eq!(t.len(), 1);
+        t.release(id, false);
+        t.release(id, true);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.write(id, b"x").unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn refcounts_keep_pipe_alive() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.addref(id, true).unwrap();
+        t.release(id, true);
+        t.write(id, b"ok").unwrap(); // still one writer
+        t.release(id, true);
+        t.release(id, false);
+        assert!(t.is_empty());
+    }
+}

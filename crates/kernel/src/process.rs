@@ -1,0 +1,171 @@
+//! Processes and file descriptors.
+
+use std::collections::HashMap;
+
+use shill_vfs::{Cred, Errno, NodeId, SysResult};
+
+use crate::types::{Fd, Pid, PipeEnd, PipeId, SockId, Ulimits};
+
+/// What an open descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdObject {
+    /// A vnode (file, directory, device) with a current offset.
+    Vnode(NodeId),
+    /// One end of an anonymous pipe.
+    Pipe(PipeId, PipeEnd),
+    /// A socket.
+    Socket(SockId),
+}
+
+/// Per-descriptor state.
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    pub object: FdObject,
+    pub offset: u64,
+    pub readable: bool,
+    pub writable: bool,
+    pub append: bool,
+    /// Last path at which the vnode was known reachable; the `path` syscall
+    /// falls back to this when the name cache has been purged (§3.1.3:
+    /// "If the path system call fails, SHILL uses the last known path").
+    pub last_path: Option<String>,
+}
+
+/// Process lifecycle states. Execution is synchronous, so `Running` simply
+/// means "not yet exited".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    Running,
+    /// Exited with status; awaiting `waitpid` by the parent.
+    Zombie(i32),
+    /// Fully reaped (kept briefly for diagnostics, then dropped).
+    Reaped,
+}
+
+/// A simulated process.
+#[derive(Debug)]
+pub struct Process {
+    pub pid: Pid,
+    pub ppid: Pid,
+    pub cred: Cred,
+    pub cwd: NodeId,
+    pub fds: HashMap<Fd, OpenFile>,
+    pub next_fd: u32,
+    pub state: ProcState,
+    pub ulimits: Ulimits,
+    /// Syscall ticks consumed (for the cpu ulimit).
+    pub cpu_ticks: u64,
+    /// Live (non-reaped) children.
+    pub children: Vec<Pid>,
+}
+
+impl Process {
+    pub fn new(pid: Pid, ppid: Pid, cred: Cred, cwd: NodeId) -> Process {
+        Process {
+            pid,
+            ppid,
+            cred,
+            cwd,
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 reserved for stdio
+            state: ProcState::Running,
+            ulimits: Ulimits::default(),
+            cpu_ticks: 0,
+            children: Vec::new(),
+        }
+    }
+
+    pub fn alive(&self) -> bool {
+        self.state == ProcState::Running
+    }
+
+    /// Allocate the next free descriptor number.
+    pub fn alloc_fd(&mut self) -> SysResult<Fd> {
+        if self.fds.len() as u32 >= self.ulimits.max_open_files {
+            return Err(Errno::EMFILE);
+        }
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        Ok(fd)
+    }
+
+    /// Install an open file at a specific descriptor (stdio wiring).
+    pub fn install_fd(&mut self, fd: Fd, of: OpenFile) {
+        self.next_fd = self.next_fd.max(fd.0 + 1);
+        self.fds.insert(fd, of);
+    }
+
+    pub fn file(&self, fd: Fd) -> SysResult<&OpenFile> {
+        self.fds.get(&fd).ok_or(Errno::EBADF)
+    }
+
+    pub fn file_mut(&mut self, fd: Fd) -> SysResult<&mut OpenFile> {
+        self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// The vnode a descriptor refers to, or `EBADF`/`ENOTDIR`-style errors
+    /// for non-vnode descriptors.
+    pub fn fd_node(&self, fd: Fd) -> SysResult<NodeId> {
+        match self.file(fd)?.object {
+            FdObject::Vnode(n) => Ok(n),
+            _ => Err(Errno::EBADF),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(node: NodeId) -> OpenFile {
+        OpenFile {
+            object: FdObject::Vnode(node),
+            offset: 0,
+            readable: true,
+            writable: false,
+            append: false,
+            last_path: None,
+        }
+    }
+
+    #[test]
+    fn fd_allocation_skips_stdio() {
+        let mut p = Process::new(Pid(2), Pid(1), Cred::user(100), NodeId(1));
+        assert_eq!(p.alloc_fd().unwrap(), Fd(3));
+        assert_eq!(p.alloc_fd().unwrap(), Fd(4));
+    }
+
+    #[test]
+    fn install_fd_advances_counter() {
+        let mut p = Process::new(Pid(2), Pid(1), Cred::user(100), NodeId(1));
+        p.install_fd(Fd(7), of(NodeId(3)));
+        assert_eq!(p.alloc_fd().unwrap(), Fd(8));
+    }
+
+    #[test]
+    fn fd_limit_enforced() {
+        let mut p = Process::new(Pid(2), Pid(1), Cred::user(100), NodeId(1));
+        p.ulimits.max_open_files = 2;
+        p.install_fd(Fd(3), of(NodeId(3)));
+        p.install_fd(Fd(4), of(NodeId(4)));
+        assert_eq!(p.alloc_fd().unwrap_err(), Errno::EMFILE);
+    }
+
+    #[test]
+    fn fd_node_rejects_non_vnode() {
+        let mut p = Process::new(Pid(2), Pid(1), Cred::user(100), NodeId(1));
+        p.install_fd(
+            Fd(3),
+            OpenFile {
+                object: FdObject::Pipe(PipeId(1), PipeEnd::Read),
+                offset: 0,
+                readable: true,
+                writable: false,
+                append: false,
+                last_path: None,
+            },
+        );
+        assert_eq!(p.fd_node(Fd(3)).unwrap_err(), Errno::EBADF);
+        assert_eq!(p.fd_node(Fd(9)).unwrap_err(), Errno::EBADF);
+    }
+}

@@ -1,0 +1,80 @@
+//! Counters used by tests and the benchmark harness.
+//!
+//! `Cell`-based so read-path syscalls (which take `&self` on the filesystem)
+//! can still count. The kernel is single-threaded by construction; nothing
+//! here is shared across threads.
+
+use std::cell::Cell;
+
+/// Kernel-wide event counters.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Total system calls dispatched.
+    pub syscalls: Cell<u64>,
+    /// Per-component directory lookups performed by the path walker.
+    pub lookups: Cell<u64>,
+    /// MAC vnode checks invoked (0 when no policy is registered).
+    pub mac_vnode_checks: Cell<u64>,
+    /// MAC socket/pipe/proc/system checks invoked.
+    pub mac_other_checks: Cell<u64>,
+    /// Executables run.
+    pub execs: Cell<u64>,
+    /// Processes forked.
+    pub forks: Cell<u64>,
+}
+
+impl KernelStats {
+    pub fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    /// Plain-value snapshot for assertions and reports.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            syscalls: self.syscalls.get(),
+            lookups: self.lookups.get(),
+            mac_vnode_checks: self.mac_vnode_checks.get(),
+            mac_other_checks: self.mac_other_checks.get(),
+            execs: self.execs.get(),
+            forks: self.forks.get(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.syscalls.set(0);
+        self.lookups.set(0);
+        self.mac_vnode_checks.set(0);
+        self.mac_other_checks.set(0);
+        self.execs.set(0);
+        self.forks.set(0);
+    }
+}
+
+/// Copyable snapshot of [`KernelStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub syscalls: u64,
+    pub lookups: u64,
+    pub mac_vnode_checks: u64,
+    pub mac_other_checks: u64,
+    pub execs: u64,
+    pub forks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = KernelStats::default();
+        KernelStats::bump(&s.syscalls);
+        KernelStats::bump(&s.syscalls);
+        KernelStats::bump(&s.lookups);
+        let snap = s.snapshot();
+        assert_eq!(snap.syscalls, 2);
+        assert_eq!(snap.lookups, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! Kernel-level identifiers: processes, descriptors, pipes, sockets.
+
+use std::fmt;
+
+use shill_vfs::NodeId;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// File descriptor, per-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl Fd {
+    pub const STDIN: Fd = Fd(0);
+    pub const STDOUT: Fd = Fd(1);
+    pub const STDERR: Fd = Fd(2);
+}
+
+/// Identifier of an anonymous pipe buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipeId(pub u64);
+
+/// Identifier of a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockId(pub u64);
+
+/// Any labelable kernel object. The MAC framework attaches policy labels to
+/// kernel objects (TrustedBSD §3.2); this enum is the label key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjId {
+    Vnode(NodeId),
+    Pipe(PipeId),
+    Socket(SockId),
+}
+
+impl From<NodeId> for ObjId {
+    fn from(n: NodeId) -> ObjId {
+        ObjId::Vnode(n)
+    }
+}
+
+/// Which end of a pipe a descriptor references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEnd {
+    Read,
+    Write,
+}
+
+/// Socket domains supported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SockDomain {
+    /// IPv4.
+    Inet,
+    /// Unix-domain.
+    Unix,
+    /// Anything else (raw, netlink, ...). The SHILL language and sandbox deny
+    /// these entirely (paper Figure 7, "Sockets (other): Denied").
+    Other,
+}
+
+/// A network address: either a simulated remote host or a local port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SockAddr {
+    /// `host:port` for Inet sockets.
+    Inet { host: String, port: u16 },
+    /// Filesystem path bind point for Unix sockets.
+    Unix { path: String },
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SockAddr::Inet { host, port } => write!(f, "{host}:{port}"),
+            SockAddr::Unix { path } => write!(f, "unix:{path}"),
+        }
+    }
+}
+
+/// Flags accepted by `openat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    pub read: bool,
+    pub write: bool,
+    pub append: bool,
+    pub create: bool,
+    pub truncate: bool,
+    pub exclusive: bool,
+    pub directory: bool,
+    /// Do not follow a trailing symlink (`O_NOFOLLOW`).
+    pub nofollow: bool,
+}
+
+impl OpenFlags {
+    pub const RDONLY: OpenFlags = OpenFlags {
+        read: true,
+        write: false,
+        append: false,
+        create: false,
+        truncate: false,
+        exclusive: false,
+        directory: false,
+        nofollow: false,
+    };
+
+    pub fn rdwr() -> OpenFlags {
+        OpenFlags { read: true, write: true, ..Default::default() }
+    }
+
+    pub fn wronly() -> OpenFlags {
+        OpenFlags { write: true, ..Default::default() }
+    }
+
+    pub fn creat_trunc_w() -> OpenFlags {
+        OpenFlags { write: true, create: true, truncate: true, ..Default::default() }
+    }
+
+    pub fn append_only() -> OpenFlags {
+        OpenFlags { write: true, append: true, ..Default::default() }
+    }
+
+    pub fn dir() -> OpenFlags {
+        OpenFlags { read: true, directory: true, ..Default::default() }
+    }
+}
+
+/// Resource limits a SHILL `exec` may impose on a sandboxed child
+/// (paper Figure 7 footnote: "SHILL allows calls to the exec function to
+/// specify ulimit parameters for the child process").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ulimits {
+    /// Maximum size in bytes a file may be grown to (`RLIMIT_FSIZE`).
+    pub max_file_size: u64,
+    /// Maximum number of simultaneously live descendant processes.
+    pub max_processes: u32,
+    /// Maximum number of open descriptors.
+    pub max_open_files: u32,
+    /// CPU budget in abstract "syscall ticks"; exceeded → process killed.
+    pub max_cpu_ticks: u64,
+}
+
+impl Default for Ulimits {
+    fn default() -> Self {
+        Ulimits {
+            max_file_size: u64::MAX,
+            max_processes: 1024,
+            max_open_files: 1024,
+            max_cpu_ticks: u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_fds() {
+        assert_eq!(Fd::STDIN, Fd(0));
+        assert_eq!(Fd::STDOUT, Fd(1));
+        assert_eq!(Fd::STDERR, Fd(2));
+    }
+
+    #[test]
+    fn sockaddr_display() {
+        let a = SockAddr::Inet { host: "mirror.gnu.org".into(), port: 80 };
+        assert_eq!(a.to_string(), "mirror.gnu.org:80");
+        let u = SockAddr::Unix { path: "/tmp/s".into() };
+        assert_eq!(u.to_string(), "unix:/tmp/s");
+    }
+
+    #[test]
+    fn objid_from_nodeid() {
+        let o: ObjId = NodeId(4).into();
+        assert_eq!(o, ObjId::Vnode(NodeId(4)));
+    }
+}

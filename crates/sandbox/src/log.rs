@@ -1,0 +1,112 @@
+//! Sandbox audit log (paper §3.2.2, "Debugging").
+//!
+//! "The log records all of the capabilities and privileges granted during a
+//! session in addition to all operations that were denied because of
+//! insufficient privileges."
+
+use shill_cap::Priv;
+use shill_kernel::{ObjId, Pid};
+
+use crate::session::SessionId;
+
+/// One audit event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEvent {
+    /// A capability grant (explicit or via privilege propagation).
+    Grant {
+        session: SessionId,
+        obj: ObjId,
+        privs: String,
+        /// `true` when the grant came from `post_lookup`/`post_create`
+        /// propagation rather than an explicit `shill_grant`.
+        propagated: bool,
+    },
+    /// An operation denied for insufficient privileges.
+    Denied { session: SessionId, pid: Pid, obj: ObjId, needed: Priv },
+    /// Debug mode auto-granted a privilege that would have been denied.
+    DebugAutoGrant { session: SessionId, pid: Pid, obj: ObjId, granted: Priv },
+    /// Session lifecycle markers.
+    SessionCreated { session: SessionId, parent: Option<SessionId> },
+    SessionEntered { session: SessionId },
+    SessionReclaimed { session: SessionId, labels_scrubbed: usize },
+}
+
+/// Append-only event log, viewable by privileged users.
+#[derive(Debug, Default)]
+pub struct SandboxLog {
+    pub enabled: bool,
+    events: Vec<LogEvent>,
+}
+
+impl SandboxLog {
+    pub fn push(&mut self, e: LogEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Denials and auto-grants are always recorded (they are the debugging
+    /// signal), even when verbose grant logging is off.
+    pub fn push_always(&mut self, e: LogEvent) {
+        self.events.push(e);
+    }
+
+    pub fn events(&self) -> &[LogEvent] {
+        &self.events
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Denied events for a particular session (debugging workflow: run in a
+    /// sandbox, inspect what was missing).
+    pub fn denials(&self, session: SessionId) -> Vec<&LogEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Denied { session: s, .. } if *s == session))
+            .collect()
+    }
+
+    /// Auto-grants for a session: the capabilities a debug run discovered
+    /// were needed (§3.2.2: "a useful starting point for identifying
+    /// necessary capabilities").
+    pub fn auto_grants(&self, session: SessionId) -> Vec<&LogEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::DebugAutoGrant { session: s, .. } if *s == session))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::NodeId;
+
+    #[test]
+    fn disabled_log_keeps_denials_only() {
+        let mut log = SandboxLog::default();
+        log.push(LogEvent::SessionEntered { session: SessionId(1) });
+        assert!(log.events().is_empty());
+        log.push_always(LogEvent::Denied {
+            session: SessionId(1),
+            pid: Pid(5),
+            obj: ObjId::Vnode(NodeId(9)),
+            needed: Priv::Read,
+        });
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.denials(SessionId(1)).len(), 1);
+        assert!(log.denials(SessionId(2)).is_empty());
+    }
+
+    #[test]
+    fn enabled_log_keeps_everything() {
+        let mut log = SandboxLog { enabled: true, ..Default::default() };
+        log.push(LogEvent::SessionCreated { session: SessionId(1), parent: None });
+        log.push(LogEvent::SessionEntered { session: SessionId(1) });
+        assert_eq!(log.events().len(), 2);
+        log.clear();
+        assert!(log.events().is_empty());
+    }
+}

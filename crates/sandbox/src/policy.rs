@@ -1,0 +1,753 @@
+//! The SHILL MAC policy module (paper §3.2).
+//!
+//! Labels each kernel object with a *privilege map* — "a map from sessions
+//! to sets of privileges" — and checks every mediated operation against the
+//! invoking process's session. Privileges propagate to derived objects via
+//! the `vnode_post_lookup`/`vnode_post_create` hooks, subject to:
+//!
+//! * **no `..`/`.` propagation** (§3.2.2 "Path traversal"): lookups of
+//!   `..` are permitted with `+lookup` but never propagate privileges, and
+//!   `.` propagation is refused because it would amplify (a `+lookup with
+//!   {+stat}` would otherwise grant `+stat` on the directory itself);
+//! * **no privilege amplification** (§3.2.2): a session is never granted
+//!   conflicting privilege entries for one object; a propagated entry
+//!   replaces the existing one only when it subsumes it.
+//!
+//! The policy also enforces the coarser MAC granularity the paper reports:
+//! to write (or append) a session needs **both** `+write` and `+append`
+//! (§3.2.3), because the framework has one write entry point.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use shill_cap::{pipe_op_priv, socket_op_priv, vnode_op_priv, CapPrivs, Priv, PrivSet};
+use shill_kernel::{MacCtx, MacPolicy, ObjId, Pid, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
+use shill_kernel::SockDomain;
+use shill_vfs::{Errno, FileType, NodeId, SysResult};
+
+use crate::log::{LogEvent, SandboxLog};
+use crate::session::{Session, SessionId};
+
+/// Counters exposed for tests and the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    pub sessions_created: u64,
+    pub grants: u64,
+    pub propagations: u64,
+    pub denials: u64,
+    pub checks: u64,
+    /// Label entries scrubbed during session reclamation (the cleanup cost
+    /// the paper attributes Find's overhead to).
+    pub scrubbed: u64,
+}
+
+#[derive(Default)]
+struct State {
+    sessions: HashMap<SessionId, Session>,
+    proc_session: HashMap<Pid, SessionId>,
+    labels: HashMap<ObjId, HashMap<SessionId, Arc<CapPrivs>>>,
+    next_session: u64,
+    log: SandboxLog,
+    stats: PolicyStats,
+}
+
+impl State {
+    /// The *entered* session of a process, if any — only entered sessions
+    /// are restricted (§3.2.1).
+    fn entered_session(&self, pid: Pid) -> Option<SessionId> {
+        let sid = *self.proc_session.get(&pid)?;
+        let s = self.sessions.get(&sid)?;
+        if s.entered {
+            Some(sid)
+        } else {
+            None
+        }
+    }
+
+    fn privs_on(&self, session: SessionId, obj: ObjId) -> Option<Arc<CapPrivs>> {
+        self.labels.get(&obj)?.get(&session).cloned()
+    }
+
+    /// Merge a propagated/granted entry under the no-amplification rule:
+    /// keep the existing entry unless the new one subsumes it.
+    fn merge_label(&mut self, session: SessionId, obj: ObjId, new: Arc<CapPrivs>) -> bool {
+        let slot = self.labels.entry(obj).or_default();
+        match slot.get(&session) {
+            None => {
+                slot.insert(session, new);
+                true
+            }
+            Some(existing) if existing.is_subset(&new) => {
+                slot.insert(session, new);
+                true
+            }
+            Some(_) => false, // conflicting or weaker: refuse (conservative)
+        }
+    }
+
+    /// Does `candidate` equal or descend from `ancestor`?
+    fn descends(&self, candidate: SessionId, ancestor: SessionId) -> bool {
+        let mut cur = Some(candidate);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.sessions.get(&c).and_then(|s| s.parent);
+        }
+        false
+    }
+
+    /// Check a privilege against an object label, applying debug-mode
+    /// auto-grant. Returns `Ok` or logs + returns `EACCES`.
+    fn check_priv(&mut self, pid: Pid, session: SessionId, obj: ObjId, needed: Priv) -> SysResult<()> {
+        self.stats.checks += 1;
+        let allowed = self
+            .privs_on(session, obj)
+            .map(|p| p.allows(needed))
+            .unwrap_or(false);
+        if allowed {
+            return Ok(());
+        }
+        let debug = self.sessions.get(&session).map(|s| s.debug).unwrap_or(false);
+        if debug {
+            // §3.2.2: debugging mode "automatically grants the necessary
+            // privileges if an operation would fail".
+            let base = self
+                .privs_on(session, obj)
+                .map(|p| (*p).clone())
+                .unwrap_or_else(CapPrivs::none);
+            let mut privs = base.privs;
+            privs.insert(needed);
+            let upgraded = Arc::new(CapPrivs { privs, modifiers: base.modifiers });
+            self.labels.entry(obj).or_default().insert(session, upgraded);
+            self.log.push_always(LogEvent::DebugAutoGrant { session, pid, obj, granted: needed });
+            return Ok(());
+        }
+        self.stats.denials += 1;
+        self.log.push_always(LogEvent::Denied { session, pid, obj, needed });
+        Err(Errno::EACCES)
+    }
+}
+
+/// The SHILL sandbox policy. Register with
+/// [`shill_kernel::Kernel::register_policy`]; create sessions around `exec`
+/// with [`ShillPolicy::shill_init`] / [`ShillPolicy::shill_grant`] /
+/// [`ShillPolicy::shill_enter`].
+#[derive(Default)]
+pub struct ShillPolicy {
+    state: Mutex<State>,
+}
+
+impl ShillPolicy {
+    pub fn new() -> Arc<ShillPolicy> {
+        Arc::new(ShillPolicy::default())
+    }
+
+    // --- the module's system calls (§3.2.1) -------------------------------
+
+    /// `shill_init`: create a session and associate it with `pid`. If the
+    /// process is already in a session the new one is its child and can
+    /// hold at most the parent's privileges (hierarchical attenuation).
+    pub fn shill_init(&self, pid: Pid) -> SysResult<SessionId> {
+        let mut st = self.state.lock();
+        let parent = st.proc_session.get(&pid).copied();
+        st.next_session += 1;
+        let sid = SessionId(st.next_session);
+        st.sessions.insert(sid, Session::new(sid, parent));
+        st.proc_session.insert(pid, sid);
+        st.stats.sessions_created += 1;
+        st.log.push(LogEvent::SessionCreated { session: sid, parent });
+        Ok(sid)
+    }
+
+    /// `shill_grant`: give `session` privileges on a kernel object.
+    /// Only possible before `shill_enter`; a granter inside an entered
+    /// session can only attenuate (grant a subset of what it holds).
+    pub fn shill_grant(
+        &self,
+        granter: Pid,
+        session: SessionId,
+        obj: ObjId,
+        privs: Arc<CapPrivs>,
+    ) -> SysResult<()> {
+        let mut st = self.state.lock();
+        {
+            let s = st.sessions.get(&session).ok_or(Errno::EINVAL)?;
+            if s.entered {
+                return Err(Errno::EINVAL);
+            }
+        }
+        if let Some(gsid) = st.entered_session(granter) {
+            let held = st.privs_on(gsid, obj).unwrap_or_else(|| Arc::new(CapPrivs::none()));
+            if !privs.is_subset(&held) {
+                return Err(Errno::EACCES);
+            }
+        }
+        let desc = privs.to_string();
+        st.merge_label(session, obj, privs);
+        st.stats.grants += 1;
+        st.log.push(LogEvent::Grant { session, obj, privs: desc, propagated: false });
+        Ok(())
+    }
+
+    /// Grant a socket-factory capability: session-scoped socket privileges.
+    pub fn shill_grant_socket_factory(
+        &self,
+        granter: Pid,
+        session: SessionId,
+        privs: PrivSet,
+    ) -> SysResult<()> {
+        let mut st = self.state.lock();
+        if let Some(gsid) = st.entered_session(granter) {
+            let held = st.sessions.get(&gsid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+            if !privs.is_subset(&held) {
+                return Err(Errno::EACCES);
+            }
+        }
+        let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
+        if s.entered {
+            return Err(Errno::EINVAL);
+        }
+        s.socket_privs = s.socket_privs.union(privs);
+        st.stats.grants += 1;
+        Ok(())
+    }
+
+    /// Grant a pipe-factory capability.
+    pub fn shill_grant_pipe_factory(&self, _granter: Pid, session: SessionId) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
+        if s.entered {
+            return Err(Errno::EINVAL);
+        }
+        s.pipe_factory = true;
+        Ok(())
+    }
+
+    /// `shill_enter`: seal the session; from now on its processes are
+    /// restricted to the granted capabilities.
+    pub fn shill_enter(&self, pid: Pid) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let sid = *st.proc_session.get(&pid).ok_or(Errno::EINVAL)?;
+        let s = st.sessions.get_mut(&sid).ok_or(Errno::EINVAL)?;
+        if s.entered {
+            return Err(Errno::EINVAL);
+        }
+        s.entered = true;
+        st.log.push(LogEvent::SessionEntered { session: sid });
+        Ok(())
+    }
+
+    // --- administration ----------------------------------------------------
+
+    /// Put a session in debug mode (§3.2.2).
+    pub fn set_debug(&self, session: SessionId, debug: bool) -> SysResult<()> {
+        let mut st = self.state.lock();
+        st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?.debug = debug;
+        Ok(())
+    }
+
+    /// Enable verbose grant logging.
+    pub fn enable_logging(&self, enabled: bool) {
+        self.state.lock().log.enabled = enabled;
+    }
+
+    /// Snapshot of the audit log.
+    pub fn log_events(&self) -> Vec<LogEvent> {
+        self.state.lock().log.events().to_vec()
+    }
+
+    pub fn clear_log(&self) {
+        self.state.lock().log.clear();
+    }
+
+    pub fn stats(&self) -> PolicyStats {
+        self.state.lock().stats
+    }
+
+    /// The session a process belongs to (entered or not).
+    pub fn session_of(&self, pid: Pid) -> Option<SessionId> {
+        self.state.lock().proc_session.get(&pid).copied()
+    }
+
+    /// The privileges a session holds on an object (tests/diagnostics).
+    pub fn privs_on(&self, session: SessionId, obj: ObjId) -> Option<Arc<CapPrivs>> {
+        self.state.lock().privs_on(session, obj)
+    }
+
+    /// Number of live label entries (tests: session scrubbing).
+    pub fn label_entries(&self) -> usize {
+        self.state.lock().labels.values().map(|m| m.len()).sum()
+    }
+}
+
+impl MacPolicy for ShillPolicy {
+    fn name(&self) -> &str {
+        "shill"
+    }
+
+    fn vnode_check(&self, ctx: MacCtx, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let obj = ObjId::Vnode(node);
+        let needed = vnode_op_priv(op);
+        if needed == Priv::Write {
+            // §3.2.3: single write entry point ⇒ require both privileges.
+            st.check_priv(ctx.pid, sid, obj, Priv::Write)?;
+            st.check_priv(ctx.pid, sid, obj, Priv::Append)?;
+            return Ok(());
+        }
+        st.check_priv(ctx.pid, sid, obj, needed)
+    }
+
+    fn vnode_post_lookup(&self, ctx: MacCtx, dir: NodeId, name: &str, child: NodeId) {
+        // §3.2.2: lookups of ".." are allowed but privileges are "only
+        // propagate[d] ... when the directory entry requested is not '..'",
+        // and "." is excluded too "since this can lead to privilege
+        // amplification".
+        if name == ".." || name == "." {
+            return;
+        }
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return };
+        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else { return };
+        if !parent_privs.allows(Priv::Lookup) {
+            return;
+        }
+        let derived = parent_privs.derived(Priv::Lookup);
+        if st.merge_label(sid, ObjId::Vnode(child), derived) {
+            st.stats.propagations += 1;
+        }
+    }
+
+    fn vnode_post_create(&self, ctx: MacCtx, dir: NodeId, _name: &str, child: NodeId, ftype: FileType) {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return };
+        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else { return };
+        let via = match ftype {
+            FileType::Directory => Priv::CreateDir,
+            FileType::Symlink => Priv::CreateSymlink,
+            _ => Priv::CreateFile,
+        };
+        if !parent_privs.allows(via) {
+            return;
+        }
+        let derived = parent_privs.derived(via);
+        if st.merge_label(sid, ObjId::Vnode(child), derived) {
+            st.stats.propagations += 1;
+        }
+    }
+
+    fn pipe_post_create(&self, ctx: MacCtx, pipe: ObjId) {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return };
+        // A pipe created inside the sandbox is fully usable by its session.
+        st.merge_label(sid, pipe, Arc::new(CapPrivs::full()));
+    }
+
+    fn socket_post_create(&self, ctx: MacCtx, sock: ObjId) {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return };
+        let privs = st.sessions.get(&sid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+        if !privs.is_empty() {
+            st.merge_label(sid, sock, Arc::new(CapPrivs::of(privs)));
+        }
+    }
+
+    fn pipe_check(&self, ctx: MacCtx, pipe: ObjId, op: PipeOp) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let needed = pipe_op_priv(op);
+        if needed == Priv::Write {
+            st.check_priv(ctx.pid, sid, pipe, Priv::Write)?;
+            st.check_priv(ctx.pid, sid, pipe, Priv::Append)?;
+            return Ok(());
+        }
+        st.check_priv(ctx.pid, sid, pipe, needed)
+    }
+
+    fn socket_check(&self, ctx: MacCtx, sock: ObjId, op: &SocketOp) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        if let SocketOp::Create(domain) = op {
+            // Figure 7: "Sockets (other): Denied" — even with a factory.
+            if *domain == SockDomain::Other {
+                st.stats.denials += 1;
+                return Err(Errno::EACCES);
+            }
+            // Session-scoped factory check.
+            let privs = st.sessions.get(&sid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+            if privs.contains(Priv::SockCreate) {
+                return Ok(());
+            }
+            st.stats.denials += 1;
+            st.log.push_always(LogEvent::Denied {
+                session: sid,
+                pid: ctx.pid,
+                obj: sock,
+                needed: Priv::SockCreate,
+            });
+            return Err(Errno::EACCES);
+        }
+        st.check_priv(ctx.pid, sid, sock, socket_op_priv(op))
+    }
+
+    fn proc_check(&self, ctx: MacCtx, op: ProcOp) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let Some(actor) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let target_pid = match op {
+            ProcOp::Signal(t) | ProcOp::Wait(t) | ProcOp::Debug(t) => t,
+        };
+        // §3.2.2 "Process interaction": only processes in the same session
+        // or a descendant session.
+        let ok = match st.proc_session.get(&target_pid) {
+            Some(t) => st.descends(*t, actor),
+            None => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            st.stats.denials += 1;
+            Err(Errno::EACCES)
+        }
+    }
+
+    fn system_check(&self, ctx: MacCtx, op: &SystemOp) -> SysResult<()> {
+        let mut st = self.state.lock();
+        let Some(_sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        // Paper Figure 7: sysctl read-only; kenv, kernel modules, POSIX IPC
+        // and System V IPC all denied.
+        match op {
+            SystemOp::SysctlRead(_) => Ok(()),
+            SystemOp::SysctlWrite(_)
+            | SystemOp::KernelEnv
+            | SystemOp::KernelModule
+            | SystemOp::PosixIpc
+            | SystemOp::SysvIpc => {
+                st.stats.denials += 1;
+                Err(Errno::EACCES)
+            }
+        }
+    }
+
+    fn vnode_destroy(&self, node: NodeId) {
+        let mut st = self.state.lock();
+        st.labels.remove(&ObjId::Vnode(node));
+    }
+
+    fn proc_fork(&self, parent: Pid, child: Pid) {
+        let mut st = self.state.lock();
+        // §3.2.1: spawned processes join the parent's session by default.
+        if let Some(sid) = st.proc_session.get(&parent).copied() {
+            st.proc_session.insert(child, sid);
+            if let Some(s) = st.sessions.get_mut(&sid) {
+                s.live_procs += 1;
+            }
+        }
+    }
+
+    fn proc_exit(&self, pid: Pid) {
+        let mut st = self.state.lock();
+        let Some(sid) = st.proc_session.remove(&pid) else { return };
+        let reclaim = match st.sessions.get_mut(&sid) {
+            Some(s) => {
+                s.live_procs = s.live_procs.saturating_sub(1);
+                s.live_procs == 0
+            }
+            None => false,
+        };
+        if reclaim {
+            // Scrub this session's entries from every privilege map. This
+            // is the (here synchronous) analogue of the kernel's
+            // asynchronous session cleanup the paper blames for part of
+            // Find's overhead (§4.2).
+            let mut scrubbed = 0usize;
+            st.labels.retain(|_, m| {
+                if m.remove(&sid).is_some() {
+                    scrubbed += 1;
+                }
+                !m.is_empty()
+            });
+            st.sessions.remove(&sid);
+            st.stats.scrubbed += scrubbed as u64;
+            st.log.push(LogEvent::SessionReclaimed { session: sid, labels_scrubbed: scrubbed });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::Cred;
+
+    fn ctx(pid: u32) -> MacCtx {
+        MacCtx { pid: Pid(pid), cred: Cred::user(100) }
+    }
+
+    fn caps(privs: &[Priv]) -> Arc<CapPrivs> {
+        Arc::new(CapPrivs::of(PrivSet::of(privs)))
+    }
+
+    #[test]
+    fn unsandboxed_process_is_unrestricted() {
+        let p = ShillPolicy::new();
+        assert!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read).is_ok());
+    }
+
+    #[test]
+    fn unentered_session_is_unrestricted() {
+        let p = ShillPolicy::new();
+        p.shill_init(Pid(10)).unwrap();
+        assert!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read).is_ok());
+    }
+
+    #[test]
+    fn entered_session_requires_privileges() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read).is_ok());
+        assert_eq!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Stat).unwrap_err(), Errno::EACCES);
+        assert_eq!(p.vnode_check(ctx(10), NodeId(6), &VnodeOp::Read).unwrap_err(), Errno::EACCES);
+    }
+
+    #[test]
+    fn grant_after_enter_fails() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert_eq!(
+            p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap_err(),
+            Errno::EINVAL
+        );
+    }
+
+    #[test]
+    fn write_requires_write_and_append() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        // +write alone is insufficient in the sandbox (§3.2.3).
+        assert_eq!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Write).unwrap_err(), Errno::EACCES);
+    }
+
+    #[test]
+    fn lookup_propagates_with_modifier() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        let parent = Arc::new(
+            CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
+                .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Read]))),
+        );
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), parent).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        p.vnode_post_lookup(ctx(10), NodeId(5), "dog.jpg", NodeId(9));
+        let child = p.privs_on(sid, ObjId::Vnode(NodeId(9))).unwrap();
+        assert!(child.allows(Priv::Read));
+        assert!(!child.allows(Priv::Lookup));
+        assert!(p.vnode_check(ctx(10), NodeId(9), &VnodeOp::Read).is_ok());
+    }
+
+    #[test]
+    fn dotdot_and_dot_do_not_propagate() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Lookup, Priv::Stat])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        p.vnode_post_lookup(ctx(10), NodeId(5), "..", NodeId(4));
+        p.vnode_post_lookup(ctx(10), NodeId(5), ".", NodeId(5));
+        assert!(p.privs_on(sid, ObjId::Vnode(NodeId(4))).is_none());
+        // "." must not amplify either; entry for 5 stays the explicit grant.
+        assert!(p.privs_on(sid, ObjId::Vnode(NodeId(5))).unwrap().allows(Priv::Stat));
+    }
+
+    #[test]
+    fn no_amplification_on_conflicting_entries() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        // Existing entry: create-file derives read-only.
+        let ro_create = Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
+            Priv::CreateFile,
+            CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path])),
+        ));
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        // A lookup from a parent whose modifier would give conflicting
+        // (write-capable) create privileges must NOT be merged in.
+        let conflicting = Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
+            Priv::CreateFile,
+            CapPrivs::of(PrivSet::of(&[Priv::Write, Priv::Append])),
+        ));
+        let parent = Arc::new(
+            CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
+                .with_modifier(Priv::Lookup, (*conflicting).clone()),
+        );
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent).unwrap_err(); // entered: expected
+        // Re-create scenario without enter ordering problems:
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        let ro_create = Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
+            Priv::CreateFile,
+            CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path])),
+        ));
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create.clone()).unwrap();
+        let parent = Arc::new(
+            CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
+                .with_modifier(Priv::Lookup, (*conflicting).clone()),
+        );
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        p.vnode_post_lookup(ctx(10), NodeId(6), "seven", NodeId(7));
+        let entry = p.privs_on(sid, ObjId::Vnode(NodeId(7))).unwrap();
+        assert_eq!(&*entry, &*ro_create, "conflicting propagation must be refused");
+    }
+
+    #[test]
+    fn session_scrub_removes_labels() {
+        let p = ShillPolicy::new();
+        p.proc_fork(Pid(1), Pid(10)); // no session yet: no-op
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), caps(&[Priv::Read])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert_eq!(p.label_entries(), 2);
+        p.proc_exit(Pid(10));
+        assert_eq!(p.label_entries(), 0);
+        assert_eq!(p.stats().scrubbed, 2);
+    }
+
+    #[test]
+    fn fork_joins_session_and_keeps_it_alive() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        p.proc_fork(Pid(10), Pid(11));
+        assert_eq!(p.session_of(Pid(11)), Some(sid));
+        assert!(p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Read).is_ok());
+        p.proc_exit(Pid(10));
+        // Child still alive: labels retained.
+        assert_eq!(p.label_entries(), 1);
+        p.proc_exit(Pid(11));
+        assert_eq!(p.label_entries(), 0);
+    }
+
+    #[test]
+    fn hierarchical_attenuation() {
+        let p = ShillPolicy::new();
+        let s1 = p.shill_init(Pid(10)).unwrap();
+        p.shill_grant(Pid(1), s1, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read, Priv::Stat])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        // Pid 10 (sandboxed, SHILL-aware) spawns a child in a sub-session.
+        p.proc_fork(Pid(10), Pid(11));
+        let s2 = p.shill_init(Pid(11)).unwrap();
+        // Attenuation: can grant ⊆ of what s1 holds...
+        p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        // ...but not more.
+        assert_eq!(
+            p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write])).unwrap_err(),
+            Errno::EACCES
+        );
+        p.shill_enter(Pid(11)).unwrap();
+        assert!(p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Read).is_ok());
+        assert_eq!(p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Stat).unwrap_err(), Errno::EACCES);
+        // Signals: s2 descends from s1, so 10 can signal 11 but not vice versa.
+        assert!(p.proc_check(ctx(10), ProcOp::Signal(Pid(11))).is_ok());
+        assert_eq!(p.proc_check(ctx(11), ProcOp::Signal(Pid(10))).unwrap_err(), Errno::EACCES);
+    }
+
+    #[test]
+    fn process_confinement() {
+        let p = ShillPolicy::new();
+        let _sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        // Unsandboxed pid 99 is outside every session.
+        assert_eq!(p.proc_check(ctx(10), ProcOp::Signal(Pid(99))).unwrap_err(), Errno::EACCES);
+        assert_eq!(p.proc_check(ctx(10), ProcOp::Debug(Pid(99))).unwrap_err(), Errno::EACCES);
+        // The unsandboxed side is unrestricted (kernel DAC still applies).
+        assert!(p.proc_check(ctx(99), ProcOp::Signal(Pid(10))).is_ok());
+    }
+
+    #[test]
+    fn socket_factory_gates_creation() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        let create = SocketOp::Create(SockDomain::Inet);
+        assert_eq!(
+            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create).unwrap_err(),
+            Errno::EACCES
+        );
+        // With a factory: allowed, and new sockets get the factory privs.
+        let p = ShillPolicy::new();
+        let sid2 = p.shill_init(Pid(10)).unwrap();
+        let _ = sid;
+        p.shill_grant_socket_factory(Pid(1), sid2, PrivSet::of(&[Priv::SockCreate, Priv::SockConnect, Priv::SockSend, Priv::SockRecv])).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert!(p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create).is_ok());
+        p.socket_post_create(ctx(10), ObjId::Socket(shill_kernel::SockId(7)));
+        assert!(p
+            .socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(7)), &SocketOp::Send)
+            .is_ok());
+        assert_eq!(
+            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(7)), &SocketOp::Listen)
+                .unwrap_err(),
+            Errno::EACCES
+        );
+        // "Other" domains are denied even with a factory (Figure 7).
+        assert_eq!(
+            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &SocketOp::Create(SockDomain::Other))
+                .unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn system_surfaces_follow_figure7() {
+        let p = ShillPolicy::new();
+        let _sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert!(p.system_check(ctx(10), &SystemOp::SysctlRead("kern.ostype".into())).is_ok());
+        for denied in [
+            SystemOp::SysctlWrite("kern.x".into()),
+            SystemOp::KernelEnv,
+            SystemOp::KernelModule,
+            SystemOp::PosixIpc,
+            SystemOp::SysvIpc,
+        ] {
+            assert_eq!(p.system_check(ctx(10), &denied).unwrap_err(), Errno::EACCES);
+        }
+    }
+
+    #[test]
+    fn debug_mode_auto_grants_and_logs() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.set_debug(sid, true).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        assert!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read).is_ok());
+        let events = p.log_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            LogEvent::DebugAutoGrant { granted: Priv::Read, .. }
+        )));
+        // The grant persists for subsequent checks.
+        assert!(p.privs_on(sid, ObjId::Vnode(NodeId(5))).unwrap().allows(Priv::Read));
+    }
+
+    #[test]
+    fn denials_are_logged() {
+        let p = ShillPolicy::new();
+        let sid = p.shill_init(Pid(10)).unwrap();
+        p.shill_enter(Pid(10)).unwrap();
+        let _ = p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read);
+        let log = p.log_events();
+        assert_eq!(log.len(), 1);
+        assert!(matches!(&log[0], LogEvent::Denied { needed: Priv::Read, session, .. } if *session == sid));
+        assert_eq!(p.stats().denials, 1);
+    }
+}

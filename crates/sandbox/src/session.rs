@@ -1,0 +1,79 @@
+//! Sandbox sessions (paper §3.2.1).
+//!
+//! "Each process executing in a SHILL sandbox is associated with a session.
+//! Processes in the same session share the same set of capabilities and can
+//! communicate via signals. ... sessions are hierarchical: a sandboxed
+//! process inside session S1 can spawn a process inside a new session S2,
+//! which has fewer capabilities than S1."
+
+use std::fmt;
+
+use shill_cap::PrivSet;
+
+/// Session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// Per-session state kept by the policy module.
+#[derive(Debug)]
+pub struct Session {
+    pub id: SessionId,
+    /// Parent session for hierarchical attenuation; `None` for sessions
+    /// created by unsandboxed processes.
+    pub parent: Option<SessionId>,
+    /// Set by `shill_enter`: from then on the MAC policy restricts every
+    /// process in the session to its granted capabilities.
+    pub entered: bool,
+    /// Session-scoped socket privileges conveyed by a socket-factory
+    /// capability ("a sandbox must possess a socket factory capability to
+    /// be allowed to create and use sockets", §3.1.1). Freshly created
+    /// sockets receive these privileges as their object label.
+    pub socket_privs: PrivSet,
+    /// Whether a pipe-factory capability was granted.
+    pub pipe_factory: bool,
+    /// Debug mode: denied operations are auto-granted and logged instead of
+    /// failing (§3.2.2 "Debugging").
+    pub debug: bool,
+    /// Live processes currently in the session; the session's labels are
+    /// scrubbed when this reaches zero.
+    pub live_procs: u32,
+}
+
+impl Session {
+    pub fn new(id: SessionId, parent: Option<SessionId>) -> Session {
+        Session {
+            id,
+            parent,
+            entered: false,
+            socket_privs: PrivSet::EMPTY,
+            pipe_factory: false,
+            debug: false,
+            live_procs: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_session_is_unentered_and_unprivileged() {
+        let s = Session::new(SessionId(1), None);
+        assert!(!s.entered);
+        assert!(s.socket_privs.is_empty());
+        assert!(!s.pipe_factory);
+        assert_eq!(s.live_procs, 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SessionId(4).to_string(), "session#4");
+    }
+}

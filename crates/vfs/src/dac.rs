@@ -1,0 +1,100 @@
+//! Discretionary access control: classic Unix owner/group/other mode bits.
+//!
+//! The paper's sandbox enforces its capability-based MAC policy *in addition
+//! to* the operating system's DAC (§2.3): "an operation on a resource by a
+//! sandboxed execution is permitted only if it passes the checks performed by
+//! the operating system based on the user's ambient authority and is also
+//! permitted by the capabilities possessed by the sandbox." This module is
+//! the first half of that conjunction.
+
+use crate::node::Vnode;
+use crate::types::{Access, Cred};
+
+/// Check whether `cred` may perform `access` on `node` under DAC rules.
+///
+/// Root bypasses read/write checks; for execute, root needs at least one
+/// execute bit set somewhere in the mode (matching BSD semantics).
+pub fn check_access(node: &Vnode, cred: Cred, access: Access) -> bool {
+    let mode = node.mode.bits();
+    if cred.is_root() {
+        return match access {
+            Access::Exec => node.is_dir() || mode & 0o111 != 0,
+            _ => true,
+        };
+    }
+    let shift = if cred.uid == node.uid {
+        6
+    } else if cred.gid == node.gid {
+        3
+    } else {
+        0
+    };
+    let bits = (mode >> shift) & 0o7;
+    let needed = match access {
+        Access::Read => 0o4,
+        Access::Write => 0o2,
+        Access::Exec => 0o1,
+    };
+    bits & needed != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeBody;
+    use crate::types::{Gid, Mode, NodeId, Timestamp, Uid};
+
+    fn node(mode: u16, uid: u32, gid: u32) -> Vnode {
+        Vnode {
+            id: NodeId(1),
+            mode: Mode(mode),
+            uid: Uid(uid),
+            gid: Gid(gid),
+            nlink: 1,
+            mtime: Timestamp(0),
+            ctime: Timestamp(0),
+            body: NodeBody::File(vec![]),
+        }
+    }
+
+    #[test]
+    fn owner_class_applies_to_owner() {
+        let n = node(0o600, 100, 100);
+        assert!(check_access(&n, Cred::user(100), Access::Read));
+        assert!(check_access(&n, Cred::user(100), Access::Write));
+        assert!(!check_access(&n, Cred::user(100), Access::Exec));
+    }
+
+    #[test]
+    fn group_class_applies_to_group_member() {
+        let n = node(0o640, 100, 200);
+        let member = Cred { uid: Uid(300), gid: Gid(200) };
+        assert!(check_access(&n, member, Access::Read));
+        assert!(!check_access(&n, member, Access::Write));
+    }
+
+    #[test]
+    fn other_class_for_strangers() {
+        let n = node(0o604, 100, 100);
+        assert!(check_access(&n, Cred::user(999), Access::Read));
+        assert!(!check_access(&n, Cred::user(999), Access::Write));
+    }
+
+    #[test]
+    fn owner_class_shadows_weaker_other_bits() {
+        // Owner gets *only* the owner class even if other is more permissive.
+        let n = node(0o007, 100, 100);
+        assert!(!check_access(&n, Cred::user(100), Access::Read));
+        assert!(check_access(&n, Cred::user(999), Access::Read));
+    }
+
+    #[test]
+    fn root_bypasses_rw_but_not_plain_exec() {
+        let n = node(0o000, 100, 100);
+        assert!(check_access(&n, Cred::ROOT, Access::Read));
+        assert!(check_access(&n, Cred::ROOT, Access::Write));
+        assert!(!check_access(&n, Cred::ROOT, Access::Exec));
+        let x = node(0o100, 100, 100);
+        assert!(check_access(&x, Cred::ROOT, Access::Exec));
+    }
+}

@@ -1,0 +1,223 @@
+//! POSIX-style error numbers used throughout the simulated kernel.
+//!
+//! The SHILL paper's sandbox denies operations by making the system call
+//! "abort with an error but the process is otherwise allowed to continue"
+//! (§3.2.2). We model that with ordinary `Result<_, Errno>` returns; `EACCES`
+//! is the error the MAC layer produces on insufficient privileges, matching
+//! the worked example in the paper's Figure 8.
+
+use std::fmt;
+
+/// Error numbers returned by simulated system calls.
+///
+/// The numeric values follow FreeBSD's `errno.h` where the name exists there;
+/// exact values only matter for display and for deterministic test fixtures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// Input/output error.
+    EIO = 5,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// No child processes.
+    ECHILD = 10,
+    /// Resource temporarily unavailable.
+    EAGAIN = 11,
+    /// Cannot allocate memory.
+    ENOMEM = 12,
+    /// Permission denied (DAC or MAC check failed).
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link.
+    EXDEV = 18,
+    /// Operation not supported by device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files in system.
+    ENFILE = 23,
+    /// Too many open files in this process.
+    EMFILE = 24,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Too many links.
+    EMLINK = 31,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Address already in use.
+    EADDRINUSE = 48,
+    /// Can't assign requested address.
+    EADDRNOTAVAIL = 49,
+    /// Socket is not connected.
+    ENOTCONN = 57,
+    /// Connection refused.
+    ECONNREFUSED = 61,
+    /// Too many levels of symbolic links.
+    ELOOP = 62,
+    /// File name too long.
+    ENAMETOOLONG = 63,
+    /// Directory not empty.
+    ENOTEMPTY = 66,
+    /// Function not implemented.
+    ENOSYS = 78,
+    /// Exec format error.
+    ENOEXEC = 8,
+    /// Socket operation on non-socket.
+    ENOTSOCK = 38,
+    /// Operation timed out.
+    ETIMEDOUT = 60,
+    /// Connection reset by peer.
+    ECONNRESET = 54,
+}
+
+impl Errno {
+    /// Short symbolic name, e.g. `"EACCES"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::ECHILD => "ECHILD",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::EPIPE => "EPIPE",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            Errno::ENOTCONN => "ENOTCONN",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ENOEXEC => "ENOEXEC",
+            Errno::ENOTSOCK => "ENOTSOCK",
+            Errno::ETIMEDOUT => "ETIMEDOUT",
+            Errno::ECONNRESET => "ECONNRESET",
+        }
+    }
+
+    /// Human-readable description, mirroring `strerror(3)`.
+    pub fn message(self) -> &'static str {
+        match self {
+            Errno::EPERM => "operation not permitted",
+            Errno::ENOENT => "no such file or directory",
+            Errno::ESRCH => "no such process",
+            Errno::EINTR => "interrupted system call",
+            Errno::EIO => "input/output error",
+            Errno::EBADF => "bad file descriptor",
+            Errno::ECHILD => "no child processes",
+            Errno::EAGAIN => "resource temporarily unavailable",
+            Errno::ENOMEM => "cannot allocate memory",
+            Errno::EACCES => "permission denied",
+            Errno::EFAULT => "bad address",
+            Errno::EBUSY => "device busy",
+            Errno::EEXIST => "file exists",
+            Errno::EXDEV => "cross-device link",
+            Errno::ENODEV => "operation not supported by device",
+            Errno::ENOTDIR => "not a directory",
+            Errno::EISDIR => "is a directory",
+            Errno::EINVAL => "invalid argument",
+            Errno::ENFILE => "too many open files in system",
+            Errno::EMFILE => "too many open files",
+            Errno::EFBIG => "file too large",
+            Errno::ENOSPC => "no space left on device",
+            Errno::EROFS => "read-only file system",
+            Errno::EMLINK => "too many links",
+            Errno::EPIPE => "broken pipe",
+            Errno::EADDRINUSE => "address already in use",
+            Errno::EADDRNOTAVAIL => "can't assign requested address",
+            Errno::ENOTCONN => "socket is not connected",
+            Errno::ECONNREFUSED => "connection refused",
+            Errno::ELOOP => "too many levels of symbolic links",
+            Errno::ENAMETOOLONG => "file name too long",
+            Errno::ENOTEMPTY => "directory not empty",
+            Errno::ENOSYS => "function not implemented",
+            Errno::ENOEXEC => "exec format error",
+            Errno::ENOTSOCK => "socket operation on non-socket",
+            Errno::ETIMEDOUT => "operation timed out",
+            Errno::ECONNRESET => "connection reset by peer",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.message())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result alias used by every simulated system call.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_name_and_message() {
+        let s = format!("{}", Errno::EACCES);
+        assert!(s.contains("EACCES"));
+        assert!(s.contains("permission denied"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EACCES,
+            Errno::ENOTDIR,
+            Errno::EISDIR,
+            Errno::EEXIST,
+            Errno::EBADF,
+            Errno::EINVAL,
+            Errno::ENOTEMPTY,
+            Errno::ELOOP,
+        ];
+        let mut names: Vec<_> = all.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

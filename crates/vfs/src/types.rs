@@ -1,0 +1,153 @@
+//! Core identifier and metadata types for the simulated filesystem.
+
+use std::fmt;
+
+/// Identifier of a vnode in the filesystem's node table.
+///
+/// `NodeId` is the simulated analogue of a `vnode` pointer: the MAC framework
+/// attaches labels keyed by `NodeId`, and file descriptors reference nodes by
+/// id. Ids are never reused within one [`crate::Filesystem`] instance, so a
+/// stale id reliably reports `ENOENT` rather than aliasing a new object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vnode#{}", self.0)
+    }
+}
+
+/// Simulated user id. Uid 0 is root and bypasses DAC checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uid(pub u32);
+
+/// Simulated group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+}
+
+impl Gid {
+    /// The superuser's group (`wheel`).
+    pub const WHEEL: Gid = Gid(0);
+}
+
+/// Credentials under which a process performs filesystem operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cred {
+    pub uid: Uid,
+    pub gid: Gid,
+}
+
+impl Cred {
+    /// Root credentials.
+    pub const ROOT: Cred = Cred { uid: Uid::ROOT, gid: Gid::WHEEL };
+
+    /// Credentials for an ordinary user whose primary group equals their uid.
+    pub fn user(uid: u32) -> Cred {
+        Cred { uid: Uid(uid), gid: Gid(uid) }
+    }
+
+    /// Whether these credentials bypass discretionary access control.
+    pub fn is_root(&self) -> bool {
+        self.uid == Uid::ROOT
+    }
+}
+
+/// Unix permission bits (lower 12 bits of `st_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    pub const RWX_ALL: Mode = Mode(0o777);
+    pub const RW_ALL: Mode = Mode(0o666);
+    pub const DIR_DEFAULT: Mode = Mode(0o755);
+    pub const FILE_DEFAULT: Mode = Mode(0o644);
+
+    pub fn bits(self) -> u16 {
+        self.0 & 0o7777
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.bits())
+    }
+}
+
+/// The access classes checked by DAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+    Exec,
+}
+
+/// Type of a filesystem node, as reported by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    Regular,
+    Directory,
+    Symlink,
+    /// Character device (e.g. a pseudo-terminal). The paper notes the MAC
+    /// framework does not interpose on device read/write (§3.2.3); the
+    /// sandbox layer reproduces that limitation.
+    CharDevice,
+    /// Anonymous pipe end backed by a shared buffer.
+    Fifo,
+    /// Socket vnode (Unix-domain bind points).
+    Socket,
+}
+
+impl FileType {
+    pub fn is_dir(self) -> bool {
+        self == FileType::Directory
+    }
+    pub fn is_regular(self) -> bool {
+        self == FileType::Regular
+    }
+}
+
+/// Logical timestamp. The simulator advances a global tick on every mutating
+/// operation, which gives deterministic, strictly ordered mtimes for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+/// Metadata common to all node kinds; the simulated `struct stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    pub node: NodeId,
+    pub ftype: FileType,
+    pub mode: Mode,
+    pub uid: Uid,
+    pub gid: Gid,
+    pub size: u64,
+    pub nlink: u32,
+    pub mtime: Timestamp,
+    pub ctime: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_cred_is_root() {
+        assert!(Cred::ROOT.is_root());
+        assert!(!Cred::user(100).is_root());
+    }
+
+    #[test]
+    fn mode_masks_to_12_bits() {
+        assert_eq!(Mode(0o17777).bits(), 0o7777);
+        assert_eq!(format!("{}", Mode(0o644)), "0644");
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(format!("{}", NodeId(7)), "vnode#7");
+    }
+}

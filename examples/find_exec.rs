@@ -1,0 +1,44 @@
+//! The find-and-execute case study (§4.1): find all `.c` files in the
+//! source tree containing `mac_`, two ways:
+//!
+//! * **coarse** — one sandbox around
+//!   `find /usr/src -name "*.c" -exec grep -H mac_ {} ;`
+//! * **fine** — the polymorphic `find` of Figure 5 walks the tree in SHILL
+//!   and launches one `grep` sandbox per matching file, passing the file
+//!   *capability*, so "the files that grep operates on are exactly the
+//!   files selected by the find function".
+//!
+//! Run with: `cargo run --example find_exec`
+
+use shill::scenarios::{run_find, Config};
+
+fn main() {
+    let scale = 100; // ~578 files; use 1 for the paper's full 57,817
+    println!("searching a /usr/src tree at scale 1/{scale}\n");
+
+    let coarse = run_find(Config::Sandboxed, scale);
+    println!(
+        "coarse (one sandbox):     {} matching lines in {:?}",
+        coarse.checked, coarse.wall
+    );
+    if let Some(p) = coarse.profile {
+        println!("  sandboxes: {}", p.sandboxes);
+    }
+
+    let fine = run_find(Config::ShillVersion, scale);
+    println!(
+        "fine (sandbox per file):  {} matching lines in {:?}",
+        fine.checked, fine.wall
+    );
+    if let Some(p) = fine.profile {
+        println!(
+            "  sandboxes: {} (one per .c file), contract applications: {}",
+            p.sandboxes, p.contract_applications
+        );
+    }
+
+    assert_eq!(coarse.checked, fine.checked, "both variants find the same lines");
+    println!("\nboth variants report identical matches.");
+    println!("the fine variant additionally guarantees grep only ever sees the");
+    println!("exact files find selected — paths cannot be re-resolved to other files.");
+}

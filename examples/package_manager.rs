@@ -1,0 +1,108 @@
+//! The package-management case study (§4.1): download, unpack, configure,
+//! build, install, and uninstall GNU Emacs — with a *per-function* security
+//! interface: "only the function for downloading the source code can access
+//! the network, and only the install function can write to the intended
+//! installation directory."
+//!
+//! Run with: `cargo run --example package_manager`
+
+use shill::prelude::*;
+use shill::scenarios::PACKAGE_CAP;
+
+fn main() {
+    let mut k = shill::setup::standard_kernel();
+    let tar_size = shill::binaries::emacs_mirror(
+        &mut k,
+        shill::scenarios::EMACS_SOURCES,
+        shill::scenarios::EMACS_SOURCE_LEN,
+    );
+    k.fs.mkdir_p("/build", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.mkdir_p("/opt/emacs", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    println!("mirror serves emacs-24.tar ({tar_size} bytes)\n");
+
+    let mut rt = ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT);
+    rt.add_script("package.cap", PACKAGE_CAP);
+
+    let v = rt
+        .run(
+            "pkg-main",
+            r#"#lang shill/ambient
+require shill/native;
+require "package.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root, "/usr/local/bin:/usr/bin:/bin:/usr/local/sbin", "/lib:/usr/local/lib", pipe_factory);
+wallet_add_dep(wallet, "gmake", open_file("/usr/bin/cc"));
+wallet_add_dep(wallet, "gmake", open_file("/bin/mkdir"));
+wallet_add_dep(wallet, "gmake", open_file("/usr/bin/install"));
+wallet_add_dep(wallet, "gmake", open_file("/bin/rm"));
+wallet_add_dep(wallet, "gmake", open_file("/lib/libelf.so"));
+
+builddir = open_dir("/build");
+d = download(builddir, socket_factory, wallet);
+display("download: " ++ to_string(d));
+
+u = unpack(open_file("/build/emacs-24.tar"), builddir, wallet);
+display("unpack: " ++ to_string(u));
+
+srcdir = open_dir("/build/emacs-24");
+c = configure_pkg(srcdir, wallet);
+display("configure: " ++ to_string(c));
+
+m = make_pkg(srcdir, wallet);
+display("make: " ++ to_string(m));
+
+prefix = open_dir("/opt/emacs");
+i = install_pkg(srcdir, prefix, wallet);
+display("install: " ++ to_string(i));
+
+d + u + c + m + i
+"#,
+        )
+        .expect("package pipeline");
+    assert!(matches!(v, Value::Num(0)), "pipeline failed: {v:?}");
+    print!("{}", rt.output());
+
+    // Run the installed binary (outside any sandbox, as the user would).
+    let user = rt.kernel().spawn_user(Cred::user(100));
+    let k = rt.kernel();
+    let (r, w) = k.pipe(user).unwrap();
+    let child = k.fork(user).unwrap();
+    k.transfer_fd(user, w, child, Fd::STDOUT).unwrap();
+    let st = k
+        .exec_at(child, None, "/opt/emacs/bin/emacs", &["emacs".into()])
+        .unwrap();
+    k.exit(child, st);
+    k.waitpid(user, child).unwrap();
+    k.close(user, w).unwrap();
+    let banner = k.read(user, r, 200).unwrap();
+    println!("\ninstalled emacs says: {}", String::from_utf8_lossy(&banner).trim());
+
+    // And uninstall.
+    let v = rt
+        .run(
+            "pkg-uninstall",
+            r#"#lang shill/ambient
+require shill/native;
+require "package.cap";
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root, "/usr/local/bin:/usr/bin:/bin", "/lib", pipe_factory);
+wallet_add_dep(wallet, "gmake", open_file("/bin/rm"));
+srcdir = open_dir("/build/emacs-24");
+prefix = open_dir("/opt/emacs");
+uninstall_pkg(srcdir, prefix, wallet)
+"#,
+        )
+        .expect("uninstall");
+    assert!(matches!(v, Value::Num(0)));
+    assert!(rt.kernel().fs.resolve_abs("/opt/emacs/bin/emacs").is_err());
+    println!("uninstalled: /opt/emacs/bin/emacs is gone");
+
+    let p = rt.profile();
+    println!(
+        "\nprofile: {} sandboxes, {} contract applications, setup {:?}, exec {:?}",
+        p.sandboxes, p.contract_applications, p.sandbox_setup, p.sandboxed_exec
+    );
+}

@@ -1,0 +1,91 @@
+//! The command-line debugging tool of §3.2.2: run a single command in a
+//! sandbox with capabilities specified in a policy file; `--debug` creates
+//! the session in debugging mode, which auto-grants missing privileges and
+//! logs them — "a useful starting point for identifying necessary
+//! capabilities".
+//!
+//! This example demonstrates the workflow on `cat /data/notes.txt`:
+//! 1. run with an insufficient policy → denied;
+//! 2. run in debug mode → succeeds, log shows what was missing;
+//! 3. run with the completed policy → succeeds.
+//!
+//! Run with: `cargo run --example shill_run`
+
+use shill::prelude::*;
+use shill::sandbox::{build_spec, parse_policy, run_sandboxed, LogEvent, SandboxSpec};
+
+/// Run `argv` in a sandbox described by `policy_text`.
+fn shill_run(
+    k: &mut Kernel,
+    policy: &std::sync::Arc<ShillPolicy>,
+    user: Pid,
+    policy_text: &str,
+    argv: &[&str],
+    debug: bool,
+    capture: bool,
+) -> (i32, String) {
+    let rules = parse_policy(policy_text).expect("policy parse");
+    let mut spec: SandboxSpec = build_spec(k, user, &rules).expect("policy resolve");
+    spec.debug = debug;
+    let (rfd, wfd) = k.pipe(user).unwrap();
+    if capture {
+        spec.stdout = Some(wfd);
+    }
+    let exe = k.resolve(user, None, argv[0], true).expect("resolve exe");
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let status = run_sandboxed(k, policy, user, exe, &argv, &spec).unwrap_or(-13);
+    k.close(user, wfd).unwrap();
+    let mut out = Vec::new();
+    while let Ok(chunk) = k.read(user, rfd, 4096) {
+        if chunk.is_empty() {
+            break;
+        }
+        out.extend(chunk);
+    }
+    let _ = k.close(user, rfd);
+    (status, String::from_utf8_lossy(&out).into_owned())
+}
+
+fn main() {
+    let mut k = shill::setup::standard_kernel();
+    k.fs.put_file("/data/notes.txt", b"the secret is 42\n", Mode(0o644), Uid(100), Gid(100))
+        .unwrap();
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let user = k.spawn_user(Cred::user(100));
+
+    // Policy v1: we forgot to grant the data file itself.
+    let v1 = r#"
+# sandbox policy for: cat /data/notes.txt
+path /bin/cat +exec +read +path +stat
+path /lib/libc.so +read +stat +path
+path / +lookup with {+lookup}
+"#;
+    println!("== attempt 1: incomplete policy ==");
+    let (st, out) = shill_run(&mut k, &policy, user, v1, &["/bin/cat", "/data/notes.txt"], false, true);
+    println!("exit status {st}, output {out:?} (cat was denied)\n");
+
+    // Debug mode: auto-grant and log.
+    println!("== attempt 2: --debug run discovers what is missing ==");
+    policy.clear_log();
+    let (st, out) = shill_run(&mut k, &policy, user, v1, &["/bin/cat", "/data/notes.txt"], true, true);
+    println!("exit status {st}, output {out:?}");
+    println!("auto-granted privileges:");
+    for e in policy.log_events() {
+        if let LogEvent::DebugAutoGrant { obj, granted, .. } = e {
+            println!("  {obj:?}: {granted}");
+        }
+    }
+
+    // Policy v2: complete.
+    let v2 = r#"
+path /bin/cat +exec +read +path +stat
+path /lib/libc.so +read +stat +path
+path / +lookup with {+lookup}
+path /data/notes.txt +read +stat +path
+"#;
+    println!("\n== attempt 3: completed policy ==");
+    let (st, out) = shill_run(&mut k, &policy, user, v2, &["/bin/cat", "/data/notes.txt"], false, true);
+    println!("exit status {st}, output {out:?}");
+    assert_eq!(st, 0);
+}

@@ -1,0 +1,91 @@
+//! # shill
+//!
+//! A from-scratch Rust reproduction of **SHILL: A Secure Shell Scripting
+//! Language** (Moore, Dimoulas, King, Chong — OSDI 2014).
+//!
+//! SHILL is a capability-safe shell scripting language: scripts receive
+//! *capabilities* instead of using ambient authority, declare their
+//! required authority in *contracts*, and run arbitrary executables inside
+//! *capability-based sandboxes* enforced by a MAC kernel policy. This crate
+//! re-exports the whole workspace:
+//!
+//! * [`vfs`]/[`kernel`] — the simulated commodity kernel (vnodes, DAC,
+//!   syscalls, TrustedBSD-style MAC framework, pipes, sockets);
+//! * [`sandbox`] — the SHILL MAC policy module (sessions, privilege maps);
+//! * [`cap`]/[`contracts`] — capabilities, privileges, guards, seals;
+//! * [`core`] — the SHILL language and runtime;
+//! * [`binaries`] — simulated executables and workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! let mut rt = shill::setup::standard_runtime();
+//! rt.add_script("hello.cap", r#"#lang shill/cap
+//! greet = fun(name) { "hello, " ++ name };
+//! provide greet : {name : is_string} -> is_string;
+//! "#);
+//! let v = rt.run("main", r#"#lang shill/ambient
+//! require "hello.cap";
+//! greet("world")
+//! "#).unwrap();
+//! assert_eq!(v.display(), "hello, world");
+//! ```
+
+pub mod scenarios;
+
+pub use shill_binaries as binaries;
+pub use shill_cap as cap;
+pub use shill_contracts as contracts;
+pub use shill_core as core;
+pub use shill_kernel as kernel;
+pub use shill_sandbox as sandbox;
+pub use shill_vfs as vfs;
+
+/// Common imports for examples and tests.
+pub mod prelude {
+    pub use crate::core::{RuntimeConfig, ShillError, ShillRuntime, Value};
+    pub use crate::kernel::{Fd, Kernel, OpenFlags, Pid};
+    pub use crate::sandbox::ShillPolicy;
+    pub use crate::vfs::{Cred, Gid, Mode, Uid};
+}
+
+/// Standard environment builders shared by examples, tests, and benches.
+pub mod setup {
+    use crate::core::{RuntimeConfig, ShillRuntime};
+    use crate::kernel::Kernel;
+    use crate::vfs::Cred;
+
+    /// A kernel with every simulated binary and library installed.
+    pub fn standard_kernel() -> Kernel {
+        let mut k = Kernel::new();
+        crate::binaries::install_all(&mut k);
+        k
+    }
+
+    /// A full runtime (kernel + binaries + SHILL policy module) running as
+    /// an ordinary user (uid 100).
+    pub fn standard_runtime() -> ShillRuntime {
+        ShillRuntime::new(standard_kernel(), RuntimeConfig::WithPolicy, Cred::user(100))
+    }
+
+    /// A runtime running as root (the grading server, package manager).
+    pub fn root_runtime() -> ShillRuntime {
+        ShillRuntime::new(standard_kernel(), RuntimeConfig::WithPolicy, Cred::ROOT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quickstart_doc_example() {
+        let mut rt = crate::setup::standard_runtime();
+        rt.add_script(
+            "hello.cap",
+            "#lang shill/cap\ngreet = fun(name) { \"hello, \" ++ name };\nprovide greet : {name : is_string} -> is_string;",
+        );
+        let v = rt
+            .run("main", "#lang shill/ambient\nrequire \"hello.cap\";\ngreet(\"world\")")
+            .unwrap();
+        assert_eq!(v.display(), "hello, world");
+    }
+}

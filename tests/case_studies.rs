@@ -1,0 +1,71 @@
+//! Integration tests: the paper's four case studies (§4.1) run end-to-end
+//! at small scale under every configuration, with functional equivalence
+//! checks across configurations.
+
+use shill::scenarios::{run_apache, run_emacs, run_find, run_grading, Config, EmacsStep};
+
+#[test]
+fn grading_all_configurations_agree() {
+    let students = 6;
+    let tests = 2;
+    let base = run_grading(Config::Baseline, students, tests);
+    assert_eq!(base.checked, students as u64, "baseline grades all students");
+    let inst = run_grading(Config::Installed, students, tests);
+    assert_eq!(inst.checked, students as u64);
+    let sand = run_grading(Config::Sandboxed, students, tests);
+    assert_eq!(sand.checked, students as u64);
+    let shill = run_grading(Config::ShillVersion, students, tests);
+    assert_eq!(shill.checked, students as u64);
+    // SHILL runs used sandboxes and contracts.
+    let p = shill.profile.expect("profile");
+    assert!(p.sandboxes >= students as u64, "per-student sandboxes: {}", p.sandboxes);
+    assert!(p.contract_applications > 0);
+}
+
+#[test]
+fn find_all_configurations_agree() {
+    let scale = 400; // ~145 files
+    let base = run_find(Config::Baseline, scale);
+    assert!(base.checked > 0, "baseline found matches");
+    let inst = run_find(Config::Installed, scale);
+    assert_eq!(inst.checked, base.checked);
+    let sand = run_find(Config::Sandboxed, scale);
+    assert_eq!(sand.checked, base.checked);
+    let shill = run_find(Config::ShillVersion, scale);
+    assert_eq!(shill.checked, base.checked);
+    // The fine-grained version creates one sandbox per .c file.
+    let p = shill.profile.expect("profile");
+    assert!(p.sandboxes > 10, "{}", p.sandboxes);
+}
+
+#[test]
+fn emacs_pipeline_all_steps_and_configs() {
+    for step in [
+        EmacsStep::Download,
+        EmacsStep::Untar,
+        EmacsStep::Configure,
+        EmacsStep::Make,
+        EmacsStep::Install,
+        EmacsStep::Uninstall,
+    ] {
+        let b = run_emacs(Config::Baseline, step);
+        assert_eq!(b.checked, 1, "baseline {step:?}");
+        let s = run_emacs(Config::Sandboxed, step);
+        assert_eq!(s.checked, 1, "sandboxed {step:?}");
+    }
+    // Whole pipeline in SHILL.
+    let total = run_emacs(Config::ShillVersion, EmacsStep::Total);
+    assert_eq!(total.checked, 1);
+    let p = total.profile.expect("profile");
+    assert!(p.sandboxes >= 6, "one sandbox per step at least: {}", p.sandboxes);
+}
+
+#[test]
+fn apache_serves_under_sandbox() {
+    let requests = 20;
+    let size = 64 * 1024;
+    let base = run_apache(Config::Baseline, requests, size);
+    assert_eq!(base.checked, requests as u64);
+    let sand = run_apache(Config::Sandboxed, requests, size);
+    assert_eq!(sand.checked, requests as u64);
+}

@@ -1,0 +1,131 @@
+//! Tests for the language-level socket operations — the extension the
+//! paper explicitly points at (§3.1.1: "In our prototype implementation,
+//! SHILL scripts cannot create or manipulate sockets directly (which can
+//! be addressed by adding built-in functions for socket operations to the
+//! language)"). We add them, contract-gated by the same seven socket
+//! privileges.
+
+use shill::prelude::*;
+
+fn runtime_with_remote() -> ShillRuntime {
+    let mut k = shill::setup::standard_kernel();
+    k.net.register_remote(
+        shill::kernel::SockAddr::Inet { host: "api.example".into(), port: 80 },
+        Box::new(|req| {
+            let mut v = b"pong:".to_vec();
+            v.extend_from_slice(req);
+            v
+        }),
+    );
+    ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::user(100))
+}
+
+const CLIENT_CAP: &str = r#"#lang shill/cap
+provide ping :
+  {net : socket_factory(+sock_create, +sock_connect, +sock_send, +sock_recv)}
+  -> is_string;
+ping = fun(net) {
+  s = create_socket(net, "inet");
+  sock_connect(s, "api.example:80");
+  sock_send(s, "hello");
+  sock_recv(s)
+}
+"#;
+
+#[test]
+fn scripts_can_use_sockets_through_factory_contracts() {
+    let mut rt = runtime_with_remote();
+    rt.add_script("client.cap", CLIENT_CAP);
+    let v = rt
+        .run("main", "#lang shill/ambient\nrequire \"client.cap\";\nping(socket_factory)")
+        .unwrap();
+    assert_eq!(v.display(), "pong:hello");
+}
+
+#[test]
+fn socket_factory_contract_restricts_operations() {
+    // A factory contracted without +sock-send cannot send.
+    let mut rt = runtime_with_remote();
+    rt.add_script(
+        "limited.cap",
+        r#"#lang shill/cap
+provide sneak :
+  {net : socket_factory(+sock_create, +sock_connect, +sock_recv)} -> is_string;
+sneak = fun(net) {
+  s = create_socket(net, "inet");
+  sock_connect(s, "api.example:80");
+  sock_send(s, "hello");
+  sock_recv(s)
+}
+"#,
+    );
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"limited.cap\";\nsneak(socket_factory)")
+        .unwrap_err();
+    match err {
+        ShillError::Violation(v) => assert!(v.message.contains("+sock-send"), "{v}"),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn connect_to_unregistered_host_is_syserror() {
+    let mut rt = runtime_with_remote();
+    rt.add_script(
+        "refused.cap",
+        r#"#lang shill/cap
+provide try_connect : {net : socket_factory(+sock_create, +sock_connect)} -> is_bool;
+try_connect = fun(net) {
+  s = create_socket(net, "inet");
+  is_syserror(sock_connect(s, "nowhere.example:99"))
+}
+"#,
+    );
+    let v = rt
+        .run("main", "#lang shill/ambient\nrequire \"refused.cap\";\ntry_connect(socket_factory)")
+        .unwrap();
+    assert!(matches!(v, Value::Bool(true)));
+}
+
+#[test]
+fn scripts_without_a_factory_cannot_make_sockets() {
+    // Capability safety: there is no ambient socket creation; the only
+    // path is a factory capability, which only the ambient script has.
+    let mut rt = runtime_with_remote();
+    rt.add_script(
+        "nofactory.cap",
+        r#"#lang shill/cap
+provide f : {} -> any;
+f = fun() { create_socket(socket_factory, "inet") };
+"#,
+    );
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"nofactory.cap\";\nf()")
+        .unwrap_err();
+    match err {
+        ShillError::Runtime(m) => assert!(m.contains("unbound variable `socket_factory`"), "{m}"),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn pipe_factory_language_roundtrip() {
+    let mut rt = runtime_with_remote();
+    rt.add_script(
+        "piped.cap",
+        r#"#lang shill/cap
+provide roundtrip : {pf : pipe_factory} -> is_string;
+roundtrip = fun(pf) {
+  ends = create_pipe(pf);
+  w = nth(ends, 1);
+  r = nth(ends, 0);
+  append(w, "through the pipe");
+  read(r)
+}
+"#,
+    );
+    let v = rt
+        .run("main", "#lang shill/ambient\nrequire \"piped.cap\";\nroundtrip(pipe_factory)")
+        .unwrap();
+    assert_eq!(v.display(), "through the pipe");
+}

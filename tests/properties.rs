@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the core data structures and
+//! security invariants.
+
+use proptest::prelude::*;
+
+use shill::cap::{CapPrivs, Priv, PrivSet, ALL_PRIVS};
+use shill::vfs::{Filesystem, Gid, Mode, Uid};
+
+fn arb_priv() -> impl Strategy<Value = Priv> {
+    (0..ALL_PRIVS.len()).prop_map(|i| ALL_PRIVS[i])
+}
+
+fn arb_privset() -> impl Strategy<Value = PrivSet> {
+    proptest::collection::vec(arb_priv(), 0..12).prop_map(|v| PrivSet::of(&v))
+}
+
+fn arb_capprivs() -> impl Strategy<Value = CapPrivs> {
+    (arb_privset(), proptest::collection::vec((arb_priv(), arb_privset()), 0..3)).prop_map(
+        |(base, mods)| {
+            let mut c = CapPrivs::of(base);
+            for (p, s) in mods {
+                if p.derives() {
+                    c = c.with_modifier(p, CapPrivs::of(s));
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- PrivSet lattice laws -------------------------------------------
+
+    #[test]
+    fn privset_union_is_commutative_and_monotone(a in arb_privset(), b in arb_privset()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert!(a.is_subset(&a.union(b)));
+        prop_assert!(b.is_subset(&a.union(b)));
+    }
+
+    #[test]
+    fn privset_intersection_dual(a in arb_privset(), b in arb_privset()) {
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert!(a.intersection(b).is_subset(&a));
+        prop_assert!(a.intersection(b).is_subset(&b));
+        // Absorption: a ∩ (a ∪ b) = a
+        prop_assert_eq!(a.intersection(a.union(b)), a);
+    }
+
+    #[test]
+    fn privset_subset_is_partial_order(a in arb_privset(), b in arb_privset(), c in arb_privset()) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+    }
+
+    #[test]
+    fn privset_roundtrips_through_names(a in arb_privset()) {
+        let names: Vec<&str> = a.iter().map(|p| p.name()).collect();
+        let parsed: PrivSet = names.iter().map(|n| Priv::parse(n).unwrap()).collect();
+        prop_assert_eq!(a, parsed);
+    }
+
+    // --- CapPrivs: subset & conflicts ------------------------------------
+
+    #[test]
+    fn capprivs_subset_reflexive(a in arb_capprivs()) {
+        prop_assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn capprivs_conflict_is_symmetric(a in arb_capprivs(), b in arb_capprivs()) {
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+        // A capability never conflicts with itself.
+        prop_assert!(!a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn capprivs_full_is_top(a in arb_privset()) {
+        let a = CapPrivs::of(a);
+        prop_assert!(a.is_subset(&CapPrivs::full()));
+        prop_assert!(CapPrivs::none().is_subset(&a));
+    }
+
+    // --- contract printer/parser roundtrip -------------------------------
+
+    #[test]
+    fn capability_contract_roundtrip(privs in arb_capprivs()) {
+        use shill::core::{parse_contract, ContractExpr};
+        let c = ContractExpr::Dir(privs);
+        let printed = shill::core::ast::contract_to_string(&c);
+        let reparsed = parse_contract(&printed).expect("reparse");
+        prop_assert_eq!(c, reparsed, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn or_contract_roundtrip(a in arb_capprivs(), b in arb_capprivs()) {
+        use shill::core::{parse_contract, ContractExpr};
+        let c = ContractExpr::Or(vec![ContractExpr::Dir(a), ContractExpr::File(b)]);
+        let printed = shill::core::ast::contract_to_string(&c);
+        let reparsed = parse_contract(&printed).expect("reparse");
+        prop_assert_eq!(c, reparsed);
+    }
+
+    // --- filesystem model invariants --------------------------------------
+
+    #[test]
+    fn fs_path_of_roundtrips(names in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let mut fs = Filesystem::new();
+        let mut dir = fs.root();
+        for (i, n) in names.iter().enumerate() {
+            // Ensure uniqueness per level by suffixing the depth.
+            let name = format!("{n}{i}");
+            dir = fs.create_dir(dir, &name, Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        }
+        let leaf = fs.create_file(dir, "leaf", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        let path = fs.path_of(leaf).expect("path");
+        prop_assert_eq!(fs.resolve_abs(&path).unwrap(), leaf);
+    }
+
+    #[test]
+    fn fs_link_counts_track_links(extra_links in 1usize..6) {
+        let mut fs = Filesystem::new();
+        let root = fs.root();
+        let f = fs.create_file(root, "f", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        for i in 0..extra_links {
+            fs.link(root, &format!("l{i}"), f).unwrap();
+        }
+        prop_assert_eq!(fs.node(f).unwrap().nlink as usize, 1 + extra_links);
+        for i in 0..extra_links {
+            fs.unlink(root, &format!("l{i}")).unwrap();
+        }
+        prop_assert_eq!(fs.node(f).unwrap().nlink, 1);
+        fs.unlink(root, "f").unwrap();
+        prop_assert!(!fs.exists(f));
+    }
+
+    #[test]
+    fn fs_write_read_agrees_with_model(ops in proptest::collection::vec((0u64..128, proptest::collection::vec(any::<u8>(), 0..32)), 1..20)) {
+        let mut fs = Filesystem::new();
+        let root = fs.root();
+        let f = fs.create_file(root, "f", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (off, data) in &ops {
+            fs.write(f, *off, data).unwrap();
+            let off = *off as usize;
+            if off > model.len() {
+                model.resize(off, 0);
+            }
+            let overlap = model.len().saturating_sub(off).min(data.len());
+            model[off..off + overlap].copy_from_slice(&data[..overlap]);
+            model.extend_from_slice(&data[overlap..]);
+        }
+        prop_assert_eq!(fs.read(f, 0, model.len() + 10).unwrap(), model);
+    }
+
+    // --- sandbox no-amplification invariant --------------------------------
+
+    #[test]
+    fn propagation_never_amplifies(grant in arb_capprivs(), lookup_names in proptest::collection::vec("[a-z]{1,5}", 1..5)) {
+        use shill::kernel::{MacCtx, MacPolicy, ObjId, Pid};
+        use shill::sandbox::ShillPolicy;
+        use shill::vfs::{Cred, NodeId};
+        use std::sync::Arc;
+
+        let policy = ShillPolicy::new();
+        let pid = Pid(10);
+        let sid = policy.shill_init(pid).unwrap();
+        let dir = NodeId(100);
+        let grant = Arc::new(grant);
+        policy.shill_grant(Pid(1), sid, ObjId::Vnode(dir), Arc::clone(&grant)).unwrap();
+        policy.shill_enter(pid).unwrap();
+        let ctx = MacCtx { pid, cred: Cred::ROOT };
+        // Propagate through a chain of lookups; each object's entry must be
+        // exactly what `derived` yields (or absent if lookup not granted) —
+        // never a merge that exceeds it.
+        let mut cur = dir;
+        let mut expected = grant;
+        for (i, name) in lookup_names.iter().enumerate() {
+            let child = NodeId(200 + i as u64);
+            policy.vnode_post_lookup(ctx, cur, name, child);
+            if expected.allows(Priv::Lookup) {
+                let want = expected.derived(Priv::Lookup);
+                let got = policy.privs_on(sid, ObjId::Vnode(child)).expect("entry");
+                prop_assert_eq!(&*got, &*want);
+                expected = want;
+            } else {
+                prop_assert!(policy.privs_on(sid, ObjId::Vnode(child)).is_none());
+                break;
+            }
+            cur = child;
+        }
+    }
+}
