@@ -8,6 +8,11 @@
 //! 3. **Privilege propagation cost** — deep path resolution inside a
 //!    sandbox with and without propagation (granting the leaf directly vs
 //!    deriving privileges along the chain).
+//! 4. **Resolution-cache ablation** — the deep-directory repeated-stat
+//!    workload with the dcache + AVC on vs off (the `security.cache.*`
+//!    sysctls), reporting time per op, policy-reaching MAC checks, and
+//!    directory scans. Set `SHILL_BENCH_CACHE_JSON=<path>` to record a
+//!    machine-readable baseline (committed as `BENCH_cache.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,7 +79,10 @@ fn bench_contract_cost() {
     println!("1. capability-contract guard cost (find_jpg over 300 files):");
     println!("   precise contract: {}", precise.fmt_ms());
     println!("   `any` contract:   {}", any.fmt_ms());
-    println!("   guard overhead:   {}", shill_bench::ratio(&precise, &any));
+    println!(
+        "   guard overhead:   {}",
+        shill_bench::ratio(&precise, &any)
+    );
 }
 
 fn bench_session_churn() {
@@ -83,7 +91,14 @@ fn bench_session_churn() {
     let sessions = 2_000usize;
     let mut k = Kernel::new();
     for i in 0..50 {
-        k.fs.put_file(&format!("/data/f{i}"), b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            &format!("/data/f{i}"),
+            b"x",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
     }
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
@@ -91,11 +106,19 @@ fn bench_session_churn() {
     let data = k.fs.resolve_abs("/data").unwrap();
     let grants = vec![Grant::vnode(
         data,
-        CapPrivs::of(PrivSet::of(&[Priv::Lookup, Priv::Contents, Priv::Read, Priv::Stat])),
+        CapPrivs::of(PrivSet::of(&[
+            Priv::Lookup,
+            Priv::Contents,
+            Priv::Read,
+            Priv::Stat,
+        ])),
     )];
     let t0 = Instant::now();
     for _ in 0..sessions {
-        let spec = SandboxSpec { grants: grants.clone(), ..Default::default() };
+        let spec = SandboxSpec {
+            grants: grants.clone(),
+            ..Default::default()
+        };
         let sb = setup_sandbox(&mut k, &policy, user, &spec).expect("sandbox");
         // Touch a few files so privilege propagation populates labels.
         for i in 0..5 {
@@ -132,7 +155,8 @@ fn bench_propagation_depth() {
             p.push_str(&format!("/d{i}"));
         }
         let file = format!("{p}/leaf.bin");
-        k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let policy = ShillPolicy::new();
         k.register_policy(policy.clone());
         let user = k.spawn_user(Cred::ROOT);
@@ -145,7 +169,9 @@ fn bench_propagation_depth() {
         let n = 20_000;
         let t0 = Instant::now();
         for _ in 0..n {
-            let fd = k.open(sb.child, &file, OpenFlags::RDONLY, Mode(0)).expect("open");
+            let fd = k
+                .open(sb.child, &file, OpenFlags::RDONLY, Mode(0))
+                .expect("open");
             k.close(sb.child, fd).unwrap();
         }
         let per = t0.elapsed().as_nanos() as f64 / n as f64;
@@ -154,10 +180,107 @@ fn bench_propagation_depth() {
     println!("   (expect linear growth — one lookup check + propagation per component)");
 }
 
+/// One cache-ablation measurement: deep-path repeated stats in a sandbox.
+struct CacheRun {
+    ns_per_op: f64,
+    mac_vnode_checks: u64,
+    avc_hits: u64,
+    dcache_hits: u64,
+    dir_scans: u64,
+}
+
+fn cache_run(cached: bool, depth: usize, rounds: usize) -> CacheRun {
+    let mut k = Kernel::new();
+    let mut p = String::from("/deep");
+    for i in 0..depth {
+        p.push_str(&format!("/d{i}"));
+    }
+    let file = format!("{p}/leaf.bin");
+    k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let user = k.spawn_user(Cred::ROOT);
+    let root = k.fs.root();
+    let spec = SandboxSpec {
+        grants: vec![Grant::vnode(root, CapPrivs::full())],
+        ..Default::default()
+    };
+    let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
+    k.set_cache_enabled(cached, cached);
+    k.fstatat(sb.child, None, &file, true).unwrap(); // warmup + propagation
+    k.stats.reset();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        k.fstatat(sb.child, None, &file, true).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let st = k.stats.snapshot();
+    CacheRun {
+        ns_per_op: elapsed.as_nanos() as f64 / rounds as f64,
+        mac_vnode_checks: st.mac_vnode_checks,
+        avc_hits: st.avc_hits,
+        dcache_hits: st.dcache_hits,
+        dir_scans: st.dir_scans,
+    }
+}
+
+fn bench_cache_ablation() {
+    println!("\n4. resolution-cache ablation (stat at depth 9, 50,000 repeats):");
+    let rounds = 50_000;
+    let on = cache_run(true, 9, rounds);
+    let off = cache_run(false, 9, rounds);
+    let report = |label: &str, r: &CacheRun| {
+        println!(
+            "   {label:<10} {:>8.0}ns/op  policy checks {:>8}  avc hits {:>8}  dcache hits {:>8}  dir scans {:>8}",
+            r.ns_per_op, r.mac_vnode_checks, r.avc_hits, r.dcache_hits, r.dir_scans
+        );
+    };
+    report("cached:", &on);
+    report("uncached:", &off);
+    println!(
+        "   policy-reaching MAC checks cut {:.1}×; directory scans cut {:.1}×; {:.2}× faster",
+        off.mac_vnode_checks as f64 / on.mac_vnode_checks.max(1) as f64,
+        off.dir_scans as f64 / on.dir_scans.max(1) as f64,
+        off.ns_per_op / on.ns_per_op
+    );
+    if let Ok(path) = std::env::var("SHILL_BENCH_CACHE_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"deep-path repeated fstatat, depth 9, {rounds} rounds\",\n",
+                "  \"cached\": {{\"ns_per_op\": {:.1}, \"mac_vnode_checks\": {}, \"avc_hits\": {}, \"dcache_hits\": {}, \"dir_scans\": {}}},\n",
+                "  \"uncached\": {{\"ns_per_op\": {:.1}, \"mac_vnode_checks\": {}, \"avc_hits\": {}, \"dcache_hits\": {}, \"dir_scans\": {}}},\n",
+                "  \"policy_check_reduction\": {:.2},\n",
+                "  \"dir_scan_reduction\": {:.2},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            on.ns_per_op,
+            on.mac_vnode_checks,
+            on.avc_hits,
+            on.dcache_hits,
+            on.dir_scans,
+            off.ns_per_op,
+            off.mac_vnode_checks,
+            off.avc_hits,
+            off.dcache_hits,
+            off.dir_scans,
+            off.mac_vnode_checks as f64 / on.mac_vnode_checks.max(1) as f64,
+            off.dir_scans as f64 / on.dir_scans.max(1) as f64,
+            off.ns_per_op / on.ns_per_op,
+            rounds = rounds,
+        );
+        std::fs::write(&path, json).expect("write cache baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     bench_contract_cost();
     bench_session_churn();
     bench_propagation_depth();
+    bench_cache_ablation();
     let _ = Arc::new(());
 }

@@ -72,15 +72,24 @@ fn ms(d: Duration) -> String {
 fn main() {
     let students = grading_students();
     let scale = find_scale();
-    println!("Figure 10 — performance breakdown (mean of {} runs, ms)", runs());
+    println!(
+        "Figure 10 — performance breakdown (mean of {} runs, ms)",
+        runs()
+    );
     println!("(\"startup\" = runtime+stdlib init, the Racket-startup analogue;");
     println!(" \"remaining\" = script evaluation incl. contract checking, by subtraction)");
     println!();
 
     let rows = [
-        run("Uninstall", &|| run_emacs(Config::Sandboxed, EmacsStep::Uninstall)),
-        run("Download", &|| run_emacs(Config::Sandboxed, EmacsStep::Download)),
-        run("Grading", &|| run_grading(Config::ShillVersion, students, 3)),
+        run("Uninstall", &|| {
+            run_emacs(Config::Sandboxed, EmacsStep::Uninstall)
+        }),
+        run("Download", &|| {
+            run_emacs(Config::Sandboxed, EmacsStep::Download)
+        }),
+        run("Grading", &|| {
+            run_grading(Config::ShillVersion, students, 3)
+        }),
         run("Find", &|| run_find(Config::ShillVersion, scale)),
     ];
 
@@ -89,7 +98,13 @@ fn main() {
         "", rows[0].name, rows[1].name, rows[2].name, rows[3].name
     );
     let cell = |f: &dyn Fn(&Row) -> String| {
-        format!("{:>12} {:>12} {:>12} {:>12}", f(&rows[0]), f(&rows[1]), f(&rows[2]), f(&rows[3]))
+        format!(
+            "{:>12} {:>12} {:>12} {:>12}",
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2]),
+            f(&rows[3])
+        )
     };
     println!("{:<22} {}", "Total time", cell(&|r| ms(r.total)));
     println!("{:<22} {}", "Runtime startup", cell(&|r| ms(r.startup)));
@@ -98,10 +113,22 @@ fn main() {
     println!(
         "{:<22} {}",
         "Remaining time",
-        cell(&|r| ms(r.total.saturating_sub(r.startup).saturating_sub(r.setup).saturating_sub(r.exec)))
+        cell(&|r| ms(r
+            .total
+            .saturating_sub(r.startup)
+            .saturating_sub(r.setup)
+            .saturating_sub(r.exec)))
     );
-    println!("{:<22} {}", "Sandboxes created", cell(&|r| r.sandboxes.to_string()));
-    println!("{:<22} {}", "Contract applications", cell(&|r| r.contracts.to_string()));
+    println!(
+        "{:<22} {}",
+        "Sandboxes created",
+        cell(&|r| r.sandboxes.to_string())
+    );
+    println!(
+        "{:<22} {}",
+        "Contract applications",
+        cell(&|r| r.contracts.to_string())
+    );
 
     println!();
     println!("paper shape: Uninstall/Download dominated by startup; Grading/Find by");

@@ -26,11 +26,26 @@ fn iters(base: usize) -> usize {
 /// Build the bench tree and return a kernel + acting pid for a config.
 fn setup(sandboxed: bool) -> (Kernel, Pid) {
     let mut k = Kernel::new();
-    k.fs.put_file("/bench/one.bin", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.put_file("/bench/mega.bin", &vec![7u8; 1 << 20], Mode(0o644), Uid::ROOT, Gid::WHEEL)
+    k.fs.put_file("/bench/one.bin", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
         .unwrap();
-    k.fs.put_file("/bench/d1/d2/d3/d4/deep.bin", b"y", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.mkdir_p("/bench/scratch", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file(
+        "/bench/mega.bin",
+        &vec![7u8; 1 << 20],
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    k.fs.put_file(
+        "/bench/d1/d2/d3/d4/deep.bin",
+        b"y",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    k.fs.mkdir_p("/bench/scratch", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
@@ -57,9 +72,15 @@ fn bench_op(name: &str, sandboxed: bool, n: usize, op: &dyn Fn(&mut Kernel, Pid,
     let (mut k, pid) = setup(sandboxed);
     // Pre-open the target descriptor outside the timed region.
     let fd = match name {
-        "pread-1B" => k.open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0)).unwrap(),
-        "pread-1MB" => k.open(pid, "/bench/mega.bin", OpenFlags::RDONLY, Mode(0)).unwrap(),
-        _ => k.open(pid, "/bench/scratch", OpenFlags::dir(), Mode(0)).unwrap(),
+        "pread-1B" => k
+            .open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0))
+            .unwrap(),
+        "pread-1MB" => k
+            .open(pid, "/bench/mega.bin", OpenFlags::RDONLY, Mode(0))
+            .unwrap(),
+        _ => k
+            .open(pid, "/bench/scratch", OpenFlags::dir(), Mode(0))
+            .unwrap(),
     };
     let t0 = Instant::now();
     for _ in 0..n {
@@ -70,10 +91,12 @@ fn bench_op(name: &str, sandboxed: bool, n: usize, op: &dyn Fn(&mut Kernel, Pid,
 
 fn row(name: &str, n: usize, op: &dyn Fn(&mut Kernel, Pid, Fd)) {
     // Three repetitions per configuration for a CI.
-    let installed: Vec<Duration> =
-        (0..3).map(|_| Duration::from_nanos(bench_op(name, false, n, op) as u64)).collect();
-    let sandboxed: Vec<Duration> =
-        (0..3).map(|_| Duration::from_nanos(bench_op(name, true, n, op) as u64)).collect();
+    let installed: Vec<Duration> = (0..3)
+        .map(|_| Duration::from_nanos(bench_op(name, false, n, op) as u64))
+        .collect();
+    let sandboxed: Vec<Duration> = (0..3)
+        .map(|_| Duration::from_nanos(bench_op(name, true, n, op) as u64))
+        .collect();
     let i = Stats::of(&installed);
     let s = Stats::of(&sandboxed);
     let diff = s.mean.as_nanos() as i128 - i.mean.as_nanos() as i128;
@@ -103,18 +126,39 @@ fn main() {
     });
     row("create-unlink", iters(20_000), &|k, pid, dirfd| {
         let f = k
-            .openat(pid, Some(dirfd), "tmpfile", OpenFlags { read: true, write: true, create: true, ..Default::default() }, Mode(0o644))
+            .openat(
+                pid,
+                Some(dirfd),
+                "tmpfile",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    create: true,
+                    ..Default::default()
+                },
+                Mode(0o644),
+            )
             .expect("create");
         k.close(pid, f).expect("close");
-        k.unlinkat(pid, Some(dirfd), "tmpfile", false).expect("unlink");
+        k.unlinkat(pid, Some(dirfd), "tmpfile", false)
+            .expect("unlink");
     });
     row("open-read-close/1", iters(50_000), &|k, pid, _| {
-        let f = k.open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0)).expect("open");
+        let f = k
+            .open(pid, "/bench/one.bin", OpenFlags::RDONLY, Mode(0))
+            .expect("open");
         k.read(pid, f, 1).expect("read");
         k.close(pid, f).expect("close");
     });
     row("open-read-close/5", iters(50_000), &|k, pid, _| {
-        let f = k.open(pid, "/bench/d1/d2/d3/d4/deep.bin", OpenFlags::RDONLY, Mode(0)).expect("open");
+        let f = k
+            .open(
+                pid,
+                "/bench/d1/d2/d3/d4/deep.bin",
+                OpenFlags::RDONLY,
+                Mode(0),
+            )
+            .expect("open");
         k.read(pid, f, 1).expect("read");
         k.close(pid, f).expect("close");
     });
@@ -125,7 +169,9 @@ fn main() {
     println!("\nopen-read-close overhead vs path depth (sandboxed − installed, ns/op):");
     let mut k0 = Kernel::new();
     let mut path = String::from("/bench");
-    k0.fs.mkdir_p("/bench", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    k0.fs
+        .mkdir_p("/bench", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let mut paths = Vec::new();
     for d in 1..=8 {
         path.push_str(&format!("/n{d}"));
@@ -137,7 +183,8 @@ fn main() {
         let make = |sandboxed: bool| -> f64 {
             let (mut k, pid) = setup(sandboxed);
             // Ensure the nested path exists in this kernel.
-            k.fs.put_file(p, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+            k.fs.put_file(p, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+                .unwrap();
             let t0 = Instant::now();
             for _ in 0..n {
                 let f = k.open(pid, p, OpenFlags::RDONLY, Mode(0)).expect("open");

@@ -15,7 +15,14 @@ use shill_vfs::{Cred, Errno, Gid, Mode, Uid};
 
 fn sandboxed_kernel() -> (Kernel, Arc<ShillPolicy>, Pid, Pid) {
     let mut k = Kernel::new();
-    k.fs.put_file("/data/file.txt", b"data", Mode(0o666), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file(
+        "/data/file.txt",
+        b"data",
+        Mode(0o666),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
@@ -33,7 +40,10 @@ fn verdict(denied: bool, how: &str) -> String {
 
 fn main() {
     println!("Figure 7 — resource protection matrix (probed from the live implementation)");
-    println!("{:<28} {:<26} {:<30}", "Resource", "Language", "Sandbox (no grant)");
+    println!(
+        "{:<28} {:<26} {:<30}",
+        "Resource", "Language", "Sandbox (no grant)"
+    );
 
     // Directories/files/links/pipes: capability-gated in both worlds.
     {
@@ -70,7 +80,10 @@ fn main() {
             "{:<28} {:<26} {:<30}",
             "Character devices",
             "capabilities",
-            verdict(open == Err(Errno::EACCES), "capabilities (r/w uninterposed)")
+            verdict(
+                open == Err(Errno::EACCES),
+                "capabilities (r/w uninterposed)"
+            )
         );
     }
     {
@@ -89,7 +102,10 @@ fn main() {
         let policy = ShillPolicy::new();
         k.register_policy(policy.clone());
         let user = k.spawn_user(Cred::ROOT);
-        let spec = SandboxSpec { socket_privs: shill_cap::PrivSet::full(), ..Default::default() };
+        let spec = SandboxSpec {
+            socket_privs: shill_cap::PrivSet::full(),
+            ..Default::default()
+        };
         let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
         let s = k.socket(sb.child, SockDomain::Other);
         println!(
@@ -123,7 +139,11 @@ fn main() {
             format!(
                 "read-only (read {}, write {})",
                 if read.is_ok() { "ok" } else { "denied" },
-                if write == Err(Errno::EACCES) { "denied" } else { "ALLOWED!" }
+                if write == Err(Errno::EACCES) {
+                    "denied"
+                } else {
+                    "ALLOWED!"
+                }
             )
         );
     }

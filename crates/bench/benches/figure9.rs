@@ -36,7 +36,11 @@ fn main() {
         let base = measure(Config::Baseline, f);
         let inst = measure(Config::Installed, f);
         let sand = measure(Config::Sandboxed, f);
-        let shill = if has_shill { Some(measure(Config::ShillVersion, f)) } else { None };
+        let shill = if has_shill {
+            Some(measure(Config::ShillVersion, f))
+        } else {
+            None
+        };
         let shill_s = match &shill {
             Some(s) => format!("{} ({})", s.fmt_ms(), ratio(s, &base)),
             None => "—".to_string(),
@@ -53,12 +57,24 @@ fn main() {
 
     report("Grading", &|c| run_grading(c, students, 3).wall, true);
     report("Emacs", &|c| run_emacs(c, EmacsStep::Total).wall, true);
-    report("Download", &|c| run_emacs(c, EmacsStep::Download).wall, false);
+    report(
+        "Download",
+        &|c| run_emacs(c, EmacsStep::Download).wall,
+        false,
+    );
     report("Untar", &|c| run_emacs(c, EmacsStep::Untar).wall, false);
-    report("Configure", &|c| run_emacs(c, EmacsStep::Configure).wall, false);
+    report(
+        "Configure",
+        &|c| run_emacs(c, EmacsStep::Configure).wall,
+        false,
+    );
     report("Make", &|c| run_emacs(c, EmacsStep::Make).wall, false);
     report("Install", &|c| run_emacs(c, EmacsStep::Install).wall, false);
-    report("Uninstall", &|c| run_emacs(c, EmacsStep::Uninstall).wall, false);
+    report(
+        "Uninstall",
+        &|c| run_emacs(c, EmacsStep::Uninstall).wall,
+        false,
+    );
     report("Apache", &|c| run_apache(c, reqs, fsize).wall, false);
     report("Find", &|c| run_find(c, scale).wall, true);
 

@@ -9,27 +9,42 @@ use std::time::{Duration, Instant};
 
 /// Repeat count for macro benchmarks.
 pub fn runs() -> usize {
-    std::env::var("SHILL_BENCH_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(5)
+    std::env::var("SHILL_BENCH_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
 }
 
 /// Scale divisor for the Find source tree (paper: 57,817 files at scale 1).
 pub fn find_scale() -> usize {
-    std::env::var("SHILL_BENCH_FIND_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(40)
+    std::env::var("SHILL_BENCH_FIND_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40)
 }
 
 /// Students in the grading benchmark.
 pub fn grading_students() -> usize {
-    std::env::var("SHILL_BENCH_STUDENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(12)
+    std::env::var("SHILL_BENCH_STUDENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
 }
 
 /// Requests in the Apache benchmark (paper: 5000 × 50 MB).
 pub fn apache_requests() -> usize {
-    std::env::var("SHILL_BENCH_REQUESTS").ok().and_then(|s| s.parse().ok()).unwrap_or(120)
+    std::env::var("SHILL_BENCH_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120)
 }
 
 /// File size for the Apache benchmark.
 pub fn apache_file_size() -> usize {
-    std::env::var("SHILL_BENCH_FILE_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(512 * 1024)
+    std::env::var("SHILL_BENCH_FILE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512 * 1024)
 }
 
 /// Mean and 95% confidence half-width of a sample.

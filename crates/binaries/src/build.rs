@@ -29,7 +29,9 @@ fn crunch(data: &[u8], rounds: u32) -> u64 {
 /// `cc -c SRC -o OUT` / `cc -o OUT OBJ...` — "compile" and "link".
 pub fn cc(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     if argv.get(1).map(String::as_str) == Some("-c") {
-        let (Some(src), Some(out)) = (argv.get(2), argv.get(4)) else { return 64 };
+        let (Some(src), Some(out)) = (argv.get(2), argv.get(4)) else {
+            return 64;
+        };
         let data = match slurp(k, pid, src) {
             Ok(d) => d,
             Err(e) => {
@@ -110,7 +112,10 @@ pub fn configure(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     }
     let mut mk = String::new();
     mk.push_str("all:\n");
-    mk.push_str(&format!("\tmkdir -p {}/obj\n", srcdir.trim_end_matches('/')));
+    mk.push_str(&format!(
+        "\tmkdir -p {}/obj\n",
+        srcdir.trim_end_matches('/')
+    ));
     let mut objs = Vec::new();
     for c in &cfiles {
         let stem = c.trim_end_matches(".c");
@@ -128,10 +133,22 @@ pub fn configure(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     if spit(k, pid, &makefile, mk.as_bytes(), Mode::FILE_DEFAULT).is_err() {
         return 1;
     }
-    if spit(k, pid, &join(&srcdir, "config.status"), b"configured\n", Mode::FILE_DEFAULT).is_err() {
+    if spit(
+        k,
+        pid,
+        &join(&srcdir, "config.status"),
+        b"configured\n",
+        Mode::FILE_DEFAULT,
+    )
+    .is_err()
+    {
         return 1;
     }
-    stdout(k, pid, format!("configured {} sources, prefix {prefix}\n", cfiles.len()).as_bytes());
+    stdout(
+        k,
+        pid,
+        format!("configured {} sources, prefix {prefix}\n", cfiles.len()).as_bytes(),
+    );
     0
 }
 
@@ -236,10 +253,16 @@ fn valid_op(line: &str) -> bool {
 /// `/usr/local/lib/ocaml` (the §4.1 missing-dependency path!) and rejects
 /// sources containing invalid operations.
 pub fn ocamlc(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
-    let (Some(src), Some(out)) = (argv.get(1), argv.get(3)) else { return 64 };
+    let (Some(src), Some(out)) = (argv.get(1), argv.get(3)) else {
+        return 64;
+    };
     // The stdlib read that surprised the paper's authors:
     if slurp(k, pid, "/usr/local/lib/ocaml/stdlib.cma").is_err() {
-        stderr(k, pid, "ocamlc: cannot read /usr/local/lib/ocaml/stdlib.cma\n");
+        stderr(
+            k,
+            pid,
+            "ocamlc: cannot read /usr/local/lib/ocaml/stdlib.cma\n",
+        );
         return 2;
     }
     let data = match slurp(k, pid, src) {
@@ -284,7 +307,9 @@ pub fn ocamlyacc(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
 /// `double` doubles one integer, `print X` prints, `readfile`/`writefile`
 /// attempt filesystem access (the malicious-submission vector).
 pub fn ocamlrun(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
-    let Some(bc_path) = argv.get(1) else { return 64 };
+    let Some(bc_path) = argv.get(1) else {
+        return 64;
+    };
     let data = match slurp(k, pid, bc_path) {
         Ok(d) => d,
         Err(e) => {

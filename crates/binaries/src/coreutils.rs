@@ -113,7 +113,11 @@ pub fn grep(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
 /// join the caller's sandbox session).
 pub fn find(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     if argv.len() < 2 {
-        stderr(k, pid, "usage: find DIR [-name GLOB] [-exec PROG ARGS {} ;]\n");
+        stderr(
+            k,
+            pid,
+            "usage: find DIR [-name GLOB] [-exec PROG ARGS {} ;]\n",
+        );
         return 64;
     }
     let root = argv[1].clone();
@@ -173,7 +177,10 @@ pub fn find(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
                 stack.push(path);
                 continue;
             }
-            let matches = name_glob.as_deref().map(|g| glob_match(g, &name)).unwrap_or(true);
+            let matches = name_glob
+                .as_deref()
+                .map(|g| glob_match(g, &name))
+                .unwrap_or(true);
             if !matches {
                 continue;
             }
@@ -219,7 +226,11 @@ pub fn diff(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             if a == b {
                 0
             } else {
-                stdout(k, pid, format!("files {} and {} differ\n", argv[1], argv[2]).as_bytes());
+                stdout(
+                    k,
+                    pid,
+                    format!("files {} and {} differ\n", argv[1], argv[2]).as_bytes(),
+                );
                 1
             }
         }
@@ -310,7 +321,9 @@ pub fn install(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
 pub fn tar(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     match argv.get(1).map(String::as_str) {
         Some("-cf") => {
-            let (Some(archive), Some(dir)) = (argv.get(2), argv.get(3)) else { return 64 };
+            let (Some(archive), Some(dir)) = (argv.get(2), argv.get(3)) else {
+                return 64;
+            };
             let mut entries = Vec::new();
             if tar_collect(k, pid, dir, "", &mut entries).is_err() {
                 return 1;
@@ -321,7 +334,9 @@ pub fn tar(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             }
         }
         Some("-xf") => {
-            let Some(archive) = argv.get(2) else { return 64 };
+            let Some(archive) = argv.get(2) else {
+                return 64;
+            };
             let dest = match (argv.get(3).map(String::as_str), argv.get(4)) {
                 (Some("-C"), Some(d)) => d.clone(),
                 _ => ".".to_string(),
@@ -371,12 +386,20 @@ fn tar_collect(
     rel: &str,
     out: &mut Vec<Entry>,
 ) -> Result<(), shill_vfs::Errno> {
-    let full = if rel.is_empty() { root.to_string() } else { join(root, rel) };
+    let full = if rel.is_empty() {
+        root.to_string()
+    } else {
+        join(root, rel)
+    };
     let dfd = k.open(pid, &full, OpenFlags::dir(), Mode(0))?;
     let names = k.readdirfd(pid, dfd)?;
     k.close(pid, dfd)?;
     for name in names {
-        let r = if rel.is_empty() { name.clone() } else { join(rel, &name) };
+        let r = if rel.is_empty() {
+            name.clone()
+        } else {
+            join(rel, &name)
+        };
         let p = join(root, &r);
         let st = k.fstatat(pid, None, &p, false)?;
         if st.ftype.is_dir() {
@@ -384,7 +407,11 @@ fn tar_collect(
             tar_collect(k, pid, root, &r, out)?;
         } else if st.ftype.is_regular() {
             let data = slurp(k, pid, &p)?;
-            out.push(Entry::File { path: r, data, mode: st.mode.bits() });
+            out.push(Entry::File {
+                path: r,
+                data,
+                mode: st.mode.bits(),
+            });
         }
     }
     Ok(())

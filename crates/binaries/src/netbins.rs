@@ -49,7 +49,14 @@ pub fn curl(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             return 7;
         }
     };
-    if let Err(e) = k.connect(pid, sock, SockAddr::Inet { host: host.clone(), port }) {
+    if let Err(e) = k.connect(
+        pid,
+        sock,
+        SockAddr::Inet {
+            host: host.clone(),
+            port,
+        },
+    ) {
         stderr(k, pid, &format!("curl: connect {host}:{port}: {e}\n"));
         return 7;
     }
@@ -109,7 +116,10 @@ pub fn apached(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             return 1;
         }
     };
-    let addr = SockAddr::Inet { host: "0.0.0.0".into(), port };
+    let addr = SockAddr::Inet {
+        host: "0.0.0.0".into(),
+        port,
+    };
     if let Err(e) = k.bind(pid, lsock, addr).and_then(|()| k.listen(pid, lsock)) {
         stderr(k, pid, &format!("apached: bind/listen: {e}\n"));
         return 1;
@@ -219,18 +229,24 @@ pub fn grade_sh(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             Err(_) => return 1,
         };
         let st = k
-            .exec_at(child, None, "/usr/local/bin/ocamlc", &[
-                "ocamlc".into(),
-                src.clone(),
-                "-o".into(),
-                bc.clone(),
-            ])
+            .exec_at(
+                child,
+                None,
+                "/usr/local/bin/ocamlc",
+                &["ocamlc".into(), src.clone(), "-o".into(), bc.clone()],
+            )
             .unwrap_or(127);
         k.exit(child, st);
         let _ = k.waitpid(pid, child);
         let gradefile = join(outdir, &format!("{student}.grade"));
         if st != 0 {
-            let _ = spit(k, pid, &gradefile, b"score 0 (compile error)\n", Mode::FILE_DEFAULT);
+            let _ = spit(
+                k,
+                pid,
+                &gradefile,
+                b"score 0 (compile error)\n",
+                Mode::FILE_DEFAULT,
+            );
             continue;
         }
         // Run each test.
@@ -248,14 +264,24 @@ pub fn grade_sh(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
                 let infd = k.open(child, &input, OpenFlags::RDONLY, Mode(0))?;
                 k.transfer_fd(child, infd, child, shill_kernel::Fd::STDIN)?;
                 k.close(child, infd)?;
-                let outfd = k.open(child, &outfile, OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT)?;
+                let outfd = k.open(
+                    child,
+                    &outfile,
+                    OpenFlags::creat_trunc_w(),
+                    Mode::FILE_DEFAULT,
+                )?;
                 k.transfer_fd(child, outfd, child, shill_kernel::Fd::STDOUT)?;
                 k.close(child, outfd)?;
                 Ok(())
             })();
             let st = if setup.is_ok() {
-                k.exec_at(child, None, "/usr/local/bin/ocamlrun", &["ocamlrun".into(), bc.clone()])
-                    .unwrap_or(127)
+                k.exec_at(
+                    child,
+                    None,
+                    "/usr/local/bin/ocamlrun",
+                    &["ocamlrun".into(), bc.clone()],
+                )
+                .unwrap_or(127)
             } else {
                 126
             };
@@ -270,11 +296,12 @@ pub fn grade_sh(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
                 Err(_) => continue,
             };
             let st = k
-                .exec_at(child, None, "/usr/bin/diff", &[
-                    "diff".into(),
-                    outfile.clone(),
-                    expected.clone(),
-                ])
+                .exec_at(
+                    child,
+                    None,
+                    "/usr/bin/diff",
+                    &["diff".into(), outfile.clone(), expected.clone()],
+                )
                 .unwrap_or(2);
             k.exit(child, st);
             let _ = k.waitpid(pid, child);

@@ -18,24 +18,76 @@ pub struct BinSpec {
 /// library dependency lists (read by the simulated `ldd` for
 /// `pkg_native`).
 pub const BINARIES: &[BinSpec] = &[
-    BinSpec { name: "cat", path: "/bin/cat", needs: &["/lib/libc.so"] },
-    BinSpec { name: "echo", path: "/bin/echo", needs: &["/lib/libc.so"] },
-    BinSpec { name: "cp", path: "/bin/cp", needs: &["/lib/libc.so"] },
-    BinSpec { name: "rm", path: "/bin/rm", needs: &["/lib/libc.so"] },
-    BinSpec { name: "mkdir", path: "/bin/mkdir", needs: &["/lib/libc.so"] },
-    BinSpec { name: "grep", path: "/usr/bin/grep", needs: &["/lib/libc.so", "/lib/libregex.so"] },
-    BinSpec { name: "find", path: "/usr/bin/find", needs: &["/lib/libc.so"] },
-    BinSpec { name: "diff", path: "/usr/bin/diff", needs: &["/lib/libc.so"] },
-    BinSpec { name: "wc", path: "/usr/bin/wc", needs: &["/lib/libc.so"] },
-    BinSpec { name: "install", path: "/usr/bin/install", needs: &["/lib/libc.so"] },
-    BinSpec { name: "tar", path: "/usr/bin/tar", needs: &["/lib/libc.so", "/lib/libarchive.so"] },
+    BinSpec {
+        name: "cat",
+        path: "/bin/cat",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "echo",
+        path: "/bin/echo",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "cp",
+        path: "/bin/cp",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "rm",
+        path: "/bin/rm",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "mkdir",
+        path: "/bin/mkdir",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "grep",
+        path: "/usr/bin/grep",
+        needs: &["/lib/libc.so", "/lib/libregex.so"],
+    },
+    BinSpec {
+        name: "find",
+        path: "/usr/bin/find",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "diff",
+        path: "/usr/bin/diff",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "wc",
+        path: "/usr/bin/wc",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "install",
+        path: "/usr/bin/install",
+        needs: &["/lib/libc.so"],
+    },
+    BinSpec {
+        name: "tar",
+        path: "/usr/bin/tar",
+        needs: &["/lib/libc.so", "/lib/libarchive.so"],
+    },
     BinSpec {
         name: "jpeginfo",
         path: "/usr/local/bin/jpeginfo",
         needs: &["/lib/libc.so", "/usr/local/lib/libjpeg.so"],
     },
-    BinSpec { name: "cc", path: "/usr/bin/cc", needs: &["/lib/libc.so", "/lib/libelf.so"] },
-    BinSpec { name: "gmake", path: "/usr/local/bin/gmake", needs: &["/lib/libc.so"] },
+    BinSpec {
+        name: "cc",
+        path: "/usr/bin/cc",
+        needs: &["/lib/libc.so", "/lib/libelf.so"],
+    },
+    BinSpec {
+        name: "gmake",
+        path: "/usr/local/bin/gmake",
+        needs: &["/lib/libc.so"],
+    },
     BinSpec {
         name: "configure",
         path: "/usr/local/bin/configure",
@@ -56,13 +108,21 @@ pub const BINARIES: &[BinSpec] = &[
         path: "/usr/local/bin/ocamlyacc",
         needs: &["/lib/libc.so"],
     },
-    BinSpec { name: "curl", path: "/usr/local/bin/curl", needs: &["/lib/libc.so", "/lib/libssl.so"] },
+    BinSpec {
+        name: "curl",
+        path: "/usr/local/bin/curl",
+        needs: &["/lib/libc.so", "/lib/libssl.so"],
+    },
     BinSpec {
         name: "apached",
         path: "/usr/local/sbin/apached",
         needs: &["/lib/libc.so", "/lib/libssl.so", "/lib/libpcre.so"],
     },
-    BinSpec { name: "grade-sh", path: "/usr/local/bin/grade-sh", needs: &["/lib/libc.so"] },
+    BinSpec {
+        name: "grade-sh",
+        path: "/usr/local/bin/grade-sh",
+        needs: &["/lib/libc.so"],
+    },
 ];
 
 /// Shared libraries installed under `/lib` / `/usr/local/lib`.
@@ -83,7 +143,10 @@ pub fn install_all(k: &mut Kernel) {
 
     macro_rules! reg {
         ($name:expr, $f:path) => {
-            k.register_exec($name, Arc::new(|k: &mut Kernel, pid, argv: &[String]| $f(k, pid, argv)));
+            k.register_exec(
+                $name,
+                Arc::new(|k: &mut Kernel, pid, argv: &[String]| $f(k, pid, argv)),
+            );
         };
     }
     reg!("cat", coreutils::cat);
@@ -119,8 +182,14 @@ pub fn install_all(k: &mut Kernel) {
         for n in spec.needs {
             content.push_str(&format!("NEEDS {n}\n"));
         }
-        k.fs.put_file(spec.path, content.as_bytes(), Mode(0o755), Uid::ROOT, Gid::WHEEL)
-            .expect("install binary");
+        k.fs.put_file(
+            spec.path,
+            content.as_bytes(),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .expect("install binary");
     }
     // The OCaml standard library ocamlc insists on reading (§4.1).
     k.fs.put_file(
@@ -178,8 +247,10 @@ mod tests {
     #[test]
     fn cat_and_echo() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/data/a.txt", b"hello ", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/data/b.txt", b"world", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file("/data/a.txt", b"hello ", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        k.fs.put_file("/data/b.txt", b"world", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let (st, out) = run_capture(&mut k, pid, &["/bin/cat", "/data/a.txt", "/data/b.txt"]);
         assert_eq!(st, 0);
         assert_eq!(out, "hello world");
@@ -191,8 +262,14 @@ mod tests {
     #[test]
     fn grep_matches_and_reports() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/src/a.c", b"int mac_check(void);\nint other;\n", Mode(0o644), Uid::ROOT, Gid::WHEEL)
-            .unwrap();
+        k.fs.put_file(
+            "/src/a.c",
+            b"int mac_check(void);\nint other;\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         let (st, out) = run_capture(&mut k, pid, &["/usr/bin/grep", "-H", "mac_", "/src/a.c"]);
         assert_eq!(st, 0);
         assert_eq!(out, "/src/a.c:int mac_check(void);\n");
@@ -204,9 +281,30 @@ mod tests {
     #[test]
     fn find_with_name_and_exec() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/src/x/a.c", b"mac_foo\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/src/x/b.h", b"mac_bar\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/src/y/c.c", b"nothing\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/src/x/a.c",
+            b"mac_foo\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/src/x/b.h",
+            b"mac_bar\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/src/y/c.c",
+            b"nothing\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         let (st, out) = run_capture(&mut k, pid, &["/usr/bin/find", "/src", "-name", "*.c"]);
         assert_eq!(st, 0);
         assert!(out.contains("/src/x/a.c"));
@@ -216,7 +314,18 @@ mod tests {
         let (st, out) = run_capture(
             &mut k,
             pid,
-            &["/usr/bin/find", "/src", "-name", "*.c", "-exec", "/usr/bin/grep", "-H", "mac_", "{}", ";"],
+            &[
+                "/usr/bin/find",
+                "/src",
+                "-name",
+                "*.c",
+                "-exec",
+                "/usr/bin/grep",
+                "-H",
+                "mac_",
+                "{}",
+                ";",
+            ],
         );
         assert_eq!(st, 0);
         assert!(out.contains("/src/x/a.c:mac_foo"));
@@ -226,11 +335,30 @@ mod tests {
     #[test]
     fn tar_roundtrip_via_binary() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/proj/src/main.c", b"int main;", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/proj/README", b"docs", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.mkdir_p("/dest", Mode(0o755), Uid::ROOT, Gid::WHEEL).unwrap();
-        assert_eq!(run(&mut k, pid, &["/usr/bin/tar", "-cf", "/tmp/p.tar", "/proj"]), 0);
-        assert_eq!(run(&mut k, pid, &["/usr/bin/tar", "-xf", "/tmp/p.tar", "-C", "/dest"]), 0);
+        k.fs.put_file(
+            "/proj/src/main.c",
+            b"int main;",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file("/proj/README", b"docs", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        k.fs.mkdir_p("/dest", Mode(0o755), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        assert_eq!(
+            run(&mut k, pid, &["/usr/bin/tar", "-cf", "/tmp/p.tar", "/proj"]),
+            0
+        );
+        assert_eq!(
+            run(
+                &mut k,
+                pid,
+                &["/usr/bin/tar", "-xf", "/tmp/p.tar", "-C", "/dest"]
+            ),
+            0
+        );
         let n = k.fs.resolve_abs("/dest/src/main.c").unwrap();
         assert_eq!(k.fs.read(n, 0, 100).unwrap(), b"int main;");
     }
@@ -238,9 +366,25 @@ mod tests {
     #[test]
     fn ocaml_toolchain_compiles_and_runs() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/work/main.ml", b"sum\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/work/main.ml",
+            b"sum\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         assert_eq!(
-            run(&mut k, pid, &["/usr/local/bin/ocamlc", "/work/main.ml", "-o", "/work/main.bc"]),
+            run(
+                &mut k,
+                pid,
+                &[
+                    "/usr/local/bin/ocamlc",
+                    "/work/main.ml",
+                    "-o",
+                    "/work/main.bc"
+                ]
+            ),
             0
         );
         // Feed stdin via a pipe.
@@ -252,7 +396,12 @@ mod tests {
         let (orx, otx) = k.pipe(pid).unwrap();
         k.transfer_fd(pid, otx, child, Fd::STDOUT).unwrap();
         let st = k
-            .exec_at(child, None, "/usr/local/bin/ocamlrun", &["ocamlrun".into(), "/work/main.bc".into()])
+            .exec_at(
+                child,
+                None,
+                "/usr/local/bin/ocamlrun",
+                &["ocamlrun".into(), "/work/main.bc".into()],
+            )
             .unwrap();
         k.exit(child, st);
         k.waitpid(pid, child).unwrap();
@@ -265,10 +414,25 @@ mod tests {
     #[test]
     fn ocamlc_rejects_syntax_errors() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/work/bad.ml", b"sum\nsyntax-error\n", Mode(0o644), Uid::ROOT, Gid::WHEEL)
-            .unwrap();
+        k.fs.put_file(
+            "/work/bad.ml",
+            b"sum\nsyntax-error\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         assert_eq!(
-            run(&mut k, pid, &["/usr/local/bin/ocamlc", "/work/bad.ml", "-o", "/work/bad.bc"]),
+            run(
+                &mut k,
+                pid,
+                &[
+                    "/usr/local/bin/ocamlc",
+                    "/work/bad.ml",
+                    "-o",
+                    "/work/bad.bc"
+                ]
+            ),
             2
         );
     }
@@ -276,44 +440,93 @@ mod tests {
     #[test]
     fn configure_gmake_build_install_uninstall() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/build/emacs/src/alloc.c", b"alloc", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/build/emacs/src/lisp.c", b"lisp", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/build/emacs/src/alloc.c",
+            b"alloc",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/build/emacs/src/lisp.c",
+            b"lisp",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         assert_eq!(
-            run(&mut k, pid, &[
-                "/usr/local/bin/configure",
-                "--prefix=/opt/emacs",
-                "--srcdir=/build/emacs",
-            ]),
+            run(
+                &mut k,
+                pid,
+                &[
+                    "/usr/local/bin/configure",
+                    "--prefix=/opt/emacs",
+                    "--srcdir=/build/emacs",
+                ]
+            ),
             0
         );
         assert!(k.fs.resolve_abs("/build/emacs/Makefile").is_ok());
-        assert_eq!(run(&mut k, pid, &["/usr/local/bin/gmake", "-C", "/build/emacs", "all"]), 0);
+        assert_eq!(
+            run(
+                &mut k,
+                pid,
+                &["/usr/local/bin/gmake", "-C", "/build/emacs", "all"]
+            ),
+            0
+        );
         assert!(k.fs.resolve_abs("/build/emacs/emacs").is_ok());
-        assert_eq!(run(&mut k, pid, &["/usr/local/bin/gmake", "-C", "/build/emacs", "install"]), 0);
+        assert_eq!(
+            run(
+                &mut k,
+                pid,
+                &["/usr/local/bin/gmake", "-C", "/build/emacs", "install"]
+            ),
+            0
+        );
         assert!(k.fs.resolve_abs("/opt/emacs/bin/emacs").is_ok());
         // The installed binary runs.
         let (st, out) = run_capture(&mut k, pid, &["/opt/emacs/bin/emacs"]);
         assert_eq!(st, 0);
         assert!(out.contains("GNU Emacs"));
-        assert_eq!(run(&mut k, pid, &["/usr/local/bin/gmake", "-C", "/build/emacs", "uninstall"]), 0);
+        assert_eq!(
+            run(
+                &mut k,
+                pid,
+                &["/usr/local/bin/gmake", "-C", "/build/emacs", "uninstall"]
+            ),
+            0
+        );
         assert!(k.fs.resolve_abs("/opt/emacs/bin/emacs").is_err());
     }
 
     #[test]
     fn curl_downloads_from_remote() {
         let (mut k, pid) = setup();
-        let addr = shill_kernel::SockAddr::Inet { host: "mirror.gnu.org".into(), port: 80 };
-        k.net.register_remote(addr, Box::new(|req| {
-            assert!(req.starts_with(b"GET /emacs.tar"));
-            b"TARBALLBYTES".to_vec()
-        }));
+        let addr = shill_kernel::SockAddr::Inet {
+            host: "mirror.gnu.org".into(),
+            port: 80,
+        };
+        k.net.register_remote(
+            addr,
+            Box::new(|req| {
+                assert!(req.starts_with(b"GET /emacs.tar"));
+                b"TARBALLBYTES".to_vec()
+            }),
+        );
         assert_eq!(
-            run(&mut k, pid, &[
-                "/usr/local/bin/curl",
-                "-o",
-                "/tmp/emacs.tar",
-                "http://mirror.gnu.org/emacs.tar",
-            ]),
+            run(
+                &mut k,
+                pid,
+                &[
+                    "/usr/local/bin/curl",
+                    "-o",
+                    "/tmp/emacs.tar",
+                    "http://mirror.gnu.org/emacs.tar",
+                ]
+            ),
             0
         );
         let n = k.fs.resolve_abs("/tmp/emacs.tar").unwrap();
@@ -323,23 +536,39 @@ mod tests {
     #[test]
     fn apached_serves_preloaded_connections() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/var/www/index.html", b"<html>hi</html>", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        k.fs.put_file(
+            "/var/www/index.html",
+            b"<html>hi</html>",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.mkdir_p("/var/log", Mode(0o755), Uid::ROOT, Gid::WHEEL)
             .unwrap();
-        k.fs.mkdir_p("/var/log", Mode(0o755), Uid::ROOT, Gid::WHEEL).unwrap();
         // The driver plays the clients first: preload connections, then run
         // the server; they land in its accept queue at listen time.
-        let addr = shill_kernel::SockAddr::Inet { host: "0.0.0.0".into(), port: 8080 };
-        let c1 = k.net.preload_connection(addr.clone(), b"GET /index.html".to_vec());
+        let addr = shill_kernel::SockAddr::Inet {
+            host: "0.0.0.0".into(),
+            port: 8080,
+        };
+        let c1 = k
+            .net
+            .preload_connection(addr.clone(), b"GET /index.html".to_vec());
         let c2 = k.net.preload_connection(addr, b"GET /missing".to_vec());
-        let st = run(&mut k, pid, &[
-            "/usr/local/sbin/apached",
-            "-root",
-            "/var/www",
-            "-log",
-            "/var/log/httpd-access.log",
-            "-port",
-            "8080",
-        ]);
+        let st = run(
+            &mut k,
+            pid,
+            &[
+                "/usr/local/sbin/apached",
+                "-root",
+                "/var/www",
+                "-log",
+                "/var/log/httpd-access.log",
+                "-port",
+                "8080",
+            ],
+        );
         assert_eq!(st, 0);
         let (done1, resp1) = k.net.take_response(c1).unwrap();
         assert!(done1);
@@ -359,21 +588,53 @@ mod tests {
     fn grade_sh_end_to_end() {
         let (mut k, pid) = setup();
         // Two students: one correct (sum), one wrong.
-        k.fs.put_file("/course/submissions/alice/main.ml", b"sum\n", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        k.fs.put_file(
+            "/course/submissions/alice/main.ml",
+            b"sum\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/course/submissions/bob/main.ml",
+            b"print 0\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/course/tests/input1",
+            b"1\n2\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/course/tests/expected1",
+            b"3\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.mkdir_p("/course/work", Mode(0o777), Uid::ROOT, Gid::WHEEL)
             .unwrap();
-        k.fs.put_file("/course/submissions/bob/main.ml", b"print 0\n", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        k.fs.mkdir_p("/course/grades", Mode(0o777), Uid::ROOT, Gid::WHEEL)
             .unwrap();
-        k.fs.put_file("/course/tests/input1", b"1\n2\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/course/tests/expected1", b"3\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.mkdir_p("/course/work", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.mkdir_p("/course/grades", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
-        let st = run(&mut k, pid, &[
-            "/usr/local/bin/grade-sh",
-            "/course/submissions",
-            "/course/tests",
-            "/course/work",
-            "/course/grades",
-        ]);
+        let st = run(
+            &mut k,
+            pid,
+            &[
+                "/usr/local/bin/grade-sh",
+                "/course/submissions",
+                "/course/tests",
+                "/course/work",
+                "/course/grades",
+            ],
+        );
         assert_eq!(st, 0);
         let a = k.fs.resolve_abs("/course/grades/alice.grade").unwrap();
         assert_eq!(k.fs.read(a, 0, 100).unwrap(), b"score 1/1\n");

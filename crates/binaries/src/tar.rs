@@ -11,8 +11,14 @@
 /// One archive entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Entry {
-    Dir { path: String },
-    File { path: String, data: Vec<u8>, mode: u16 },
+    Dir {
+        path: String,
+    },
+    File {
+        path: String,
+        data: Vec<u8>,
+        mode: u16,
+    },
 }
 
 /// Serialize entries into archive bytes.
@@ -79,11 +85,27 @@ mod tests {
     #[test]
     fn roundtrip() {
         let entries = vec![
-            Entry::Dir { path: "emacs-24".into() },
-            Entry::Dir { path: "emacs-24/src".into() },
-            Entry::File { path: "emacs-24/src/main.c".into(), data: b"int main(){}\n".to_vec(), mode: 0o644 },
-            Entry::File { path: "emacs-24/configure".into(), data: b"#!SIMBIN configure\n".to_vec(), mode: 0o755 },
-            Entry::File { path: "emacs-24/empty".into(), data: vec![], mode: 0o600 },
+            Entry::Dir {
+                path: "emacs-24".into(),
+            },
+            Entry::Dir {
+                path: "emacs-24/src".into(),
+            },
+            Entry::File {
+                path: "emacs-24/src/main.c".into(),
+                data: b"int main(){}\n".to_vec(),
+                mode: 0o644,
+            },
+            Entry::File {
+                path: "emacs-24/configure".into(),
+                data: b"#!SIMBIN configure\n".to_vec(),
+                mode: 0o755,
+            },
+            Entry::File {
+                path: "emacs-24/empty".into(),
+                data: vec![],
+                mode: 0o600,
+            },
         ];
         let packed = pack(&entries);
         assert_eq!(unpack(&packed).unwrap(), entries);
@@ -92,7 +114,11 @@ mod tests {
     #[test]
     fn binary_payloads_survive() {
         let data: Vec<u8> = (0..=255u8).collect();
-        let entries = vec![Entry::File { path: "bin".into(), data: data.clone(), mode: 0o644 }];
+        let entries = vec![Entry::File {
+            path: "bin".into(),
+            data: data.clone(),
+            mode: 0o644,
+        }];
         let packed = pack(&entries);
         match &unpack(&packed).unwrap()[0] {
             Entry::File { data: d, .. } => assert_eq!(*d, data),

@@ -96,7 +96,8 @@ mod tests {
     #[test]
     fn slurp_spit_roundtrip() {
         let mut k = Kernel::new();
-        k.fs.mkdir_p("/d", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.mkdir_p("/d", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let pid = k.spawn_user(Cred::ROOT);
         spit(&mut k, pid, "/d/f", b"hello", Mode::FILE_DEFAULT).unwrap();
         assert_eq!(slurp(&mut k, pid, "/d/f").unwrap(), b"hello");

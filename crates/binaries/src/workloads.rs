@@ -18,7 +18,10 @@ impl Lcg {
     }
 
     pub fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
 
@@ -77,42 +80,55 @@ pub fn grading_workload(k: &mut Kernel, n: usize, tests: usize) -> GradingWorklo
             SubmissionKind::Broken => "sum\nsyntax-error\n".to_string(),
             SubmissionKind::CheaterRead => {
                 // Try to read the next student's submission.
-                format!("readfile /course/submissions/student{:03}/main.ml\nsum\n", (n - 1).min(2))
+                format!(
+                    "readfile /course/submissions/student{:03}/main.ml\nsum\n",
+                    (n - 1).min(2)
+                )
             }
             SubmissionKind::CheaterWrite => {
                 format!("writefile /course/grades/{name}.grade score 999\nsum\n")
             }
         };
-        k.fs
-            .put_file(
-                &format!("/course/submissions/{name}/main.ml"),
-                source.as_bytes(),
-                Mode(0o644),
-                Uid(500 + i as u32),
-                Gid(500),
-            )
-            .expect("submission");
+        k.fs.put_file(
+            &format!("/course/submissions/{name}/main.ml"),
+            source.as_bytes(),
+            Mode(0o644),
+            Uid(500 + i as u32),
+            Gid(500),
+        )
+        .expect("submission");
         students.push((name, kind));
     }
     for t in 1..=tests {
         let nums: Vec<u64> = (0..3 + t as u64).map(|x| x * 2 + t as u64).collect();
         let sum: u64 = nums.iter().sum();
-        let input = nums.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("\n") + "\n";
-        k.fs
-            .put_file(&format!("/course/tests/input{t}"), input.as_bytes(), Mode(0o644), Uid::ROOT, Gid::WHEEL)
-            .expect("test input");
-        k.fs
-            .put_file(
-                &format!("/course/tests/expected{t}"),
-                format!("{sum}\n").as_bytes(),
-                Mode(0o644),
-                Uid::ROOT,
-                Gid::WHEEL,
-            )
-            .expect("test expected");
+        let input = nums
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        k.fs.put_file(
+            &format!("/course/tests/input{t}"),
+            input.as_bytes(),
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .expect("test input");
+        k.fs.put_file(
+            &format!("/course/tests/expected{t}"),
+            format!("{sum}\n").as_bytes(),
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .expect("test expected");
     }
-    k.fs.mkdir_p("/course/work", Mode(0o777), Uid::ROOT, Gid::WHEEL).expect("work");
-    k.fs.mkdir_p("/course/grades", Mode(0o777), Uid::ROOT, Gid::WHEEL).expect("grades");
+    k.fs.mkdir_p("/course/work", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .expect("work");
+    k.fs.mkdir_p("/course/grades", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .expect("grades");
     GradingWorkload {
         students,
         test_cases: tests,
@@ -138,7 +154,9 @@ pub struct SourceTree {
 pub fn source_tree(k: &mut Kernel, scale: usize) -> SourceTree {
     let total_target = 57_817 / scale.max(1);
     let mut rng = Lcg::new(7);
-    let dirs = ["sys", "lib", "bin", "usr.bin", "contrib", "kern", "dev", "net", "fs"];
+    let dirs = [
+        "sys", "lib", "bin", "usr.bin", "contrib", "kern", "dev", "net", "fs",
+    ];
     let mut total = 0usize;
     let mut c_files = 0usize;
     let mut with_pattern = 0usize;
@@ -176,40 +194,71 @@ pub fn source_tree(k: &mut Kernel, scale: usize) -> SourceTree {
                         _ => (format!("Makefile.{f}"), "OBJS=\n".to_string()),
                     }
                 };
-                k.fs
-                    .put_file(&format!("{dir}/{name}"), content.as_bytes(), Mode(0o644), Uid::ROOT, Gid::WHEEL)
-                    .expect("source file");
+                k.fs.put_file(
+                    &format!("{dir}/{name}"),
+                    content.as_bytes(),
+                    Mode(0o644),
+                    Uid::ROOT,
+                    Gid::WHEEL,
+                )
+                .expect("source file");
             }
         }
     }
-    SourceTree { total_files: total, c_files, c_files_with_pattern: with_pattern, root: "/usr/src" }
+    SourceTree {
+        total_files: total,
+        c_files,
+        c_files_with_pattern: with_pattern,
+        root: "/usr/src",
+    }
 }
 
 /// The address the Emacs mirror serves on.
 pub fn emacs_mirror_addr() -> SockAddr {
-    SockAddr::Inet { host: "mirror.gnu.org".into(), port: 80 }
+    SockAddr::Inet {
+        host: "mirror.gnu.org".into(),
+        port: 80,
+    }
 }
 
 /// Register the simulated GNU mirror serving an Emacs source tarball with
 /// `sources` C files of `source_len` bytes each. Returns the tarball size.
 pub fn emacs_mirror(k: &mut Kernel, sources: usize, source_len: usize) -> usize {
     let mut entries = vec![
-        Entry::Dir { path: "emacs-24".into() },
-        Entry::Dir { path: "emacs-24/src".into() },
-        Entry::Dir { path: "emacs-24/etc".into() },
+        Entry::Dir {
+            path: "emacs-24".into(),
+        },
+        Entry::Dir {
+            path: "emacs-24/src".into(),
+        },
+        Entry::Dir {
+            path: "emacs-24/etc".into(),
+        },
         Entry::File {
             path: "emacs-24/configure".into(),
             data: b"#!SIMBIN configure\nNEEDS /lib/libc.so\n".to_vec(),
             mode: 0o755,
         },
-        Entry::File { path: "emacs-24/README".into(), data: b"GNU Emacs (simulated)\n".to_vec(), mode: 0o644 },
-        Entry::File { path: "emacs-24/etc/emacs.1".into(), data: b".TH EMACS 1\n".to_vec(), mode: 0o644 },
+        Entry::File {
+            path: "emacs-24/README".into(),
+            data: b"GNU Emacs (simulated)\n".to_vec(),
+            mode: 0o644,
+        },
+        Entry::File {
+            path: "emacs-24/etc/emacs.1".into(),
+            data: b".TH EMACS 1\n".to_vec(),
+            mode: 0o644,
+        },
     ];
     let mut rng = Lcg::new(99);
     for i in 0..sources {
         let mut body = format!("/* emacs source {i} */\n");
         while body.len() < source_len {
-            body.push_str(&format!("int sym_{i}_{} = {};\n", rng.below(1000), rng.below(100)));
+            body.push_str(&format!(
+                "int sym_{i}_{} = {};\n",
+                rng.below(1000),
+                rng.below(100)
+            ));
         }
         entries.push(Entry::File {
             path: format!("emacs-24/src/mod{i:03}.c"),
@@ -248,20 +297,32 @@ pub fn web_workload(k: &mut Kernel, size: usize) -> WebWorkload {
     while data.len() < size {
         data.push((rng.next() & 0x7F) as u8);
     }
-    k.fs.put_file("/var/www/big.bin", &data, Mode(0o644), Uid::ROOT, Gid::WHEEL).expect("content");
-    k.fs
-        .put_file(
-            "/etc/apache/httpd.conf",
-            b"DocumentRoot /var/www\nListen 8080\n",
-            Mode(0o644),
-            Uid::ROOT,
-            Gid::WHEEL,
-        )
-        .expect("conf");
-    k.fs.mkdir_p("/var/log", Mode(0o755), Uid::ROOT, Gid::WHEEL).expect("log dir");
-    k.fs
-        .put_file("/var/log/httpd-access.log", b"", Mode(0o644), Uid::ROOT, Gid::WHEEL)
-        .expect("log file");
+    k.fs.put_file(
+        "/var/www/big.bin",
+        &data,
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .expect("content");
+    k.fs.put_file(
+        "/etc/apache/httpd.conf",
+        b"DocumentRoot /var/www\nListen 8080\n",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .expect("conf");
+    k.fs.mkdir_p("/var/log", Mode(0o755), Uid::ROOT, Gid::WHEEL)
+        .expect("log dir");
+    k.fs.put_file(
+        "/var/log/httpd-access.log",
+        b"",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .expect("log file");
     WebWorkload {
         content_root: "/var/www",
         file_name: "big.bin",
@@ -283,13 +344,21 @@ pub fn photo_workload(k: &mut Kernel, photos: usize) -> usize {
         };
         let (name, data): (String, Vec<u8>) = if rng.below(4) < 3 {
             jpgs += 1;
-            (format!("img{i:03}.jpg"), vec![0xFF; 40 + rng.below(100) as usize])
+            (
+                format!("img{i:03}.jpg"),
+                vec![0xFF; 40 + rng.below(100) as usize],
+            )
         } else {
             (format!("note{i:03}.txt"), b"text".to_vec())
         };
-        k.fs
-            .put_file(&format!("{dir}/{name}"), &data, Mode(0o644), Uid(100), Gid(100))
-            .expect("photo");
+        k.fs.put_file(
+            &format!("{dir}/{name}"),
+            &data,
+            Mode(0o644),
+            Uid(100),
+            Gid(100),
+        )
+        .expect("photo");
     }
     jpgs
 }
@@ -305,7 +374,10 @@ mod tests {
         assert_eq!(w.students.len(), 10);
         assert_eq!(w.students[0].1, SubmissionKind::CheaterRead);
         assert_eq!(w.students[1].1, SubmissionKind::CheaterWrite);
-        assert!(k.fs.resolve_abs("/course/submissions/student000/main.ml").is_ok());
+        assert!(k
+            .fs
+            .resolve_abs("/course/submissions/student000/main.ml")
+            .is_ok());
         assert!(k.fs.resolve_abs("/course/tests/input3").is_ok());
         assert!(k.fs.resolve_abs("/course/tests/expected1").is_ok());
     }

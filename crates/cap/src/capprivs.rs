@@ -29,7 +29,10 @@ pub struct CapPrivs {
 impl CapPrivs {
     /// Exactly these privileges, inheriting-by-default on derivation.
     pub fn of(privs: PrivSet) -> CapPrivs {
-        CapPrivs { privs, modifiers: BTreeMap::new() }
+        CapPrivs {
+            privs,
+            modifiers: BTreeMap::new(),
+        }
     }
 
     /// Every privilege ("full priv" in the paper's Figure 1).
@@ -164,10 +167,8 @@ mod tests {
 
     #[test]
     fn subset_through_modifiers() {
-        let narrow = CapPrivs::of(PrivSet::of(&[Priv::Contents])).with_modifier(
-            Priv::Lookup,
-            CapPrivs::of(PrivSet::of(&[Priv::Path])),
-        );
+        let narrow = CapPrivs::of(PrivSet::of(&[Priv::Contents]))
+            .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Path])));
         let wide = CapPrivs::of(PrivSet::of(&[Priv::Contents])).with_modifier(
             Priv::Lookup,
             CapPrivs::of(PrivSet::of(&[Priv::Path, Priv::Stat, Priv::Read])),
@@ -199,19 +200,15 @@ mod tests {
             .with_modifier(Priv::CreateFile, CapPrivs::of(PrivSet::of(&[Priv::Write])));
         assert!(a.conflicts_with(&b));
         assert!(!a.conflicts_with(&a.clone()));
-        let sub = CapPrivs::of(PrivSet::EMPTY).with_modifier(
-            Priv::CreateFile,
-            CapPrivs::of(PrivSet::of(&[Priv::Read])),
-        );
+        let sub = CapPrivs::of(PrivSet::EMPTY)
+            .with_modifier(Priv::CreateFile, CapPrivs::of(PrivSet::of(&[Priv::Read])));
         assert!(!a.conflicts_with(&sub));
     }
 
     #[test]
     fn display_shows_modifiers() {
-        let c = CapPrivs::of(PrivSet::of(&[Priv::Contents])).with_modifier(
-            Priv::Lookup,
-            CapPrivs::of(PrivSet::of(&[Priv::Path])),
-        );
+        let c = CapPrivs::of(PrivSet::of(&[Priv::Contents]))
+            .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Path])));
         let s = c.to_string();
         assert!(s.contains("+contents"));
         assert!(s.contains("+lookup with {+path}"));

@@ -81,14 +81,24 @@ mod tests {
         use shill_kernel::SockDomain;
         let ops = [
             SocketOp::Create(SockDomain::Inet),
-            SocketOp::Bind(shill_kernel::SockAddr::Inet { host: "h".into(), port: 1 }),
-            SocketOp::Connect(shill_kernel::SockAddr::Inet { host: "h".into(), port: 1 }),
+            SocketOp::Bind(shill_kernel::SockAddr::Inet {
+                host: "h".into(),
+                port: 1,
+            }),
+            SocketOp::Connect(shill_kernel::SockAddr::Inet {
+                host: "h".into(),
+                port: 1,
+            }),
             SocketOp::Listen,
             SocketOp::Accept,
             SocketOp::Send,
             SocketOp::Recv,
         ];
         let privs: std::collections::BTreeSet<_> = ops.iter().map(socket_op_priv).collect();
-        assert_eq!(privs.len(), 7, "each socket op maps to a distinct privilege");
+        assert_eq!(
+            privs.len(),
+            7,
+            "each socket op maps to a distinct privilege"
+        );
     }
 }

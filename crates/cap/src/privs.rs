@@ -314,7 +314,11 @@ mod tests {
 
     #[test]
     fn paper_counts_hold() {
-        assert_eq!(filesystem_privs().len(), 24, "paper: 24 filesystem privileges");
+        assert_eq!(
+            filesystem_privs().len(),
+            24,
+            "paper: 24 filesystem privileges"
+        );
         assert_eq!(socket_privs().len(), 7, "paper: 7 socket privileges");
     }
 

@@ -108,7 +108,11 @@ impl RawCap {
     pub fn open_path(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<RawCap> {
         let node = k.resolve(pid, None, path, true)?;
         let ftype = k.fs.node(node)?.file_type();
-        let name = path.rsplit('/').find(|c| !c.is_empty()).unwrap_or("/").to_string();
+        let name = path
+            .rsplit('/')
+            .find(|c| !c.is_empty())
+            .unwrap_or("/")
+            .to_string();
         Self::open_node(k, pid, node, ftype, name)
     }
 
@@ -133,7 +137,14 @@ impl RawCap {
         let path = k.fs.path_of(node).ok_or(Errno::ENOENT)?;
         if kind == CapKind::Dir {
             let fd = k.open(pid, &path, OpenFlags::dir(), Mode(0))?;
-            return Ok(RawCap { kind, fd: Some(fd), node: Some(node), name, readable: true, writable: false });
+            return Ok(RawCap {
+                kind,
+                fd: Some(fd),
+                node: Some(node),
+                name,
+                readable: true,
+                writable: false,
+            });
         }
         // Degrade through access combinations.
         let attempts: [(OpenFlags, bool, bool); 3] = [
@@ -145,7 +156,14 @@ impl RawCap {
         for (flags, r, w) in attempts {
             match k.open(pid, &path, flags, Mode(0)) {
                 Ok(fd) => {
-                    return Ok(RawCap { kind, fd: Some(fd), node: Some(node), name, readable: r, writable: w })
+                    return Ok(RawCap {
+                        kind,
+                        fd: Some(fd),
+                        node: Some(node),
+                        name,
+                        readable: r,
+                        writable: w,
+                    })
                 }
                 Err(e) => last = e,
             }
@@ -259,7 +277,13 @@ impl RawCap {
     }
 
     /// Create a file in this directory, deriving a capability for it.
-    pub fn create_file(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> SysResult<RawCap> {
+    pub fn create_file(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        name: &str,
+        mode: Mode,
+    ) -> SysResult<RawCap> {
         if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
             return Err(Errno::EINVAL);
         }
@@ -281,7 +305,13 @@ impl RawCap {
 
     /// Create a subdirectory, deriving a capability (uses the paper's
     /// fd-returning `mkdirat`).
-    pub fn create_dir(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> SysResult<RawCap> {
+    pub fn create_dir(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        name: &str,
+        mode: Mode,
+    ) -> SysResult<RawCap> {
         if !shill_vfs::node::valid_component(name) || name == "." || name == ".." {
             return Err(Errno::EINVAL);
         }
@@ -308,7 +338,13 @@ impl RawCap {
     }
 
     /// TOCTTOU-safe unlink: remove `name` only if it still refers to `file`.
-    pub fn unlink_exactly(&self, k: &mut Kernel, pid: Pid, file: &RawCap, name: &str) -> SysResult<()> {
+    pub fn unlink_exactly(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        file: &RawCap,
+        name: &str,
+    ) -> SysResult<()> {
         k.funlinkat(pid, self.fd()?, file.fd()?, name)
     }
 
@@ -409,9 +445,24 @@ mod tests {
 
     fn setup() -> (Kernel, Pid) {
         let mut k = Kernel::new();
-        k.fs.put_file("/home/alice/dog.jpg", b"JPG", Mode::FILE_DEFAULT, Uid(100), Gid(100)).unwrap();
-        k.fs.put_file("/home/alice/notes.txt", b"text", Mode::FILE_DEFAULT, Uid(100), Gid(100)).unwrap();
-        k.fs.mkdir_p("/home/alice/sub", Mode::DIR_DEFAULT, Uid(100), Gid(100)).unwrap();
+        k.fs.put_file(
+            "/home/alice/dog.jpg",
+            b"JPG",
+            Mode::FILE_DEFAULT,
+            Uid(100),
+            Gid(100),
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/home/alice/notes.txt",
+            b"text",
+            Mode::FILE_DEFAULT,
+            Uid(100),
+            Gid(100),
+        )
+        .unwrap();
+        k.fs.mkdir_p("/home/alice/sub", Mode::DIR_DEFAULT, Uid(100), Gid(100))
+            .unwrap();
         let pid = k.spawn_user(Cred::user(100));
         (k, pid)
     }
@@ -451,11 +502,15 @@ mod tests {
     fn create_write_read_roundtrip() {
         let (mut k, pid) = setup();
         let dir = RawCap::open_path(&mut k, pid, "/home/alice").unwrap();
-        let f = dir.create_file(&mut k, pid, "new.txt", Mode::FILE_DEFAULT).unwrap();
+        let f = dir
+            .create_file(&mut k, pid, "new.txt", Mode::FILE_DEFAULT)
+            .unwrap();
         f.write_all(&mut k, pid, b"hello").unwrap();
         f.append(&mut k, pid, b" world").unwrap();
         assert_eq!(f.read_all(&mut k, pid).unwrap(), b"hello world");
-        let d = dir.create_dir(&mut k, pid, "work", Mode::DIR_DEFAULT).unwrap();
+        let d = dir
+            .create_dir(&mut k, pid, "work", Mode::DIR_DEFAULT)
+            .unwrap();
         assert!(d.is_dir());
         assert!(k.fs.resolve_abs("/home/alice/work").is_ok());
     }
@@ -486,10 +541,16 @@ mod tests {
     #[test]
     fn socket_factory_roundtrip() {
         let (mut k, pid) = setup();
-        let addr = SockAddr::Inet { host: "mirror".into(), port: 80 };
-        k.net.register_remote(addr.clone(), Box::new(|_| b"tarball".to_vec()));
+        let addr = SockAddr::Inet {
+            host: "mirror".into(),
+            port: 80,
+        };
+        k.net
+            .register_remote(addr.clone(), Box::new(|_| b"tarball".to_vec()));
         let factory = RawCap::socket_factory();
-        let sock = factory.create_socket(&mut k, pid, SockDomain::Inet).unwrap();
+        let sock = factory
+            .create_socket(&mut k, pid, SockDomain::Inet)
+            .unwrap();
         sock.sock_connect(&mut k, pid, addr).unwrap();
         sock.write_all(&mut k, pid, b"GET").unwrap();
         assert_eq!(sock.read_all(&mut k, pid).unwrap(), b"tarball");
@@ -498,7 +559,14 @@ mod tests {
     #[test]
     fn dac_limits_capability_creation() {
         let (mut k, _) = setup();
-        k.fs.put_file("/home/alice/private", b"secret", Mode(0o600), Uid(100), Gid(100)).unwrap();
+        k.fs.put_file(
+            "/home/alice/private",
+            b"secret",
+            Mode(0o600),
+            Uid(100),
+            Gid(100),
+        )
+        .unwrap();
         let stranger = k.spawn_user(Cred::user(999));
         assert_eq!(
             RawCap::open_path(&mut k, stranger, "/home/alice/private").unwrap_err(),
@@ -513,7 +581,8 @@ mod tests {
     #[test]
     fn readonly_file_gets_readonly_cap() {
         let (mut k, _) = setup();
-        k.fs.put_file("/etc/conf", b"cfg", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file("/etc/conf", b"cfg", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let user = k.spawn_user(Cred::user(100));
         let cap = RawCap::open_path(&mut k, user, "/etc/conf").unwrap();
         assert!(cap.readable);

@@ -67,7 +67,10 @@ pub struct GuardedCap {
 impl GuardedCap {
     /// An unguarded capability (full creation-time authority).
     pub fn unguarded(raw: RawCap) -> GuardedCap {
-        GuardedCap { raw, guards: Vec::new() }
+        GuardedCap {
+            raw,
+            guards: Vec::new(),
+        }
     }
 
     /// Apply a capability contract: push a guard.
@@ -101,7 +104,10 @@ impl GuardedCap {
             if !g.privs.allows(op) {
                 return Err(Violation::consumer(
                     &g.blame,
-                    format!("operation {op} on capability `{}` is not permitted", self.raw.name),
+                    format!(
+                        "operation {op} on capability `{}` is not permitted",
+                        self.raw.name
+                    ),
                 ));
             }
         }
@@ -145,7 +151,10 @@ impl GuardedCap {
     fn derive_guards(&self, op: Priv) -> Vec<Guard> {
         self.guards
             .iter()
-            .map(|g| Guard { privs: g.privs.derived(op), blame: Arc::clone(&g.blame) })
+            .map(|g| Guard {
+                privs: g.privs.derived(op),
+                blame: Arc::clone(&g.blame),
+            })
             .collect()
     }
 
@@ -206,21 +215,42 @@ impl GuardedCap {
     pub fn lookup(&self, k: &mut Kernel, pid: Pid, name: &str) -> CapResult<GuardedCap> {
         self.check(Priv::Lookup)?;
         let raw = self.raw.lookup(k, pid, name)?;
-        Ok(GuardedCap { raw, guards: self.derive_guards(Priv::Lookup) })
+        Ok(GuardedCap {
+            raw,
+            guards: self.derive_guards(Priv::Lookup),
+        })
     }
 
     /// `create-file` builtin.
-    pub fn create_file(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> CapResult<GuardedCap> {
+    pub fn create_file(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        name: &str,
+        mode: Mode,
+    ) -> CapResult<GuardedCap> {
         self.check(Priv::CreateFile)?;
         let raw = self.raw.create_file(k, pid, name, mode)?;
-        Ok(GuardedCap { raw, guards: self.derive_guards(Priv::CreateFile) })
+        Ok(GuardedCap {
+            raw,
+            guards: self.derive_guards(Priv::CreateFile),
+        })
     }
 
     /// `create-dir` builtin.
-    pub fn create_dir(&self, k: &mut Kernel, pid: Pid, name: &str, mode: Mode) -> CapResult<GuardedCap> {
+    pub fn create_dir(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        name: &str,
+        mode: Mode,
+    ) -> CapResult<GuardedCap> {
         self.check(Priv::CreateDir)?;
         let raw = self.raw.create_dir(k, pid, name, mode)?;
-        Ok(GuardedCap { raw, guards: self.derive_guards(Priv::CreateDir) })
+        Ok(GuardedCap {
+            raw,
+            guards: self.derive_guards(Priv::CreateDir),
+        })
     }
 
     /// `unlink-file` builtin.
@@ -255,11 +285,19 @@ impl GuardedCap {
     }
 
     /// Socket factory `create` (requires `+sock-create`).
-    pub fn create_socket(&self, k: &mut Kernel, pid: Pid, domain: SockDomain) -> CapResult<GuardedCap> {
+    pub fn create_socket(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+        domain: SockDomain,
+    ) -> CapResult<GuardedCap> {
         self.check(Priv::SockCreate)?;
         let raw = self.raw.create_socket(k, pid, domain)?;
         // Derived socket carries the factory's guards (socket privileges).
-        Ok(GuardedCap { raw, guards: self.guards.clone() })
+        Ok(GuardedCap {
+            raw,
+            guards: self.guards.clone(),
+        })
     }
 
     /// Socket `connect` (requires `+sock-connect`).
@@ -290,8 +328,10 @@ mod tests {
 
     fn setup() -> (Kernel, Pid, GuardedCap) {
         let mut k = Kernel::new();
-        k.fs.put_file("/home/u/a.txt", b"alpha", Mode(0o644), Uid(100), Gid(100)).unwrap();
-        k.fs.put_file("/home/u/b.jpg", b"beta", Mode(0o644), Uid(100), Gid(100)).unwrap();
+        k.fs.put_file("/home/u/a.txt", b"alpha", Mode(0o644), Uid(100), Gid(100))
+            .unwrap();
+        k.fs.put_file("/home/u/b.jpg", b"beta", Mode(0o644), Uid(100), Gid(100))
+            .unwrap();
         let pid = k.spawn_user(Cred::user(100));
         let dir = RawCap::open_path(&mut k, pid, "/home/u").unwrap();
         (k, pid, GuardedCap::unguarded(dir))
@@ -338,7 +378,10 @@ mod tests {
         let child = guarded.lookup(&mut k, pid, "a.txt").unwrap();
         // Inherited: +path ok, +read not in the contract.
         assert!(child.path(&mut k, pid).is_ok());
-        assert!(matches!(child.read_all(&mut k, pid).unwrap_err(), CapError::Violation(_)));
+        assert!(matches!(
+            child.read_all(&mut k, pid).unwrap_err(),
+            CapError::Violation(_)
+        ));
     }
 
     #[test]
@@ -348,20 +391,33 @@ mod tests {
             Priv::Lookup,
             CapPrivs::of(PrivSet::of(&[Priv::Path, Priv::Stat])),
         );
-        let guarded = dir.restrict(Arc::new(privs), blame("dir(+contents, +lookup with {+path,+stat})"));
+        let guarded = dir.restrict(
+            Arc::new(privs),
+            blame("dir(+contents, +lookup with {+path,+stat})"),
+        );
         let child = guarded.lookup(&mut k, pid, "b.jpg").unwrap();
         assert!(child.path(&mut k, pid).is_ok());
         assert!(child.stat(&mut k, pid).is_ok());
-        assert!(matches!(child.read_all(&mut k, pid).unwrap_err(), CapError::Violation(_)));
+        assert!(matches!(
+            child.read_all(&mut k, pid).unwrap_err(),
+            CapError::Violation(_)
+        ));
         // And derived-from-derived stays at {path, stat} (no deriving privs).
-        assert!(matches!(child.lookup(&mut k, pid, "x").unwrap_err(), CapError::Violation(_)));
+        assert!(matches!(
+            child.lookup(&mut k, pid, "x").unwrap_err(),
+            CapError::Violation(_)
+        ));
     }
 
     #[test]
     fn stacked_guards_check_all_layers() {
         let (mut k, pid, dir) = setup();
         let layer1 = dir.restrict(
-            Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Contents, Priv::Lookup, Priv::Stat]))),
+            Arc::new(CapPrivs::of(PrivSet::of(&[
+                Priv::Contents,
+                Priv::Lookup,
+                Priv::Stat,
+            ]))),
             blame("outer"),
         );
         let layer2 = layer1.restrict(
@@ -397,10 +453,17 @@ mod tests {
         let (_k, _pid, dir) = setup();
         let layered = dir
             .restrict(
-                Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path]))),
+                Arc::new(CapPrivs::of(PrivSet::of(&[
+                    Priv::Read,
+                    Priv::Stat,
+                    Priv::Path,
+                ]))),
                 blame("a"),
             )
-            .restrict(Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Write]))), blame("b"));
+            .restrict(
+                Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Write]))),
+                blame("b"),
+            );
         let eff = layered.effective_privs();
         assert!(eff.allows(Priv::Read));
         assert!(!eff.allows(Priv::Stat));
@@ -414,11 +477,22 @@ mod tests {
             Priv::CreateFile,
             CapPrivs::of(PrivSet::of(&[Priv::Append, Priv::Path])),
         );
-        let guarded = dir.restrict(Arc::new(privs), blame("dir(+create-file with {+append,+path})"));
-        let f = guarded.create_file(&mut k, pid, "log.txt", Mode(0o644)).unwrap();
+        let guarded = dir.restrict(
+            Arc::new(privs),
+            blame("dir(+create-file with {+append,+path})"),
+        );
+        let f = guarded
+            .create_file(&mut k, pid, "log.txt", Mode(0o644))
+            .unwrap();
         f.append(&mut k, pid, b"entry\n").unwrap();
         // Append-only: read and write are violations.
-        assert!(matches!(f.read_all(&mut k, pid).unwrap_err(), CapError::Violation(_)));
-        assert!(matches!(f.write_all(&mut k, pid, b"x").unwrap_err(), CapError::Violation(_)));
+        assert!(matches!(
+            f.read_all(&mut k, pid).unwrap_err(),
+            CapError::Violation(_)
+        ));
+        assert!(matches!(
+            f.write_all(&mut k, pid, b"x").unwrap_err(),
+            CapError::Violation(_)
+        ));
     }
 }

@@ -92,15 +92,43 @@ pub enum Expr {
     Var(String, Pos),
     List(Vec<Expr>, Pos),
     /// `fun(a, b) { ... }`.
-    Fun { params: Vec<String>, body: Rc<Vec<Stmt>>, pos: Pos },
+    Fun {
+        params: Vec<String>,
+        body: Rc<Vec<Stmt>>,
+        pos: Pos,
+    },
     /// `f(a, b, key = c)`.
-    Call { callee: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)>, pos: Pos },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+        pos: Pos,
+    },
     /// `if c then t [else e]` — branches are blocks or single statements.
-    If { cond: Box<Expr>, then: Rc<Vec<Stmt>>, els: Option<Rc<Vec<Stmt>>>, pos: Pos },
+    If {
+        cond: Box<Expr>,
+        then: Rc<Vec<Stmt>>,
+        els: Option<Rc<Vec<Stmt>>>,
+        pos: Pos,
+    },
     /// `for x in e { ... }`.
-    For { var: String, iter: Box<Expr>, body: Rc<Vec<Stmt>>, pos: Pos },
-    Unary { op: UnOp, expr: Box<Expr>, pos: Pos },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    For {
+        var: String,
+        iter: Box<Expr>,
+        body: Rc<Vec<Stmt>>,
+        pos: Pos,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+        pos: Pos,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// A contract written in expression position (contracts are values and
     /// can be bound to names, enabling user-defined contract abbreviations).
     Contract(Box<ContractExpr>, Pos),
@@ -171,7 +199,11 @@ pub enum ContractExpr {
     /// Function contract `{a : C1, b : C2} -> C3`.
     Func(Rc<FuncContract>),
     /// Bounded polymorphism: `forall X with {+p, ...} . C` (§2.4.2).
-    Forall { var: String, bound: PrivSet, body: Box<ContractExpr> },
+    Forall {
+        var: String,
+        bound: PrivSet,
+        body: Box<ContractExpr>,
+    },
     /// A contract variable occurrence (`X`) inside a `forall` body.
     Var(String),
     /// A named contract resolved from the environment at wrap time
@@ -215,8 +247,16 @@ pub fn contract_to_string(c: &ContractExpr) -> String {
         ContractExpr::SocketFactory(p) => format!("socket_factory{p}"),
         ContractExpr::NativeWallet => "native_wallet".into(),
         ContractExpr::Wallet => "wallet".into(),
-        ContractExpr::Or(cs) => cs.iter().map(contract_to_string).collect::<Vec<_>>().join(" \\/ "),
-        ContractExpr::And(cs) => cs.iter().map(contract_to_string).collect::<Vec<_>>().join(" && "),
+        ContractExpr::Or(cs) => cs
+            .iter()
+            .map(contract_to_string)
+            .collect::<Vec<_>>()
+            .join(" \\/ "),
+        ContractExpr::And(cs) => cs
+            .iter()
+            .map(contract_to_string)
+            .collect::<Vec<_>>()
+            .join(" && "),
         ContractExpr::Func(fc) => {
             let args = fc
                 .args
@@ -257,7 +297,10 @@ mod tests {
         let fc = FuncContract {
             args: vec![
                 ("cur".into(), ContractExpr::Var("X".into())),
-                ("out".into(), ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Append])))),
+                (
+                    "out".into(),
+                    ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Append]))),
+                ),
             ],
             kwargs: vec![],
             result: ContractExpr::Void,

@@ -93,13 +93,20 @@ pub fn install_ambient(interp: &mut Interp, env: &Env) {
     for name in ["open_file", "open_dir", "create_wallet"] {
         env.define_internal(name, Value::Builtin(name));
     }
-    env.define_internal("pipe_factory", Value::Cap(Rc::new(GuardedCap::unguarded(RawCap::pipe_factory()))));
+    env.define_internal(
+        "pipe_factory",
+        Value::Cap(Rc::new(GuardedCap::unguarded(RawCap::pipe_factory()))),
+    );
     env.define_internal(
         "socket_factory",
         Value::Cap(Rc::new(GuardedCap::unguarded(RawCap::socket_factory()))),
     );
     // stdio: capabilities for the controlling terminal.
-    for (name, dev) in [("stdin", "/dev/tty"), ("stdout", "/dev/tty"), ("stderr", "/dev/tty")] {
+    for (name, dev) in [
+        ("stdin", "/dev/tty"),
+        ("stdout", "/dev/tty"),
+        ("stderr", "/dev/tty"),
+    ] {
         if let Ok(cap) = RawCap::open_path(&mut interp.kernel, interp.pid, dev) {
             env.define_internal(name, Value::Cap(Rc::new(GuardedCap::unguarded(cap))));
         }
@@ -119,7 +126,10 @@ fn arity(args: &[Value], n: usize, name: &str) -> Result<(), ShillError> {
 fn want_str(v: &Value, what: &str) -> Result<String, ShillError> {
     match v {
         Value::Str(s) => Ok((**s).clone()),
-        other => Err(ShillError::Runtime(format!("{what} must be a string, got {}", other.type_name()))),
+        other => Err(ShillError::Runtime(format!(
+            "{what} must be a string, got {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -141,7 +151,9 @@ pub fn call_builtin(
     kwargs: Vec<(String, Value)>,
 ) -> EvalResult {
     if name != "exec" && !kwargs.is_empty() {
-        return Err(ShillError::Runtime(format!("{name} does not accept keyword arguments")));
+        return Err(ShillError::Runtime(format!(
+            "{name} does not accept keyword arguments"
+        )));
     }
     match name {
         // --- type predicates ------------------------------------------------
@@ -158,7 +170,9 @@ pub fn call_builtin(
         "is_pipe" => {
             arity(&args, 1, name)?;
             let inner = strip_seals(&args[0]);
-            Ok(Value::Bool(matches!(inner, Value::Cap(c) if c.kind() == CapKind::PipeEnd)))
+            Ok(Value::Bool(
+                matches!(inner, Value::Cap(c) if c.kind() == CapKind::PipeEnd),
+            ))
         }
         "is_syserror" => {
             arity(&args, 1, name)?;
@@ -217,7 +231,10 @@ pub fn call_builtin(
             arity(&args, 1, name)?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::Stat)?;
             let pid = interp.pid;
-            cap_result(cap.stat(&mut interp.kernel, pid).map(|st| Value::Num(st.size as i64)))
+            cap_result(
+                cap.stat(&mut interp.kernel, pid)
+                    .map(|st| Value::Num(st.size as i64)),
+            )
         }
 
         // --- file operations ------------------------------------------------
@@ -235,14 +252,20 @@ pub fn call_builtin(
             let data = want_str(&args[1], "data")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::Write)?;
             let pid = interp.pid;
-            cap_result(cap.write_all(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+            cap_result(
+                cap.write_all(&mut interp.kernel, pid, data.as_bytes())
+                    .map(|_| Value::Void),
+            )
         }
         "append" => {
             arity(&args, 2, name)?;
             let data = want_str(&args[1], "data")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::Append)?;
             let pid = interp.pid;
-            cap_result(cap.append(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+            cap_result(
+                cap.append(&mut interp.kernel, pid, data.as_bytes())
+                    .map(|_| Value::Void),
+            )
         }
 
         // --- directory operations ----------------------------------------------
@@ -293,21 +316,30 @@ pub fn call_builtin(
             let n = want_str(&args[1], "name")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::UnlinkFile)?;
             let pid = interp.pid;
-            cap_result(cap.unlink_file(&mut interp.kernel, pid, &n).map(|_| Value::Void))
+            cap_result(
+                cap.unlink_file(&mut interp.kernel, pid, &n)
+                    .map(|_| Value::Void),
+            )
         }
         "unlink_dir" => {
             arity(&args, 2, name)?;
             let n = want_str(&args[1], "name")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::UnlinkDir)?;
             let pid = interp.pid;
-            cap_result(cap.unlink_dir(&mut interp.kernel, pid, &n).map(|_| Value::Void))
+            cap_result(
+                cap.unlink_dir(&mut interp.kernel, pid, &n)
+                    .map(|_| Value::Void),
+            )
         }
         "read_symlink" => {
             arity(&args, 2, name)?;
             let n = want_str(&args[1], "name")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::ReadSymlink)?;
             let pid = interp.pid;
-            cap_result(cap.read_symlink(&mut interp.kernel, pid, &n).map(Value::str))
+            cap_result(
+                cap.read_symlink(&mut interp.kernel, pid, &n)
+                    .map(Value::str),
+            )
         }
         "link" => {
             arity(&args, 3, name)?;
@@ -315,7 +347,10 @@ pub fn call_builtin(
             let (dir, _b1) = interp.unseal_for(&args[0], Priv::Link)?;
             let (file, _b2) = interp.unseal_for(&args[1], Priv::Path)?;
             let pid = interp.pid;
-            cap_result(dir.link(&mut interp.kernel, pid, &file, &n).map(|_| Value::Void))
+            cap_result(
+                dir.link(&mut interp.kernel, pid, &file, &n)
+                    .map(|_| Value::Void),
+            )
         }
         "create_pipe" => {
             arity(&args, 1, name)?;
@@ -366,14 +401,20 @@ pub fn call_builtin(
             };
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockConnect)?;
             let pid = interp.pid;
-            cap_result(cap.sock_connect(&mut interp.kernel, pid, addr).map(|_| Value::Void))
+            cap_result(
+                cap.sock_connect(&mut interp.kernel, pid, addr)
+                    .map(|_| Value::Void),
+            )
         }
         "sock_send" => {
             arity(&args, 2, name)?;
             let data = want_str(&args[1], "data")?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::SockSend)?;
             let pid = interp.pid;
-            cap_result(cap.sock_send(&mut interp.kernel, pid, data.as_bytes()).map(|_| Value::Void))
+            cap_result(
+                cap.sock_send(&mut interp.kernel, pid, data.as_bytes())
+                    .map(|_| Value::Void),
+            )
         }
         "sock_recv" => {
             arity(&args, 1, name)?;
@@ -394,14 +435,21 @@ pub fn call_builtin(
             match &args[0] {
                 Value::List(l) => Ok(Value::Num(l.len() as i64)),
                 Value::Str(s) => Ok(Value::Num(s.len() as i64)),
-                other => Err(ShillError::Runtime(format!("length of {}", other.type_name()))),
+                other => Err(ShillError::Runtime(format!(
+                    "length of {}",
+                    other.type_name()
+                ))),
             }
         }
         "nth" => {
             arity(&args, 2, name)?;
             let i = match args[1] {
                 Value::Num(n) if n >= 0 => n as usize,
-                _ => return Err(ShillError::Runtime("nth index must be a non-negative number".into())),
+                _ => {
+                    return Err(ShillError::Runtime(
+                        "nth index must be a non-negative number".into(),
+                    ))
+                }
             };
             match &args[0] {
                 Value::List(l) => l
@@ -416,7 +464,10 @@ pub fn call_builtin(
             let s = want_str(&args[0], "string")?;
             let sep = want_str(&args[1], "separator")?;
             Ok(Value::list(
-                s.split(&sep).filter(|p| !p.is_empty()).map(Value::str).collect(),
+                s.split(&sep)
+                    .filter(|p| !p.is_empty())
+                    .map(Value::str)
+                    .collect(),
             ))
         }
         "starts_with" => {
@@ -457,7 +508,10 @@ pub fn call_builtin(
                 Value::Wallet(w) => Ok(Value::list(
                     w.map.borrow().get(&key).cloned().unwrap_or_default(),
                 )),
-                other => Err(ShillError::Runtime(format!("wallet_get on {}", other.type_name()))),
+                other => Err(ShillError::Runtime(format!(
+                    "wallet_get on {}",
+                    other.type_name()
+                ))),
             }
         }
         "wallet_keys" => {
@@ -466,7 +520,10 @@ pub fn call_builtin(
                 Value::Wallet(w) => Ok(Value::list(
                     w.map.borrow().keys().cloned().map(Value::str).collect(),
                 )),
-                other => Err(ShillError::Runtime(format!("wallet_keys on {}", other.type_name()))),
+                other => Err(ShillError::Runtime(format!(
+                    "wallet_keys on {}",
+                    other.type_name()
+                ))),
             }
         }
         "wallet_set" => {
@@ -481,7 +538,10 @@ pub fn call_builtin(
                     w.map.borrow_mut().insert(key, items);
                     Ok(Value::Void)
                 }
-                other => Err(ShillError::Runtime(format!("wallet_set on {}", other.type_name()))),
+                other => Err(ShillError::Runtime(format!(
+                    "wallet_set on {}",
+                    other.type_name()
+                ))),
             }
         }
         "wallet_add_dep" => {
@@ -499,7 +559,10 @@ pub fn call_builtin(
                         .push(args[2].clone());
                     Ok(Value::Void)
                 }
-                other => Err(ShillError::Runtime(format!("wallet_add_dep on {}", other.type_name()))),
+                other => Err(ShillError::Runtime(format!(
+                    "wallet_add_dep on {}",
+                    other.type_name()
+                ))),
             }
         }
 
@@ -589,7 +652,9 @@ fn obj_of(interp: &Interp, cap: &GuardedCap) -> Option<ObjId> {
 /// capabilities, §2.3), `timeout` (cpu tick ulimit).
 fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
     if args.len() != 2 {
-        return Err(ShillError::Runtime("exec expects (executable, argv-list)".into()));
+        return Err(ShillError::Runtime(
+            "exec expects (executable, argv-list)".into(),
+        ));
     }
     let policy = interp
         .policy
@@ -609,7 +674,11 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
     let push_grant = |grants: &mut Vec<Grant>, obj: ObjId, privs: Arc<CapPrivs>| {
         grants.push(Grant { obj, privs });
     };
-    push_grant(&mut grants, ObjId::Vnode(exec_node), exec_cap.effective_privs());
+    push_grant(
+        &mut grants,
+        ObjId::Vnode(exec_node),
+        exec_cap.effective_privs(),
+    );
 
     // argv: strings pass through; capabilities become paths AND grants.
     let argv_list = match &args[1] {
@@ -653,12 +722,15 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
     for (key, v) in &kwargs {
         match key.as_str() {
             "stdin" | "stdout" | "stderr" => {
-                let needed = if key == "stdin" { Priv::Read } else { Priv::Append };
+                let needed = if key == "stdin" {
+                    Priv::Read
+                } else {
+                    Priv::Append
+                };
                 let (cap, _b) = interp.unseal_for(v, needed)?;
-                let fd = cap
-                    .raw
-                    .fd
-                    .ok_or_else(|| ShillError::Runtime(format!("{key} capability has no descriptor")))?;
+                let fd = cap.raw.fd.ok_or_else(|| {
+                    ShillError::Runtime(format!("{key} capability has no descriptor"))
+                })?;
                 match key.as_str() {
                     "stdin" => spec.stdin = Some(fd),
                     "stdout" => spec.stdout = Some(fd),
@@ -702,13 +774,18 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
                 }
             }
             other => {
-                return Err(ShillError::Runtime(format!("exec: unknown keyword argument {other}")))
+                return Err(ShillError::Runtime(format!(
+                    "exec: unknown keyword argument {other}"
+                )))
             }
         }
     }
     spec.grants = grants;
     if let Some(t) = timeout {
-        spec.ulimits = Some(Ulimits { max_cpu_ticks: t, ..Default::default() });
+        spec.ulimits = Some(Ulimits {
+            max_cpu_ticks: t,
+            ..Default::default()
+        });
     }
 
     // Sandbox setup (fork / shill_init / grants / shill_enter).
@@ -730,7 +807,10 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
         }
     };
     interp.kernel.exit(sandbox.child, status);
-    let status = interp.kernel.waitpid(parent, sandbox.child).map_err(ShillError::Sys)?;
+    let status = interp
+        .kernel
+        .waitpid(parent, sandbox.child)
+        .map_err(ShillError::Sys)?;
     interp.profile.sandboxed_exec += exec_start.elapsed();
     Ok(Value::Num(status as i64))
 }

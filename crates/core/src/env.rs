@@ -22,7 +22,10 @@ pub struct Env(Rc<EnvNode>);
 impl Env {
     /// A fresh root environment.
     pub fn root() -> Env {
-        Env(Rc::new(EnvNode { vars: RefCell::new(HashMap::new()), parent: None }))
+        Env(Rc::new(EnvNode {
+            vars: RefCell::new(HashMap::new()),
+            parent: None,
+        }))
     }
 
     /// A child scope.

@@ -10,9 +10,7 @@ use shill_contracts::{Blame, GuardedCap, SealBrand, Violation};
 use shill_kernel::{Kernel, Pid};
 use shill_sandbox::ShillPolicy;
 
-use crate::ast::{
-    contract_to_string, BinOp, ContractExpr, Dialect, Expr, Script, Stmt, UnOp,
-};
+use crate::ast::{contract_to_string, BinOp, ContractExpr, Dialect, Expr, Script, Stmt, UnOp};
 use crate::builtins;
 use crate::env::Env;
 use crate::parse::parse_script;
@@ -232,9 +230,9 @@ impl Interp {
             Expr::Bool(b, _) => Ok(Value::Bool(*b)),
             Expr::Num(n, _) => Ok(Value::Num(*n)),
             Expr::Str(s, _) => Ok(Value::str(s.clone())),
-            Expr::Var(name, pos) => env.lookup(name).ok_or_else(|| {
-                ShillError::Runtime(format!("unbound variable `{name}` at {pos}"))
-            }),
+            Expr::Var(name, pos) => env
+                .lookup(name)
+                .ok_or_else(|| ShillError::Runtime(format!("unbound variable `{name}` at {pos}"))),
             Expr::List(items, _) => {
                 let mut out = Vec::with_capacity(items.len());
                 for e in items {
@@ -263,7 +261,9 @@ impl Interp {
                 }
             }
             Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(env, *op, lhs, rhs),
-            Expr::If { cond, then, els, .. } => {
+            Expr::If {
+                cond, then, els, ..
+            } => {
                 let c = self.eval_expr(env, cond)?.truthy()?;
                 if c {
                     self.eval_block(env, then)
@@ -273,7 +273,9 @@ impl Interp {
                     Ok(Value::Void)
                 }
             }
-            Expr::For { var, iter, body, .. } => {
+            Expr::For {
+                var, iter, body, ..
+            } => {
                 let it = self.eval_expr(env, iter)?;
                 let items: Vec<Value> = match it {
                     Value::List(l) => l.iter().cloned().collect(),
@@ -291,7 +293,12 @@ impl Interp {
                 }
                 Ok(Value::Void)
             }
-            Expr::Call { callee, args, kwargs, pos } => {
+            Expr::Call {
+                callee,
+                args,
+                kwargs,
+                pos,
+            } => {
                 let f = self.eval_expr(env, callee)?;
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -370,14 +377,24 @@ impl Interp {
 
     // --- application ----------------------------------------------------------
 
-    pub fn apply(&mut self, f: Value, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
+    pub fn apply(
+        &mut self,
+        f: Value,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> EvalResult {
         self.enter()?;
         let r = self.apply_inner(f, args, kwargs);
         self.leave();
         r
     }
 
-    fn apply_inner(&mut self, f: Value, args: Vec<Value>, kwargs: Vec<(String, Value)>) -> EvalResult {
+    fn apply_inner(
+        &mut self,
+        f: Value,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> EvalResult {
         match f {
             Value::Closure(c) => {
                 if args.len() != c.params.len() {
@@ -462,8 +479,10 @@ impl Interp {
                         cf.blame.consumer.clone(),
                         format!("{name} = : {}", contract_to_string(c)),
                     );
-                    wrapped_kwargs
-                        .push((name, self.apply_contract(v, c, blame, &seals, &env, cf.into_body)?));
+                    wrapped_kwargs.push((
+                        name,
+                        self.apply_contract(v, c, blame, &seals, &env, cf.into_body)?,
+                    ));
                 }
                 None => wrapped_kwargs.push((name, v)),
             }
@@ -484,7 +503,13 @@ impl Interp {
     /// Check whether a value passes `c`'s first-order (immediate) test —
     /// used to select a disjunct of an `Or` contract.
     #[allow(clippy::only_used_in_recursion)]
-    fn first_order(&mut self, v: &Value, c: &ContractExpr, seals: &[(String, Arc<SealBrand>)], env: &Env) -> bool {
+    fn first_order(
+        &mut self,
+        v: &Value,
+        c: &ContractExpr,
+        seals: &[(String, Arc<SealBrand>)],
+        env: &Env,
+    ) -> bool {
         // See through seals for kind queries.
         let v = match v {
             Value::Sealed { inner, .. } => inner,
@@ -547,9 +572,8 @@ impl Interp {
         positive: bool,
     ) -> EvalResult {
         self.profile.contract_applications += 1;
-        let fail = |msg: String| -> ShillError {
-            ShillError::Violation(Violation::provider(&blame, msg))
-        };
+        let fail =
+            |msg: String| -> ShillError { ShillError::Violation(Violation::provider(&blame, msg)) };
         match c {
             ContractExpr::Any => Ok(v),
             ContractExpr::Void => match v {
@@ -606,7 +630,9 @@ impl Interp {
                 Value::Cap(cap) if cap.kind() == shill_cap::CapKind::SocketFactory => {
                     let mut cp = shill_cap::CapPrivs::of(*privs);
                     cp.privs.insert(shill_cap::Priv::SockCreate);
-                    Ok(Value::Cap(Rc::new(cap.restrict(Arc::new(cp), Arc::clone(&blame)))))
+                    Ok(Value::Cap(Rc::new(
+                        cap.restrict(Arc::new(cp), Arc::clone(&blame)),
+                    )))
                 }
                 other => Err(fail(format!(
                     "expected a socket factory, got {}",
@@ -619,7 +645,11 @@ impl Interp {
                 } else {
                     Err(fail(format!(
                         "expected a {} wallet, got {}",
-                        if matches!(c, ContractExpr::NativeWallet) { "native" } else { "" },
+                        if matches!(c, ContractExpr::NativeWallet) {
+                            "native"
+                        } else {
+                            ""
+                        },
                         v.type_name()
                     )))
                 }
@@ -698,18 +728,16 @@ impl Interp {
                 } else {
                     // Value flows OUT to a context that bound X: unseal.
                     match v {
-                        Value::Sealed { brand: b, inner } if b.same(brand) => {
-                            Ok((*inner).clone())
-                        }
-                        Value::Sealed { brand: b, .. } => Err(ShillError::Violation(
-                            Violation::consumer(
+                        Value::Sealed { brand: b, inner } if b.same(brand) => Ok((*inner).clone()),
+                        Value::Sealed { brand: b, .. } => {
+                            Err(ShillError::Violation(Violation::consumer(
                                 &blame,
                                 format!(
                                     "sealed value of {} leaked into context expecting {}",
                                     b.var, name
                                 ),
-                            ),
-                        )),
+                            )))
+                        }
                         other => Ok(other), // unsealed values pass through
                     }
                 }
@@ -792,7 +820,10 @@ impl Interp {
     /// Re-seal a derived capability with a brand chain (outermost last).
     pub fn reseal(mut v: Value, brands: Vec<Arc<SealBrand>>) -> Value {
         for brand in brands.into_iter().rev() {
-            v = Value::Sealed { brand, inner: Rc::new(v) };
+            v = Value::Sealed {
+                brand,
+                inner: Rc::new(v),
+            };
         }
         v
     }

@@ -16,19 +16,19 @@ pub enum Tok {
     /// because `-` is an operator elsewhere.
     PrivName(String),
     // keywords
-    Lang,     // #lang
-    Require,  // require
-    Provide,  // provide
-    Fun,      // fun
-    If,       // if
-    Then,     // then
-    Else,     // else
-    For,      // for
-    In,       // in
-    True,     // true
-    False,    // false
-    Forall,   // forall
-    With,     // with
+    Lang,    // #lang
+    Require, // require
+    Provide, // provide
+    Fun,     // fun
+    If,      // if
+    Then,    // then
+    Else,    // else
+    For,     // for
+    In,      // in
+    True,    // true
+    False,   // false
+    Forall,  // forall
+    With,    // with
     // punctuation
     LParen,
     RParen,
@@ -40,14 +40,14 @@ pub enum Tok {
     Semi,
     Colon,
     Dot,
-    Assign,   // =
-    Arrow,    // ->
-    OrC,      // \/ or ∨ (contract disjunction)
-    AndAnd,   // &&
-    OrOr,     // ||
-    Not,      // !
-    Eq,       // ==
-    Ne,       // !=
+    Assign, // =
+    Arrow,  // ->
+    OrC,    // \/ or ∨ (contract disjunction)
+    AndAnd, // &&
+    OrOr,   // ||
+    Not,    // !
+    Eq,     // ==
+    Ne,     // !=
     Lt,
     Le,
     Gt,
@@ -91,7 +91,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -115,7 +118,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { pos: self.pos(), message: message.into() }
+        LexError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn skip_ws_and_comments(&mut self) {
@@ -144,11 +150,14 @@ impl<'a> Lexer<'a> {
     fn ident_like(&mut self) -> String {
         let start = self.i;
         while let Some(c) = self.peek() {
-            if c.is_ascii_alphanumeric() || c == b'_' || c == b'/' && {
-                // allow `/` inside `shill/cap`-style module names only when
-                // followed by a letter (so `a / b` still lexes as division-less).
-                matches!(self.peek2(), Some(x) if x.is_ascii_alphabetic())
-            } {
+            if c.is_ascii_alphanumeric()
+                || c == b'_'
+                || c == b'/' && {
+                    // allow `/` inside `shill/cap`-style module names only when
+                    // followed by a letter (so `a / b` still lexes as division-less).
+                    matches!(self.peek2(), Some(x) if x.is_ascii_alphabetic())
+                }
+            {
                 self.bump();
             } else {
                 break;
@@ -378,7 +387,13 @@ impl<'a> Lexer<'a> {
 
 /// Tokenize a whole source file.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
-    let mut lx = Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1, text: src };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        text: src,
+    };
     let mut out = Vec::new();
     loop {
         let t = lx.next_token()?;
@@ -413,7 +428,10 @@ mod tests {
         assert!(ts.contains(&Tok::PrivName("contents".into())));
         assert!(ts.contains(&Tok::PrivName("lookup".into())));
         assert!(ts.contains(&Tok::With));
-        assert!(ts.contains(&Tok::PrivName("create-file".into())), "underscores normalize to dashes");
+        assert!(
+            ts.contains(&Tok::PrivName("create-file".into())),
+            "underscores normalize to dashes"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Parser {
     }
 
     fn peek2(&self) -> &Tok {
-        self.toks.get(self.i + 1).map(|t| &t.tok).unwrap_or(&Tok::Eof)
+        self.toks
+            .get(self.i + 1)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
     }
 
     fn pos(&self) -> Pos {
@@ -60,7 +63,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos(), message: message.into() }
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, want: Tok, what: &str) -> PResult<()> {
@@ -110,7 +116,9 @@ impl Parser {
                             self.bump();
                             s
                         }
-                        other => return Err(self.err(format!("expected module name, found {other:?}"))),
+                        other => {
+                            return Err(self.err(format!("expected module name, found {other:?}")))
+                        }
                     };
                     self.expect(Tok::Semi, "';' after require")?;
                     requires.push(name);
@@ -125,12 +133,21 @@ impl Parser {
                     self.expect(Tok::Colon, "':' in provide")?;
                     let contract = self.contract()?;
                     self.expect(Tok::Semi, "';' after provide")?;
-                    provides.push(Provide { name, contract, pos });
+                    provides.push(Provide {
+                        name,
+                        contract,
+                        pos,
+                    });
                 }
                 _ => body.push(self.stmt()?),
             }
         }
-        Ok(Script { dialect: self.dialect, requires, provides, body })
+        Ok(Script {
+            dialect: self.dialect,
+            requires,
+            provides,
+            body,
+        })
     }
 
     fn stmt(&mut self) -> PResult<Stmt> {
@@ -196,7 +213,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -207,7 +229,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -226,7 +253,12 @@ impl Parser {
         let pos = self.pos();
         self.bump();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos,
+        })
     }
 
     fn add_expr(&mut self) -> PResult<Expr> {
@@ -241,7 +273,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -251,7 +288,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -262,13 +304,21 @@ impl Parser {
                 let pos = self.pos();
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e), pos })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    pos,
+                })
             }
             Tok::Minus => {
                 let pos = self.pos();
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e), pos })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    pos,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -301,7 +351,12 @@ impl Parser {
                 }
             }
             self.expect(Tok::RParen, "')'")?;
-            e = Expr::Call { callee: Box::new(e), args, kwargs, pos };
+            e = Expr::Call {
+                callee: Box::new(e),
+                args,
+                kwargs,
+                pos,
+            };
         }
         Ok(e)
     }
@@ -372,7 +427,12 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::If { cond: Box::new(cond), then, els, pos })
+                Ok(Expr::If {
+                    cond: Box::new(cond),
+                    then,
+                    els,
+                    pos,
+                })
             }
             Tok::For => {
                 self.bump();
@@ -380,7 +440,12 @@ impl Parser {
                 self.expect(Tok::In, "'in'")?;
                 let iter = self.expr()?;
                 let body = self.block_or_stmt()?;
-                Ok(Expr::For { var, iter: Box::new(iter), body, pos })
+                Ok(Expr::For {
+                    var,
+                    iter: Box::new(iter),
+                    body,
+                    pos,
+                })
             }
             other => Err(self.err(format!("unexpected token {other:?} in expression"))),
         }
@@ -398,7 +463,11 @@ impl Parser {
             self.expect(Tok::RBrace, "'}'")?;
             self.expect(Tok::Dot, "'.' after forall bound")?;
             let body = self.contract()?;
-            return Ok(ContractExpr::Forall { var, bound, body: Box::new(body) });
+            return Ok(ContractExpr::Forall {
+                var,
+                bound,
+                body: Box::new(body),
+            });
         }
         self.contract_arrow()
     }
@@ -421,7 +490,11 @@ impl Parser {
             self.bump();
             self.expect(Tok::Arrow, "'->' after contract domain")?;
             let result = self.contract()?;
-            return Ok(ContractExpr::Func(Rc::new(FuncContract { args, kwargs: vec![], result })));
+            return Ok(ContractExpr::Func(Rc::new(FuncContract {
+                args,
+                kwargs: vec![],
+                result,
+            })));
         }
         let lhs = self.contract_or()?;
         if *self.peek() == Tok::Arrow {
@@ -583,15 +656,29 @@ impl Parser {
 
 /// Parse a complete script.
 pub fn parse_script(src: &str) -> PResult<Script> {
-    let toks = lex(src).map_err(|e| ParseError { pos: e.pos, message: e.message })?;
-    let mut p = Parser { toks, i: 0, dialect: Dialect::CapSafe };
+    let toks = lex(src).map_err(|e| ParseError {
+        pos: e.pos,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        dialect: Dialect::CapSafe,
+    };
     p.script()
 }
 
 /// Parse a standalone contract (tests, tooling).
 pub fn parse_contract(src: &str) -> PResult<ContractExpr> {
-    let toks = lex(src).map_err(|e| ParseError { pos: e.pos, message: e.message })?;
-    let mut p = Parser { toks, i: 0, dialect: Dialect::CapSafe };
+    let toks = lex(src).map_err(|e| ParseError {
+        pos: e.pos,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        dialect: Dialect::CapSafe,
+    };
     let c = p.contract()?;
     if *p.peek() != Tok::Eof {
         return Err(p.err("trailing tokens after contract"));
@@ -738,9 +825,15 @@ find_jpg = fun(cur, out) {
 
     #[test]
     fn named_contract_and_var_distinction() {
-        assert_eq!(parse_contract("readonly").unwrap(), ContractExpr::Named("readonly".into()));
+        assert_eq!(
+            parse_contract("readonly").unwrap(),
+            ContractExpr::Named("readonly".into())
+        );
         assert_eq!(parse_contract("X").unwrap(), ContractExpr::Var("X".into()));
-        assert_eq!(parse_contract("ocaml_wallet").unwrap(), ContractExpr::Named("ocaml_wallet".into()));
+        assert_eq!(
+            parse_contract("ocaml_wallet").unwrap(),
+            ContractExpr::Named("ocaml_wallet".into())
+        );
     }
 
     #[test]

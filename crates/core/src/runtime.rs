@@ -99,7 +99,10 @@ impl ShillRuntime {
         // roomy table (Find visits ~58k files).
         let _ = kernel.set_ulimits(
             pid,
-            Ulimits { max_open_files: u32::MAX, ..Default::default() },
+            Ulimits {
+                max_open_files: u32::MAX,
+                ..Default::default()
+            },
         );
         let mut interp = Interp::new(kernel, policy.clone(), pid);
         // Evaluate the prelude (the "Racket startup" analogue).

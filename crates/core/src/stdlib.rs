@@ -34,7 +34,10 @@ fn native_fn(
     name: &str,
     f: impl Fn(&mut Interp, Vec<Value>, Vec<(String, Value)>) -> EvalResult + 'static,
 ) -> Value {
-    Value::Native(Rc::new(NativeFn { name: name.to_string(), f: Box::new(f) }))
+    Value::Native(Rc::new(NativeFn {
+        name: name.to_string(),
+        f: Box::new(f),
+    }))
 }
 
 // --- shill/contracts ---------------------------------------------------------
@@ -86,10 +89,14 @@ fn filesys_module() -> HashMap<String, Value> {
         "resolve_path".into(),
         native_fn("resolve_path", |interp, args, _kw| {
             if args.len() != 2 {
-                return Err(ShillError::Runtime("resolve_path expects (dir, path)".into()));
+                return Err(ShillError::Runtime(
+                    "resolve_path expects (dir, path)".into(),
+                ));
             }
             let Value::Str(path) = &args[1] else {
-                return Err(ShillError::Runtime("resolve_path: path must be a string".into()));
+                return Err(ShillError::Runtime(
+                    "resolve_path: path must be a string".into(),
+                ));
             };
             let mut cur = args[0].clone();
             for comp in path.split('/').filter(|c| !c.is_empty()) {
@@ -111,7 +118,10 @@ fn filesys_module() -> HashMap<String, Value> {
 
 fn native_module() -> HashMap<String, Value> {
     let mut m = HashMap::new();
-    m.insert("populate_native_wallet".into(), native_fn("populate_native_wallet", populate_native_wallet));
+    m.insert(
+        "populate_native_wallet".into(),
+        native_fn("populate_native_wallet", populate_native_wallet),
+    );
     m.insert("pkg_native".into(), native_fn("pkg_native", pkg_native));
     m
 }
@@ -119,19 +129,29 @@ fn native_module() -> HashMap<String, Value> {
 fn want_wallet(v: &Value) -> Result<Rc<crate::value::Wallet>, ShillError> {
     match v {
         Value::Wallet(w) => Ok(Rc::clone(w)),
-        other => Err(ShillError::Runtime(format!("expected a wallet, got {}", other.type_name()))),
+        other => Err(ShillError::Runtime(format!(
+            "expected a wallet, got {}",
+            other.type_name()
+        ))),
     }
 }
 
 fn want_cap(v: &Value) -> Result<Rc<GuardedCap>, ShillError> {
     match v {
         Value::Cap(c) => Ok(Rc::clone(c)),
-        other => Err(ShillError::Runtime(format!("expected a capability, got {}", other.type_name()))),
+        other => Err(ShillError::Runtime(format!(
+            "expected a capability, got {}",
+            other.type_name()
+        ))),
     }
 }
 
 /// Walk a `/`-separated path from a directory capability via lookups.
-fn walk(interp: &mut Interp, root: &GuardedCap, path: &str) -> Result<Option<GuardedCap>, ShillError> {
+fn walk(
+    interp: &mut Interp,
+    root: &GuardedCap,
+    path: &str,
+) -> Result<Option<GuardedCap>, ShillError> {
     let mut cur = root.clone();
     for comp in path.split('/').filter(|c| !c.is_empty()) {
         let pid = interp.pid;
@@ -150,7 +170,11 @@ fn walk(interp: &mut Interp, root: &GuardedCap, path: &str) -> Result<Option<Gua
 /// for executables and libraries (i.e., colon-separated strings, analogous
 /// to environment variables $PATH and $LD_LIBRARY_PATH), and a directory
 /// capability to use as a root for the path specifications."
-fn populate_native_wallet(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(String, Value)>) -> EvalResult {
+fn populate_native_wallet(
+    interp: &mut Interp,
+    args: Vec<Value>,
+    _kw: Vec<(String, Value)>,
+) -> EvalResult {
     if args.len() < 4 || args.len() > 5 {
         return Err(ShillError::Runtime(
             "populate_native_wallet expects (wallet, root, path_spec, libpath_spec[, pipe_factory])".into(),
@@ -180,18 +204,22 @@ fn populate_native_wallet(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(Strin
     // Traversal-only root: +lookup with nothing extra propagating beyond
     // lookup itself, so sandboxes can resolve absolute paths without
     // gaining read access along the way.
-    let lookup_only = CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
-        Priv::Lookup,
-        CapPrivs::of(PrivSet::of(&[Priv::Lookup])),
-    );
+    let lookup_only = CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
+        .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Lookup])));
     let rooted = root.restrict(
         Arc::new(lookup_only),
-        Blame::new("populate_native_wallet", "sandbox", "root : dir(+lookup with {+lookup})"),
+        Blame::new(
+            "populate_native_wallet",
+            "sandbox",
+            "root : dir(+lookup with {+lookup})",
+        ),
     );
 
     let mut map = wallet.map.borrow_mut();
     map.entry("PATH".into()).or_default().extend(paths);
-    map.entry("LD_LIBRARY_PATH".into()).or_default().extend(libs);
+    map.entry("LD_LIBRARY_PATH".into())
+        .or_default()
+        .extend(libs);
     map.insert("root".into(), vec![Value::Cap(Rc::new(rooted))]);
     if let Some(pf) = args.get(4) {
         match pf {
@@ -216,10 +244,14 @@ fn populate_native_wallet(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(Strin
 /// needed to `exec` it.
 fn pkg_native(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(String, Value)>) -> EvalResult {
     if args.len() != 2 {
-        return Err(ShillError::Runtime("pkg_native expects (program, wallet)".into()));
+        return Err(ShillError::Runtime(
+            "pkg_native expects (program, wallet)".into(),
+        ));
     }
     let Value::Str(program) = &args[0] else {
-        return Err(ShillError::Runtime("pkg_native: program must be a string".into()));
+        return Err(ShillError::Runtime(
+            "pkg_native: program must be a string".into(),
+        ));
     };
     let program = (**program).clone();
     let wallet = want_wallet(&args[1])?;
@@ -248,16 +280,30 @@ fn pkg_native(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(String, Value)>) 
         .node
         .ok_or_else(|| ShillError::Runtime("executable has no backing file".into()))?;
     // Restrict the executable capability to what running it needs.
-    let exec_privs = CapPrivs::of(PrivSet::of(&[Priv::Exec, Priv::Read, Priv::Path, Priv::Stat]));
+    let exec_privs = CapPrivs::of(PrivSet::of(&[
+        Priv::Exec,
+        Priv::Read,
+        Priv::Path,
+        Priv::Stat,
+    ]));
     let exec_cap = exec_cap.restrict(
         Arc::new(exec_privs),
-        Blame::new("pkg_native", "sandbox", "exe : file(+exec, +read, +path, +stat)"),
+        Blame::new(
+            "pkg_native",
+            "sandbox",
+            "exe : file(+exec, +read, +path, +stat)",
+        ),
     );
 
     // 2. `ldd`: dependencies as absolute paths, resolved against the
     // wallet's library directories by basename.
     let deps = interp.kernel.ldd(exec_node).unwrap_or_default();
-    let lib_dirs: Vec<Value> = wallet.map.borrow().get("LD_LIBRARY_PATH").cloned().unwrap_or_default();
+    let lib_dirs: Vec<Value> = wallet
+        .map
+        .borrow()
+        .get("LD_LIBRARY_PATH")
+        .cloned()
+        .unwrap_or_default();
     let ro = Arc::new(CapPrivs::of(PrivSet::readonly_file()));
     let mut lib_caps: Vec<Value> = Vec::new();
     for dep in &deps {
@@ -300,37 +346,40 @@ fn pkg_native(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(String, Value)>) 
     let program_name = program.clone();
     let exec_val = Value::Cap(Rc::new(exec_cap));
     let captured_exec = exec_val.clone();
-    let wrapper = native_fn(&format!("native:{program}"), move |interp, wargs, wkwargs| {
-        if wargs.len() != 1 {
-            return Err(ShillError::Runtime(format!(
-                "{program_name} wrapper expects one argument (argv list)"
-            )));
-        }
-        let user_args = match &wargs[0] {
-            Value::List(l) => l.iter().cloned().collect::<Vec<_>>(),
-            other => vec![other.clone()],
-        };
-        let mut argv = vec![Value::str(program_name.clone())];
-        argv.extend(user_args);
-        let mut kwargs = Vec::new();
-        let mut extras: Vec<Value> = lib_caps.clone();
-        for (k, v) in wkwargs {
-            if k == "extras" {
-                match v {
-                    Value::List(l) => extras.extend(l.iter().cloned()),
-                    other => extras.push(other),
-                }
-            } else {
-                kwargs.push((k, v));
+    let wrapper = native_fn(
+        &format!("native:{program}"),
+        move |interp, wargs, wkwargs| {
+            if wargs.len() != 1 {
+                return Err(ShillError::Runtime(format!(
+                    "{program_name} wrapper expects one argument (argv list)"
+                )));
             }
-        }
-        kwargs.push(("extras".to_string(), Value::list(extras)));
-        interp.apply(
-            Value::Builtin("exec"),
-            vec![captured_exec.clone(), Value::list(argv)],
-            kwargs,
-        )
-    });
+            let user_args = match &wargs[0] {
+                Value::List(l) => l.iter().cloned().collect::<Vec<_>>(),
+                other => vec![other.clone()],
+            };
+            let mut argv = vec![Value::str(program_name.clone())];
+            argv.extend(user_args);
+            let mut kwargs = Vec::new();
+            let mut extras: Vec<Value> = lib_caps.clone();
+            for (k, v) in wkwargs {
+                if k == "extras" {
+                    match v {
+                        Value::List(l) => extras.extend(l.iter().cloned()),
+                        other => extras.push(other),
+                    }
+                } else {
+                    kwargs.push((k, v));
+                }
+            }
+            kwargs.push(("extras".to_string(), Value::list(extras)));
+            interp.apply(
+                Value::Builtin("exec"),
+                vec![captured_exec.clone(), Value::list(argv)],
+                kwargs,
+            )
+        },
+    );
 
     // 5. The contract on pkg_native's result — "checked once per sandbox"
     // and the dominant contract-checking cost in the paper's profile
@@ -341,7 +390,11 @@ fn pkg_native(interp: &mut Interp, args: Vec<Value>, _kw: Vec<(String, Value)>) 
         Priv::Stat,
         Priv::Path,
     ])));
-    let stdio_in = ContractExpr::File(CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path])));
+    let stdio_in = ContractExpr::File(CapPrivs::of(PrivSet::of(&[
+        Priv::Read,
+        Priv::Stat,
+        Priv::Path,
+    ])));
     let contract = FuncContract {
         args: vec![("args".to_string(), ContractExpr::IsList)],
         kwargs: vec![

@@ -75,7 +75,10 @@ pub enum Value {
     /// A capability (possibly contract-guarded).
     Cap(Rc<GuardedCap>),
     /// A sealed capability inside a polymorphic function body (§2.4.2).
-    Sealed { brand: Arc<SealBrand>, inner: Rc<Value> },
+    Sealed {
+        brand: Arc<SealBrand>,
+        inner: Rc<Value>,
+    },
     Closure(Rc<Closure>),
     Contracted(Rc<ContractedFn>),
     Native(Rc<NativeFn>),

@@ -11,11 +11,40 @@ use shill_vfs::{Cred, Gid, Mode, Uid};
 /// A kernel with a small home tree and a couple of simulated binaries.
 fn test_kernel() -> Kernel {
     let mut k = Kernel::new();
-    k.fs.put_file("/home/u/pics/dog.jpg", b"JPGDATA", Mode(0o644), Uid(100), Gid(100)).unwrap();
-    k.fs.put_file("/home/u/pics/cat.jpg", b"JPGCAT", Mode(0o644), Uid(100), Gid(100)).unwrap();
-    k.fs.put_file("/home/u/pics/readme.txt", b"text", Mode(0o644), Uid(100), Gid(100)).unwrap();
-    k.fs.put_file("/home/u/pics/deep/bird.jpg", b"JPGBIRD", Mode(0o644), Uid(100), Gid(100)).unwrap();
-    k.fs.put_file("/home/u/out.txt", b"", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file(
+        "/home/u/pics/dog.jpg",
+        b"JPGDATA",
+        Mode(0o644),
+        Uid(100),
+        Gid(100),
+    )
+    .unwrap();
+    k.fs.put_file(
+        "/home/u/pics/cat.jpg",
+        b"JPGCAT",
+        Mode(0o644),
+        Uid(100),
+        Gid(100),
+    )
+    .unwrap();
+    k.fs.put_file(
+        "/home/u/pics/readme.txt",
+        b"text",
+        Mode(0o644),
+        Uid(100),
+        Gid(100),
+    )
+    .unwrap();
+    k.fs.put_file(
+        "/home/u/pics/deep/bird.jpg",
+        b"JPGBIRD",
+        Mode(0o644),
+        Uid(100),
+        Gid(100),
+    )
+    .unwrap();
+    k.fs.put_file("/home/u/out.txt", b"", Mode(0o644), Uid(100), Gid(100))
+        .unwrap();
 
     // Simulated jpeginfo: writes info about its -i argument to stdout.
     k.register_exec(
@@ -44,8 +73,16 @@ fn test_kernel() -> Kernel {
         Gid::WHEEL,
     )
     .unwrap();
-    k.fs.put_file("/lib/libc.so", b"LIBC", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.put_file("/lib/libjpeg.so", b"LIBJPEG", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/lib/libc.so", b"LIBC", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.put_file(
+        "/lib/libjpeg.so",
+        b"LIBJPEG",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
     k
 }
 
@@ -60,7 +97,9 @@ fn arithmetic_and_strings() {
     let mut rt = runtime();
     let v = rt.run_ok("#lang shill/ambient\nx = 2 + 3 * 4;\nto_string(x)");
     assert!(matches!(v, Value::Str(s) if *s == "14"));
-    let v = rt.run("main2", "#lang shill/ambient\ns = \"a\" ++ \"b\";\ns").unwrap();
+    let v = rt
+        .run("main2", "#lang shill/ambient\ns = \"a\" ++ \"b\";\ns")
+        .unwrap();
     assert!(matches!(v, Value::Str(s) if *s == "ab"));
 }
 
@@ -95,7 +134,9 @@ provide inc_all : {xs : is_list} -> is_list;
 #[test]
 fn immutability_enforced() {
     let mut rt = runtime();
-    let err = rt.run("main", "#lang shill/ambient\nx = 1;\nx = 2;").unwrap_err();
+    let err = rt
+        .run("main", "#lang shill/ambient\nx = 1;\nx = 2;")
+        .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("immutable"), "{m}"),
         other => panic!("{other}"),
@@ -119,7 +160,10 @@ fn cap_scripts_lack_ambient_builtins() {
         "#lang shill/cap\nsteal = fun() { open_file(\"/home/u/out.txt\") };\nprovide steal : {} -> any;",
     );
     let err = rt
-        .run("main", "#lang shill/ambient\nrequire \"sneaky.cap\";\nsteal();")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"sneaky.cap\";\nsteal();",
+        )
         .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("unbound variable `open_file`"), "{m}"),
@@ -131,7 +175,9 @@ fn cap_scripts_lack_ambient_builtins() {
 fn require_rejects_ambient_modules() {
     let mut rt = runtime();
     rt.add_script("amb", "#lang shill/ambient\nx = 1;");
-    let err = rt.run("main", "#lang shill/ambient\nrequire \"amb\";").unwrap_err();
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"amb\";")
+        .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("capability-safe"), "{m}"),
         other => panic!("{other}"),
@@ -496,13 +542,14 @@ fn wallet_contract_enforced() {
 #[test]
 fn capabilities_are_not_serializable() {
     let mut rt = runtime();
-    let v = rt.run_ok(
-        "#lang shill/ambient\nd = open_dir(\"/home/u/pics\");\nto_string(d)",
-    );
+    let v = rt.run_ok("#lang shill/ambient\nd = open_dir(\"/home/u/pics\");\nto_string(d)");
     match v {
         Value::Str(s) => {
             assert!(s.contains("<capability"), "{s}");
-            assert!(!s.contains("/home"), "path must not leak through display: {s}");
+            assert!(
+                !s.contains("/home"),
+                "path must not leak through display: {s}"
+            );
         }
         other => panic!("{other:?}"),
     }

@@ -24,7 +24,10 @@ fn operator_precedence() {
     assert_eq!(eval_cap("(1 + 2) * 3").unwrap().display(), "9");
     assert_eq!(eval_cap("10 - 3 - 2").unwrap().display(), "5"); // left assoc
     assert_eq!(eval_cap("1 + 2 == 3").unwrap().display(), "true");
-    assert_eq!(eval_cap("true || false && false").unwrap().display(), "true"); // && binds tighter
+    assert_eq!(
+        eval_cap("true || false && false").unwrap().display(),
+        "true"
+    ); // && binds tighter
     assert_eq!(eval_cap("!false && true").unwrap().display(), "true");
     assert_eq!(eval_cap("-3 + 5").unwrap().display(), "2");
 }
@@ -32,8 +35,14 @@ fn operator_precedence() {
 #[test]
 fn short_circuit_evaluation() {
     // RHS would be a type error if evaluated.
-    assert_eq!(eval_cap("false && is_num(missing_fn())").unwrap().display(), "false");
-    assert_eq!(eval_cap("true || is_num(missing_fn())").unwrap().display(), "true");
+    assert_eq!(
+        eval_cap("false && is_num(missing_fn())").unwrap().display(),
+        "false"
+    );
+    assert_eq!(
+        eval_cap("true || is_num(missing_fn())").unwrap().display(),
+        "true"
+    );
 }
 
 #[test]
@@ -53,16 +62,21 @@ f = fun() { x };
 #[test]
 fn string_styles_and_escapes() {
     assert_eq!(eval_cap(r#""a\tb""#).unwrap().display(), "a\tb");
-    assert_eq!(eval_cap("''double style''").unwrap().display(), "double style");
-    assert_eq!(eval_cap(r#""concat" ++ ''both''"#).unwrap().display(), "concatboth");
+    assert_eq!(
+        eval_cap("''double style''").unwrap().display(),
+        "double style"
+    );
+    assert_eq!(
+        eval_cap(r#""concat" ++ ''both''"#).unwrap().display(),
+        "concatboth"
+    );
 }
 
 #[test]
 fn nested_functions_and_closures_capture() {
-    let v = eval_cap(
-        "make_adder = fun(n) { fun(m) { n + m } };\n  add5 = make_adder(5);\n  add5(3)",
-    )
-    .unwrap();
+    let v =
+        eval_cap("make_adder = fun(n) { fun(m) { n + m } };\n  add5 = make_adder(5);\n  add5(3)")
+            .unwrap();
     assert_eq!(v.display(), "8");
 }
 
@@ -70,9 +84,7 @@ fn nested_functions_and_closures_capture() {
 fn loop_variable_scoping() {
     // Each iteration gets a fresh scope: binding inside the body with the
     // same name every iteration must not trip immutability.
-    let v = eval_cap(
-        "total = foldl_manual();\n  total",
-    );
+    let v = eval_cap("total = foldl_manual();\n  total");
     assert!(v.is_err()); // helper not defined — checks error, not crash
     let mut r = rt();
     r.add_script(
@@ -89,7 +101,9 @@ run = fun() {
 };
 "#,
     );
-    let v = r.run("main", "#lang shill/ambient\nrequire \"loop.cap\";\nrun()").unwrap();
+    let v = r
+        .run("main", "#lang shill/ambient\nrequire \"loop.cap\";\nrun()")
+        .unwrap();
     assert_eq!(v.display(), "99");
 }
 
@@ -139,10 +153,16 @@ fn missing_lang_header_is_rejected() {
 
 #[test]
 fn contract_parse_errors() {
-    assert!(parse_contract("dir(+read with {+stat})").is_err(), "+read does not derive");
+    assert!(
+        parse_contract("dir(+read with {+stat})").is_err(),
+        "+read does not derive"
+    );
     assert!(parse_contract("dir(+no_such)").is_err());
     assert!(parse_contract("{a : is_num} -> ").is_err());
-    assert!(parse_contract("forall X . is_num").is_err(), "forall needs `with`");
+    assert!(
+        parse_contract("forall X . is_num").is_err(),
+        "forall needs `with`"
+    );
 }
 
 #[test]
@@ -152,7 +172,13 @@ fn contract_and_composes_wrappers() {
     let mut r = rt();
     r.kernel()
         .fs
-        .put_file("/f.txt", b"data", shill_vfs::Mode(0o644), shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL)
+        .put_file(
+            "/f.txt",
+            b"data",
+            shill_vfs::Mode(0o644),
+            shill_vfs::Uid::ROOT,
+            shill_vfs::Gid::WHEEL,
+        )
         .unwrap();
     r.add_script(
         "ro.cap",
@@ -164,11 +190,17 @@ poke = fun(f) { write(f, "overwrite"); };
 "#,
     );
     let v = r
-        .run("main", "#lang shill/ambient\nrequire \"ro.cap\";\npeek(open_file(\"/f.txt\"))")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"ro.cap\";\npeek(open_file(\"/f.txt\"))",
+        )
         .unwrap();
     assert_eq!(v.display(), "data");
     let err = r
-        .run("main2", "#lang shill/ambient\nrequire \"ro.cap\";\npoke(open_file(\"/f.txt\"));")
+        .run(
+            "main2",
+            "#lang shill/ambient\nrequire \"ro.cap\";\npoke(open_file(\"/f.txt\"));",
+        )
         .unwrap_err();
     assert!(matches!(err, ShillError::Violation(_)));
 }
@@ -180,7 +212,9 @@ fn arity_errors_name_the_function() {
         "f.cap",
         "#lang shill/cap\nprovide f : {a : is_num, b : is_num} -> is_num;\nf = fun(a, b) { a + b };",
     );
-    let err = r.run("main", "#lang shill/ambient\nrequire \"f.cap\";\nf(1)").unwrap_err();
+    let err = r
+        .run("main", "#lang shill/ambient\nrequire \"f.cap\";\nf(1)")
+        .unwrap_err();
     match err {
         ShillError::Violation(v) => assert!(v.message.contains("2 arguments"), "{v}"),
         other => panic!("{other}"),
@@ -204,7 +238,9 @@ total = fun() {
 };
 "#,
     );
-    let v = r.run("main", "#lang shill/ambient\nrequire \"m.cap\";\ntotal()").unwrap();
+    let v = r
+        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\ntotal()")
+        .unwrap();
     assert_eq!(v.display(), "342"); // 2 * (18*19/2)
 }
 

@@ -8,7 +8,14 @@ use shill_vfs::{Cred, Gid, Mode, Uid};
 
 fn rt() -> ShillRuntime {
     let mut k = Kernel::new();
-    k.fs.put_file("/srv/app/conf/main.cfg", b"cfg!", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file(
+        "/srv/app/conf/main.cfg",
+        b"cfg!",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
     ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT)
 }
 
@@ -27,7 +34,10 @@ fetch = fun(root) {
 "#,
     );
     let v = r
-        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))",
+        )
         .unwrap();
     assert_eq!(v.display(), "cfg!");
 }
@@ -49,7 +59,10 @@ fetch = fun(root) {
 "#,
     );
     let err = r
-        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"m.cap\";\nfetch(open_dir(\"/srv\"))",
+        )
         .unwrap_err();
     assert!(matches!(err, ShillError::Violation(_)), "{err}");
 }
@@ -66,7 +79,10 @@ probe = fun(root) { is_syserror(resolve_path(root, "no/such/thing")) };
 "#,
     );
     let v = r
-        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nprobe(open_dir(\"/srv\"))")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"m.cap\";\nprobe(open_dir(\"/srv\"))",
+        )
         .unwrap();
     assert!(matches!(v, Value::Bool(true)));
 }
@@ -84,10 +100,19 @@ run_it = fun(exe) { is_file(exe) };
     );
     r.kernel()
         .fs
-        .put_file("/bin/thing", b"#!SIMBIN thing\n", Mode(0o755), Uid::ROOT, Gid::WHEEL)
+        .put_file(
+            "/bin/thing",
+            b"#!SIMBIN thing\n",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
         .unwrap();
     let v = r
-        .run("main", "#lang shill/ambient\nrequire \"m.cap\";\nrun_it(open_file(\"/bin/thing\"))")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"m.cap\";\nrun_it(open_file(\"/bin/thing\"))",
+        )
         .unwrap();
     assert!(matches!(v, Value::Bool(true)));
 }
@@ -116,15 +141,27 @@ fn modules_are_cached_across_requires() {
         )
         .unwrap();
     assert_eq!(v.display(), "11");
-    assert_eq!(r.output().matches("loading shared").count(), 1, "module body ran once");
+    assert_eq!(
+        r.output().matches("loading shared").count(),
+        1,
+        "module body ran once"
+    );
 }
 
 #[test]
 fn cyclic_requires_detected() {
     let mut r = rt();
-    r.add_script("x.cap", "#lang shill/cap\nrequire \"y.cap\";\nprovide fx : {} -> any;\nfx = fun() { 1 };");
-    r.add_script("y.cap", "#lang shill/cap\nrequire \"x.cap\";\nprovide fy : {} -> any;\nfy = fun() { 2 };");
-    let err = r.run("main", "#lang shill/ambient\nrequire \"x.cap\";\nfx()").unwrap_err();
+    r.add_script(
+        "x.cap",
+        "#lang shill/cap\nrequire \"y.cap\";\nprovide fx : {} -> any;\nfx = fun() { 1 };",
+    );
+    r.add_script(
+        "y.cap",
+        "#lang shill/cap\nrequire \"x.cap\";\nprovide fy : {} -> any;\nfy = fun() { 2 };",
+    );
+    let err = r
+        .run("main", "#lang shill/ambient\nrequire \"x.cap\";\nfx()")
+        .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("cyclic"), "{m}"),
         other => panic!("{other}"),
@@ -134,7 +171,9 @@ fn cyclic_requires_detected() {
 #[test]
 fn unknown_module_reports_name() {
     let mut r = rt();
-    let err = r.run("main", "#lang shill/ambient\nrequire \"nope.cap\";").unwrap_err();
+    let err = r
+        .run("main", "#lang shill/ambient\nrequire \"nope.cap\";")
+        .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("nope.cap"), "{m}"),
         other => panic!("{other}"),

@@ -1,0 +1,205 @@
+//! Access-vector cache (AVC) for MAC vnode decisions.
+//!
+//! Modeled on the SELinux/TrustedBSD AVC: the kernel memoizes *allow*
+//! verdicts from the policy stack so the hot path (`namei`'s per-component
+//! `Lookup` checks, per-`read` interposition) stops paying a virtual call
+//! into every registered policy for decisions that cannot have changed.
+//!
+//! Safety rules, in order of importance:
+//!
+//! * **Denials are never cached.** A denied operation always re-consults
+//!   the policies, so privilege propagation or a debug auto-grant is picked
+//!   up immediately and no denial can outlive a grant.
+//! * **Allow verdicts are epoch-validated.** Each entry records the
+//!   combined epoch (policy registry attach/detach epoch + the sum of every
+//!   policy's [`crate::mac::MacPolicy::cache_epoch`]) at insert time; any
+//!   authority-shrinking event bumps an epoch and every older entry turns
+//!   stale.
+//! * **Only name-free operation classes are cached.** `CreateFile(name)`,
+//!   `RenameTo(name)` etc. bypass the cache entirely: they are mutation-path
+//!   checks where a policy may legitimately care about the component name.
+//! * The cache is consulted at all only when **every** registered policy
+//!   opted in via `decisions_cacheable`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use shill_vfs::NodeId;
+
+use crate::mac::VnodeOp;
+use crate::types::Pid;
+
+/// Soft bound on cached verdicts before a wholesale purge.
+const DEFAULT_CAPACITY: usize = 8192;
+
+/// Name-free vnode operation classes eligible for caching — the analogue of
+/// SELinux access-vector permission bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AvcClass {
+    Lookup,
+    Read,
+    Write,
+    Exec,
+    Stat,
+    ReadDir,
+    ReadSymlink,
+    PathLookup,
+    Chdir,
+}
+
+/// Map a vnode operation to its cacheable class; `None` means the operation
+/// must always reach the policies (mutations and name-dependent checks).
+pub fn avc_class(op: &VnodeOp<'_>) -> Option<AvcClass> {
+    match op {
+        VnodeOp::Lookup(_) => Some(AvcClass::Lookup),
+        VnodeOp::Read => Some(AvcClass::Read),
+        VnodeOp::Write => Some(AvcClass::Write),
+        VnodeOp::Exec => Some(AvcClass::Exec),
+        VnodeOp::Stat => Some(AvcClass::Stat),
+        VnodeOp::ReadDir => Some(AvcClass::ReadDir),
+        VnodeOp::ReadSymlink => Some(AvcClass::ReadSymlink),
+        VnodeOp::PathLookup => Some(AvcClass::PathLookup),
+        VnodeOp::Chdir => Some(AvcClass::Chdir),
+        _ => None,
+    }
+}
+
+/// The access-vector cache. Interior-mutable because MAC checks run behind
+/// `&Kernel` on read-path syscalls.
+#[derive(Debug, Default)]
+pub struct Avc {
+    /// (subject, object, class) → combined epoch at which the allow was
+    /// recorded. Presence at the current epoch means "allowed".
+    entries: RefCell<HashMap<(Pid, NodeId, AvcClass), u64>>,
+    enabled: Cell<bool>,
+}
+
+impl Avc {
+    pub fn new() -> Avc {
+        Avc {
+            entries: RefCell::new(HashMap::new()),
+            enabled: Cell::new(true),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    pub fn set_enabled(&self, enabled: bool) {
+        if self.enabled.get() && !enabled {
+            self.flush();
+        }
+        self.enabled.set(enabled);
+    }
+
+    /// Probe for a still-valid allow verdict. Stale entries are dropped.
+    pub fn probe(&self, pid: Pid, node: NodeId, class: AvcClass, epoch: u64) -> bool {
+        if !self.enabled.get() {
+            return false;
+        }
+        let mut entries = self.entries.borrow_mut();
+        match entries.get(&(pid, node, class)) {
+            Some(e) if *e == epoch => true,
+            Some(_) => {
+                entries.remove(&(pid, node, class));
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Record an allow verdict at the given combined epoch.
+    pub fn record(&self, pid: Pid, node: NodeId, class: AvcClass, epoch: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        let mut entries = self.entries.borrow_mut();
+        if entries.len() >= DEFAULT_CAPACITY {
+            // Evict stale epochs first; purge wholesale as a last resort.
+            entries.retain(|_, e| *e == epoch);
+            if entries.len() >= DEFAULT_CAPACITY {
+                entries.clear();
+            }
+        }
+        entries.insert((pid, node, class), epoch);
+    }
+
+    /// Drop every cached verdict.
+    pub fn flush(&self) {
+        self.entries.borrow_mut().clear();
+    }
+
+    /// Drop verdicts for one subject (process exit).
+    pub fn drop_pid(&self, pid: Pid) {
+        self.entries.borrow_mut().retain(|(p, _, _), _| *p != pid);
+    }
+
+    /// Drop verdicts for one object (vnode reclaimed).
+    pub fn drop_node(&self, node: NodeId) {
+        self.entries.borrow_mut().retain(|(_, n, _), _| *n != node);
+    }
+
+    /// Live cached verdicts (tests/diagnostics).
+    pub fn entry_count(&self) -> usize {
+        self.entries.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_record_roundtrip() {
+        let avc = Avc::new();
+        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
+        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        assert!(avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
+        // Different class, pid, or node: separate vectors.
+        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Write, 0));
+        assert!(!avc.probe(Pid(2), NodeId(5), AvcClass::Read, 0));
+        assert!(!avc.probe(Pid(1), NodeId(6), AvcClass::Read, 0));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let avc = Avc::new();
+        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 1));
+        // The stale entry was dropped eagerly.
+        assert_eq!(avc.entry_count(), 0);
+    }
+
+    #[test]
+    fn targeted_drops() {
+        let avc = Avc::new();
+        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        avc.record(Pid(2), NodeId(5), AvcClass::Read, 0);
+        avc.record(Pid(1), NodeId(6), AvcClass::Stat, 0);
+        avc.drop_pid(Pid(1));
+        assert_eq!(avc.entry_count(), 1);
+        avc.drop_node(NodeId(5));
+        assert_eq!(avc.entry_count(), 0);
+    }
+
+    #[test]
+    fn disabled_avc_is_inert() {
+        let avc = Avc::new();
+        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        avc.set_enabled(false);
+        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
+        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        assert_eq!(avc.entry_count(), 0, "disable flushed and stays empty");
+    }
+
+    #[test]
+    fn mutation_ops_have_no_class() {
+        assert_eq!(avc_class(&VnodeOp::CreateFile("x")), None);
+        assert_eq!(avc_class(&VnodeOp::UnlinkFile("x")), None);
+        assert_eq!(avc_class(&VnodeOp::RenameTo("x")), None);
+        assert_eq!(avc_class(&VnodeOp::Chmod), None);
+        assert_eq!(avc_class(&VnodeOp::Truncate), None);
+        assert_eq!(avc_class(&VnodeOp::Lookup("x")), Some(AvcClass::Lookup));
+    }
+}

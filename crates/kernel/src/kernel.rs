@@ -5,16 +5,21 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use shill_vfs::{
-    dac, Access, Cred, DeviceKind, Errno, Filesystem, Mode, NodeId, SysResult,
-};
+use shill_vfs::{dac, Access, Cred, DeviceKind, Errno, Filesystem, Mode, NodeId, SysResult};
 
+use crate::avc::{avc_class, Avc};
 use crate::mac::{MacCtx, MacPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 use crate::net::NetStack;
 use crate::pipe::PipeTable;
 use crate::process::{FdObject, OpenFile, ProcState, Process};
+use crate::registry::PolicyRegistry;
 use crate::stats::KernelStats;
 use crate::types::{Fd, ObjId, Pid, PipeEnd, Ulimits};
+
+/// Sysctl knob toggling the directory-entry cache (`0`/`1`).
+pub const SYSCTL_DCACHE: &str = "security.cache.dcache";
+/// Sysctl knob toggling the MAC access-vector cache (`0`/`1`).
+pub const SYSCTL_AVC: &str = "security.cache.avc";
 
 /// A registered executable: the simulated analogue of a binary image.
 /// Handlers receive the kernel, the pid they run as, and `argv`.
@@ -43,7 +48,9 @@ pub struct Kernel {
     /// Bytes written to the console (tty device); visible to tests.
     pub console: Vec<u8>,
     procs: HashMap<Pid, Process>,
-    policies: Vec<Arc<dyn MacPolicy>>,
+    registry: PolicyRegistry,
+    /// Access-vector cache for MAC vnode verdicts (see [`crate::avc`]).
+    avc: Avc,
     exec_handlers: HashMap<String, ExecHandler>,
     pub(crate) sysctls: HashMap<String, String>,
     pub(crate) kenv: HashMap<String, String>,
@@ -64,14 +71,29 @@ impl Kernel {
         let mut fs = Filesystem::new();
         let root = fs.root();
         let dev = fs
-            .create_dir(root, "dev", Mode::DIR_DEFAULT, shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL)
+            .create_dir(
+                root,
+                "dev",
+                Mode::DIR_DEFAULT,
+                shill_vfs::Uid::ROOT,
+                shill_vfs::Gid::WHEEL,
+            )
             .expect("mkdir /dev");
-        fs.create_device(dev, "null", DeviceKind::Null, Mode::RW_ALL).expect("null");
-        fs.create_device(dev, "zero", DeviceKind::Zero, Mode::RW_ALL).expect("zero");
-        fs.create_device(dev, "tty", DeviceKind::Tty, Mode::RW_ALL).expect("tty");
-        fs.create_device(dev, "random", DeviceKind::Random, Mode(0o444)).expect("random");
-        fs.mkdir_p("/tmp", Mode(0o777), shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL)
-            .expect("mkdir /tmp");
+        fs.create_device(dev, "null", DeviceKind::Null, Mode::RW_ALL)
+            .expect("null");
+        fs.create_device(dev, "zero", DeviceKind::Zero, Mode::RW_ALL)
+            .expect("zero");
+        fs.create_device(dev, "tty", DeviceKind::Tty, Mode::RW_ALL)
+            .expect("tty");
+        fs.create_device(dev, "random", DeviceKind::Random, Mode(0o444))
+            .expect("random");
+        fs.mkdir_p(
+            "/tmp",
+            Mode(0o777),
+            shill_vfs::Uid::ROOT,
+            shill_vfs::Gid::WHEEL,
+        )
+        .expect("mkdir /tmp");
 
         let mut procs = HashMap::new();
         procs.insert(Pid(1), Process::new(Pid(1), Pid(1), Cred::ROOT, root));
@@ -80,6 +102,8 @@ impl Kernel {
         sysctls.insert("kern.ostype".to_string(), "SimBSD".to_string());
         sysctls.insert("kern.osrelease".to_string(), "9.2-SHILL".to_string());
         sysctls.insert("hw.ncpu".to_string(), "6".to_string());
+        sysctls.insert(SYSCTL_DCACHE.to_string(), "1".to_string());
+        sysctls.insert(SYSCTL_AVC.to_string(), "1".to_string());
 
         Kernel {
             fs,
@@ -88,7 +112,8 @@ impl Kernel {
             stats: KernelStats::default(),
             console: Vec::new(),
             procs,
-            policies: Vec::new(),
+            registry: PolicyRegistry::new(),
+            avc: Avc::new(),
             exec_handlers: HashMap::new(),
             sysctls,
             kenv: HashMap::new(),
@@ -100,21 +125,79 @@ impl Kernel {
     // --- policy / executable registries ---------------------------------
 
     /// Load a MAC policy module (the "SHILL installed" configuration).
+    /// Attaching a policy flushes the access-vector cache: verdicts reached
+    /// without the new policy's veto are no longer valid.
     pub fn register_policy(&mut self, policy: Arc<dyn MacPolicy>) {
-        self.policies.push(policy);
+        self.registry.attach(policy);
+        self.avc.flush();
+        KernelStats::bump(&self.stats.avc_flushes);
     }
 
     /// Unload a policy by name (what `kldunload` would do; the SHILL policy
-    /// itself denies this from inside a sandbox).
+    /// itself denies this from inside a sandbox). Flushes the AVC.
     pub fn unregister_policy(&mut self, name: &str) -> bool {
-        let before = self.policies.len();
-        self.policies.retain(|p| p.name() != name);
-        before != self.policies.len()
+        let removed = self.registry.detach(name);
+        if removed {
+            self.avc.flush();
+            KernelStats::bump(&self.stats.avc_flushes);
+        }
+        removed
     }
 
     /// Whether a policy with this name is loaded.
     pub fn has_policy(&self, name: &str) -> bool {
-        self.policies.iter().any(|p| p.name() == name)
+        self.registry.contains(name)
+    }
+
+    // --- cache control ----------------------------------------------------
+
+    /// Toggle the resolution caches directly (the `security.cache.*`
+    /// sysctls route here; ablation benches call it to compare modes).
+    pub fn set_cache_enabled(&mut self, dcache: bool, avc: bool) {
+        self.fs.dcache().set_enabled(dcache);
+        if self.avc.enabled() && !avc {
+            KernelStats::bump(&self.stats.avc_flushes);
+        }
+        self.avc.set_enabled(avc);
+        self.sysctls.insert(
+            SYSCTL_DCACHE.to_string(),
+            if dcache { "1" } else { "0" }.to_string(),
+        );
+        self.sysctls.insert(
+            SYSCTL_AVC.to_string(),
+            if avc { "1" } else { "0" }.to_string(),
+        );
+    }
+
+    /// Current `(dcache, avc)` enablement.
+    pub fn cache_enabled(&self) -> (bool, bool) {
+        (self.fs.dcache().enabled(), self.avc.enabled())
+    }
+
+    /// Apply a `security.cache.*` sysctl write; no-op for other names.
+    /// Cache knobs accept exactly `"0"`/`"1"` — anything else is `EINVAL`
+    /// so a malformed write (e.g. `"off"`) can never silently enable a
+    /// cache the operator meant to turn off.
+    pub(crate) fn apply_cache_sysctl(&mut self, name: &str, value: &str) -> SysResult<()> {
+        if name != SYSCTL_DCACHE && name != SYSCTL_AVC {
+            return Ok(());
+        }
+        let on = match value.trim() {
+            "0" => false,
+            "1" => true,
+            _ => return Err(Errno::EINVAL),
+        };
+        let (dcache, avc) = self.cache_enabled();
+        match name {
+            SYSCTL_DCACHE => self.set_cache_enabled(on, avc),
+            _ => self.set_cache_enabled(dcache, on),
+        }
+        Ok(())
+    }
+
+    /// The access-vector cache (tests/diagnostics).
+    pub fn avc(&self) -> &Avc {
+        &self.avc
     }
 
     /// Register a simulated executable under `program` (matched against the
@@ -139,7 +222,10 @@ impl Kernel {
     }
 
     pub(crate) fn ctx(&self, pid: Pid) -> SysResult<MacCtx> {
-        Ok(MacCtx { pid, cred: self.process(pid)?.cred })
+        Ok(MacCtx {
+            pid,
+            cred: self.process(pid)?.cred,
+        })
     }
 
     /// Charge one syscall tick against the process's cpu ulimit.
@@ -162,11 +248,12 @@ impl Kernel {
         self.next_pid += 1;
         let pid = Pid(self.next_pid);
         let root = self.fs.root();
-        self.procs.insert(pid, Process::new(pid, Pid(1), cred, root));
+        self.procs
+            .insert(pid, Process::new(pid, Pid(1), cred, root));
         if let Some(init) = self.procs.get_mut(&Pid(1)) {
             init.children.push(pid);
         }
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_fork(Pid(1), pid);
         }
         pid
@@ -203,7 +290,7 @@ impl Kernel {
         }
         self.procs.insert(pid, child);
         self.process_mut(parent)?.children.push(pid);
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_fork(parent, pid);
         }
         Ok(pid)
@@ -221,9 +308,13 @@ impl Kernel {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.state = ProcState::Zombie(status);
         }
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_exit(pid);
         }
+        // The subject is gone; its cached MAC verdicts must not linger (a
+        // policy may also have scrubbed session labels, which its epoch
+        // bump invalidates for the session's *other* processes).
+        self.avc.drop_pid(pid);
     }
 
     /// Wait for a zombie child and reap it. `EAGAIN` while still running
@@ -233,7 +324,7 @@ impl Kernel {
         if !self.process(parent)?.children.contains(&child) {
             return Err(Errno::ECHILD);
         }
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_check(self.ctx(parent)?, ProcOp::Wait(child))?;
             KernelStats::bump(&self.stats.mac_other_checks);
         }
@@ -254,7 +345,7 @@ impl Kernel {
         if !self.procs.contains_key(&target) {
             return Err(Errno::ESRCH);
         }
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_check(self.ctx(pid)?, ProcOp::Signal(target))?;
             KernelStats::bump(&self.stats.mac_other_checks);
         }
@@ -269,7 +360,7 @@ impl Kernel {
         if !self.procs.contains_key(&target) {
             return Err(Errno::ESRCH);
         }
-        for p in self.policies.clone() {
+        for p in self.registry.iter() {
             p.proc_check(self.ctx(pid)?, ProcOp::Debug(target))?;
             KernelStats::bump(&self.stats.mac_other_checks);
         }
@@ -286,23 +377,43 @@ impl Kernel {
     // --- MAC helpers ------------------------------------------------------
 
     pub(crate) fn mac_vnode(&self, pid: Pid, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
-        if self.policies.is_empty() {
+        if self.registry.is_empty() {
             return Ok(());
         }
+        // Fast path: a previously memoized allow for this access vector,
+        // still valid at the current combined epoch. Denials are never
+        // cached and mutation/name-dependent ops have no class, so both
+        // always take the slow path below.
+        let vector = if self.avc.enabled() && self.registry.cacheable() {
+            avc_class(op)
+        } else {
+            None
+        };
+        let epoch = vector.map(|_| self.registry.combined_epoch());
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            if self.avc.probe(pid, node, class, epoch) {
+                KernelStats::bump(&self.stats.avc_hits);
+                return Ok(());
+            }
+            KernelStats::bump(&self.stats.avc_misses);
+        }
         let ctx = self.ctx(pid)?;
-        for p in &self.policies {
+        for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_vnode_checks);
             p.vnode_check(ctx, node, op)?;
+        }
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            self.avc.record(pid, node, class, epoch);
         }
         Ok(())
     }
 
     pub(crate) fn mac_post_lookup(&self, pid: Pid, dir: NodeId, name: &str, child: NodeId) {
-        if self.policies.is_empty() {
+        if self.registry.is_empty() {
             return;
         }
         if let Ok(ctx) = self.ctx(pid) {
-            for p in &self.policies {
+            for p in self.registry.iter() {
                 p.vnode_post_lookup(ctx, dir, name, child);
             }
         }
@@ -317,18 +428,18 @@ impl Kernel {
         ftype: shill_vfs::FileType,
     ) {
         if let Ok(ctx) = self.ctx(pid) {
-            for p in &self.policies {
+            for p in self.registry.iter() {
                 p.vnode_post_create(ctx, dir, name, child, ftype);
             }
         }
     }
 
     pub(crate) fn mac_pipe(&self, pid: Pid, obj: ObjId, op: PipeOp) -> SysResult<()> {
-        if self.policies.is_empty() {
+        if self.registry.is_empty() {
             return Ok(());
         }
         let ctx = self.ctx(pid)?;
-        for p in &self.policies {
+        for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.pipe_check(ctx, obj, op)?;
         }
@@ -336,11 +447,11 @@ impl Kernel {
     }
 
     pub(crate) fn mac_socket(&self, pid: Pid, obj: ObjId, op: &SocketOp) -> SysResult<()> {
-        if self.policies.is_empty() {
+        if self.registry.is_empty() {
             return Ok(());
         }
         let ctx = self.ctx(pid)?;
-        for p in &self.policies {
+        for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.socket_check(ctx, obj, op)?;
         }
@@ -348,11 +459,11 @@ impl Kernel {
     }
 
     pub(crate) fn mac_system(&self, pid: Pid, op: &SystemOp) -> SysResult<()> {
-        if self.policies.is_empty() {
+        if self.registry.is_empty() {
             return Ok(());
         }
         let ctx = self.ctx(pid)?;
-        for p in &self.policies {
+        for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.system_check(ctx, op)?;
         }
@@ -360,13 +471,14 @@ impl Kernel {
     }
 
     pub(crate) fn notify_vnode_destroy(&self, node: NodeId) {
-        for p in &self.policies {
+        for p in self.registry.iter() {
             p.vnode_destroy(node);
         }
+        self.avc.drop_node(node);
     }
 
     pub(crate) fn policies(&self) -> &[Arc<dyn MacPolicy>] {
-        &self.policies
+        self.registry.as_slice()
     }
 
     /// Deterministic pseudo-random byte source for `/dev/random`.
@@ -406,7 +518,22 @@ impl Kernel {
         let child = match name {
             "." => cur,
             ".." => self.fs.parent_of(cur)?,
-            _ => self.fs.lookup(cur, name)?,
+            // The dcache replaces only the directory-entry scan; the DAC
+            // search check and MAC lookup hook above ran either way, and
+            // negative results are never cached.
+            _ => match self.fs.dcache().get(cur, name) {
+                Some(n) => {
+                    KernelStats::bump(&self.stats.dcache_hits);
+                    n
+                }
+                None => {
+                    KernelStats::bump(&self.stats.dcache_misses);
+                    KernelStats::bump(&self.stats.dir_scans);
+                    let n = self.fs.lookup(cur, name)?;
+                    self.fs.dcache().insert(cur, name, n);
+                    n
+                }
+            },
         };
         // The paper adds mac_vnode_post_lookup precisely here: after a
         // successful lookup, so the policy can propagate privileges (or
@@ -435,7 +562,15 @@ impl Kernel {
         }
         let cred = self.process(pid)?.cred;
         let mut hops = 0u32;
-        self.namei_inner(pid, cred, self.walk_start(pid, dirfd, path)?, path, follow_last, parent_mode, &mut hops)
+        self.namei_inner(
+            pid,
+            cred,
+            self.walk_start(pid, dirfd, path)?,
+            path,
+            follow_last,
+            parent_mode,
+            &mut hops,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -452,7 +587,11 @@ impl Kernel {
         let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
         if comps.is_empty() {
             // Path was "/" or "." equivalent: the node itself.
-            return Ok(Lookup { parent: start, name: String::new(), node: Some(start) });
+            return Ok(Lookup {
+                parent: start,
+                name: String::new(),
+                node: Some(start),
+            });
         }
         let mut cur = start;
         for (i, comp) in comps.iter().enumerate() {
@@ -470,14 +609,22 @@ impl Kernel {
                     Err(Errno::ENOENT) => None,
                     Err(e) => return Err(e),
                 };
-                return Ok(Lookup { parent: cur, name: comp.to_string(), node });
+                return Ok(Lookup {
+                    parent: cur,
+                    name: comp.to_string(),
+                    node,
+                });
             }
             let child = self.walk_component(pid, cred, cur, comp)?;
             let follow = !last || follow_last;
             cur = self.follow_symlinks(pid, cred, cur, child, follow, hops)?;
         }
         let name = comps.last().map(|s| s.to_string()).unwrap_or_default();
-        Ok(Lookup { parent: start, name, node: Some(cur) })
+        Ok(Lookup {
+            parent: start,
+            name,
+            node: Some(cur),
+        })
     }
 
     /// Iteratively resolve symlinks at `node` (looked up inside `dir`).
@@ -501,7 +648,11 @@ impl Kernel {
             }
             self.mac_vnode(pid, cur, &VnodeOp::ReadSymlink)?;
             let target = self.fs.readlink(cur)?;
-            let base = if target.starts_with('/') { self.fs.root() } else { dir };
+            let base = if target.starts_with('/') {
+                self.fs.root()
+            } else {
+                dir
+            };
             let res = self.namei_inner(pid, cred, base, &target, true, false, hops)?;
             cur = res.node.ok_or(Errno::ENOENT)?;
         }
@@ -509,8 +660,16 @@ impl Kernel {
     }
 
     /// Resolve a path to an existing node (convenience over `namei`).
-    pub fn resolve(&self, pid: Pid, dirfd: Option<Fd>, path: &str, follow: bool) -> SysResult<NodeId> {
-        self.namei(pid, dirfd, path, follow, false)?.node.ok_or(Errno::ENOENT)
+    pub fn resolve(
+        &self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        follow: bool,
+    ) -> SysResult<NodeId> {
+        self.namei(pid, dirfd, path, follow, false)?
+            .node
+            .ok_or(Errno::ENOENT)
     }
 
     // --- descriptor plumbing shared by syscalls ---------------------------
@@ -537,7 +696,14 @@ impl Kernel {
         let p = self.process_mut(pid)?;
         p.install_fd(
             fd,
-            OpenFile { object: FdObject::Vnode(node), offset: 0, readable, writable, append, last_path },
+            OpenFile {
+                object: FdObject::Vnode(node),
+                offset: 0,
+                readable,
+                writable,
+                append,
+                last_path,
+            },
         );
         Ok(fd)
     }
@@ -627,7 +793,14 @@ mod tests {
     fn cpu_ulimit_trips() {
         let mut k = Kernel::new();
         let u = k.spawn_user(Cred::user(100));
-        k.set_ulimits(u, Ulimits { max_cpu_ticks: 2, ..Default::default() }).unwrap();
+        k.set_ulimits(
+            u,
+            Ulimits {
+                max_cpu_ticks: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(k.fork(u).is_ok()); // tick 1
         let r2 = k.fork(u); // tick 2
         assert!(r2.is_ok());

@@ -10,18 +10,24 @@
 //! The SHILL sandbox itself is a *policy module* implemented in the
 //! `shill-sandbox` crate; this crate is policy-agnostic.
 
+pub mod avc;
 pub mod kernel;
 pub mod mac;
 pub mod net;
 pub mod pipe;
 pub mod process;
+pub mod registry;
 pub mod stats;
 pub mod syscalls;
 pub mod types;
 
-pub use kernel::{ExecHandler, Kernel, Lookup};
+pub use avc::{avc_class, Avc, AvcClass};
+pub use kernel::{ExecHandler, Kernel, Lookup, SYSCTL_AVC, SYSCTL_DCACHE};
 pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 pub use net::{InjConnId, RemoteHandler};
 pub use process::{FdObject, OpenFile, ProcState, Process};
+pub use registry::PolicyRegistry;
 pub use stats::{KernelStats, StatsSnapshot};
-pub use types::{Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits};
+pub use types::{
+    Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits,
+};

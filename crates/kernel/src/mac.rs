@@ -140,6 +140,30 @@ pub trait MacPolicy: Send + Sync {
     /// Short policy name (e.g. `"shill"`), used in logs.
     fn name(&self) -> &str;
 
+    // --- access-vector cache contract -----------------------------------
+    /// Whether this policy's *allow* verdicts may be memoized by the
+    /// kernel's access-vector cache ([`crate::avc`]). Opting in promises:
+    ///
+    /// * vnode verdicts depend only on the subject process, the vnode, and
+    ///   the operation *class* (not on lookup/create component names);
+    /// * between bumps of [`MacPolicy::cache_epoch`], the policy's
+    ///   authority only grows (privilege propagation, debug auto-grants) —
+    ///   an operation once allowed stays allowed.
+    ///
+    /// Defaults to `false`: an unknown third-party policy disables the AVC
+    /// entirely rather than risk caching around a revocation.
+    fn decisions_cacheable(&self) -> bool {
+        false
+    }
+
+    /// Monotonic counter a cacheable policy bumps whenever authority could
+    /// *shrink* — e.g. a session being entered (permissive → restricted) or
+    /// reclaimed (labels scrubbed). Every bump invalidates all cached
+    /// verdicts. Constant for policies whose verdicts are never revoked.
+    fn cache_epoch(&self) -> u64 {
+        0
+    }
+
     // --- checks ---------------------------------------------------------
     fn vnode_check(&self, _ctx: MacCtx, _node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
         Ok(())
@@ -199,6 +223,10 @@ impl MacPolicy for NullPolicy {
     fn name(&self) -> &str {
         "null"
     }
+
+    fn decisions_cacheable(&self) -> bool {
+        true // allows everything, forever: trivially monotone
+    }
 }
 
 #[cfg(test)]
@@ -209,9 +237,18 @@ mod tests {
     #[test]
     fn null_policy_permits_everything() {
         let p = NullPolicy;
-        let ctx = MacCtx { pid: Pid(1), cred: Cred::ROOT };
+        let ctx = MacCtx {
+            pid: Pid(1),
+            cred: Cred::ROOT,
+        };
         assert!(p.vnode_check(ctx, NodeId(1), &VnodeOp::Read).is_ok());
-        assert!(p.socket_check(ctx, ObjId::Socket(crate::types::SockId(1)), &SocketOp::Listen).is_ok());
+        assert!(p
+            .socket_check(
+                ctx,
+                ObjId::Socket(crate::types::SockId(1)),
+                &SocketOp::Listen
+            )
+            .is_ok());
         assert!(p.system_check(ctx, &SystemOp::KernelModule).is_ok());
     }
 }

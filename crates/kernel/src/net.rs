@@ -36,14 +36,20 @@ struct InjConn {
 }
 
 enum ConnKind {
-    Remote { addr: SockAddr, recv_buf: VecDeque<u8> },
+    Remote {
+        addr: SockAddr,
+        recv_buf: VecDeque<u8>,
+    },
     Injected(InjConnId),
 }
 
 enum SockState {
     New,
     Bound(SockAddr),
-    Listening { addr: SockAddr, pending: VecDeque<InjConnId> },
+    Listening {
+        addr: SockAddr,
+        pending: VecDeque<InjConnId>,
+    },
     Connected(ConnKind),
     Closed,
 }
@@ -86,7 +92,13 @@ impl NetStack {
     pub fn socket(&mut self, domain: SockDomain) -> SockId {
         self.next_sock += 1;
         let id = SockId(self.next_sock);
-        self.sockets.insert(id, Socket { domain, state: SockState::New });
+        self.sockets.insert(
+            id,
+            Socket {
+                domain,
+                state: SockState::New,
+            },
+        );
         id
     }
 
@@ -124,7 +136,10 @@ impl NetStack {
             SockState::Bound(addr) => {
                 let pending = self.preloaded.remove(&addr).unwrap_or_default();
                 let s = self.get_mut(sock)?;
-                s.state = SockState::Listening { addr: addr.clone(), pending };
+                s.state = SockState::Listening {
+                    addr: addr.clone(),
+                    pending,
+                };
                 self.listeners.insert(addr, sock);
                 Ok(())
             }
@@ -142,12 +157,18 @@ impl NetStack {
         let id = InjConnId(self.next_conn);
         self.inj.insert(
             id,
-            InjConn { request: request.into(), response: Vec::new(), finished: false },
+            InjConn {
+                request: request.into(),
+                response: Vec::new(),
+                finished: false,
+            },
         );
         // If a listener is already up, deliver straight to its queue.
         if let Some(lsock) = self.listeners.get(&addr).copied() {
-            if let Some(Socket { state: SockState::Listening { pending, .. }, .. }) =
-                self.sockets.get_mut(&lsock)
+            if let Some(Socket {
+                state: SockState::Listening { pending, .. },
+                ..
+            }) = self.sockets.get_mut(&lsock)
             {
                 pending.push_back(id);
                 return id;
@@ -165,7 +186,11 @@ impl NetStack {
         let id = InjConnId(self.next_conn);
         self.inj.insert(
             id,
-            InjConn { request: request.into(), response: Vec::new(), finished: false },
+            InjConn {
+                request: request.into(),
+                response: Vec::new(),
+                finished: false,
+            },
         );
         match &mut self.get_mut(lsock)?.state {
             SockState::Listening { pending, .. } => {
@@ -195,7 +220,10 @@ impl NetStack {
         let id = SockId(self.next_sock);
         self.sockets.insert(
             id,
-            Socket { domain, state: SockState::Connected(ConnKind::Injected(conn)) },
+            Socket {
+                domain,
+                state: SockState::Connected(ConnKind::Injected(conn)),
+            },
         );
         Ok(id)
     }
@@ -208,8 +236,10 @@ impl NetStack {
         let s = self.get_mut(sock)?;
         match s.state {
             SockState::New => {
-                s.state =
-                    SockState::Connected(ConnKind::Remote { addr, recv_buf: VecDeque::new() });
+                s.state = SockState::Connected(ConnKind::Remote {
+                    addr,
+                    recv_buf: VecDeque::new(),
+                });
                 Ok(())
             }
             _ => Err(Errno::EINVAL),
@@ -305,17 +335,23 @@ mod tests {
     use super::*;
 
     fn inet(port: u16) -> SockAddr {
-        SockAddr::Inet { host: "test.example".into(), port }
+        SockAddr::Inet {
+            host: "test.example".into(),
+            port,
+        }
     }
 
     #[test]
     fn outbound_request_response() {
         let mut n = NetStack::new();
-        n.register_remote(inet(80), Box::new(|req| {
-            let mut v = b"echo:".to_vec();
-            v.extend_from_slice(req);
-            v
-        }));
+        n.register_remote(
+            inet(80),
+            Box::new(|req| {
+                let mut v = b"echo:".to_vec();
+                v.extend_from_slice(req);
+                v
+            }),
+        );
         let s = n.socket(SockDomain::Inet);
         n.connect(s, inet(80)).unwrap();
         n.send(s, b"hello").unwrap();
@@ -334,7 +370,10 @@ mod tests {
     fn inbound_inject_accept_serve() {
         let mut n = NetStack::new();
         let server = n.socket(SockDomain::Inet);
-        let addr = SockAddr::Inet { host: "0.0.0.0".into(), port: 8080 };
+        let addr = SockAddr::Inet {
+            host: "0.0.0.0".into(),
+            port: 8080,
+        };
         n.bind(server, addr.clone()).unwrap();
         n.listen(server).unwrap();
         let conn = n.inject_connection(&addr, b"GET /file".to_vec()).unwrap();
@@ -355,7 +394,10 @@ mod tests {
     fn accept_empty_queue_is_eagain() {
         let mut n = NetStack::new();
         let server = n.socket(SockDomain::Inet);
-        let addr = SockAddr::Inet { host: "0.0.0.0".into(), port: 9. as u16 };
+        let addr = SockAddr::Inet {
+            host: "0.0.0.0".into(),
+            port: 9. as u16,
+        };
         n.bind(server, addr).unwrap();
         n.listen(server).unwrap();
         assert_eq!(n.accept(server).unwrap_err(), Errno::EAGAIN);
@@ -366,7 +408,10 @@ mod tests {
         let mut n = NetStack::new();
         let a = n.socket(SockDomain::Inet);
         let b = n.socket(SockDomain::Inet);
-        let addr = SockAddr::Inet { host: "0.0.0.0".into(), port: 80 };
+        let addr = SockAddr::Inet {
+            host: "0.0.0.0".into(),
+            port: 80,
+        };
         n.bind(a, addr.clone()).unwrap();
         n.listen(a).unwrap();
         assert_eq!(n.bind(b, addr.clone()).unwrap_err(), Errno::EADDRINUSE);

@@ -36,7 +36,14 @@ impl PipeTable {
     pub fn create(&mut self) -> PipeId {
         self.next += 1;
         let id = PipeId(self.next);
-        self.pipes.insert(id, PipeBuf { data: VecDeque::new(), readers: 1, writers: 1 });
+        self.pipes.insert(
+            id,
+            PipeBuf {
+                data: VecDeque::new(),
+                readers: 1,
+                writers: 1,
+            },
+        );
         id
     }
 

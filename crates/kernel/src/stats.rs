@@ -13,8 +13,23 @@ pub struct KernelStats {
     pub syscalls: Cell<u64>,
     /// Per-component directory lookups performed by the path walker.
     pub lookups: Cell<u64>,
-    /// MAC vnode checks invoked (0 when no policy is registered).
+    /// Path-walker components answered from the directory-entry cache.
+    pub dcache_hits: Cell<u64>,
+    /// Path-walker components that missed the dcache (or ran with it off).
+    pub dcache_misses: Cell<u64>,
+    /// Real directory-entry scans performed (i.e. dcache misses that went
+    /// to the filesystem); with the cache on and a warm workload this stays
+    /// flat while `lookups` keeps climbing.
+    pub dir_scans: Cell<u64>,
+    /// MAC vnode checks that *reached* policy modules (0 when no policy is
+    /// registered; with the AVC on, far fewer than checks requested).
     pub mac_vnode_checks: Cell<u64>,
+    /// MAC vnode decisions answered from the access-vector cache.
+    pub avc_hits: Cell<u64>,
+    /// MAC vnode decisions that missed the AVC and consulted policies.
+    pub avc_misses: Cell<u64>,
+    /// Wholesale AVC flushes (policy attach/detach, cache toggles).
+    pub avc_flushes: Cell<u64>,
     /// MAC socket/pipe/proc/system checks invoked.
     pub mac_other_checks: Cell<u64>,
     /// Executables run.
@@ -33,7 +48,13 @@ impl KernelStats {
         StatsSnapshot {
             syscalls: self.syscalls.get(),
             lookups: self.lookups.get(),
+            dcache_hits: self.dcache_hits.get(),
+            dcache_misses: self.dcache_misses.get(),
+            dir_scans: self.dir_scans.get(),
             mac_vnode_checks: self.mac_vnode_checks.get(),
+            avc_hits: self.avc_hits.get(),
+            avc_misses: self.avc_misses.get(),
+            avc_flushes: self.avc_flushes.get(),
             mac_other_checks: self.mac_other_checks.get(),
             execs: self.execs.get(),
             forks: self.forks.get(),
@@ -43,7 +64,13 @@ impl KernelStats {
     pub fn reset(&self) {
         self.syscalls.set(0);
         self.lookups.set(0);
+        self.dcache_hits.set(0);
+        self.dcache_misses.set(0);
+        self.dir_scans.set(0);
         self.mac_vnode_checks.set(0);
+        self.avc_hits.set(0);
+        self.avc_misses.set(0);
+        self.avc_flushes.set(0);
         self.mac_other_checks.set(0);
         self.execs.set(0);
         self.forks.set(0);
@@ -55,7 +82,13 @@ impl KernelStats {
 pub struct StatsSnapshot {
     pub syscalls: u64,
     pub lookups: u64,
+    pub dcache_hits: u64,
+    pub dcache_misses: u64,
+    pub dir_scans: u64,
     pub mac_vnode_checks: u64,
+    pub avc_hits: u64,
+    pub avc_misses: u64,
+    pub avc_flushes: u64,
     pub mac_other_checks: u64,
     pub execs: u64,
     pub forks: u64,

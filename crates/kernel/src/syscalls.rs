@@ -7,7 +7,9 @@
 //! operating system based on the user's ambient authority and is also
 //! permitted by the capabilities possessed by the sandbox").
 
-use shill_vfs::{dac, Access, DeviceKind, Errno, FileType, Mode, NodeBody, NodeId, Stat, SysResult, Uid, Gid};
+use shill_vfs::{
+    dac, Access, DeviceKind, Errno, FileType, Gid, Mode, NodeBody, NodeId, Stat, SysResult, Uid,
+};
 
 use crate::kernel::{ExecHandler, Kernel};
 use crate::mac::{PipeOp, SocketOp, SystemOp, VnodeOp};
@@ -28,7 +30,14 @@ impl Kernel {
     // --- open/close -------------------------------------------------------
 
     /// `openat(2)`. `dirfd = None` resolves relative paths against the cwd.
-    pub fn openat(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, flags: OpenFlags, mode: Mode) -> SysResult<Fd> {
+    pub fn openat(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        flags: OpenFlags,
+        mode: Mode,
+    ) -> SysResult<Fd> {
         self.charge(pid)?;
         let lk = self.namei(pid, dirfd, path, !flags.nofollow, flags.create)?;
         let node = match lk.node {
@@ -46,7 +55,9 @@ impl Kernel {
                 self.dac_node(pid, lk.parent, Access::Write)?;
                 self.mac_vnode(pid, lk.parent, &VnodeOp::CreateFile(&lk.name))?;
                 let cred = self.process(pid)?.cred;
-                let n = self.fs.create_file(lk.parent, &lk.name, mode, cred.uid, cred.gid)?;
+                let n = self
+                    .fs
+                    .create_file(lk.parent, &lk.name, mode, cred.uid, cred.gid)?;
                 self.mac_post_create(pid, lk.parent, &lk.name, n, FileType::Regular);
                 n
             }
@@ -73,7 +84,11 @@ impl Kernel {
         // MAC at open time. Character devices are still checked at *open*;
         // it is per-byte read/write the framework cannot see (§3.2.3).
         if flags.read {
-            let op = if ftype == FileType::Directory { VnodeOp::ReadDir } else { VnodeOp::Read };
+            let op = if ftype == FileType::Directory {
+                VnodeOp::ReadDir
+            } else {
+                VnodeOp::Read
+            };
             // Opening a directory read-only is permitted with either
             // +contents or plain lookup use; emit Stat-level check instead
             // would be too lax — use ReadDir only when listing. For open we
@@ -91,7 +106,13 @@ impl Kernel {
             self.mac_vnode(pid, node, &VnodeOp::Truncate)?;
             self.fs.truncate(node, 0)?;
         }
-        self.install_vnode_fd(pid, node, flags.read, flags.write || flags.append, flags.append)
+        self.install_vnode_fd(
+            pid,
+            node,
+            flags.read,
+            flags.write || flags.append,
+            flags.append,
+        )
     }
 
     /// `open(2)`: cwd-relative `openat`.
@@ -352,7 +373,13 @@ impl Kernel {
     }
 
     /// `fstatat(2)`.
-    pub fn fstatat(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, follow: bool) -> SysResult<Stat> {
+    pub fn fstatat(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        follow: bool,
+    ) -> SysResult<Stat> {
         self.charge(pid)?;
         let node = self.resolve(pid, dirfd, path, follow)?;
         self.mac_vnode(pid, node, &VnodeOp::Stat)?;
@@ -384,7 +411,13 @@ impl Kernel {
     }
 
     /// `fchmodat(2)`.
-    pub fn fchmodat(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, mode: Mode) -> SysResult<()> {
+    pub fn fchmodat(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        mode: Mode,
+    ) -> SysResult<()> {
         self.charge(pid)?;
         let node = self.resolve(pid, dirfd, path, true)?;
         self.chmod_node(pid, node, mode)
@@ -450,7 +483,13 @@ impl Kernel {
     /// `mkdirat(2)`, with the paper's extension: returns a descriptor for
     /// the newly created directory (§3.1.3: "a version of mkdirat that
     /// returns a file descriptor for the newly created directory").
-    pub fn mkdirat(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, mode: Mode) -> SysResult<Fd> {
+    pub fn mkdirat(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        mode: Mode,
+    ) -> SysResult<Fd> {
         self.charge(pid)?;
         let lk = self.namei(pid, dirfd, path, true, true)?;
         if lk.node.is_some() {
@@ -459,13 +498,21 @@ impl Kernel {
         self.dac_node(pid, lk.parent, Access::Write)?;
         self.mac_vnode(pid, lk.parent, &VnodeOp::CreateDir(&lk.name))?;
         let cred = self.process(pid)?.cred;
-        let node = self.fs.create_dir(lk.parent, &lk.name, mode, cred.uid, cred.gid)?;
+        let node = self
+            .fs
+            .create_dir(lk.parent, &lk.name, mode, cred.uid, cred.gid)?;
         self.mac_post_create(pid, lk.parent, &lk.name, node, FileType::Directory);
         self.install_vnode_fd(pid, node, true, false, false)
     }
 
     /// `symlinkat(2)`.
-    pub fn symlinkat(&mut self, pid: Pid, target: &str, dirfd: Option<Fd>, path: &str) -> SysResult<()> {
+    pub fn symlinkat(
+        &mut self,
+        pid: Pid,
+        target: &str,
+        dirfd: Option<Fd>,
+        path: &str,
+    ) -> SysResult<()> {
         self.charge(pid)?;
         let lk = self.namei(pid, dirfd, path, false, true)?;
         if lk.node.is_some() {
@@ -474,13 +521,21 @@ impl Kernel {
         self.dac_node(pid, lk.parent, Access::Write)?;
         self.mac_vnode(pid, lk.parent, &VnodeOp::CreateSymlink(&lk.name))?;
         let cred = self.process(pid)?.cred;
-        let node = self.fs.create_symlink(lk.parent, &lk.name, target, cred.uid, cred.gid)?;
+        let node = self
+            .fs
+            .create_symlink(lk.parent, &lk.name, target, cred.uid, cred.gid)?;
         self.mac_post_create(pid, lk.parent, &lk.name, node, FileType::Symlink);
         Ok(())
     }
 
     /// `unlinkat(2)`; `remove_dir` selects `AT_REMOVEDIR` behaviour.
-    pub fn unlinkat(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, remove_dir: bool) -> SysResult<()> {
+    pub fn unlinkat(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        remove_dir: bool,
+    ) -> SysResult<()> {
         self.charge(pid)?;
         let lk = self.namei(pid, dirfd, path, false, true)?;
         let node = lk.node.ok_or(Errno::ENOENT)?;
@@ -563,7 +618,13 @@ impl Kernel {
         self.fs.link(dir, name, file)
     }
 
-    fn flink_node(&mut self, pid: Pid, src: NodeId, dstdirfd: Option<Fd>, dstpath: &str) -> SysResult<()> {
+    fn flink_node(
+        &mut self,
+        pid: Pid,
+        src: NodeId,
+        dstdirfd: Option<Fd>,
+        dstpath: &str,
+    ) -> SysResult<()> {
         let lk = self.namei(pid, dstdirfd, dstpath, false, true)?;
         if lk.node.is_some() {
             return Err(Errno::EEXIST);
@@ -690,7 +751,7 @@ impl Kernel {
         self.charge(pid)?;
         let id = self.pipes.create();
         if let Ok(ctx) = self.ctx(pid) {
-            for p in self.policies().to_vec() {
+            for p in self.policies() {
                 p.pipe_post_create(ctx, ObjId::Pipe(id));
             }
         }
@@ -733,7 +794,7 @@ impl Kernel {
         self.mac_socket(pid, ObjId::Socket(SockId(0)), &SocketOp::Create(domain))?;
         let sid = self.net.socket(domain);
         if let Ok(ctx) = self.ctx(pid) {
-            for p in self.policies().to_vec() {
+            for p in self.policies() {
                 p.socket_post_create(ctx, ObjId::Socket(sid));
             }
         }
@@ -774,7 +835,9 @@ impl Kernel {
             self.dac_node(pid, lk.parent, Access::Write)?;
             self.mac_vnode(pid, lk.parent, &VnodeOp::CreateFile(&lk.name))?;
             let cred = self.process(pid)?.cred;
-            let n = self.fs.create_socket_node(lk.parent, &lk.name, Mode(0o666), cred.uid, cred.gid)?;
+            let n =
+                self.fs
+                    .create_socket_node(lk.parent, &lk.name, Mode(0o666), cred.uid, cred.gid)?;
             self.mac_post_create(pid, lk.parent, &lk.name, n, FileType::Socket);
         }
         self.net.bind(s, addr)
@@ -795,7 +858,7 @@ impl Kernel {
         self.mac_socket(pid, ObjId::Socket(s), &SocketOp::Accept)?;
         let conn = self.net.accept(s)?;
         if let Ok(ctx) = self.ctx(pid) {
-            for p in self.policies().to_vec() {
+            for p in self.policies() {
                 p.socket_post_create(ctx, ObjId::Socket(conn));
             }
         }
@@ -839,6 +902,11 @@ impl Kernel {
         if !self.process(pid)?.cred.is_root() {
             return Err(Errno::EPERM);
         }
+        // `security.cache.*` knobs take effect immediately and validate
+        // before the store, so a malformed write changes nothing (and,
+        // because sysctl writes are denied inside a sandbox, a confined
+        // process can never toggle the caches it is being checked through).
+        self.apply_cache_sysctl(name, value)?;
         self.sysctls.insert(name.to_string(), value.to_string());
         Ok(())
     }
@@ -913,7 +981,13 @@ impl Kernel {
     }
 
     /// Resolve and execute by path.
-    pub fn exec_at(&mut self, pid: Pid, dirfd: Option<Fd>, path: &str, argv: &[String]) -> SysResult<i32> {
+    pub fn exec_at(
+        &mut self,
+        pid: Pid,
+        dirfd: Option<Fd>,
+        path: &str,
+        argv: &[String],
+    ) -> SysResult<i32> {
         let node = self.resolve(pid, dirfd, path, true)?;
         self.exec_node(pid, node, argv)
     }
@@ -963,10 +1037,19 @@ mod tests {
     #[test]
     fn open_create_write_read() {
         let (mut k, pid) = setup();
-        let fd = k.open(pid, "/tmp/a.txt", OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT).unwrap();
+        let fd = k
+            .open(
+                pid,
+                "/tmp/a.txt",
+                OpenFlags::creat_trunc_w(),
+                Mode::FILE_DEFAULT,
+            )
+            .unwrap();
         assert_eq!(k.write(pid, fd, b"hello").unwrap(), 5);
         k.close(pid, fd).unwrap();
-        let fd = k.open(pid, "/tmp/a.txt", OpenFlags::RDONLY, Mode::FILE_DEFAULT).unwrap();
+        let fd = k
+            .open(pid, "/tmp/a.txt", OpenFlags::RDONLY, Mode::FILE_DEFAULT)
+            .unwrap();
         assert_eq!(k.read(pid, fd, 100).unwrap(), b"hello");
         assert_eq!(k.read(pid, fd, 100).unwrap(), b""); // EOF: offset advanced
         k.close(pid, fd).unwrap();
@@ -975,13 +1058,29 @@ mod tests {
     #[test]
     fn append_mode_writes_at_eof() {
         let (mut k, pid) = setup();
-        let fd = k.open(pid, "/tmp/log", OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT).unwrap();
+        let fd = k
+            .open(
+                pid,
+                "/tmp/log",
+                OpenFlags::creat_trunc_w(),
+                Mode::FILE_DEFAULT,
+            )
+            .unwrap();
         k.write(pid, fd, b"one\n").unwrap();
         k.close(pid, fd).unwrap();
-        let fd = k.open(pid, "/tmp/log", OpenFlags::append_only(), Mode::FILE_DEFAULT).unwrap();
+        let fd = k
+            .open(
+                pid,
+                "/tmp/log",
+                OpenFlags::append_only(),
+                Mode::FILE_DEFAULT,
+            )
+            .unwrap();
         k.write(pid, fd, b"two\n").unwrap();
         k.close(pid, fd).unwrap();
-        let fd = k.open(pid, "/tmp/log", OpenFlags::RDONLY, Mode::FILE_DEFAULT).unwrap();
+        let fd = k
+            .open(pid, "/tmp/log", OpenFlags::RDONLY, Mode::FILE_DEFAULT)
+            .unwrap();
         assert_eq!(k.read(pid, fd, 100).unwrap(), b"one\ntwo\n");
     }
 
@@ -990,10 +1089,18 @@ mod tests {
         let mut k = Kernel::new();
         let alice = k.spawn_user(Cred::user(100));
         let bob = k.spawn_user(Cred::user(200));
-        let fd = k.open(alice, "/tmp/secret", OpenFlags::creat_trunc_w(), Mode(0o600)).unwrap();
+        let fd = k
+            .open(
+                alice,
+                "/tmp/secret",
+                OpenFlags::creat_trunc_w(),
+                Mode(0o600),
+            )
+            .unwrap();
         k.close(alice, fd).unwrap();
         assert_eq!(
-            k.open(bob, "/tmp/secret", OpenFlags::RDONLY, Mode(0)).unwrap_err(),
+            k.open(bob, "/tmp/secret", OpenFlags::RDONLY, Mode(0))
+                .unwrap_err(),
             Errno::EACCES
         );
     }
@@ -1001,8 +1108,18 @@ mod tests {
     #[test]
     fn mkdirat_returns_usable_dirfd() {
         let (mut k, pid) = setup();
-        let dfd = k.mkdirat(pid, None, "/tmp/work", Mode::DIR_DEFAULT).unwrap();
-        let f = k.openat(pid, Some(dfd), "inner.txt", OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT).unwrap();
+        let dfd = k
+            .mkdirat(pid, None, "/tmp/work", Mode::DIR_DEFAULT)
+            .unwrap();
+        let f = k
+            .openat(
+                pid,
+                Some(dfd),
+                "inner.txt",
+                OpenFlags::creat_trunc_w(),
+                Mode::FILE_DEFAULT,
+            )
+            .unwrap();
         k.write(pid, f, b"x").unwrap();
         k.close(pid, f).unwrap();
         assert!(k.fs.resolve_abs("/tmp/work/inner.txt").is_ok());
@@ -1011,42 +1128,70 @@ mod tests {
     #[test]
     fn dotdot_walks_up() {
         let (mut k, pid) = setup();
-        k.fs.mkdir_p("/home/bob", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/home/alice/dog.jpg", b"jpg", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.mkdir_p("/home/bob", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        k.fs.put_file(
+            "/home/alice/dog.jpg",
+            b"jpg",
+            Mode::FILE_DEFAULT,
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         k.chdir(pid, "/home/bob").unwrap();
-        let fd = k.open(pid, "../alice/dog.jpg", OpenFlags::RDONLY, Mode(0)).unwrap();
+        let fd = k
+            .open(pid, "../alice/dog.jpg", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         assert_eq!(k.read(pid, fd, 3).unwrap(), b"jpg");
     }
 
     #[test]
     fn funlinkat_checks_identity() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/tmp/a", b"1", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file("/tmp/a", b"1", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let dirfd = k.open(pid, "/tmp", OpenFlags::dir(), Mode(0)).unwrap();
         let filefd = k.open(pid, "/tmp/a", OpenFlags::RDONLY, Mode(0)).unwrap();
         // Replace /tmp/a with a different file behind our back.
         k.unlinkat(pid, None, "/tmp/a", false).unwrap();
-        k.fs.put_file("/tmp/a", b"2", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file("/tmp/a", b"2", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         // funlinkat detects the swap.
-        assert_eq!(k.funlinkat(pid, dirfd, filefd, "a").unwrap_err(), Errno::EINVAL);
+        assert_eq!(
+            k.funlinkat(pid, dirfd, filefd, "a").unwrap_err(),
+            Errno::EINVAL
+        );
     }
 
     #[test]
     fn flinkat_links_by_descriptor() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/tmp/orig", b"data", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        let filefd = k.open(pid, "/tmp/orig", OpenFlags::RDONLY, Mode(0)).unwrap();
+        k.fs.put_file(
+            "/tmp/orig",
+            b"data",
+            Mode::FILE_DEFAULT,
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        let filefd = k
+            .open(pid, "/tmp/orig", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         let dirfd = k.open(pid, "/tmp", OpenFlags::dir(), Mode(0)).unwrap();
         k.flinkat(pid, filefd, dirfd, "alias").unwrap();
-        let fd = k.open(pid, "/tmp/alias", OpenFlags::RDONLY, Mode(0)).unwrap();
+        let fd = k
+            .open(pid, "/tmp/alias", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         assert_eq!(k.read(pid, fd, 10).unwrap(), b"data");
     }
 
     #[test]
     fn frenameat_moves_verified_file() {
         let (mut k, pid) = setup();
-        k.fs.mkdir_p("/tmp/dst", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/tmp/f", b"x", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.mkdir_p("/tmp/dst", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        k.fs.put_file("/tmp/f", b"x", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let sdir = k.open(pid, "/tmp", OpenFlags::dir(), Mode(0)).unwrap();
         let ddir = k.open(pid, "/tmp/dst", OpenFlags::dir(), Mode(0)).unwrap();
         let f = k.open(pid, "/tmp/f", OpenFlags::RDONLY, Mode(0)).unwrap();
@@ -1058,8 +1203,11 @@ mod tests {
     #[test]
     fn path_syscall_and_fallback() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/tmp/p.txt", b"", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        let fd = k.open(pid, "/tmp/p.txt", OpenFlags::RDONLY, Mode(0)).unwrap();
+        k.fs.put_file("/tmp/p.txt", b"", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        let fd = k
+            .open(pid, "/tmp/p.txt", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         assert_eq!(k.path_syscall(pid, fd).unwrap(), "/tmp/p.txt");
         k.unlinkat(pid, None, "/tmp/p.txt", false).unwrap();
         assert_eq!(k.path_syscall(pid, fd).unwrap_err(), Errno::ENOENT);
@@ -1069,10 +1217,14 @@ mod tests {
     #[test]
     fn device_read_write_and_console() {
         let (mut k, pid) = setup();
-        let null = k.open(pid, "/dev/null", OpenFlags::rdwr(), Mode(0)).unwrap();
+        let null = k
+            .open(pid, "/dev/null", OpenFlags::rdwr(), Mode(0))
+            .unwrap();
         assert_eq!(k.read(pid, null, 10).unwrap(), b"");
         assert_eq!(k.write(pid, null, b"gone").unwrap(), 4);
-        let zero = k.open(pid, "/dev/zero", OpenFlags::RDONLY, Mode(0)).unwrap();
+        let zero = k
+            .open(pid, "/dev/zero", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         assert_eq!(k.read(pid, zero, 4).unwrap(), vec![0, 0, 0, 0]);
         let tty = k.open(pid, "/dev/tty", OpenFlags::rdwr(), Mode(0)).unwrap();
         k.write(pid, tty, b"hello console").unwrap();
@@ -1097,16 +1249,30 @@ mod tests {
             "hello",
             Arc::new(|k: &mut Kernel, pid: Pid, argv: &[String]| {
                 let fd = k
-                    .open(pid, "/tmp/out", OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT)
+                    .open(
+                        pid,
+                        "/tmp/out",
+                        OpenFlags::creat_trunc_w(),
+                        Mode::FILE_DEFAULT,
+                    )
                     .unwrap();
-                k.write(pid, fd, format!("args={}", argv.join(",")).as_bytes()).unwrap();
+                k.write(pid, fd, format!("args={}", argv.join(",")).as_bytes())
+                    .unwrap();
                 k.close(pid, fd).unwrap();
                 0
             }),
         );
-        k.fs.put_file("/bin/hello", b"#!SIMBIN hello\nNEEDS /lib/libc.so\n", Mode(0o755), Uid::ROOT, Gid::WHEEL)
+        k.fs.put_file(
+            "/bin/hello",
+            b"#!SIMBIN hello\nNEEDS /lib/libc.so\n",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        let status = k
+            .exec_at(pid, None, "/bin/hello", &["hello".into(), "world".into()])
             .unwrap();
-        let status = k.exec_at(pid, None, "/bin/hello", &["hello".into(), "world".into()]).unwrap();
         assert_eq!(status, 0);
         let node = k.fs.resolve_abs("/tmp/out").unwrap();
         assert_eq!(k.fs.read(node, 0, 100).unwrap(), b"args=hello,world");
@@ -1115,11 +1281,31 @@ mod tests {
     #[test]
     fn exec_requires_exec_bit_and_format() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/bin/noexec", b"#!SIMBIN hello\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/bin/noexec",
+            b"#!SIMBIN hello\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         let user = k.spawn_user(Cred::user(100));
-        assert_eq!(k.exec_at(user, None, "/bin/noexec", &[]).unwrap_err(), Errno::EACCES);
-        k.fs.put_file("/bin/garbage", b"not a binary", Mode(0o755), Uid::ROOT, Gid::WHEEL).unwrap();
-        assert_eq!(k.exec_at(pid, None, "/bin/garbage", &[]).unwrap_err(), Errno::ENOEXEC);
+        assert_eq!(
+            k.exec_at(user, None, "/bin/noexec", &[]).unwrap_err(),
+            Errno::EACCES
+        );
+        k.fs.put_file(
+            "/bin/garbage",
+            b"not a binary",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        assert_eq!(
+            k.exec_at(pid, None, "/bin/garbage", &[]).unwrap_err(),
+            Errno::ENOEXEC
+        );
     }
 
     #[test]
@@ -1144,7 +1330,10 @@ mod tests {
         k.sysctl_write(pid, "kern.custom", "1").unwrap();
         assert_eq!(k.sysctl_read(pid, "kern.custom").unwrap(), "1");
         let user = k.spawn_user(Cred::user(100));
-        assert_eq!(k.sysctl_write(user, "kern.custom", "2").unwrap_err(), Errno::EPERM);
+        assert_eq!(
+            k.sysctl_write(user, "kern.custom", "2").unwrap_err(),
+            Errno::EPERM
+        );
         k.kenv_set(pid, "smbios.bios", "sim").unwrap();
         assert_eq!(k.kenv_get(pid, "smbios.bios").unwrap(), "sim");
     }
@@ -1152,8 +1341,12 @@ mod tests {
     #[test]
     fn socket_remote_roundtrip_via_syscalls() {
         let (mut k, pid) = setup();
-        let addr = SockAddr::Inet { host: "files.example".into(), port: 80 };
-        k.net.register_remote(addr.clone(), Box::new(|_| b"payload".to_vec()));
+        let addr = SockAddr::Inet {
+            host: "files.example".into(),
+            port: 80,
+        };
+        k.net
+            .register_remote(addr.clone(), Box::new(|_| b"payload".to_vec()));
         let fd = k.socket(pid, SockDomain::Inet).unwrap();
         k.connect(pid, fd, addr).unwrap();
         k.write(pid, fd, b"GET /").unwrap();
@@ -1165,7 +1358,14 @@ mod tests {
     fn unix_socket_bind_creates_node() {
         let (mut k, pid) = setup();
         let fd = k.socket(pid, SockDomain::Unix).unwrap();
-        k.bind(pid, fd, SockAddr::Unix { path: "/tmp/sock".into() }).unwrap();
+        k.bind(
+            pid,
+            fd,
+            SockAddr::Unix {
+                path: "/tmp/sock".into(),
+            },
+        )
+        .unwrap();
         let n = k.fs.resolve_abs("/tmp/sock").unwrap();
         assert_eq!(k.fs.node(n).unwrap().file_type(), FileType::Socket);
     }
@@ -1173,8 +1373,22 @@ mod tests {
     #[test]
     fn fsize_ulimit_enforced() {
         let (mut k, pid) = setup();
-        k.set_ulimits(pid, crate::types::Ulimits { max_file_size: 4, ..Default::default() }).unwrap();
-        let fd = k.open(pid, "/tmp/big", OpenFlags::creat_trunc_w(), Mode::FILE_DEFAULT).unwrap();
+        k.set_ulimits(
+            pid,
+            crate::types::Ulimits {
+                max_file_size: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fd = k
+            .open(
+                pid,
+                "/tmp/big",
+                OpenFlags::creat_trunc_w(),
+                Mode::FILE_DEFAULT,
+            )
+            .unwrap();
         assert_eq!(k.write(pid, fd, b"abcd").unwrap(), 4);
         assert_eq!(k.write(pid, fd, b"e").unwrap_err(), Errno::EFBIG);
     }
@@ -1182,13 +1396,26 @@ mod tests {
     #[test]
     fn symlink_resolution_through_open() {
         let (mut k, pid) = setup();
-        k.fs.put_file("/data/real.txt", b"real", Mode::FILE_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        k.symlinkat(pid, "/data/real.txt", None, "/tmp/link").unwrap();
-        let fd = k.open(pid, "/tmp/link", OpenFlags::RDONLY, Mode(0)).unwrap();
+        k.fs.put_file(
+            "/data/real.txt",
+            b"real",
+            Mode::FILE_DEFAULT,
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.symlinkat(pid, "/data/real.txt", None, "/tmp/link")
+            .unwrap();
+        let fd = k
+            .open(pid, "/tmp/link", OpenFlags::RDONLY, Mode(0))
+            .unwrap();
         assert_eq!(k.read(pid, fd, 10).unwrap(), b"real");
         // nofollow refuses the trailing symlink.
         let mut fl = OpenFlags::RDONLY;
         fl.nofollow = true;
-        assert_eq!(k.open(pid, "/tmp/link", fl, Mode(0)).unwrap_err(), Errno::ELOOP);
+        assert_eq!(
+            k.open(pid, "/tmp/link", fl, Mode(0)).unwrap_err(),
+            Errno::ELOOP
+        );
     }
 }

@@ -111,23 +111,43 @@ impl OpenFlags {
     };
 
     pub fn rdwr() -> OpenFlags {
-        OpenFlags { read: true, write: true, ..Default::default() }
+        OpenFlags {
+            read: true,
+            write: true,
+            ..Default::default()
+        }
     }
 
     pub fn wronly() -> OpenFlags {
-        OpenFlags { write: true, ..Default::default() }
+        OpenFlags {
+            write: true,
+            ..Default::default()
+        }
     }
 
     pub fn creat_trunc_w() -> OpenFlags {
-        OpenFlags { write: true, create: true, truncate: true, ..Default::default() }
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..Default::default()
+        }
     }
 
     pub fn append_only() -> OpenFlags {
-        OpenFlags { write: true, append: true, ..Default::default() }
+        OpenFlags {
+            write: true,
+            append: true,
+            ..Default::default()
+        }
     }
 
     pub fn dir() -> OpenFlags {
-        OpenFlags { read: true, directory: true, ..Default::default() }
+        OpenFlags {
+            read: true,
+            directory: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -170,9 +190,14 @@ mod tests {
 
     #[test]
     fn sockaddr_display() {
-        let a = SockAddr::Inet { host: "mirror.gnu.org".into(), port: 80 };
+        let a = SockAddr::Inet {
+            host: "mirror.gnu.org".into(),
+            port: 80,
+        };
         assert_eq!(a.to_string(), "mirror.gnu.org:80");
-        let u = SockAddr::Unix { path: "/tmp/s".into() };
+        let u = SockAddr::Unix {
+            path: "/tmp/s".into(),
+        };
         assert_eq!(u.to_string(), "unix:/tmp/s");
     }
 

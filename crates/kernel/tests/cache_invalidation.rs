@@ -1,0 +1,431 @@
+//! Invalidation-correctness tests for the resolution fast path: the
+//! directory-entry cache (dcache) and the MAC access-vector cache (AVC).
+//!
+//! The security property under test: enabling the caches must never change
+//! the *outcome* of any operation — only how much work it takes.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use shill_kernel::{
+    Kernel, MacCtx, MacPolicy, NullPolicy, OpenFlags, Pid, VnodeOp, SYSCTL_AVC, SYSCTL_DCACHE,
+};
+use shill_vfs::{Cred, Errno, Gid, Mode, NodeId, SysResult, Uid};
+
+fn setup() -> (Kernel, Pid) {
+    let mut k = Kernel::new();
+    let pid = k.spawn_user(Cred::ROOT);
+    (k, pid)
+}
+
+// --- dcache invalidation ----------------------------------------------------
+
+#[test]
+fn unlink_invalidates_dcache_entry() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/a/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    // Warm the cache.
+    let st1 = k.fstatat(pid, None, "/a/f", true).unwrap();
+    k.unlinkat(pid, None, "/a/f", false).unwrap();
+    assert_eq!(
+        k.fstatat(pid, None, "/a/f", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    // Re-create under the same name: the walker must see the *new* node.
+    k.fs.put_file("/a/f", b"y", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let st2 = k.fstatat(pid, None, "/a/f", true).unwrap();
+    assert_ne!(
+        st1.node, st2.node,
+        "stale dcache entry resolved to the old node"
+    );
+}
+
+#[test]
+fn rename_invalidates_both_directories() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/src/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.mkdir_p("/dst", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let before = k.fstatat(pid, None, "/src/f", true).unwrap();
+    k.renameat(pid, None, "/src/f", None, "/dst/g").unwrap();
+    assert_eq!(
+        k.fstatat(pid, None, "/src/f", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    let after = k.fstatat(pid, None, "/dst/g", true).unwrap();
+    assert_eq!(before.node, after.node);
+    // A different file renamed over a warm destination entry must win.
+    k.fs.put_file("/src/h", b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let h = k.fstatat(pid, None, "/src/h", true).unwrap();
+    k.renameat(pid, None, "/src/h", None, "/dst/g").unwrap();
+    assert_eq!(k.fstatat(pid, None, "/dst/g", true).unwrap().node, h.node);
+}
+
+#[test]
+fn rmdir_invalidates_dcache_entry() {
+    let (mut k, pid) = setup();
+    k.fs.mkdir_p("/top/sub", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fstatat(pid, None, "/top/sub", true).unwrap(); // warm
+    k.unlinkat(pid, None, "/top/sub", true).unwrap();
+    assert_eq!(
+        k.fstatat(pid, None, "/top/sub", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    // Recreate: fresh node, fresh entry.
+    k.fs.mkdir_p("/top/sub", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    assert!(k.fstatat(pid, None, "/top/sub", true).is_ok());
+}
+
+#[test]
+fn symlink_creation_invalidates_parent() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/real", b"r", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    assert_eq!(
+        k.fstatat(pid, None, "/tmp/link", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    k.symlinkat(pid, "/real", None, "/tmp/link").unwrap();
+    assert!(k.fstatat(pid, None, "/tmp/link", true).is_ok());
+}
+
+#[test]
+fn dcache_counters_move_and_sysctl_toggles() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/w/x/y/leaf", b"d", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.stats.reset();
+    for _ in 0..10 {
+        k.fstatat(pid, None, "/w/x/y/leaf", true).unwrap();
+    }
+    let warm = k.stats.snapshot();
+    assert!(warm.dcache_hits > 0, "repeated walks must hit the dcache");
+    assert!(
+        warm.dir_scans < warm.lookups,
+        "directory scans ({}) should be fewer than components walked ({})",
+        warm.dir_scans,
+        warm.lookups
+    );
+    // Toggle off via sysctl: every component scans again.
+    k.sysctl_write(pid, SYSCTL_DCACHE, "0").unwrap();
+    k.stats.reset();
+    for _ in 0..10 {
+        k.fstatat(pid, None, "/w/x/y/leaf", true).unwrap();
+    }
+    let cold = k.stats.snapshot();
+    assert_eq!(cold.dcache_hits, 0);
+    assert_eq!(cold.dir_scans, cold.lookups);
+    assert!(!k.cache_enabled().0);
+    k.sysctl_write(pid, SYSCTL_DCACHE, "1").unwrap();
+    assert!(k.cache_enabled().0);
+}
+
+// --- symlink hop limit is cache-invariant ------------------------------------
+
+fn symlink_outcomes(k: &mut Kernel, pid: Pid) -> Vec<Result<Vec<u8>, Errno>> {
+    let mut out = Vec::new();
+    // A loop must ELOOP; a long-but-legal chain must resolve.
+    out.push(
+        k.open(pid, "/loop/a", OpenFlags::RDONLY, Mode(0))
+            .and_then(|fd| {
+                let r = k.read(pid, fd, 16);
+                let _ = k.close(pid, fd);
+                r
+            }),
+    );
+    out.push(
+        k.open(pid, "/chain/l0", OpenFlags::RDONLY, Mode(0))
+            .and_then(|fd| {
+                let r = k.read(pid, fd, 16);
+                let _ = k.close(pid, fd);
+                r
+            }),
+    );
+    out.push(
+        k.open(pid, "/deep33", OpenFlags::RDONLY, Mode(0))
+            .and_then(|fd| {
+                let r = k.read(pid, fd, 16);
+                let _ = k.close(pid, fd);
+                r
+            }),
+    );
+    out
+}
+
+/// Build: a two-link loop, a 20-hop chain to a real file, and a 33-hop chain
+/// that exceeds MAX_SYMLINK_HOPS (32).
+fn build_symlink_workload(k: &mut Kernel, pid: Pid) {
+    k.fs.mkdir_p("/loop", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.symlinkat(pid, "/loop/b", None, "/loop/a").unwrap();
+    k.symlinkat(pid, "/loop/a", None, "/loop/b").unwrap();
+    k.fs.mkdir_p("/chain", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.put_file(
+        "/chain/target",
+        b"chained",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    for i in (0..20).rev() {
+        let next = if i == 19 {
+            "/chain/target".to_string()
+        } else {
+            format!("/chain/l{}", i + 1)
+        };
+        k.symlinkat(pid, &next, None, &format!("/chain/l{i}"))
+            .unwrap();
+    }
+    // 33 hops: d0 → d1 → ... → d33 (file); traversal needs 33 link reads.
+    k.fs.put_file("/d33", b"too deep", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    for i in (0..33).rev() {
+        let next = if i == 32 {
+            "/d33".to_string()
+        } else {
+            format!("/d{}", i + 1)
+        };
+        k.symlinkat(pid, &next, None, &format!("/d{i}")).unwrap();
+    }
+    // Entry point named distinctly from the numbered chain.
+    k.symlinkat(pid, "/d0", None, "/deep33").unwrap();
+}
+
+#[test]
+fn symlink_hop_limit_identical_with_and_without_caches() {
+    let (mut k, pid) = setup();
+    build_symlink_workload(&mut k, pid);
+
+    k.set_cache_enabled(true, true);
+    let cached_cold = symlink_outcomes(&mut k, pid);
+    let cached_warm = symlink_outcomes(&mut k, pid); // warm dcache this time
+    k.set_cache_enabled(false, false);
+    let uncached = symlink_outcomes(&mut k, pid);
+
+    assert_eq!(
+        cached_cold, uncached,
+        "cold cached run diverged from uncached"
+    );
+    assert_eq!(
+        cached_warm, uncached,
+        "warm cached run diverged from uncached"
+    );
+    assert_eq!(
+        uncached[0],
+        Err(Errno::ELOOP),
+        "loop must ELOOP in all modes"
+    );
+    assert_eq!(uncached[1], Ok(b"chained".to_vec()));
+    assert_eq!(
+        uncached[2],
+        Err(Errno::ELOOP),
+        "34 hops exceed the 32-hop budget"
+    );
+}
+
+// --- AVC ---------------------------------------------------------------------
+
+/// A cacheable test policy with an explicit deny set and a manually bumped
+/// epoch — lets us exercise the kernel/policy epoch protocol without the
+/// full SHILL sandbox.
+#[derive(Default)]
+struct TogglePolicy {
+    denied: RefCell<HashSet<NodeId>>,
+    epoch: std::cell::Cell<u64>,
+}
+
+// Safety: the simulated kernel is single-threaded by construction; the
+// production policy (ShillPolicy) uses a real mutex instead.
+unsafe impl Sync for TogglePolicy {}
+
+impl TogglePolicy {
+    fn deny(&self, node: NodeId) {
+        self.denied.borrow_mut().insert(node);
+        // Authority shrank: honor the cache-epoch contract.
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    fn allow(&self, node: NodeId) {
+        // Authority only grows: no bump required.
+        self.denied.borrow_mut().remove(&node);
+    }
+}
+
+impl MacPolicy for TogglePolicy {
+    fn name(&self) -> &str {
+        "toggle"
+    }
+
+    fn decisions_cacheable(&self) -> bool {
+        true
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    fn vnode_check(&self, _ctx: MacCtx, node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
+        if self.denied.borrow().contains(&node) {
+            Err(Errno::EACCES)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn avc_caches_allows_and_respects_policy_epoch() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/data/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let node = k.fs.resolve_abs("/data/f").unwrap();
+    let policy = Arc::new(TogglePolicy::default());
+    k.register_policy(policy.clone());
+
+    k.stats.reset();
+    let fd = k.open(pid, "/data/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    for _ in 0..20 {
+        k.read(pid, fd, 1).unwrap();
+    }
+    let warm = k.stats.snapshot();
+    assert!(
+        warm.avc_hits >= 19,
+        "repeat reads must be AVC hits, got {}",
+        warm.avc_hits
+    );
+
+    // Revoke: the policy denies the node and bumps its epoch; the very next
+    // read must reach the policy and fail despite the warm cache.
+    policy.deny(node);
+    assert_eq!(k.read(pid, fd, 1).unwrap_err(), Errno::EACCES);
+
+    // Re-allow (monotone growth, no bump needed): works again.
+    policy.allow(node);
+    assert!(k.read(pid, fd, 1).is_ok());
+}
+
+#[test]
+fn policy_attach_flushes_avc() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/data/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let node = k.fs.resolve_abs("/data/f").unwrap();
+    k.register_policy(Arc::new(NullPolicy));
+    let fd = k.open(pid, "/data/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    k.read(pid, fd, 1).unwrap(); // warm allow under NullPolicy alone
+    assert!(k.avc().entry_count() > 0);
+
+    // Attach a denying policy: the stale allow must not short-circuit it.
+    let toggle = Arc::new(TogglePolicy::default());
+    toggle.deny(node);
+    k.register_policy(toggle);
+    assert_eq!(k.read(pid, fd, 1).unwrap_err(), Errno::EACCES);
+}
+
+#[test]
+fn policy_detach_flushes_avc_and_uncacheable_policy_disables_it() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/data/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+
+    /// Default-cacheability check: a policy that does not opt in.
+    struct Opaque;
+    impl MacPolicy for Opaque {
+        fn name(&self) -> &str {
+            "opaque"
+        }
+    }
+
+    k.register_policy(Arc::new(NullPolicy));
+    k.register_policy(Arc::new(Opaque));
+    k.stats.reset();
+    let fd = k.open(pid, "/data/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    for _ in 0..5 {
+        k.read(pid, fd, 1).unwrap();
+    }
+    let snap = k.stats.snapshot();
+    assert_eq!(
+        snap.avc_hits, 0,
+        "an uncacheable policy must disable the AVC"
+    );
+    assert_eq!(snap.avc_misses, 0);
+
+    // Detach it: caching resumes (and the flush counter moved).
+    assert!(k.unregister_policy("opaque"));
+    k.stats.reset();
+    for _ in 0..5 {
+        k.read(pid, fd, 1).unwrap();
+    }
+    assert!(k.stats.snapshot().avc_hits > 0);
+}
+
+#[test]
+fn process_exit_drops_subject_entries() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/data/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.register_policy(Arc::new(NullPolicy));
+    let fd = k.open(pid, "/data/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    k.read(pid, fd, 1).unwrap();
+    assert!(k.avc().entry_count() > 0);
+    k.exit(pid, 0);
+    assert_eq!(
+        k.avc().entry_count(),
+        0,
+        "exiting subject's verdicts must be dropped"
+    );
+}
+
+#[test]
+fn avc_sysctl_toggle() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/data/f", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.register_policy(Arc::new(NullPolicy));
+    k.sysctl_write(pid, SYSCTL_AVC, "0").unwrap();
+    assert!(!k.cache_enabled().1);
+    k.stats.reset();
+    let fd = k.open(pid, "/data/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    for _ in 0..5 {
+        k.read(pid, fd, 1).unwrap();
+    }
+    let snap = k.stats.snapshot();
+    assert_eq!(snap.avc_hits, 0);
+    assert!(
+        snap.mac_vnode_checks >= 5,
+        "with the AVC off every check reaches the policy"
+    );
+    k.sysctl_write(pid, SYSCTL_AVC, "1").unwrap();
+    assert!(k.cache_enabled().1);
+}
+
+#[test]
+fn cache_sysctls_reject_malformed_values() {
+    let (mut k, pid) = setup();
+    for bad in ["off", "false", "banana", "", "2"] {
+        assert_eq!(
+            k.sysctl_write(pid, SYSCTL_AVC, bad).unwrap_err(),
+            Errno::EINVAL,
+            "value {bad:?} must be rejected"
+        );
+        assert_eq!(
+            k.sysctl_write(pid, SYSCTL_DCACHE, bad).unwrap_err(),
+            Errno::EINVAL
+        );
+    }
+    // A failed write changes neither the cache state nor the stored knob.
+    assert_eq!(k.cache_enabled(), (true, true));
+    assert_eq!(k.sysctl_read(pid, SYSCTL_AVC).unwrap(), "1");
+    // Whitespace-tolerant well-formed values still work.
+    k.sysctl_write(pid, SYSCTL_AVC, " 0 ").unwrap();
+    assert!(!k.cache_enabled().1);
+}

@@ -22,7 +22,10 @@ pub struct Grant {
 
 impl Grant {
     pub fn vnode(node: NodeId, privs: CapPrivs) -> Grant {
-        Grant { obj: ObjId::Vnode(node), privs: Arc::new(privs) }
+        Grant {
+            obj: ObjId::Vnode(node),
+            privs: Arc::new(privs),
+        }
     }
 }
 
@@ -92,16 +95,28 @@ pub fn setup_sandbox(
     // stdout = out)` in the paper): wire them into fds 0-2 *and* grant the
     // backing kernel object to the session with the matching privileges.
     let stdio = [
-        (spec.stdin, Fd::STDIN, PrivSet::of(&[shill_cap::Priv::Read, shill_cap::Priv::Stat])),
+        (
+            spec.stdin,
+            Fd::STDIN,
+            PrivSet::of(&[shill_cap::Priv::Read, shill_cap::Priv::Stat]),
+        ),
         (
             spec.stdout,
             Fd::STDOUT,
-            PrivSet::of(&[shill_cap::Priv::Write, shill_cap::Priv::Append, shill_cap::Priv::Stat]),
+            PrivSet::of(&[
+                shill_cap::Priv::Write,
+                shill_cap::Priv::Append,
+                shill_cap::Priv::Stat,
+            ]),
         ),
         (
             spec.stderr,
             Fd::STDERR,
-            PrivSet::of(&[shill_cap::Priv::Write, shill_cap::Priv::Append, shill_cap::Priv::Stat]),
+            PrivSet::of(&[
+                shill_cap::Priv::Write,
+                shill_cap::Priv::Append,
+                shill_cap::Priv::Stat,
+            ]),
         ),
     ];
     for (src, dst, privs) in stdio {
@@ -173,9 +188,14 @@ mod tests {
                 0
             }),
         );
-        k.fs
-            .put_file("/bin/minicat", b"#!SIMBIN minicat\n", Mode(0o755), Uid::ROOT, Gid::WHEEL)
-            .unwrap();
+        k.fs.put_file(
+            "/bin/minicat",
+            b"#!SIMBIN minicat\n",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
     }
 
     fn full(privs: &[Priv]) -> CapPrivs {
@@ -188,8 +208,22 @@ mod tests {
         let policy = ShillPolicy::new();
         k.register_policy(policy.clone());
         register_catlike(&mut k);
-        k.fs.put_file("/data/ok.txt", b"granted", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/data/secret.txt", b"secret", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/data/ok.txt",
+            b"granted",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fs.put_file(
+            "/data/secret.txt",
+            b"secret",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         let user = k.spawn_user(Cred::user(100));
         let (pr, pw) = k.pipe(user).unwrap();
 
@@ -209,9 +243,15 @@ mod tests {
             stdout: Some(pw),
             ..Default::default()
         };
-        let status =
-            run_sandboxed(&mut k, &policy, user, bin, &["minicat".into(), "/data/ok.txt".into()], &spec)
-                .unwrap();
+        let status = run_sandboxed(
+            &mut k,
+            &policy,
+            user,
+            bin,
+            &["minicat".into(), "/data/ok.txt".into()],
+            &spec,
+        )
+        .unwrap();
         assert_eq!(status, 0);
         assert_eq!(k.read(user, pr, 100).unwrap(), b"granted");
 
@@ -262,8 +302,16 @@ mod tests {
         let mut k = Kernel::new();
         let policy = ShillPolicy::new();
         k.register_policy(policy.clone());
-        k.fs.mkdir_p("/home/bob", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL).unwrap();
-        k.fs.put_file("/home/alice/dog.jpg", b"JPG", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.mkdir_p("/home/bob", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        k.fs.put_file(
+            "/home/alice/dog.jpg",
+            b"JPG",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         k.register_exec(
             "opener",
             Arc::new(|k: &mut Kernel, pid: Pid, _argv: &[String]| {
@@ -277,7 +325,14 @@ mod tests {
                 }
             }),
         );
-        k.fs.put_file("/bin/opener", b"#!SIMBIN opener\n", Mode(0o755), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file(
+            "/bin/opener",
+            b"#!SIMBIN opener\n",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
 
         let user = k.spawn_user(Cred::user(100));
         let bin = k.fs.resolve_abs("/bin/opener").unwrap();
@@ -285,17 +340,17 @@ mod tests {
         let bob = k.fs.resolve_abs("/home/bob").unwrap();
         let home = k.fs.resolve_abs("/home").unwrap();
 
-        let lookup_with_read = CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
-            Priv::Lookup,
-            CapPrivs::of(PrivSet::of(&[Priv::Read])),
-        );
+        let lookup_with_read = CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
+            .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Read])));
 
         // Left panel: privileges on /home/alice and /home/bob but NOT /home.
         let run = |k: &mut Kernel, grants: Vec<Grant>| -> i32 {
             let child = k.fork(user).unwrap();
             let session = policy.shill_init(child).unwrap();
             for g in &grants {
-                policy.shill_grant(user, session, g.obj, Arc::clone(&g.privs)).unwrap();
+                policy
+                    .shill_grant(user, session, g.obj, Arc::clone(&g.privs))
+                    .unwrap();
             }
             k.chdir(child, "/home/bob").unwrap();
             policy.shill_enter(child).unwrap();
@@ -312,7 +367,10 @@ mod tests {
                 Grant::vnode(bob, full(&[Priv::Lookup])),
             ],
         );
-        assert_eq!(left, 13, "without +lookup on /home the open fails with EACCES");
+        assert_eq!(
+            left, 13,
+            "without +lookup on /home the open fails with EACCES"
+        );
 
         // Right panel: additionally +lookup on /home → succeeds, and the
         // +read propagates to dog.jpg through /home/alice's modifier.
@@ -343,8 +401,14 @@ mod tests {
                 }
             }),
         );
-        k.fs.put_file("/bin/unloader", b"#!SIMBIN unloader\n", Mode(0o755), Uid::ROOT, Gid::WHEEL)
-            .unwrap();
+        k.fs.put_file(
+            "/bin/unloader",
+            b"#!SIMBIN unloader\n",
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
         // Run as root inside the sandbox: even root-in-sandbox is denied.
         let user = k.spawn_user(Cred::ROOT);
         let bin = k.fs.resolve_abs("/bin/unloader").unwrap();
@@ -352,7 +416,8 @@ mod tests {
             grants: vec![Grant::vnode(bin, full(&[Priv::Exec, Priv::Read]))],
             ..Default::default()
         };
-        let status = run_sandboxed(&mut k, &policy, user, bin, &["unloader".into()], &spec).unwrap();
+        let status =
+            run_sandboxed(&mut k, &policy, user, bin, &["unloader".into()], &spec).unwrap();
         assert_eq!(status, 13);
         assert!(k.has_policy("shill"), "policy must survive the attempt");
     }

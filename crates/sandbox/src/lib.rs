@@ -17,6 +17,7 @@ pub mod log;
 pub mod policy;
 pub mod policyfile;
 pub mod session;
+pub mod sync;
 
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
 pub use log::{LogEvent, SandboxLog};

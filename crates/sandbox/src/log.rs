@@ -22,13 +22,38 @@ pub enum LogEvent {
         propagated: bool,
     },
     /// An operation denied for insufficient privileges.
-    Denied { session: SessionId, pid: Pid, obj: ObjId, needed: Priv },
+    Denied {
+        session: SessionId,
+        pid: Pid,
+        obj: ObjId,
+        needed: Priv,
+    },
     /// Debug mode auto-granted a privilege that would have been denied.
-    DebugAutoGrant { session: SessionId, pid: Pid, obj: ObjId, granted: Priv },
+    DebugAutoGrant {
+        session: SessionId,
+        pid: Pid,
+        obj: ObjId,
+        granted: Priv,
+    },
     /// Session lifecycle markers.
-    SessionCreated { session: SessionId, parent: Option<SessionId> },
-    SessionEntered { session: SessionId },
-    SessionReclaimed { session: SessionId, labels_scrubbed: usize },
+    SessionCreated {
+        session: SessionId,
+        parent: Option<SessionId>,
+    },
+    SessionEntered {
+        session: SessionId,
+    },
+    SessionReclaimed {
+        session: SessionId,
+        labels_scrubbed: usize,
+    },
+    /// An authority-shrinking event bumped the policy's cache epoch,
+    /// invalidating the kernel's access-vector cache (`session` is the one
+    /// whose enter/reclaim triggered it).
+    CacheEpochBump {
+        session: SessionId,
+        epoch: u64,
+    },
 }
 
 /// Append-only event log, viewable by privileged users.
@@ -77,6 +102,15 @@ impl SandboxLog {
             .filter(|e| matches!(e, LogEvent::DebugAutoGrant { session: s, .. } if *s == session))
             .collect()
     }
+
+    /// Cache-epoch bumps recorded so far (verbose logging only): how often
+    /// session lifecycle events invalidated the kernel's AVC.
+    pub fn epoch_bumps(&self) -> Vec<&LogEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::CacheEpochBump { .. }))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +121,9 @@ mod tests {
     #[test]
     fn disabled_log_keeps_denials_only() {
         let mut log = SandboxLog::default();
-        log.push(LogEvent::SessionEntered { session: SessionId(1) });
+        log.push(LogEvent::SessionEntered {
+            session: SessionId(1),
+        });
         assert!(log.events().is_empty());
         log.push_always(LogEvent::Denied {
             session: SessionId(1),
@@ -102,9 +138,17 @@ mod tests {
 
     #[test]
     fn enabled_log_keeps_everything() {
-        let mut log = SandboxLog { enabled: true, ..Default::default() };
-        log.push(LogEvent::SessionCreated { session: SessionId(1), parent: None });
-        log.push(LogEvent::SessionEntered { session: SessionId(1) });
+        let mut log = SandboxLog {
+            enabled: true,
+            ..Default::default()
+        };
+        log.push(LogEvent::SessionCreated {
+            session: SessionId(1),
+            parent: None,
+        });
+        log.push(LogEvent::SessionEntered {
+            session: SessionId(1),
+        });
         assert_eq!(log.events().len(), 2);
         log.clear();
         assert!(log.events().is_empty());

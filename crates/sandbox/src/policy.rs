@@ -18,13 +18,14 @@
 //! (§3.2.3), because the framework has one write entry point.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use shill_cap::{pipe_op_priv, socket_op_priv, vnode_op_priv, CapPrivs, Priv, PrivSet};
-use shill_kernel::{MacCtx, MacPolicy, ObjId, Pid, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 use shill_kernel::SockDomain;
+use shill_kernel::{MacCtx, MacPolicy, ObjId, Pid, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 use shill_vfs::{Errno, FileType, NodeId, SysResult};
 
 use crate::log::{LogEvent, SandboxLog};
@@ -41,6 +42,10 @@ pub struct PolicyStats {
     /// Label entries scrubbed during session reclamation (the cleanup cost
     /// the paper attributes Find's overhead to).
     pub scrubbed: u64,
+    /// Cache-epoch bumps: authority-shrinking events (session enter,
+    /// session reclamation) that invalidated the kernel's access-vector
+    /// cache.
+    pub epoch_bumps: u64,
 }
 
 #[derive(Default)]
@@ -101,7 +106,13 @@ impl State {
 
     /// Check a privilege against an object label, applying debug-mode
     /// auto-grant. Returns `Ok` or logs + returns `EACCES`.
-    fn check_priv(&mut self, pid: Pid, session: SessionId, obj: ObjId, needed: Priv) -> SysResult<()> {
+    fn check_priv(
+        &mut self,
+        pid: Pid,
+        session: SessionId,
+        obj: ObjId,
+        needed: Priv,
+    ) -> SysResult<()> {
         self.stats.checks += 1;
         let allowed = self
             .privs_on(session, obj)
@@ -110,7 +121,11 @@ impl State {
         if allowed {
             return Ok(());
         }
-        let debug = self.sessions.get(&session).map(|s| s.debug).unwrap_or(false);
+        let debug = self
+            .sessions
+            .get(&session)
+            .map(|s| s.debug)
+            .unwrap_or(false);
         if debug {
             // §3.2.2: debugging mode "automatically grants the necessary
             // privileges if an operation would fail".
@@ -120,13 +135,29 @@ impl State {
                 .unwrap_or_else(CapPrivs::none);
             let mut privs = base.privs;
             privs.insert(needed);
-            let upgraded = Arc::new(CapPrivs { privs, modifiers: base.modifiers });
-            self.labels.entry(obj).or_default().insert(session, upgraded);
-            self.log.push_always(LogEvent::DebugAutoGrant { session, pid, obj, granted: needed });
+            let upgraded = Arc::new(CapPrivs {
+                privs,
+                modifiers: base.modifiers,
+            });
+            self.labels
+                .entry(obj)
+                .or_default()
+                .insert(session, upgraded);
+            self.log.push_always(LogEvent::DebugAutoGrant {
+                session,
+                pid,
+                obj,
+                granted: needed,
+            });
             return Ok(());
         }
         self.stats.denials += 1;
-        self.log.push_always(LogEvent::Denied { session, pid, obj, needed });
+        self.log.push_always(LogEvent::Denied {
+            session,
+            pid,
+            obj,
+            needed,
+        });
         Err(Errno::EACCES)
     }
 }
@@ -138,11 +169,25 @@ impl State {
 #[derive(Default)]
 pub struct ShillPolicy {
     state: Mutex<State>,
+    /// Cache epoch for the kernel's access-vector cache: bumped whenever
+    /// this policy's authority can *shrink* (a session being entered turns
+    /// permissive verdicts restrictive; a session being reclaimed scrubs
+    /// labels). Kept outside the state lock so the kernel's hot path reads
+    /// it without contention.
+    epoch: AtomicU64,
 }
 
 impl ShillPolicy {
     pub fn new() -> Arc<ShillPolicy> {
         Arc::new(ShillPolicy::default())
+    }
+
+    /// Invalidate every AVC verdict cached against this policy and record
+    /// the bump in stats and (verbose) audit log.
+    fn bump_epoch(&self, st: &mut State, session: SessionId) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        st.stats.epoch_bumps += 1;
+        st.log.push(LogEvent::CacheEpochBump { session, epoch });
     }
 
     // --- the module's system calls (§3.2.1) -------------------------------
@@ -158,7 +203,10 @@ impl ShillPolicy {
         st.sessions.insert(sid, Session::new(sid, parent));
         st.proc_session.insert(pid, sid);
         st.stats.sessions_created += 1;
-        st.log.push(LogEvent::SessionCreated { session: sid, parent });
+        st.log.push(LogEvent::SessionCreated {
+            session: sid,
+            parent,
+        });
         Ok(sid)
     }
 
@@ -180,7 +228,9 @@ impl ShillPolicy {
             }
         }
         if let Some(gsid) = st.entered_session(granter) {
-            let held = st.privs_on(gsid, obj).unwrap_or_else(|| Arc::new(CapPrivs::none()));
+            let held = st
+                .privs_on(gsid, obj)
+                .unwrap_or_else(|| Arc::new(CapPrivs::none()));
             if !privs.is_subset(&held) {
                 return Err(Errno::EACCES);
             }
@@ -188,7 +238,12 @@ impl ShillPolicy {
         let desc = privs.to_string();
         st.merge_label(session, obj, privs);
         st.stats.grants += 1;
-        st.log.push(LogEvent::Grant { session, obj, privs: desc, propagated: false });
+        st.log.push(LogEvent::Grant {
+            session,
+            obj,
+            privs: desc,
+            propagated: false,
+        });
         Ok(())
     }
 
@@ -201,7 +256,11 @@ impl ShillPolicy {
     ) -> SysResult<()> {
         let mut st = self.state.lock();
         if let Some(gsid) = st.entered_session(granter) {
-            let held = st.sessions.get(&gsid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+            let held = st
+                .sessions
+                .get(&gsid)
+                .map(|s| s.socket_privs)
+                .unwrap_or(PrivSet::EMPTY);
             if !privs.is_subset(&held) {
                 return Err(Errno::EACCES);
             }
@@ -237,6 +296,12 @@ impl ShillPolicy {
         }
         s.entered = true;
         st.log.push(LogEvent::SessionEntered { session: sid });
+        // Entering flips this session's processes from unrestricted to
+        // capability-checked: verdicts cached before the flip are void.
+        self.bump_epoch(&mut st, sid);
+        if let Some(s) = st.sessions.get_mut(&sid) {
+            s.entered_epoch = self.epoch.load(Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -288,9 +353,23 @@ impl MacPolicy for ShillPolicy {
         "shill"
     }
 
+    /// The SHILL policy opts into the kernel's access-vector cache: its
+    /// vnode verdicts depend only on (session-of-pid, vnode, privilege
+    /// class), and between epoch bumps authority only grows (privilege
+    /// propagation and debug auto-grants add entries, never remove them).
+    fn decisions_cacheable(&self) -> bool {
+        true
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
     fn vnode_check(&self, ctx: MacCtx, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return Ok(());
+        };
         let obj = ObjId::Vnode(node);
         let needed = vnode_op_priv(op);
         if needed == Priv::Write {
@@ -311,8 +390,12 @@ impl MacPolicy for ShillPolicy {
             return;
         }
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return };
-        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else { return };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return;
+        };
+        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+            return;
+        };
         if !parent_privs.allows(Priv::Lookup) {
             return;
         }
@@ -322,10 +405,21 @@ impl MacPolicy for ShillPolicy {
         }
     }
 
-    fn vnode_post_create(&self, ctx: MacCtx, dir: NodeId, _name: &str, child: NodeId, ftype: FileType) {
+    fn vnode_post_create(
+        &self,
+        ctx: MacCtx,
+        dir: NodeId,
+        _name: &str,
+        child: NodeId,
+        ftype: FileType,
+    ) {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return };
-        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else { return };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return;
+        };
+        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+            return;
+        };
         let via = match ftype {
             FileType::Directory => Priv::CreateDir,
             FileType::Symlink => Priv::CreateSymlink,
@@ -342,15 +436,23 @@ impl MacPolicy for ShillPolicy {
 
     fn pipe_post_create(&self, ctx: MacCtx, pipe: ObjId) {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return;
+        };
         // A pipe created inside the sandbox is fully usable by its session.
         st.merge_label(sid, pipe, Arc::new(CapPrivs::full()));
     }
 
     fn socket_post_create(&self, ctx: MacCtx, sock: ObjId) {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return };
-        let privs = st.sessions.get(&sid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return;
+        };
+        let privs = st
+            .sessions
+            .get(&sid)
+            .map(|s| s.socket_privs)
+            .unwrap_or(PrivSet::EMPTY);
         if !privs.is_empty() {
             st.merge_label(sid, sock, Arc::new(CapPrivs::of(privs)));
         }
@@ -358,7 +460,9 @@ impl MacPolicy for ShillPolicy {
 
     fn pipe_check(&self, ctx: MacCtx, pipe: ObjId, op: PipeOp) -> SysResult<()> {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return Ok(());
+        };
         let needed = pipe_op_priv(op);
         if needed == Priv::Write {
             st.check_priv(ctx.pid, sid, pipe, Priv::Write)?;
@@ -370,7 +474,9 @@ impl MacPolicy for ShillPolicy {
 
     fn socket_check(&self, ctx: MacCtx, sock: ObjId, op: &SocketOp) -> SysResult<()> {
         let mut st = self.state.lock();
-        let Some(sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return Ok(());
+        };
         if let SocketOp::Create(domain) = op {
             // Figure 7: "Sockets (other): Denied" — even with a factory.
             if *domain == SockDomain::Other {
@@ -378,7 +484,11 @@ impl MacPolicy for ShillPolicy {
                 return Err(Errno::EACCES);
             }
             // Session-scoped factory check.
-            let privs = st.sessions.get(&sid).map(|s| s.socket_privs).unwrap_or(PrivSet::EMPTY);
+            let privs = st
+                .sessions
+                .get(&sid)
+                .map(|s| s.socket_privs)
+                .unwrap_or(PrivSet::EMPTY);
             if privs.contains(Priv::SockCreate) {
                 return Ok(());
             }
@@ -396,7 +506,9 @@ impl MacPolicy for ShillPolicy {
 
     fn proc_check(&self, ctx: MacCtx, op: ProcOp) -> SysResult<()> {
         let mut st = self.state.lock();
-        let Some(actor) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let Some(actor) = st.entered_session(ctx.pid) else {
+            return Ok(());
+        };
         let target_pid = match op {
             ProcOp::Signal(t) | ProcOp::Wait(t) | ProcOp::Debug(t) => t,
         };
@@ -416,7 +528,9 @@ impl MacPolicy for ShillPolicy {
 
     fn system_check(&self, ctx: MacCtx, op: &SystemOp) -> SysResult<()> {
         let mut st = self.state.lock();
-        let Some(_sid) = st.entered_session(ctx.pid) else { return Ok(()) };
+        let Some(_sid) = st.entered_session(ctx.pid) else {
+            return Ok(());
+        };
         // Paper Figure 7: sysctl read-only; kenv, kernel modules, POSIX IPC
         // and System V IPC all denied.
         match op {
@@ -450,7 +564,9 @@ impl MacPolicy for ShillPolicy {
 
     fn proc_exit(&self, pid: Pid) {
         let mut st = self.state.lock();
-        let Some(sid) = st.proc_session.remove(&pid) else { return };
+        let Some(sid) = st.proc_session.remove(&pid) else {
+            return;
+        };
         let reclaim = match st.sessions.get_mut(&sid) {
             Some(s) => {
                 s.live_procs = s.live_procs.saturating_sub(1);
@@ -472,7 +588,13 @@ impl MacPolicy for ShillPolicy {
             });
             st.sessions.remove(&sid);
             st.stats.scrubbed += scrubbed as u64;
-            st.log.push(LogEvent::SessionReclaimed { session: sid, labels_scrubbed: scrubbed });
+            st.log.push(LogEvent::SessionReclaimed {
+                session: sid,
+                labels_scrubbed: scrubbed,
+            });
+            // Conservative: the scrub removed label entries, so nothing
+            // cached against this policy may survive it.
+            self.bump_epoch(&mut st, sid);
         }
     }
 }
@@ -483,7 +605,10 @@ mod tests {
     use shill_vfs::Cred;
 
     fn ctx(pid: u32) -> MacCtx {
-        MacCtx { pid: Pid(pid), cred: Cred::user(100) }
+        MacCtx {
+            pid: Pid(pid),
+            cred: Cred::user(100),
+        }
     }
 
     fn caps(privs: &[Priv]) -> Arc<CapPrivs> {
@@ -507,11 +632,20 @@ mod tests {
     fn entered_session_requires_privileges() {
         let p = ShillPolicy::new();
         let sid = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read]))
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         assert!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read).is_ok());
-        assert_eq!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Stat).unwrap_err(), Errno::EACCES);
-        assert_eq!(p.vnode_check(ctx(10), NodeId(6), &VnodeOp::Read).unwrap_err(), Errno::EACCES);
+        assert_eq!(
+            p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Stat)
+                .unwrap_err(),
+            Errno::EACCES
+        );
+        assert_eq!(
+            p.vnode_check(ctx(10), NodeId(6), &VnodeOp::Read)
+                .unwrap_err(),
+            Errno::EACCES
+        );
     }
 
     #[test]
@@ -520,7 +654,8 @@ mod tests {
         let sid = p.shill_init(Pid(10)).unwrap();
         p.shill_enter(Pid(10)).unwrap();
         assert_eq!(
-            p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap_err(),
+            p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read]))
+                .unwrap_err(),
             Errno::EINVAL
         );
     }
@@ -529,10 +664,15 @@ mod tests {
     fn write_requires_write_and_append() {
         let p = ShillPolicy::new();
         let sid = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write])).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write]))
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         // +write alone is insufficient in the sandbox (§3.2.3).
-        assert_eq!(p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Write).unwrap_err(), Errno::EACCES);
+        assert_eq!(
+            p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Write)
+                .unwrap_err(),
+            Errno::EACCES
+        );
     }
 
     #[test]
@@ -543,7 +683,8 @@ mod tests {
             CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
                 .with_modifier(Priv::Lookup, CapPrivs::of(PrivSet::of(&[Priv::Read]))),
         );
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), parent).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), parent)
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         p.vnode_post_lookup(ctx(10), NodeId(5), "dog.jpg", NodeId(9));
         let child = p.privs_on(sid, ObjId::Vnode(NodeId(9))).unwrap();
@@ -556,13 +697,22 @@ mod tests {
     fn dotdot_and_dot_do_not_propagate() {
         let p = ShillPolicy::new();
         let sid = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Lookup, Priv::Stat])).unwrap();
+        p.shill_grant(
+            Pid(1),
+            sid,
+            ObjId::Vnode(NodeId(5)),
+            caps(&[Priv::Lookup, Priv::Stat]),
+        )
+        .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         p.vnode_post_lookup(ctx(10), NodeId(5), "..", NodeId(4));
         p.vnode_post_lookup(ctx(10), NodeId(5), ".", NodeId(5));
         assert!(p.privs_on(sid, ObjId::Vnode(NodeId(4))).is_none());
         // "." must not amplify either; entry for 5 stays the explicit grant.
-        assert!(p.privs_on(sid, ObjId::Vnode(NodeId(5))).unwrap().allows(Priv::Stat));
+        assert!(p
+            .privs_on(sid, ObjId::Vnode(NodeId(5)))
+            .unwrap()
+            .allows(Priv::Stat));
     }
 
     #[test]
@@ -574,7 +724,8 @@ mod tests {
             Priv::CreateFile,
             CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path])),
         ));
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create)
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         // A lookup from a parent whose modifier would give conflicting
         // (write-capable) create privileges must NOT be merged in.
@@ -586,24 +737,30 @@ mod tests {
             CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
                 .with_modifier(Priv::Lookup, (*conflicting).clone()),
         );
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent).unwrap_err(); // entered: expected
-        // Re-create scenario without enter ordering problems:
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent)
+            .unwrap_err(); // entered: expected
+                           // Re-create scenario without enter ordering problems:
         let p = ShillPolicy::new();
         let sid = p.shill_init(Pid(10)).unwrap();
         let ro_create = Arc::new(CapPrivs::of(PrivSet::of(&[Priv::Lookup])).with_modifier(
             Priv::CreateFile,
             CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path])),
         ));
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create.clone()).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(7)), ro_create.clone())
+            .unwrap();
         let parent = Arc::new(
             CapPrivs::of(PrivSet::of(&[Priv::Lookup]))
                 .with_modifier(Priv::Lookup, (*conflicting).clone()),
         );
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), parent)
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         p.vnode_post_lookup(ctx(10), NodeId(6), "seven", NodeId(7));
         let entry = p.privs_on(sid, ObjId::Vnode(NodeId(7))).unwrap();
-        assert_eq!(&*entry, &*ro_create, "conflicting propagation must be refused");
+        assert_eq!(
+            &*entry, &*ro_create,
+            "conflicting propagation must be refused"
+        );
     }
 
     #[test]
@@ -611,8 +768,10 @@ mod tests {
         let p = ShillPolicy::new();
         p.proc_fork(Pid(1), Pid(10)); // no session yet: no-op
         let sid = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), caps(&[Priv::Read])).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read]))
+            .unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(6)), caps(&[Priv::Read]))
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         assert_eq!(p.label_entries(), 2);
         p.proc_exit(Pid(10));
@@ -624,7 +783,8 @@ mod tests {
     fn fork_joins_session_and_keeps_it_alive() {
         let p = ShillPolicy::new();
         let sid = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_grant(Pid(1), sid, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read]))
+            .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         p.proc_fork(Pid(10), Pid(11));
         assert_eq!(p.session_of(Pid(11)), Some(sid));
@@ -640,24 +800,39 @@ mod tests {
     fn hierarchical_attenuation() {
         let p = ShillPolicy::new();
         let s1 = p.shill_init(Pid(10)).unwrap();
-        p.shill_grant(Pid(1), s1, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read, Priv::Stat])).unwrap();
+        p.shill_grant(
+            Pid(1),
+            s1,
+            ObjId::Vnode(NodeId(5)),
+            caps(&[Priv::Read, Priv::Stat]),
+        )
+        .unwrap();
         p.shill_enter(Pid(10)).unwrap();
         // Pid 10 (sandboxed, SHILL-aware) spawns a child in a sub-session.
         p.proc_fork(Pid(10), Pid(11));
         let s2 = p.shill_init(Pid(11)).unwrap();
         // Attenuation: can grant ⊆ of what s1 holds...
-        p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read])).unwrap();
+        p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Read]))
+            .unwrap();
         // ...but not more.
         assert_eq!(
-            p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write])).unwrap_err(),
+            p.shill_grant(Pid(10), s2, ObjId::Vnode(NodeId(5)), caps(&[Priv::Write]))
+                .unwrap_err(),
             Errno::EACCES
         );
         p.shill_enter(Pid(11)).unwrap();
         assert!(p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Read).is_ok());
-        assert_eq!(p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Stat).unwrap_err(), Errno::EACCES);
+        assert_eq!(
+            p.vnode_check(ctx(11), NodeId(5), &VnodeOp::Stat)
+                .unwrap_err(),
+            Errno::EACCES
+        );
         // Signals: s2 descends from s1, so 10 can signal 11 but not vice versa.
         assert!(p.proc_check(ctx(10), ProcOp::Signal(Pid(11))).is_ok());
-        assert_eq!(p.proc_check(ctx(11), ProcOp::Signal(Pid(10))).unwrap_err(), Errno::EACCES);
+        assert_eq!(
+            p.proc_check(ctx(11), ProcOp::Signal(Pid(10))).unwrap_err(),
+            Errno::EACCES
+        );
     }
 
     #[test]
@@ -666,8 +841,14 @@ mod tests {
         let _sid = p.shill_init(Pid(10)).unwrap();
         p.shill_enter(Pid(10)).unwrap();
         // Unsandboxed pid 99 is outside every session.
-        assert_eq!(p.proc_check(ctx(10), ProcOp::Signal(Pid(99))).unwrap_err(), Errno::EACCES);
-        assert_eq!(p.proc_check(ctx(10), ProcOp::Debug(Pid(99))).unwrap_err(), Errno::EACCES);
+        assert_eq!(
+            p.proc_check(ctx(10), ProcOp::Signal(Pid(99))).unwrap_err(),
+            Errno::EACCES
+        );
+        assert_eq!(
+            p.proc_check(ctx(10), ProcOp::Debug(Pid(99))).unwrap_err(),
+            Errno::EACCES
+        );
         // The unsandboxed side is unrestricted (kernel DAC still applies).
         assert!(p.proc_check(ctx(99), ProcOp::Signal(Pid(10))).is_ok());
     }
@@ -679,29 +860,54 @@ mod tests {
         p.shill_enter(Pid(10)).unwrap();
         let create = SocketOp::Create(SockDomain::Inet);
         assert_eq!(
-            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create).unwrap_err(),
+            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create)
+                .unwrap_err(),
             Errno::EACCES
         );
         // With a factory: allowed, and new sockets get the factory privs.
         let p = ShillPolicy::new();
         let sid2 = p.shill_init(Pid(10)).unwrap();
         let _ = sid;
-        p.shill_grant_socket_factory(Pid(1), sid2, PrivSet::of(&[Priv::SockCreate, Priv::SockConnect, Priv::SockSend, Priv::SockRecv])).unwrap();
+        p.shill_grant_socket_factory(
+            Pid(1),
+            sid2,
+            PrivSet::of(&[
+                Priv::SockCreate,
+                Priv::SockConnect,
+                Priv::SockSend,
+                Priv::SockRecv,
+            ]),
+        )
+        .unwrap();
         p.shill_enter(Pid(10)).unwrap();
-        assert!(p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create).is_ok());
+        assert!(p
+            .socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &create)
+            .is_ok());
         p.socket_post_create(ctx(10), ObjId::Socket(shill_kernel::SockId(7)));
         assert!(p
-            .socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(7)), &SocketOp::Send)
+            .socket_check(
+                ctx(10),
+                ObjId::Socket(shill_kernel::SockId(7)),
+                &SocketOp::Send
+            )
             .is_ok());
         assert_eq!(
-            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(7)), &SocketOp::Listen)
-                .unwrap_err(),
+            p.socket_check(
+                ctx(10),
+                ObjId::Socket(shill_kernel::SockId(7)),
+                &SocketOp::Listen
+            )
+            .unwrap_err(),
             Errno::EACCES
         );
         // "Other" domains are denied even with a factory (Figure 7).
         assert_eq!(
-            p.socket_check(ctx(10), ObjId::Socket(shill_kernel::SockId(0)), &SocketOp::Create(SockDomain::Other))
-                .unwrap_err(),
+            p.socket_check(
+                ctx(10),
+                ObjId::Socket(shill_kernel::SockId(0)),
+                &SocketOp::Create(SockDomain::Other)
+            )
+            .unwrap_err(),
             Errno::EACCES
         );
     }
@@ -711,7 +917,9 @@ mod tests {
         let p = ShillPolicy::new();
         let _sid = p.shill_init(Pid(10)).unwrap();
         p.shill_enter(Pid(10)).unwrap();
-        assert!(p.system_check(ctx(10), &SystemOp::SysctlRead("kern.ostype".into())).is_ok());
+        assert!(p
+            .system_check(ctx(10), &SystemOp::SysctlRead("kern.ostype".into()))
+            .is_ok());
         for denied in [
             SystemOp::SysctlWrite("kern.x".into()),
             SystemOp::KernelEnv,
@@ -733,10 +941,16 @@ mod tests {
         let events = p.log_events();
         assert!(events.iter().any(|e| matches!(
             e,
-            LogEvent::DebugAutoGrant { granted: Priv::Read, .. }
+            LogEvent::DebugAutoGrant {
+                granted: Priv::Read,
+                ..
+            }
         )));
         // The grant persists for subsequent checks.
-        assert!(p.privs_on(sid, ObjId::Vnode(NodeId(5))).unwrap().allows(Priv::Read));
+        assert!(p
+            .privs_on(sid, ObjId::Vnode(NodeId(5)))
+            .unwrap()
+            .allows(Priv::Read));
     }
 
     #[test]
@@ -747,7 +961,9 @@ mod tests {
         let _ = p.vnode_check(ctx(10), NodeId(5), &VnodeOp::Read);
         let log = p.log_events();
         assert_eq!(log.len(), 1);
-        assert!(matches!(&log[0], LogEvent::Denied { needed: Priv::Read, session, .. } if *session == sid));
+        assert!(
+            matches!(&log[0], LogEvent::Denied { needed: Priv::Read, session, .. } if *session == sid)
+        );
         assert_eq!(p.stats().denials, 1);
     }
 }

@@ -66,12 +66,17 @@ fn parse_privs(tokens: &[&str], line: usize) -> Result<CapPrivs, ParseError> {
             if !p.derives() {
                 return Err(ParseError {
                     line,
-                    message: format!("privilege {p} does not derive capabilities; `with` is invalid"),
+                    message: format!(
+                        "privilege {p} does not derive capabilities; `with` is invalid"
+                    ),
                 });
             }
             let rest = tokens[i + 2..].join(" ");
             if !rest.starts_with('{') {
-                return Err(ParseError { line, message: "expected { after with".into() });
+                return Err(ParseError {
+                    line,
+                    message: "expected { after with".into(),
+                });
             }
             let close = rest.find('}').ok_or_else(|| ParseError {
                 line,
@@ -117,10 +122,16 @@ pub fn parse_policy(text: &str) -> Result<Vec<Rule>, ParseError> {
         match tokens[0] {
             "path" => {
                 if tokens.len() < 2 {
-                    return Err(ParseError { line: line_no, message: "path needs a pathname".into() });
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "path needs a pathname".into(),
+                    });
                 }
                 let privs = parse_privs(&tokens[2..], line_no)?;
-                rules.push(Rule::Path { path: tokens[1].to_string(), privs });
+                rules.push(Rule::Path {
+                    path: tokens[1].to_string(),
+                    privs,
+                });
             }
             "socket-factory" => {
                 let privs = parse_privs(&tokens[1..], line_no)?;
@@ -149,7 +160,10 @@ pub fn build_spec(k: &mut Kernel, pid: Pid, rules: &[Rule]) -> SysResult<Sandbox
             Rule::Path { path, privs } => {
                 let cap = RawCap::open_path(k, pid, path)?;
                 let node = cap.node.ok_or(Errno::EINVAL)?;
-                spec.grants.push(Grant { obj: ObjId::Vnode(node), privs: Arc::new(privs.clone()) });
+                spec.grants.push(Grant {
+                    obj: ObjId::Vnode(node),
+                    privs: Arc::new(privs.clone()),
+                });
             }
             Rule::SocketFactory { privs } => {
                 spec.socket_privs = spec.socket_privs.union(*privs);
@@ -210,7 +224,10 @@ mod tests {
         assert!(parse_policy("frobnicate /x").is_err());
         assert!(parse_policy("path /x read").is_err());
         assert!(parse_policy("path /x +no-such-priv").is_err());
-        assert!(parse_policy("path /x +read with {+stat}").is_err(), "+read does not derive");
+        assert!(
+            parse_policy("path /x +read with {+stat}").is_err(),
+            "+read does not derive"
+        );
         let err = parse_policy("path").unwrap_err();
         assert_eq!(err.line, 1);
     }
@@ -219,7 +236,8 @@ mod tests {
     fn build_spec_resolves_paths() {
         use shill_vfs::{Cred, Gid, Mode, Uid};
         let mut k = Kernel::new();
-        k.fs.put_file("/etc/x.conf", b"", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+        k.fs.put_file("/etc/x.conf", b"", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
         let pid = k.spawn_user(Cred::user(100));
         let rules = parse_policy("path /etc/x.conf +read\npipe-factory").unwrap();
         let spec = build_spec(&mut k, pid, &rules).unwrap();

@@ -43,6 +43,10 @@ pub struct Session {
     /// Live processes currently in the session; the session's labels are
     /// scrubbed when this reaches zero.
     pub live_procs: u32,
+    /// The policy's cache epoch as of `shill_enter` (0 until entered):
+    /// kernel AVC verdicts recorded before this epoch cannot apply to the
+    /// entered session. Diagnostics/log surface for the caching subsystem.
+    pub entered_epoch: u64,
 }
 
 impl Session {
@@ -55,6 +59,7 @@ impl Session {
             pipe_factory: false,
             debug: false,
             live_procs: 1,
+            entered_epoch: 0,
         }
     }
 }

@@ -1,0 +1,23 @@
+//! Minimal `parking_lot`-style mutex over `std::sync::Mutex`.
+//!
+//! The build environment has no network access to crates.io, so the policy
+//! module's lock is a thin wrapper that recovers from poisoning (a panicking
+//! test must not wedge every later check) and returns the guard directly.
+
+use std::sync::MutexGuard;
+
+#[derive(Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn group_class_applies_to_group_member() {
         let n = node(0o640, 100, 200);
-        let member = Cred { uid: Uid(300), gid: Gid(200) };
+        let member = Cred {
+            uid: Uid(300),
+            gid: Gid(200),
+        };
         assert!(check_access(&n, member, Access::Read));
         assert!(!check_access(&n, member, Access::Write));
     }

@@ -1,0 +1,251 @@
+//! Directory-entry cache (dcache) for the access-control fast path.
+//!
+//! Real kernels amortize `namei`'s per-component directory lookups with a
+//! name cache; this is the simulated analogue. Entries map `(parent
+//! directory, component name)` to the child node and are invalidated by
+//! *generation*: every directory carries a generation counter that any
+//! namespace mutation under it (create, link, unlink, rmdir, rename,
+//! symlink) bumps, so invalidation is O(1) per mutation and stale entries
+//! are dropped lazily on the next probe.
+//!
+//! Layering: the cache is owned by [`crate::Filesystem`] — mutation points
+//! bump generations as part of the structural operation — but it is
+//! *consulted* by the kernel's path walker, which still performs the DAC
+//! search check and the MAC lookup hook on every component. The cache only
+//! short-circuits the directory-entry scan, never an access-control
+//! decision.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use crate::types::NodeId;
+
+/// Soft bound on cached directories; exceeding it evicts stale generations
+/// first and falls back to a full purge (the workloads here never churn
+/// enough live directories for precision eviction to matter).
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Cached entries for one directory at one generation.
+#[derive(Debug, Default)]
+struct DirEntries {
+    gen: u64,
+    names: HashMap<String, NodeId>,
+}
+
+/// Observability counters. Hits/misses are counted only while the cache is
+/// enabled; `invalidations` counts generation bumps (mutations), which are
+/// tracked even while disabled so a re-enable never sees stale state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DcacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub purges: u64,
+}
+
+/// The name-lookup cache. Interior-mutable (`Cell`/`RefCell`) because the
+/// path walker probes it through `&Filesystem`.
+#[derive(Debug)]
+pub struct Dcache {
+    dirs: RefCell<HashMap<NodeId, DirEntries>>,
+    /// Per-directory generation counters; bumped on every namespace
+    /// mutation in that directory. Missing means generation 0.
+    gens: RefCell<HashMap<NodeId, u64>>,
+    enabled: Cell<bool>,
+    capacity: usize,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    invalidations: Cell<u64>,
+    purges: Cell<u64>,
+}
+
+impl Default for Dcache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dcache {
+    pub fn new() -> Dcache {
+        Dcache {
+            dirs: RefCell::new(HashMap::new()),
+            gens: RefCell::new(HashMap::new()),
+            enabled: Cell::new(true),
+            capacity: DEFAULT_CAPACITY,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            invalidations: Cell::new(0),
+            purges: Cell::new(0),
+        }
+    }
+
+    /// Whether lookups consult the cache (the `security.cache.dcache`
+    /// sysctl; ablation benches toggle this).
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Enable or disable the cache. Disabling purges all entries so a later
+    /// re-enable starts cold rather than stale.
+    pub fn set_enabled(&self, enabled: bool) {
+        if self.enabled.get() && !enabled {
+            self.purge();
+        }
+        self.enabled.set(enabled);
+    }
+
+    fn gen_of(&self, dir: NodeId) -> u64 {
+        self.gens.borrow().get(&dir).copied().unwrap_or(0)
+    }
+
+    /// Probe the cache. `None` is a miss (or a stale/disabled entry);
+    /// callers fall back to the real directory scan and `insert`.
+    pub fn get(&self, dir: NodeId, name: &str) -> Option<NodeId> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let current = self.gen_of(dir);
+        let mut dirs = self.dirs.borrow_mut();
+        if let Some(de) = dirs.get(&dir) {
+            if de.gen != current {
+                // The whole generation is stale: drop it in one shot.
+                dirs.remove(&dir);
+            } else if let Some(node) = de.names.get(name) {
+                self.hits.set(self.hits.get() + 1);
+                return Some(*node);
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        None
+    }
+
+    /// Record a successful lookup at the directory's current generation.
+    pub fn insert(&self, dir: NodeId, name: &str, node: NodeId) {
+        if !self.enabled.get() {
+            return;
+        }
+        let current = self.gen_of(dir);
+        let mut dirs = self.dirs.borrow_mut();
+        if dirs.len() >= self.capacity && !dirs.contains_key(&dir) {
+            // Evict stale generations; purge wholesale if that freed nothing.
+            let gens = self.gens.borrow();
+            dirs.retain(|d, de| de.gen == gens.get(d).copied().unwrap_or(0));
+            if dirs.len() >= self.capacity {
+                dirs.clear();
+                self.purges.set(self.purges.get() + 1);
+            }
+        }
+        let de = dirs.entry(dir).or_default();
+        if de.gen != current {
+            de.names.clear();
+            de.gen = current;
+        }
+        de.names.insert(name.to_string(), node);
+    }
+
+    /// A namespace mutation happened in `dir`: bump its generation, logically
+    /// invalidating every cached entry under it in O(1).
+    pub fn invalidate_dir(&self, dir: NodeId) {
+        let mut gens = self.gens.borrow_mut();
+        *gens.entry(dir).or_insert(0) += 1;
+        self.invalidations.set(self.invalidations.get() + 1);
+    }
+
+    /// A directory node was reclaimed: forget its generation bookkeeping.
+    pub fn forget_dir(&self, dir: NodeId) {
+        self.dirs.borrow_mut().remove(&dir);
+        self.gens.borrow_mut().remove(&dir);
+    }
+
+    /// Drop every entry (generation counters survive).
+    pub fn purge(&self) {
+        self.dirs.borrow_mut().clear();
+        self.purges.set(self.purges.get() + 1);
+    }
+
+    /// Live cached name entries (tests).
+    pub fn entry_count(&self) -> usize {
+        self.dirs.borrow().values().map(|de| de.names.len()).sum()
+    }
+
+    /// The current generation of a directory (tests/diagnostics).
+    pub fn generation(&self, dir: NodeId) -> u64 {
+        self.gen_of(dir)
+    }
+
+    pub fn stats(&self) -> DcacheStats {
+        DcacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            purges: self.purges.get(),
+        }
+    }
+
+    pub fn reset_stats(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
+        self.invalidations.set(0);
+        self.purges.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_insert_hit() {
+        let dc = Dcache::new();
+        assert_eq!(dc.get(NodeId(1), "a"), None);
+        dc.insert(NodeId(1), "a", NodeId(2));
+        assert_eq!(dc.get(NodeId(1), "a"), Some(NodeId(2)));
+        let st = dc.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn generation_bump_invalidates_whole_directory() {
+        let dc = Dcache::new();
+        dc.insert(NodeId(1), "a", NodeId(2));
+        dc.insert(NodeId(1), "b", NodeId(3));
+        dc.insert(NodeId(9), "c", NodeId(4));
+        dc.invalidate_dir(NodeId(1));
+        assert_eq!(dc.get(NodeId(1), "a"), None);
+        assert_eq!(dc.get(NodeId(1), "b"), None);
+        // Unrelated directory unaffected.
+        assert_eq!(dc.get(NodeId(9), "c"), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn insert_after_bump_starts_fresh_generation() {
+        let dc = Dcache::new();
+        dc.insert(NodeId(1), "a", NodeId(2));
+        dc.invalidate_dir(NodeId(1));
+        dc.insert(NodeId(1), "a", NodeId(7));
+        assert_eq!(dc.get(NodeId(1), "a"), Some(NodeId(7)));
+        assert_eq!(dc.generation(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_and_purges() {
+        let dc = Dcache::new();
+        dc.insert(NodeId(1), "a", NodeId(2));
+        dc.set_enabled(false);
+        assert_eq!(dc.get(NodeId(1), "a"), None);
+        dc.insert(NodeId(1), "a", NodeId(2));
+        assert_eq!(dc.entry_count(), 0);
+        dc.set_enabled(true);
+        assert_eq!(dc.get(NodeId(1), "a"), None, "re-enable starts cold");
+    }
+
+    #[test]
+    fn capacity_pressure_purges_rather_than_grows() {
+        let dc = Dcache::new();
+        for i in 0..DEFAULT_CAPACITY + 10 {
+            dc.insert(NodeId(i as u64 + 10), "x", NodeId(1));
+        }
+        assert!(dc.dirs.borrow().len() <= DEFAULT_CAPACITY + 1);
+        assert!(dc.stats().purges >= 1);
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use crate::dcache::Dcache;
 use crate::errno::{Errno, SysResult};
 use crate::node::{DeviceKind, NodeBody, Vnode};
 use crate::types::{Gid, Mode, NodeId, Timestamp, Uid};
@@ -32,6 +33,10 @@ pub struct Filesystem {
     /// Open-file reference counts maintained by the kernel so unlinked but
     /// still-open files stay readable (Unix semantics).
     open_refs: HashMap<NodeId, u32>,
+    /// Directory-entry cache consulted by the kernel's path walker; every
+    /// namespace mutation below invalidates the affected directory's
+    /// generation (see [`crate::dcache`]).
+    dcache: Dcache,
 }
 
 impl Default for Filesystem {
@@ -66,7 +71,13 @@ impl Filesystem {
             clock: 1,
             name_cache: HashMap::new(),
             open_refs: HashMap::new(),
+            dcache: Dcache::new(),
         }
+    }
+
+    /// The directory-entry cache (probed by the kernel path walker).
+    pub fn dcache(&self) -> &Dcache {
+        &self.dcache
     }
 
     /// The root directory's node id.
@@ -101,7 +112,16 @@ impl Filesystem {
         let now = self.tick();
         self.nodes.insert(
             id,
-            Vnode { id, mode, uid, gid, nlink, mtime: now, ctime: now, body },
+            Vnode {
+                id,
+                mode,
+                uid,
+                gid,
+                nlink,
+                mtime: now,
+                ctime: now,
+                body,
+            },
         );
         id
     }
@@ -140,11 +160,19 @@ impl Filesystem {
         entries.insert(name.to_string(), child);
         d.mtime = now;
         self.name_cache.insert(child, (dir, name.to_string()));
+        self.dcache.invalidate_dir(dir);
         Ok(())
     }
 
     /// Create a regular file in `dir`.
-    pub fn create_file(&mut self, dir: NodeId, name: &str, mode: Mode, uid: Uid, gid: Gid) -> SysResult<NodeId> {
+    pub fn create_file(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> SysResult<NodeId> {
         self.node(dir)?.dir_entries()?; // fail early with ENOTDIR
         let id = self.alloc(NodeBody::File(Vec::new()), mode, uid, gid, 1);
         match self.insert_entry(dir, name, id) {
@@ -157,7 +185,14 @@ impl Filesystem {
     }
 
     /// Create a subdirectory of `dir`.
-    pub fn create_dir(&mut self, dir: NodeId, name: &str, mode: Mode, uid: Uid, gid: Gid) -> SysResult<NodeId> {
+    pub fn create_dir(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> SysResult<NodeId> {
         self.node(dir)?.dir_entries()?;
         let id = self.alloc(NodeBody::Dir(BTreeMap::new()), mode, uid, gid, 2);
         match self.insert_entry(dir, name, id) {
@@ -173,9 +208,22 @@ impl Filesystem {
     }
 
     /// Create a symbolic link in `dir` pointing at `target`.
-    pub fn create_symlink(&mut self, dir: NodeId, name: &str, target: &str, uid: Uid, gid: Gid) -> SysResult<NodeId> {
+    pub fn create_symlink(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        target: &str,
+        uid: Uid,
+        gid: Gid,
+    ) -> SysResult<NodeId> {
         self.node(dir)?.dir_entries()?;
-        let id = self.alloc(NodeBody::Symlink(target.to_string()), Mode(0o777), uid, gid, 1);
+        let id = self.alloc(
+            NodeBody::Symlink(target.to_string()),
+            Mode(0o777),
+            uid,
+            gid,
+            1,
+        );
         match self.insert_entry(dir, name, id) {
             Ok(()) => Ok(id),
             Err(e) => {
@@ -186,7 +234,13 @@ impl Filesystem {
     }
 
     /// Create a character device node.
-    pub fn create_device(&mut self, dir: NodeId, name: &str, kind: DeviceKind, mode: Mode) -> SysResult<NodeId> {
+    pub fn create_device(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        kind: DeviceKind,
+        mode: Mode,
+    ) -> SysResult<NodeId> {
         self.node(dir)?.dir_entries()?;
         let id = self.alloc(NodeBody::CharDevice(kind), mode, Uid::ROOT, Gid::WHEEL, 1);
         match self.insert_entry(dir, name, id) {
@@ -199,7 +253,14 @@ impl Filesystem {
     }
 
     /// Create a Unix-domain socket bind point.
-    pub fn create_socket_node(&mut self, dir: NodeId, name: &str, mode: Mode, uid: Uid, gid: Gid) -> SysResult<NodeId> {
+    pub fn create_socket_node(
+        &mut self,
+        dir: NodeId,
+        name: &str,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> SysResult<NodeId> {
         self.node(dir)?.dir_entries()?;
         let id = self.alloc(NodeBody::Socket, mode, uid, gid, 1);
         match self.insert_entry(dir, name, id) {
@@ -237,6 +298,7 @@ impl Filesystem {
         let d = self.node_mut(dir)?;
         d.dir_entries_mut()?.remove(name);
         d.mtime = now;
+        self.dcache.invalidate_dir(dir);
         if let Some((p, n)) = self.name_cache.get(&child) {
             if *p == dir && n == name {
                 self.name_cache.remove(&child);
@@ -263,6 +325,8 @@ impl Filesystem {
         d.dir_entries_mut()?.remove(name);
         d.mtime = now;
         d.nlink = d.nlink.saturating_sub(1);
+        self.dcache.invalidate_dir(dir);
+        self.dcache.forget_dir(child);
         self.name_cache.remove(&child);
         let c = self.node_mut(child)?;
         c.nlink = 0;
@@ -273,7 +337,13 @@ impl Filesystem {
     /// Rename `srcdir/sname` to `dstdir/dname`, replacing a compatible
     /// existing destination. Refuses to move a directory into its own
     /// subtree (`EINVAL`), matching `rename(2)`.
-    pub fn rename(&mut self, srcdir: NodeId, sname: &str, dstdir: NodeId, dname: &str) -> SysResult<()> {
+    pub fn rename(
+        &mut self,
+        srcdir: NodeId,
+        sname: &str,
+        dstdir: NodeId,
+        dname: &str,
+    ) -> SysResult<()> {
         let node = self.lookup(srcdir, sname)?;
         if !crate::node::valid_component(dname) || dname == "." || dname == ".." {
             return Err(Errno::EINVAL);
@@ -320,6 +390,8 @@ impl Filesystem {
             self.node_mut(srcdir)?.nlink = self.node(srcdir)?.nlink.saturating_sub(1);
             self.node_mut(dstdir)?.nlink += 1;
         }
+        self.dcache.invalidate_dir(srcdir);
+        self.dcache.invalidate_dir(dstdir);
         self.name_cache.insert(node, (dstdir, dname.to_string()));
         Ok(())
     }
@@ -447,6 +519,7 @@ impl Filesystem {
         if reclaim {
             self.nodes.remove(&node);
             self.name_cache.remove(&node);
+            self.dcache.forget_dir(node);
         }
     }
 
@@ -514,7 +587,14 @@ impl Filesystem {
 
     /// Create (or truncate) a file at an absolute path with given contents.
     /// Helper for workload construction; not a checked syscall path.
-    pub fn put_file(&mut self, path: &str, contents: &[u8], mode: Mode, uid: Uid, gid: Gid) -> SysResult<NodeId> {
+    pub fn put_file(
+        &mut self,
+        path: &str,
+        contents: &[u8],
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> SysResult<NodeId> {
         let (dir_path, name) = match path.rfind('/') {
             Some(i) => (&path[..i], &path[i + 1..]),
             None => return Err(Errno::EINVAL),
@@ -545,7 +625,9 @@ mod tests {
     fn create_and_lookup_file() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a.txt", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a.txt", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.lookup(root, "a.txt").unwrap(), id);
         assert_eq!(f.lookup(root, "missing").unwrap_err(), Errno::ENOENT);
     }
@@ -555,11 +637,13 @@ mod tests {
         let mut f = fs();
         let root = f.root();
         let before = f.node_count();
-        f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         let mid = f.node_count();
         assert_eq!(mid, before + 1);
         assert_eq!(
-            f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap_err(),
+            f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+                .unwrap_err(),
             Errno::EEXIST
         );
         assert_eq!(f.node_count(), mid);
@@ -569,7 +653,9 @@ mod tests {
     fn write_read_roundtrip_and_extension() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.write(id, 0, b"hello").unwrap();
         assert_eq!(f.read(id, 0, 100).unwrap(), b"hello");
         f.write(id, 10, b"world").unwrap();
@@ -582,7 +668,9 @@ mod tests {
     fn append_returns_old_length() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.append(id, b"ab").unwrap(), 0);
         assert_eq!(f.append(id, b"cd").unwrap(), 2);
         assert_eq!(f.read(id, 0, 10).unwrap(), b"abcd");
@@ -592,7 +680,9 @@ mod tests {
     fn unlink_reclaims_when_not_open() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.unlink(root, "a").unwrap();
         assert!(!f.exists(id));
     }
@@ -601,7 +691,9 @@ mod tests {
     fn unlink_keeps_open_files_alive() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.write(id, 0, b"data").unwrap();
         f.incref(id);
         f.unlink(root, "a").unwrap();
@@ -615,7 +707,9 @@ mod tests {
     fn hard_links_share_content() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.link(root, "b", id).unwrap();
         assert_eq!(f.node(id).unwrap().nlink, 2);
         f.write(id, 0, b"x").unwrap();
@@ -629,7 +723,9 @@ mod tests {
     fn link_to_directory_is_eperm() {
         let mut f = fs();
         let root = f.root();
-        let d = f.create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let d = f
+            .create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.link(root, "d2", d).unwrap_err(), Errno::EPERM);
     }
 
@@ -637,8 +733,11 @@ mod tests {
     fn rmdir_requires_empty() {
         let mut f = fs();
         let root = f.root();
-        let d = f.create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        f.create_file(d, "x", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let d = f
+            .create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        f.create_file(d, "x", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.rmdir(root, "d").unwrap_err(), Errno::ENOTEMPTY);
         f.unlink(d, "x").unwrap();
         f.rmdir(root, "d").unwrap();
@@ -649,10 +748,14 @@ mod tests {
     fn dir_nlink_counts_subdirs() {
         let mut f = fs();
         let root = f.root();
-        let d = f.create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let d = f
+            .create_dir(root, "d", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.node(d).unwrap().nlink, 2);
-        f.create_dir(d, "s1", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        f.create_dir(d, "s2", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
+        f.create_dir(d, "s1", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        f.create_dir(d, "s2", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.node(d).unwrap().nlink, 4);
         f.rmdir(d, "s1").unwrap();
         assert_eq!(f.node(d).unwrap().nlink, 3);
@@ -662,9 +765,15 @@ mod tests {
     fn rename_moves_and_updates_cache() {
         let mut f = fs();
         let root = f.root();
-        let a = f.create_dir(root, "a", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        let b = f.create_dir(root, "b", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        let file = f.create_file(a, "f", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let a = f
+            .create_dir(root, "a", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        let b = f
+            .create_dir(root, "b", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        let file = f
+            .create_file(a, "f", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.path_of(file).unwrap(), "/a/f");
         f.rename(a, "f", b, "g").unwrap();
         assert_eq!(f.lookup(a, "f").unwrap_err(), Errno::ENOENT);
@@ -676,8 +785,12 @@ mod tests {
     fn rename_replaces_existing_file() {
         let mut f = fs();
         let root = f.root();
-        let a = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
-        let b = f.create_file(root, "b", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let a = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        let b = f
+            .create_file(root, "b", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.rename(root, "a", root, "b").unwrap();
         assert_eq!(f.lookup(root, "b").unwrap(), a);
         assert!(!f.exists(b));
@@ -687,8 +800,12 @@ mod tests {
     fn rename_dir_into_own_subtree_fails() {
         let mut f = fs();
         let root = f.root();
-        let a = f.create_dir(root, "a", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        let b = f.create_dir(a, "b", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let a = f
+            .create_dir(root, "a", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        let b = f
+            .create_dir(a, "b", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.rename(root, "a", b, "c").unwrap_err(), Errno::EINVAL);
     }
 
@@ -697,9 +814,15 @@ mod tests {
         let mut f = fs();
         let root = f.root();
         assert_eq!(f.path_of(root).unwrap(), "/");
-        let home = f.create_dir(root, "home", Mode::DIR_DEFAULT, Uid(0), Gid(0)).unwrap();
-        let alice = f.create_dir(home, "alice", Mode::DIR_DEFAULT, Uid(1), Gid(1)).unwrap();
-        let dog = f.create_file(alice, "dog.jpg", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let home = f
+            .create_dir(root, "home", Mode::DIR_DEFAULT, Uid(0), Gid(0))
+            .unwrap();
+        let alice = f
+            .create_dir(home, "alice", Mode::DIR_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
+        let dog = f
+            .create_file(alice, "dog.jpg", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.path_of(dog).unwrap(), "/home/alice/dog.jpg");
     }
 
@@ -707,7 +830,9 @@ mod tests {
     fn path_of_fails_after_unlink() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.incref(id);
         f.unlink(root, "a").unwrap();
         assert_eq!(f.path_of(id), None);
@@ -717,19 +842,33 @@ mod tests {
     fn symlink_and_readlink() {
         let mut f = fs();
         let root = f.root();
-        let l = f.create_symlink(root, "l", "/target", Uid(1), Gid(1)).unwrap();
+        let l = f
+            .create_symlink(root, "l", "/target", Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.readlink(l).unwrap(), "/target");
-        let file = f.create_file(root, "t", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let file = f
+            .create_file(root, "t", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         assert_eq!(f.readlink(file).unwrap_err(), Errno::EINVAL);
     }
 
     #[test]
     fn resolve_abs_follows_symlinks() {
         let mut f = fs();
-        f.mkdir_p("/usr/local/lib", Mode::DIR_DEFAULT, Uid(0), Gid(0)).unwrap();
-        let id = f.put_file("/usr/local/lib/x.so", b"lib", Mode::FILE_DEFAULT, Uid(0), Gid(0)).unwrap();
+        f.mkdir_p("/usr/local/lib", Mode::DIR_DEFAULT, Uid(0), Gid(0))
+            .unwrap();
+        let id = f
+            .put_file(
+                "/usr/local/lib/x.so",
+                b"lib",
+                Mode::FILE_DEFAULT,
+                Uid(0),
+                Gid(0),
+            )
+            .unwrap();
         let usr = f.resolve_abs("/usr").unwrap();
-        f.create_symlink(f.root(), "ulink", "/usr", Uid(0), Gid(0)).unwrap();
+        f.create_symlink(f.root(), "ulink", "/usr", Uid(0), Gid(0))
+            .unwrap();
         assert_eq!(f.resolve_abs("/ulink"), Ok(usr));
         assert_eq!(f.resolve_abs("/ulink/local/lib/x.so"), Ok(id));
     }
@@ -737,7 +876,8 @@ mod tests {
     #[test]
     fn resolve_abs_detects_loops() {
         let mut f = fs();
-        f.create_symlink(f.root(), "self", "/self", Uid(0), Gid(0)).unwrap();
+        f.create_symlink(f.root(), "self", "/self", Uid(0), Gid(0))
+            .unwrap();
         assert_eq!(f.resolve_abs("/self").unwrap_err(), Errno::ELOOP);
     }
 
@@ -745,7 +885,9 @@ mod tests {
     fn truncate_shrinks_and_extends() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.write(id, 0, b"abcdef").unwrap();
         f.truncate(id, 3).unwrap();
         assert_eq!(f.read(id, 0, 10).unwrap(), b"abc");
@@ -756,8 +898,12 @@ mod tests {
     #[test]
     fn mkdir_p_is_idempotent() {
         let mut f = fs();
-        let a = f.mkdir_p("/x/y/z", Mode::DIR_DEFAULT, Uid(0), Gid(0)).unwrap();
-        let b = f.mkdir_p("/x/y/z", Mode::DIR_DEFAULT, Uid(0), Gid(0)).unwrap();
+        let a = f
+            .mkdir_p("/x/y/z", Mode::DIR_DEFAULT, Uid(0), Gid(0))
+            .unwrap();
+        let b = f
+            .mkdir_p("/x/y/z", Mode::DIR_DEFAULT, Uid(0), Gid(0))
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -767,7 +913,8 @@ mod tests {
         let root = f.root();
         for bad in ["", ".", "..", "a/b"] {
             assert_eq!(
-                f.create_file(root, bad, Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap_err(),
+                f.create_file(root, bad, Mode::FILE_DEFAULT, Uid(1), Gid(1))
+                    .unwrap_err(),
                 Errno::EINVAL,
                 "name {bad:?} should be rejected"
             );
@@ -778,7 +925,9 @@ mod tests {
     fn mtime_advances_on_writes() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         let t0 = f.node(id).unwrap().mtime;
         f.write(id, 0, b"x").unwrap();
         let t1 = f.node(id).unwrap().mtime;
@@ -789,7 +938,9 @@ mod tests {
     fn chmod_chown() {
         let mut f = fs();
         let root = f.root();
-        let id = f.create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1)).unwrap();
+        let id = f
+            .create_file(root, "a", Mode::FILE_DEFAULT, Uid(1), Gid(1))
+            .unwrap();
         f.chmod(id, Mode(0o600)).unwrap();
         f.chown(id, Uid(5), Gid(6)).unwrap();
         let st = f.node(id).unwrap().stat();

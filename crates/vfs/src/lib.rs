@@ -16,11 +16,13 @@
 //! TrustedBSD MAC framework.
 
 pub mod dac;
+pub mod dcache;
 pub mod errno;
 pub mod fs;
 pub mod node;
 pub mod types;
 
+pub use dcache::{Dcache, DcacheStats};
 pub use errno::{Errno, SysResult};
 pub use fs::Filesystem;
 pub use node::{DeviceKind, NodeBody, Vnode};

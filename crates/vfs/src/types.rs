@@ -44,11 +44,17 @@ pub struct Cred {
 
 impl Cred {
     /// Root credentials.
-    pub const ROOT: Cred = Cred { uid: Uid::ROOT, gid: Gid::WHEEL };
+    pub const ROOT: Cred = Cred {
+        uid: Uid::ROOT,
+        gid: Gid::WHEEL,
+    };
 
     /// Credentials for an ordinary user whose primary group equals their uid.
     pub fn user(uid: u32) -> Cred {
-        Cred { uid: Uid(uid), gid: Gid(uid) }
+        Cred {
+            uid: Uid(uid),
+            gid: Gid(uid),
+        }
     }
 
     /// Whether these credentials bypass discretionary access control.

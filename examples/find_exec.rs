@@ -37,7 +37,10 @@ fn main() {
         );
     }
 
-    assert_eq!(coarse.checked, fine.checked, "both variants find the same lines");
+    assert_eq!(
+        coarse.checked, fine.checked,
+        "both variants find the same lines"
+    );
     println!("\nboth variants report identical matches.");
     println!("the fine variant additionally guarantees grep only ever sees the");
     println!("exact files find selected — paths cannot be re-resolved to other files.");

@@ -16,8 +16,10 @@ fn main() {
         shill::scenarios::EMACS_SOURCES,
         shill::scenarios::EMACS_SOURCE_LEN,
     );
-    k.fs.mkdir_p("/build", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.mkdir_p("/opt/emacs", Mode(0o777), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.mkdir_p("/build", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.mkdir_p("/opt/emacs", Mode(0o777), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     println!("mirror serves emacs-24.tar ({tar_size} bytes)\n");
 
     let mut rt = ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT);
@@ -77,7 +79,10 @@ d + u + c + m + i
     k.waitpid(user, child).unwrap();
     k.close(user, w).unwrap();
     let banner = k.read(user, r, 200).unwrap();
-    println!("\ninstalled emacs says: {}", String::from_utf8_lossy(&banner).trim());
+    println!(
+        "\ninstalled emacs says: {}",
+        String::from_utf8_lossy(&banner).trim()
+    );
 
     // And uninstall.
     let v = rt

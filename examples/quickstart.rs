@@ -58,11 +58,23 @@ fn main() {
     let jpgs = shill::binaries::photo_workload(rt.kernel(), 25);
     rt.kernel()
         .fs
-        .put_file("/home/user/Pictures/dog.jpg", b"JPEGJPEG", Mode(0o644), Uid(100), Gid(100))
+        .put_file(
+            "/home/user/Pictures/dog.jpg",
+            b"JPEGJPEG",
+            Mode(0o644),
+            Uid(100),
+            Gid(100),
+        )
         .unwrap();
     rt.kernel()
         .fs
-        .put_file("/home/user/report.txt", b"", Mode(0o644), Uid(100), Gid(100))
+        .put_file(
+            "/home/user/report.txt",
+            b"",
+            Mode(0o644),
+            Uid(100),
+            Gid(100),
+        )
         .unwrap();
 
     println!("== 1. find_jpg (Figure 3) over ~{jpgs} photos ==");

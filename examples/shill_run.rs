@@ -48,8 +48,14 @@ fn shill_run(
 
 fn main() {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/data/notes.txt", b"the secret is 42\n", Mode(0o644), Uid(100), Gid(100))
-        .unwrap();
+    k.fs.put_file(
+        "/data/notes.txt",
+        b"the secret is 42\n",
+        Mode(0o644),
+        Uid(100),
+        Gid(100),
+    )
+    .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::user(100));
@@ -62,13 +68,29 @@ path /lib/libc.so +read +stat +path
 path / +lookup with {+lookup}
 "#;
     println!("== attempt 1: incomplete policy ==");
-    let (st, out) = shill_run(&mut k, &policy, user, v1, &["/bin/cat", "/data/notes.txt"], false, true);
+    let (st, out) = shill_run(
+        &mut k,
+        &policy,
+        user,
+        v1,
+        &["/bin/cat", "/data/notes.txt"],
+        false,
+        true,
+    );
     println!("exit status {st}, output {out:?} (cat was denied)\n");
 
     // Debug mode: auto-grant and log.
     println!("== attempt 2: --debug run discovers what is missing ==");
     policy.clear_log();
-    let (st, out) = shill_run(&mut k, &policy, user, v1, &["/bin/cat", "/data/notes.txt"], true, true);
+    let (st, out) = shill_run(
+        &mut k,
+        &policy,
+        user,
+        v1,
+        &["/bin/cat", "/data/notes.txt"],
+        true,
+        true,
+    );
     println!("exit status {st}, output {out:?}");
     println!("auto-granted privileges:");
     for e in policy.log_events() {
@@ -85,7 +107,15 @@ path / +lookup with {+lookup}
 path /data/notes.txt +read +stat +path
 "#;
     println!("\n== attempt 3: completed policy ==");
-    let (st, out) = shill_run(&mut k, &policy, user, v2, &["/bin/cat", "/data/notes.txt"], false, true);
+    let (st, out) = shill_run(
+        &mut k,
+        &policy,
+        user,
+        v2,
+        &["/bin/cat", "/data/notes.txt"],
+        false,
+        true,
+    );
     println!("exit status {st}, output {out:?}");
     assert_eq!(st, 0);
 }

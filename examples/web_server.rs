@@ -12,9 +12,16 @@ use shill::prelude::*;
 use shill::scenarios::APACHE_CAP;
 
 fn serve_round(rt: &mut ShillRuntime, label: &str, requests: usize) -> Vec<Vec<u8>> {
-    let addr = shill::kernel::SockAddr::Inet { host: "0.0.0.0".into(), port: 8080 };
+    let addr = shill::kernel::SockAddr::Inet {
+        host: "0.0.0.0".into(),
+        port: 8080,
+    };
     let conns: Vec<_> = (0..requests)
-        .map(|_| rt.kernel().net.preload_connection(addr.clone(), b"GET /big.bin".to_vec()))
+        .map(|_| {
+            rt.kernel()
+                .net
+                .preload_connection(addr.clone(), b"GET /big.bin".to_vec())
+        })
         .collect();
     let v = rt
         .run(
@@ -43,13 +50,20 @@ serve(content, conf, log, socket_factory, wallet)
 fn main() {
     let mut k = shill::setup::standard_kernel();
     let w = shill::binaries::web_workload(&mut k, 256 * 1024);
-    println!("serving {} from {} on :{}\n", w.file_name, w.content_root, w.port);
+    println!(
+        "serving {} from {} on :{}\n",
+        w.file_name, w.content_root, w.port
+    );
 
     let mut rt = ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT);
     rt.add_script("apache.cap", APACHE_CAP);
 
     let responses = serve_round(&mut rt, "round1", 10);
-    println!("round 1: {} responses, first is {} bytes", responses.len(), responses[0].len());
+    println!(
+        "round 1: {} responses, first is {} bytes",
+        responses.len(),
+        responses[0].len()
+    );
     assert!(responses.iter().all(|r| r.starts_with(b"HTTP/1.0 200 OK")));
 
     // Concurrent administration: add new content from OUTSIDE the sandbox
@@ -57,10 +71,22 @@ fn main() {
     // the filesystem from the rest of the system).
     rt.kernel()
         .fs
-        .put_file("/var/www/new.html", b"<p>fresh content</p>", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .put_file(
+            "/var/www/new.html",
+            b"<p>fresh content</p>",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
         .unwrap();
-    let addr = shill::kernel::SockAddr::Inet { host: "0.0.0.0".into(), port: 8080 };
-    let c = rt.kernel().net.preload_connection(addr, b"GET /new.html".to_vec());
+    let addr = shill::kernel::SockAddr::Inet {
+        host: "0.0.0.0".into(),
+        port: 8080,
+    };
+    let c = rt
+        .kernel()
+        .net
+        .preload_connection(addr, b"GET /new.html".to_vec());
     let v = rt
         .run(
             "apache-round2",
@@ -77,15 +103,25 @@ serve(open_dir("/var/www"), open_file("/etc/apache/httpd.conf"),
         .expect("round 2");
     assert!(matches!(v, Value::Num(0)));
     let (_, resp) = rt.kernel().net.take_response(c).unwrap();
-    println!("round 2: new content served: {}", String::from_utf8_lossy(&resp).lines().last().unwrap());
+    println!(
+        "round 2: new content served: {}",
+        String::from_utf8_lossy(&resp).lines().last().unwrap()
+    );
 
     // The access log accumulated across rounds, append-only.
-    let log = rt.kernel().fs.resolve_abs("/var/log/httpd-access.log").unwrap();
+    let log = rt
+        .kernel()
+        .fs
+        .resolve_abs("/var/log/httpd-access.log")
+        .unwrap();
     let log = String::from_utf8(rt.kernel().fs.read(log, 0, 1 << 20).unwrap()).unwrap();
     println!("\naccess log ({} lines):", log.lines().count());
     for l in log.lines().rev().take(3) {
         println!("  {l}");
     }
     let p = rt.profile();
-    println!("\nprofile: {} sandboxes, sandboxed exec {:?}", p.sandboxes, p.sandboxed_exec);
+    println!(
+        "\nprofile: {} sandboxes, sandboxed exec {:?}",
+        p.sandboxes, p.sandboxed_exec
+    );
 }

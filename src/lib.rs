@@ -65,7 +65,11 @@ pub mod setup {
     /// A full runtime (kernel + binaries + SHILL policy module) running as
     /// an ordinary user (uid 100).
     pub fn standard_runtime() -> ShillRuntime {
-        ShillRuntime::new(standard_kernel(), RuntimeConfig::WithPolicy, Cred::user(100))
+        ShillRuntime::new(
+            standard_kernel(),
+            RuntimeConfig::WithPolicy,
+            Cred::user(100),
+        )
     }
 
     /// A runtime running as root (the grading server, package manager).
@@ -84,7 +88,10 @@ mod tests {
             "#lang shill/cap\ngreet = fun(name) { \"hello, \" ++ name };\nprovide greet : {name : is_string} -> is_string;",
         );
         let v = rt
-            .run("main", "#lang shill/ambient\nrequire \"hello.cap\";\ngreet(\"world\")")
+            .run(
+                "main",
+                "#lang shill/ambient\nrequire \"hello.cap\";\ngreet(\"world\")",
+            )
             .unwrap();
         assert_eq!(v.display(), "hello, world");
     }

@@ -2,6 +2,7 @@
 //! each benchmark configuration of §4.2. Shared by `examples/`, `tests/`,
 //! and the `shill-bench` harness.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::binaries::workloads;
@@ -52,8 +53,27 @@ pub fn direct_exec(k: &mut Kernel, user: Pid, argv: &[&str]) -> i32 {
     k.waitpid(user, child).unwrap_or(-1)
 }
 
-fn kernel_for(config: Config) -> Kernel {
+/// Process-global cache mode for scenario kernels (they are constructed
+/// inside each `run_*` driver). Ablation benches and the cache-mode parity
+/// tests flip this to compare cached vs. uncached resolution end to end.
+static SCENARIO_CACHES: AtomicBool = AtomicBool::new(true);
+
+/// Run subsequent scenarios with the resolution caches (dcache + AVC) on
+/// or off. Affects only kernels built by this module's drivers.
+pub fn set_scenario_cache_mode(enabled: bool) {
+    SCENARIO_CACHES.store(enabled, Ordering::SeqCst);
+}
+
+/// A standard kernel honoring the scenario cache mode.
+fn scenario_kernel() -> Kernel {
     let mut k = crate::setup::standard_kernel();
+    let on = SCENARIO_CACHES.load(Ordering::SeqCst);
+    k.set_cache_enabled(on, on);
+    k
+}
+
+fn kernel_for(config: Config) -> Kernel {
+    let mut k = scenario_kernel();
     if config == Config::Installed {
         // Module loaded, nothing sandboxed.
         k.register_policy(ShillPolicy::new());
@@ -190,19 +210,27 @@ pub fn run_grading(config: Config, students: usize, tests: usize) -> Outcome {
             workloads::grading_workload(&mut k, students, tests);
             let user = k.spawn_user(Cred::ROOT);
             let t0 = Instant::now();
-            let st = direct_exec(&mut k, user, &[
-                "/usr/local/bin/grade-sh",
-                "/course/submissions",
-                "/course/tests",
-                "/course/work",
-                "/course/grades",
-            ]);
+            let st = direct_exec(
+                &mut k,
+                user,
+                &[
+                    "/usr/local/bin/grade-sh",
+                    "/course/submissions",
+                    "/course/tests",
+                    "/course/work",
+                    "/course/grades",
+                ],
+            );
             let wall = t0.elapsed();
             assert_eq!(st, 0, "grade-sh failed");
-            Outcome { wall, profile: None, checked: count_grades(&k, students) }
+            Outcome {
+                wall,
+                profile: None,
+                checked: count_grades(&k, students),
+            }
         }
         Config::Sandboxed | Config::ShillVersion => {
-            let mut k = crate::setup::standard_kernel();
+            let mut k = scenario_kernel();
             workloads::grading_workload(&mut k, students, tests);
             let t0 = Instant::now();
             let mut rt = runtime_for(config, k, Cred::ROOT);
@@ -217,7 +245,11 @@ pub fn run_grading(config: Config, students: usize, tests: usize) -> Outcome {
                 panic!("grading script failed: {e}");
             }
             let checked = count_grades(rt.kernel(), students);
-            Outcome { wall, profile: Some(rt.profile()), checked }
+            Outcome {
+                wall,
+                profile: Some(rt.profile()),
+                checked,
+            }
         }
     }
 }
@@ -225,7 +257,10 @@ pub fn run_grading(config: Config, students: usize, tests: usize) -> Outcome {
 fn count_grades(k: &Kernel, students: usize) -> u64 {
     let mut n = 0;
     for i in 0..students {
-        if k.fs.resolve_abs(&format!("/course/grades/student{i:03}.grade")).is_ok() {
+        if k.fs
+            .resolve_abs(&format!("/course/grades/student{i:03}.grade"))
+            .is_ok()
+        {
             n += 1;
         }
     }
@@ -301,16 +336,28 @@ pub fn run_find(config: Config, scale: usize) -> Outcome {
         Config::Baseline | Config::Installed => {
             let mut k = kernel_for(config);
             workloads::source_tree(&mut k, scale);
-            k.fs.put_file("/tmp/matches.txt", b"", crate::vfs::Mode(0o666), crate::vfs::Uid::ROOT, crate::vfs::Gid::WHEEL)
-                .unwrap();
+            k.fs.put_file(
+                "/tmp/matches.txt",
+                b"",
+                crate::vfs::Mode(0o666),
+                crate::vfs::Uid::ROOT,
+                crate::vfs::Gid::WHEEL,
+            )
+            .unwrap();
             let user = k.spawn_user(Cred::ROOT);
             // Wire stdout to the output file like the shell would.
             let t0 = Instant::now();
             let child = k.fork(user).expect("fork");
             let out = k
-                .open(child, "/tmp/matches.txt", crate::kernel::OpenFlags::creat_trunc_w(), crate::vfs::Mode(0o644))
+                .open(
+                    child,
+                    "/tmp/matches.txt",
+                    crate::kernel::OpenFlags::creat_trunc_w(),
+                    crate::vfs::Mode(0o644),
+                )
                 .unwrap();
-            k.transfer_fd(child, out, child, crate::kernel::Fd::STDOUT).unwrap();
+            k.transfer_fd(child, out, child, crate::kernel::Fd::STDOUT)
+                .unwrap();
             let argv: Vec<String> = [
                 "/usr/bin/find",
                 "/usr/src",
@@ -330,29 +377,45 @@ pub fn run_find(config: Config, scale: usize) -> Outcome {
             k.exit(child, st);
             let _ = k.waitpid(user, child);
             let wall = t0.elapsed();
-            Outcome { wall, profile: None, checked: count_matches(&k) }
+            Outcome {
+                wall,
+                profile: None,
+                checked: count_matches(&k),
+            }
         }
         Config::Sandboxed | Config::ShillVersion => {
-            let mut k = crate::setup::standard_kernel();
+            let mut k = scenario_kernel();
             workloads::source_tree(&mut k, scale);
-            k.fs.put_file("/tmp/matches.txt", b"", crate::vfs::Mode(0o666), crate::vfs::Uid::ROOT, crate::vfs::Gid::WHEEL)
-                .unwrap();
+            k.fs.put_file(
+                "/tmp/matches.txt",
+                b"",
+                crate::vfs::Mode(0o666),
+                crate::vfs::Uid::ROOT,
+                crate::vfs::Gid::WHEEL,
+            )
+            .unwrap();
             let t0 = Instant::now();
             let mut rt = runtime_for(config, k, Cred::ROOT);
             match config {
                 Config::Sandboxed => {
                     rt.add_script("task.cap", FIND_SANDBOXED_CAP);
-                    rt.run("find-main", &find_ambient("find_sandboxed")).expect("find sandboxed");
+                    rt.run("find-main", &find_ambient("find_sandboxed"))
+                        .expect("find sandboxed");
                 }
                 _ => {
                     rt.add_script("find.cap", POLY_FIND_CAP);
                     rt.add_script("task.cap", FIND_SHILL_CAP);
-                    rt.run("find-main", &find_ambient("find_fine")).expect("find fine");
+                    rt.run("find-main", &find_ambient("find_fine"))
+                        .expect("find fine");
                 }
             }
             let wall = t0.elapsed();
             let checked = count_matches(rt.kernel());
-            Outcome { wall, profile: Some(rt.profile()), checked }
+            Outcome {
+                wall,
+                profile: Some(rt.profile()),
+                checked,
+            }
         }
     }
 }
@@ -502,19 +565,32 @@ pub const EMACS_SOURCE_LEN: usize = 2048;
 /// Prepare a kernel with the mirror and any prerequisite steps' outputs.
 fn emacs_prepare(k: &mut Kernel, upto: EmacsStep) {
     workloads::emacs_mirror(k, EMACS_SOURCES, EMACS_SOURCE_LEN);
-    k.fs.mkdir_p("/build", crate::vfs::Mode(0o777), crate::vfs::Uid::ROOT, crate::vfs::Gid::WHEEL)
-        .unwrap();
-    k.fs.mkdir_p("/opt/emacs", crate::vfs::Mode(0o777), crate::vfs::Uid::ROOT, crate::vfs::Gid::WHEEL)
-        .unwrap();
+    k.fs.mkdir_p(
+        "/build",
+        crate::vfs::Mode(0o777),
+        crate::vfs::Uid::ROOT,
+        crate::vfs::Gid::WHEEL,
+    )
+    .unwrap();
+    k.fs.mkdir_p(
+        "/opt/emacs",
+        crate::vfs::Mode(0o777),
+        crate::vfs::Uid::ROOT,
+        crate::vfs::Gid::WHEEL,
+    )
+    .unwrap();
     let user = k.spawn_user(Cred::ROOT);
     let steps: &[EmacsStep] = match upto {
         EmacsStep::Download | EmacsStep::Total => &[],
         EmacsStep::Untar => &[EmacsStep::Download],
         EmacsStep::Configure => &[EmacsStep::Download, EmacsStep::Untar],
         EmacsStep::Make => &[EmacsStep::Download, EmacsStep::Untar, EmacsStep::Configure],
-        EmacsStep::Install => {
-            &[EmacsStep::Download, EmacsStep::Untar, EmacsStep::Configure, EmacsStep::Make]
-        }
+        EmacsStep::Install => &[
+            EmacsStep::Download,
+            EmacsStep::Untar,
+            EmacsStep::Configure,
+            EmacsStep::Make,
+        ],
         EmacsStep::Uninstall => &[
             EmacsStep::Download,
             EmacsStep::Untar,
@@ -532,29 +608,45 @@ fn emacs_prepare(k: &mut Kernel, upto: EmacsStep) {
 /// Run one step directly (Baseline / Installed).
 fn emacs_direct_step(k: &mut Kernel, user: Pid, step: EmacsStep) -> i32 {
     match step {
-        EmacsStep::Download => direct_exec(k, user, &[
-            "/usr/local/bin/curl",
-            "-o",
-            "/build/emacs-24.tar",
-            "http://mirror.gnu.org/emacs-24.tar",
-        ]),
-        EmacsStep::Untar => {
-            direct_exec(k, user, &["/usr/bin/tar", "-xf", "/build/emacs-24.tar", "-C", "/build"])
-        }
-        EmacsStep::Configure => direct_exec(k, user, &[
-            "/usr/local/bin/configure",
-            "--prefix=/opt/emacs",
-            "--srcdir=/build/emacs-24",
-        ]),
-        EmacsStep::Make => {
-            direct_exec(k, user, &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "all"])
-        }
-        EmacsStep::Install => {
-            direct_exec(k, user, &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "install"])
-        }
-        EmacsStep::Uninstall => {
-            direct_exec(k, user, &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "uninstall"])
-        }
+        EmacsStep::Download => direct_exec(
+            k,
+            user,
+            &[
+                "/usr/local/bin/curl",
+                "-o",
+                "/build/emacs-24.tar",
+                "http://mirror.gnu.org/emacs-24.tar",
+            ],
+        ),
+        EmacsStep::Untar => direct_exec(
+            k,
+            user,
+            &["/usr/bin/tar", "-xf", "/build/emacs-24.tar", "-C", "/build"],
+        ),
+        EmacsStep::Configure => direct_exec(
+            k,
+            user,
+            &[
+                "/usr/local/bin/configure",
+                "--prefix=/opt/emacs",
+                "--srcdir=/build/emacs-24",
+            ],
+        ),
+        EmacsStep::Make => direct_exec(
+            k,
+            user,
+            &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "all"],
+        ),
+        EmacsStep::Install => direct_exec(
+            k,
+            user,
+            &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "install"],
+        ),
+        EmacsStep::Uninstall => direct_exec(
+            k,
+            user,
+            &["/usr/local/bin/gmake", "-C", "/build/emacs-24", "uninstall"],
+        ),
         EmacsStep::Total => {
             for s in [
                 EmacsStep::Download,
@@ -585,10 +677,14 @@ pub fn run_emacs(config: Config, step: EmacsStep) -> Outcome {
             let st = emacs_direct_step(&mut k, user, step);
             let wall = t0.elapsed();
             assert_eq!(st, 0, "emacs step {step:?} failed");
-            Outcome { wall, profile: None, checked: 1 }
+            Outcome {
+                wall,
+                profile: None,
+                checked: 1,
+            }
         }
         Config::Sandboxed | Config::ShillVersion => {
-            let mut k = crate::setup::standard_kernel();
+            let mut k = scenario_kernel();
             emacs_prepare(&mut k, step);
             let t0 = Instant::now();
             let mut rt = runtime_for(config, k, Cred::ROOT);
@@ -645,7 +741,11 @@ st = st0 + stu + stc + stm + sti + stx;"#
                 Value::Num(0) => {}
                 other => panic!("emacs step {step:?} returned {other:?}"),
             }
-            Outcome { wall, profile: Some(rt.profile()), checked: 1 }
+            Outcome {
+                wall,
+                profile: Some(rt.profile()),
+                checked: 1,
+            }
         }
     }
 }
@@ -680,9 +780,15 @@ serve = fun(content, conf, log, net, wallet) {
 pub fn run_apache(config: Config, requests: usize, size: usize) -> Outcome {
     let prepare = |k: &mut Kernel| -> (Vec<crate::kernel::InjConnId>, SockAddr) {
         let w = workloads::web_workload(k, size);
-        let addr = SockAddr::Inet { host: "0.0.0.0".into(), port: w.port };
+        let addr = SockAddr::Inet {
+            host: "0.0.0.0".into(),
+            port: w.port,
+        };
         let conns: Vec<_> = (0..requests)
-            .map(|_| k.net.preload_connection(addr.clone(), format!("GET /{}", w.file_name).into_bytes()))
+            .map(|_| {
+                k.net
+                    .preload_connection(addr.clone(), format!("GET /{}", w.file_name).into_bytes())
+            })
             .collect();
         (conns, addr)
     };
@@ -703,21 +809,29 @@ pub fn run_apache(config: Config, requests: usize, size: usize) -> Outcome {
             let (conns, _) = prepare(&mut k);
             let user = k.spawn_user(Cred::ROOT);
             let t0 = Instant::now();
-            let st = direct_exec(&mut k, user, &[
-                "/usr/local/sbin/apached",
-                "-root",
-                "/var/www",
-                "-log",
-                "/var/log/httpd-access.log",
-                "-port",
-                "8080",
-            ]);
+            let st = direct_exec(
+                &mut k,
+                user,
+                &[
+                    "/usr/local/sbin/apached",
+                    "-root",
+                    "/var/www",
+                    "-log",
+                    "/var/log/httpd-access.log",
+                    "-port",
+                    "8080",
+                ],
+            );
             let wall = t0.elapsed();
             assert_eq!(st, 0);
-            Outcome { wall, profile: None, checked: verify(&mut k, conns) }
+            Outcome {
+                wall,
+                profile: None,
+                checked: verify(&mut k, conns),
+            }
         }
         Config::Sandboxed | Config::ShillVersion => {
-            let mut k = crate::setup::standard_kernel();
+            let mut k = scenario_kernel();
             let (conns, _) = prepare(&mut k);
             let t0 = Instant::now();
             let mut rt = runtime_for(Config::Sandboxed, k, Cred::ROOT);
@@ -742,7 +856,11 @@ serve(content, conf, log, socket_factory, wallet)
             let wall = t0.elapsed();
             assert!(matches!(v, Value::Num(0)), "apached exit: {v:?}");
             let checked = verify(rt.kernel(), conns);
-            Outcome { wall, profile: Some(rt.profile()), checked }
+            Outcome {
+                wall,
+                profile: Some(rt.profile()),
+                checked,
+            }
         }
     }
 }

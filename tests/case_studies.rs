@@ -9,7 +9,10 @@ fn grading_all_configurations_agree() {
     let students = 6;
     let tests = 2;
     let base = run_grading(Config::Baseline, students, tests);
-    assert_eq!(base.checked, students as u64, "baseline grades all students");
+    assert_eq!(
+        base.checked, students as u64,
+        "baseline grades all students"
+    );
     let inst = run_grading(Config::Installed, students, tests);
     assert_eq!(inst.checked, students as u64);
     let sand = run_grading(Config::Sandboxed, students, tests);
@@ -18,7 +21,11 @@ fn grading_all_configurations_agree() {
     assert_eq!(shill.checked, students as u64);
     // SHILL runs used sandboxes and contracts.
     let p = shill.profile.expect("profile");
-    assert!(p.sandboxes >= students as u64, "per-student sandboxes: {}", p.sandboxes);
+    assert!(
+        p.sandboxes >= students as u64,
+        "per-student sandboxes: {}",
+        p.sandboxes
+    );
     assert!(p.contract_applications > 0);
 }
 
@@ -57,7 +64,11 @@ fn emacs_pipeline_all_steps_and_configs() {
     let total = run_emacs(Config::ShillVersion, EmacsStep::Total);
     assert_eq!(total.checked, 1);
     let p = total.profile.expect("profile");
-    assert!(p.sandboxes >= 6, "one sandbox per step at least: {}", p.sandboxes);
+    assert!(
+        p.sandboxes >= 6,
+        "one sandbox per step at least: {}",
+        p.sandboxes
+    );
 }
 
 #[test]

@@ -10,7 +10,8 @@ use shill::sandbox::{build_spec, parse_policy, run_sandboxed, LogEvent};
 #[test]
 fn debug_run_discovers_missing_capabilities_and_fixed_policy_works() {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/data/in.txt", b"payload", Mode(0o644), Uid(100), Gid(100)).unwrap();
+    k.fs.put_file("/data/in.txt", b"payload", Mode(0o644), Uid(100), Gid(100))
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::user(100));
@@ -34,7 +35,10 @@ path / +lookup with {+lookup}
         .iter()
         .filter(|e| matches!(e, LogEvent::Denied { .. }))
         .count();
-    assert!(denials > 0, "denials are logged even without verbose logging");
+    assert!(
+        denials > 0,
+        "denials are logged even without verbose logging"
+    );
 
     // 2. Debug run succeeds and records exactly what was missing.
     policy.clear_log();
@@ -60,7 +64,10 @@ path / +lookup with {+lookup}
     let st = run_sandboxed(&mut k, &policy, user, exe, &argv, &spec).unwrap();
     assert_eq!(st, 0);
     assert!(
-        !policy.log_events().iter().any(|e| matches!(e, LogEvent::Denied { .. })),
+        !policy
+            .log_events()
+            .iter()
+            .any(|e| matches!(e, LogEvent::Denied { .. })),
         "no denials with the complete policy"
     );
 }
@@ -68,33 +75,64 @@ path / +lookup with {+lookup}
 #[test]
 fn verbose_logging_records_grants_and_session_lifecycle() {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/data/x", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/data/x", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     policy.enable_logging(true);
     let user = k.spawn_user(Cred::ROOT);
-    let rules = parse_policy("path /data/x +read +stat\npath /bin/cat +exec +read\npath / +lookup").unwrap();
+    let rules = parse_policy("path /data/x +read +stat\npath /bin/cat +exec +read\npath / +lookup")
+        .unwrap();
     let spec = build_spec(&mut k, user, &rules).unwrap();
     let exe = k.resolve(user, None, "/bin/cat", true).unwrap();
-    let _ = run_sandboxed(&mut k, &policy, user, exe, &["cat".into(), "/data/x".into()], &spec);
+    let _ = run_sandboxed(
+        &mut k,
+        &policy,
+        user,
+        exe,
+        &["cat".into(), "/data/x".into()],
+        &spec,
+    );
     let events = policy.log_events();
-    assert!(events.iter().any(|e| matches!(e, LogEvent::SessionCreated { .. })));
-    assert!(events.iter().any(|e| matches!(e, LogEvent::SessionEntered { .. })));
-    assert!(events.iter().any(|e| matches!(e, LogEvent::Grant { propagated: false, .. })));
-    assert!(events.iter().any(|e| matches!(e, LogEvent::SessionReclaimed { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, LogEvent::SessionCreated { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, LogEvent::SessionEntered { .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        LogEvent::Grant {
+            propagated: false,
+            ..
+        }
+    )));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, LogEvent::SessionReclaimed { .. })));
 }
 
 #[test]
 fn policy_stats_reflect_activity() {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/data/x", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/data/x", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
-    let rules = parse_policy("path /data/x +read +stat\npath /bin/cat +exec +read\npath / +lookup").unwrap();
+    let rules = parse_policy("path /data/x +read +stat\npath /bin/cat +exec +read\npath / +lookup")
+        .unwrap();
     let spec = build_spec(&mut k, user, &rules).unwrap();
     let exe = k.resolve(user, None, "/bin/cat", true).unwrap();
-    let st = run_sandboxed(&mut k, &policy, user, exe, &["cat".into(), "/data/x".into()], &spec).unwrap();
+    let st = run_sandboxed(
+        &mut k,
+        &policy,
+        user,
+        exe,
+        &["cat".into(), "/data/x".into()],
+        &spec,
+    )
+    .unwrap();
     assert_eq!(st, 0);
     let s = policy.stats();
     assert_eq!(s.sessions_created, 1);

@@ -10,7 +10,10 @@ use shill::prelude::*;
 fn runtime_with_remote() -> ShillRuntime {
     let mut k = shill::setup::standard_kernel();
     k.net.register_remote(
-        shill::kernel::SockAddr::Inet { host: "api.example".into(), port: 80 },
+        shill::kernel::SockAddr::Inet {
+            host: "api.example".into(),
+            port: 80,
+        },
         Box::new(|req| {
             let mut v = b"pong:".to_vec();
             v.extend_from_slice(req);
@@ -37,7 +40,10 @@ fn scripts_can_use_sockets_through_factory_contracts() {
     let mut rt = runtime_with_remote();
     rt.add_script("client.cap", CLIENT_CAP);
     let v = rt
-        .run("main", "#lang shill/ambient\nrequire \"client.cap\";\nping(socket_factory)")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"client.cap\";\nping(socket_factory)",
+        )
         .unwrap();
     assert_eq!(v.display(), "pong:hello");
 }
@@ -60,7 +66,10 @@ sneak = fun(net) {
 "#,
     );
     let err = rt
-        .run("main", "#lang shill/ambient\nrequire \"limited.cap\";\nsneak(socket_factory)")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"limited.cap\";\nsneak(socket_factory)",
+        )
         .unwrap_err();
     match err {
         ShillError::Violation(v) => assert!(v.message.contains("+sock-send"), "{v}"),
@@ -82,7 +91,10 @@ try_connect = fun(net) {
 "#,
     );
     let v = rt
-        .run("main", "#lang shill/ambient\nrequire \"refused.cap\";\ntry_connect(socket_factory)")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"refused.cap\";\ntry_connect(socket_factory)",
+        )
         .unwrap();
     assert!(matches!(v, Value::Bool(true)));
 }
@@ -100,7 +112,10 @@ f = fun() { create_socket(socket_factory, "inet") };
 "#,
     );
     let err = rt
-        .run("main", "#lang shill/ambient\nrequire \"nofactory.cap\";\nf()")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"nofactory.cap\";\nf()",
+        )
         .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("unbound variable `socket_factory`"), "{m}"),
@@ -125,7 +140,10 @@ roundtrip = fun(pf) {
 "#,
     );
     let v = rt
-        .run("main", "#lang shill/ambient\nrequire \"piped.cap\";\nroundtrip(pipe_factory)")
+        .run(
+            "main",
+            "#lang shill/ambient\nrequire \"piped.cap\";\nroundtrip(pipe_factory)",
+        )
         .unwrap();
     assert_eq!(v.display(), "through the pipe");
 }

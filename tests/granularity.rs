@@ -16,7 +16,13 @@ fn language_distinguishes_write_and_append() {
     let mut rt = shill::setup::standard_runtime();
     rt.kernel()
         .fs
-        .put_file("/home/u/log.txt", b"start\n", Mode(0o666), Uid(100), Gid(100))
+        .put_file(
+            "/home/u/log.txt",
+            b"start\n",
+            Mode(0o666),
+            Uid(100),
+            Gid(100),
+        )
         .unwrap();
     rt.add_script(
         "appender.cap",
@@ -50,7 +56,8 @@ sneaky = fun(log) { append(log, "x"); }
 
 fn write_under_grants(privs: &[Priv]) -> Result<usize, Errno> {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/w/f.txt", b"", Mode(0o666), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/w/f.txt", b"", Mode(0o666), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
@@ -75,9 +82,15 @@ fn write_under_grants(privs: &[Priv]) -> Result<usize, Errno> {
 #[test]
 fn sandbox_requires_both_write_and_append() {
     // +write alone: denied.
-    assert_eq!(write_under_grants(&[Priv::Write]).unwrap_err(), Errno::EACCES);
+    assert_eq!(
+        write_under_grants(&[Priv::Write]).unwrap_err(),
+        Errno::EACCES
+    );
     // +append alone: denied (conservative single entry point).
-    assert_eq!(write_under_grants(&[Priv::Append]).unwrap_err(), Errno::EACCES);
+    assert_eq!(
+        write_under_grants(&[Priv::Append]).unwrap_err(),
+        Errno::EACCES
+    );
     // Both: allowed.
     assert_eq!(write_under_grants(&[Priv::Write, Priv::Append]).unwrap(), 4);
 }
@@ -91,8 +104,13 @@ fn devices_bypass_mac_interposition_on_rw() {
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
-    let tty = k.open(user, "/dev/tty", OpenFlags::rdwr(), Mode(0)).unwrap();
-    let spec = SandboxSpec { stdout: Some(tty), ..Default::default() };
+    let tty = k
+        .open(user, "/dev/tty", OpenFlags::rdwr(), Mode(0))
+        .unwrap();
+    let spec = SandboxSpec {
+        stdout: Some(tty),
+        ..Default::default()
+    };
     let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
     // Remove the (automatic) stdio grant to model an unlabeled device.
     // The write still succeeds because device I/O is uninterposed.
@@ -102,7 +120,8 @@ fn devices_bypass_mac_interposition_on_rw() {
     // But *opening* the device by path is still interposed (open-time
     // checks are on the vnode):
     assert_eq!(
-        k.open(sb.child, "/dev/tty", OpenFlags::rdwr(), Mode(0)).unwrap_err(),
+        k.open(sb.child, "/dev/tty", OpenFlags::rdwr(), Mode(0))
+            .unwrap_err(),
         Errno::EACCES
     );
 }
@@ -112,7 +131,13 @@ fn language_level_truncate_is_separate_privilege() {
     let mut rt = shill::setup::standard_runtime();
     rt.kernel()
         .fs
-        .put_file("/home/u/data.txt", b"keep me", Mode(0o666), Uid(100), Gid(100))
+        .put_file(
+            "/home/u/data.txt",
+            b"keep me",
+            Mode(0o666),
+            Uid(100),
+            Gid(100),
+        )
         .unwrap();
     rt.add_script(
         "wr.cap",

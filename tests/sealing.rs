@@ -174,7 +174,13 @@ fn recursive_polymorphic_calls_nest_seals() {
     }
     rt.kernel()
         .fs
-        .put_file("/home/u/a/b/c/d/deep.jpg", b"D", Mode(0o644), Uid(100), Gid(100))
+        .put_file(
+            "/home/u/a/b/c/d/deep.jpg",
+            b"D",
+            Mode(0o644),
+            Uid(100),
+            Gid(100),
+        )
         .unwrap();
     rt.add_script("find.cap", POLY_FIND);
     rt.add_script(

@@ -51,7 +51,11 @@ fn cheater_cannot_read_peer_submission() {
     // SUCCEEDED, the leaked content would prefix its output and every diff
     // would fail → score 0. The sandbox denies the read, so it scores full.
     let g = grade_of(&mut rt, 0);
-    assert_eq!(g.trim(), "score 2/2", "cheater read was denied, solution still graded: {g}");
+    assert_eq!(
+        g.trim(),
+        "score 2/2",
+        "cheater read was denied, solution still graded: {g}"
+    );
 }
 
 #[test]
@@ -84,7 +88,8 @@ fn submissions_cannot_touch_network() {
     )
     .unwrap();
     assert_eq!(
-        k.socket(sb.child, shill::kernel::SockDomain::Inet).unwrap_err(),
+        k.socket(sb.child, shill::kernel::SockDomain::Inet)
+            .unwrap_err(),
         shill::vfs::Errno::EACCES
     );
 }
@@ -93,12 +98,20 @@ fn submissions_cannot_touch_network() {
 fn test_suite_stays_intact() {
     let mut rt = grading_runtime(6);
     let before: Vec<u8> = {
-        let n = rt.kernel().fs.resolve_abs("/course/tests/expected1").unwrap();
+        let n = rt
+            .kernel()
+            .fs
+            .resolve_abs("/course/tests/expected1")
+            .unwrap();
         rt.kernel().fs.read(n, 0, 1000).unwrap()
     };
     rt.run("main", GRADING_AMBIENT).expect("grading");
     let after: Vec<u8> = {
-        let n = rt.kernel().fs.resolve_abs("/course/tests/expected1").unwrap();
+        let n = rt
+            .kernel()
+            .fs
+            .resolve_abs("/course/tests/expected1")
+            .unwrap();
         rt.kernel().fs.read(n, 0, 1000).unwrap()
     };
     assert_eq!(before, after, "test suite must be unmodified");
@@ -150,7 +163,10 @@ fn sandboxed_binaries_cannot_unload_the_policy_module() {
         &shill::sandbox::SandboxSpec::default(),
     )
     .unwrap();
-    assert_eq!(k.kldunload(sb.child, "shill").unwrap_err(), shill::vfs::Errno::EACCES);
+    assert_eq!(
+        k.kldunload(sb.child, "shill").unwrap_err(),
+        shill::vfs::Errno::EACCES
+    );
     assert!(k.has_policy("shill"));
     // Outside a sandbox, root CAN unload it (it is a normal module).
     assert!(k.kldunload(root_user, "shill").is_ok());
@@ -162,7 +178,14 @@ fn dac_still_applies_inside_sandboxes() {
     // §2.3: MAC is enforced IN ADDITION to DAC. A sandbox granted +read on
     // a file the *user* cannot read still cannot read it.
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/secret/root-only.txt", b"s", Mode(0o600), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file(
+        "/secret/root-only.txt",
+        b"s",
+        Mode(0o600),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::user(100));
@@ -179,7 +202,13 @@ fn dac_still_applies_inside_sandboxes() {
     };
     let sb = shill::sandbox::setup_sandbox(&mut k, &policy, user, &spec).unwrap();
     assert_eq!(
-        k.open(sb.child, "/secret/root-only.txt", OpenFlags::RDONLY, Mode(0)).unwrap_err(),
+        k.open(
+            sb.child,
+            "/secret/root-only.txt",
+            OpenFlags::RDONLY,
+            Mode(0)
+        )
+        .unwrap_err(),
         shill::vfs::Errno::EACCES,
         "DAC denies even though MAC grants"
     );
@@ -193,7 +222,9 @@ fn capability_safe_scripts_cannot_import_ambient_scripts() {
         "trick.cap",
         "#lang shill/cap\nrequire \"amb\";\nprovide f : {} -> any;\nf = fun() { 1 };",
     );
-    let err = rt.run("main", "#lang shill/ambient\nrequire \"trick.cap\";\nf();").unwrap_err();
+    let err = rt
+        .run("main", "#lang shill/ambient\nrequire \"trick.cap\";\nf();")
+        .unwrap_err();
     match err {
         ShillError::Runtime(m) => assert!(m.contains("capability-safe"), "{m}"),
         other => panic!("{other}"),
@@ -206,21 +237,22 @@ fn sandbox_cannot_escape_via_dotdot() {
     // are permitted, but no privileges propagate upward, so reaching
     // anything outside fails.
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/jail/inner.txt", b"in", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.put_file("/outside.txt", b"out", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file("/jail/inner.txt", b"in", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.fs.put_file("/outside.txt", b"out", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     let policy = ShillPolicy::new();
     k.register_policy(policy.clone());
     let user = k.spawn_user(Cred::ROOT);
     let jail = k.fs.resolve_abs("/jail").unwrap();
     let root = k.fs.root();
     // Traversal-only root (what a native wallet grants) + full on the jail.
-    let lookup_only = shill::cap::CapPrivs::of(shill::cap::PrivSet::of(&[
-        shill::cap::Priv::Lookup,
-    ]))
-    .with_modifier(
-        shill::cap::Priv::Lookup,
-        shill::cap::CapPrivs::of(shill::cap::PrivSet::of(&[shill::cap::Priv::Lookup])),
-    );
+    let lookup_only =
+        shill::cap::CapPrivs::of(shill::cap::PrivSet::of(&[shill::cap::Priv::Lookup]))
+            .with_modifier(
+                shill::cap::Priv::Lookup,
+                shill::cap::CapPrivs::of(shill::cap::PrivSet::of(&[shill::cap::Priv::Lookup])),
+            );
     let spec = shill::sandbox::SandboxSpec {
         grants: vec![
             shill::sandbox::Grant::vnode(root, lookup_only),
@@ -231,12 +263,15 @@ fn sandbox_cannot_escape_via_dotdot() {
     let sb = shill::sandbox::setup_sandbox(&mut k, &policy, user, &spec).unwrap();
     k.chdir(sb.child, "/jail").unwrap();
     // Inside works:
-    assert!(k.open(sb.child, "inner.txt", OpenFlags::RDONLY, Mode(0)).is_ok());
+    assert!(k
+        .open(sb.child, "inner.txt", OpenFlags::RDONLY, Mode(0))
+        .is_ok());
     // Escape fails: the ".." lookup itself is allowed (+lookup on /jail),
     // but no privileges propagate upward (§3.2.2), and the traversal-only
     // root conveys +lookup — never +read — so the final open is denied.
     assert_eq!(
-        k.open(sb.child, "../outside.txt", OpenFlags::RDONLY, Mode(0)).unwrap_err(),
+        k.open(sb.child, "../outside.txt", OpenFlags::RDONLY, Mode(0))
+            .unwrap_err(),
         shill::vfs::Errno::EACCES
     );
 }

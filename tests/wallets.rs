@@ -29,8 +29,16 @@ genparser = fun(wallet) {
 
 fn base_runtime() -> ShillRuntime {
     let mut k = shill::setup::standard_kernel();
-    k.fs.put_file("/proj/main.ml", b"sum\n", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
-    k.fs.put_file("/proj/main.bc", b"", Mode(0o644), Uid::ROOT, Gid::WHEEL).unwrap();
+    k.fs.put_file(
+        "/proj/main.ml",
+        b"sum\n",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    k.fs.put_file("/proj/main.bc", b"", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
     ShillRuntime::new(k, RuntimeConfig::WithPolicy, Cred::ROOT)
 }
 
@@ -53,7 +61,10 @@ compile(open_file("/proj/main.ml"), open_file("/proj/main.bc"), wallet)
 "#,
         )
         .unwrap();
-    assert!(matches!(v, Value::Num(2)), "compile must fail without the stdlib dep: {v:?}");
+    assert!(
+        matches!(v, Value::Num(2)),
+        "compile must fail without the stdlib dep: {v:?}"
+    );
 
     // Attempt 2: register the dependency, as the paper's authors did.
     let v = rt
@@ -70,7 +81,10 @@ compile(open_file("/proj/main.ml"), open_file("/proj/main.bc"), wallet)
 "#,
         )
         .unwrap();
-    assert!(matches!(v, Value::Num(0)), "compile succeeds with the dep: {v:?}");
+    assert!(
+        matches!(v, Value::Num(0)),
+        "compile succeeds with the dep: {v:?}"
+    );
     // The bytecode landed.
     let n = rt.kernel().fs.resolve_abs("/proj/main.bc").unwrap();
     let bc = rt.kernel().fs.read(n, 0, 100).unwrap();
@@ -95,7 +109,10 @@ genparser(wallet)
 "#,
         )
         .unwrap();
-    assert!(matches!(v, Value::Num(2)), "yacc must fail without /tmp: {v:?}");
+    assert!(
+        matches!(v, Value::Num(2)),
+        "yacc must fail without /tmp: {v:?}"
+    );
     // With a /tmp capability registered as a dependency: succeeds.
     let v = rt
         .run(
