@@ -13,10 +13,17 @@
 //!    sysctls), reporting time per op, policy-reaching MAC checks, and
 //!    directory scans. Set `SHILL_BENCH_CACHE_JSON=<path>` to record a
 //!    machine-readable baseline (committed as `BENCH_cache.json`).
+//! 5. **Batched-submission ablation** — the same entries submitted through
+//!    `Kernel::submit_batch` vs replayed sequentially
+//!    (`Kernel::run_sequential`) on the deep-path stat and streaming-copy
+//!    workloads, reporting ns/op, ulimit charge operations, and MAC
+//!    context setups. Set `SHILL_BENCH_BATCH_JSON=<path>` to record the
+//!    baseline (committed as `BENCH_batch.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use shill::kernel::{BatchEntry, SyscallBatch};
 use shill::prelude::*;
 use shill_bench::{sample, Stats};
 use shill_cap::{CapPrivs, Priv, PrivSet};
@@ -276,11 +283,232 @@ fn bench_cache_ablation() {
     }
 }
 
+/// One batch-ablation measurement.
+struct BatchRun {
+    ns_per_op: f64,
+    charge_calls: u64,
+    mac_ctx_setups: u64,
+    prefix_hits: u64,
+}
+
+/// A sandboxed kernel (full root grant, caches on) for the batch ablation.
+fn batch_fixture(build: impl FnOnce(&mut Kernel)) -> (Kernel, Pid) {
+    let mut k = Kernel::new();
+    build(&mut k);
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let user = k.spawn_user(Cred::ROOT);
+    let root = k.fs.root();
+    let spec = SandboxSpec {
+        grants: vec![Grant::vnode(root, CapPrivs::full())],
+        ..Default::default()
+    };
+    let sb = setup_sandbox(&mut k, &policy, user, &spec).expect("sandbox");
+    (k, sb.child)
+}
+
+/// Deep-path stat workload: batches of `width` repeated stats of a file at
+/// directory depth 9, the PR 1 cache workload now driven through the batch
+/// path. One "op" is one stat entry.
+fn batch_stat_run(batched: bool, rounds: usize, width: usize) -> BatchRun {
+    let depth = 9;
+    let mut p = String::from("/deep");
+    for i in 0..depth {
+        p.push_str(&format!("/d{i}"));
+    }
+    let file = format!("{p}/leaf.bin");
+    let (mut k, pid) = batch_fixture(|k| {
+        k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+    });
+    let entries: Vec<BatchEntry> = (0..width)
+        .map(|_| BatchEntry::Stat {
+            dirfd: None,
+            path: file.clone(),
+            follow: true,
+        })
+        .collect();
+    let batch = SyscallBatch::new(entries);
+    // Warmup (propagation + caches), then measure.
+    k.fstatat(pid, None, &file, true).unwrap();
+    k.stats.reset();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let out = if batched {
+            k.submit_batch(pid, &batch).unwrap()
+        } else {
+            k.run_sequential(pid, &batch).unwrap()
+        };
+        debug_assert!(out.iter().all(|r| r.is_ok()));
+    }
+    let elapsed = t0.elapsed();
+    let st = k.stats.snapshot();
+    BatchRun {
+        ns_per_op: elapsed.as_nanos() as f64 / (rounds * width) as f64,
+        charge_calls: st.charge_calls,
+        mac_ctx_setups: st.mac_ctx_setups,
+        prefix_hits: st.batch_prefix_hits,
+    }
+}
+
+/// Streaming-copy workload: a source-tree sweep (`files` 2 KiB files under
+/// a shared deep dirname, the cp -r shape) copied via the fused
+/// read-file/write-file entries. One "op" is one file copied.
+fn batch_copy_run(batched: bool, rounds: usize, files: usize) -> BatchRun {
+    let src = "/srcdir/project/src/lib/util";
+    let dst = "/dstdir/project/src/lib/util";
+    let (mut k, pid) = batch_fixture(|k| {
+        for i in 0..files {
+            k.fs.put_file(
+                &format!("{src}/f{i}"),
+                &vec![b'd'; 2 * 1024],
+                Mode(0o644),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+        k.fs.mkdir_p(dst, Mode(0o777), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+    });
+    let reads = SyscallBatch::new(
+        (0..files)
+            .map(|i| BatchEntry::ReadFile {
+                dirfd: None,
+                path: format!("{src}/f{i}"),
+            })
+            .collect(),
+    );
+    // Warmup: one read pass populates propagation and caches.
+    let _ = if batched {
+        k.submit_batch(pid, &reads).unwrap()
+    } else {
+        k.run_sequential(pid, &reads).unwrap()
+    };
+    k.stats.reset();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let out = if batched {
+            k.submit_batch(pid, &reads).unwrap()
+        } else {
+            k.run_sequential(pid, &reads).unwrap()
+        };
+        let writes = SyscallBatch::new(
+            out.into_iter()
+                .enumerate()
+                .map(|(i, r)| BatchEntry::WriteFile {
+                    dirfd: None,
+                    path: format!("{dst}/f{i}"),
+                    data: match r {
+                        Ok(shill::kernel::BatchOut::Data(d)) => d,
+                        _ => unreachable!("read failed"),
+                    },
+                    mode: Mode(0o644),
+                    append: false,
+                })
+                .collect(),
+        );
+        let out = if batched {
+            k.submit_batch(pid, &writes).unwrap()
+        } else {
+            k.run_sequential(pid, &writes).unwrap()
+        };
+        debug_assert!(out.iter().all(|r| r.is_ok()));
+    }
+    let elapsed = t0.elapsed();
+    let st = k.stats.snapshot();
+    BatchRun {
+        ns_per_op: elapsed.as_nanos() as f64 / (rounds * files) as f64,
+        charge_calls: st.charge_calls,
+        mac_ctx_setups: st.mac_ctx_setups,
+        prefix_hits: st.batch_prefix_hits,
+    }
+}
+
+fn bench_batch_ablation() {
+    println!("\n5. batched-submission ablation (batched vs sequential, caches on):");
+    let report = |label: &str, r: &BatchRun| {
+        println!(
+            "   {label:<22} {:>8.0}ns/op  charges {:>8}  ctx setups {:>8}  prefix hits {:>8}",
+            r.ns_per_op, r.charge_calls, r.mac_ctx_setups, r.prefix_hits
+        );
+    };
+    let stat_rounds = 2_000;
+    let stat_b = batch_stat_run(true, stat_rounds, 64);
+    let stat_s = batch_stat_run(false, stat_rounds, 64);
+    report("deep-stat batched:", &stat_b);
+    report("deep-stat sequential:", &stat_s);
+    let copy_rounds = 300;
+    let copy_b = batch_copy_run(true, copy_rounds, 48);
+    let copy_s = batch_copy_run(false, copy_rounds, 48);
+    report("stream-copy batched:", &copy_b);
+    report("stream-copy sequential:", &copy_s);
+    let ratio = |s: f64, b: f64| s / b.max(1e-9);
+    let red = |s: u64, b: u64| s as f64 / (b.max(1)) as f64;
+    println!(
+        "   deep-stat:   {:.2}× faster; charges cut {:.1}×; ctx setups cut {:.1}×",
+        ratio(stat_s.ns_per_op, stat_b.ns_per_op),
+        red(stat_s.charge_calls, stat_b.charge_calls),
+        red(stat_s.mac_ctx_setups, stat_b.mac_ctx_setups),
+    );
+    println!(
+        "   stream-copy: {:.2}× faster; charges cut {:.1}×; ctx setups cut {:.1}×",
+        ratio(copy_s.ns_per_op, copy_b.ns_per_op),
+        red(copy_s.charge_calls, copy_b.charge_calls),
+        red(copy_s.mac_ctx_setups, copy_b.mac_ctx_setups),
+    );
+    if let Ok(path) = std::env::var("SHILL_BENCH_BATCH_JSON") {
+        let wl = |r: &BatchRun| {
+            format!(
+                "{{\"ns_per_op\": {:.1}, \"charge_calls\": {}, \"mac_ctx_setups\": {}, \"batch_prefix_hits\": {}}}",
+                r.ns_per_op, r.charge_calls, r.mac_ctx_setups, r.prefix_hits
+            )
+        };
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"deep_stat\": {{\n",
+                "    \"workload\": \"fstatat at depth 9, {sr} rounds x 64-entry batches\",\n",
+                "    \"batched\": {},\n",
+                "    \"sequential\": {},\n",
+                "    \"speedup\": {:.3},\n",
+                "    \"charge_reduction\": {:.2},\n",
+                "    \"ctx_setup_reduction\": {:.2}\n",
+                "  }},\n",
+                "  \"stream_copy\": {{\n",
+                "    \"workload\": \"48 x 2KiB files at depth 4 copied via fused read/write, {cr} rounds\",\n",
+                "    \"batched\": {},\n",
+                "    \"sequential\": {},\n",
+                "    \"speedup\": {:.3},\n",
+                "    \"charge_reduction\": {:.2},\n",
+                "    \"ctx_setup_reduction\": {:.2}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            wl(&stat_b),
+            wl(&stat_s),
+            ratio(stat_s.ns_per_op, stat_b.ns_per_op),
+            red(stat_s.charge_calls, stat_b.charge_calls),
+            red(stat_s.mac_ctx_setups, stat_b.mac_ctx_setups),
+            wl(&copy_b),
+            wl(&copy_s),
+            ratio(copy_s.ns_per_op, copy_b.ns_per_op),
+            red(copy_s.charge_calls, copy_b.charge_calls),
+            red(copy_s.mac_ctx_setups, copy_b.mac_ctx_setups),
+            sr = stat_rounds,
+            cr = copy_rounds,
+        );
+        std::fs::write(&path, json).expect("write batch baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     bench_contract_cost();
     bench_session_churn();
     bench_propagation_depth();
     bench_cache_ablation();
+    bench_batch_ablation();
     let _ = Arc::new(());
 }

@@ -8,7 +8,7 @@ use shill_kernel::{Kernel, OpenFlags, Pid};
 use shill_vfs::Mode;
 
 use crate::tar::{pack, unpack, Entry};
-use crate::util::{glob_match, join, slurp, spit, stderr, stdout};
+use crate::util::{glob_match, join, slurp, spit, stat_sweep, stderr, stdout};
 
 /// `cat FILE...` — concatenate files to stdout.
 pub fn cat(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
@@ -166,10 +166,13 @@ pub fn find(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
             }
         };
         let _ = k.close(pid, dfd);
+        // One batched stat sweep per directory instead of one fstatat per
+        // entry; the batch's prefix reuse resolves the shared dirname once.
+        let paths: Vec<String> = names.iter().map(|n| join(&dir, n)).collect();
+        let stats = stat_sweep(k, pid, &paths);
         // Reverse so traversal order matches a recursive implementation.
-        for name in names.into_iter().rev() {
-            let path = join(&dir, &name);
-            let st = match k.fstatat(pid, None, &path, false) {
+        for ((name, path), st) in names.into_iter().zip(paths).zip(stats).rev() {
+            let st = match st {
                 Ok(st) => st,
                 Err(_) => continue,
             };

@@ -1,44 +1,76 @@
 //! Shared helpers for simulated binaries: every binary works exclusively
 //! through system calls, so MAC checks fire exactly as they would for real
-//! executables under the paper's kernel module.
+//! executables under the paper's kernel module. Whole-file operations use
+//! the kernel's batched submission path — the fused open→read→close /
+//! open→write→close entries run the identical per-operation MAC checks
+//! with one ulimit charge and one MAC context per file.
 
-use shill_kernel::{Fd, Kernel, OpenFlags, Pid};
-use shill_vfs::{Mode, SysResult};
+use shill_kernel::{BatchEntry, BatchOut, Fd, Kernel, Pid, SyscallBatch};
+use shill_vfs::{Mode, Stat, SysResult};
 
-/// Read a whole file by path.
+/// Read a whole file by path (fused open→read-to-EOF→close, one batch).
 pub fn slurp(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<Vec<u8>> {
-    let fd = k.open(pid, path, OpenFlags::RDONLY, Mode(0))?;
-    let mut out = Vec::new();
-    let mut off = 0u64;
-    loop {
-        let chunk = k.pread(pid, fd, off, 65536)?;
-        if chunk.is_empty() {
-            break;
-        }
-        off += chunk.len() as u64;
-        out.extend(chunk);
-    }
-    k.close(pid, fd)?;
-    Ok(out)
+    k.submit_single(
+        pid,
+        BatchEntry::ReadFile {
+            dirfd: None,
+            path: path.to_string(),
+        },
+    )?
+    .into_data()
 }
 
-/// Create/truncate a file by path and write contents.
+/// Create/truncate a file by path and write contents (fused, one batch).
 pub fn spit(k: &mut Kernel, pid: Pid, path: &str, data: &[u8], mode: Mode) -> SysResult<()> {
-    let fd = k.open(pid, path, OpenFlags::creat_trunc_w(), mode)?;
-    k.pwrite(pid, fd, 0, data)?;
-    k.close(pid, fd)?;
+    k.submit_single(
+        pid,
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: path.to_string(),
+            data: data.to_vec(),
+            mode,
+            append: false,
+        },
+    )?;
     Ok(())
 }
 
 /// Append a line to a file by path (creating it if missing).
 pub fn append_line(k: &mut Kernel, pid: Pid, path: &str, line: &str) -> SysResult<()> {
-    let mut flags = OpenFlags::append_only();
-    flags.create = true;
-    let fd = k.open(pid, path, flags, Mode::FILE_DEFAULT)?;
-    k.write(pid, fd, line.as_bytes())?;
-    k.write(pid, fd, b"\n")?;
-    k.close(pid, fd)?;
+    let mut data = line.as_bytes().to_vec();
+    data.push(b'\n');
+    k.submit_single(
+        pid,
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: path.to_string(),
+            data,
+            mode: Mode::FILE_DEFAULT,
+            append: true,
+        },
+    )?;
     Ok(())
+}
+
+/// `stat` a set of paths in one batched submission (the readdir+fstatat
+/// sweep `find` and `tar` perform per directory). Per-path outcomes are
+/// preserved.
+pub fn stat_sweep(k: &mut Kernel, pid: Pid, paths: &[String]) -> Vec<SysResult<Stat>> {
+    let entries: Vec<BatchEntry> = paths
+        .iter()
+        .map(|p| BatchEntry::Stat {
+            dirfd: None,
+            path: p.clone(),
+            follow: false,
+        })
+        .collect();
+    match k.submit_batch(pid, &SyscallBatch::new(entries)) {
+        Ok(out) => out
+            .into_iter()
+            .map(|r| r.and_then(BatchOut::into_stat))
+            .collect(),
+        Err(e) => paths.iter().map(|_| Err(e)).collect(),
+    }
 }
 
 /// Write to the process's stdout descriptor; ignores EBADF so binaries can

@@ -238,12 +238,16 @@ pub fn call_builtin(
         }
 
         // --- file operations ------------------------------------------------
+        // `read`/`write` route through the batch-aware I/O layer
+        // (`crate::batchio`): same guard checks and per-chunk MAC
+        // interposition, one kernel crossing per window instead of one per
+        // chunk.
         "read" => {
             arity(&args, 1, name)?;
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::Read)?;
             let pid = interp.pid;
             cap_result(
-                cap.read_all(&mut interp.kernel, pid)
+                crate::batchio::cap_read_all(&mut interp.kernel, pid, &cap)
                     .map(|d| Value::str(String::from_utf8_lossy(&d).into_owned())),
             )
         }
@@ -253,7 +257,7 @@ pub fn call_builtin(
             let (cap, _brands) = interp.unseal_for(&args[0], Priv::Write)?;
             let pid = interp.pid;
             cap_result(
-                cap.write_all(&mut interp.kernel, pid, data.as_bytes())
+                crate::batchio::cap_write_all(&mut interp.kernel, pid, &cap, data.into_bytes())
                     .map(|_| Value::Void),
             )
         }

@@ -9,6 +9,7 @@
 //! `shill/filesys` helpers).
 
 pub mod ast;
+pub mod batchio;
 pub mod builtins;
 pub mod env;
 pub mod eval;

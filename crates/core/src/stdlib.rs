@@ -7,7 +7,10 @@
 //!   capabilities, and returns a contracted wrapper that `exec`s the
 //!   program with everything it needs.
 //! * `shill/contracts` — abbreviations (`readonly`, `writeable`, ...).
-//! * `shill/filesys` — multi-component path resolution via chained lookups.
+//! * `shill/filesys` — multi-component path resolution via chained lookups,
+//!   plus batch-backed cat/cp-style helpers (`copy_file`, `dir_stats`) that
+//!   submit one kernel batch where the naive script loop would issue one
+//!   call per chunk or per name.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -109,6 +112,52 @@ fn filesys_module() -> HashMap<String, Value> {
                 }
             }
             Ok(cur)
+        }),
+    );
+    // copy_file(src, dst) -> bytes copied (or syserror). cp in one
+    // expression: batched read of src, batched truncate+write of dst.
+    // Requires +read on src and +write (with +truncate/+append per the
+    // sandbox's write conservatism) on dst.
+    m.insert(
+        "copy_file".into(),
+        native_fn("copy_file", |interp, args, _kw| {
+            if args.len() != 2 {
+                return Err(ShillError::Runtime("copy_file expects (src, dst)".into()));
+            }
+            let (src, _b1) = interp.unseal_for(&args[0], Priv::Read)?;
+            let (dst, _b2) = interp.unseal_for(&args[1], Priv::Write)?;
+            let pid = interp.pid;
+            match crate::batchio::cap_copy(&mut interp.kernel, pid, &src, &dst) {
+                Ok(n) => Ok(Value::Num(n as i64)),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
+        }),
+    );
+    // dir_stats(dir) -> list of [name, size] pairs. The `contents` +
+    // per-name `stat` loop as one readdir plus one batched fstatat sweep;
+    // names whose stat fails (vanished, denied) are skipped, like `find`.
+    m.insert(
+        "dir_stats".into(),
+        native_fn("dir_stats", |interp, args, _kw| {
+            if args.len() != 1 {
+                return Err(ShillError::Runtime("dir_stats expects (dir)".into()));
+            }
+            let (dir, _b) = interp.unseal_for(&args[0], Priv::Contents)?;
+            let pid = interp.pid;
+            match crate::batchio::cap_dir_stats(&mut interp.kernel, pid, &dir) {
+                Ok(pairs) => Ok(Value::list(
+                    pairs
+                        .into_iter()
+                        .filter_map(|(name, st)| st.ok().map(|st| (name, st)))
+                        .map(|(name, st)| {
+                            Value::list(vec![Value::str(name), Value::Num(st.size as i64)])
+                        })
+                        .collect(),
+                )),
+                Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+            }
         }),
     );
     m

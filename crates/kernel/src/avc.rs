@@ -1,9 +1,11 @@
-//! Access-vector cache (AVC) for MAC vnode decisions.
+//! Access-vector cache (AVC) for MAC decisions.
 //!
 //! Modeled on the SELinux/TrustedBSD AVC: the kernel memoizes *allow*
 //! verdicts from the policy stack so the hot path (`namei`'s per-component
-//! `Lookup` checks, per-`read` interposition) stops paying a virtual call
-//! into every registered policy for decisions that cannot have changed.
+//! `Lookup` checks, per-`read` interposition, pipe/socket data-path checks)
+//! stops paying a virtual call into every registered policy for decisions
+//! that cannot have changed. Entries are keyed by [`ObjId`], so vnode,
+//! pipe, and socket vectors all share one cache and one epoch discipline.
 //!
 //! Safety rules, in order of importance:
 //!
@@ -15,24 +17,23 @@
 //!   policy's [`crate::mac::MacPolicy::cache_epoch`]) at insert time; any
 //!   authority-shrinking event bumps an epoch and every older entry turns
 //!   stale.
-//! * **Only name-free operation classes are cached.** `CreateFile(name)`,
-//!   `RenameTo(name)` etc. bypass the cache entirely: they are mutation-path
-//!   checks where a policy may legitimately care about the component name.
+//! * **Only name- and address-free operation classes are cached.**
+//!   `CreateFile(name)`, `RenameTo(name)`, `Connect(addr)` etc. bypass the
+//!   cache entirely: they are checks where a policy may legitimately care
+//!   about the operand, not just the object.
 //! * The cache is consulted at all only when **every** registered policy
 //!   opted in via `decisions_cacheable`.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
-use shill_vfs::NodeId;
-
-use crate::mac::VnodeOp;
-use crate::types::Pid;
+use crate::mac::{PipeOp, SocketOp, VnodeOp};
+use crate::types::{ObjId, Pid};
 
 /// Soft bound on cached verdicts before a wholesale purge.
 const DEFAULT_CAPACITY: usize = 8192;
 
-/// Name-free vnode operation classes eligible for caching — the analogue of
+/// Operand-free operation classes eligible for caching — the analogue of
 /// SELinux access-vector permission bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AvcClass {
@@ -45,6 +46,11 @@ pub enum AvcClass {
     ReadSymlink,
     PathLookup,
     Chdir,
+    PipeRead,
+    PipeWrite,
+    PipeStat,
+    SockSend,
+    SockRecv,
 }
 
 /// Map a vnode operation to its cacheable class; `None` means the operation
@@ -64,13 +70,34 @@ pub fn avc_class(op: &VnodeOp<'_>) -> Option<AvcClass> {
     }
 }
 
+/// Map a pipe operation to its cacheable class. All pipe operations are
+/// operand-free, so every one caches.
+pub fn avc_pipe_class(op: PipeOp) -> Option<AvcClass> {
+    match op {
+        PipeOp::Read => Some(AvcClass::PipeRead),
+        PipeOp::Write => Some(AvcClass::PipeWrite),
+        PipeOp::Stat => Some(AvcClass::PipeStat),
+    }
+}
+
+/// Map a socket operation to its cacheable class; `None` for lifecycle and
+/// address-carrying checks (`Create`, `Bind`, `Connect`, `Listen`,
+/// `Accept`), which always reach the policies.
+pub fn avc_socket_class(op: &SocketOp) -> Option<AvcClass> {
+    match op {
+        SocketOp::Send => Some(AvcClass::SockSend),
+        SocketOp::Recv => Some(AvcClass::SockRecv),
+        _ => None,
+    }
+}
+
 /// The access-vector cache. Interior-mutable because MAC checks run behind
 /// `&Kernel` on read-path syscalls.
 #[derive(Debug, Default)]
 pub struct Avc {
     /// (subject, object, class) → combined epoch at which the allow was
     /// recorded. Presence at the current epoch means "allowed".
-    entries: RefCell<HashMap<(Pid, NodeId, AvcClass), u64>>,
+    entries: RefCell<HashMap<(Pid, ObjId, AvcClass), u64>>,
     enabled: Cell<bool>,
 }
 
@@ -94,15 +121,15 @@ impl Avc {
     }
 
     /// Probe for a still-valid allow verdict. Stale entries are dropped.
-    pub fn probe(&self, pid: Pid, node: NodeId, class: AvcClass, epoch: u64) -> bool {
+    pub fn probe(&self, pid: Pid, obj: ObjId, class: AvcClass, epoch: u64) -> bool {
         if !self.enabled.get() {
             return false;
         }
         let mut entries = self.entries.borrow_mut();
-        match entries.get(&(pid, node, class)) {
+        match entries.get(&(pid, obj, class)) {
             Some(e) if *e == epoch => true,
             Some(_) => {
-                entries.remove(&(pid, node, class));
+                entries.remove(&(pid, obj, class));
                 false
             }
             None => false,
@@ -110,7 +137,7 @@ impl Avc {
     }
 
     /// Record an allow verdict at the given combined epoch.
-    pub fn record(&self, pid: Pid, node: NodeId, class: AvcClass, epoch: u64) {
+    pub fn record(&self, pid: Pid, obj: ObjId, class: AvcClass, epoch: u64) {
         if !self.enabled.get() {
             return;
         }
@@ -122,7 +149,7 @@ impl Avc {
                 entries.clear();
             }
         }
-        entries.insert((pid, node, class), epoch);
+        entries.insert((pid, obj, class), epoch);
     }
 
     /// Drop every cached verdict.
@@ -135,9 +162,9 @@ impl Avc {
         self.entries.borrow_mut().retain(|(p, _, _), _| *p != pid);
     }
 
-    /// Drop verdicts for one object (vnode reclaimed).
-    pub fn drop_node(&self, node: NodeId) {
-        self.entries.borrow_mut().retain(|(_, n, _), _| *n != node);
+    /// Drop verdicts for one object (vnode reclaimed, pipe/socket closed).
+    pub fn drop_obj(&self, obj: ObjId) {
+        self.entries.borrow_mut().retain(|(_, o, _), _| *o != obj);
     }
 
     /// Live cached verdicts (tests/diagnostics).
@@ -149,24 +176,44 @@ impl Avc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::{PipeId, SockDomain, SockId};
+    use shill_vfs::NodeId;
+
+    fn vn(n: u64) -> ObjId {
+        ObjId::Vnode(NodeId(n))
+    }
 
     #[test]
     fn probe_record_roundtrip() {
         let avc = Avc::new();
-        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
-        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
-        assert!(avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
-        // Different class, pid, or node: separate vectors.
-        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Write, 0));
-        assert!(!avc.probe(Pid(2), NodeId(5), AvcClass::Read, 0));
-        assert!(!avc.probe(Pid(1), NodeId(6), AvcClass::Read, 0));
+        assert!(!avc.probe(Pid(1), vn(5), AvcClass::Read, 0));
+        avc.record(Pid(1), vn(5), AvcClass::Read, 0);
+        assert!(avc.probe(Pid(1), vn(5), AvcClass::Read, 0));
+        // Different class, pid, or object: separate vectors.
+        assert!(!avc.probe(Pid(1), vn(5), AvcClass::Write, 0));
+        assert!(!avc.probe(Pid(2), vn(5), AvcClass::Read, 0));
+        assert!(!avc.probe(Pid(1), vn(6), AvcClass::Read, 0));
+    }
+
+    #[test]
+    fn pipe_and_socket_vectors_are_distinct_objects() {
+        let avc = Avc::new();
+        avc.record(Pid(1), ObjId::Pipe(PipeId(5)), AvcClass::PipeRead, 0);
+        avc.record(Pid(1), ObjId::Socket(SockId(5)), AvcClass::SockSend, 0);
+        assert!(avc.probe(Pid(1), ObjId::Pipe(PipeId(5)), AvcClass::PipeRead, 0));
+        assert!(avc.probe(Pid(1), ObjId::Socket(SockId(5)), AvcClass::SockSend, 0));
+        // A vnode with the same raw id is a different key entirely.
+        assert!(!avc.probe(Pid(1), vn(5), AvcClass::Read, 0));
+        avc.drop_obj(ObjId::Pipe(PipeId(5)));
+        assert!(!avc.probe(Pid(1), ObjId::Pipe(PipeId(5)), AvcClass::PipeRead, 0));
+        assert_eq!(avc.entry_count(), 1);
     }
 
     #[test]
     fn epoch_bump_invalidates() {
         let avc = Avc::new();
-        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
-        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 1));
+        avc.record(Pid(1), vn(5), AvcClass::Read, 0);
+        assert!(!avc.probe(Pid(1), vn(5), AvcClass::Read, 1));
         // The stale entry was dropped eagerly.
         assert_eq!(avc.entry_count(), 0);
     }
@@ -174,32 +221,39 @@ mod tests {
     #[test]
     fn targeted_drops() {
         let avc = Avc::new();
-        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
-        avc.record(Pid(2), NodeId(5), AvcClass::Read, 0);
-        avc.record(Pid(1), NodeId(6), AvcClass::Stat, 0);
+        avc.record(Pid(1), vn(5), AvcClass::Read, 0);
+        avc.record(Pid(2), vn(5), AvcClass::Read, 0);
+        avc.record(Pid(1), vn(6), AvcClass::Stat, 0);
         avc.drop_pid(Pid(1));
         assert_eq!(avc.entry_count(), 1);
-        avc.drop_node(NodeId(5));
+        avc.drop_obj(vn(5));
         assert_eq!(avc.entry_count(), 0);
     }
 
     #[test]
     fn disabled_avc_is_inert() {
         let avc = Avc::new();
-        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        avc.record(Pid(1), vn(5), AvcClass::Read, 0);
         avc.set_enabled(false);
-        assert!(!avc.probe(Pid(1), NodeId(5), AvcClass::Read, 0));
-        avc.record(Pid(1), NodeId(5), AvcClass::Read, 0);
+        assert!(!avc.probe(Pid(1), vn(5), AvcClass::Read, 0));
+        avc.record(Pid(1), vn(5), AvcClass::Read, 0);
         assert_eq!(avc.entry_count(), 0, "disable flushed and stays empty");
     }
 
     #[test]
-    fn mutation_ops_have_no_class() {
+    fn operand_carrying_ops_have_no_class() {
         assert_eq!(avc_class(&VnodeOp::CreateFile("x")), None);
         assert_eq!(avc_class(&VnodeOp::UnlinkFile("x")), None);
         assert_eq!(avc_class(&VnodeOp::RenameTo("x")), None);
         assert_eq!(avc_class(&VnodeOp::Chmod), None);
         assert_eq!(avc_class(&VnodeOp::Truncate), None);
         assert_eq!(avc_class(&VnodeOp::Lookup("x")), Some(AvcClass::Lookup));
+        assert_eq!(avc_pipe_class(PipeOp::Read), Some(AvcClass::PipeRead));
+        assert_eq!(avc_pipe_class(PipeOp::Write), Some(AvcClass::PipeWrite));
+        assert_eq!(avc_socket_class(&SocketOp::Send), Some(AvcClass::SockSend));
+        assert_eq!(avc_socket_class(&SocketOp::Recv), Some(AvcClass::SockRecv));
+        assert_eq!(avc_socket_class(&SocketOp::Create(SockDomain::Inet)), None);
+        assert_eq!(avc_socket_class(&SocketOp::Listen), None);
+        assert_eq!(avc_socket_class(&SocketOp::Accept), None);
     }
 }

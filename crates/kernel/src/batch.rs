@@ -1,0 +1,766 @@
+//! Batched syscall submission (io_uring-style) across the runtime→kernel
+//! boundary.
+//!
+//! SHILL's enforcement model (paper §2.3) makes every language operation
+//! pay a full kernel round-trip: a ulimit charge, a MAC subject-context
+//! construction, and a `namei` path walk. PR 1's caches cut the
+//! per-*component* cost; this module cuts the per-*call* cost. A
+//! [`SyscallBatch`] carries a sequence of [`BatchEntry`] operations that
+//! [`crate::Kernel::submit_batch`] executes **in order** with three
+//! amortizations:
+//!
+//! * **One ulimit charge per batch.** The cpu-tick budget is read once at
+//!   submit time; entries consume ticks from the pre-read budget (same
+//!   `EAGAIN` trip points as sequential execution) and the total is written
+//!   back once.
+//! * **One MAC context per batch.** No batch entry can change the subject's
+//!   credentials, so the `MacCtx` built at submit time is reused by every
+//!   check.
+//! * **In-batch `namei` prefix reuse.** Entries naming paths under a common
+//!   dirname reuse the first entry's dirname resolution. Each reused
+//!   prefix is fenced by the PR 1 invalidation machinery: every directory
+//!   stepped through is revalidated against its dcache generation and the
+//!   policy stack's combined AVC epoch; a mid-batch create/unlink/rename or
+//!   authority-shrinking event falls back to the full walk. Reuse is
+//!   enabled only when every loaded policy opted into verdict caching
+//!   ([`crate::mac::MacPolicy::decisions_cacheable`]) — the same contract
+//!   the AVC itself relies on — and the skipped components' `post_lookup`
+//!   propagation notifications are replayed so label state evolves exactly
+//!   as on the full walk.
+//!
+//! What prefix reuse skips, precisely: the intermediate components'
+//! directory-entry scans, MAC `Lookup` re-checks (fenced by the combined
+//! epoch, exactly like an AVC hit), **and their DAC Exec re-checks**. The
+//! DAC skip is sound only because of a *vocabulary invariant*, not a
+//! runtime fence: no batch entry can change credentials or DAC metadata
+//! (no setuid, no chmod/chown entries exist), so directory modes observed
+//! by the first walk cannot change before the batch ends. Anyone adding a
+//! metadata-mutating entry must also clear [`BatchState::prefixes`] after
+//! executing it — otherwise a later entry could resolve through a
+//! directory whose search permission was just revoked, diverging from
+//! [`crate::Kernel::run_sequential`]. Everything else is unchanged: the
+//! final path component always takes the full DAC + MAC path, data-path
+//! interposition (`Read`/`Write` checks per chunk) fires per operation
+//! exactly as in sequential execution, and denials are never cached.
+//! Observable equivalence with sequential execution — same results, same
+//! errnos, same audit denials — is a test target
+//! (`tests/batch_equivalence.rs`).
+//!
+//! Failure semantics are selected per batch by [`FailMode`]: under the
+//! default [`FailMode::Continue`] a failing entry yields its errno and
+//! later entries still run; [`FailMode::Abort`] short-circuits like an
+//! `&&` chain, reporting `ECANCELED` for every entry after the first
+//! failure (which is never executed).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use shill_vfs::{Errno, Mode, NodeId, Stat, SysResult};
+
+use crate::kernel::Kernel;
+use crate::mac::MacCtx;
+use crate::stats::KernelStats;
+use crate::types::{Fd, OpenFlags, Pid};
+
+/// Read/write chunk used by the fused file operations.
+const FUSED_CHUNK: usize = 65536;
+
+/// What happens to the rest of the batch when an entry fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// Entries are independent: a failure yields its errno in that slot and
+    /// later entries still execute (the common case for stat sweeps).
+    #[default]
+    Continue,
+    /// `&&`-chain semantics: the first failure cancels every later entry,
+    /// which reports `ECANCELED` without executing.
+    Abort,
+}
+
+/// One operation in a batch. Path-carrying entries resolve relative to
+/// `dirfd` (or the cwd when `None`), exactly like their `*at` syscall
+/// counterparts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchEntry {
+    /// `openat` → [`BatchOut::Fd`].
+    Open {
+        dirfd: Option<Fd>,
+        path: String,
+        flags: OpenFlags,
+        mode: Mode,
+    },
+    /// `close` → [`BatchOut::Unit`].
+    Close { fd: Fd },
+    /// `read` at the descriptor offset → [`BatchOut::Data`].
+    Read { fd: Fd, len: usize },
+    /// Positional `pread` → [`BatchOut::Data`].
+    Pread { fd: Fd, offset: u64, len: usize },
+    /// Vectored read at the descriptor offset: one chunk per len, stopping
+    /// at EOF → [`BatchOut::Data`] (concatenated).
+    Readv { fd: Fd, lens: Vec<usize> },
+    /// Vectored positional read → [`BatchOut::Data`] (concatenated).
+    Preadv {
+        fd: Fd,
+        offset: u64,
+        lens: Vec<usize>,
+    },
+    /// `write` at the descriptor offset → [`BatchOut::Written`].
+    Write { fd: Fd, data: Vec<u8> },
+    /// Positional `pwrite` → [`BatchOut::Written`].
+    Pwrite { fd: Fd, offset: u64, data: Vec<u8> },
+    /// Vectored write at the descriptor offset → [`BatchOut::Written`]
+    /// (total).
+    Writev { fd: Fd, bufs: Vec<Vec<u8>> },
+    /// Append regardless of offset → [`BatchOut::Written`].
+    Append { fd: Fd, data: Vec<u8> },
+    /// `ftruncate` → [`BatchOut::Unit`].
+    Ftruncate { fd: Fd, len: u64 },
+    /// `fstat` → [`BatchOut::Stat`].
+    Fstat { fd: Fd },
+    /// `fstatat` → [`BatchOut::Stat`].
+    Stat {
+        dirfd: Option<Fd>,
+        path: String,
+        follow: bool,
+    },
+    /// `getdirentries` on an open directory → [`BatchOut::Names`].
+    ReadDir { fd: Fd },
+    /// Fused open→read-to-EOF→close → [`BatchOut::Data`]. One entry instead
+    /// of N+2 calls; every per-chunk MAC `Read` check still fires.
+    ReadFile { dirfd: Option<Fd>, path: String },
+    /// Fused open(create)→write→close → [`BatchOut::Written`]. With
+    /// `append`, opens append-mode (creating if missing) instead of
+    /// truncating.
+    WriteFile {
+        dirfd: Option<Fd>,
+        path: String,
+        data: Vec<u8>,
+        mode: Mode,
+        append: bool,
+    },
+    /// `unlinkat` → [`BatchOut::Unit`].
+    Unlink {
+        dirfd: Option<Fd>,
+        path: String,
+        remove_dir: bool,
+    },
+}
+
+/// Per-entry result payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOut {
+    Unit,
+    Fd(Fd),
+    Data(Vec<u8>),
+    Written(usize),
+    Stat(Stat),
+    Names(Vec<String>),
+}
+
+impl BatchOut {
+    /// Extract a `Stat` payload; `EINVAL` for any other variant.
+    pub fn into_stat(self) -> SysResult<Stat> {
+        match self {
+            BatchOut::Stat(st) => Ok(st),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Extract a data payload; `EINVAL` for any other variant.
+    pub fn into_data(self) -> SysResult<Vec<u8>> {
+        match self {
+            BatchOut::Data(d) => Ok(d),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+}
+
+/// An ordered sequence of entries submitted as one kernel crossing.
+#[derive(Debug, Clone, Default)]
+pub struct SyscallBatch {
+    pub entries: Vec<BatchEntry>,
+    pub fail_mode: FailMode,
+}
+
+impl SyscallBatch {
+    pub fn new(entries: Vec<BatchEntry>) -> SyscallBatch {
+        SyscallBatch {
+            entries,
+            fail_mode: FailMode::Continue,
+        }
+    }
+
+    pub fn single(entry: BatchEntry) -> SyscallBatch {
+        SyscallBatch::new(vec![entry])
+    }
+
+    pub fn aborting(entries: Vec<BatchEntry>) -> SyscallBatch {
+        SyscallBatch {
+            entries,
+            fail_mode: FailMode::Abort,
+        }
+    }
+}
+
+/// One directory step of a cached dirname resolution: where the lookup
+/// happened, the dcache generation observed, and what it resolved to (for
+/// replaying the `post_lookup` propagation notification).
+#[derive(Debug, Clone)]
+pub struct PrefixStep {
+    pub dir: NodeId,
+    pub gen: u64,
+    pub name: String,
+    pub child: NodeId,
+}
+
+/// A cached dirname resolution, valid while every step's generation and the
+/// policy stack's combined epoch are unchanged.
+#[derive(Debug, Clone)]
+pub struct PrefixHit {
+    /// The directory containing the final component.
+    pub parent: NodeId,
+    /// MAC combined epoch at resolution time.
+    pub epoch: u64,
+    pub steps: Vec<PrefixStep>,
+}
+
+/// Walk-time recording used to build a [`PrefixHit`].
+#[derive(Debug, Default)]
+pub struct PrefixTrace {
+    pub steps: Vec<PrefixStep>,
+    pub parent_of_last: Option<NodeId>,
+    /// Set when the prefix traversed a symlink: such resolutions are never
+    /// cached (the generation fence does not cover link targets).
+    pub tainted: bool,
+}
+
+/// Live state of a batched submission, installed on the kernel for the
+/// duration of `submit_batch`. `charge`, `ctx`, and `namei` consult it.
+pub struct BatchState {
+    /// The MAC subject context, built once.
+    pub ctx: MacCtx,
+    /// cpu_ticks at submit time.
+    pub base: u64,
+    /// The subject's `max_cpu_ticks`.
+    pub limit: u64,
+    /// Ticks consumed so far by the batch's inner syscalls.
+    pub used: Cell<u64>,
+    /// Whether `namei` may reuse dirname resolutions (all loaded policies
+    /// opted into verdict caching, or none are loaded).
+    pub reuse_prefixes: bool,
+    /// start node → dirname text → resolution. Two-level so probes hash a
+    /// borrowed `&str` slice of the caller's path, no allocation.
+    pub prefixes: RefCell<HashMap<NodeId, HashMap<String, PrefixHit>>>,
+}
+
+/// Split a path into `(dirname, last-component)` textually, consistent with
+/// `namei`'s component semantics. `None` when the path has fewer than two
+/// components (nothing to reuse).
+pub(crate) fn split_dirname(path: &str) -> Option<(&str, &str)> {
+    let trimmed = path.trim_end_matches('/');
+    let idx = trimmed.rfind('/')?;
+    let (dir, last) = (&trimmed[..idx], &trimmed[idx + 1..]);
+    if last.is_empty() || !dir.split('/').any(|c| !c.is_empty()) {
+        return None;
+    }
+    Some((dir, last))
+}
+
+impl BatchState {
+    /// Consume one cpu tick from the pre-read budget; trips `EAGAIN` at
+    /// exactly the tick where sequential per-call charging would.
+    pub fn consume_tick(&self) -> SysResult<()> {
+        let used = self.used.get() + 1;
+        self.used.set(used);
+        if self.base + used > self.limit {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(())
+    }
+}
+
+impl Kernel {
+    /// Submit a batch for `pid`. Entries execute in order; the returned
+    /// vector has one slot per entry. The outer `Err` is reserved for
+    /// submission-level failures (no such process, nested submission).
+    ///
+    /// See the module docs for the amortization and equivalence contract.
+    pub fn submit_batch(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+    ) -> SysResult<Vec<SysResult<BatchOut>>> {
+        if self.batch.is_some() {
+            // No nested submissions: the amortized accounting is per-batch.
+            return Err(Errno::EINVAL);
+        }
+        KernelStats::bump(&self.stats.batches);
+        // One ulimit accounting operation for the whole batch.
+        KernelStats::bump(&self.stats.charge_calls);
+        let (base, limit) = {
+            let p = self.process(pid)?;
+            if !p.alive() {
+                return Err(Errno::ESRCH);
+            }
+            (p.cpu_ticks, p.ulimits.max_cpu_ticks)
+        };
+        // One MAC context construction for the whole batch.
+        KernelStats::bump(&self.stats.mac_ctx_setups);
+        let ctx = MacCtx {
+            pid,
+            cred: self.process(pid)?.cred,
+        };
+        let reuse_prefixes = self.policy_registry_cacheable();
+        self.batch = Some(BatchState {
+            ctx,
+            base,
+            limit,
+            used: Cell::new(0),
+            reuse_prefixes,
+            prefixes: RefCell::new(HashMap::new()),
+        });
+
+        let mut out: Vec<SysResult<BatchOut>> = Vec::with_capacity(batch.entries.len());
+        let mut aborted = false;
+        for entry in &batch.entries {
+            KernelStats::bump(&self.stats.batch_entries);
+            if aborted {
+                out.push(Err(Errno::ECANCELED));
+                continue;
+            }
+            let r = self.exec_entry(pid, entry);
+            if r.is_err() && batch.fail_mode == FailMode::Abort {
+                aborted = true;
+            }
+            out.push(r);
+        }
+
+        let st = self.batch.take().expect("batch state present");
+        // Write the consumed ticks back in one process-table access.
+        if let Ok(p) = self.process_mut(pid) {
+            p.cpu_ticks = st.base + st.used.get();
+        }
+        // One audit span per batch with per-entry outcomes.
+        let outcomes: Vec<Option<Errno>> = out.iter().map(|r| r.as_ref().err().copied()).collect();
+        for p in self.policies() {
+            p.batch_complete(st.ctx, &outcomes);
+        }
+        Ok(out)
+    }
+
+    /// Submit a single (typically fused) entry: one kernel crossing, one
+    /// result. The convenience wrapper the whole-file helpers build on.
+    pub fn submit_single(&mut self, pid: Pid, entry: BatchEntry) -> SysResult<BatchOut> {
+        self.submit_batch(pid, &SyscallBatch::single(entry))?
+            .into_iter()
+            .next()
+            .unwrap_or(Err(Errno::EINVAL))
+    }
+
+    /// Execute the same entries through the plain sequential path: one
+    /// charge and one MAC context per inner syscall, no prefix reuse, no
+    /// batch audit span. This is the equivalence baseline the property
+    /// suite and the ablation bench compare `submit_batch` against.
+    pub fn run_sequential(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+    ) -> SysResult<Vec<SysResult<BatchOut>>> {
+        if self.batch.is_some() {
+            return Err(Errno::EINVAL);
+        }
+        if !self.process(pid)?.alive() {
+            return Err(Errno::ESRCH);
+        }
+        let mut out = Vec::with_capacity(batch.entries.len());
+        let mut aborted = false;
+        for entry in &batch.entries {
+            if aborted {
+                out.push(Err(Errno::ECANCELED));
+                continue;
+            }
+            let r = self.exec_entry(pid, entry);
+            if r.is_err() && batch.fail_mode == FailMode::Abort {
+                aborted = true;
+            }
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// Dispatch one entry through the ordinary syscall implementations —
+    /// the same code paths, checks, and audit events as sequential
+    /// execution, modulo the charge/context/prefix amortizations (active
+    /// only while a batch is live; see the module docs for exactly what
+    /// prefix reuse elides).
+    fn exec_entry(&mut self, pid: Pid, entry: &BatchEntry) -> SysResult<BatchOut> {
+        match entry {
+            BatchEntry::Open {
+                dirfd,
+                path,
+                flags,
+                mode,
+            } => self
+                .openat(pid, *dirfd, path, *flags, *mode)
+                .map(BatchOut::Fd),
+            BatchEntry::Close { fd } => self.close(pid, *fd).map(|_| BatchOut::Unit),
+            BatchEntry::Read { fd, len } => self.read(pid, *fd, *len).map(BatchOut::Data),
+            BatchEntry::Pread { fd, offset, len } => {
+                self.pread(pid, *fd, *offset, *len).map(BatchOut::Data)
+            }
+            BatchEntry::Readv { fd, lens } => {
+                let mut data = Vec::new();
+                for len in lens {
+                    let chunk = self.read(pid, *fd, *len)?;
+                    let eof = chunk.len() < *len;
+                    data.extend(chunk);
+                    if eof {
+                        break;
+                    }
+                }
+                Ok(BatchOut::Data(data))
+            }
+            BatchEntry::Preadv { fd, offset, lens } => {
+                let mut data = Vec::new();
+                let mut off = *offset;
+                for len in lens {
+                    let chunk = self.pread(pid, *fd, off, *len)?;
+                    let eof = chunk.len() < *len;
+                    off += chunk.len() as u64;
+                    data.extend(chunk);
+                    if eof {
+                        break;
+                    }
+                }
+                Ok(BatchOut::Data(data))
+            }
+            BatchEntry::Write { fd, data } => self.write(pid, *fd, data).map(BatchOut::Written),
+            BatchEntry::Pwrite { fd, offset, data } => {
+                self.pwrite(pid, *fd, *offset, data).map(BatchOut::Written)
+            }
+            BatchEntry::Writev { fd, bufs } => {
+                let mut n = 0usize;
+                for buf in bufs {
+                    n += self.write(pid, *fd, buf)?;
+                }
+                Ok(BatchOut::Written(n))
+            }
+            BatchEntry::Append { fd, data } => {
+                self.append_fd(pid, *fd, data).map(BatchOut::Written)
+            }
+            BatchEntry::Ftruncate { fd, len } => {
+                self.ftruncate(pid, *fd, *len).map(|_| BatchOut::Unit)
+            }
+            BatchEntry::Fstat { fd } => self.fstat(pid, *fd).map(BatchOut::Stat),
+            BatchEntry::Stat {
+                dirfd,
+                path,
+                follow,
+            } => self.fstatat(pid, *dirfd, path, *follow).map(BatchOut::Stat),
+            BatchEntry::ReadDir { fd } => self.readdirfd(pid, *fd).map(BatchOut::Names),
+            BatchEntry::ReadFile { dirfd, path } => {
+                let fd = self.openat(pid, *dirfd, path, OpenFlags::RDONLY, Mode(0))?;
+                let mut data = Vec::new();
+                loop {
+                    match self.read(pid, fd, FUSED_CHUNK) {
+                        Ok(chunk) if chunk.is_empty() => break,
+                        Ok(chunk) => data.extend(chunk),
+                        Err(e) => {
+                            let _ = self.close(pid, fd);
+                            return Err(e);
+                        }
+                    }
+                }
+                self.close(pid, fd)?;
+                Ok(BatchOut::Data(data))
+            }
+            BatchEntry::WriteFile {
+                dirfd,
+                path,
+                data,
+                mode,
+                append,
+            } => {
+                let flags = if *append {
+                    let mut f = OpenFlags::append_only();
+                    f.create = true;
+                    f
+                } else {
+                    OpenFlags::creat_trunc_w()
+                };
+                let fd = self.openat(pid, *dirfd, path, flags, *mode)?;
+                match self.write(pid, fd, data) {
+                    Ok(n) => {
+                        self.close(pid, fd)?;
+                        Ok(BatchOut::Written(n))
+                    }
+                    Err(e) => {
+                        let _ = self.close(pid, fd);
+                        Err(e)
+                    }
+                }
+            }
+            BatchEntry::Unlink {
+                dirfd,
+                path,
+                remove_dir,
+            } => self
+                .unlinkat(pid, *dirfd, path, *remove_dir)
+                .map(|_| BatchOut::Unit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_vfs::{Cred, Gid, Uid};
+
+    fn setup() -> (Kernel, Pid) {
+        let mut k = Kernel::new();
+        k.fs.mkdir_p("/deep/a/b/c", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        for i in 0..4 {
+            k.fs.put_file(
+                &format!("/deep/a/b/c/f{i}"),
+                format!("file-{i}").as_bytes(),
+                Mode::FILE_DEFAULT,
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+        let pid = k.spawn_user(Cred::ROOT);
+        (k, pid)
+    }
+
+    fn stat_entry(path: &str) -> BatchEntry {
+        BatchEntry::Stat {
+            dirfd: None,
+            path: path.to_string(),
+            follow: true,
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_results() {
+        let (mut k, pid) = setup();
+        let batch = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            stat_entry("/deep/a/b/c/f1"),
+            stat_entry("/deep/a/b/c/missing"),
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/deep/a/b/c/f2".into(),
+            },
+        ]);
+        let batched = k.submit_batch(pid, &batch).unwrap();
+        let (mut k2, pid2) = setup();
+        let sequential = k2.run_sequential(pid2, &batch).unwrap();
+        assert_eq!(batched, sequential);
+        assert_eq!(batched[2], Err(Errno::ENOENT));
+        assert_eq!(
+            batched[3],
+            Ok(BatchOut::Data(b"file-2".to_vec())),
+            "fused read returns contents"
+        );
+    }
+
+    #[test]
+    fn prefix_reuse_hits_and_charge_amortized() {
+        let (mut k, pid) = setup();
+        k.stats.reset();
+        let batch = SyscallBatch::new(
+            (0..4)
+                .map(|i| stat_entry(&format!("/deep/a/b/c/f{i}")))
+                .collect(),
+        );
+        let out = k.submit_batch(pid, &batch).unwrap();
+        assert!(out.iter().all(|r| r.is_ok()));
+        let st = k.stats.snapshot();
+        assert_eq!(st.charge_calls, 1, "one ulimit charge for the batch");
+        assert_eq!(st.mac_ctx_setups, 1, "one MAC context for the batch");
+        assert_eq!(st.batch_prefix_misses, 1, "first entry walks");
+        assert_eq!(st.batch_prefix_hits, 3, "later entries reuse the dirname");
+    }
+
+    #[test]
+    fn mid_batch_invalidation_falls_back_to_slow_path() {
+        let (mut k, pid) = setup();
+        k.stats.reset();
+        let batch = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            // Mutating /deep/a/b bumps its generation: the cached prefix
+            // walked through it and must be revalidated.
+            BatchEntry::Unlink {
+                dirfd: None,
+                path: "/deep/a/b/c".into(),
+                remove_dir: true,
+            },
+            stat_entry("/deep/a/b/c/f1"),
+        ]);
+        let out = k.submit_batch(pid, &batch).unwrap();
+        assert!(out[0].is_ok());
+        // The directory was not empty: the unlink itself fails...
+        assert_eq!(out[1], Err(Errno::ENOTEMPTY));
+
+        // A mutation *inside the final directory* does not invalidate the
+        // cached dirname (the fence is per walked directory), but the final
+        // component is always re-resolved, so the ENOENT is still observed.
+        let batch2 = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            BatchEntry::Unlink {
+                dirfd: None,
+                path: "/deep/a/b/c/f1".into(),
+                remove_dir: false,
+            },
+            stat_entry("/deep/a/b/c/f1"),
+        ]);
+        let out = k.submit_batch(pid, &batch2).unwrap();
+        assert!(out[0].is_ok());
+        assert!(out[1].is_ok());
+        assert_eq!(out[2], Err(Errno::ENOENT), "unlinked mid-batch");
+
+        // A mutation in a directory *on the cached chain* (creating a file
+        // in /deep/a/b) bumps that generation: the next probe of the
+        // /deep/a/b/c dirname must fall back to the full walk.
+        let batch3 = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            BatchEntry::WriteFile {
+                dirfd: None,
+                path: "/deep/a/b/side".into(),
+                data: b"x".to_vec(),
+                mode: Mode::FILE_DEFAULT,
+                append: false,
+            },
+            stat_entry("/deep/a/b/c/f2"),
+            stat_entry("/deep/a/b/c/f0"),
+        ]);
+        k.stats.reset();
+        let out = k.submit_batch(pid, &batch3).unwrap();
+        assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
+        let st = k.stats.snapshot();
+        // Misses: f0's first walk, the WriteFile's own dirname, and the
+        // revalidation failure after the create. The final stat hits again.
+        assert_eq!(
+            st.batch_prefix_misses, 3,
+            "invalidation forced exactly one re-walk"
+        );
+        assert_eq!(st.batch_prefix_hits, 1);
+    }
+
+    #[test]
+    fn fail_modes() {
+        let (mut k, pid) = setup();
+        let entries = vec![
+            stat_entry("/deep/a/b/c/f0"),
+            stat_entry("/deep/a/b/c/missing"),
+            stat_entry("/deep/a/b/c/f1"),
+        ];
+        let cont = k
+            .submit_batch(pid, &SyscallBatch::new(entries.clone()))
+            .unwrap();
+        assert!(cont[0].is_ok());
+        assert_eq!(cont[1], Err(Errno::ENOENT));
+        assert!(cont[2].is_ok(), "Continue keeps going past a failure");
+        let abort = k
+            .submit_batch(pid, &SyscallBatch::aborting(entries))
+            .unwrap();
+        assert!(abort[0].is_ok());
+        assert_eq!(abort[1], Err(Errno::ENOENT));
+        assert_eq!(
+            abort[2],
+            Err(Errno::ECANCELED),
+            "Abort cancels the rest like an && chain"
+        );
+    }
+
+    #[test]
+    fn cpu_ticks_match_sequential_and_trip_identically() {
+        let (mut k, pid) = setup();
+        let batch = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            stat_entry("/deep/a/b/c/f1"),
+            stat_entry("/deep/a/b/c/f2"),
+        ]);
+        let (mut k2, pid2) = setup();
+        k.submit_batch(pid, &batch).unwrap();
+        k2.run_sequential(pid2, &batch).unwrap();
+        assert_eq!(
+            k.process(pid).unwrap().cpu_ticks,
+            k2.process(pid2).unwrap().cpu_ticks,
+            "tick accounting identical"
+        );
+        // With a 2-tick budget the third entry trips EAGAIN in both modes.
+        for (kern, p) in [(&mut k, pid), (&mut k2, pid2)] {
+            kern.set_ulimits(
+                p,
+                crate::types::Ulimits {
+                    max_cpu_ticks: kern.process(p).unwrap().cpu_ticks + 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        }
+        let b = k.submit_batch(pid, &batch).unwrap();
+        let s = k2.run_sequential(pid2, &batch).unwrap();
+        assert_eq!(b, s);
+        assert_eq!(b[2], Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn nested_submission_is_rejected() {
+        let (mut k, pid) = setup();
+        // Simulate a live batch (as an exec handler running inside one
+        // would see): a second submission must refuse rather than corrupt
+        // the amortized accounting.
+        k.batch = Some(BatchState {
+            ctx: MacCtx {
+                pid,
+                cred: Cred::ROOT,
+            },
+            base: 0,
+            limit: u64::MAX,
+            used: Cell::new(0),
+            reuse_prefixes: true,
+            prefixes: RefCell::new(HashMap::new()),
+        });
+        assert_eq!(
+            k.submit_batch(pid, &SyscallBatch::default()).unwrap_err(),
+            Errno::EINVAL
+        );
+        k.batch = None;
+        assert!(k.submit_batch(pid, &SyscallBatch::default()).is_ok());
+    }
+
+    #[test]
+    fn write_file_fusion_creates_and_appends() {
+        let (mut k, pid) = setup();
+        let out = k
+            .submit_batch(
+                pid,
+                &SyscallBatch::new(vec![
+                    BatchEntry::WriteFile {
+                        dirfd: None,
+                        path: "/deep/a/b/c/new.txt".into(),
+                        data: b"one\n".to_vec(),
+                        mode: Mode::FILE_DEFAULT,
+                        append: false,
+                    },
+                    BatchEntry::WriteFile {
+                        dirfd: None,
+                        path: "/deep/a/b/c/new.txt".into(),
+                        data: b"two\n".to_vec(),
+                        mode: Mode::FILE_DEFAULT,
+                        append: true,
+                    },
+                    BatchEntry::ReadFile {
+                        dirfd: None,
+                        path: "/deep/a/b/c/new.txt".into(),
+                    },
+                ]),
+            )
+            .unwrap();
+        assert_eq!(out[2], Ok(BatchOut::Data(b"one\ntwo\n".to_vec())));
+    }
+}

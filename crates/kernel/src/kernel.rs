@@ -5,9 +5,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use shill_vfs::{dac, Access, Cred, DeviceKind, Errno, Filesystem, Mode, NodeId, SysResult};
+use shill_vfs::{
+    dac, Access, Cred, DcacheProbe, DeviceKind, Errno, Filesystem, Mode, NodeId, SysResult,
+};
 
-use crate::avc::{avc_class, Avc};
+use crate::avc::{avc_class, avc_pipe_class, avc_socket_class, Avc};
+use crate::batch::{BatchState, PrefixHit, PrefixStep, PrefixTrace};
 use crate::mac::{MacCtx, MacPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 use crate::net::NetStack;
 use crate::pipe::PipeTable;
@@ -54,6 +57,10 @@ pub struct Kernel {
     exec_handlers: HashMap<String, ExecHandler>,
     pub(crate) sysctls: HashMap<String, String>,
     pub(crate) kenv: HashMap<String, String>,
+    /// Live batched submission, if any (see [`crate::batch`]): one ulimit
+    /// charge, one MAC context, and an in-batch `namei` prefix cache
+    /// amortized across the batch's entries.
+    pub(crate) batch: Option<BatchState>,
     next_pid: u32,
     rng: u64,
 }
@@ -117,6 +124,7 @@ impl Kernel {
             exec_handlers: HashMap::new(),
             sysctls,
             kenv: HashMap::new(),
+            batch: None,
             next_pid: 1,
             rng: 0x9E3779B97F4A7C15,
         }
@@ -221,16 +229,36 @@ impl Kernel {
         self.procs.get_mut(&pid).ok_or(Errno::ESRCH)
     }
 
+    /// The MAC subject context for a process. Inside a batched submission
+    /// the context built once at submit time is reused — credentials cannot
+    /// change mid-batch (no batch entry alters them), so re-deriving it per
+    /// check is pure overhead.
     pub(crate) fn ctx(&self, pid: Pid) -> SysResult<MacCtx> {
+        if let Some(b) = &self.batch {
+            if b.ctx.pid == pid {
+                return Ok(b.ctx);
+            }
+        }
+        KernelStats::bump(&self.stats.mac_ctx_setups);
         Ok(MacCtx {
             pid,
             cred: self.process(pid)?.cred,
         })
     }
 
-    /// Charge one syscall tick against the process's cpu ulimit.
+    /// Charge one syscall tick against the process's cpu ulimit. Inside a
+    /// batched submission the accounting was hoisted to `submit_batch`: the
+    /// tick is consumed from the batch's pre-read budget (identical EAGAIN
+    /// trip points, no per-call process-table lookup) and written back once
+    /// when the batch completes.
     pub(crate) fn charge(&mut self, pid: Pid) -> SysResult<()> {
         KernelStats::bump(&self.stats.syscalls);
+        if let Some(b) = &self.batch {
+            if b.ctx.pid == pid {
+                return b.consume_tick();
+            }
+        }
+        KernelStats::bump(&self.stats.charge_calls);
         let p = self.process_mut(pid)?;
         if !p.alive() {
             return Err(Errno::ESRCH);
@@ -391,7 +419,7 @@ impl Kernel {
         };
         let epoch = vector.map(|_| self.registry.combined_epoch());
         if let (Some(class), Some(epoch)) = (vector, epoch) {
-            if self.avc.probe(pid, node, class, epoch) {
+            if self.avc.probe(pid, ObjId::Vnode(node), class, epoch) {
                 KernelStats::bump(&self.stats.avc_hits);
                 return Ok(());
             }
@@ -403,7 +431,7 @@ impl Kernel {
             p.vnode_check(ctx, node, op)?;
         }
         if let (Some(class), Some(epoch)) = (vector, epoch) {
-            self.avc.record(pid, node, class, epoch);
+            self.avc.record(pid, ObjId::Vnode(node), class, epoch);
         }
         Ok(())
     }
@@ -438,10 +466,28 @@ impl Kernel {
         if self.registry.is_empty() {
             return Ok(());
         }
+        // Same memoization discipline as vnodes: pipe data-path verdicts
+        // are operand-free and monotone between epoch bumps.
+        let vector = if self.avc.enabled() && self.registry.cacheable() {
+            avc_pipe_class(op)
+        } else {
+            None
+        };
+        let epoch = vector.map(|_| self.registry.combined_epoch());
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            if self.avc.probe(pid, obj, class, epoch) {
+                KernelStats::bump(&self.stats.avc_hits);
+                return Ok(());
+            }
+            KernelStats::bump(&self.stats.avc_misses);
+        }
         let ctx = self.ctx(pid)?;
         for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.pipe_check(ctx, obj, op)?;
+        }
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            self.avc.record(pid, obj, class, epoch);
         }
         Ok(())
     }
@@ -450,10 +496,28 @@ impl Kernel {
         if self.registry.is_empty() {
             return Ok(());
         }
+        // Send/Recv are cacheable; lifecycle and address-carrying checks
+        // (Create/Bind/Connect/Listen/Accept) always reach the policies.
+        let vector = if self.avc.enabled() && self.registry.cacheable() {
+            avc_socket_class(op)
+        } else {
+            None
+        };
+        let epoch = vector.map(|_| self.registry.combined_epoch());
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            if self.avc.probe(pid, obj, class, epoch) {
+                KernelStats::bump(&self.stats.avc_hits);
+                return Ok(());
+            }
+            KernelStats::bump(&self.stats.avc_misses);
+        }
         let ctx = self.ctx(pid)?;
         for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.socket_check(ctx, obj, op)?;
+        }
+        if let (Some(class), Some(epoch)) = (vector, epoch) {
+            self.avc.record(pid, obj, class, epoch);
         }
         Ok(())
     }
@@ -474,11 +538,18 @@ impl Kernel {
         for p in self.registry.iter() {
             p.vnode_destroy(node);
         }
-        self.avc.drop_node(node);
+        self.avc.drop_obj(ObjId::Vnode(node));
     }
 
     pub(crate) fn policies(&self) -> &[Arc<dyn MacPolicy>] {
         self.registry.as_slice()
+    }
+
+    /// Whether the loaded policy stack permits verdict memoization (all
+    /// policies opted in, or none loaded). Gates both the AVC and the
+    /// batch path's `namei` prefix reuse.
+    pub(crate) fn policy_registry_cacheable(&self) -> bool {
+        self.registry.is_empty() || self.registry.cacheable()
     }
 
     /// Deterministic pseudo-random byte source for `/dev/random`.
@@ -519,19 +590,33 @@ impl Kernel {
             "." => cur,
             ".." => self.fs.parent_of(cur)?,
             // The dcache replaces only the directory-entry scan; the DAC
-            // search check and MAC lookup hook above ran either way, and
-            // negative results are never cached.
-            _ => match self.fs.dcache().get(cur, name) {
-                Some(n) => {
+            // search check and MAC lookup hook above ran either way.
+            // Negative entries cache validated ENOENTs (generation-fenced:
+            // a create or rename in the directory bumps the generation and
+            // the absence is forgotten with it).
+            _ => match self.fs.dcache().probe(cur, name) {
+                DcacheProbe::Pos(n) => {
                     KernelStats::bump(&self.stats.dcache_hits);
                     n
                 }
-                None => {
+                DcacheProbe::Neg => {
+                    KernelStats::bump(&self.stats.dcache_neg_hits);
+                    return Err(Errno::ENOENT);
+                }
+                DcacheProbe::Miss => {
                     KernelStats::bump(&self.stats.dcache_misses);
                     KernelStats::bump(&self.stats.dir_scans);
-                    let n = self.fs.lookup(cur, name)?;
-                    self.fs.dcache().insert(cur, name, n);
-                    n
+                    match self.fs.lookup(cur, name) {
+                        Ok(n) => {
+                            self.fs.dcache().insert(cur, name, n);
+                            n
+                        }
+                        Err(Errno::ENOENT) => {
+                            self.fs.dcache().insert_negative(cur, name);
+                            return Err(Errno::ENOENT);
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             },
         };
@@ -546,6 +631,15 @@ impl Kernel {
     /// reports the final component without requiring it to exist (create/
     /// unlink/rename preparation). `follow_last` controls trailing-symlink
     /// traversal.
+    ///
+    /// Inside a batched submission, multi-component paths first consult the
+    /// batch's prefix cache: if an earlier entry resolved the same dirname
+    /// from the same start and nothing invalidated it since (every walked
+    /// directory's dcache generation unchanged, MAC combined epoch
+    /// unchanged), the walk restarts at the final component. The skipped
+    /// components' `post_lookup` propagation notifications are replayed so
+    /// policy label state evolves exactly as on the full walk; the final
+    /// component always takes the full DAC + MAC path.
     pub fn namei(
         &self,
         pid: Pid,
@@ -561,16 +655,147 @@ impl Kernel {
             return Err(Errno::ENAMETOOLONG);
         }
         let cred = self.process(pid)?.cred;
+        let start = self.walk_start(pid, dirfd, path)?;
         let mut hops = 0u32;
+
+        let batch_reuse = self
+            .batch
+            .as_ref()
+            .filter(|b| b.ctx.pid == pid && b.reuse_prefixes);
+        if let Some(b) = batch_reuse {
+            if let Some((dirname, last)) = crate::batch::split_dirname(path) {
+                let epoch = self.registry.combined_epoch();
+                let mut hit_parent: Option<NodeId> = None;
+                {
+                    let prefixes = b.prefixes.borrow();
+                    if let Some(hit) = prefixes.get(&start).and_then(|m| m.get(dirname)) {
+                        if hit.epoch == epoch && self.prefix_still_valid(hit) {
+                            // Replay privilege propagation for the skipped
+                            // components (monotone under the cacheable-policy
+                            // contract, so order relative to other entries
+                            // is immaterial).
+                            if !self.registry.is_empty() {
+                                for step in &hit.steps {
+                                    self.mac_post_lookup(pid, step.dir, &step.name, step.child);
+                                }
+                            }
+                            hit_parent = Some(hit.parent);
+                        }
+                    }
+                }
+                if let Some(parent) = hit_parent {
+                    KernelStats::bump(&self.stats.batch_prefix_hits);
+                    return self.namei_last(
+                        pid,
+                        cred,
+                        start,
+                        parent,
+                        last,
+                        follow_last,
+                        parent_mode,
+                        &mut hops,
+                    );
+                }
+                KernelStats::bump(&self.stats.batch_prefix_misses);
+                if let Some(m) = b.prefixes.borrow_mut().get_mut(&start) {
+                    m.remove(dirname);
+                }
+                let mut trace = PrefixTrace::default();
+                let res = self.namei_inner(
+                    pid,
+                    cred,
+                    start,
+                    path,
+                    follow_last,
+                    parent_mode,
+                    &mut hops,
+                    Some(&mut trace),
+                );
+                // The prefix is cacheable whenever the dirname resolved —
+                // even if the final component failed (find-style probes of
+                // absent names share the same dirname).
+                if !trace.tainted {
+                    if let Some(parent) = trace.parent_of_last {
+                        b.prefixes.borrow_mut().entry(start).or_default().insert(
+                            dirname.to_string(),
+                            PrefixHit {
+                                parent,
+                                epoch,
+                                steps: trace.steps,
+                            },
+                        );
+                    }
+                }
+                return res;
+            }
+        }
         self.namei_inner(
             pid,
             cred,
-            self.walk_start(pid, dirfd, path)?,
+            start,
             path,
             follow_last,
             parent_mode,
             &mut hops,
+            None,
         )
+    }
+
+    /// Validate a cached prefix: every directory the original walk stepped
+    /// through must still exist at the generation observed then. Any
+    /// namespace mutation that could change the prefix's resolution bumps
+    /// one of these generations (that is the dcache's invariant), so a
+    /// mid-batch create/unlink/rename anywhere along the chain forces the
+    /// slow path.
+    fn prefix_still_valid(&self, hit: &PrefixHit) -> bool {
+        if !self.fs.exists(hit.parent) {
+            return false;
+        }
+        hit.steps
+            .iter()
+            .all(|s| self.fs.exists(s.dir) && self.fs.dcache().generation(s.dir) == s.gen)
+    }
+
+    /// Resolve only the final component of a path whose dirname was reused
+    /// from the batch prefix cache. Mirrors `namei_inner`'s last-iteration
+    /// behaviour exactly (same checks, same errnos, same notifications).
+    #[allow(clippy::too_many_arguments)]
+    fn namei_last(
+        &self,
+        pid: Pid,
+        cred: Cred,
+        start: NodeId,
+        parent: NodeId,
+        comp: &str,
+        follow_last: bool,
+        parent_mode: bool,
+        hops: &mut u32,
+    ) -> SysResult<Lookup> {
+        if !shill_vfs::node::valid_component(comp) {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        if parent_mode {
+            if comp == "." || comp == ".." {
+                return Err(Errno::EINVAL);
+            }
+            let node = match self.walk_component(pid, cred, parent, comp) {
+                Ok(n) => Some(self.follow_symlinks(pid, cred, parent, n, follow_last, hops)?),
+                Err(Errno::ENOENT) => None,
+                Err(e) => return Err(e),
+            };
+            return Ok(Lookup {
+                parent,
+                name: comp.to_string(),
+                node,
+            });
+        }
+        let child = self.walk_component(pid, cred, parent, comp)?;
+        let node = self.follow_symlinks(pid, cred, parent, child, follow_last, hops)?;
+        Ok(Lookup {
+            parent: start,
+            name: comp.to_string(),
+            node: Some(node),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -583,6 +808,7 @@ impl Kernel {
         follow_last: bool,
         parent_mode: bool,
         hops: &mut u32,
+        mut trace: Option<&mut PrefixTrace>,
     ) -> SysResult<Lookup> {
         let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
         if comps.is_empty() {
@@ -598,6 +824,13 @@ impl Kernel {
             let last = i + 1 == comps.len();
             if !shill_vfs::node::valid_component(comp) {
                 return Err(Errno::ENAMETOOLONG);
+            }
+            if last {
+                if let Some(t) = trace.as_deref_mut() {
+                    // The dirname fully resolved: `cur` is the directory the
+                    // final component lives in.
+                    t.parent_of_last = Some(cur);
+                }
             }
             if last && parent_mode {
                 if *comp == "." || *comp == ".." {
@@ -615,7 +848,25 @@ impl Kernel {
                     node,
                 });
             }
+            let gen = self.fs.dcache().generation(cur);
             let child = self.walk_component(pid, cred, cur, comp)?;
+            if !last {
+                if let Some(t) = trace.as_deref_mut() {
+                    if self.fs.node(child).map(|n| n.is_symlink()).unwrap_or(true) {
+                        // Symlinked prefixes are not cached: their
+                        // resolution depends on the link target, which the
+                        // generation fence does not cover.
+                        t.tainted = true;
+                    } else {
+                        t.steps.push(PrefixStep {
+                            dir: cur,
+                            gen,
+                            name: comp.to_string(),
+                            child,
+                        });
+                    }
+                }
+            }
             let follow = !last || follow_last;
             cur = self.follow_symlinks(pid, cred, cur, child, follow, hops)?;
         }
@@ -653,7 +904,7 @@ impl Kernel {
             } else {
                 dir
             };
-            let res = self.namei_inner(pid, cred, base, &target, true, false, hops)?;
+            let res = self.namei_inner(pid, cred, base, &target, true, false, hops, None)?;
             cur = res.node.ok_or(Errno::ENOENT)?;
         }
         Ok(cur)
@@ -739,8 +990,16 @@ impl Kernel {
                     self.notify_vnode_destroy(n);
                 }
             }
-            FdObject::Pipe(id, end) => self.pipes.release(id, end == PipeEnd::Write),
-            FdObject::Socket(s) => self.net.close(s),
+            FdObject::Pipe(id, end) => {
+                self.pipes.release(id, end == PipeEnd::Write);
+                // Conservative hygiene: cached pipe verdicts die with the
+                // descriptor (losing a cache entry is always safe).
+                self.avc.drop_obj(ObjId::Pipe(id));
+            }
+            FdObject::Socket(s) => {
+                self.net.close(s);
+                self.avc.drop_obj(ObjId::Socket(s));
+            }
         }
         Ok(())
     }

@@ -11,6 +11,7 @@
 //! `shill-sandbox` crate; this crate is policy-agnostic.
 
 pub mod avc;
+pub mod batch;
 pub mod kernel;
 pub mod mac;
 pub mod net;
@@ -21,7 +22,8 @@ pub mod stats;
 pub mod syscalls;
 pub mod types;
 
-pub use avc::{avc_class, Avc, AvcClass};
+pub use avc::{avc_class, avc_pipe_class, avc_socket_class, Avc, AvcClass};
+pub use batch::{BatchEntry, BatchOut, FailMode, SyscallBatch};
 pub use kernel::{ExecHandler, Kernel, Lookup, SYSCTL_AVC, SYSCTL_DCACHE};
 pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 pub use net::{InjConnId, RemoteHandler};

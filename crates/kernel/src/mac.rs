@@ -15,7 +15,7 @@
 //! is observationally equivalent and avoids threading label storage through
 //! every kernel object.
 
-use shill_vfs::{Cred, FileType, NodeId, SysResult};
+use shill_vfs::{Cred, Errno, FileType, NodeId, SysResult};
 
 use crate::types::{ObjId, Pid, SockAddr, SockDomain};
 
@@ -196,6 +196,12 @@ pub trait MacPolicy: Send + Sync {
         _ftype: FileType,
     ) {
     }
+
+    /// A batched submission ([`crate::batch`]) completed for `ctx.pid`.
+    /// `outcomes` has one slot per entry, `None` for success and the errno
+    /// otherwise; policies with an audit log record one span per batch
+    /// instead of one event per call.
+    fn batch_complete(&self, _ctx: MacCtx, _outcomes: &[Option<Errno>]) {}
 
     /// A pipe pair was created by `ctx.pid`.
     fn pipe_post_create(&self, _ctx: MacCtx, _pipe: ObjId) {}

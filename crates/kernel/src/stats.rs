@@ -17,6 +17,9 @@ pub struct KernelStats {
     pub dcache_hits: Cell<u64>,
     /// Path-walker components that missed the dcache (or ran with it off).
     pub dcache_misses: Cell<u64>,
+    /// Lookups answered by a cached negative entry (name known absent):
+    /// the directory scan *and* the ENOENT re-derivation were skipped.
+    pub dcache_neg_hits: Cell<u64>,
     /// Real directory-entry scans performed (i.e. dcache misses that went
     /// to the filesystem); with the cache on and a warm workload this stays
     /// flat while `lookups` keeps climbing.
@@ -36,6 +39,22 @@ pub struct KernelStats {
     pub execs: Cell<u64>,
     /// Processes forked.
     pub forks: Cell<u64>,
+    /// Ulimit accounting operations: one per sequential syscall, one per
+    /// submitted batch (the batch path's whole point is that this grows
+    /// far slower than `syscalls`).
+    pub charge_calls: Cell<u64>,
+    /// MAC subject contexts constructed (credential snapshots). Batched
+    /// submission builds one per batch and reuses it for every check.
+    pub mac_ctx_setups: Cell<u64>,
+    /// Batches submitted via [`crate::kernel::Kernel::submit_batch`].
+    pub batches: Cell<u64>,
+    /// Entries processed across all submitted batches.
+    pub batch_entries: Cell<u64>,
+    /// `namei` dirname resolutions reused from the in-batch prefix cache.
+    pub batch_prefix_hits: Cell<u64>,
+    /// In-batch prefix probes that fell back to a full walk (cold entry or
+    /// a mid-batch dcache/AVC epoch invalidation).
+    pub batch_prefix_misses: Cell<u64>,
 }
 
 impl KernelStats {
@@ -50,6 +69,7 @@ impl KernelStats {
             lookups: self.lookups.get(),
             dcache_hits: self.dcache_hits.get(),
             dcache_misses: self.dcache_misses.get(),
+            dcache_neg_hits: self.dcache_neg_hits.get(),
             dir_scans: self.dir_scans.get(),
             mac_vnode_checks: self.mac_vnode_checks.get(),
             avc_hits: self.avc_hits.get(),
@@ -58,6 +78,12 @@ impl KernelStats {
             mac_other_checks: self.mac_other_checks.get(),
             execs: self.execs.get(),
             forks: self.forks.get(),
+            charge_calls: self.charge_calls.get(),
+            mac_ctx_setups: self.mac_ctx_setups.get(),
+            batches: self.batches.get(),
+            batch_entries: self.batch_entries.get(),
+            batch_prefix_hits: self.batch_prefix_hits.get(),
+            batch_prefix_misses: self.batch_prefix_misses.get(),
         }
     }
 
@@ -66,6 +92,7 @@ impl KernelStats {
         self.lookups.set(0);
         self.dcache_hits.set(0);
         self.dcache_misses.set(0);
+        self.dcache_neg_hits.set(0);
         self.dir_scans.set(0);
         self.mac_vnode_checks.set(0);
         self.avc_hits.set(0);
@@ -74,6 +101,12 @@ impl KernelStats {
         self.mac_other_checks.set(0);
         self.execs.set(0);
         self.forks.set(0);
+        self.charge_calls.set(0);
+        self.mac_ctx_setups.set(0);
+        self.batches.set(0);
+        self.batch_entries.set(0);
+        self.batch_prefix_hits.set(0);
+        self.batch_prefix_misses.set(0);
     }
 }
 
@@ -84,6 +117,7 @@ pub struct StatsSnapshot {
     pub lookups: u64,
     pub dcache_hits: u64,
     pub dcache_misses: u64,
+    pub dcache_neg_hits: u64,
     pub dir_scans: u64,
     pub mac_vnode_checks: u64,
     pub avc_hits: u64,
@@ -92,6 +126,12 @@ pub struct StatsSnapshot {
     pub mac_other_checks: u64,
     pub execs: u64,
     pub forks: u64,
+    pub charge_calls: u64,
+    pub mac_ctx_setups: u64,
+    pub batches: u64,
+    pub batch_entries: u64,
+    pub batch_prefix_hits: u64,
+    pub batch_prefix_misses: u64,
 }
 
 #[cfg(test)]

@@ -429,3 +429,201 @@ fn cache_sysctls_reject_malformed_values() {
     k.sysctl_write(pid, SYSCTL_AVC, " 0 ").unwrap();
     assert!(!k.cache_enabled().1);
 }
+
+// --- negative dcache entries -------------------------------------------------
+
+#[test]
+fn negative_dcache_caches_absent_names_until_create() {
+    let (mut k, pid) = setup();
+    k.fs.mkdir_p("/probe", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.stats.reset();
+    // First probe scans and records the absence.
+    assert_eq!(
+        k.fstatat(pid, None, "/probe/ghost", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    let after_first = k.stats.snapshot();
+    assert_eq!(after_first.dcache_neg_hits, 0);
+    // Re-probes answer from the negative entry: no new directory scan of
+    // /probe (the walk of "probe" in "/" still hits positively).
+    for _ in 0..5 {
+        assert_eq!(
+            k.fstatat(pid, None, "/probe/ghost", true).unwrap_err(),
+            Errno::ENOENT
+        );
+    }
+    let after = k.stats.snapshot();
+    assert_eq!(after.dcache_neg_hits, 5, "absent name answered from cache");
+    assert_eq!(
+        after.dir_scans, after_first.dir_scans,
+        "no further scans for the cached absence"
+    );
+    // Creating the name invalidates the negative entry immediately.
+    k.fs.put_file(
+        "/probe/ghost",
+        b"now real",
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    let st = k.fstatat(pid, None, "/probe/ghost", true).unwrap();
+    assert_eq!(st.size, 8);
+}
+
+#[test]
+fn negative_dcache_invalidated_by_rename_into_place() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/dir/real", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    // Cache the absence of /dir/target.
+    assert_eq!(
+        k.fstatat(pid, None, "/dir/target", true).unwrap_err(),
+        Errno::ENOENT
+    );
+    k.renameat(pid, None, "/dir/real", None, "/dir/target")
+        .unwrap();
+    assert!(
+        k.fstatat(pid, None, "/dir/target", true).is_ok(),
+        "rename into place must kill the negative entry"
+    );
+}
+
+#[test]
+fn negative_dcache_inert_when_disabled() {
+    let (mut k, pid) = setup();
+    k.fs.mkdir_p("/probe", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    k.set_cache_enabled(false, false);
+    k.stats.reset();
+    for _ in 0..3 {
+        assert_eq!(
+            k.fstatat(pid, None, "/probe/ghost", true).unwrap_err(),
+            Errno::ENOENT
+        );
+    }
+    let snap = k.stats.snapshot();
+    assert_eq!(snap.dcache_neg_hits, 0);
+    assert!(snap.dir_scans >= 3, "every probe scans with the cache off");
+}
+
+// --- pipe/socket access vectors ---------------------------------------------
+
+/// Cacheable policy that counts how many pipe/socket checks actually reach
+/// it (the AVC should absorb repeats).
+#[derive(Default)]
+struct CountingPolicy {
+    pipe_checks: std::cell::Cell<u64>,
+    socket_checks: std::cell::Cell<u64>,
+    epoch: std::cell::Cell<u64>,
+}
+
+// Safety: the simulated kernel is single-threaded by construction.
+unsafe impl Sync for CountingPolicy {}
+unsafe impl Send for CountingPolicy {}
+
+impl MacPolicy for CountingPolicy {
+    fn name(&self) -> &str {
+        "counting"
+    }
+    fn decisions_cacheable(&self) -> bool {
+        true
+    }
+    fn cache_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+    fn pipe_check(
+        &self,
+        _ctx: MacCtx,
+        _pipe: shill_kernel::ObjId,
+        _op: shill_kernel::PipeOp,
+    ) -> SysResult<()> {
+        self.pipe_checks.set(self.pipe_checks.get() + 1);
+        Ok(())
+    }
+    fn socket_check(
+        &self,
+        _ctx: MacCtx,
+        _sock: shill_kernel::ObjId,
+        _op: &shill_kernel::SocketOp,
+    ) -> SysResult<()> {
+        self.socket_checks.set(self.socket_checks.get() + 1);
+        Ok(())
+    }
+}
+
+#[test]
+fn avc_caches_pipe_data_path_verdicts() {
+    let (mut k, pid) = setup();
+    let policy = Arc::new(CountingPolicy::default());
+    k.register_policy(policy.clone());
+    let (r, w) = k.pipe(pid).unwrap();
+    k.stats.reset();
+    for _ in 0..10 {
+        k.write(pid, w, b"x").unwrap();
+        k.read(pid, r, 1).unwrap();
+    }
+    // First write and first read consult the policy; the rest are AVC hits.
+    assert_eq!(policy.pipe_checks.get(), 2);
+    assert_eq!(k.stats.snapshot().avc_hits, 18);
+    // An epoch bump (authority shrank) invalidates the cached vectors.
+    policy.epoch.set(policy.epoch.get() + 1);
+    k.write(pid, w, b"y").unwrap();
+    assert_eq!(policy.pipe_checks.get(), 3);
+}
+
+#[test]
+fn avc_caches_socket_send_recv_but_not_lifecycle() {
+    let (mut k, pid) = setup();
+    let policy = Arc::new(CountingPolicy::default());
+    k.register_policy(policy.clone());
+    let addr = shill_kernel::SockAddr::Inet {
+        host: "peer".into(),
+        port: 80,
+    };
+    k.net
+        .register_remote(addr.clone(), Box::new(|_| b"pong".to_vec()));
+    let fd = k.socket(pid, shill_kernel::SockDomain::Inet).unwrap();
+    k.connect(pid, fd, addr.clone()).unwrap();
+    let base = policy.socket_checks.get(); // create + connect reached policy
+    assert_eq!(base, 2);
+    for _ in 0..5 {
+        k.write(pid, fd, b"ping").unwrap();
+        let _ = k.read(pid, fd, 16);
+    }
+    // One Send and one Recv consult; the rest hit the AVC.
+    assert_eq!(policy.socket_checks.get(), base + 2);
+    // Connect is address-carrying: a second connect consults again.
+    let fd2 = k.socket(pid, shill_kernel::SockDomain::Inet).unwrap();
+    k.connect(pid, fd2, addr).unwrap();
+    assert_eq!(policy.socket_checks.get(), base + 4);
+    // Closing the socket drops its cached vectors.
+    let before = k.avc().entry_count();
+    k.close(pid, fd).unwrap();
+    assert!(k.avc().entry_count() < before);
+}
+
+#[test]
+fn uncacheable_policy_keeps_pipe_checks_on_slow_path() {
+    struct Opaque2;
+    impl MacPolicy for Opaque2 {
+        fn name(&self) -> &str {
+            "opaque2"
+        }
+    }
+    let (mut k, pid) = setup();
+    let policy = Arc::new(CountingPolicy::default());
+    k.register_policy(policy.clone());
+    k.register_policy(Arc::new(Opaque2));
+    let (r, w) = k.pipe(pid).unwrap();
+    for _ in 0..4 {
+        k.write(pid, w, b"x").unwrap();
+        k.read(pid, r, 1).unwrap();
+    }
+    assert_eq!(
+        policy.pipe_checks.get(),
+        8,
+        "an opaque policy in the stack disables pipe-vector caching"
+    );
+}

@@ -6,6 +6,7 @@
 
 use shill_cap::Priv;
 use shill_kernel::{ObjId, Pid};
+use shill_vfs::Errno;
 
 use crate::session::SessionId;
 
@@ -53,6 +54,17 @@ pub enum LogEvent {
     CacheEpochBump {
         session: SessionId,
         epoch: u64,
+    },
+    /// One batched submission completed: a single span covering every
+    /// entry, with per-entry outcomes (`None` = success). Denials inside
+    /// the batch are additionally logged as individual [`LogEvent::Denied`]
+    /// events, exactly as in sequential execution.
+    BatchSpan {
+        session: SessionId,
+        pid: Pid,
+        entries: usize,
+        failed: usize,
+        outcomes: Vec<Option<Errno>>,
     },
 }
 
@@ -109,6 +121,14 @@ impl SandboxLog {
         self.events
             .iter()
             .filter(|e| matches!(e, LogEvent::CacheEpochBump { .. }))
+            .collect()
+    }
+
+    /// Batch audit spans for a session (verbose logging only).
+    pub fn batch_spans(&self, session: SessionId) -> Vec<&LogEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::BatchSpan { session: s, .. } if *s == session))
             .collect()
     }
 }

@@ -80,6 +80,10 @@ impl State {
     fn merge_label(&mut self, session: SessionId, obj: ObjId, new: Arc<CapPrivs>) -> bool {
         let slot = self.labels.entry(obj).or_default();
         match slot.get(&session) {
+            // Re-propagation of the very same description (hot path: every
+            // repeated lookup re-derives the same `Arc` from the parent
+            // label) — nothing can change, skip the structural compare.
+            Some(existing) if Arc::ptr_eq(existing, &new) => false,
             None => {
                 slot.insert(session, new);
                 true
@@ -432,6 +436,24 @@ impl MacPolicy for ShillPolicy {
         if st.merge_label(sid, ObjId::Vnode(child), derived) {
             st.stats.propagations += 1;
         }
+    }
+
+    fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>]) {
+        let mut st = self.state.lock();
+        let Some(sid) = st.entered_session(ctx.pid) else {
+            return;
+        };
+        // One span per batch (verbose log level, like grants): the
+        // per-entry denials were already recorded individually by the
+        // checks themselves.
+        let failed = outcomes.iter().filter(|o| o.is_some()).count();
+        st.log.push(LogEvent::BatchSpan {
+            session: sid,
+            pid: ctx.pid,
+            entries: outcomes.len(),
+            failed,
+            outcomes: outcomes.to_vec(),
+        });
     }
 
     fn pipe_post_create(&self, ctx: MacCtx, pipe: ObjId) {

@@ -2,11 +2,16 @@
 //!
 //! Real kernels amortize `namei`'s per-component directory lookups with a
 //! name cache; this is the simulated analogue. Entries map `(parent
-//! directory, component name)` to the child node and are invalidated by
+//! directory, component name)` to the child node — or to a cached **absence**
+//! (a negative entry, as in FreeBSD's namecache): find-style workloads probe
+//! the same missing names over and over, and a negative entry answers the
+//! `ENOENT` without re-scanning the directory. Entries are invalidated by
 //! *generation*: every directory carries a generation counter that any
 //! namespace mutation under it (create, link, unlink, rmdir, rename,
 //! symlink) bumps, so invalidation is O(1) per mutation and stale entries
-//! are dropped lazily on the next probe.
+//! are dropped lazily on the next probe. Because creates and renames bump
+//! the generation like every other mutation, a negative entry can never
+//! outlive the creation of the name it denies.
 //!
 //! Layering: the cache is owned by [`crate::Filesystem`] — mutation points
 //! bump generations as part of the structural operation — but it is
@@ -25,11 +30,25 @@ use crate::types::NodeId;
 /// enough live directories for precision eviction to matter).
 const DEFAULT_CAPACITY: usize = 4096;
 
-/// Cached entries for one directory at one generation.
+/// Cached entries for one directory at one generation. `Some(node)` is a
+/// positive entry; `None` records a validated absence.
 #[derive(Debug, Default)]
 struct DirEntries {
     gen: u64,
-    names: HashMap<String, NodeId>,
+    names: HashMap<String, Option<NodeId>>,
+}
+
+/// Result of probing the cache for one `(dir, name)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcacheProbe {
+    /// The name resolves to this node (at the directory's current
+    /// generation).
+    Pos(NodeId),
+    /// The name was recently looked up and did not exist; no mutation has
+    /// touched the directory since.
+    Neg,
+    /// Nothing cached (or a stale/disabled entry): scan the directory.
+    Miss,
 }
 
 /// Observability counters. Hits/misses are counted only while the cache is
@@ -39,6 +58,8 @@ struct DirEntries {
 pub struct DcacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Probes answered by a cached negative entry.
+    pub neg_hits: u64,
     pub invalidations: u64,
     pub purges: u64,
 }
@@ -55,6 +76,7 @@ pub struct Dcache {
     capacity: usize,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    neg_hits: Cell<u64>,
     invalidations: Cell<u64>,
     purges: Cell<u64>,
 }
@@ -74,6 +96,7 @@ impl Dcache {
             capacity: DEFAULT_CAPACITY,
             hits: Cell::new(0),
             misses: Cell::new(0),
+            neg_hits: Cell::new(0),
             invalidations: Cell::new(0),
             purges: Cell::new(0),
         }
@@ -98,11 +121,12 @@ impl Dcache {
         self.gens.borrow().get(&dir).copied().unwrap_or(0)
     }
 
-    /// Probe the cache. `None` is a miss (or a stale/disabled entry);
-    /// callers fall back to the real directory scan and `insert`.
-    pub fn get(&self, dir: NodeId, name: &str) -> Option<NodeId> {
+    /// Probe the cache. On [`DcacheProbe::Miss`] callers fall back to the
+    /// real directory scan and record the outcome with `insert` /
+    /// `insert_negative`.
+    pub fn probe(&self, dir: NodeId, name: &str) -> DcacheProbe {
         if !self.enabled.get() {
-            return None;
+            return DcacheProbe::Miss;
         }
         let current = self.gen_of(dir);
         let mut dirs = self.dirs.borrow_mut();
@@ -110,17 +134,33 @@ impl Dcache {
             if de.gen != current {
                 // The whole generation is stale: drop it in one shot.
                 dirs.remove(&dir);
-            } else if let Some(node) = de.names.get(name) {
-                self.hits.set(self.hits.get() + 1);
-                return Some(*node);
+            } else if let Some(entry) = de.names.get(name) {
+                return match entry {
+                    Some(node) => {
+                        self.hits.set(self.hits.get() + 1);
+                        DcacheProbe::Pos(*node)
+                    }
+                    None => {
+                        self.neg_hits.set(self.neg_hits.get() + 1);
+                        DcacheProbe::Neg
+                    }
+                };
             }
         }
         self.misses.set(self.misses.get() + 1);
-        None
+        DcacheProbe::Miss
     }
 
-    /// Record a successful lookup at the directory's current generation.
-    pub fn insert(&self, dir: NodeId, name: &str, node: NodeId) {
+    /// Backwards-compatible positive probe (tests, diagnostics): `Some` only
+    /// for a positive hit.
+    pub fn get(&self, dir: NodeId, name: &str) -> Option<NodeId> {
+        match self.probe(dir, name) {
+            DcacheProbe::Pos(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn record(&self, dir: NodeId, name: &str, entry: Option<NodeId>) {
         if !self.enabled.get() {
             return;
         }
@@ -140,7 +180,19 @@ impl Dcache {
             de.names.clear();
             de.gen = current;
         }
-        de.names.insert(name.to_string(), node);
+        de.names.insert(name.to_string(), entry);
+    }
+
+    /// Record a successful lookup at the directory's current generation.
+    pub fn insert(&self, dir: NodeId, name: &str, node: NodeId) {
+        self.record(dir, name, Some(node));
+    }
+
+    /// Record a validated absence (the scan came back `ENOENT`) at the
+    /// directory's current generation. Any later create/rename in the
+    /// directory bumps the generation and the entry dies with it.
+    pub fn insert_negative(&self, dir: NodeId, name: &str) {
+        self.record(dir, name, None);
     }
 
     /// A namespace mutation happened in `dir`: bump its generation, logically
@@ -163,12 +215,22 @@ impl Dcache {
         self.purges.set(self.purges.get() + 1);
     }
 
-    /// Live cached name entries (tests).
+    /// Live cached name entries, positive and negative (tests).
     pub fn entry_count(&self) -> usize {
         self.dirs.borrow().values().map(|de| de.names.len()).sum()
     }
 
-    /// The current generation of a directory (tests/diagnostics).
+    /// Live cached negative entries (tests).
+    pub fn neg_entry_count(&self) -> usize {
+        self.dirs
+            .borrow()
+            .values()
+            .map(|de| de.names.values().filter(|e| e.is_none()).count())
+            .sum()
+    }
+
+    /// The current generation of a directory (tests/diagnostics; also the
+    /// validation stamp for the kernel's in-batch prefix reuse).
     pub fn generation(&self, dir: NodeId) -> u64 {
         self.gen_of(dir)
     }
@@ -177,6 +239,7 @@ impl Dcache {
         DcacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
+            neg_hits: self.neg_hits.get(),
             invalidations: self.invalidations.get(),
             purges: self.purges.get(),
         }
@@ -185,6 +248,7 @@ impl Dcache {
     pub fn reset_stats(&self) {
         self.hits.set(0);
         self.misses.set(0);
+        self.neg_hits.set(0);
         self.invalidations.set(0);
         self.purges.set(0);
     }
@@ -197,11 +261,39 @@ mod tests {
     #[test]
     fn probe_insert_hit() {
         let dc = Dcache::new();
-        assert_eq!(dc.get(NodeId(1), "a"), None);
+        assert_eq!(dc.probe(NodeId(1), "a"), DcacheProbe::Miss);
         dc.insert(NodeId(1), "a", NodeId(2));
-        assert_eq!(dc.get(NodeId(1), "a"), Some(NodeId(2)));
+        assert_eq!(dc.probe(NodeId(1), "a"), DcacheProbe::Pos(NodeId(2)));
         let st = dc.stats();
         assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn negative_entries_hit_until_mutation() {
+        let dc = Dcache::new();
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Miss);
+        dc.insert_negative(NodeId(1), "ghost");
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Neg);
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Neg);
+        assert_eq!(dc.neg_entry_count(), 1);
+        assert_eq!(dc.stats().neg_hits, 2);
+        // A create (or any mutation) in the directory bumps the generation:
+        // the absence is no longer known.
+        dc.invalidate_dir(NodeId(1));
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Miss);
+        dc.insert(NodeId(1), "ghost", NodeId(9));
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Pos(NodeId(9)));
+    }
+
+    #[test]
+    fn positive_and_negative_coexist_per_directory() {
+        let dc = Dcache::new();
+        dc.insert(NodeId(1), "real", NodeId(2));
+        dc.insert_negative(NodeId(1), "ghost");
+        assert_eq!(dc.probe(NodeId(1), "real"), DcacheProbe::Pos(NodeId(2)));
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Neg);
+        assert_eq!(dc.entry_count(), 2);
+        assert_eq!(dc.neg_entry_count(), 1);
     }
 
     #[test]
@@ -231,8 +323,10 @@ mod tests {
     fn disabled_cache_never_hits_and_purges() {
         let dc = Dcache::new();
         dc.insert(NodeId(1), "a", NodeId(2));
+        dc.insert_negative(NodeId(1), "ghost");
         dc.set_enabled(false);
-        assert_eq!(dc.get(NodeId(1), "a"), None);
+        assert_eq!(dc.probe(NodeId(1), "a"), DcacheProbe::Miss);
+        assert_eq!(dc.probe(NodeId(1), "ghost"), DcacheProbe::Miss);
         dc.insert(NodeId(1), "a", NodeId(2));
         assert_eq!(dc.entry_count(), 0);
         dc.set_enabled(true);

@@ -89,6 +89,8 @@ pub enum Errno {
     ETIMEDOUT = 60,
     /// Connection reset by peer.
     ECONNRESET = 54,
+    /// Operation canceled (a batch entry skipped after an abort).
+    ECANCELED = 85,
 }
 
 impl Errno {
@@ -132,6 +134,7 @@ impl Errno {
             Errno::ENOTSOCK => "ENOTSOCK",
             Errno::ETIMEDOUT => "ETIMEDOUT",
             Errno::ECONNRESET => "ECONNRESET",
+            Errno::ECANCELED => "ECANCELED",
         }
     }
 
@@ -175,6 +178,7 @@ impl Errno {
             Errno::ENOTSOCK => "socket operation on non-socket",
             Errno::ETIMEDOUT => "operation timed out",
             Errno::ECONNRESET => "connection reset by peer",
+            Errno::ECANCELED => "operation canceled",
         }
     }
 }

@@ -22,7 +22,7 @@ pub mod fs;
 pub mod node;
 pub mod types;
 
-pub use dcache::{Dcache, DcacheStats};
+pub use dcache::{Dcache, DcacheProbe, DcacheStats};
 pub use errno::{Errno, SysResult};
 pub use fs::Filesystem;
 pub use node::{DeviceKind, NodeBody, Vnode};

@@ -1,0 +1,426 @@
+//! Batch/sequential equivalence: the property suite for the batched
+//! submission path.
+//!
+//! Acceptance criterion (in the spirit of Smoosh's executable POSIX
+//! semantics): `Kernel::submit_batch` must be **observably equivalent** to
+//! replaying the same entries one by one through the sequential syscall
+//! path — identical per-entry results, identical errnos, and identical MAC
+//! audit denial events — in both cache modes. The build environment is
+//! offline, so instead of `proptest` this uses the repo's deterministic
+//! xorshift generator: random batches over a fixture tree with partial
+//! sandbox grants (so denials actually occur), submitted batched on one
+//! kernel and sequentially on an identically-constructed twin.
+
+use std::sync::Arc;
+
+use shill::cap::{CapPrivs, Priv, PrivSet};
+use shill::kernel::{BatchEntry, BatchOut, Fd, Kernel, OpenFlags, Pid, SyscallBatch};
+use shill::prelude::*;
+use shill::sandbox::{setup_sandbox, Grant, LogEvent, SandboxSpec, ShillPolicy};
+use shill::scenarios::set_scenario_cache_mode;
+
+const CASES: usize = 48;
+const ENTRIES_PER_BATCH: usize = 12;
+
+/// Deterministic xorshift64* generator (same idiom as `tests/properties.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// One sandboxed fixture: a tree with granted, partially-granted, and
+/// ungranted regions, plus pre-opened descriptors for fd-based entries.
+struct Fixture {
+    k: Kernel,
+    policy: Arc<ShillPolicy>,
+    child: Pid,
+    /// Pre-opened descriptors (same numbering in both twins): a readable
+    /// granted file, a writable granted file, and the granted directory.
+    fds: Vec<Fd>,
+}
+
+fn caps(privs: &[Priv]) -> CapPrivs {
+    CapPrivs::of(PrivSet::of(privs))
+}
+
+fn build_fixture(cached: bool) -> Fixture {
+    let mut k = Kernel::new();
+    k.set_cache_enabled(cached, cached);
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+
+    // Granted region: /data/pub (+lookup propagating read/stat/write).
+    for i in 0..4 {
+        k.fs.put_file(
+            &format!("/data/pub/inner/f{i}"),
+            format!("pub-{i}").as_bytes(),
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    }
+    k.fs.put_file(
+        "/data/pub/note.txt",
+        b"note",
+        Mode(0o666),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    // Ungranted region: /data/secret.
+    k.fs.put_file(
+        "/data/secret/key",
+        b"hunter2",
+        Mode(0o666),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+
+    let user = k.spawn_user(Cred::ROOT);
+    let root = k.fs.root();
+    let data = k.fs.resolve_abs("/data").unwrap();
+    let pub_dir = k.fs.resolve_abs("/data/pub").unwrap();
+
+    // Leaf files: full data access. Inner directories: traversal, listing,
+    // create/unlink, with leaf privileges propagating through both lookup
+    // and create (so files created mid-batch are usable, as `exec` grants
+    // would arrange).
+    let leaf = caps(&[
+        Priv::Read,
+        Priv::Write,
+        Priv::Append,
+        Priv::Truncate,
+        Priv::Stat,
+        Priv::Path,
+    ]);
+    let inner_privs = caps(&[
+        Priv::Lookup,
+        Priv::Contents,
+        Priv::Stat,
+        Priv::CreateFile,
+        Priv::UnlinkFile,
+        Priv::Read,
+        Priv::Write,
+        Priv::Append,
+        Priv::Truncate,
+        Priv::Path,
+    ])
+    .with_modifier(Priv::Lookup, leaf.clone())
+    .with_modifier(Priv::CreateFile, leaf.clone());
+    let pub_privs = caps(&[
+        Priv::Lookup,
+        Priv::Contents,
+        Priv::Stat,
+        Priv::CreateFile,
+        Priv::UnlinkFile,
+    ])
+    .with_modifier(Priv::Lookup, inner_privs)
+    .with_modifier(Priv::CreateFile, leaf);
+    let spec = SandboxSpec {
+        grants: vec![
+            Grant::vnode(root, caps(&[Priv::Lookup])),
+            Grant::vnode(data, caps(&[Priv::Lookup])),
+            Grant::vnode(pub_dir, pub_privs),
+        ],
+        ..Default::default()
+    };
+    let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
+
+    // Pre-open descriptors inside the sandbox (deterministic numbering).
+    let rd = k
+        .open(sb.child, "/data/pub/note.txt", OpenFlags::RDONLY, Mode(0))
+        .unwrap();
+    let wr = k
+        .open(sb.child, "/data/pub/inner/f0", OpenFlags::rdwr(), Mode(0))
+        .unwrap();
+    let dir = k
+        .open(sb.child, "/data/pub", OpenFlags::dir(), Mode(0))
+        .unwrap();
+    Fixture {
+        k,
+        policy,
+        child: sb.child,
+        fds: vec![rd, wr, dir],
+    }
+}
+
+/// Paths the generator draws from: granted, denied, and absent names, all
+/// sharing dirnames so the prefix cache is exercised.
+fn arb_path(rng: &mut Rng) -> String {
+    const PATHS: &[&str] = &[
+        "/data/pub/inner/f0",
+        "/data/pub/inner/f1",
+        "/data/pub/inner/f2",
+        "/data/pub/inner/f3",
+        "/data/pub/inner/missing",
+        "/data/pub/note.txt",
+        "/data/pub/ghost",
+        "/data/secret/key",
+        "/data/secret/other",
+        "/nowhere/at/all",
+    ];
+    PATHS[rng.below(PATHS.len())].to_string()
+}
+
+fn arb_entry(rng: &mut Rng, fds: &[Fd]) -> BatchEntry {
+    match rng.below(10) {
+        0 => BatchEntry::Stat {
+            dirfd: None,
+            path: arb_path(rng),
+            follow: rng.flag(),
+        },
+        1 => BatchEntry::ReadFile {
+            dirfd: None,
+            path: arb_path(rng),
+        },
+        2 => BatchEntry::Open {
+            dirfd: None,
+            path: arb_path(rng),
+            flags: OpenFlags::RDONLY,
+            mode: Mode(0),
+        },
+        3 => BatchEntry::WriteFile {
+            dirfd: None,
+            path: format!("/data/pub/inner/w{}", rng.below(3)),
+            data: vec![b'x'; 1 + rng.below(64)],
+            mode: Mode::FILE_DEFAULT,
+            append: rng.flag(),
+        },
+        4 => BatchEntry::WriteFile {
+            // Denied region: creates here produce EACCES in both modes.
+            dirfd: None,
+            path: format!("/data/secret/w{}", rng.below(2)),
+            data: vec![b'y'; 8],
+            mode: Mode::FILE_DEFAULT,
+            append: false,
+        },
+        5 => BatchEntry::Unlink {
+            dirfd: None,
+            path: format!("/data/pub/inner/w{}", rng.below(3)),
+            remove_dir: false,
+        },
+        6 => BatchEntry::Pread {
+            fd: fds[0],
+            offset: rng.below(8) as u64,
+            len: 1 + rng.below(16),
+        },
+        7 => BatchEntry::Write {
+            fd: fds[1],
+            data: vec![b'z'; 1 + rng.below(32)],
+        },
+        8 => BatchEntry::ReadDir { fd: fds[2] },
+        _ => BatchEntry::Fstat {
+            fd: fds[rng.below(3)],
+        },
+    }
+}
+
+fn arb_batch(rng: &mut Rng, fds: &[Fd]) -> SyscallBatch {
+    let entries = (0..1 + rng.below(ENTRIES_PER_BATCH))
+        .map(|_| arb_entry(rng, fds))
+        .collect();
+    if rng.flag() {
+        SyscallBatch::new(entries)
+    } else {
+        SyscallBatch::aborting(entries)
+    }
+}
+
+/// The audit fingerprint compared across modes: every denial, in order.
+fn denial_fingerprint(policy: &ShillPolicy) -> Vec<String> {
+    policy
+        .log_events()
+        .iter()
+        .filter_map(|e| match e {
+            LogEvent::Denied {
+                session,
+                pid,
+                obj,
+                needed,
+            } => Some(format!("{session:?}/{pid:?}/{obj:?}/{needed:?}")),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compact, comparable form of one entry result.
+fn fingerprint(r: &Result<BatchOut, shill::vfs::Errno>) -> String {
+    match r {
+        Ok(BatchOut::Unit) => "unit".into(),
+        Ok(BatchOut::Fd(fd)) => format!("fd:{}", fd.0),
+        Ok(BatchOut::Data(d)) => format!("data:{}:{d:?}", d.len()),
+        Ok(BatchOut::Written(n)) => format!("written:{n}"),
+        Ok(BatchOut::Stat(st)) => format!("stat:{}:{}:{:?}", st.node.0, st.size, st.ftype),
+        Ok(BatchOut::Names(ns)) => format!("names:{ns:?}"),
+        Err(e) => format!("errno:{e:?}"),
+    }
+}
+
+fn run_equivalence_cases(cached: bool, seed: u64) {
+    set_scenario_cache_mode(cached);
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        let mut batched = build_fixture(cached);
+        let mut sequential = build_fixture(cached);
+        assert_eq!(batched.fds, sequential.fds, "twin fixtures diverged");
+        // Each case submits several batches against evolving state, so
+        // later batches see mutations (and prefix invalidations) from
+        // earlier ones.
+        for round in 0..3 {
+            let batch = arb_batch(&mut rng, &batched.fds);
+            let b = batched
+                .k
+                .submit_batch(batched.child, &batch)
+                .expect("submit");
+            let s = sequential
+                .k
+                .run_sequential(sequential.child, &batch)
+                .expect("sequential");
+            let bf: Vec<String> = b.iter().map(fingerprint).collect();
+            let sf: Vec<String> = s.iter().map(fingerprint).collect();
+            assert_eq!(
+                bf, sf,
+                "case {case} round {round} (cached={cached}): results diverged for {batch:?}"
+            );
+        }
+        assert_eq!(
+            denial_fingerprint(&batched.policy),
+            denial_fingerprint(&sequential.policy),
+            "case {case} (cached={cached}): audit denial events diverged"
+        );
+    }
+    set_scenario_cache_mode(true);
+}
+
+#[test]
+fn random_batches_equivalent_with_caches_on() {
+    run_equivalence_cases(true, 0xC0FFEE);
+}
+
+#[test]
+fn random_batches_equivalent_with_caches_off() {
+    run_equivalence_cases(false, 0xC0FFEE);
+}
+
+#[test]
+fn batched_results_identical_across_cache_modes() {
+    // The same batch sequence must also produce identical outcomes whether
+    // the dcache/AVC are on or off (composing the PR 1 parity criterion
+    // with the batch path).
+    let mut rng_on = Rng::new(0xBEEF);
+    let mut rng_off = Rng::new(0xBEEF);
+    for _ in 0..16 {
+        set_scenario_cache_mode(true);
+        let mut fon = build_fixture(true);
+        set_scenario_cache_mode(false);
+        let mut foff = build_fixture(false);
+        for _ in 0..3 {
+            let batch_on = arb_batch(&mut rng_on, &fon.fds);
+            let batch_off = arb_batch(&mut rng_off, &foff.fds);
+            assert_eq!(
+                batch_on.entries, batch_off.entries,
+                "generators in lockstep"
+            );
+            let on = fon.k.submit_batch(fon.child, &batch_on).unwrap();
+            let off = foff.k.submit_batch(foff.child, &batch_off).unwrap();
+            let on_f: Vec<String> = on.iter().map(fingerprint).collect();
+            let off_f: Vec<String> = off.iter().map(fingerprint).collect();
+            assert_eq!(on_f, off_f, "cache mode changed a batched outcome");
+        }
+        assert_eq!(
+            denial_fingerprint(&fon.policy),
+            denial_fingerprint(&foff.policy),
+            "cache mode changed batched audit denials"
+        );
+    }
+    set_scenario_cache_mode(true);
+}
+
+#[test]
+fn abort_mode_cancels_exactly_like_sequential_short_circuit() {
+    let mut f = build_fixture(true);
+    let batch = SyscallBatch::aborting(vec![
+        BatchEntry::Stat {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            follow: true,
+        },
+        BatchEntry::ReadFile {
+            dirfd: None,
+            path: "/data/secret/key".into(),
+        },
+        BatchEntry::Stat {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            follow: true,
+        },
+    ]);
+    let out = f.k.submit_batch(f.child, &batch).unwrap();
+    assert!(out[0].is_ok());
+    assert_eq!(out[1], Err(shill::vfs::Errno::EACCES));
+    assert_eq!(out[2], Err(shill::vfs::Errno::ECANCELED));
+    let mut f2 = build_fixture(true);
+    let seq = f2.k.run_sequential(f2.child, &batch).unwrap();
+    assert_eq!(
+        out.iter().map(fingerprint).collect::<Vec<_>>(),
+        seq.iter().map(fingerprint).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn batch_audit_span_records_per_entry_outcomes() {
+    let mut f = build_fixture(true);
+    f.policy.enable_logging(true);
+    let batch = SyscallBatch::new(vec![
+        BatchEntry::Stat {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            follow: true,
+        },
+        BatchEntry::ReadFile {
+            dirfd: None,
+            path: "/data/secret/key".into(),
+        },
+    ]);
+    f.k.submit_batch(f.child, &batch).unwrap();
+    let events = f.policy.log_events();
+    let span = events
+        .iter()
+        .find(|e| matches!(e, LogEvent::BatchSpan { .. }))
+        .expect("one span per batch");
+    let LogEvent::BatchSpan {
+        entries,
+        failed,
+        outcomes,
+        ..
+    } = span
+    else {
+        unreachable!()
+    };
+    assert_eq!(*entries, 2);
+    assert_eq!(*failed, 1);
+    assert_eq!(outcomes[0], None);
+    assert_eq!(outcomes[1], Some(shill::vfs::Errno::EACCES));
+    // The denial inside the batch is still individually logged.
+    assert_eq!(denial_fingerprint(&f.policy).len(), 1);
+}
