@@ -19,6 +19,14 @@
 //!    workloads, reporting ns/op, ulimit charge operations, and MAC
 //!    context setups. Set `SHILL_BENCH_BATCH_JSON=<path>` to record the
 //!    baseline (committed as `BENCH_batch.json`).
+//! 6. **Multi-session throughput** — N sandboxed sessions driving
+//!    open/read/close + batched-stat workloads over one shared kernel
+//!    (`SharedKernel` + `run_sessions` worker threads) vs the same total
+//!    work driven by a single thread. With one global kernel lock the
+//!    threads mostly serialize — this group records the contention
+//!    baseline the ROADMAP's sharding item must beat. Set
+//!    `SHILL_BENCH_CONCURRENCY_JSON=<path>` to record it (committed as
+//!    `BENCH_concurrency.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -503,6 +511,163 @@ fn bench_batch_ablation() {
     }
 }
 
+/// One multi-session measurement: total ops completed and wall time.
+struct ConcurrencyRun {
+    ns_per_op: f64,
+    ops: u64,
+}
+
+/// Build the shared-kernel fixture for `sessions` confined subtrees and
+/// return per-session work as `SessionTask`s.
+fn concurrency_workload(sessions: usize, rounds: usize, threaded: bool) -> ConcurrencyRun {
+    use shill_sandbox::{run_sessions, SessionBody, SessionTask, SharedKernel};
+
+    let mut k = Kernel::new();
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    for i in 0..sessions {
+        for j in 0..8 {
+            k.fs.put_file(
+                &format!("/work/s{i}/inner/f{j}"),
+                &vec![b'd'; 512],
+                Mode(0o644),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+    }
+    let root = k.fs.root();
+    let work = k.fs.resolve_abs("/work").unwrap();
+    let dirs: Vec<_> = (0..sessions)
+        .map(|i| k.fs.resolve_abs(&format!("/work/s{i}")).unwrap())
+        .collect();
+    let shared = SharedKernel::new(k);
+
+    let leaf = CapPrivs::of(PrivSet::of(&[Priv::Read, Priv::Stat, Priv::Path]));
+    let inner = CapPrivs::of(PrivSet::of(&[Priv::Lookup, Priv::Contents, Priv::Stat]))
+        .with_modifier(Priv::Lookup, leaf.clone());
+    let tasks: Vec<SessionTask> = (0..sessions)
+        .map(|i| {
+            let spec = SandboxSpec {
+                grants: vec![
+                    Grant::vnode(root, CapPrivs::of(PrivSet::of(&[Priv::Lookup]))),
+                    Grant::vnode(work, CapPrivs::of(PrivSet::of(&[Priv::Lookup]))),
+                    Grant::vnode(
+                        dirs[i],
+                        CapPrivs::of(PrivSet::of(&[Priv::Lookup, Priv::Contents, Priv::Stat]))
+                            .with_modifier(Priv::Lookup, inner.clone()),
+                    ),
+                ],
+                ..Default::default()
+            };
+            let body: SessionBody = Arc::new(move |sk, pid, _sid| {
+                for _ in 0..rounds {
+                    for j in 0..8 {
+                        let ok = sk.with(|k| {
+                            let fd = k.open(
+                                pid,
+                                &format!("/work/s{i}/inner/f{j}"),
+                                OpenFlags::RDONLY,
+                                Mode(0),
+                            )?;
+                            let _ = k.read(pid, fd, 512)?;
+                            k.close(pid, fd)
+                        });
+                        if ok.is_err() {
+                            return 1;
+                        }
+                    }
+                    let batch = SyscallBatch::new(
+                        (0..8)
+                            .map(|j| BatchEntry::Stat {
+                                dirfd: None,
+                                path: format!("/work/s{i}/inner/f{j}"),
+                                follow: true,
+                            })
+                            .collect(),
+                    );
+                    let out = sk.with(|k| k.submit_batch(pid, &batch));
+                    match out {
+                        Ok(rs) if rs.iter().all(|r| r.is_ok()) => {}
+                        _ => return 1,
+                    }
+                }
+                0
+            });
+            SessionTask { spec, body }
+        })
+        .collect();
+
+    // ops per session per round: 8 open/read/close triples + 8 stat entries.
+    let ops = (sessions * rounds * (8 * 3 + 8)) as u64;
+    let t0 = Instant::now();
+    if threaded {
+        let outcomes =
+            run_sessions(&shared, &policy, shill_vfs::Cred::user(100), tasks).expect("sessions");
+        assert!(outcomes.iter().all(|o| o.status == 0));
+    } else {
+        // Single-threaded baseline: identical total work, sessions driven
+        // one after another on this thread.
+        for task in tasks {
+            let outcomes = run_sessions(&shared, &policy, shill_vfs::Cred::user(100), vec![task])
+                .expect("session");
+            assert!(outcomes.iter().all(|o| o.status == 0));
+        }
+    }
+    let elapsed = t0.elapsed();
+    ConcurrencyRun {
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        ops,
+    }
+}
+
+fn bench_concurrency() {
+    let sessions = 4;
+    let rounds = 400;
+    println!(
+        "\n6. multi-session throughput ({sessions} sessions x {rounds} rounds, shared kernel):"
+    );
+    let threaded = concurrency_workload(sessions, rounds, true);
+    let single = concurrency_workload(sessions, rounds, false);
+    let report = |label: &str, r: &ConcurrencyRun| {
+        println!(
+            "   {label:<28} {:>8.0}ns/op  ({} ops, {:.2}M ops/s)",
+            r.ns_per_op,
+            r.ops,
+            1e3 / r.ns_per_op
+        );
+    };
+    report("4 worker threads:", &threaded);
+    report("single-threaded baseline:", &single);
+    println!(
+        "   threaded/single ratio: {:.2}× (global kernel lock; the sharding \
+         item exists to push this below 1.0)",
+        threaded.ns_per_op / single.ns_per_op.max(1e-9)
+    );
+    if let Ok(path) = std::env::var("SHILL_BENCH_CONCURRENCY_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"{s} sessions x {r} rounds of 8 open/read/close + 8-entry stat batch, shared kernel\",\n",
+                "  \"threaded\": {{\"ns_per_op\": {:.1}, \"ops\": {}}},\n",
+                "  \"single_thread\": {{\"ns_per_op\": {:.1}, \"ops\": {}}},\n",
+                "  \"threaded_over_single\": {:.3}\n",
+                "}}\n"
+            ),
+            threaded.ns_per_op,
+            threaded.ops,
+            single.ns_per_op,
+            single.ops,
+            threaded.ns_per_op / single.ns_per_op.max(1e-9),
+            s = sessions,
+            r = rounds,
+        );
+        std::fs::write(&path, json).expect("write concurrency baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     bench_contract_cost();
@@ -510,5 +675,6 @@ fn main() {
     bench_propagation_depth();
     bench_cache_ablation();
     bench_batch_ablation();
+    bench_concurrency();
     let _ = Arc::new(());
 }

@@ -150,4 +150,13 @@ impl ShillRuntime {
     pub fn pid(&self) -> Pid {
         self.interp.pid
     }
+
+    /// Dismantle the runtime, releasing the kernel and the policy module —
+    /// the entry point for the concurrent phase of a workload: scripts that
+    /// prepared state single-threaded hand the kernel to
+    /// `shill_sandbox::SharedKernel` and a fleet of session worker threads
+    /// (`shill_sandbox::run_sessions`) from here.
+    pub fn into_parts(self) -> (Kernel, Option<Arc<ShillPolicy>>) {
+        (self.interp.kernel, self.policy)
+    }
 }

@@ -24,8 +24,10 @@
 //! * The cache is consulted at all only when **every** registered policy
 //!   opted in via `decisions_cacheable`.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use shill_vfs::sync::Mutex;
 
 use crate::mac::{PipeOp, SocketOp, VnodeOp};
 use crate::types::{ObjId, Pid};
@@ -91,41 +93,49 @@ pub fn avc_socket_class(op: &SocketOp) -> Option<AvcClass> {
     }
 }
 
-/// The access-vector cache. Interior-mutable because MAC checks run behind
-/// `&Kernel` on read-path syscalls.
+/// The access-vector cache. Interior-mutable (lock + atomic) because MAC
+/// checks run behind `&Kernel` on read-path syscalls, possibly from several
+/// session threads at once.
 #[derive(Debug, Default)]
 pub struct Avc {
     /// (subject, object, class) → combined epoch at which the allow was
     /// recorded. Presence at the current epoch means "allowed".
-    entries: RefCell<HashMap<(Pid, ObjId, AvcClass), u64>>,
-    enabled: Cell<bool>,
+    entries: Mutex<HashMap<(Pid, ObjId, AvcClass), u64>>,
+    enabled: AtomicBool,
 }
 
 impl Avc {
     pub fn new() -> Avc {
         Avc {
-            entries: RefCell::new(HashMap::new()),
-            enabled: Cell::new(true),
+            entries: Mutex::new(HashMap::new()),
+            enabled: AtomicBool::new(true),
         }
     }
 
     pub fn enabled(&self) -> bool {
-        self.enabled.get()
+        self.enabled.load(Ordering::Relaxed)
     }
 
-    pub fn set_enabled(&self, enabled: bool) {
-        if self.enabled.get() && !enabled {
-            self.flush();
-        }
-        self.enabled.set(enabled);
+    /// Enable or disable the cache. Disabling flushes; the return value is
+    /// the number of live verdicts that flush dropped (0 for an enable, a
+    /// disabled→disabled transition, or an already-empty cache), so callers
+    /// can count only flushes that actually did work.
+    pub fn set_enabled(&self, enabled: bool) -> usize {
+        let dropped = if self.enabled() && !enabled {
+            self.flush()
+        } else {
+            0
+        };
+        self.enabled.store(enabled, Ordering::Relaxed);
+        dropped
     }
 
     /// Probe for a still-valid allow verdict. Stale entries are dropped.
     pub fn probe(&self, pid: Pid, obj: ObjId, class: AvcClass, epoch: u64) -> bool {
-        if !self.enabled.get() {
+        if !self.enabled() {
             return false;
         }
-        let mut entries = self.entries.borrow_mut();
+        let mut entries = self.entries.lock();
         match entries.get(&(pid, obj, class)) {
             Some(e) if *e == epoch => true,
             Some(_) => {
@@ -138,10 +148,10 @@ impl Avc {
 
     /// Record an allow verdict at the given combined epoch.
     pub fn record(&self, pid: Pid, obj: ObjId, class: AvcClass, epoch: u64) {
-        if !self.enabled.get() {
+        if !self.enabled() {
             return;
         }
-        let mut entries = self.entries.borrow_mut();
+        let mut entries = self.entries.lock();
         if entries.len() >= DEFAULT_CAPACITY {
             // Evict stale epochs first; purge wholesale as a last resort.
             entries.retain(|_, e| *e == epoch);
@@ -152,24 +162,27 @@ impl Avc {
         entries.insert((pid, obj, class), epoch);
     }
 
-    /// Drop every cached verdict.
-    pub fn flush(&self) {
-        self.entries.borrow_mut().clear();
+    /// Drop every cached verdict; returns how many were live.
+    pub fn flush(&self) -> usize {
+        let mut entries = self.entries.lock();
+        let dropped = entries.len();
+        entries.clear();
+        dropped
     }
 
     /// Drop verdicts for one subject (process exit).
     pub fn drop_pid(&self, pid: Pid) {
-        self.entries.borrow_mut().retain(|(p, _, _), _| *p != pid);
+        self.entries.lock().retain(|(p, _, _), _| *p != pid);
     }
 
     /// Drop verdicts for one object (vnode reclaimed, pipe/socket closed).
     pub fn drop_obj(&self, obj: ObjId) {
-        self.entries.borrow_mut().retain(|(_, o, _), _| *o != obj);
+        self.entries.lock().retain(|(_, o, _), _| *o != obj);
     }
 
     /// Live cached verdicts (tests/diagnostics).
     pub fn entry_count(&self) -> usize {
-        self.entries.borrow().len()
+        self.entries.lock().len()
     }
 }
 

@@ -52,9 +52,10 @@
 //! `&&` chain, reporting `ECANCELED` for every entry after the first
 //! failure (which is never executed).
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use shill_vfs::sync::Mutex;
 use shill_vfs::{Errno, Mode, NodeId, Stat, SysResult};
 
 use crate::kernel::Kernel;
@@ -244,13 +245,15 @@ pub struct BatchState {
     /// The subject's `max_cpu_ticks`.
     pub limit: u64,
     /// Ticks consumed so far by the batch's inner syscalls.
-    pub used: Cell<u64>,
+    pub used: AtomicU64,
     /// Whether `namei` may reuse dirname resolutions (all loaded policies
-    /// opted into verdict caching, or none are loaded).
+    /// opted into verdict caching, or none are loaded — and the AVC is on,
+    /// since prefix reuse memoizes MAC lookup verdicts under the same
+    /// contract the AVC does).
     pub reuse_prefixes: bool,
     /// start node → dirname text → resolution. Two-level so probes hash a
     /// borrowed `&str` slice of the caller's path, no allocation.
-    pub prefixes: RefCell<HashMap<NodeId, HashMap<String, PrefixHit>>>,
+    pub prefixes: Mutex<HashMap<NodeId, HashMap<String, PrefixHit>>>,
 }
 
 /// Split a path into `(dirname, last-component)` textually, consistent with
@@ -270,8 +273,7 @@ impl BatchState {
     /// Consume one cpu tick from the pre-read budget; trips `EAGAIN` at
     /// exactly the tick where sequential per-call charging would.
     pub fn consume_tick(&self) -> SysResult<()> {
-        let used = self.used.get() + 1;
-        self.used.set(used);
+        let used = self.used.fetch_add(1, Ordering::Relaxed) + 1;
         if self.base + used > self.limit {
             return Err(Errno::EAGAIN);
         }
@@ -310,24 +312,27 @@ impl Kernel {
             pid,
             cred: self.process(pid)?.cred,
         };
-        let reuse_prefixes = self.policy_registry_cacheable();
+        let reuse_prefixes = self.prefix_reuse_allowed();
         self.batch = Some(BatchState {
             ctx,
             base,
             limit,
-            used: Cell::new(0),
+            used: AtomicU64::new(0),
             reuse_prefixes,
-            prefixes: RefCell::new(HashMap::new()),
+            prefixes: Mutex::new(HashMap::new()),
         });
 
         let mut out: Vec<SysResult<BatchOut>> = Vec::with_capacity(batch.entries.len());
         let mut aborted = false;
         for entry in &batch.entries {
-            KernelStats::bump(&self.stats.batch_entries);
             if aborted {
+                // Cancelled entries never execute: they are not counted in
+                // `batch_entries` and their `ECANCELED` slot is an audit
+                // cancellation, not a denial.
                 out.push(Err(Errno::ECANCELED));
                 continue;
             }
+            KernelStats::bump(&self.stats.batch_entries);
             let r = self.exec_entry(pid, entry);
             if r.is_err() && batch.fail_mode == FailMode::Abort {
                 aborted = true;
@@ -338,7 +343,7 @@ impl Kernel {
         let st = self.batch.take().expect("batch state present");
         // Write the consumed ticks back in one process-table access.
         if let Ok(p) = self.process_mut(pid) {
-            p.cpu_ticks = st.base + st.used.get();
+            p.cpu_ticks = st.base + st.used.load(Ordering::Relaxed);
         }
         // One audit span per batch with per-entry outcomes.
         let outcomes: Vec<Option<Errno>> = out.iter().map(|r| r.as_ref().err().copied()).collect();
@@ -721,9 +726,9 @@ mod tests {
             },
             base: 0,
             limit: u64::MAX,
-            used: Cell::new(0),
+            used: AtomicU64::new(0),
             reuse_prefixes: true,
-            prefixes: RefCell::new(HashMap::new()),
+            prefixes: Mutex::new(HashMap::new()),
         });
         assert_eq!(
             k.submit_batch(pid, &SyscallBatch::default()).unwrap_err(),

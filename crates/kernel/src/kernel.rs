@@ -134,19 +134,21 @@ impl Kernel {
 
     /// Load a MAC policy module (the "SHILL installed" configuration).
     /// Attaching a policy flushes the access-vector cache: verdicts reached
-    /// without the new policy's veto are no longer valid.
+    /// without the new policy's veto are no longer valid. `avc_flushes`
+    /// counts only flushes that dropped live verdicts — attaching to a
+    /// kernel whose cache is empty is not an eviction event.
     pub fn register_policy(&mut self, policy: Arc<dyn MacPolicy>) {
         self.registry.attach(policy);
-        self.avc.flush();
-        KernelStats::bump(&self.stats.avc_flushes);
+        if self.avc.flush() > 0 {
+            KernelStats::bump(&self.stats.avc_flushes);
+        }
     }
 
     /// Unload a policy by name (what `kldunload` would do; the SHILL policy
     /// itself denies this from inside a sandbox). Flushes the AVC.
     pub fn unregister_policy(&mut self, name: &str) -> bool {
         let removed = self.registry.detach(name);
-        if removed {
-            self.avc.flush();
+        if removed && self.avc.flush() > 0 {
             KernelStats::bump(&self.stats.avc_flushes);
         }
         removed
@@ -161,12 +163,14 @@ impl Kernel {
 
     /// Toggle the resolution caches directly (the `security.cache.*`
     /// sysctls route here; ablation benches call it to compare modes).
+    /// `avc_flushes` is bumped only when disabling actually dropped live
+    /// verdicts: a disabled→disabled write or a toggle of an empty cache
+    /// flushes nothing and must not inflate the counter.
     pub fn set_cache_enabled(&mut self, dcache: bool, avc: bool) {
         self.fs.dcache().set_enabled(dcache);
-        if self.avc.enabled() && !avc {
+        if self.avc.set_enabled(avc) > 0 {
             KernelStats::bump(&self.stats.avc_flushes);
         }
-        self.avc.set_enabled(avc);
         self.sysctls.insert(
             SYSCTL_DCACHE.to_string(),
             if dcache { "1" } else { "0" }.to_string(),
@@ -227,6 +231,12 @@ impl Kernel {
 
     pub fn process_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
         self.procs.get_mut(&pid).ok_or(Errno::ESRCH)
+    }
+
+    /// Live process-table entries, zombies included (diagnostics/tests —
+    /// the session executor's leak regression checks this stays flat).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
     }
 
     /// The MAC subject context for a process. Inside a batched submission
@@ -545,11 +555,22 @@ impl Kernel {
         self.registry.as_slice()
     }
 
-    /// Whether the loaded policy stack permits verdict memoization (all
-    /// policies opted in, or none loaded). Gates both the AVC and the
-    /// batch path's `namei` prefix reuse.
-    pub(crate) fn policy_registry_cacheable(&self) -> bool {
-        self.registry.is_empty() || self.registry.cacheable()
+    /// Whether a batched submission may reuse dirname resolutions. Requires
+    /// the cacheable-policy contract *and* the resolution caches themselves:
+    /// prefix reuse memoizes directory-entry scans (the dcache's job) and
+    /// MAC lookup verdicts (the AVC's job), so when an operator has turned
+    /// either cache off, the batch path must not keep a private copy of it —
+    /// with caches off, batched execution degrades to exactly the sequential
+    /// walk, stats and all.
+    pub(crate) fn prefix_reuse_allowed(&self) -> bool {
+        self.fs.dcache().enabled()
+            && (self.registry.is_empty() || (self.avc.enabled() && self.registry.cacheable()))
+    }
+
+    /// Capacity-pressure evictions performed by the directory-entry cache
+    /// (stale-generation drops that ran before any full purge).
+    pub fn dcache_evictions(&self) -> u64 {
+        self.fs.dcache().stats().evictions
     }
 
     /// Deterministic pseudo-random byte source for `/dev/random`.
@@ -667,14 +688,29 @@ impl Kernel {
                 let epoch = self.registry.combined_epoch();
                 let mut hit_parent: Option<NodeId> = None;
                 {
-                    let prefixes = b.prefixes.borrow();
+                    let prefixes = b.prefixes.lock();
                     if let Some(hit) = prefixes.get(&start).and_then(|m| m.get(dirname)) {
                         if hit.epoch == epoch && self.prefix_still_valid(hit) {
-                            // Replay privilege propagation for the skipped
-                            // components (monotone under the cacheable-policy
-                            // contract, so order relative to other entries
-                            // is immaterial).
+                            // Account each skipped component as the cache
+                            // hit it logically is — one lookup answered by
+                            // the dcache (for scanned names) and one MAC
+                            // verdict answered by the AVC — so `lookups`/
+                            // `dcache_hits`/`avc_hits` stay in parity with
+                            // sequential execution.
+                            let steps = hit.steps.len() as u64;
+                            KernelStats::add(&self.stats.lookups, steps);
+                            let scanned = hit
+                                .steps
+                                .iter()
+                                .filter(|s| s.name != "." && s.name != "..")
+                                .count() as u64;
+                            KernelStats::add(&self.stats.dcache_hits, scanned);
                             if !self.registry.is_empty() {
+                                KernelStats::add(&self.stats.avc_hits, steps);
+                                // Replay privilege propagation for the
+                                // skipped components (monotone under the
+                                // cacheable-policy contract, so order
+                                // relative to other entries is immaterial).
                                 for step in &hit.steps {
                                     self.mac_post_lookup(pid, step.dir, &step.name, step.child);
                                 }
@@ -697,7 +733,7 @@ impl Kernel {
                     );
                 }
                 KernelStats::bump(&self.stats.batch_prefix_misses);
-                if let Some(m) = b.prefixes.borrow_mut().get_mut(&start) {
+                if let Some(m) = b.prefixes.lock().get_mut(&start) {
                     m.remove(dirname);
                 }
                 let mut trace = PrefixTrace::default();
@@ -716,7 +752,7 @@ impl Kernel {
                 // absent names share the same dirname).
                 if !trace.tainted {
                     if let Some(parent) = trace.parent_of_last {
-                        b.prefixes.borrow_mut().entry(start).or_default().insert(
+                        b.prefixes.lock().entry(start).or_default().insert(
                             dirname.to_string(),
                             PrefixHit {
                                 parent,
@@ -1004,6 +1040,16 @@ impl Kernel {
         Ok(())
     }
 }
+
+/// The whole point of the thread-safe state conversion: a kernel can be
+/// moved to (and shared between) session worker threads. Everything
+/// interior-mutable inside it is an atomic or a lock-guarded map.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Kernel>();
+    assert_send_sync::<KernelStats>();
+    assert_send_sync::<Avc>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -22,7 +22,7 @@ use crate::types::{SockAddr, SockDomain, SockId};
 
 /// Handler for a simulated remote host: consumes one request message and
 /// produces the response bytes.
-pub type RemoteHandler = Box<dyn FnMut(&[u8]) -> Vec<u8> + Send>;
+pub type RemoteHandler = Box<dyn FnMut(&[u8]) -> Vec<u8> + Send + Sync>;
 
 /// Identifier for an injected (inbound) connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

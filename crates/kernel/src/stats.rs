@@ -1,112 +1,127 @@
 //! Counters used by tests and the benchmark harness.
 //!
-//! `Cell`-based so read-path syscalls (which take `&self` on the filesystem)
-//! can still count. The kernel is single-threaded by construction; nothing
-//! here is shared across threads.
+//! Relaxed atomics, so read-path syscalls (which take `&self` on the
+//! filesystem) can still count *and* sandbox sessions running on worker
+//! threads can share one kernel without data races. Individual counters
+//! are monotone; `snapshot` is not atomic across counters (fine for the
+//! tests and reports that consume it, which quiesce the kernel first).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Kernel-wide event counters.
 #[derive(Debug, Default)]
 pub struct KernelStats {
     /// Total system calls dispatched.
-    pub syscalls: Cell<u64>,
+    pub syscalls: AtomicU64,
     /// Per-component directory lookups performed by the path walker.
-    pub lookups: Cell<u64>,
+    pub lookups: AtomicU64,
     /// Path-walker components answered from the directory-entry cache.
-    pub dcache_hits: Cell<u64>,
+    pub dcache_hits: AtomicU64,
     /// Path-walker components that missed the dcache (or ran with it off).
-    pub dcache_misses: Cell<u64>,
+    pub dcache_misses: AtomicU64,
     /// Lookups answered by a cached negative entry (name known absent):
     /// the directory scan *and* the ENOENT re-derivation were skipped.
-    pub dcache_neg_hits: Cell<u64>,
+    pub dcache_neg_hits: AtomicU64,
     /// Real directory-entry scans performed (i.e. dcache misses that went
     /// to the filesystem); with the cache on and a warm workload this stays
     /// flat while `lookups` keeps climbing.
-    pub dir_scans: Cell<u64>,
+    pub dir_scans: AtomicU64,
     /// MAC vnode checks that *reached* policy modules (0 when no policy is
     /// registered; with the AVC on, far fewer than checks requested).
-    pub mac_vnode_checks: Cell<u64>,
+    pub mac_vnode_checks: AtomicU64,
     /// MAC vnode decisions answered from the access-vector cache.
-    pub avc_hits: Cell<u64>,
+    pub avc_hits: AtomicU64,
     /// MAC vnode decisions that missed the AVC and consulted policies.
-    pub avc_misses: Cell<u64>,
-    /// Wholesale AVC flushes (policy attach/detach, cache toggles).
-    pub avc_flushes: Cell<u64>,
+    pub avc_misses: AtomicU64,
+    /// Wholesale AVC flushes that actually dropped live cached verdicts
+    /// (policy attach/detach, cache toggles). A flush of an already-empty
+    /// or disabled cache is not counted.
+    pub avc_flushes: AtomicU64,
     /// MAC socket/pipe/proc/system checks invoked.
-    pub mac_other_checks: Cell<u64>,
+    pub mac_other_checks: AtomicU64,
     /// Executables run.
-    pub execs: Cell<u64>,
+    pub execs: AtomicU64,
     /// Processes forked.
-    pub forks: Cell<u64>,
+    pub forks: AtomicU64,
     /// Ulimit accounting operations: one per sequential syscall, one per
     /// submitted batch (the batch path's whole point is that this grows
     /// far slower than `syscalls`).
-    pub charge_calls: Cell<u64>,
+    pub charge_calls: AtomicU64,
     /// MAC subject contexts constructed (credential snapshots). Batched
     /// submission builds one per batch and reuses it for every check.
-    pub mac_ctx_setups: Cell<u64>,
+    pub mac_ctx_setups: AtomicU64,
     /// Batches submitted via [`crate::kernel::Kernel::submit_batch`].
-    pub batches: Cell<u64>,
-    /// Entries processed across all submitted batches.
-    pub batch_entries: Cell<u64>,
+    pub batches: AtomicU64,
+    /// Entries *executed* across all submitted batches. Entries cancelled
+    /// by [`crate::batch::FailMode::Abort`] short-circuiting never run and
+    /// are not counted.
+    pub batch_entries: AtomicU64,
     /// `namei` dirname resolutions reused from the in-batch prefix cache.
-    pub batch_prefix_hits: Cell<u64>,
+    pub batch_prefix_hits: AtomicU64,
     /// In-batch prefix probes that fell back to a full walk (cold entry or
     /// a mid-batch dcache/AVC epoch invalidation).
-    pub batch_prefix_misses: Cell<u64>,
+    pub batch_prefix_misses: AtomicU64,
 }
 
 impl KernelStats {
-    pub fn bump(cell: &Cell<u64>) {
-        cell.set(cell.get() + 1);
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Plain-value snapshot for assertions and reports.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
-            syscalls: self.syscalls.get(),
-            lookups: self.lookups.get(),
-            dcache_hits: self.dcache_hits.get(),
-            dcache_misses: self.dcache_misses.get(),
-            dcache_neg_hits: self.dcache_neg_hits.get(),
-            dir_scans: self.dir_scans.get(),
-            mac_vnode_checks: self.mac_vnode_checks.get(),
-            avc_hits: self.avc_hits.get(),
-            avc_misses: self.avc_misses.get(),
-            avc_flushes: self.avc_flushes.get(),
-            mac_other_checks: self.mac_other_checks.get(),
-            execs: self.execs.get(),
-            forks: self.forks.get(),
-            charge_calls: self.charge_calls.get(),
-            mac_ctx_setups: self.mac_ctx_setups.get(),
-            batches: self.batches.get(),
-            batch_entries: self.batch_entries.get(),
-            batch_prefix_hits: self.batch_prefix_hits.get(),
-            batch_prefix_misses: self.batch_prefix_misses.get(),
+            syscalls: get(&self.syscalls),
+            lookups: get(&self.lookups),
+            dcache_hits: get(&self.dcache_hits),
+            dcache_misses: get(&self.dcache_misses),
+            dcache_neg_hits: get(&self.dcache_neg_hits),
+            dir_scans: get(&self.dir_scans),
+            mac_vnode_checks: get(&self.mac_vnode_checks),
+            avc_hits: get(&self.avc_hits),
+            avc_misses: get(&self.avc_misses),
+            avc_flushes: get(&self.avc_flushes),
+            mac_other_checks: get(&self.mac_other_checks),
+            execs: get(&self.execs),
+            forks: get(&self.forks),
+            charge_calls: get(&self.charge_calls),
+            mac_ctx_setups: get(&self.mac_ctx_setups),
+            batches: get(&self.batches),
+            batch_entries: get(&self.batch_entries),
+            batch_prefix_hits: get(&self.batch_prefix_hits),
+            batch_prefix_misses: get(&self.batch_prefix_misses),
         }
     }
 
     pub fn reset(&self) {
-        self.syscalls.set(0);
-        self.lookups.set(0);
-        self.dcache_hits.set(0);
-        self.dcache_misses.set(0);
-        self.dcache_neg_hits.set(0);
-        self.dir_scans.set(0);
-        self.mac_vnode_checks.set(0);
-        self.avc_hits.set(0);
-        self.avc_misses.set(0);
-        self.avc_flushes.set(0);
-        self.mac_other_checks.set(0);
-        self.execs.set(0);
-        self.forks.set(0);
-        self.charge_calls.set(0);
-        self.mac_ctx_setups.set(0);
-        self.batches.set(0);
-        self.batch_entries.set(0);
-        self.batch_prefix_hits.set(0);
-        self.batch_prefix_misses.set(0);
+        for c in [
+            &self.syscalls,
+            &self.lookups,
+            &self.dcache_hits,
+            &self.dcache_misses,
+            &self.dcache_neg_hits,
+            &self.dir_scans,
+            &self.mac_vnode_checks,
+            &self.avc_hits,
+            &self.avc_misses,
+            &self.avc_flushes,
+            &self.mac_other_checks,
+            &self.execs,
+            &self.forks,
+            &self.charge_calls,
+            &self.mac_ctx_setups,
+            &self.batches,
+            &self.batch_entries,
+            &self.batch_prefix_hits,
+            &self.batch_prefix_misses,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -144,10 +159,31 @@ mod tests {
         KernelStats::bump(&s.syscalls);
         KernelStats::bump(&s.syscalls);
         KernelStats::bump(&s.lookups);
+        KernelStats::add(&s.dcache_hits, 3);
         let snap = s.snapshot();
         assert_eq!(snap.syscalls, 2);
         assert_eq!(snap.lookups, 1);
+        assert_eq!(snap.dcache_hits, 3);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let s = std::sync::Arc::new(KernelStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        KernelStats::bump(&s.syscalls);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().syscalls, 4000);
     }
 }

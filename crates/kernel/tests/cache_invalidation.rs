@@ -4,7 +4,6 @@
 //! The security property under test: enabling the caches must never change
 //! the *outcome* of any operation — only how much work it takes.
 
-use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -236,27 +235,25 @@ fn symlink_hop_limit_identical_with_and_without_caches() {
 
 /// A cacheable test policy with an explicit deny set and a manually bumped
 /// epoch — lets us exercise the kernel/policy epoch protocol without the
-/// full SHILL sandbox.
+/// full SHILL sandbox. Genuinely `Sync` (lock + atomic): kernels are shared
+/// across session threads now.
 #[derive(Default)]
 struct TogglePolicy {
-    denied: RefCell<HashSet<NodeId>>,
-    epoch: std::cell::Cell<u64>,
+    denied: shill_vfs::sync::Mutex<HashSet<NodeId>>,
+    epoch: std::sync::atomic::AtomicU64,
 }
-
-// Safety: the simulated kernel is single-threaded by construction; the
-// production policy (ShillPolicy) uses a real mutex instead.
-unsafe impl Sync for TogglePolicy {}
 
 impl TogglePolicy {
     fn deny(&self, node: NodeId) {
-        self.denied.borrow_mut().insert(node);
+        self.denied.lock().insert(node);
         // Authority shrank: honor the cache-epoch contract.
-        self.epoch.set(self.epoch.get() + 1);
+        self.epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn allow(&self, node: NodeId) {
         // Authority only grows: no bump required.
-        self.denied.borrow_mut().remove(&node);
+        self.denied.lock().remove(&node);
     }
 }
 
@@ -270,11 +267,11 @@ impl MacPolicy for TogglePolicy {
     }
 
     fn cache_epoch(&self) -> u64 {
-        self.epoch.get()
+        self.epoch.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn vnode_check(&self, _ctx: MacCtx, node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
-        if self.denied.borrow().contains(&node) {
+        if self.denied.lock().contains(&node) {
             Err(Errno::EACCES)
         } else {
             Ok(())
@@ -511,17 +508,25 @@ fn negative_dcache_inert_when_disabled() {
 // --- pipe/socket access vectors ---------------------------------------------
 
 /// Cacheable policy that counts how many pipe/socket checks actually reach
-/// it (the AVC should absorb repeats).
+/// it (the AVC should absorb repeats). Atomic counters: the kernel is
+/// shared across session threads now, so test policies are `Sync` for real
+/// rather than by unsafe assertion.
 #[derive(Default)]
 struct CountingPolicy {
-    pipe_checks: std::cell::Cell<u64>,
-    socket_checks: std::cell::Cell<u64>,
-    epoch: std::cell::Cell<u64>,
+    pipe_checks: std::sync::atomic::AtomicU64,
+    socket_checks: std::sync::atomic::AtomicU64,
+    epoch: std::sync::atomic::AtomicU64,
 }
 
-// Safety: the simulated kernel is single-threaded by construction.
-unsafe impl Sync for CountingPolicy {}
-unsafe impl Send for CountingPolicy {}
+impl CountingPolicy {
+    fn pipe_count(&self) -> u64 {
+        self.pipe_checks.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn socket_count(&self) -> u64 {
+        self.socket_checks
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
 
 impl MacPolicy for CountingPolicy {
     fn name(&self) -> &str {
@@ -531,7 +536,7 @@ impl MacPolicy for CountingPolicy {
         true
     }
     fn cache_epoch(&self) -> u64 {
-        self.epoch.get()
+        self.epoch.load(std::sync::atomic::Ordering::Relaxed)
     }
     fn pipe_check(
         &self,
@@ -539,7 +544,8 @@ impl MacPolicy for CountingPolicy {
         _pipe: shill_kernel::ObjId,
         _op: shill_kernel::PipeOp,
     ) -> SysResult<()> {
-        self.pipe_checks.set(self.pipe_checks.get() + 1);
+        self.pipe_checks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
     fn socket_check(
@@ -548,7 +554,8 @@ impl MacPolicy for CountingPolicy {
         _sock: shill_kernel::ObjId,
         _op: &shill_kernel::SocketOp,
     ) -> SysResult<()> {
-        self.socket_checks.set(self.socket_checks.get() + 1);
+        self.socket_checks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 }
@@ -565,12 +572,14 @@ fn avc_caches_pipe_data_path_verdicts() {
         k.read(pid, r, 1).unwrap();
     }
     // First write and first read consult the policy; the rest are AVC hits.
-    assert_eq!(policy.pipe_checks.get(), 2);
+    assert_eq!(policy.pipe_count(), 2);
     assert_eq!(k.stats.snapshot().avc_hits, 18);
     // An epoch bump (authority shrank) invalidates the cached vectors.
-    policy.epoch.set(policy.epoch.get() + 1);
+    policy
+        .epoch
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     k.write(pid, w, b"y").unwrap();
-    assert_eq!(policy.pipe_checks.get(), 3);
+    assert_eq!(policy.pipe_count(), 3);
 }
 
 #[test]
@@ -586,18 +595,18 @@ fn avc_caches_socket_send_recv_but_not_lifecycle() {
         .register_remote(addr.clone(), Box::new(|_| b"pong".to_vec()));
     let fd = k.socket(pid, shill_kernel::SockDomain::Inet).unwrap();
     k.connect(pid, fd, addr.clone()).unwrap();
-    let base = policy.socket_checks.get(); // create + connect reached policy
+    let base = policy.socket_count(); // create + connect reached policy
     assert_eq!(base, 2);
     for _ in 0..5 {
         k.write(pid, fd, b"ping").unwrap();
         let _ = k.read(pid, fd, 16);
     }
     // One Send and one Recv consult; the rest hit the AVC.
-    assert_eq!(policy.socket_checks.get(), base + 2);
+    assert_eq!(policy.socket_count(), base + 2);
     // Connect is address-carrying: a second connect consults again.
     let fd2 = k.socket(pid, shill_kernel::SockDomain::Inet).unwrap();
     k.connect(pid, fd2, addr).unwrap();
-    assert_eq!(policy.socket_checks.get(), base + 4);
+    assert_eq!(policy.socket_count(), base + 4);
     // Closing the socket drops its cached vectors.
     let before = k.avc().entry_count();
     k.close(pid, fd).unwrap();
@@ -622,8 +631,157 @@ fn uncacheable_policy_keeps_pipe_checks_on_slow_path() {
         k.read(pid, r, 1).unwrap();
     }
     assert_eq!(
-        policy.pipe_checks.get(),
+        policy.pipe_count(),
         8,
         "an opaque policy in the stack disables pipe-vector caching"
     );
+}
+
+// --- flush accounting and capacity boundaries (ISSUE 3 satellites) -----------
+
+/// `avc_flushes` counts only flushes that dropped live cached verdicts:
+/// attaching to an empty cache, disabled→disabled writes, and empty-cache
+/// toggles must not inflate it.
+#[test]
+fn avc_flushes_count_only_live_flushes() {
+    let (mut k, pid) = setup();
+    k.fs.put_file("/a/f", b"xy", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    // Attach to an empty cache: no live verdicts dropped, no flush counted.
+    k.register_policy(Arc::new(NullPolicy));
+    assert_eq!(k.stats.snapshot().avc_flushes, 0);
+
+    // Warm the AVC.
+    let fd = k.open(pid, "/a/f", OpenFlags::RDONLY, Mode(0)).unwrap();
+    k.pread(pid, fd, 0, 1).unwrap();
+    assert!(k.avc().entry_count() > 0);
+
+    // Disabling with live entries: exactly one counted flush.
+    k.set_cache_enabled(true, false);
+    assert_eq!(k.stats.snapshot().avc_flushes, 1);
+
+    // disabled→disabled, disabled→enabled: nothing to drop, no count.
+    k.set_cache_enabled(true, false);
+    k.set_cache_enabled(true, true);
+    assert_eq!(k.stats.snapshot().avc_flushes, 1);
+
+    // enabled→disabled with an *empty* cache: still nothing dropped.
+    k.set_cache_enabled(true, false);
+    assert_eq!(k.stats.snapshot().avc_flushes, 1);
+    k.set_cache_enabled(true, true);
+
+    // Detach with an empty cache: not a counted flush either.
+    assert!(k.unregister_policy("null"));
+    assert_eq!(k.stats.snapshot().avc_flushes, 1);
+
+    // Re-attach (empty: uncounted), re-warm, then detach: counted.
+    k.register_policy(Arc::new(NullPolicy));
+    assert_eq!(k.stats.snapshot().avc_flushes, 1);
+    k.pread(pid, fd, 0, 1).unwrap();
+    assert!(k.avc().entry_count() > 0);
+    assert!(k.unregister_policy("null"));
+    assert_eq!(k.stats.snapshot().avc_flushes, 2);
+}
+
+/// Drive the dcache past its 4096-directory capacity through real path
+/// walks: with every cached generation live the fallback is a (counted)
+/// full purge and resolution stays correct; with stale generations present
+/// the eviction pass drops exactly those, which `dcache_evictions` exposes.
+#[test]
+fn dcache_capacity_boundary_under_real_walks() {
+    const DIRS: usize = 4000;
+    const STALE: usize = 500;
+    const FRESH: usize = 500;
+    let (mut k, pid) = setup();
+    for i in 0..DIRS {
+        k.fs.put_file(
+            &format!("/big/d{i}/f"),
+            b"x",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    }
+
+    // Pass 1: walk a file in every directory. 4000 leaf dirs (+ /, /big)
+    // stay under capacity: no pressure events.
+    let first: Vec<NodeId> = (0..DIRS)
+        .map(|i| {
+            k.fstatat(pid, None, &format!("/big/d{i}/f"), true)
+                .unwrap()
+                .node
+        })
+        .collect();
+    k.fs.dcache().reset_stats();
+
+    // Mutate the first 500 directories (creating a sibling bumps their
+    // generations): their cached entries are now stale.
+    for i in 0..STALE {
+        k.fs.put_file(
+            &format!("/big/d{i}/g"),
+            b"y",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    }
+
+    // Walk files in 500 *new* directories: the cache crosses 4096 cached
+    // directories part-way through, and the pressure pass must evict the
+    // 500 stale ones instead of purging the live set.
+    for i in 0..FRESH {
+        k.fs.put_file(
+            &format!("/big/e{i}/f"),
+            b"z",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fstatat(pid, None, &format!("/big/e{i}/f"), true).unwrap();
+    }
+    assert_eq!(
+        k.dcache_evictions(),
+        STALE as u64,
+        "capacity pressure must drop exactly the stale generations"
+    );
+    assert_eq!(
+        k.fs.dcache().stats().purges,
+        0,
+        "stale eviction freed room; no full purge"
+    );
+
+    // Correctness across the pressure event: every original file still
+    // resolves to the same node, including the stale-evicted directories.
+    for i in (0..DIRS).step_by(97) {
+        let st = k.fstatat(pid, None, &format!("/big/d{i}/f"), true).unwrap();
+        assert_eq!(st.node, first[i], "d{i}/f resolved differently");
+    }
+
+    // All-live pressure: re-walk everything (refilling the cache), then keep
+    // adding new directories until the capacity check fires with no stale
+    // generations anywhere — the fallback full purge must fire and count.
+    for i in 0..DIRS {
+        k.fstatat(pid, None, &format!("/big/d{i}/f"), true).unwrap();
+    }
+    let mut extra = 0usize;
+    while k.fs.dcache().stats().purges == 0 {
+        k.fs.put_file(
+            &format!("/big/p{extra}/f"),
+            b"w",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        k.fstatat(pid, None, &format!("/big/p{extra}/f"), true)
+            .unwrap();
+        extra += 1;
+        assert!(extra < 8192, "purge never fired under all-live pressure");
+    }
+    // And resolution is still correct afterwards.
+    let st = k.fstatat(pid, None, "/big/d0/f", true).unwrap();
+    assert_eq!(st.node, first[0]);
 }

@@ -1,0 +1,339 @@
+//! Concurrent session execution: N worker threads, each driving one
+//! sandboxed session against shared kernel infrastructure.
+//!
+//! The kernel's interior-mutable hot state (stats counters, the AVC, the
+//! dcache, in-flight batch state) is thread-safe (atomics + lock-guarded
+//! maps), so a whole [`Kernel`] can sit behind one lock and be shared by
+//! worker threads: [`SharedKernel`] is the shard wrapper the ROADMAP's
+//! sharding item builds on — `Send + Sync`, cheaply cloneable, one lock per
+//! shard (currently one shard).
+//!
+//! Execution model: each [`SessionTask`] is the analogue of one `exec`-style
+//! sandbox launch. A worker thread sets the sandbox up under the kernel
+//! lock (fork, `shill_init`, grants, `shill_enter`), waits on a barrier so
+//! every session is entered before any body runs (maximizing interleaving),
+//! then drives its body — which takes the lock per kernel crossing, exactly
+//! as independent processes contend for a real kernel — and finally tears
+//! the session down (exit, reap, label scrub + epoch bump).
+//!
+//! Consistency under interleaving is inherited from the PR 1/2 invalidation
+//! machinery, not re-derived here: every namespace mutation bumps dcache
+//! generations *while holding the kernel lock*, every authority-shrinking
+//! policy event bumps the `ShillPolicy` epoch before the lock is released,
+//! and the AVC/prefix caches validate against those fences on the next
+//! lock-holder's probe. The lock order is: kernel lock first, then any
+//! interior cache/policy lock — no interior lock is ever held across a
+//! kernel-lock acquisition.
+
+use std::sync::{Arc, Barrier, MutexGuard};
+use std::thread;
+
+use shill_kernel::{Kernel, Pid};
+use shill_vfs::sync::Mutex;
+use shill_vfs::{Cred, Errno, SysResult};
+
+use crate::harness::{setup_sandbox, SandboxSpec};
+use crate::policy::ShillPolicy;
+use crate::session::SessionId;
+
+/// A kernel shared between session worker threads: the single-shard form of
+/// the sharded kernel the ROADMAP aims at.
+#[derive(Clone)]
+pub struct SharedKernel {
+    inner: Arc<Mutex<Kernel>>,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedKernel>();
+};
+
+impl SharedKernel {
+    pub fn new(kernel: Kernel) -> SharedKernel {
+        SharedKernel {
+            inner: Arc::new(Mutex::new(kernel)),
+        }
+    }
+
+    /// Run one kernel crossing (or a small compound operation) under the
+    /// lock. Bodies should keep critical sections to single operations so
+    /// sessions genuinely interleave.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Take the lock directly (multi-step setup/teardown choreography).
+    pub fn lock(&self) -> MutexGuard<'_, Kernel> {
+        self.inner.lock()
+    }
+
+    /// Recover the kernel once every worker is done. `None` while other
+    /// clones are still alive.
+    pub fn try_into_inner(self) -> Option<Kernel> {
+        Arc::try_unwrap(self.inner).ok().map(|m| m.into_inner())
+    }
+}
+
+/// The work a session performs once entered: repeated kernel crossings via
+/// [`SharedKernel::with`], returning an exit status.
+pub type SessionBody = Arc<dyn Fn(&SharedKernel, Pid, SessionId) -> i32 + Send + Sync>;
+
+/// One sandboxed session to run on a worker thread.
+pub struct SessionTask {
+    /// Grants, stdio wiring, ulimits — as for [`setup_sandbox`].
+    pub spec: SandboxSpec,
+    /// The sandboxed "program".
+    pub body: SessionBody,
+}
+
+/// What one session produced.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    pub session: SessionId,
+    pub child: Pid,
+    /// The body's exit status, as reaped by the session's parent.
+    pub status: i32,
+}
+
+/// Run every task as its own sandboxed session on its own worker thread,
+/// against one shared kernel and one policy module. Each task gets a fresh
+/// (unsandboxed) parent process with `parent_cred`; the returned outcomes
+/// are in task order. The submission-level `Err` is reserved for setup
+/// failures (a body that fails is just a nonzero status).
+pub fn run_sessions(
+    shared: &SharedKernel,
+    policy: &Arc<ShillPolicy>,
+    parent_cred: Cred,
+    tasks: Vec<SessionTask>,
+) -> SysResult<Vec<SessionOutcome>> {
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let entered = Arc::new(Barrier::new(n));
+    let results: Vec<SysResult<SessionOutcome>> = thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                let shared = shared.clone();
+                let policy = Arc::clone(policy);
+                let entered = Arc::clone(&entered);
+                scope.spawn(move || -> SysResult<SessionOutcome> {
+                    // Setup choreography under one lock hold: fork, session
+                    // creation, grants, stdio, enter. Failures (and panics)
+                    // are captured rather than propagated before the
+                    // barrier: every sibling waits on it, so a worker that
+                    // bailed early would wedge the other n-1 forever.
+                    let setup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || -> SysResult<(Pid, crate::harness::Sandbox)> {
+                            let mut k = shared.lock();
+                            let parent = k.spawn_user(parent_cred);
+                            match setup_sandbox(&mut k, &policy, parent, &task.spec) {
+                                Ok(sb) => Ok((parent, sb)),
+                                Err(e) => {
+                                    // Retire the parent we just spawned so a
+                                    // failed launch leaves no process-table
+                                    // residue.
+                                    k.exit(parent, 0);
+                                    let _ = k.waitpid(Pid(1), parent);
+                                    Err(e)
+                                }
+                            }
+                        },
+                    ));
+                    // Every session entered before any body runs.
+                    entered.wait();
+                    let (parent, sb) = match setup {
+                        Ok(Ok(v)) => v,
+                        Ok(Err(e)) => return Err(e),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    };
+                    let status = (task.body)(&shared, sb.child, sb.session);
+                    // Teardown under one lock hold: exit + reap the child
+                    // (reclaiming the session: label scrub, epoch bump),
+                    // then retire the throwaway parent so repeated
+                    // run_sessions calls don't grow the process table.
+                    let reaped = {
+                        let mut k = shared.lock();
+                        k.exit(sb.child, status);
+                        let reaped = k.waitpid(parent, sb.child);
+                        k.exit(parent, 0);
+                        let _ = k.waitpid(Pid(1), parent);
+                        reaped?
+                    };
+                    Ok(SessionOutcome {
+                        session: sb.session,
+                        child: sb.child,
+                        status: reaped,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(Errno::EINVAL)))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shill_cap::{CapPrivs, Priv, PrivSet};
+    use shill_kernel::OpenFlags;
+    use shill_vfs::{Gid, Mode, Uid};
+
+    use crate::harness::Grant;
+
+    fn caps(privs: &[Priv]) -> CapPrivs {
+        CapPrivs::of(PrivSet::of(privs))
+    }
+
+    #[test]
+    fn four_sessions_run_concurrently_and_stay_confined() {
+        let mut kernel = Kernel::new();
+        let policy = ShillPolicy::new();
+        kernel.register_policy(policy.clone());
+        for i in 0..4 {
+            kernel
+                .fs
+                .put_file(
+                    &format!("/work/s{i}/data.txt"),
+                    format!("payload-{i}").as_bytes(),
+                    Mode(0o666),
+                    Uid::ROOT,
+                    Gid::WHEEL,
+                )
+                .unwrap();
+        }
+        let root = kernel.fs.root();
+        let work = kernel.fs.resolve_abs("/work").unwrap();
+        let dirs: Vec<_> = (0..4)
+            .map(|i| kernel.fs.resolve_abs(&format!("/work/s{i}")).unwrap())
+            .collect();
+        let shared = SharedKernel::new(kernel);
+
+        let leaf = caps(&[Priv::Read, Priv::Stat, Priv::Path]);
+        let tasks: Vec<SessionTask> = (0..4usize)
+            .map(|i| {
+                let spec = SandboxSpec {
+                    grants: vec![
+                        Grant::vnode(root, caps(&[Priv::Lookup])),
+                        Grant::vnode(work, caps(&[Priv::Lookup])),
+                        Grant::vnode(
+                            dirs[i],
+                            caps(&[Priv::Lookup]).with_modifier(Priv::Lookup, leaf.clone()),
+                        ),
+                    ],
+                    ..Default::default()
+                };
+                let body: SessionBody = Arc::new(move |sk: &SharedKernel, pid, _sid| {
+                    for _ in 0..50 {
+                        // Own file: readable.
+                        let ok = sk.with(|k| {
+                            let fd = k.open(
+                                pid,
+                                &format!("/work/s{i}/data.txt"),
+                                OpenFlags::RDONLY,
+                                Mode(0),
+                            )?;
+                            let data = k.read(pid, fd, 64)?;
+                            k.close(pid, fd)?;
+                            Ok::<_, Errno>(data)
+                        });
+                        match ok {
+                            Ok(d) if d == format!("payload-{i}").into_bytes() => {}
+                            other => {
+                                eprintln!("session {i}: bad read {other:?}");
+                                return 1;
+                            }
+                        }
+                        // Neighbour's file: must stay denied.
+                        let peer = (i + 1) % 4;
+                        let denied = sk.with(|k| {
+                            k.open(
+                                pid,
+                                &format!("/work/s{peer}/data.txt"),
+                                OpenFlags::RDONLY,
+                                Mode(0),
+                            )
+                        });
+                        if denied != Err(Errno::EACCES) {
+                            eprintln!("session {i}: isolation breach {denied:?}");
+                            return 2;
+                        }
+                    }
+                    0
+                });
+                SessionTask { spec, body }
+            })
+            .collect();
+
+        let outcomes = run_sessions(&shared, &policy, Cred::user(100), tasks).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert_eq!(o.status, 0, "session {:?} failed", o.session);
+        }
+        // All sessions reclaimed: no label residue.
+        assert_eq!(policy.label_entries(), 0);
+    }
+
+    #[test]
+    fn failed_setup_neither_hangs_nor_leaks_processes() {
+        let mut kernel = Kernel::new();
+        let policy = ShillPolicy::new();
+        kernel.register_policy(policy.clone());
+        let shared = SharedKernel::new(kernel);
+        let before = shared.with(|k| k.process_count());
+
+        let ok_body: SessionBody = Arc::new(|_sk: &SharedKernel, _pid, _sid| 0);
+        let tasks = vec![
+            SessionTask {
+                spec: SandboxSpec::default(),
+                body: Arc::clone(&ok_body),
+            },
+            SessionTask {
+                // stdin names a descriptor the parent does not hold: the
+                // stdio transfer inside setup_sandbox fails after the fork.
+                spec: SandboxSpec {
+                    stdin: Some(shill_kernel::Fd(999)),
+                    ..Default::default()
+                },
+                body: ok_body,
+            },
+        ];
+        // The failure must surface as an error — a worker bailing before
+        // the start barrier used to wedge its siblings forever.
+        let r = run_sessions(&shared, &policy, Cred::user(100), tasks);
+        assert_eq!(r.unwrap_err(), Errno::EBADF);
+        // Both the failed launch and the successful session retired every
+        // process they created (parents included), and the half-built
+        // session's labels were reclaimed.
+        assert_eq!(shared.with(|k| k.process_count()), before);
+        assert_eq!(policy.label_entries(), 0);
+    }
+
+    #[test]
+    fn repeated_run_sessions_keep_the_process_table_flat() {
+        let mut kernel = Kernel::new();
+        let policy = ShillPolicy::new();
+        kernel.register_policy(policy.clone());
+        let shared = SharedKernel::new(kernel);
+        let before = shared.with(|k| k.process_count());
+        for _ in 0..5 {
+            let tasks = (0..3)
+                .map(|_| SessionTask {
+                    spec: SandboxSpec::default(),
+                    body: Arc::new(|_sk: &SharedKernel, _pid, _sid| 0) as SessionBody,
+                })
+                .collect();
+            run_sessions(&shared, &policy, Cred::user(100), tasks).unwrap();
+            assert_eq!(
+                shared.with(|k| k.process_count()),
+                before,
+                "run_sessions must retire parents and children alike"
+            );
+        }
+    }
+}

@@ -70,7 +70,10 @@ pub struct Sandbox {
 }
 
 /// Fork a child of `parent`, create and populate its session, wire stdio,
-/// and enter. After this the child is confined.
+/// and enter. After this the child is confined. A failure after the fork
+/// (bad stdio descriptor, refused grant) reaps the half-built child and
+/// reclaims its session, so a failed launch leaves no process-table or
+/// label residue.
 pub fn setup_sandbox(
     k: &mut Kernel,
     policy: &Arc<ShillPolicy>,
@@ -78,6 +81,24 @@ pub fn setup_sandbox(
     spec: &SandboxSpec,
 ) -> SysResult<Sandbox> {
     let child = k.fork(parent)?;
+    match setup_sandbox_child(k, policy, parent, child, spec) {
+        Ok(session) => Ok(Sandbox { child, session }),
+        Err(e) => {
+            k.exit(child, 127);
+            let _ = k.waitpid(parent, child);
+            Err(e)
+        }
+    }
+}
+
+/// The post-fork half of the launch choreography.
+fn setup_sandbox_child(
+    k: &mut Kernel,
+    policy: &Arc<ShillPolicy>,
+    parent: Pid,
+    child: Pid,
+    spec: &SandboxSpec,
+) -> SysResult<crate::session::SessionId> {
     let session = policy.shill_init(child)?;
     if spec.debug {
         policy.set_debug(session, true)?;
@@ -133,7 +154,7 @@ pub fn setup_sandbox(
         k.set_ulimits(child, l)?;
     }
     policy.shill_enter(child)?;
-    Ok(Sandbox { child, session })
+    Ok(session)
 }
 
 /// Full `exec`-in-sandbox: set up, run the executable at `exec_node`

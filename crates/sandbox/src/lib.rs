@@ -12,6 +12,7 @@
 //! * [`policyfile`] — the policy-file format of the command-line debugging
 //!   tool.
 
+pub mod executor;
 pub mod harness;
 pub mod log;
 pub mod policy;
@@ -19,6 +20,7 @@ pub mod policyfile;
 pub mod session;
 pub mod sync;
 
+pub use executor::{run_sessions, SessionBody, SessionOutcome, SessionTask, SharedKernel};
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
 pub use log::{LogEvent, SandboxLog};
 pub use policy::{PolicyStats, ShillPolicy};

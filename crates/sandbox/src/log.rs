@@ -58,12 +58,20 @@ pub enum LogEvent {
     /// One batched submission completed: a single span covering every
     /// entry, with per-entry outcomes (`None` = success). Denials inside
     /// the batch are additionally logged as individual [`LogEvent::Denied`]
-    /// events, exactly as in sequential execution.
+    /// events, exactly as in sequential execution. Entries short-circuited
+    /// by `FailMode::Abort` never executed: they are counted as
+    /// `cancelled`, not as failures, and `executed` counts only entries
+    /// that actually ran.
     BatchSpan {
         session: SessionId,
         pid: Pid,
         entries: usize,
+        /// Entries that ran (successfully or not); `entries - cancelled`.
+        executed: usize,
+        /// Executed entries that failed with a real errno.
         failed: usize,
+        /// Entries cancelled by an abort short-circuit (`ECANCELED` slots).
+        cancelled: usize,
         outcomes: Vec<Option<Errno>>,
     },
 }

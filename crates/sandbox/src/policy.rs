@@ -445,13 +445,25 @@ impl MacPolicy for ShillPolicy {
         };
         // One span per batch (verbose log level, like grants): the
         // per-entry denials were already recorded individually by the
-        // checks themselves.
-        let failed = outcomes.iter().filter(|o| o.is_some()).count();
+        // checks themselves. `ECANCELED` slots are abort short-circuit
+        // cancellations — those entries never executed, so the span books
+        // them separately from real failures (nothing else in the kernel
+        // produces that errno).
+        let cancelled = outcomes
+            .iter()
+            .filter(|o| **o == Some(Errno::ECANCELED))
+            .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| o.is_some() && **o != Some(Errno::ECANCELED))
+            .count();
         st.log.push(LogEvent::BatchSpan {
             session: sid,
             pid: ctx.pid,
             entries: outcomes.len(),
+            executed: outcomes.len() - cancelled,
             failed,
+            cancelled,
             outcomes: outcomes.to_vec(),
         });
     }

@@ -1,23 +1,8 @@
-//! Minimal `parking_lot`-style mutex over `std::sync::Mutex`.
+//! Re-export of the workspace's `parking_lot`-style mutex shim.
 //!
-//! The build environment has no network access to crates.io, so the policy
-//! module's lock is a thin wrapper that recovers from poisoning (a panicking
-//! test must not wedge every later check) and returns the guard directly.
+//! The wrapper itself lives in `shill_vfs::sync` (the lowest crate) so the
+//! dcache, the kernel's AVC/batch state, and this crate's policy lock all
+//! share one primitive; the historical `shill_sandbox::sync::Mutex` path
+//! keeps working for existing users.
 
-use std::sync::MutexGuard;
-
-#[derive(Default)]
-pub struct Mutex<T>(std::sync::Mutex<T>);
-
-impl<T> Mutex<T> {
-    pub fn new(value: T) -> Mutex<T> {
-        Mutex(std::sync::Mutex::new(value))
-    }
-
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-}
+pub use shill_vfs::sync::Mutex;

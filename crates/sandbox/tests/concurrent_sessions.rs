@@ -1,0 +1,354 @@
+//! Concurrent-session stress tests: multiple sandboxed sessions on worker
+//! threads sharing one kernel, with namespace mutation and authority
+//! revocation racing path resolution and batched submission.
+//!
+//! The safety claim under test (ISSUE 3 tentpole + the concurrent
+//! invalidation satellite): with the kernel's caches fenced by dcache
+//! generations and the policy's cache epoch, **no stale allow verdict is
+//! ever served** — once a revocation (vnode replaced, session reclaimed)
+//! has happened-before a check (both ordered by the kernel lock), the
+//! check's outcome reflects it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use shill_cap::{CapPrivs, Priv, PrivSet};
+use shill_kernel::{BatchEntry, Kernel, OpenFlags, SyscallBatch};
+use shill_sandbox::{
+    run_sessions, setup_sandbox, Grant, SandboxSpec, SessionBody, SessionTask, SharedKernel,
+    ShillPolicy,
+};
+use shill_vfs::{Cred, Errno, Gid, Mode, Uid};
+
+fn caps(privs: &[Priv]) -> CapPrivs {
+    CapPrivs::of(PrivSet::of(privs))
+}
+
+/// One thread revokes authority by replacing the granted file (unlink +
+/// re-create under the kernel lock) while reader sessions resolve the path,
+/// open/read it, and submit stat batches. Every reader asserts, under the
+/// same lock hold that performed its check, that the verdict matches the
+/// revocation state: allowed before, `EACCES` after, never a stale allow.
+#[test]
+fn revocation_is_never_outrun_by_cached_verdicts() {
+    const READERS: usize = 4;
+    const ITERS: usize = 300;
+    const REVOKE_AT: u64 = 150;
+
+    let mut kernel = Kernel::new();
+    let policy = ShillPolicy::new();
+    kernel.register_policy(policy.clone());
+    kernel
+        .fs
+        .put_file(
+            "/pool/secret",
+            b"classified",
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    kernel
+        .fs
+        .put_file("/pool/alpha", b"aaa", Mode(0o666), Uid::ROOT, Gid::WHEEL)
+        .unwrap();
+    let root = kernel.fs.root();
+    let pool = kernel.fs.resolve_abs("/pool").unwrap();
+    let secret = kernel.fs.resolve_abs("/pool/secret").unwrap();
+    let alpha = kernel.fs.resolve_abs("/pool/alpha").unwrap();
+    let mutator_pid = kernel.spawn_user(Cred::ROOT);
+    let shared = SharedKernel::new(kernel);
+
+    // Reader grants: traversal on the directories (no propagation
+    // modifiers) and data privileges pinned to the *current* secret/alpha
+    // vnodes. Replacing the file leaves the new vnode unlabeled, so the
+    // replacement is a revocation for every reader.
+    let reader_spec = || SandboxSpec {
+        grants: vec![
+            Grant::vnode(root, caps(&[Priv::Lookup])),
+            Grant::vnode(pool, caps(&[Priv::Lookup])),
+            Grant::vnode(secret, caps(&[Priv::Read, Priv::Stat])),
+            Grant::vnode(alpha, caps(&[Priv::Read, Priv::Stat])),
+        ],
+        ..Default::default()
+    };
+
+    let revoked = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    let tasks: Vec<SessionTask> = (0..READERS)
+        .map(|_| {
+            let revoked = Arc::clone(&revoked);
+            let progress = Arc::clone(&progress);
+            let failures = Arc::clone(&failures);
+            let body: SessionBody = Arc::new(move |sk: &SharedKernel, pid, _sid| {
+                let mut status = 0;
+                for i in 0..ITERS {
+                    // One lock hold covers reading the revocation flag and
+                    // the checks, so the flag's value is the ground truth
+                    // for what the verdict must be.
+                    sk.with(|k| {
+                        let was_revoked = revoked.load(Ordering::SeqCst);
+                        let open = k.open(pid, "/pool/secret", OpenFlags::RDONLY, Mode(0));
+                        match open {
+                            Ok(fd) => {
+                                let data = k.read(pid, fd, 64).unwrap_or_default();
+                                let _ = k.close(pid, fd);
+                                if was_revoked {
+                                    eprintln!("stale allow served after revocation ({data:?})");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                    status = 1;
+                                } else if data != b"classified" {
+                                    eprintln!("pre-revocation read returned {data:?}");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                    status = 1;
+                                }
+                            }
+                            Err(Errno::EACCES) => {
+                                if !was_revoked {
+                                    eprintln!("spurious denial before revocation");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                    status = 1;
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("unexpected open errno {e:?}");
+                                failures.fetch_add(1, Ordering::SeqCst);
+                                status = 1;
+                            }
+                        }
+                        // Batched resolution of the same names: the batch
+                        // prefix/AVC reuse must obey the same fences.
+                        if i % 3 == 0 {
+                            let was_revoked = revoked.load(Ordering::SeqCst);
+                            let batch = SyscallBatch::new(vec![
+                                BatchEntry::Stat {
+                                    dirfd: None,
+                                    path: "/pool/alpha".into(),
+                                    follow: true,
+                                },
+                                BatchEntry::Stat {
+                                    dirfd: None,
+                                    path: "/pool/secret".into(),
+                                    follow: true,
+                                },
+                            ]);
+                            let out = k.submit_batch(pid, &batch).expect("submit");
+                            if out[0].is_err() {
+                                eprintln!("granted sibling stat failed: {:?}", out[0]);
+                                failures.fetch_add(1, Ordering::SeqCst);
+                                status = 1;
+                            }
+                            let secret_ok = out[1].is_ok();
+                            if secret_ok == was_revoked {
+                                eprintln!(
+                                    "batched stat verdict {secret_ok} contradicts revocation \
+                                     state {was_revoked}"
+                                );
+                                failures.fetch_add(1, Ordering::SeqCst);
+                                status = 1;
+                            }
+                        }
+                    });
+                    progress.fetch_add(1, Ordering::SeqCst);
+                }
+                status
+            });
+            SessionTask {
+                spec: reader_spec(),
+                body,
+            }
+        })
+        .collect();
+
+    let mutator = {
+        let shared = shared.clone();
+        let policy = Arc::clone(&policy);
+        let revoked = Arc::clone(&revoked);
+        let progress = Arc::clone(&progress);
+        thread::spawn(move || {
+            // Let the readers warm their caches first.
+            while progress.load(Ordering::SeqCst) < REVOKE_AT {
+                thread::yield_now();
+            }
+            shared.with(|k| {
+                // Replace the file: unlink destroys the labeled vnode
+                // (labels die with it, AVC entries for the object drop),
+                // and the re-created name resolves to an unlabeled vnode.
+                // The flag flips inside the same lock hold, so every later
+                // lock-holder must see the revoked verdict.
+                k.unlinkat(mutator_pid, None, "/pool/secret", false)
+                    .expect("unlink");
+                let fd = k
+                    .open(
+                        mutator_pid,
+                        "/pool/secret",
+                        OpenFlags::creat_trunc_w(),
+                        Mode(0o666),
+                    )
+                    .expect("recreate");
+                k.write(mutator_pid, fd, b"forged").expect("write");
+                k.close(mutator_pid, fd).expect("close");
+                revoked.store(true, Ordering::SeqCst);
+            });
+            // Keep shrinking authority while readers run: sibling session
+            // churn bumps the policy epoch (enter + reclaim), stressing the
+            // AVC's combined-epoch validation from another thread.
+            for _ in 0..20 {
+                shared.with(|k| {
+                    let parent = k.spawn_user(Cred::user(7));
+                    let spec = SandboxSpec {
+                        grants: vec![Grant::vnode(root, caps(&[Priv::Lookup]))],
+                        ..Default::default()
+                    };
+                    let sb = setup_sandbox(k, &policy, parent, &spec).expect("churn sandbox");
+                    k.exit(sb.child, 0);
+                    let _ = k.waitpid(parent, sb.child);
+                });
+                thread::yield_now();
+            }
+        })
+    };
+
+    let outcomes = run_sessions(&shared, &policy, Cred::user(100), tasks).expect("sessions");
+    mutator.join().unwrap();
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        0,
+        "stale verdicts observed"
+    );
+    for o in &outcomes {
+        assert_eq!(
+            o.status, 0,
+            "reader {:?} observed a stale verdict",
+            o.session
+        );
+    }
+}
+
+/// Sibling-session churn: one thread creates, enters, and reclaims sessions
+/// (each reclaim scrubs labels and bumps the policy epoch) while reader
+/// sessions keep resolving and reading files they remain entitled to. The
+/// epoch bumps must only ever invalidate cache entries — never flip a live
+/// grant to a denial.
+#[test]
+fn session_churn_does_not_disturb_unrelated_sessions() {
+    const READERS: usize = 4;
+    const ITERS: usize = 200;
+
+    let mut kernel = Kernel::new();
+    let policy = ShillPolicy::new();
+    kernel.register_policy(policy.clone());
+    for i in 0..READERS {
+        kernel
+            .fs
+            .put_file(
+                &format!("/data/r{i}.txt"),
+                format!("reader-{i}").as_bytes(),
+                Mode(0o666),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+    }
+    kernel
+        .fs
+        .put_file(
+            "/data/churn.txt",
+            b"churn",
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    let root = kernel.fs.root();
+    let data = kernel.fs.resolve_abs("/data").unwrap();
+    let files: Vec<_> = (0..READERS)
+        .map(|i| kernel.fs.resolve_abs(&format!("/data/r{i}.txt")).unwrap())
+        .collect();
+    let churn_file = kernel.fs.resolve_abs("/data/churn.txt").unwrap();
+    let churn_parent = kernel.spawn_user(Cred::user(200));
+    let shared = SharedKernel::new(kernel);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let shared = shared.clone();
+        let policy = Arc::clone(&policy);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut churned = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                shared.with(|k| {
+                    let spec = SandboxSpec {
+                        grants: vec![
+                            Grant::vnode(root, caps(&[Priv::Lookup])),
+                            Grant::vnode(data, caps(&[Priv::Lookup])),
+                            Grant::vnode(churn_file, caps(&[Priv::Read, Priv::Stat])),
+                        ],
+                        ..Default::default()
+                    };
+                    let sb = setup_sandbox(k, &policy, churn_parent, &spec).expect("churn sandbox");
+                    let fd = k
+                        .open(sb.child, "/data/churn.txt", OpenFlags::RDONLY, Mode(0))
+                        .expect("churn open");
+                    let _ = k.read(sb.child, fd, 16);
+                    let _ = k.close(sb.child, fd);
+                    // Exit + reap: the session reclaim scrubs labels and
+                    // bumps the cache epoch.
+                    k.exit(sb.child, 0);
+                    let _ = k.waitpid(churn_parent, sb.child);
+                });
+                churned += 1;
+                thread::yield_now();
+            }
+            churned
+        })
+    };
+
+    let tasks: Vec<SessionTask> = (0..READERS)
+        .map(|i| {
+            let node = files[i];
+            let body: SessionBody = Arc::new(move |sk: &SharedKernel, pid, _sid| {
+                for _ in 0..ITERS {
+                    let r = sk.with(|k| {
+                        let fd =
+                            k.open(pid, &format!("/data/r{i}.txt"), OpenFlags::RDONLY, Mode(0))?;
+                        let d = k.read(pid, fd, 32)?;
+                        k.close(pid, fd)?;
+                        Ok::<_, Errno>(d)
+                    });
+                    if r != Ok(format!("reader-{i}").into_bytes()) {
+                        eprintln!("reader {i} perturbed: {r:?}");
+                        return 1;
+                    }
+                }
+                0
+            });
+            SessionTask {
+                spec: SandboxSpec {
+                    grants: vec![
+                        Grant::vnode(root, caps(&[Priv::Lookup])),
+                        Grant::vnode(data, caps(&[Priv::Lookup])),
+                        Grant::vnode(node, caps(&[Priv::Read, Priv::Stat])),
+                    ],
+                    ..Default::default()
+                },
+                body,
+            }
+        })
+        .collect();
+
+    let outcomes = run_sessions(&shared, &policy, Cred::user(100), tasks).expect("sessions");
+    stop.store(true, Ordering::SeqCst);
+    let churned = churner.join().unwrap();
+    for o in &outcomes {
+        assert_eq!(o.status, 0, "reader {:?} perturbed by churn", o.session);
+    }
+    assert!(churned > 0, "churner must have cycled at least one session");
+    // Every churn session was reclaimed: epoch bumps happened, and no
+    // residue from reclaimed sessions survives.
+    assert!(policy.stats().epoch_bumps >= churned);
+    assert_eq!(policy.label_entries(), 0);
+}

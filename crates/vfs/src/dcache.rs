@@ -19,10 +19,17 @@
 //! search check and the MAC lookup hook on every component. The cache only
 //! short-circuits the directory-entry scan, never an access-control
 //! decision.
+//!
+//! Concurrency: the maps sit behind one [`crate::sync::Mutex`] and the
+//! counters are relaxed atomics, so the cache is usable from sandbox
+//! sessions running on worker threads (`&Filesystem` probes from multiple
+//! threads are safe). The lock covers both `dirs` and `gens`; no method
+//! takes another lock while holding it, so there is no ordering concern.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use crate::sync::Mutex;
 use crate::types::NodeId;
 
 /// Soft bound on cached directories; exceeding it evicts stale generations
@@ -36,6 +43,14 @@ const DEFAULT_CAPACITY: usize = 4096;
 struct DirEntries {
     gen: u64,
     names: HashMap<String, Option<NodeId>>,
+}
+
+/// The lock-guarded interior: the entry map and the per-directory
+/// generation counters (missing means generation 0).
+#[derive(Debug, Default)]
+struct Inner {
+    dirs: HashMap<NodeId, DirEntries>,
+    gens: HashMap<NodeId, u64>,
 }
 
 /// Result of probing the cache for one `(dir, name)` pair.
@@ -62,23 +77,25 @@ pub struct DcacheStats {
     pub neg_hits: u64,
     pub invalidations: u64,
     pub purges: u64,
+    /// Stale-generation directories dropped by capacity pressure (the
+    /// eviction pass that runs before a full purge is considered).
+    pub evictions: u64,
 }
 
-/// The name-lookup cache. Interior-mutable (`Cell`/`RefCell`) because the
-/// path walker probes it through `&Filesystem`.
+/// The name-lookup cache. Interior-mutable (lock + atomics) because the
+/// path walker probes it through `&Filesystem`, possibly from several
+/// session threads at once.
 #[derive(Debug)]
 pub struct Dcache {
-    dirs: RefCell<HashMap<NodeId, DirEntries>>,
-    /// Per-directory generation counters; bumped on every namespace
-    /// mutation in that directory. Missing means generation 0.
-    gens: RefCell<HashMap<NodeId, u64>>,
-    enabled: Cell<bool>,
+    inner: Mutex<Inner>,
+    enabled: AtomicBool,
     capacity: usize,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    neg_hits: Cell<u64>,
-    invalidations: Cell<u64>,
-    purges: Cell<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    neg_hits: AtomicU64,
+    invalidations: AtomicU64,
+    purges: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for Dcache {
@@ -87,67 +104,67 @@ impl Default for Dcache {
     }
 }
 
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
 impl Dcache {
     pub fn new() -> Dcache {
         Dcache {
-            dirs: RefCell::new(HashMap::new()),
-            gens: RefCell::new(HashMap::new()),
-            enabled: Cell::new(true),
+            inner: Mutex::new(Inner::default()),
+            enabled: AtomicBool::new(true),
             capacity: DEFAULT_CAPACITY,
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-            neg_hits: Cell::new(0),
-            invalidations: Cell::new(0),
-            purges: Cell::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            neg_hits: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            purges: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Whether lookups consult the cache (the `security.cache.dcache`
     /// sysctl; ablation benches toggle this).
     pub fn enabled(&self) -> bool {
-        self.enabled.get()
+        self.enabled.load(Ordering::Relaxed)
     }
 
     /// Enable or disable the cache. Disabling purges all entries so a later
     /// re-enable starts cold rather than stale.
     pub fn set_enabled(&self, enabled: bool) {
-        if self.enabled.get() && !enabled {
+        if self.enabled() && !enabled {
             self.purge();
         }
-        self.enabled.set(enabled);
-    }
-
-    fn gen_of(&self, dir: NodeId) -> u64 {
-        self.gens.borrow().get(&dir).copied().unwrap_or(0)
+        self.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Probe the cache. On [`DcacheProbe::Miss`] callers fall back to the
     /// real directory scan and record the outcome with `insert` /
     /// `insert_negative`.
     pub fn probe(&self, dir: NodeId, name: &str) -> DcacheProbe {
-        if !self.enabled.get() {
+        if !self.enabled() {
             return DcacheProbe::Miss;
         }
-        let current = self.gen_of(dir);
-        let mut dirs = self.dirs.borrow_mut();
-        if let Some(de) = dirs.get(&dir) {
+        let mut inner = self.inner.lock();
+        let current = inner.gens.get(&dir).copied().unwrap_or(0);
+        if let Some(de) = inner.dirs.get(&dir) {
             if de.gen != current {
                 // The whole generation is stale: drop it in one shot.
-                dirs.remove(&dir);
+                inner.dirs.remove(&dir);
             } else if let Some(entry) = de.names.get(name) {
                 return match entry {
                     Some(node) => {
-                        self.hits.set(self.hits.get() + 1);
+                        bump(&self.hits);
                         DcacheProbe::Pos(*node)
                     }
                     None => {
-                        self.neg_hits.set(self.neg_hits.get() + 1);
+                        bump(&self.neg_hits);
                         DcacheProbe::Neg
                     }
                 };
             }
         }
-        self.misses.set(self.misses.get() + 1);
+        bump(&self.misses);
         DcacheProbe::Miss
     }
 
@@ -161,21 +178,25 @@ impl Dcache {
     }
 
     fn record(&self, dir: NodeId, name: &str, entry: Option<NodeId>) {
-        if !self.enabled.get() {
+        if !self.enabled() {
             return;
         }
-        let current = self.gen_of(dir);
-        let mut dirs = self.dirs.borrow_mut();
-        if dirs.len() >= self.capacity && !dirs.contains_key(&dir) {
-            // Evict stale generations; purge wholesale if that freed nothing.
-            let gens = self.gens.borrow();
+        let mut inner = self.inner.lock();
+        let current = inner.gens.get(&dir).copied().unwrap_or(0);
+        if inner.dirs.len() >= self.capacity && !inner.dirs.contains_key(&dir) {
+            // Evict stale generations; purge wholesale if the cache is
+            // still at capacity afterwards (everything live).
+            let before = inner.dirs.len();
+            let Inner { dirs, gens } = &mut *inner;
             dirs.retain(|d, de| de.gen == gens.get(d).copied().unwrap_or(0));
-            if dirs.len() >= self.capacity {
-                dirs.clear();
-                self.purges.set(self.purges.get() + 1);
+            self.evictions
+                .fetch_add((before - inner.dirs.len()) as u64, Ordering::Relaxed);
+            if inner.dirs.len() >= self.capacity {
+                inner.dirs.clear();
+                bump(&self.purges);
             }
         }
-        let de = dirs.entry(dir).or_default();
+        let de = inner.dirs.entry(dir).or_default();
         if de.gen != current {
             de.names.clear();
             de.gen = current;
@@ -198,59 +219,73 @@ impl Dcache {
     /// A namespace mutation happened in `dir`: bump its generation, logically
     /// invalidating every cached entry under it in O(1).
     pub fn invalidate_dir(&self, dir: NodeId) {
-        let mut gens = self.gens.borrow_mut();
-        *gens.entry(dir).or_insert(0) += 1;
-        self.invalidations.set(self.invalidations.get() + 1);
+        let mut inner = self.inner.lock();
+        *inner.gens.entry(dir).or_insert(0) += 1;
+        bump(&self.invalidations);
     }
 
     /// A directory node was reclaimed: forget its generation bookkeeping.
     pub fn forget_dir(&self, dir: NodeId) {
-        self.dirs.borrow_mut().remove(&dir);
-        self.gens.borrow_mut().remove(&dir);
+        let mut inner = self.inner.lock();
+        inner.dirs.remove(&dir);
+        inner.gens.remove(&dir);
     }
 
     /// Drop every entry (generation counters survive).
     pub fn purge(&self) {
-        self.dirs.borrow_mut().clear();
-        self.purges.set(self.purges.get() + 1);
+        self.inner.lock().dirs.clear();
+        bump(&self.purges);
     }
 
     /// Live cached name entries, positive and negative (tests).
     pub fn entry_count(&self) -> usize {
-        self.dirs.borrow().values().map(|de| de.names.len()).sum()
+        self.inner
+            .lock()
+            .dirs
+            .values()
+            .map(|de| de.names.len())
+            .sum()
     }
 
     /// Live cached negative entries (tests).
     pub fn neg_entry_count(&self) -> usize {
-        self.dirs
-            .borrow()
+        self.inner
+            .lock()
+            .dirs
             .values()
             .map(|de| de.names.values().filter(|e| e.is_none()).count())
             .sum()
     }
 
+    /// Live cached directories (tests: capacity-pressure behaviour).
+    pub fn dir_count(&self) -> usize {
+        self.inner.lock().dirs.len()
+    }
+
     /// The current generation of a directory (tests/diagnostics; also the
     /// validation stamp for the kernel's in-batch prefix reuse).
     pub fn generation(&self, dir: NodeId) -> u64 {
-        self.gen_of(dir)
+        self.inner.lock().gens.get(&dir).copied().unwrap_or(0)
     }
 
     pub fn stats(&self) -> DcacheStats {
         DcacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            neg_hits: self.neg_hits.get(),
-            invalidations: self.invalidations.get(),
-            purges: self.purges.get(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            neg_hits: self.neg_hits.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            purges: self.purges.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset_stats(&self) {
-        self.hits.set(0);
-        self.misses.set(0);
-        self.neg_hits.set(0);
-        self.invalidations.set(0);
-        self.purges.set(0);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.neg_hits.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.purges.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -339,7 +374,64 @@ mod tests {
         for i in 0..DEFAULT_CAPACITY + 10 {
             dc.insert(NodeId(i as u64 + 10), "x", NodeId(1));
         }
-        assert!(dc.dirs.borrow().len() <= DEFAULT_CAPACITY + 1);
+        assert!(dc.dir_count() <= DEFAULT_CAPACITY + 1);
         assert!(dc.stats().purges >= 1);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_stale_generations_before_live_entries() {
+        let dc = Dcache::new();
+        // Fill to capacity, then invalidate half the directories so their
+        // cached generations turn stale.
+        for i in 0..DEFAULT_CAPACITY {
+            dc.insert(NodeId(i as u64 + 10), "x", NodeId(1));
+        }
+        for i in 0..DEFAULT_CAPACITY / 2 {
+            dc.invalidate_dir(NodeId(i as u64 + 10));
+        }
+        // The next new-directory insert must evict exactly the stale half —
+        // not purge the live half.
+        dc.insert(NodeId(999_999), "y", NodeId(2));
+        let st = dc.stats();
+        assert_eq!(st.evictions as usize, DEFAULT_CAPACITY / 2);
+        assert_eq!(st.purges, 0, "live entries must survive stale eviction");
+        // A live directory from the untouched half still answers.
+        assert_eq!(
+            dc.probe(NodeId(DEFAULT_CAPACITY as u64 / 2 + 10), "x"),
+            DcacheProbe::Pos(NodeId(1))
+        );
+        // The stale half is gone (fresh probes miss).
+        assert_eq!(dc.probe(NodeId(10), "x"), DcacheProbe::Miss);
+    }
+
+    #[test]
+    fn capacity_pressure_with_all_live_directories_full_purges_once() {
+        let dc = Dcache::new();
+        for i in 0..DEFAULT_CAPACITY {
+            dc.insert(NodeId(i as u64 + 10), "x", NodeId(1));
+        }
+        assert_eq!(dc.dir_count(), DEFAULT_CAPACITY);
+        // Over-capacity insert with every generation live: stale eviction
+        // frees nothing, so the fallback purge must fire (and count).
+        dc.insert(NodeId(999_999), "y", NodeId(2));
+        let st = dc.stats();
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.purges, 1);
+        assert_eq!(dc.dir_count(), 1, "only the fresh insert survives");
+        assert_eq!(dc.probe(NodeId(999_999), "y"), DcacheProbe::Pos(NodeId(2)));
+    }
+
+    #[test]
+    fn inserts_into_cached_directories_do_not_trigger_capacity_pressure() {
+        let dc = Dcache::new();
+        for i in 0..DEFAULT_CAPACITY {
+            dc.insert(NodeId(i as u64 + 10), "x", NodeId(1));
+        }
+        // At capacity, but the target directory is already cached: no
+        // eviction, no purge — the entry lands in the existing slot.
+        dc.insert(NodeId(10), "second", NodeId(3));
+        let st = dc.stats();
+        assert_eq!((st.evictions, st.purges), (0, 0));
+        assert_eq!(dc.probe(NodeId(10), "second"), DcacheProbe::Pos(NodeId(3)));
     }
 }

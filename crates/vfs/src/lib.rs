@@ -20,6 +20,7 @@ pub mod dcache;
 pub mod errno;
 pub mod fs;
 pub mod node;
+pub mod sync;
 pub mod types;
 
 pub use dcache::{Dcache, DcacheProbe, DcacheStats};

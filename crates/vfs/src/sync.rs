@@ -1,0 +1,34 @@
+//! Minimal `parking_lot`-style mutex over `std::sync::Mutex`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! caching subsystem's locks are a thin wrapper that recovers from
+//! poisoning (a panicking test must not wedge every later check) and
+//! returns the guard directly. Lives in the lowest crate of the workspace
+//! so the dcache, the kernel's AVC/batch state, and the sandbox policy all
+//! share one primitive (`shill_sandbox::sync` re-exports it).
+
+use std::sync::MutexGuard;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, recovering the value even if poisoned.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -388,6 +388,135 @@ fn abort_mode_cancels_exactly_like_sequential_short_circuit() {
 }
 
 #[test]
+fn abort_cancellations_are_cancellations_not_denials_or_successes() {
+    // Regression (ISSUE 3): entries cancelled by `FailMode::Abort` never
+    // execute. They must not count in `batch_entries`, must not produce
+    // audit denials, and the batch span must book them as cancellations —
+    // separate from the one real failure that tripped the abort.
+    let mut f = build_fixture(true);
+    f.policy.enable_logging(true);
+    f.k.stats.reset();
+    f.policy.clear_log();
+    let batch = SyscallBatch::aborting(vec![
+        BatchEntry::Stat {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            follow: true,
+        },
+        BatchEntry::ReadFile {
+            dirfd: None,
+            path: "/data/secret/key".into(), // denied: trips the abort
+        },
+        BatchEntry::Stat {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            follow: true,
+        },
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: "/data/pub/inner/wx".into(),
+            data: b"never".to_vec(),
+            mode: Mode::FILE_DEFAULT,
+            append: false,
+        },
+    ]);
+    let out = f.k.submit_batch(f.child, &batch).unwrap();
+    assert!(out[0].is_ok());
+    assert_eq!(out[1], Err(shill::vfs::Errno::EACCES));
+    assert_eq!(out[2], Err(shill::vfs::Errno::ECANCELED));
+    assert_eq!(out[3], Err(shill::vfs::Errno::ECANCELED));
+
+    let snap = f.k.stats.snapshot();
+    assert_eq!(snap.batches, 1);
+    assert_eq!(
+        snap.batch_entries, 2,
+        "only executed entries count; cancelled ones never ran"
+    );
+
+    // The cancelled WriteFile must not have executed: no file created.
+    assert!(f
+        .k
+        .fstatat(f.child, None, "/data/pub/inner/wx", true)
+        .is_err());
+
+    // Exactly one audit denial (the read of /data/secret/key); the
+    // cancelled entries produced none.
+    assert_eq!(denial_fingerprint(&f.policy).len(), 1);
+
+    let events = f.policy.log_events();
+    let span = events
+        .iter()
+        .find(|e| matches!(e, LogEvent::BatchSpan { .. }))
+        .expect("one span per batch");
+    let LogEvent::BatchSpan {
+        entries,
+        executed,
+        failed,
+        cancelled,
+        outcomes,
+        ..
+    } = span
+    else {
+        unreachable!()
+    };
+    assert_eq!(*entries, 4);
+    assert_eq!(*executed, 2, "entries - cancellations");
+    assert_eq!(*failed, 1, "only the real EACCES is a failure");
+    assert_eq!(*cancelled, 2);
+    assert_eq!(outcomes[2], Some(shill::vfs::Errno::ECANCELED));
+}
+
+#[test]
+fn batched_and_sequential_stats_are_in_parity() {
+    // ISSUE 3 satellite: beyond identical results and audit events, the
+    // observability counters must agree between `submit_batch` and
+    // `run_sequential` twins. Documented exceptions: `charge_calls` and
+    // `mac_ctx_setups` (the amortizations are the batch path's point) and
+    // the `batches`/`batch_entries`/`batch_prefix_*` counters (sequential
+    // execution has no batch bookkeeping). Prefix hits are accounted as the
+    // dcache/AVC hits they logically are, so `lookups`, the cache hit/miss
+    // counters, and policy-reaching check counts all line up.
+    for cached in [true, false] {
+        set_scenario_cache_mode(cached);
+        let mut rng = Rng::new(0xFEED_FACE);
+        for case in 0..12 {
+            let mut batched = build_fixture(cached);
+            let mut sequential = build_fixture(cached);
+            batched.k.stats.reset();
+            sequential.k.stats.reset();
+            for _ in 0..3 {
+                let batch = arb_batch(&mut rng, &batched.fds);
+                batched.k.submit_batch(batched.child, &batch).expect("b");
+                sequential
+                    .k
+                    .run_sequential(sequential.child, &batch)
+                    .expect("s");
+            }
+            let b = batched.k.stats.snapshot();
+            let s = sequential.k.stats.snapshot();
+            let ctxt = format!("case {case} cached={cached}");
+            assert_eq!(b.syscalls, s.syscalls, "{ctxt}: syscalls");
+            assert_eq!(b.lookups, s.lookups, "{ctxt}: lookups");
+            assert_eq!(
+                b.mac_vnode_checks, s.mac_vnode_checks,
+                "{ctxt}: policy-reaching vnode checks"
+            );
+            assert_eq!(b.dcache_hits, s.dcache_hits, "{ctxt}: dcache hits");
+            assert_eq!(b.dcache_misses, s.dcache_misses, "{ctxt}: dcache misses");
+            assert_eq!(b.dcache_neg_hits, s.dcache_neg_hits, "{ctxt}: neg hits");
+            assert_eq!(b.dir_scans, s.dir_scans, "{ctxt}: dir scans");
+            assert_eq!(b.avc_hits, s.avc_hits, "{ctxt}: avc hits");
+            assert_eq!(b.avc_misses, s.avc_misses, "{ctxt}: avc misses");
+            assert_eq!(
+                b.mac_other_checks, s.mac_other_checks,
+                "{ctxt}: other checks"
+            );
+        }
+    }
+    set_scenario_cache_mode(true);
+}
+
+#[test]
 fn batch_audit_span_records_per_entry_outcomes() {
     let mut f = build_fixture(true);
     f.policy.enable_logging(true);
