@@ -27,6 +27,14 @@
 //!    baseline the ROADMAP's sharding item must beat. Set
 //!    `SHILL_BENCH_CONCURRENCY_JSON=<path>` to record it (committed as
 //!    `BENCH_concurrency.json`).
+//! 7. **Batch-scheduler ablation** — (a) copies as fused pipelines
+//!    (`ReadFile → WriteFile{data: OutputOf}` in ONE scheduled submission)
+//!    vs the two-submission form where the data surfaces to the runtime in
+//!    between; (b) `BatchPool` multi-session scheduled submissions at
+//!    1/2/4 workers (kernel lock acquired per dependency wave; DAG
+//!    validation and completion assembly outside the lock) vs the same
+//!    jobs driven by a single thread. Set `SHILL_BENCH_SCHED_JSON=<path>`
+//!    to record the baseline (committed as `BENCH_sched.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -408,7 +416,7 @@ fn batch_copy_run(batched: bool, rounds: usize, files: usize) -> BatchRun {
                     dirfd: None,
                     path: format!("{dst}/f{i}"),
                     data: match r {
-                        Ok(shill::kernel::BatchOut::Data(d)) => d,
+                        Ok(shill::kernel::BatchOut::Data(d)) => d.into(),
                         _ => unreachable!("read failed"),
                     },
                     mode: Mode(0o644),
@@ -668,6 +676,393 @@ fn bench_concurrency() {
     }
 }
 
+/// One scheduler measurement.
+struct SchedRun {
+    ns_per_op: f64,
+    batches: u64,
+    slot_links: u64,
+    sched_waves: u64,
+}
+
+/// Copy `files` files of `size` bytes, either as fused pipelines (one
+/// scheduled submission per file, data flowing via `OutputOf`) or as the
+/// two-submission slurp-then-spit form. One "op" is one file copied.
+fn sched_copy_run(fused: bool, rounds: usize, files: usize, size: usize) -> SchedRun {
+    use shill::kernel::{BatchArg, SyscallBatch};
+    // cp-in-place shape (`cp f f.bak`): source and copy share a deep
+    // dirname, so the fused pipeline's write reuses the read's prefix walk
+    // within the single submission — two submissions each pay their own.
+    let src = "/srcdir/p/a/b/c/d/e/f/util";
+    let dst = src;
+    let (mut k, pid) = batch_fixture(|k| {
+        for i in 0..files {
+            k.fs.put_file(
+                &format!("{src}/f{i}"),
+                &vec![b'd'; size],
+                Mode(0o644),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+        k.fs.mkdir_p(dst, Mode(0o777), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+    });
+    // Warmup pass (propagation + caches).
+    for i in 0..files {
+        let _ = k.submit_single(
+            pid,
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: format!("{src}/f{i}"),
+            },
+        );
+    }
+    k.stats.reset();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for i in 0..files {
+            if fused {
+                let batch = SyscallBatch::aborting(vec![
+                    BatchEntry::ReadFile {
+                        dirfd: None,
+                        path: format!("{src}/f{i}"),
+                    },
+                    BatchEntry::WriteFile {
+                        dirfd: None,
+                        path: format!("{dst}/c{i}"),
+                        data: BatchArg::OutputOf(0),
+                        mode: Mode(0o644),
+                        append: false,
+                    },
+                ]);
+                let out = k.submit_scheduled(pid, &batch).unwrap();
+                debug_assert!(out.iter().all(|c| c.out.is_ok()));
+            } else {
+                let data = k
+                    .submit_single(
+                        pid,
+                        BatchEntry::ReadFile {
+                            dirfd: None,
+                            path: format!("{src}/f{i}"),
+                        },
+                    )
+                    .unwrap();
+                let shill::kernel::BatchOut::Data(data) = data else {
+                    unreachable!()
+                };
+                k.submit_single(
+                    pid,
+                    BatchEntry::WriteFile {
+                        dirfd: None,
+                        path: format!("{dst}/c{i}"),
+                        data: data.into(),
+                        mode: Mode(0o644),
+                        append: false,
+                    },
+                )
+                .unwrap();
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    let st = k.stats.snapshot();
+    SchedRun {
+        ns_per_op: elapsed.as_nanos() as f64 / (rounds * files) as f64,
+        batches: st.batches,
+        slot_links: st.slot_links,
+        sched_waves: st.sched_waves,
+    }
+}
+
+/// How group 7b drives the multi-session workload.
+enum PoolMode {
+    /// The PR 3 shape `BENCH_concurrency.json` recorded: per-call
+    /// open/read/close triples + one batched stat sweep, one session after
+    /// another on this thread. This is the single-thread baseline the
+    /// acceptance criterion compares against.
+    NaiveSingle,
+    /// The same work as scheduled submissions (8 fused open→read→close
+    /// chains in ONE batch, reads overlapping as a wave, plus the stat
+    /// sweep), driven by this thread directly — isolates the scheduler's
+    /// amortization from the pool machinery.
+    ScheduledSingle,
+    /// The scheduled submissions through a `BatchPool` of N workers.
+    Pool(usize),
+}
+
+/// `sessions` sandboxed subtrees × `rounds`, each round touching 8 files
+/// (open/read/close) and stat-sweeping them — exactly the ablation-6
+/// workload — driven naively or through the scheduler + pool. One "op" is
+/// one logical syscall (8×3 + 8 per session-round), so ns/op is directly
+/// comparable with `BENCH_concurrency.json`.
+fn sched_pool_run(sessions: usize, rounds: usize, mode: PoolMode) -> ConcurrencyRun {
+    use shill::kernel::{completions_to_slots, BatchFd, SyscallBatch};
+    use shill_sandbox::{BatchJob, BatchPool, SharedKernel};
+
+    let mut k = Kernel::new();
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    let inner = |i: usize| format!("/work/s{i}/p/a/b/c/d/e/inner");
+    for i in 0..sessions {
+        for j in 0..8 {
+            k.fs.put_file(
+                &format!("{}/f{j}", inner(i)),
+                &vec![b'd'; 512],
+                Mode(0o644),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+    }
+    let root = k.fs.root();
+    let user = k.spawn_user(Cred::ROOT);
+    let mut children = Vec::new();
+    for _ in 0..sessions {
+        let spec = SandboxSpec {
+            grants: vec![Grant::vnode(root, CapPrivs::full())],
+            ..Default::default()
+        };
+        let sb = setup_sandbox(&mut k, &policy, user, &spec).expect("sandbox");
+        children.push(sb.child);
+    }
+    let shared = SharedKernel::new(k);
+
+    // `fold` rounds of the 8-file stat sweep in one submission.
+    let sweep = |i: usize, fold: usize| -> SyscallBatch {
+        SyscallBatch::new(
+            (0..fold * 8)
+                .map(|j| BatchEntry::Stat {
+                    dirfd: None,
+                    path: format!("{}/f{}", inner(i), j % 8),
+                    follow: true,
+                })
+                .collect(),
+        )
+    };
+    // `fold` rounds of 8 independent open→read→close chains fused into one
+    // submission: the opens form wave 0, the reads wave 1, the closes
+    // wave 2 (how a session actually uses the scheduler — submissions as
+    // large as its dependency structure allows).
+    let pipelines = |i: usize, fold: usize| -> SyscallBatch {
+        let mut batch = SyscallBatch::new(Vec::new());
+        for j in 0..fold * 8 {
+            let open = batch.push(BatchEntry::Open {
+                dirfd: None,
+                path: format!("{}/f{}", inner(i), j % 8),
+                flags: OpenFlags::RDONLY,
+                mode: Mode(0),
+            });
+            let read = batch.push(BatchEntry::Read {
+                fd: BatchFd::FromEntry(open),
+                len: 512,
+            });
+            let close = batch.push(BatchEntry::Close {
+                fd: BatchFd::FromEntry(open),
+            });
+            batch.deps.push((close, read));
+        }
+        batch
+    };
+    /// Rounds folded into one scheduled submission in the pool modes.
+    const FOLD: usize = 8;
+
+    // ops per session-round: 8 open/read/close triples + 8 stat entries.
+    let ops = (sessions * rounds * (8 * 3 + 8)) as u64;
+    let t0 = Instant::now();
+    match mode {
+        PoolMode::NaiveSingle => {
+            for _ in 0..rounds {
+                for (i, &pid) in children.iter().enumerate() {
+                    for j in 0..8 {
+                        shared
+                            .with(|k| {
+                                let fd = k.open(
+                                    pid,
+                                    &format!("{}/f{j}", inner(i)),
+                                    OpenFlags::RDONLY,
+                                    Mode(0),
+                                )?;
+                                let _ = k.read(pid, fd, 512)?;
+                                k.close(pid, fd)
+                            })
+                            .expect("triple");
+                    }
+                    let out = shared
+                        .with(|k| k.submit_batch(pid, &sweep(i, 1)))
+                        .expect("sweep");
+                    assert!(out.iter().all(|r| r.is_ok()));
+                }
+            }
+        }
+        PoolMode::ScheduledSingle => {
+            for _ in 0..rounds / FOLD {
+                for (i, &pid) in children.iter().enumerate() {
+                    for batch in [pipelines(i, FOLD), sweep(i, FOLD)] {
+                        let out = shared
+                            .with(|k| k.submit_scheduled(pid, &batch))
+                            .expect("scheduled");
+                        assert!(out.iter().all(|c| c.out.is_ok()));
+                    }
+                }
+            }
+        }
+        PoolMode::Pool(workers) => {
+            // The whole run is one job stream (every job is read-only, so
+            // cross-round ordering is immaterial): workers drain it,
+            // acquiring the kernel per wave.
+            let pool = BatchPool::new(workers);
+            let jobs: Vec<BatchJob> = (0..rounds / FOLD)
+                .flat_map(|_| {
+                    (0..sessions).flat_map(|i| {
+                        [
+                            BatchJob {
+                                pid: children[i],
+                                batch: pipelines(i, FOLD),
+                            },
+                            BatchJob {
+                                pid: children[i],
+                                batch: sweep(i, FOLD),
+                            },
+                        ]
+                    })
+                })
+                .collect();
+            for out in pool.run(&shared, jobs) {
+                let out = out.expect("pool job");
+                let slots = completions_to_slots(out.len(), &out);
+                assert!(slots.iter().all(|r| r.is_ok()));
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    ConcurrencyRun {
+        ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+        ops,
+    }
+}
+
+fn bench_sched() {
+    println!("\n7. batch-scheduler ablation:");
+    let (copy_rounds, files, size) = (400, 32, 512);
+    // Best-of-3, like the pool group: single runs on a contended box swing
+    // by ±30%.
+    let best_copy = |fused: bool| -> SchedRun {
+        (0..3)
+            .map(|_| sched_copy_run(fused, copy_rounds, files, size))
+            .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op))
+            .unwrap()
+    };
+    let fused = best_copy(true);
+    let two = best_copy(false);
+    let report = |label: &str, r: &SchedRun| {
+        println!(
+            "   {label:<26} {:>8.0}ns/file  batches {:>7}  slot links {:>7}  waves {:>7}",
+            r.ns_per_op, r.batches, r.slot_links, r.sched_waves
+        );
+    };
+    report("fused-pipeline copy:", &fused);
+    report("two-submission copy:", &two);
+    println!(
+        "   fused copy: {:.2}× faster; submissions cut {:.1}×",
+        two.ns_per_op / fused.ns_per_op.max(1e-9),
+        two.batches as f64 / fused.batches.max(1) as f64
+    );
+
+    let (sessions, rounds) = (4, 400);
+    // Best-of-5 per mode: ns/op on a contended box is noisy, and the
+    // minimum is the standard microbenchmark estimator.
+    let best = |mode: fn() -> PoolMode| -> ConcurrencyRun {
+        (0..5)
+            .map(|_| sched_pool_run(sessions, rounds, mode()))
+            .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op))
+            .unwrap()
+    };
+    let single = best(|| PoolMode::NaiveSingle);
+    let sched_single = best(|| PoolMode::ScheduledSingle);
+    let pool1 = best(|| PoolMode::Pool(1));
+    let pool2 = best(|| PoolMode::Pool(2));
+    let pool4 = best(|| PoolMode::Pool(4));
+    let preport = |label: &str, r: &ConcurrencyRun| {
+        println!(
+            "   {label:<30} {:>8.0}ns/op  ({} ops, {:.2}M ops/s)",
+            r.ns_per_op,
+            r.ops,
+            1e3 / r.ns_per_op
+        );
+    };
+    preport("single-thread per-call (PR 3):", &single);
+    preport("single-thread scheduled:", &sched_single);
+    preport("pool, 1 worker:", &pool1);
+    preport("pool, 2 workers:", &pool2);
+    preport("pool, 4 workers:", &pool4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (best_workers, best_pool) = [(1usize, &pool1), (2, &pool2), (4, &pool4)]
+        .into_iter()
+        .min_by(|a, b| a.1.ns_per_op.total_cmp(&b.1.ns_per_op))
+        .unwrap();
+    let speedup = single.ns_per_op / best_pool.ns_per_op.max(1e-9);
+    println!(
+        "   pool({best_workers}) over the PR 3 per-call single-thread baseline: \
+         {speedup:.2}× throughput on {cores} core(s) (fused chains amortize \
+         charges/contexts; waves of different sessions interleave under the \
+         per-wave lock — extra workers beyond the core count only add \
+         context switching)"
+    );
+    if let Ok(path) = std::env::var("SHILL_BENCH_SCHED_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"fused_copy\": {{\n",
+                "    \"workload\": \"{files} x {size}B files copied, {cr} rounds\",\n",
+                "    \"fused\": {{\"ns_per_file\": {:.1}, \"batches\": {}, \"slot_links\": {}}},\n",
+                "    \"two_submission\": {{\"ns_per_file\": {:.1}, \"batches\": {}}},\n",
+                "    \"speedup\": {:.3},\n",
+                "    \"submission_reduction\": {:.2}\n",
+                "  }},\n",
+                "  \"batch_pool\": {{\n",
+                "    \"workload\": \"{s} sessions x {r} rounds of 8 open/read/close + 8-entry stat sweep (the BENCH_concurrency shape), scheduled as fused chains through BatchPool\",\n",
+                "    \"cores\": {cores},\n",
+                "    \"single_thread_per_call\": {{\"ns_per_op\": {:.1}, \"ops\": {}}},\n",
+                "    \"single_thread_scheduled\": {{\"ns_per_op\": {:.1}}},\n",
+                "    \"workers_1\": {{\"ns_per_op\": {:.1}}},\n",
+                "    \"workers_2\": {{\"ns_per_op\": {:.1}}},\n",
+                "    \"workers_4\": {{\"ns_per_op\": {:.1}}},\n",
+                "    \"best_workers\": {best_workers},\n",
+                "    \"pool_over_single_thread_throughput\": {:.3}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            fused.ns_per_op,
+            fused.batches,
+            fused.slot_links,
+            two.ns_per_op,
+            two.batches,
+            two.ns_per_op / fused.ns_per_op.max(1e-9),
+            two.batches as f64 / fused.batches.max(1) as f64,
+            single.ns_per_op,
+            single.ops,
+            sched_single.ns_per_op,
+            pool1.ns_per_op,
+            pool2.ns_per_op,
+            pool4.ns_per_op,
+            speedup,
+            files = files,
+            size = size,
+            cr = copy_rounds,
+            s = sessions,
+            r = rounds,
+            cores = cores,
+            best_workers = best_workers,
+        );
+        std::fs::write(&path, json).expect("write sched baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     bench_contract_cost();
@@ -676,5 +1071,6 @@ fn main() {
     bench_cache_ablation();
     bench_batch_ablation();
     bench_concurrency();
+    bench_sched();
     let _ = Arc::new(());
 }

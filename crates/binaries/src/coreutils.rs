@@ -8,7 +8,9 @@ use shill_kernel::{Kernel, OpenFlags, Pid};
 use shill_vfs::Mode;
 
 use crate::tar::{pack, unpack, Entry};
-use crate::util::{glob_match, join, slurp, spit, stat_sweep, stderr, stdout};
+use crate::util::{
+    copy_path, glob_match, join, slurp, slurp_many, spit, stat_sweep, stderr, stdout, CopyErr,
+};
 
 /// `cat FILE...` — concatenate files to stdout.
 pub fn cat(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
@@ -33,22 +35,21 @@ pub fn echo(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     0
 }
 
-/// `cp SRC DST`.
+/// `cp SRC DST` — one fused-pipeline submission: the read's bytes flow to
+/// the write through a slot reference instead of surfacing here between
+/// two submissions.
 pub fn cp(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     if argv.len() != 3 {
         stderr(k, pid, "usage: cp SRC DST\n");
         return 64;
     }
-    let data = match slurp(k, pid, &argv[1]) {
-        Ok(d) => d,
-        Err(e) => {
+    match copy_path(k, pid, &argv[1], &argv[2], Mode::FILE_DEFAULT) {
+        Ok(_) => 0,
+        Err(CopyErr::Src(e)) => {
             stderr(k, pid, &format!("cp: {}: {e}\n", argv[1]));
-            return 1;
+            1
         }
-    };
-    match spit(k, pid, &argv[2], &data, Mode::FILE_DEFAULT) {
-        Ok(()) => 0,
-        Err(e) => {
+        Err(CopyErr::Dst(e)) => {
             stderr(k, pid, &format!("cp: {}: {e}\n", argv[2]));
             1
         }
@@ -306,14 +307,14 @@ pub fn mkdir(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     status
 }
 
-/// `install SRC DST` — copy with exec mode.
+/// `install SRC DST` — copy with exec mode (fused pipeline, like `cp`).
 pub fn install(k: &mut Kernel, pid: Pid, argv: &[String]) -> i32 {
     if argv.len() != 3 {
         return 64;
     }
-    match slurp(k, pid, &argv[1]).and_then(|d| spit(k, pid, &argv[2], &d, Mode(0o755))) {
-        Ok(()) => 0,
-        Err(e) => {
+    match copy_path(k, pid, &argv[1], &argv[2], Mode(0o755)) {
+        Ok(_) => 0,
+        Err(CopyErr::Src(e)) | Err(CopyErr::Dst(e)) => {
             stderr(k, pid, &format!("install: {e}\n"));
             1
         }
@@ -397,19 +398,47 @@ fn tar_collect(
     let dfd = k.open(pid, &full, OpenFlags::dir(), Mode(0))?;
     let names = k.readdirfd(pid, dfd)?;
     k.close(pid, dfd)?;
-    for name in names {
-        let r = if rel.is_empty() {
-            name.clone()
-        } else {
-            join(rel, &name)
-        };
-        let p = join(root, &r);
-        let st = k.fstatat(pid, None, &p, false)?;
+    let rels: Vec<String> = names
+        .iter()
+        .map(|name| {
+            if rel.is_empty() {
+                name.clone()
+            } else {
+                join(rel, name)
+            }
+        })
+        .collect();
+    let paths: Vec<String> = rels.iter().map(|r| join(root, r)).collect();
+    // One batched stat sweep for the directory, then one batched read
+    // sweep over its regular files — per-directory submissions instead of
+    // per-name ones. Archive order is unchanged (names in readdir order,
+    // depth first).
+    let stats = stat_sweep(k, pid, &paths);
+    // Stats are swept per directory in one submission (like `find`), so a
+    // denied name may log denials for its siblings too, where the old
+    // per-name loop stopped at the first — a deliberate batching tradeoff.
+    // Reads stay conservative: a stat failure aborts the pack at that
+    // entry, so only files *before* the first failure are read — no reads
+    // the sequential form would never have performed within this
+    // directory.
+    let first_err = stats
+        .iter()
+        .position(|st| st.is_err())
+        .unwrap_or(stats.len());
+    let file_paths: Vec<String> = stats[..first_err]
+        .iter()
+        .zip(&paths)
+        .filter(|(st, _)| st.as_ref().map(|s| s.ftype.is_regular()).unwrap_or(false))
+        .map(|(_, p)| p.clone())
+        .collect();
+    let mut file_data = slurp_many(k, pid, &file_paths).into_iter();
+    for (r, st) in rels.into_iter().zip(stats) {
+        let st = st?;
         if st.ftype.is_dir() {
             out.push(Entry::Dir { path: r.clone() });
             tar_collect(k, pid, root, &r, out)?;
         } else if st.ftype.is_regular() {
-            let data = slurp(k, pid, &p)?;
+            let data = file_data.next().unwrap_or(Err(shill_vfs::Errno::EINVAL))?;
             out.push(Entry::File {
                 path: r,
                 data,

@@ -5,8 +5,8 @@
 //! open→write→close entries run the identical per-operation MAC checks
 //! with one ulimit charge and one MAC context per file.
 
-use shill_kernel::{BatchEntry, BatchOut, Fd, Kernel, Pid, SyscallBatch};
-use shill_vfs::{Mode, Stat, SysResult};
+use shill_kernel::{BatchArg, BatchEntry, BatchOut, Fd, Kernel, Pid, SyscallBatch};
+use shill_vfs::{Errno, Mode, Stat, SysResult};
 
 /// Read a whole file by path (fused open→read-to-EOF→close, one batch).
 pub fn slurp(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<Vec<u8>> {
@@ -20,6 +20,26 @@ pub fn slurp(k: &mut Kernel, pid: Pid, path: &str) -> SysResult<Vec<u8>> {
     .into_data()
 }
 
+/// Read many files by path in ONE batched submission (one fused
+/// open→read→close entry per path, one charge/context/prefix walk set for
+/// the sweep). Per-path outcomes are preserved.
+pub fn slurp_many(k: &mut Kernel, pid: Pid, paths: &[String]) -> Vec<SysResult<Vec<u8>>> {
+    let entries: Vec<BatchEntry> = paths
+        .iter()
+        .map(|p| BatchEntry::ReadFile {
+            dirfd: None,
+            path: p.clone(),
+        })
+        .collect();
+    match k.submit_batch(pid, &SyscallBatch::new(entries)) {
+        Ok(out) => out
+            .into_iter()
+            .map(|r| r.and_then(BatchOut::into_data))
+            .collect(),
+        Err(e) => paths.iter().map(|_| Err(e)).collect(),
+    }
+}
+
 /// Create/truncate a file by path and write contents (fused, one batch).
 pub fn spit(k: &mut Kernel, pid: Pid, path: &str, data: &[u8], mode: Mode) -> SysResult<()> {
     k.submit_single(
@@ -27,12 +47,62 @@ pub fn spit(k: &mut Kernel, pid: Pid, path: &str, data: &[u8], mode: Mode) -> Sy
         BatchEntry::WriteFile {
             dirfd: None,
             path: path.to_string(),
-            data: data.to_vec(),
+            data: data.into(),
             mode,
             append: false,
         },
     )?;
     Ok(())
+}
+
+/// Which side of a [`copy_path`] failed (so `cp`-style binaries can blame
+/// the right operand in their diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyErr {
+    Src(Errno),
+    Dst(Errno),
+}
+
+/// Copy a file by path as ONE fused-pipeline submission: a `ReadFile`
+/// whose bytes flow to a `WriteFile` through a slot reference
+/// (`BatchArg::OutputOf`), scheduled as two dependency waves. The old
+/// shape — a `slurp` submission, the data surfacing to the caller, then a
+/// `spit` submission — paid two kernel crossings and two prefix walks.
+/// Returns bytes copied. Submission-level failures (nested batch, dead
+/// process) are reported against the source operand.
+pub fn copy_path(
+    k: &mut Kernel,
+    pid: Pid,
+    src: &str,
+    dst: &str,
+    mode: Mode,
+) -> Result<usize, CopyErr> {
+    let batch = SyscallBatch::aborting(vec![
+        BatchEntry::ReadFile {
+            dirfd: None,
+            path: src.to_string(),
+        },
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: dst.to_string(),
+            data: BatchArg::OutputOf(0),
+            mode,
+            append: false,
+        },
+    ]);
+    // Consume the completions by value: the read payload stays in the
+    // kernel-to-write slot link and is never cloned out here.
+    let completions = k.submit_scheduled(pid, &batch).map_err(CopyErr::Src)?;
+    let mut written = Err(CopyErr::Dst(Errno::EINVAL));
+    for c in completions {
+        match (c.slot, c.out) {
+            (0, Err(e)) => return Err(CopyErr::Src(e)),
+            (1, Err(e)) => return Err(CopyErr::Dst(e)),
+            (1, Ok(out)) => written = out.into_written().map_err(CopyErr::Dst),
+            _ => {}
+        }
+    }
+    written
 }
 
 /// Append a line to a file by path (creating it if missing).
@@ -44,7 +114,7 @@ pub fn append_line(k: &mut Kernel, pid: Pid, path: &str, line: &str) -> SysResul
         BatchEntry::WriteFile {
             dirfd: None,
             path: path.to_string(),
-            data,
+            data: data.into(),
             mode: Mode::FILE_DEFAULT,
             append: true,
         },

@@ -5,8 +5,11 @@
 //! `read` of a large file or a `contents`+`stat` sweep pays the per-call
 //! charging and MAC-context cost once per chunk or per name. These helpers
 //! route the same operations through [`shill_kernel::Kernel::submit_batch`]
-//! — observably equivalent (same per-chunk MAC interposition, same errnos)
-//! but with one kernel crossing per window.
+//! and, for pipelines with data dependencies, through the batch scheduler
+//! ([`shill_kernel::Kernel::submit_scheduled`]) — observably equivalent
+//! (same per-chunk MAC interposition, same errnos) but with one kernel
+//! crossing per window, and with copies fused into single submissions via
+//! slot references (`BatchArg::OutputOf`).
 //!
 //! Capability discipline is unchanged: callers perform the contract-guard
 //! checks ([`GuardedCap::check`]) before reaching for the descriptor, and
@@ -14,7 +17,7 @@
 
 use shill_cap::{CapKind, Priv};
 use shill_contracts::{CapError, CapResult, GuardedCap};
-use shill_kernel::{BatchEntry, BatchOut, Fd, Kernel, Pid, SyscallBatch};
+use shill_kernel::{BatchArg, BatchEntry, BatchOut, Fd, Kernel, Pid, SyscallBatch};
 use shill_vfs::{Errno, Stat, SysResult};
 
 /// Chunk size used by vectored reads/writes (matches the sequential
@@ -35,7 +38,7 @@ pub fn read_all_fd(k: &mut Kernel, pid: Pid, fd: Fd) -> SysResult<Vec<u8>> {
             .submit_single(
                 pid,
                 BatchEntry::Preadv {
-                    fd,
+                    fd: fd.into(),
                     offset: off,
                     lens: vec![CHUNK; WINDOW],
                 },
@@ -58,11 +61,14 @@ pub fn write_all_fd(k: &mut Kernel, pid: Pid, fd: Fd, data: Vec<u8>) -> SysResul
     let out = k.submit_batch(
         pid,
         &SyscallBatch::aborting(vec![
-            BatchEntry::Ftruncate { fd, len: 0 },
+            BatchEntry::Ftruncate {
+                fd: fd.into(),
+                len: 0,
+            },
             BatchEntry::Pwrite {
-                fd,
+                fd: fd.into(),
                 offset: 0,
-                data,
+                data: data.into(),
             },
         ]),
     )?;
@@ -84,7 +90,7 @@ pub fn stat_names(
     let entries: Vec<BatchEntry> = names
         .iter()
         .map(|n| BatchEntry::Stat {
-            dirfd: Some(dirfd),
+            dirfd: Some(dirfd.into()),
             path: n.clone(),
             follow: false,
         })
@@ -127,13 +133,80 @@ pub fn cap_write_all(k: &mut Kernel, pid: Pid, cap: &GuardedCap, data: Vec<u8>) 
     }
 }
 
-/// cp-style copy between two file capabilities: batched read of the source,
-/// batched truncate+write of the destination.
+/// cp-style copy between two file capabilities, fused onto the scheduler's
+/// pipeline path: each window is ONE submission —
+/// `Preadv(src) → [Ftruncate(dst) →] Pwrite(dst, data: OutputOf(read))` —
+/// with the read's bytes flowing to the write through a slot reference
+/// instead of surfacing to the runtime between two submissions. The chain
+/// runs in `Abort` mode with the truncate ordered after the first read, so
+/// a denied read leaves the destination untouched and a denied truncate
+/// cancels the write, exactly like the two-submission form.
 pub fn cap_copy(k: &mut Kernel, pid: Pid, src: &GuardedCap, dst: &GuardedCap) -> CapResult<usize> {
-    let data = cap_read_all(k, pid, src)?;
-    let n = data.len();
-    cap_write_all(k, pid, dst, data)?;
-    Ok(n)
+    src.check(Priv::Read)?;
+    dst.check(Priv::Write)?;
+    // Self-copy (same vnode, via any alias or hard link) must not take the
+    // windowed pipeline: its first-window truncate would cut off source
+    // bytes beyond the window before they were read. Read-all-then-write
+    // preserves the pre-pipeline lossless behaviour.
+    let same_node = src.raw.node.is_some() && src.raw.node == dst.raw.node;
+    let (Some(sfd), Some(dfd)) = (batchable_file(src), batchable_file(dst)) else {
+        // Pipes/sockets/devices: sequential wrappers, as before.
+        let data = cap_read_all(k, pid, src)?;
+        let n = data.len();
+        cap_write_all(k, pid, dst, data)?;
+        return Ok(n);
+    };
+    if same_node {
+        let data = cap_read_all(k, pid, src)?;
+        let n = data.len();
+        cap_write_all(k, pid, dst, data)?;
+        return Ok(n);
+    }
+    let mut off = 0u64;
+    loop {
+        let mut batch = SyscallBatch::aborting(vec![BatchEntry::Preadv {
+            fd: sfd.into(),
+            offset: off,
+            lens: vec![CHUNK; WINDOW],
+        }]);
+        let mut prev = 0;
+        if off == 0 {
+            // First window truncates the destination — after the read, so
+            // a failed read cancels it (dependency cone, not "every later
+            // entry").
+            prev = batch.push(BatchEntry::Ftruncate {
+                fd: dfd.into(),
+                len: 0,
+            });
+            batch.deps.push((prev, 0));
+        }
+        let wr = batch.push(BatchEntry::Pwrite {
+            fd: dfd.into(),
+            offset: off,
+            data: BatchArg::OutputOf(0),
+        });
+        if prev != 0 {
+            batch.deps.push((wr, prev));
+        }
+        // Consume the completions by value: the window's payload moves
+        // out of the read slot exactly once, no clones. A real failure
+        // always precedes its cancellation cone in completion order, so
+        // returning the first error reports the root cause.
+        let completions = k.submit_scheduled(pid, &batch).map_err(CapError::Sys)?;
+        let mut read: Option<Vec<u8>> = None;
+        for c in completions {
+            match c.out {
+                Ok(out) if c.slot == 0 => read = Some(out.into_data()?),
+                Ok(_) => {}
+                Err(e) => return Err(CapError::Sys(e)),
+            }
+        }
+        let n = read.map(|d| d.len()).ok_or(CapError::Sys(Errno::EINVAL))?;
+        off += n as u64;
+        if n < CHUNK * WINDOW {
+            return Ok(off as usize);
+        }
+    }
 }
 
 /// The `contents`+`stat` sweep over a directory capability: one `readdir`,
@@ -201,6 +274,49 @@ mod tests {
     }
 
     #[test]
+    fn fused_copy_is_one_submission_per_window() {
+        let (mut k, pid) = setup();
+        let src = GuardedCap::unguarded(RawCap::open_path(&mut k, pid, "/home/u/big.bin").unwrap());
+        k.fs.put_file("/home/u/dst.bin", b"", Mode(0o644), Uid(100), Gid(100))
+            .unwrap();
+        let dst = GuardedCap::unguarded(RawCap::open_path(&mut k, pid, "/home/u/dst.bin").unwrap());
+        k.stats.reset();
+        let n = cap_copy(&mut k, pid, &src, &dst).unwrap();
+        assert_eq!(n, 200_000);
+        let st = k.stats.snapshot();
+        // 200,000 bytes fit in one 1 MiB window: read + truncate + write
+        // fused into a single submission, data flowing via a slot link.
+        assert_eq!(st.batches, 1, "one submission for the whole copy");
+        assert_eq!(st.slot_links, 1, "read data flowed to the write in-batch");
+        assert!(st.sched_waves >= 2, "the pipeline ran as dependency waves");
+        assert_eq!(cap_read_all(&mut k, pid, &dst).unwrap(), vec![7u8; 200_000]);
+    }
+
+    #[test]
+    fn self_copy_larger_than_one_window_is_lossless() {
+        // Regression: the windowed pipeline's first-window truncate must
+        // not destroy unread source bytes when src and dst alias the same
+        // vnode (copy_file("/p/big", "/p/big")).
+        let (mut k, pid) = setup();
+        let payload: Vec<u8> = (0..(CHUNK * WINDOW + 300_000))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        k.fs.put_file(
+            "/home/u/self.bin",
+            &payload,
+            Mode(0o644),
+            Uid(100),
+            Gid(100),
+        )
+        .unwrap();
+        let a = GuardedCap::unguarded(RawCap::open_path(&mut k, pid, "/home/u/self.bin").unwrap());
+        let b = GuardedCap::unguarded(RawCap::open_path(&mut k, pid, "/home/u/self.bin").unwrap());
+        let n = cap_copy(&mut k, pid, &a, &b).unwrap();
+        assert_eq!(n, payload.len());
+        assert_eq!(cap_read_all(&mut k, pid, &a).unwrap(), payload);
+    }
+
+    #[test]
     fn dir_stats_sweep_is_batched() {
         let (mut k, pid) = setup();
         let dir = GuardedCap::unguarded(RawCap::open_path(&mut k, pid, "/home/u").unwrap());
@@ -230,6 +346,10 @@ mod tests {
         );
         assert!(matches!(
             cap_read_all(&mut k, pid, &sealed),
+            Err(CapError::Violation(_))
+        ));
+        assert!(matches!(
+            cap_copy(&mut k, pid, &sealed, &sealed),
             Err(CapError::Violation(_))
         ));
     }

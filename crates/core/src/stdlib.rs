@@ -115,7 +115,9 @@ fn filesys_module() -> HashMap<String, Value> {
         }),
     );
     // copy_file(src, dst) -> bytes copied (or syserror). cp in one
-    // expression: batched read of src, batched truncate+write of dst.
+    // expression, fused onto the scheduler's pipeline path: each window is
+    // ONE submission (read → truncate → write) with the bytes flowing to
+    // the write through a slot reference instead of surfacing here.
     // Requires +read on src and +write (with +truncate/+append per the
     // sandbox's write conservatism) on dst.
     m.insert(

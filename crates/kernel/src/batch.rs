@@ -6,8 +6,8 @@
 //! construction, and a `namei` path walk. PR 1's caches cut the
 //! per-*component* cost; this module cuts the per-*call* cost. A
 //! [`SyscallBatch`] carries a sequence of [`BatchEntry`] operations that
-//! [`crate::Kernel::submit_batch`] executes **in order** with three
-//! amortizations:
+//! [`crate::Kernel::submit_batch`] executes **in submission order** with
+//! three amortizations:
 //!
 //! * **One ulimit charge per batch.** The cpu-tick budget is read once at
 //!   submit time; entries consume ticks from the pre-read budget (same
@@ -46,11 +46,37 @@
 //! errnos, same audit denials — is a test target
 //! (`tests/batch_equivalence.rs`).
 //!
-//! Failure semantics are selected per batch by [`FailMode`]: under the
-//! default [`FailMode::Continue`] a failing entry yields its errno and
-//! later entries still run; [`FailMode::Abort`] short-circuits like an
-//! `&&` chain, reporting `ECANCELED` for every entry after the first
-//! failure (which is never executed).
+//! ## Slot references and dependencies
+//!
+//! Entries can consume earlier entries' outputs without a kernel round-trip
+//! in between: a descriptor position takes [`BatchFd::FromEntry`] (the fd
+//! produced by an earlier `Open`), a data argument takes
+//! [`BatchArg::OutputOf`] (the bytes produced by an earlier read-class
+//! entry). References must point **backward** (producer index < consumer
+//! index), which makes cycles unrepresentable; forward, out-of-range, or
+//! type-mismatched references fail the whole submission with `EINVAL`
+//! before anything executes. A batch may also declare explicit ordering
+//! edges ([`SyscallBatch::after`]) between entries that share state the
+//! kernel cannot see (say, two writes that must land in order).
+//!
+//! Slot references and declared edges together form the batch's dependency
+//! DAG ([`crate::sched::BatchDag`]). `submit_batch` and `run_sequential`
+//! execute the DAG in submission order (always a valid topological order,
+//! since edges point backward); [`crate::Kernel::submit_scheduled`]
+//! executes it **out of order** in dependency waves — see [`crate::sched`]
+//! for the completion model. All three are observationally equivalent on
+//! batches whose conflicting entries are ordered by the DAG.
+//!
+//! Failure semantics are selected per batch by [`FailMode`]. A failed (or
+//! cancelled) entry always poisons its transitive *data* dependents — their
+//! input does not exist, so they report `ECANCELED` without executing.
+//! Under the default [`FailMode::Continue`] that is the only propagation:
+//! declared ordering edges still just order. [`FailMode::Abort`] widens
+//! poisoning to declared edges too — each dependency cone behaves like an
+//! `&&` chain — and, for a batch with no slot references and no declared
+//! edges, the legacy chain semantics are preserved by treating the batch
+//! as one linear dependency chain (the first failure cancels every later
+//! entry, which never executes).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +86,7 @@ use shill_vfs::{Errno, Mode, NodeId, Stat, SysResult};
 
 use crate::kernel::Kernel;
 use crate::mac::MacCtx;
+use crate::sched::BatchDag;
 use crate::stats::KernelStats;
 use crate::types::{Fd, OpenFlags, Pid};
 
@@ -70,12 +97,61 @@ const FUSED_CHUNK: usize = 65536;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FailMode {
     /// Entries are independent: a failure yields its errno in that slot and
-    /// later entries still execute (the common case for stat sweeps).
+    /// later entries still execute (the common case for stat sweeps) —
+    /// except transitive *data* dependents of the failure, whose input is
+    /// missing and who therefore report `ECANCELED` without executing.
     #[default]
     Continue,
-    /// `&&`-chain semantics: the first failure cancels every later entry,
-    /// which reports `ECANCELED` without executing.
+    /// `&&`-chain semantics per dependency cone: the first failure cancels
+    /// every transitive dependent (data *and* declared edges), which
+    /// reports `ECANCELED` without executing. A batch with no edges at all
+    /// is treated as one linear chain, preserving the pre-scheduler
+    /// behaviour of cancelling every later entry.
     Abort,
+}
+
+/// A descriptor position in a batch entry: either a descriptor the
+/// submitter already holds, or a slot reference to the fd produced by an
+/// earlier `Open` entry in the same batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFd {
+    /// A descriptor the submitting process already holds.
+    Fd(Fd),
+    /// The descriptor produced by entry `i` of this batch (`i` must be an
+    /// earlier [`BatchEntry::Open`]; validated at submission).
+    FromEntry(usize),
+}
+
+impl From<Fd> for BatchFd {
+    fn from(fd: Fd) -> BatchFd {
+        BatchFd::Fd(fd)
+    }
+}
+
+/// A data argument in a batch entry: literal bytes, or a slot reference to
+/// the data produced by an earlier read-class entry in the same batch.
+/// `OutputOf` is what fuses whole pipelines — a copy is
+/// `[ReadFile src, WriteFile { data: OutputOf(0), .. }]` in one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchArg {
+    /// Literal bytes supplied by the submitter.
+    Bytes(Vec<u8>),
+    /// The bytes produced by entry `i` of this batch (`i` must be an
+    /// earlier `Read`/`Pread`/`Readv`/`Preadv`/`ReadFile`; validated at
+    /// submission).
+    OutputOf(usize),
+}
+
+impl From<Vec<u8>> for BatchArg {
+    fn from(data: Vec<u8>) -> BatchArg {
+        BatchArg::Bytes(data)
+    }
+}
+
+impl From<&[u8]> for BatchArg {
+    fn from(data: &[u8]) -> BatchArg {
+        BatchArg::Bytes(data.to_vec())
+    }
 }
 
 /// One operation in a batch. Path-carrying entries resolve relative to
@@ -85,66 +161,134 @@ pub enum FailMode {
 pub enum BatchEntry {
     /// `openat` → [`BatchOut::Fd`].
     Open {
-        dirfd: Option<Fd>,
+        dirfd: Option<BatchFd>,
         path: String,
         flags: OpenFlags,
         mode: Mode,
     },
     /// `close` → [`BatchOut::Unit`].
-    Close { fd: Fd },
+    Close { fd: BatchFd },
     /// `read` at the descriptor offset → [`BatchOut::Data`].
-    Read { fd: Fd, len: usize },
+    Read { fd: BatchFd, len: usize },
     /// Positional `pread` → [`BatchOut::Data`].
-    Pread { fd: Fd, offset: u64, len: usize },
+    Pread {
+        fd: BatchFd,
+        offset: u64,
+        len: usize,
+    },
     /// Vectored read at the descriptor offset: one chunk per len, stopping
     /// at EOF → [`BatchOut::Data`] (concatenated).
-    Readv { fd: Fd, lens: Vec<usize> },
+    Readv { fd: BatchFd, lens: Vec<usize> },
     /// Vectored positional read → [`BatchOut::Data`] (concatenated).
     Preadv {
-        fd: Fd,
+        fd: BatchFd,
         offset: u64,
         lens: Vec<usize>,
     },
     /// `write` at the descriptor offset → [`BatchOut::Written`].
-    Write { fd: Fd, data: Vec<u8> },
+    Write { fd: BatchFd, data: BatchArg },
     /// Positional `pwrite` → [`BatchOut::Written`].
-    Pwrite { fd: Fd, offset: u64, data: Vec<u8> },
+    Pwrite {
+        fd: BatchFd,
+        offset: u64,
+        data: BatchArg,
+    },
     /// Vectored write at the descriptor offset → [`BatchOut::Written`]
     /// (total).
-    Writev { fd: Fd, bufs: Vec<Vec<u8>> },
+    Writev { fd: BatchFd, bufs: Vec<Vec<u8>> },
     /// Append regardless of offset → [`BatchOut::Written`].
-    Append { fd: Fd, data: Vec<u8> },
+    Append { fd: BatchFd, data: BatchArg },
     /// `ftruncate` → [`BatchOut::Unit`].
-    Ftruncate { fd: Fd, len: u64 },
+    Ftruncate { fd: BatchFd, len: u64 },
     /// `fstat` → [`BatchOut::Stat`].
-    Fstat { fd: Fd },
+    Fstat { fd: BatchFd },
     /// `fstatat` → [`BatchOut::Stat`].
     Stat {
-        dirfd: Option<Fd>,
+        dirfd: Option<BatchFd>,
         path: String,
         follow: bool,
     },
     /// `getdirentries` on an open directory → [`BatchOut::Names`].
-    ReadDir { fd: Fd },
+    ReadDir { fd: BatchFd },
     /// Fused open→read-to-EOF→close → [`BatchOut::Data`]. One entry instead
     /// of N+2 calls; every per-chunk MAC `Read` check still fires.
-    ReadFile { dirfd: Option<Fd>, path: String },
+    ReadFile {
+        dirfd: Option<BatchFd>,
+        path: String,
+    },
     /// Fused open(create)→write→close → [`BatchOut::Written`]. With
     /// `append`, opens append-mode (creating if missing) instead of
     /// truncating.
     WriteFile {
-        dirfd: Option<Fd>,
+        dirfd: Option<BatchFd>,
         path: String,
-        data: Vec<u8>,
+        data: BatchArg,
         mode: Mode,
         append: bool,
     },
     /// `unlinkat` → [`BatchOut::Unit`].
     Unlink {
-        dirfd: Option<Fd>,
+        dirfd: Option<BatchFd>,
         path: String,
         remove_dir: bool,
     },
+}
+
+impl BatchEntry {
+    /// Slot references this entry consumes, as up to two
+    /// `(producer, wants_fd)` pairs (`wants_fd` distinguishes descriptor
+    /// from data references). Allocation-free: an entry has at most one
+    /// descriptor position and one data argument.
+    pub(crate) fn slot_refs(&self) -> [Option<(usize, bool)>; 2] {
+        let fd_ref = |f: &BatchFd| match f {
+            BatchFd::FromEntry(i) => Some((*i, true)),
+            BatchFd::Fd(_) => None,
+        };
+        let dir_ref = |f: &Option<BatchFd>| match f {
+            Some(BatchFd::FromEntry(i)) => Some((*i, true)),
+            _ => None,
+        };
+        let data_ref = |a: &BatchArg| match a {
+            BatchArg::OutputOf(i) => Some((*i, false)),
+            BatchArg::Bytes(_) => None,
+        };
+        match self {
+            BatchEntry::Open { dirfd, .. } => [dir_ref(dirfd), None],
+            BatchEntry::Close { fd }
+            | BatchEntry::Read { fd, .. }
+            | BatchEntry::Pread { fd, .. }
+            | BatchEntry::Readv { fd, .. }
+            | BatchEntry::Preadv { fd, .. }
+            | BatchEntry::Writev { fd, .. }
+            | BatchEntry::Ftruncate { fd, .. }
+            | BatchEntry::Fstat { fd }
+            | BatchEntry::ReadDir { fd } => [fd_ref(fd), None],
+            BatchEntry::Write { fd, data }
+            | BatchEntry::Pwrite { fd, data, .. }
+            | BatchEntry::Append { fd, data } => [fd_ref(fd), data_ref(data)],
+            BatchEntry::Stat { dirfd, .. }
+            | BatchEntry::ReadFile { dirfd, .. }
+            | BatchEntry::Unlink { dirfd, .. } => [dir_ref(dirfd), None],
+            BatchEntry::WriteFile { dirfd, data, .. } => [dir_ref(dirfd), data_ref(data)],
+        }
+    }
+
+    /// Whether this entry's output is a descriptor (`BatchOut::Fd`).
+    pub(crate) fn produces_fd(&self) -> bool {
+        matches!(self, BatchEntry::Open { .. })
+    }
+
+    /// Whether this entry's output is data (`BatchOut::Data`).
+    pub(crate) fn produces_data(&self) -> bool {
+        matches!(
+            self,
+            BatchEntry::Read { .. }
+                | BatchEntry::Pread { .. }
+                | BatchEntry::Readv { .. }
+                | BatchEntry::Preadv { .. }
+                | BatchEntry::ReadFile { .. }
+        )
+    }
 }
 
 /// Per-entry result payload.
@@ -174,13 +318,27 @@ impl BatchOut {
             _ => Err(Errno::EINVAL),
         }
     }
+
+    /// Extract a written-byte count; `EINVAL` for any other variant.
+    pub fn into_written(self) -> SysResult<usize> {
+        match self {
+            BatchOut::Written(n) => Ok(n),
+            _ => Err(Errno::EINVAL),
+        }
+    }
 }
 
-/// An ordered sequence of entries submitted as one kernel crossing.
+/// An ordered sequence of entries submitted as one kernel crossing, plus
+/// the dependency edges that constrain out-of-order execution.
 #[derive(Debug, Clone, Default)]
 pub struct SyscallBatch {
     pub entries: Vec<BatchEntry>,
     pub fail_mode: FailMode,
+    /// Explicit ordering edges as `(entry, depends_on)` pairs with
+    /// `depends_on < entry`. Slot references add data edges implicitly;
+    /// declared edges are for conflicts the kernel cannot see (two entries
+    /// touching the same descriptor offset or the same path).
+    pub deps: Vec<(usize, usize)>,
 }
 
 impl SyscallBatch {
@@ -188,6 +346,7 @@ impl SyscallBatch {
         SyscallBatch {
             entries,
             fail_mode: FailMode::Continue,
+            deps: Vec::new(),
         }
     }
 
@@ -199,7 +358,27 @@ impl SyscallBatch {
         SyscallBatch {
             entries,
             fail_mode: FailMode::Abort,
+            deps: Vec::new(),
         }
+    }
+
+    /// Declare that `entry` must execute after `on` (builder form).
+    pub fn after(mut self, entry: usize, on: usize) -> SyscallBatch {
+        self.deps.push((entry, on));
+        self
+    }
+
+    /// Append an entry, returning its slot index (for slot references).
+    pub fn push(&mut self, entry: BatchEntry) -> usize {
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    /// Whether any entry consumes another entry's output.
+    pub fn uses_slots(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.slot_refs().iter().any(|r| r.is_some()))
     }
 }
 
@@ -236,7 +415,8 @@ pub struct PrefixTrace {
 }
 
 /// Live state of a batched submission, installed on the kernel for the
-/// duration of `submit_batch`. `charge`, `ctx`, and `namei` consult it.
+/// duration of `submit_batch` (or of one scheduler wave). `charge`, `ctx`,
+/// and `namei` consult it.
 pub struct BatchState {
     /// The MAC subject context, built once.
     pub ctx: MacCtx,
@@ -281,39 +461,43 @@ impl BatchState {
     }
 }
 
-impl Kernel {
-    /// Submit a batch for `pid`. Entries execute in order; the returned
-    /// vector has one slot per entry. The outer `Err` is reserved for
-    /// submission-level failures (no such process, nested submission).
-    ///
-    /// See the module docs for the amortization and equivalence contract.
-    pub fn submit_batch(
-        &mut self,
-        pid: Pid,
-        batch: &SyscallBatch,
-    ) -> SysResult<Vec<SysResult<BatchOut>>> {
-        if self.batch.is_some() {
-            // No nested submissions: the amortized accounting is per-batch.
+/// Scope guard for the kernel's live [`BatchState`]: installing it arms the
+/// amortizations, and dropping it **always** clears the state and writes
+/// the consumed ticks back — including when entry execution unwinds
+/// mid-batch (say, a buggy policy module panicking inside a check). Before
+/// this guard existed, an unwind left `Kernel::batch` populated and every
+/// later submission returned `EINVAL` as a phantom "nested batch".
+pub(crate) struct BatchGuard<'a> {
+    pub k: &'a mut Kernel,
+    pid: Pid,
+}
+
+impl<'a> BatchGuard<'a> {
+    /// Install batch state for `pid`: one ulimit accounting read, one MAC
+    /// context construction. `EINVAL` if a batch is already live (no nested
+    /// submissions: the amortized accounting is per-batch), `ESRCH` for a
+    /// dead process.
+    pub fn install(k: &'a mut Kernel, pid: Pid) -> SysResult<BatchGuard<'a>> {
+        if k.batch.is_some() {
             return Err(Errno::EINVAL);
         }
-        KernelStats::bump(&self.stats.batches);
-        // One ulimit accounting operation for the whole batch.
-        KernelStats::bump(&self.stats.charge_calls);
+        // One ulimit accounting operation for the whole installation.
+        KernelStats::bump(&k.stats.charge_calls);
         let (base, limit) = {
-            let p = self.process(pid)?;
+            let p = k.process(pid)?;
             if !p.alive() {
                 return Err(Errno::ESRCH);
             }
             (p.cpu_ticks, p.ulimits.max_cpu_ticks)
         };
-        // One MAC context construction for the whole batch.
-        KernelStats::bump(&self.stats.mac_ctx_setups);
+        // One MAC context construction for the whole installation.
+        KernelStats::bump(&k.stats.mac_ctx_setups);
         let ctx = MacCtx {
             pid,
-            cred: self.process(pid)?.cred,
+            cred: k.process(pid)?.cred,
         };
-        let reuse_prefixes = self.prefix_reuse_allowed();
-        self.batch = Some(BatchState {
+        let reuse_prefixes = k.prefix_reuse_allowed();
+        k.batch = Some(BatchState {
             ctx,
             base,
             limit,
@@ -321,34 +505,55 @@ impl Kernel {
             reuse_prefixes,
             prefixes: Mutex::new(HashMap::new()),
         });
+        Ok(BatchGuard { k, pid })
+    }
 
-        let mut out: Vec<SysResult<BatchOut>> = Vec::with_capacity(batch.entries.len());
-        let mut aborted = false;
-        for entry in &batch.entries {
-            if aborted {
-                // Cancelled entries never execute: they are not counted in
-                // `batch_entries` and their `ECANCELED` slot is an audit
-                // cancellation, not a denial.
-                out.push(Err(Errno::ECANCELED));
-                continue;
-            }
-            KernelStats::bump(&self.stats.batch_entries);
-            let r = self.exec_entry(pid, entry);
-            if r.is_err() && batch.fail_mode == FailMode::Abort {
-                aborted = true;
-            }
-            out.push(r);
-        }
+    /// The MAC context built at install time.
+    pub fn ctx(&self) -> MacCtx {
+        self.k.batch.as_ref().expect("batch state live").ctx
+    }
+}
 
-        let st = self.batch.take().expect("batch state present");
-        // Write the consumed ticks back in one process-table access.
-        if let Ok(p) = self.process_mut(pid) {
-            p.cpu_ticks = st.base + st.used.load(Ordering::Relaxed);
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(st) = self.k.batch.take() {
+            // Write the consumed ticks back in one process-table access
+            // (entries that ran before an unwind stay charged).
+            if let Ok(p) = self.k.process_mut(self.pid) {
+                p.cpu_ticks = st.base + st.used.load(Ordering::Relaxed);
+            }
         }
-        // One audit span per batch with per-entry outcomes.
+    }
+}
+
+impl Kernel {
+    /// Submit a batch for `pid`. Entries execute in submission order (slot
+    /// references and declared dependencies are honoured trivially — edges
+    /// point backward); the returned vector has one slot per entry. The
+    /// outer `Err` is reserved for submission-level failures (no such
+    /// process, nested submission, malformed slot references).
+    ///
+    /// See the module docs for the amortization and equivalence contract;
+    /// see [`crate::Kernel::submit_scheduled`] for the out-of-order
+    /// completion model over the same batches.
+    pub fn submit_batch(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+    ) -> SysResult<Vec<SysResult<BatchOut>>> {
+        let dag = BatchDag::build(batch)?;
+        let (out, ctx) = {
+            let guard = BatchGuard::install(self, pid)?;
+            KernelStats::bump(&guard.k.stats.batches);
+            let ctx = guard.ctx();
+            let out = guard.k.run_entries_in_order(pid, batch, &dag, true);
+            (out, ctx)
+        };
+        // One audit span per batch with per-entry outcomes and the wave
+        // structure the dependency DAG implies.
         let outcomes: Vec<Option<Errno>> = out.iter().map(|r| r.as_ref().err().copied()).collect();
         for p in self.policies() {
-            p.batch_complete(st.ctx, &outcomes);
+            p.batch_complete(ctx, &outcomes, dag.waves());
         }
         Ok(out)
     }
@@ -364,8 +569,10 @@ impl Kernel {
 
     /// Execute the same entries through the plain sequential path: one
     /// charge and one MAC context per inner syscall, no prefix reuse, no
-    /// batch audit span. This is the equivalence baseline the property
-    /// suite and the ablation bench compare `submit_batch` against.
+    /// batch audit span. Slot references and dependency poisoning are
+    /// honoured identically (this is the equivalence oracle — the property
+    /// suites and the ablation bench compare both `submit_batch` and
+    /// `submit_scheduled` against it).
     pub fn run_sequential(
         &mut self,
         pid: Pid,
@@ -377,46 +584,137 @@ impl Kernel {
         if !self.process(pid)?.alive() {
             return Err(Errno::ESRCH);
         }
-        let mut out = Vec::with_capacity(batch.entries.len());
-        let mut aborted = false;
-        for entry in &batch.entries {
-            if aborted {
-                out.push(Err(Errno::ECANCELED));
-                continue;
-            }
-            let r = self.exec_entry(pid, entry);
-            if r.is_err() && batch.fail_mode == FailMode::Abort {
-                aborted = true;
-            }
-            out.push(r);
+        let dag = BatchDag::build(batch)?;
+        Ok(self.run_entries_in_order(pid, batch, &dag, false))
+    }
+
+    /// Index-order DAG execution shared by `submit_batch` (with batch state
+    /// installed; `as_batch`) and `run_sequential` (without). Submission
+    /// order is always a valid topological order because every edge points
+    /// backward, so "execute in order, cancelling poisoned slots" realizes
+    /// exactly the semantics the wave scheduler realizes out of order.
+    pub(crate) fn run_entries_in_order(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+        dag: &BatchDag,
+        as_batch: bool,
+    ) -> Vec<SysResult<BatchOut>> {
+        let mut results: Vec<Option<SysResult<BatchOut>>> = Vec::new();
+        results.resize_with(batch.entries.len(), || None);
+        for (i, entry) in batch.entries.iter().enumerate() {
+            let r = if dag.should_cancel(i, batch.fail_mode, &results) {
+                // Cancelled entries never execute: they are not counted in
+                // `batch_entries` and their `ECANCELED` slot is an audit
+                // cancellation, not a denial.
+                Err(Errno::ECANCELED)
+            } else {
+                if as_batch {
+                    KernelStats::bump(&self.stats.batch_entries);
+                }
+                self.exec_entry(pid, entry, &results)
+            };
+            results[i] = Some(r);
         }
-        Ok(out)
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Resolve a descriptor position against earlier slot results.
+    /// Type/range mismatches are rejected at submission, so the fallback
+    /// `EINVAL` here is defensive.
+    pub(crate) fn resolve_batch_fd(
+        &self,
+        fd: BatchFd,
+        prior: &[Option<SysResult<BatchOut>>],
+    ) -> SysResult<Fd> {
+        match fd {
+            BatchFd::Fd(fd) => Ok(fd),
+            BatchFd::FromEntry(i) => {
+                KernelStats::bump(&self.stats.slot_links);
+                match prior.get(i).and_then(|r| r.as_ref()) {
+                    Some(Ok(BatchOut::Fd(fd))) => Ok(*fd),
+                    _ => Err(Errno::EINVAL),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn resolve_batch_dirfd(
+        &self,
+        dirfd: &Option<BatchFd>,
+        prior: &[Option<SysResult<BatchOut>>],
+    ) -> SysResult<Option<Fd>> {
+        match dirfd {
+            None => Ok(None),
+            Some(f) => self.resolve_batch_fd(*f, prior).map(Some),
+        }
+    }
+
+    /// Resolve a data argument against earlier slot results, by
+    /// reference: literal bytes are borrowed from the entry, `OutputOf`
+    /// bytes from the producer's result slot — no payload copy on either
+    /// path (the producer's slot keeps its result, so several consumers
+    /// may reference the same producer).
+    pub(crate) fn resolve_batch_data<'p>(
+        &self,
+        data: &'p BatchArg,
+        prior: &'p [Option<SysResult<BatchOut>>],
+    ) -> SysResult<&'p [u8]> {
+        match data {
+            BatchArg::Bytes(b) => Ok(b),
+            BatchArg::OutputOf(i) => {
+                KernelStats::bump(&self.stats.slot_links);
+                match prior.get(*i).and_then(|r| r.as_ref()) {
+                    Some(Ok(BatchOut::Data(d))) => Ok(d),
+                    _ => Err(Errno::EINVAL),
+                }
+            }
+        }
     }
 
     /// Dispatch one entry through the ordinary syscall implementations —
     /// the same code paths, checks, and audit events as sequential
     /// execution, modulo the charge/context/prefix amortizations (active
     /// only while a batch is live; see the module docs for exactly what
-    /// prefix reuse elides).
-    fn exec_entry(&mut self, pid: Pid, entry: &BatchEntry) -> SysResult<BatchOut> {
+    /// prefix reuse elides). `prior` carries earlier slots' results for
+    /// slot-reference resolution.
+    pub(crate) fn exec_entry(
+        &mut self,
+        pid: Pid,
+        entry: &BatchEntry,
+        prior: &[Option<SysResult<BatchOut>>],
+    ) -> SysResult<BatchOut> {
         match entry {
             BatchEntry::Open {
                 dirfd,
                 path,
                 flags,
                 mode,
-            } => self
-                .openat(pid, *dirfd, path, *flags, *mode)
-                .map(BatchOut::Fd),
-            BatchEntry::Close { fd } => self.close(pid, *fd).map(|_| BatchOut::Unit),
-            BatchEntry::Read { fd, len } => self.read(pid, *fd, *len).map(BatchOut::Data),
+            } => {
+                let dirfd = self.resolve_batch_dirfd(dirfd, prior)?;
+                self.openat(pid, dirfd, path, *flags, *mode)
+                    .map(BatchOut::Fd)
+            }
+            BatchEntry::Close { fd } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.close(pid, fd).map(|_| BatchOut::Unit)
+            }
+            BatchEntry::Read { fd, len } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.read(pid, fd, *len).map(BatchOut::Data)
+            }
             BatchEntry::Pread { fd, offset, len } => {
-                self.pread(pid, *fd, *offset, *len).map(BatchOut::Data)
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.pread(pid, fd, *offset, *len).map(BatchOut::Data)
             }
             BatchEntry::Readv { fd, lens } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
                 let mut data = Vec::new();
                 for len in lens {
-                    let chunk = self.read(pid, *fd, *len)?;
+                    let chunk = self.read(pid, fd, *len)?;
                     let eof = chunk.len() < *len;
                     data.extend(chunk);
                     if eof {
@@ -426,10 +724,11 @@ impl Kernel {
                 Ok(BatchOut::Data(data))
             }
             BatchEntry::Preadv { fd, offset, lens } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
                 let mut data = Vec::new();
                 let mut off = *offset;
                 for len in lens {
-                    let chunk = self.pread(pid, *fd, off, *len)?;
+                    let chunk = self.pread(pid, fd, off, *len)?;
                     let eof = chunk.len() < *len;
                     off += chunk.len() as u64;
                     data.extend(chunk);
@@ -439,32 +738,52 @@ impl Kernel {
                 }
                 Ok(BatchOut::Data(data))
             }
-            BatchEntry::Write { fd, data } => self.write(pid, *fd, data).map(BatchOut::Written),
+            BatchEntry::Write { fd, data } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                let data = self.resolve_batch_data(data, prior)?;
+                self.write(pid, fd, data).map(BatchOut::Written)
+            }
             BatchEntry::Pwrite { fd, offset, data } => {
-                self.pwrite(pid, *fd, *offset, data).map(BatchOut::Written)
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                let data = self.resolve_batch_data(data, prior)?;
+                self.pwrite(pid, fd, *offset, data).map(BatchOut::Written)
             }
             BatchEntry::Writev { fd, bufs } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
                 let mut n = 0usize;
                 for buf in bufs {
-                    n += self.write(pid, *fd, buf)?;
+                    n += self.write(pid, fd, buf)?;
                 }
                 Ok(BatchOut::Written(n))
             }
             BatchEntry::Append { fd, data } => {
-                self.append_fd(pid, *fd, data).map(BatchOut::Written)
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                let data = self.resolve_batch_data(data, prior)?;
+                self.append_fd(pid, fd, data).map(BatchOut::Written)
             }
             BatchEntry::Ftruncate { fd, len } => {
-                self.ftruncate(pid, *fd, *len).map(|_| BatchOut::Unit)
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.ftruncate(pid, fd, *len).map(|_| BatchOut::Unit)
             }
-            BatchEntry::Fstat { fd } => self.fstat(pid, *fd).map(BatchOut::Stat),
+            BatchEntry::Fstat { fd } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.fstat(pid, fd).map(BatchOut::Stat)
+            }
             BatchEntry::Stat {
                 dirfd,
                 path,
                 follow,
-            } => self.fstatat(pid, *dirfd, path, *follow).map(BatchOut::Stat),
-            BatchEntry::ReadDir { fd } => self.readdirfd(pid, *fd).map(BatchOut::Names),
+            } => {
+                let dirfd = self.resolve_batch_dirfd(dirfd, prior)?;
+                self.fstatat(pid, dirfd, path, *follow).map(BatchOut::Stat)
+            }
+            BatchEntry::ReadDir { fd } => {
+                let fd = self.resolve_batch_fd(*fd, prior)?;
+                self.readdirfd(pid, fd).map(BatchOut::Names)
+            }
             BatchEntry::ReadFile { dirfd, path } => {
-                let fd = self.openat(pid, *dirfd, path, OpenFlags::RDONLY, Mode(0))?;
+                let dirfd = self.resolve_batch_dirfd(dirfd, prior)?;
+                let fd = self.openat(pid, dirfd, path, OpenFlags::RDONLY, Mode(0))?;
                 let mut data = Vec::new();
                 loop {
                     match self.read(pid, fd, FUSED_CHUNK) {
@@ -486,6 +805,8 @@ impl Kernel {
                 mode,
                 append,
             } => {
+                let dirfd = self.resolve_batch_dirfd(dirfd, prior)?;
+                let data = self.resolve_batch_data(data, prior)?;
                 let flags = if *append {
                     let mut f = OpenFlags::append_only();
                     f.create = true;
@@ -493,7 +814,7 @@ impl Kernel {
                 } else {
                     OpenFlags::creat_trunc_w()
                 };
-                let fd = self.openat(pid, *dirfd, path, flags, *mode)?;
+                let fd = self.openat(pid, dirfd, path, flags, *mode)?;
                 match self.write(pid, fd, data) {
                     Ok(n) => {
                         self.close(pid, fd)?;
@@ -509,9 +830,11 @@ impl Kernel {
                 dirfd,
                 path,
                 remove_dir,
-            } => self
-                .unlinkat(pid, *dirfd, path, *remove_dir)
-                .map(|_| BatchOut::Unit),
+            } => {
+                let dirfd = self.resolve_batch_dirfd(dirfd, prior)?;
+                self.unlinkat(pid, dirfd, path, *remove_dir)
+                    .map(|_| BatchOut::Unit)
+            }
         }
     }
 }
@@ -519,6 +842,7 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mac::{MacPolicy, VnodeOp};
     use shill_vfs::{Cred, Gid, Uid};
 
     fn setup() -> (Kernel, Pid) {
@@ -634,7 +958,7 @@ mod tests {
             BatchEntry::WriteFile {
                 dirfd: None,
                 path: "/deep/a/b/side".into(),
-                data: b"x".to_vec(),
+                data: b"x".to_vec().into(),
                 mode: Mode::FILE_DEFAULT,
                 append: false,
             },
@@ -748,14 +1072,14 @@ mod tests {
                     BatchEntry::WriteFile {
                         dirfd: None,
                         path: "/deep/a/b/c/new.txt".into(),
-                        data: b"one\n".to_vec(),
+                        data: b"one\n".to_vec().into(),
                         mode: Mode::FILE_DEFAULT,
                         append: false,
                     },
                     BatchEntry::WriteFile {
                         dirfd: None,
                         path: "/deep/a/b/c/new.txt".into(),
-                        data: b"two\n".to_vec(),
+                        data: b"two\n".to_vec().into(),
                         mode: Mode::FILE_DEFAULT,
                         append: true,
                     },
@@ -767,5 +1091,166 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out[2], Ok(BatchOut::Data(b"one\ntwo\n".to_vec())));
+    }
+
+    #[test]
+    fn slot_references_fuse_an_open_read_write_close_pipeline() {
+        let (mut k, pid) = setup();
+        k.stats.reset();
+        // copy /deep/a/b/c/f0 → /deep/a/b/c/copy in ONE submission: the
+        // Open's fd feeds Read and Close, the Read's data feeds WriteFile.
+        let batch = SyscallBatch::aborting(vec![
+            BatchEntry::Open {
+                dirfd: None,
+                path: "/deep/a/b/c/f0".into(),
+                flags: OpenFlags::RDONLY,
+                mode: Mode(0),
+            },
+            BatchEntry::Read {
+                fd: BatchFd::FromEntry(0),
+                len: 1024,
+            },
+            BatchEntry::WriteFile {
+                dirfd: None,
+                path: "/deep/a/b/c/copy".into(),
+                data: BatchArg::OutputOf(1),
+                mode: Mode::FILE_DEFAULT,
+                append: false,
+            },
+            BatchEntry::Close {
+                fd: BatchFd::FromEntry(0),
+            },
+        ])
+        .after(3, 1);
+        let out = k.submit_batch(pid, &batch).unwrap();
+        assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
+        assert_eq!(out[2], Ok(BatchOut::Written(6)));
+        let st = k.stats.snapshot();
+        assert_eq!(st.batches, 1, "whole pipeline in one submission");
+        assert_eq!(st.slot_links, 3, "two fd links + one data link");
+        let copied = k
+            .submit_single(
+                pid,
+                BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: "/deep/a/b/c/copy".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(copied, BatchOut::Data(b"file-0".to_vec()));
+    }
+
+    #[test]
+    fn malformed_slot_references_fail_the_submission() {
+        let (mut k, pid) = setup();
+        // Forward reference.
+        let fwd = SyscallBatch::new(vec![
+            BatchEntry::Read {
+                fd: BatchFd::FromEntry(1),
+                len: 8,
+            },
+            BatchEntry::Open {
+                dirfd: None,
+                path: "/deep/a/b/c/f0".into(),
+                flags: OpenFlags::RDONLY,
+                mode: Mode(0),
+            },
+        ]);
+        assert_eq!(k.submit_batch(pid, &fwd).unwrap_err(), Errno::EINVAL);
+        // Type mismatch: a Stat entry does not produce a descriptor.
+        let mismatch = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            BatchEntry::Read {
+                fd: BatchFd::FromEntry(0),
+                len: 8,
+            },
+        ]);
+        assert_eq!(k.submit_batch(pid, &mismatch).unwrap_err(), Errno::EINVAL);
+        // Self/forward dependency declarations.
+        let bad_dep = SyscallBatch::new(vec![stat_entry("/deep/a/b/c/f0")]).after(0, 0);
+        assert_eq!(k.submit_batch(pid, &bad_dep).unwrap_err(), Errno::EINVAL);
+        // Nothing was left installed by the rejected submissions.
+        assert!(k
+            .submit_batch(pid, &SyscallBatch::single(stat_entry("/deep/a/b/c/f0")))
+            .is_ok());
+    }
+
+    #[test]
+    fn data_dependents_of_a_failure_are_poisoned_even_under_continue() {
+        let (mut k, pid) = setup();
+        let batch = SyscallBatch::new(vec![
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/deep/a/b/c/missing".into(),
+            },
+            BatchEntry::WriteFile {
+                dirfd: None,
+                path: "/deep/a/b/c/out".into(),
+                data: BatchArg::OutputOf(0),
+                mode: Mode::FILE_DEFAULT,
+                append: false,
+            },
+            stat_entry("/deep/a/b/c/f0"),
+        ]);
+        let out = k.submit_batch(pid, &batch).unwrap();
+        assert_eq!(out[0], Err(Errno::ENOENT));
+        assert_eq!(
+            out[1],
+            Err(Errno::ECANCELED),
+            "consumer's input does not exist"
+        );
+        assert!(out[2].is_ok(), "unrelated entry still runs under Continue");
+        assert!(
+            k.fstatat(pid, None, "/deep/a/b/c/out", true).is_err(),
+            "poisoned WriteFile must not have executed"
+        );
+        // The sequential oracle agrees.
+        let (mut k2, pid2) = setup();
+        assert_eq!(out, k2.run_sequential(pid2, &batch).unwrap());
+    }
+
+    /// A policy module that panics inside its Nth vnode check — the
+    /// realistic way entry execution unwinds mid-batch.
+    struct PanickingPolicy {
+        checks_until_panic: AtomicU64,
+    }
+
+    impl MacPolicy for PanickingPolicy {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+
+        fn vnode_check(&self, _ctx: MacCtx, _node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
+            if self.checks_until_panic.fetch_sub(1, Ordering::Relaxed) == 1 {
+                panic!("buggy policy module");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn unwind_mid_batch_clears_batch_state() {
+        // Regression (ISSUE 4 satellite): before the drop-guard, a panic
+        // during entry execution left `Kernel::batch` populated and every
+        // later submission returned EINVAL as a phantom nested batch.
+        let (mut k, pid) = setup();
+        k.register_policy(std::sync::Arc::new(PanickingPolicy {
+            checks_until_panic: AtomicU64::new(3),
+        }));
+        let batch = SyscallBatch::new(vec![
+            stat_entry("/deep/a/b/c/f0"),
+            stat_entry("/deep/a/b/c/f1"),
+        ]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = k.submit_batch(pid, &batch);
+        }));
+        assert!(unwound.is_err(), "the policy panic must surface");
+        assert!(k.unregister_policy("panicking"));
+        assert!(
+            k.batch.is_none(),
+            "drop-guard must clear batch state on unwind"
+        );
+        let out = k.submit_batch(pid, &batch).expect("not EINVAL");
+        assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
     }
 }

@@ -59,7 +59,10 @@ pub struct Kernel {
     pub(crate) kenv: HashMap<String, String>,
     /// Live batched submission, if any (see [`crate::batch`]): one ulimit
     /// charge, one MAC context, and an in-batch `namei` prefix cache
-    /// amortized across the batch's entries.
+    /// amortized across the batch's entries (or, for the per-wave
+    /// scheduler path in [`crate::sched`], across one dependency wave).
+    /// Installed and cleared exclusively through the batch drop-guard so
+    /// an unwind mid-batch can never leave it populated.
     pub(crate) batch: Option<BatchState>,
     next_pid: u32,
     rng: u64,
@@ -210,6 +213,13 @@ impl Kernel {
     /// The access-vector cache (tests/diagnostics).
     pub fn avc(&self) -> &Avc {
         &self.avc
+    }
+
+    /// Whether a batched submission's amortized state is currently
+    /// installed (diagnostics: the executor's worker-pool tests assert the
+    /// per-wave install/release discipline never leaks state past a run).
+    pub fn batch_in_flight(&self) -> bool {
+        self.batch.is_some()
     }
 
     /// Register a simulated executable under `program` (matched against the

@@ -18,17 +18,19 @@ pub mod net;
 pub mod pipe;
 pub mod process;
 pub mod registry;
+pub mod sched;
 pub mod stats;
 pub mod syscalls;
 pub mod types;
 
 pub use avc::{avc_class, avc_pipe_class, avc_socket_class, Avc, AvcClass};
-pub use batch::{BatchEntry, BatchOut, FailMode, SyscallBatch};
+pub use batch::{BatchArg, BatchEntry, BatchFd, BatchOut, FailMode, SyscallBatch};
 pub use kernel::{ExecHandler, Kernel, Lookup, SYSCTL_AVC, SYSCTL_DCACHE};
 pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 pub use net::{InjConnId, RemoteHandler};
 pub use process::{FdObject, OpenFile, ProcState, Process};
 pub use registry::PolicyRegistry;
+pub use sched::{completions_to_slots, BatchDag, Completion, ScheduledRun};
 pub use stats::{KernelStats, StatsSnapshot};
 pub use types::{
     Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits,

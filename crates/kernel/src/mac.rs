@@ -199,9 +199,12 @@ pub trait MacPolicy: Send + Sync {
 
     /// A batched submission ([`crate::batch`]) completed for `ctx.pid`.
     /// `outcomes` has one slot per entry, `None` for success and the errno
-    /// otherwise; policies with an audit log record one span per batch
-    /// instead of one event per call.
-    fn batch_complete(&self, _ctx: MacCtx, _outcomes: &[Option<Errno>]) {}
+    /// otherwise; `waves` is the dependency-DAG layering the submission
+    /// executed in (slot indices per wave — a single wave for a flat
+    /// batch, one wave per link for an `&&` chain). Policies with an audit
+    /// log record one span per batch instead of one event per call, split
+    /// per wave.
+    fn batch_complete(&self, _ctx: MacCtx, _outcomes: &[Option<Errno>], _waves: &[Vec<usize>]) {}
 
     /// A pipe pair was created by `ctx.pid`.
     fn pipe_post_create(&self, _ctx: MacCtx, _pipe: ObjId) {}

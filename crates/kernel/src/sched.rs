@@ -1,0 +1,708 @@
+//! io_uring-style completion scheduler for batched submissions: the batch
+//! subsystem's out-of-order execution engine.
+//!
+//! [`crate::batch`] gave the runtime→kernel boundary a submission queue;
+//! this module gives it a **completion model**. A [`SyscallBatch`] whose
+//! entries declare their dependencies (explicit [`SyscallBatch::deps`]
+//! edges plus the data edges implied by [`crate::batch::BatchFd::FromEntry`]
+//! / [`crate::batch::BatchArg::OutputOf`] slot references) is validated
+//! into a [`BatchDag`], topologically layered into **ready waves**, and
+//! executed wave by wave: every entry in a wave has all of its dependencies
+//! satisfied, so the scheduler is free to run waves' entries in any order
+//! relative to the submission order — an entry whose dependencies resolve
+//! early overtakes earlier-submitted entries that are still waiting on
+//! theirs. Results are delivered through a completion queue of
+//! [`Completion`] records in *execution* order; slot order is recoverable
+//! via [`Completion::slot`].
+//!
+//! ## Equivalence contract
+//!
+//! Scheduled execution must be observationally equivalent to
+//! [`crate::Kernel::run_sequential`] — same per-slot results, errnos, audit
+//! denials, and cache-counter evolution — for every batch whose
+//! *conflicting* entries are ordered by the DAG (the io_uring contract:
+//! operations racing on shared state without a declared edge have
+//! unspecified relative order). Within a wave, entries execute in ascending
+//! slot order, so a batch with **no** edges degenerates to exactly the
+//! in-order path; `FailMode::Abort` batches with no edges are treated as
+//! one linear chain (see [`crate::batch::FailMode`]), preserving the
+//! legacy `&&`-chain semantics under the scheduler too. One caveat:
+//! descriptor *numbers* returned by `Open` entries are covered only up to
+//! renaming — the fd allocator is a monotonic counter, so a reordered
+//! (or transiently fused) open shifts later numbers; in-batch consumers
+//! use slot references precisely so nothing else depends on the number.
+//! The DAG property suite in `tests/batch_equivalence.rs` is the
+//! enforcement.
+//!
+//! ## Cancellation cones
+//!
+//! A failed entry never cancels "every later entry". It poisons its
+//! transitive *data* dependents (their input does not exist) under both
+//! fail modes; under [`FailMode::Abort`] the poison also follows declared
+//! ordering edges, so the failure cancels exactly its **dependency cone**
+//! while independent entries keep executing. Cancelled slots report
+//! `ECANCELED` without executing: they are not counted in `batch_entries`,
+//! produce no audit denials, and are booked as cancellations (not
+//! failures) in the batch's audit span — identical accounting to the
+//! in-order abort path.
+//!
+//! ## Locking and the worker pool
+//!
+//! [`crate::Kernel::submit_scheduled`] runs all waves under one amortized
+//! [`crate::batch::BatchState`] installation (one ulimit charge, one MAC
+//! context, one prefix cache). The steppable form —
+//! [`ScheduledRun::prepare`] (pure validation, no kernel access, callable
+//! outside any lock) + [`crate::Kernel::sched_run_wave`] +
+//! [`crate::Kernel::sched_finish`] — installs batch state **per wave**, so
+//! a worker pool (`shill-sandbox`'s `BatchPool`) can acquire the shared
+//! kernel per-wave instead of per-batch and interleave waves of different
+//! sessions' submissions. Per-wave installation re-reads the tick budget
+//! each wave (write-back keeps the cumulative count, so `EAGAIN` trip
+//! points are unchanged) and starts a fresh prefix cache (correctness is
+//! unaffected — prefix hits are generation/epoch-fenced at probe time).
+//! Lock order is inherited from the executor: the kernel lock is acquired
+//! first and no interior cache/policy lock is ever held across a wave
+//! boundary.
+
+use shill_vfs::{Errno, SysResult};
+
+use crate::batch::{BatchGuard, BatchOut, FailMode, SyscallBatch};
+use crate::kernel::Kernel;
+use crate::stats::KernelStats;
+use crate::types::Pid;
+
+/// One delivered result: which submission slot completed, and its outcome.
+/// `ECANCELED` outcomes mark slots cancelled by dependency poisoning (the
+/// entry never executed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    pub slot: usize,
+    pub out: SysResult<BatchOut>,
+}
+
+/// Reassemble completions into slot-ordered results (the `submit_batch`
+/// shape), for callers that want positional access. `EINVAL` fills any
+/// slot that never completed (impossible for a finished run; defensive).
+pub fn completions_to_slots(n: usize, completions: &[Completion]) -> Vec<SysResult<BatchOut>> {
+    let mut out: Vec<SysResult<BatchOut>> = vec![Err(Errno::EINVAL); n];
+    for c in completions {
+        if let Some(slot) = out.get_mut(c.slot) {
+            *slot = c.out.clone();
+        }
+    }
+    out
+}
+
+/// A batch's validated dependency DAG: per-entry data and ordering edges,
+/// layered into ready waves.
+#[derive(Debug, Clone)]
+pub struct BatchDag {
+    /// `data_deps[i]`: producers entry `i` slot-references. A failed or
+    /// cancelled producer always poisons `i`.
+    data_deps: Vec<Vec<usize>>,
+    /// `order_deps[i]`: declared dependencies of entry `i`. Poison follows
+    /// these edges only under [`FailMode::Abort`].
+    order_deps: Vec<Vec<usize>>,
+    /// `waves[w]`: slots whose longest dependency chain has length `w`,
+    /// in ascending slot order.
+    waves: Vec<Vec<usize>>,
+}
+
+impl BatchDag {
+    /// Validate a batch's references and edges and layer it into waves.
+    /// `EINVAL` for forward/self/out-of-range references or declared
+    /// edges, and for slot references whose producer cannot produce the
+    /// referenced kind (`FromEntry` of a non-`Open`, `OutputOf` of a
+    /// non-read entry). Backward-only edges make cycles unrepresentable,
+    /// so no cycle check is needed.
+    pub fn build(batch: &SyscallBatch) -> SysResult<BatchDag> {
+        let n = batch.entries.len();
+        let mut data_deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, entry) in batch.entries.iter().enumerate() {
+            for (producer, wants_fd) in entry.slot_refs().into_iter().flatten() {
+                if producer >= i {
+                    return Err(Errno::EINVAL);
+                }
+                let p = &batch.entries[producer];
+                let compatible = if wants_fd {
+                    p.produces_fd()
+                } else {
+                    p.produces_data()
+                };
+                if !compatible {
+                    return Err(Errno::EINVAL);
+                }
+                data_deps[i].push(producer);
+            }
+            data_deps[i].sort_unstable();
+            data_deps[i].dedup();
+        }
+        let mut order_deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(entry, on) in &batch.deps {
+            if entry >= n || on >= entry {
+                return Err(Errno::EINVAL);
+            }
+            order_deps[entry].push(on);
+        }
+        // Legacy `&&`-chain: an Abort batch that declares no structure at
+        // all is one linear dependency chain, exactly as the pre-scheduler
+        // abort semantics cancelled every entry after the first failure.
+        if batch.fail_mode == FailMode::Abort
+            && batch.deps.is_empty()
+            && data_deps.iter().all(|d| d.is_empty())
+        {
+            for (i, deps) in order_deps.iter_mut().enumerate().skip(1) {
+                deps.push(i - 1);
+            }
+        }
+        for deps in &mut order_deps {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        // Longest-path layering: an entry's wave is one past its deepest
+        // dependency's.
+        let mut wave_of = vec![0usize; n];
+        let mut height = 0usize;
+        for i in 0..n {
+            let w = data_deps[i]
+                .iter()
+                .chain(&order_deps[i])
+                .map(|&j| wave_of[j] + 1)
+                .max()
+                .unwrap_or(0);
+            wave_of[i] = w;
+            height = height.max(w);
+        }
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); if n == 0 { 0 } else { height + 1 }];
+        for (i, &w) in wave_of.iter().enumerate() {
+            waves[w].push(i);
+        }
+        Ok(BatchDag {
+            data_deps,
+            order_deps,
+            waves,
+        })
+    }
+
+    /// The wave layering (slot indices per wave, ascending).
+    pub fn waves(&self) -> &[Vec<usize>] {
+        &self.waves
+    }
+
+    /// Whether `slot` must be cancelled instead of executed, given the
+    /// results recorded so far: any failed-or-cancelled data producer
+    /// poisons it; under Abort, any failed-or-cancelled declared
+    /// dependency does too. All of `slot`'s dependencies completed in
+    /// every valid execution order before `slot` is considered, so this is
+    /// order-independent — the wave scheduler and the in-order paths
+    /// compute identical cancellation sets.
+    pub(crate) fn should_cancel(
+        &self,
+        slot: usize,
+        fail_mode: FailMode,
+        results: &[Option<SysResult<BatchOut>>],
+    ) -> bool {
+        let failed = |j: usize| matches!(results[j], Some(Err(_)));
+        self.data_deps[slot].iter().any(|&j| failed(j))
+            || (fail_mode == FailMode::Abort && self.order_deps[slot].iter().any(|&j| failed(j)))
+    }
+}
+
+/// An in-flight scheduled submission: the validated DAG plus per-slot
+/// results and the completion queue. Built outside any kernel lock by
+/// [`ScheduledRun::prepare`]; advanced one wave at a time by
+/// [`Kernel::sched_run_wave`] (or drained in one go by
+/// [`Kernel::submit_scheduled`]).
+pub struct ScheduledRun {
+    pid: Pid,
+    batch: SyscallBatch,
+    dag: BatchDag,
+    results: Vec<Option<SysResult<BatchOut>>>,
+    /// Slots in execution order. Results are *not* cloned into a
+    /// completion list while the kernel (lock) is held — only this cheap
+    /// index is recorded; [`ScheduledRun::into_completions`] materializes
+    /// the queue afterwards, by move.
+    order: Vec<usize>,
+    /// The MAC context captured at the first wave's installation — the
+    /// context the entries actually ran under. The audit span uses it
+    /// even if the submitting process is gone by finish time.
+    ctx: Option<crate::mac::MacCtx>,
+    next_wave: usize,
+}
+
+impl ScheduledRun {
+    /// Validate `batch` into an executable run. Pure computation — no
+    /// kernel access, so a worker pool calls this outside the kernel lock.
+    pub fn prepare(pid: Pid, batch: SyscallBatch) -> SysResult<ScheduledRun> {
+        let dag = BatchDag::build(&batch)?;
+        let mut results = Vec::new();
+        results.resize_with(batch.entries.len(), || None);
+        Ok(ScheduledRun {
+            pid,
+            batch,
+            dag,
+            results,
+            order: Vec::new(),
+            ctx: None,
+            next_wave: 0,
+        })
+    }
+
+    /// The submitting process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Whether every wave has executed.
+    pub fn finished(&self) -> bool {
+        self.next_wave >= self.dag.waves.len()
+    }
+
+    /// Slot-ordered results (the `submit_batch` shape).
+    pub fn slot_results(&self) -> Vec<SysResult<BatchOut>> {
+        self.results
+            .iter()
+            .map(|r| r.clone().unwrap_or(Err(Errno::EINVAL)))
+            .collect()
+    }
+
+    /// Consume the run into its completion queue (execution order), moving
+    /// each result — no payload copies, and callable outside any kernel
+    /// lock (this is where the pool does its per-job assembly work).
+    pub fn into_completions(mut self) -> Vec<Completion> {
+        let order = std::mem::take(&mut self.order);
+        drain_completions(order, &mut self.results)
+    }
+
+    /// Per-slot outcomes in slot order (`None` = success), for audit.
+    fn outcomes(&self) -> Vec<Option<Errno>> {
+        outcomes_of(&self.results)
+    }
+}
+
+/// Per-slot outcomes in slot order (`None` = success) from a result table.
+fn outcomes_of(results: &[Option<SysResult<BatchOut>>]) -> Vec<Option<Errno>> {
+    results
+        .iter()
+        .map(|r| match r {
+            Some(Err(e)) => Some(*e),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Materialize a completion queue from an execution order and a result
+/// table, by move.
+fn drain_completions(
+    order: Vec<usize>,
+    results: &mut [Option<SysResult<BatchOut>>],
+) -> Vec<Completion> {
+    order
+        .into_iter()
+        .map(|slot| Completion {
+            slot,
+            out: results[slot].take().unwrap_or(Err(Errno::EINVAL)),
+        })
+        .collect()
+}
+
+impl Kernel {
+    /// Submit a dependency-aware batch and execute it out of order in
+    /// ready waves, under one amortized charge/context/prefix
+    /// installation. The batch is borrowed — nothing is cloned. Returns
+    /// the completion queue in execution order ([`completions_to_slots`]
+    /// recovers positional results). The outer `Err` is reserved for
+    /// submission-level failures: malformed references (`EINVAL`), nested
+    /// submission (`EINVAL`), dead process (`ESRCH`).
+    pub fn submit_scheduled(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+    ) -> SysResult<Vec<Completion>> {
+        let dag = BatchDag::build(batch)?;
+        let n = batch.entries.len();
+        let mut results: Vec<Option<SysResult<BatchOut>>> = Vec::new();
+        results.resize_with(n, || None);
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let ctx = {
+            let guard = BatchGuard::install(self, pid)?;
+            KernelStats::bump(&guard.k.stats.batches);
+            let ctx = guard.ctx();
+            for wave in 0..dag.waves.len() {
+                guard
+                    .k
+                    .exec_wave_core(pid, batch, &dag, wave, &mut results, &mut order);
+            }
+            ctx
+        };
+        let outcomes = outcomes_of(&results);
+        for p in self.policies() {
+            p.batch_complete(ctx, &outcomes, dag.waves());
+        }
+        Ok(drain_completions(order, &mut results))
+    }
+
+    /// Execute the next ready wave of `run` under a per-wave batch-state
+    /// installation, releasing the amortized state before returning (so a
+    /// shared-kernel worker can drop the kernel lock between waves).
+    /// Returns whether waves remain. `EINVAL` while another submission's
+    /// batch state is live on this kernel.
+    pub fn sched_run_wave(&mut self, run: &mut ScheduledRun) -> SysResult<bool> {
+        if run.ctx.is_none() {
+            // First call: install even when the batch has zero waves, so
+            // the liveness check (`ESRCH`), the `batches` stat, and the
+            // audit context match `submit_scheduled` of the same batch.
+            let guard = BatchGuard::install(self, run.pid)?;
+            KernelStats::bump(&guard.k.stats.batches);
+            // The audit span reports the context the entries ran under,
+            // even if the process is reclaimed before the run finishes.
+            run.ctx = Some(guard.ctx());
+            if !run.finished() {
+                guard.k.exec_wave(run);
+            }
+            return Ok(!run.finished());
+        }
+        if run.finished() {
+            return Ok(false);
+        }
+        let guard = BatchGuard::install(self, run.pid)?;
+        guard.k.exec_wave(run);
+        drop(guard);
+        Ok(!run.finished())
+    }
+
+    /// Deliver a finished run's audit span (the only step that needs the
+    /// kernel). `EINVAL` if waves remain. Worker pools call this under the
+    /// kernel lock and then assemble the completion queue outside it with
+    /// [`ScheduledRun::into_completions`]. The span carries the context
+    /// captured when the run's first wave installed — not a re-read — so
+    /// a process reclaimed between last wave and finish still gets its
+    /// span, attributed to the credentials the entries were checked under.
+    pub fn sched_audit(&mut self, run: &ScheduledRun) -> SysResult<()> {
+        if !run.finished() {
+            return Err(Errno::EINVAL);
+        }
+        if let Some(ctx) = run.ctx {
+            let outcomes = run.outcomes();
+            for p in self.policies() {
+                p.batch_complete(ctx, &outcomes, run.dag.waves());
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver a finished run's audit span and hand back its completion
+    /// queue. `EINVAL` if waves remain.
+    pub fn sched_finish(&mut self, run: ScheduledRun) -> SysResult<Vec<Completion>> {
+        self.sched_audit(&run)?;
+        Ok(run.into_completions())
+    }
+
+    /// Execute one wave: cancelled slots complete immediately with
+    /// `ECANCELED`; live slots execute in ascending slot order within the
+    /// wave. Requires installed batch state.
+    fn exec_wave(&mut self, run: &mut ScheduledRun) {
+        // Split the borrows: the batch/dag are read-only while results and
+        // order are written.
+        let ScheduledRun {
+            pid,
+            batch,
+            dag,
+            results,
+            order,
+            next_wave,
+            ..
+        } = run;
+        self.exec_wave_core(*pid, batch, dag, *next_wave, results, order);
+        *next_wave += 1;
+    }
+
+    /// The wave executor shared by the one-shot and steppable paths.
+    fn exec_wave_core(
+        &mut self,
+        pid: Pid,
+        batch: &SyscallBatch,
+        dag: &BatchDag,
+        wave: usize,
+        results: &mut [Option<SysResult<BatchOut>>],
+        order: &mut Vec<usize>,
+    ) {
+        KernelStats::bump(&self.stats.sched_waves);
+        // Out-of-order accounting: each already-completed slot with a
+        // *larger* index than an executing slot is one submission-order
+        // inversion. Slots executed earlier in *this* wave always have
+        // smaller indices (within-wave order is ascending), so only prior
+        // waves' completions can invert — count them against a sorted
+        // snapshot instead of rescanning the order list per slot.
+        let mut prior = order.clone();
+        prior.sort_unstable();
+        for &slot in &dag.waves[wave] {
+            let r = if dag.should_cancel(slot, batch.fail_mode, results) {
+                KernelStats::bump(&self.stats.sched_cancelled_cone);
+                Err(Errno::ECANCELED)
+            } else {
+                KernelStats::bump(&self.stats.batch_entries);
+                self.exec_entry(pid, &batch.entries[slot], results)
+            };
+            let inversions = (prior.len() - prior.partition_point(|&s| s < slot)) as u64;
+            KernelStats::add(&self.stats.sched_reorders, inversions);
+            results[slot] = Some(r);
+            order.push(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchArg, BatchEntry, BatchFd};
+    use crate::types::OpenFlags;
+    use shill_vfs::{Cred, Gid, Mode, Uid};
+
+    fn setup() -> (Kernel, Pid) {
+        let mut k = Kernel::new();
+        k.fs.mkdir_p("/w/sub", Mode::DIR_DEFAULT, Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+        for i in 0..3 {
+            k.fs.put_file(
+                &format!("/w/sub/f{i}"),
+                format!("data-{i}").as_bytes(),
+                Mode::FILE_DEFAULT,
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+        let pid = k.spawn_user(Cred::ROOT);
+        (k, pid)
+    }
+
+    fn stat_entry(path: &str) -> BatchEntry {
+        BatchEntry::Stat {
+            dirfd: None,
+            path: path.to_string(),
+            follow: true,
+        }
+    }
+
+    #[test]
+    fn waves_layer_by_longest_dependency_chain() {
+        let batch = SyscallBatch::new(vec![
+            BatchEntry::Open {
+                dirfd: None,
+                path: "/w/sub/f0".into(),
+                flags: OpenFlags::RDONLY,
+                mode: Mode(0),
+            },
+            stat_entry("/w/sub/f1"), // independent
+            BatchEntry::Read {
+                fd: BatchFd::FromEntry(0),
+                len: 64,
+            },
+            BatchEntry::Close {
+                fd: BatchFd::FromEntry(0),
+            },
+        ])
+        .after(3, 2);
+        let dag = BatchDag::build(&batch).unwrap();
+        assert_eq!(dag.waves(), &[vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn flat_abort_batch_layers_as_a_linear_chain() {
+        let batch = SyscallBatch::aborting(vec![
+            stat_entry("/w/sub/f0"),
+            stat_entry("/w/sub/f1"),
+            stat_entry("/w/sub/f2"),
+        ]);
+        let dag = BatchDag::build(&batch).unwrap();
+        assert_eq!(dag.waves(), &[vec![0], vec![1], vec![2]]);
+        // A flat Continue batch stays one wave (fully independent).
+        let flat = SyscallBatch::new(vec![stat_entry("/w/sub/f0"), stat_entry("/w/sub/f1")]);
+        assert_eq!(BatchDag::build(&flat).unwrap().waves(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn scheduled_reorders_independent_entries_and_matches_sequential() {
+        let (mut k, pid) = setup();
+        k.stats.reset();
+        // Chain: open f0 → read → close. Independent stats of f1/f2 land in
+        // wave 0 and overtake the chain's later links.
+        let batch = SyscallBatch::new(vec![
+            BatchEntry::Open {
+                dirfd: None,
+                path: "/w/sub/f0".into(),
+                flags: OpenFlags::RDONLY,
+                mode: Mode(0),
+            },
+            BatchEntry::Read {
+                fd: BatchFd::FromEntry(0),
+                len: 64,
+            },
+            BatchEntry::Close {
+                fd: BatchFd::FromEntry(0),
+            },
+            stat_entry("/w/sub/f1"),
+            stat_entry("/w/sub/f2"),
+        ])
+        .after(2, 1);
+        let completions = k.submit_scheduled(pid, &batch).unwrap();
+        // Execution order: wave 0 = [0, 3, 4], wave 1 = [1], wave 2 = [2].
+        let order: Vec<usize> = completions.iter().map(|c| c.slot).collect();
+        assert_eq!(order, vec![0, 3, 4, 1, 2]);
+        let st = k.stats.snapshot();
+        assert_eq!(st.sched_waves, 3);
+        assert_eq!(
+            st.sched_reorders, 4,
+            "slots 3 and 4 each overtook slots 1 and 2"
+        );
+        assert_eq!(st.slot_links, 2);
+        assert_eq!(st.charge_calls, 1, "one amortized installation");
+
+        let scheduled = completions_to_slots(5, &completions);
+        assert_eq!(scheduled[1], Ok(BatchOut::Data(b"data-0".to_vec())));
+        let (mut k2, pid2) = setup();
+        let sequential = k2.run_sequential(pid2, &batch).unwrap();
+        assert_eq!(scheduled, sequential);
+    }
+
+    #[test]
+    fn abort_cancels_the_dependency_cone_not_every_later_entry() {
+        let (mut k, pid) = setup();
+        // 0: failing read; 1 data-depends on 0 (cone); 2 depends on 1
+        // (transitive cone); 3 independent — must still execute.
+        let batch = SyscallBatch::aborting(vec![
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/w/sub/missing".into(),
+            },
+            BatchEntry::WriteFile {
+                dirfd: None,
+                path: "/w/sub/out".into(),
+                data: BatchArg::OutputOf(0),
+                mode: Mode::FILE_DEFAULT,
+                append: false,
+            },
+            stat_entry("/w/sub/out"),
+            stat_entry("/w/sub/f1"),
+        ])
+        .after(2, 1);
+        k.stats.reset();
+        let out = completions_to_slots(4, &k.submit_scheduled(pid, &batch).unwrap());
+        assert_eq!(out[0], Err(Errno::ENOENT));
+        assert_eq!(out[1], Err(Errno::ECANCELED));
+        assert_eq!(out[2], Err(Errno::ECANCELED), "cone is transitive");
+        assert!(out[3].is_ok(), "independent entry survives the abort");
+        assert_eq!(k.stats.snapshot().sched_cancelled_cone, 2);
+        let (mut k2, pid2) = setup();
+        assert_eq!(out, k2.run_sequential(pid2, &batch).unwrap());
+    }
+
+    #[test]
+    fn abort_order_edges_poison_but_continue_order_edges_do_not() {
+        for (fail_mode, expect_cancel) in [(FailMode::Abort, true), (FailMode::Continue, false)] {
+            let (mut k, pid) = setup();
+            let batch = SyscallBatch {
+                entries: vec![
+                    BatchEntry::ReadFile {
+                        dirfd: None,
+                        path: "/w/sub/missing".into(),
+                    },
+                    stat_entry("/w/sub/f0"),
+                ],
+                fail_mode,
+                deps: vec![(1, 0)],
+            };
+            let out = completions_to_slots(2, &k.submit_scheduled(pid, &batch).unwrap());
+            assert_eq!(out[0], Err(Errno::ENOENT));
+            if expect_cancel {
+                assert_eq!(out[1], Err(Errno::ECANCELED), "Abort follows order edges");
+            } else {
+                assert!(out[1].is_ok(), "Continue order edges only order");
+            }
+            let (mut k2, pid2) = setup();
+            assert_eq!(out, k2.run_sequential(pid2, &batch).unwrap());
+        }
+    }
+
+    #[test]
+    fn steppable_run_matches_one_shot_submission() {
+        let build = || {
+            SyscallBatch::new(vec![
+                BatchEntry::Open {
+                    dirfd: None,
+                    path: "/w/sub/f0".into(),
+                    flags: OpenFlags::RDONLY,
+                    mode: Mode(0),
+                },
+                BatchEntry::Read {
+                    fd: BatchFd::FromEntry(0),
+                    len: 64,
+                },
+                stat_entry("/w/sub/f2"),
+                BatchEntry::Close {
+                    fd: BatchFd::FromEntry(0),
+                },
+            ])
+            .after(3, 1)
+        };
+        let (mut k, pid) = setup();
+        let one_shot = k.submit_scheduled(pid, &build()).unwrap();
+
+        let (mut k2, pid2) = setup();
+        let mut run = ScheduledRun::prepare(pid2, build()).unwrap();
+        let mut steps = 0;
+        while k2.sched_run_wave(&mut run).unwrap() {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, 3, "three waves stepped");
+        assert!(k2.batch.is_none(), "per-wave state released between waves");
+        let stepped = k2.sched_finish(run).unwrap();
+        assert_eq!(one_shot, stepped);
+        assert_eq!(
+            k.process(pid).unwrap().cpu_ticks,
+            k2.process(pid2).unwrap().cpu_ticks,
+            "per-wave tick write-back preserves the cumulative charge"
+        );
+    }
+
+    #[test]
+    fn sched_finish_refuses_unfinished_runs() {
+        let (mut k, pid) = setup();
+        let batch = SyscallBatch::aborting(vec![stat_entry("/w/sub/f0"), stat_entry("/w/sub/f1")]);
+        let mut run = ScheduledRun::prepare(pid, batch).unwrap();
+        assert!(k.sched_run_wave(&mut run).unwrap(), "one wave remains");
+        assert!(matches!(k.sched_finish(run), Err(Errno::EINVAL)));
+    }
+
+    #[test]
+    fn empty_batch_completes_with_no_waves() {
+        let (mut k, pid) = setup();
+        let out = k.submit_scheduled(pid, &SyscallBatch::default()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(k.stats.snapshot().sched_waves, 0);
+    }
+
+    #[test]
+    fn steppable_empty_batch_matches_one_shot_semantics() {
+        // The pool path must not skip the liveness check or the `batches`
+        // accounting just because a batch has zero waves.
+        let (mut k, pid) = setup();
+        k.stats.reset();
+        let mut run = ScheduledRun::prepare(pid, SyscallBatch::default()).unwrap();
+        assert!(!k.sched_run_wave(&mut run).unwrap());
+        assert_eq!(k.stats.snapshot().batches, 1);
+        assert!(k.sched_finish(run).unwrap().is_empty());
+
+        // A dead process is refused, exactly as submit_scheduled refuses.
+        let ghost = k.spawn_user(Cred::ROOT);
+        k.exit(ghost, 0);
+        let mut run = ScheduledRun::prepare(ghost, SyscallBatch::default()).unwrap();
+        assert_eq!(k.sched_run_wave(&mut run).unwrap_err(), Errno::ESRCH);
+        assert_eq!(
+            k.submit_scheduled(ghost, &SyscallBatch::default())
+                .unwrap_err(),
+            Errno::ESRCH
+        );
+    }
+}

@@ -61,6 +61,20 @@ pub struct KernelStats {
     /// In-batch prefix probes that fell back to a full walk (cold entry or
     /// a mid-batch dcache/AVC epoch invalidation).
     pub batch_prefix_misses: AtomicU64,
+    /// Dependency waves executed by the batch scheduler
+    /// ([`crate::kernel::Kernel::submit_scheduled`] and the steppable
+    /// per-wave path).
+    pub sched_waves: AtomicU64,
+    /// Submission-order inversions performed by the scheduler: pairs where
+    /// an entry completed before an earlier-submitted entry (the measure
+    /// of real out-of-order execution).
+    pub sched_reorders: AtomicU64,
+    /// Slot references resolved (`BatchFd::FromEntry` descriptors plus
+    /// `BatchArg::OutputOf` data links) across all submission paths.
+    pub slot_links: AtomicU64,
+    /// Entries cancelled by scheduler dependency poisoning (the abort/
+    /// missing-input cone), booked as cancellations, not failures.
+    pub sched_cancelled_cone: AtomicU64,
 }
 
 impl KernelStats {
@@ -95,6 +109,10 @@ impl KernelStats {
             batch_entries: get(&self.batch_entries),
             batch_prefix_hits: get(&self.batch_prefix_hits),
             batch_prefix_misses: get(&self.batch_prefix_misses),
+            sched_waves: get(&self.sched_waves),
+            sched_reorders: get(&self.sched_reorders),
+            slot_links: get(&self.slot_links),
+            sched_cancelled_cone: get(&self.sched_cancelled_cone),
         }
     }
 
@@ -119,6 +137,10 @@ impl KernelStats {
             &self.batch_entries,
             &self.batch_prefix_hits,
             &self.batch_prefix_misses,
+            &self.sched_waves,
+            &self.sched_reorders,
+            &self.slot_links,
+            &self.sched_cancelled_cone,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -147,6 +169,10 @@ pub struct StatsSnapshot {
     pub batch_entries: u64,
     pub batch_prefix_hits: u64,
     pub batch_prefix_misses: u64,
+    pub sched_waves: u64,
+    pub sched_reorders: u64,
+    pub slot_links: u64,
+    pub sched_cancelled_cone: u64,
 }
 
 #[cfg(test)]

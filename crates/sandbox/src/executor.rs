@@ -25,10 +25,11 @@
 //! interior cache/policy lock — no interior lock is ever held across a
 //! kernel-lock acquisition.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Barrier, MutexGuard};
 use std::thread;
 
-use shill_kernel::{Kernel, Pid};
+use shill_kernel::{Completion, Kernel, Pid, ScheduledRun, SyscallBatch};
 use shill_vfs::sync::Mutex;
 use shill_vfs::{Cred, Errno, SysResult};
 
@@ -177,6 +178,87 @@ pub fn run_sessions(
     results.into_iter().collect()
 }
 
+/// One scheduled submission for the batch worker pool: which process
+/// submits, and what.
+pub struct BatchJob {
+    pub pid: Pid,
+    pub batch: SyscallBatch,
+}
+
+/// A worker pool executing scheduled batches from (typically) different
+/// sessions against one [`SharedKernel`]. Where `run_sessions` bodies hold
+/// the kernel lock for every crossing of one session, the pool's workers
+/// acquire the lock **per dependency wave**: DAG validation
+/// ([`ScheduledRun::prepare`]), completion-queue assembly, and payload
+/// handling all happen outside the lock, and waves of different
+/// submissions interleave under it. This is what turns the PR 3
+/// `BENCH_concurrency.json` ≈1.0× threaded/single baseline into real
+/// overlap (ablation bench group 7 / `BENCH_sched.json`).
+///
+/// Lock order: the kernel lock is taken per wave and released before any
+/// pool bookkeeping lock (job queue, result slots) is touched — no
+/// interior lock is ever held across a kernel-lock acquisition.
+pub struct BatchPool {
+    workers: usize,
+}
+
+impl BatchPool {
+    pub fn new(workers: usize) -> BatchPool {
+        BatchPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Execute every job, `workers` at a time, returning completion queues
+    /// in job order. A job's `Err` is its submission-level failure
+    /// (malformed DAG, dead process); per-entry failures live in its
+    /// completions.
+    pub fn run(
+        &self,
+        shared: &SharedKernel,
+        jobs: Vec<BatchJob>,
+    ) -> Vec<SysResult<Vec<Completion>>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let queue: Mutex<VecDeque<(usize, BatchJob)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<SysResult<Vec<Completion>>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let job = queue.lock().pop_front();
+                    let Some((idx, job)) = job else { break };
+                    let r = Self::run_one(shared, job);
+                    results.lock()[idx] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(Errno::EINVAL)))
+            .collect()
+    }
+
+    /// Drive one job: validate outside the lock, execute wave by wave
+    /// acquiring the kernel once per wave, audit under the lock, and
+    /// assemble the completion queue (the payload moves) outside it.
+    fn run_one(shared: &SharedKernel, job: BatchJob) -> SysResult<Vec<Completion>> {
+        let mut run = ScheduledRun::prepare(job.pid, job.batch)?;
+        loop {
+            let more = shared.with(|k| k.sched_run_wave(&mut run))?;
+            if !more {
+                break;
+            }
+        }
+        shared.with(|k| k.sched_audit(&run))?;
+        Ok(run.into_completions())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +394,135 @@ mod tests {
         // session's labels were reclaimed.
         assert_eq!(shared.with(|k| k.process_count()), before);
         assert_eq!(policy.label_entries(), 0);
+    }
+
+    #[test]
+    fn batch_pool_executes_scheduled_jobs_per_wave_and_stays_confined() {
+        use shill_kernel::{completions_to_slots, BatchArg, BatchEntry, BatchFd, SyscallBatch};
+
+        let mut kernel = Kernel::new();
+        let policy = ShillPolicy::new();
+        kernel.register_policy(policy.clone());
+        for i in 0..4 {
+            // World-writable session dirs: the sandboxed child (uid 100)
+            // creates its copy there; confinement is the MAC policy's job.
+            kernel
+                .fs
+                .mkdir_p(&format!("/work/s{i}"), Mode(0o777), Uid::ROOT, Gid::WHEEL)
+                .unwrap();
+            kernel
+                .fs
+                .put_file(
+                    &format!("/work/s{i}/data.txt"),
+                    format!("payload-{i}").as_bytes(),
+                    Mode(0o666),
+                    Uid::ROOT,
+                    Gid::WHEEL,
+                )
+                .unwrap();
+        }
+        let root = kernel.fs.root();
+        let work = kernel.fs.resolve_abs("/work").unwrap();
+        let user = kernel.spawn_user(Cred::user(100));
+        let leaf = caps(&[
+            Priv::Read,
+            Priv::Write,
+            Priv::Append,
+            Priv::Truncate,
+            Priv::Stat,
+            Priv::Path,
+            Priv::CreateFile,
+        ]);
+        // One sandboxed session per subtree, each submitting a fused
+        // open→read→close + copy pipeline as one scheduled job.
+        let mut children = Vec::new();
+        for i in 0..4 {
+            let dir = kernel.fs.resolve_abs(&format!("/work/s{i}")).unwrap();
+            let spec = SandboxSpec {
+                grants: vec![
+                    Grant::vnode(root, caps(&[Priv::Lookup])),
+                    Grant::vnode(work, caps(&[Priv::Lookup])),
+                    Grant::vnode(
+                        dir,
+                        caps(&[Priv::Lookup, Priv::CreateFile])
+                            .with_modifier(Priv::Lookup, leaf.clone())
+                            .with_modifier(Priv::CreateFile, leaf.clone()),
+                    ),
+                ],
+                ..Default::default()
+            };
+            let sb = setup_sandbox(&mut kernel, &policy, user, &spec).unwrap();
+            children.push(sb.child);
+        }
+        let shared = SharedKernel::new(kernel);
+
+        let job = |i: usize, pid: Pid| BatchJob {
+            pid,
+            batch: SyscallBatch::aborting(vec![
+                BatchEntry::Open {
+                    dirfd: None,
+                    path: format!("/work/s{i}/data.txt"),
+                    flags: OpenFlags::RDONLY,
+                    mode: Mode(0),
+                },
+                BatchEntry::Read {
+                    fd: BatchFd::FromEntry(0),
+                    len: 64,
+                },
+                BatchEntry::WriteFile {
+                    dirfd: None,
+                    path: format!("/work/s{i}/copy.txt"),
+                    data: BatchArg::OutputOf(1),
+                    mode: Mode(0o666),
+                    append: false,
+                },
+                BatchEntry::Close {
+                    fd: BatchFd::FromEntry(0),
+                },
+            ])
+            .after(3, 1),
+            // A job probing a NEIGHBOUR's subtree must stay denied even
+            // when its waves interleave with the owner's under the pool.
+        };
+        let mut jobs: Vec<BatchJob> = (0..4).map(|i| job(i, children[i])).collect();
+        for (i, &child) in children.iter().enumerate() {
+            jobs.push(BatchJob {
+                pid: child,
+                batch: SyscallBatch::single(BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: format!("/work/s{}/data.txt", (i + 1) % 4),
+                }),
+            });
+        }
+
+        let results = BatchPool::new(4).run(&shared, jobs);
+        assert_eq!(results.len(), 8);
+        for (i, r) in results[..4].iter().enumerate() {
+            let slots = completions_to_slots(4, r.as_ref().unwrap());
+            assert!(slots.iter().all(|s| s.is_ok()), "job {i}: {slots:?}");
+        }
+        for (i, r) in results[4..].iter().enumerate() {
+            let slots = completions_to_slots(1, r.as_ref().unwrap());
+            assert_eq!(slots[0], Err(Errno::EACCES), "job {i} isolation breach");
+        }
+        // The fused copies landed.
+        for (i, &child) in children.iter().enumerate() {
+            let data = shared.with(|k| {
+                k.submit_single(
+                    child,
+                    BatchEntry::ReadFile {
+                        dirfd: None,
+                        path: format!("/work/s{i}/copy.txt"),
+                    },
+                )
+            });
+            assert_eq!(
+                data.unwrap(),
+                shill_kernel::BatchOut::Data(format!("payload-{i}").into_bytes())
+            );
+        }
+        // No batch state may leak past the pool run.
+        assert!(!shared.with(|k| k.batch_in_flight()));
     }
 
     #[test]

@@ -20,9 +20,11 @@ pub mod policyfile;
 pub mod session;
 pub mod sync;
 
-pub use executor::{run_sessions, SessionBody, SessionOutcome, SessionTask, SharedKernel};
+pub use executor::{
+    run_sessions, BatchJob, BatchPool, SessionBody, SessionOutcome, SessionTask, SharedKernel,
+};
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
-pub use log::{LogEvent, SandboxLog};
+pub use log::{BatchWaveAudit, LogEvent, SandboxLog};
 pub use policy::{PolicyStats, ShillPolicy};
 pub use policyfile::{build_spec, parse_policy, ParseError, Rule};
 pub use session::{Session, SessionId};

@@ -58,10 +58,13 @@ pub enum LogEvent {
     /// One batched submission completed: a single span covering every
     /// entry, with per-entry outcomes (`None` = success). Denials inside
     /// the batch are additionally logged as individual [`LogEvent::Denied`]
-    /// events, exactly as in sequential execution. Entries short-circuited
-    /// by `FailMode::Abort` never executed: they are counted as
-    /// `cancelled`, not as failures, and `executed` counts only entries
-    /// that actually ran.
+    /// events, exactly as in sequential execution. Entries cancelled by
+    /// dependency poisoning (an abort cone, or a missing slot-referenced
+    /// input) never executed: they are counted as `cancelled`, not as
+    /// failures, and `executed` counts only entries that actually ran.
+    /// `waves` records the same split per dependency wave, in wave order —
+    /// one wave for a flat batch, one per link for an `&&` chain — and is
+    /// identical whether the batch ran in order or through the scheduler.
     BatchSpan {
         session: SessionId,
         pid: Pid,
@@ -70,10 +73,21 @@ pub enum LogEvent {
         executed: usize,
         /// Executed entries that failed with a real errno.
         failed: usize,
-        /// Entries cancelled by an abort short-circuit (`ECANCELED` slots).
+        /// Entries cancelled by dependency poisoning (`ECANCELED` slots).
         cancelled: usize,
         outcomes: Vec<Option<Errno>>,
+        /// Per-wave `(executed, failed, cancelled)` split.
+        waves: Vec<BatchWaveAudit>,
     },
+}
+
+/// The executed/failed/cancelled split of one dependency wave of a batch
+/// span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchWaveAudit {
+    pub executed: usize,
+    pub failed: usize,
+    pub cancelled: usize,
 }
 
 /// Append-only event log, viewable by privileged users.

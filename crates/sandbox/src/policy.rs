@@ -438,25 +438,37 @@ impl MacPolicy for ShillPolicy {
         }
     }
 
-    fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>]) {
+    fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>], waves: &[Vec<usize>]) {
         let mut st = self.state.lock();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
         // One span per batch (verbose log level, like grants): the
         // per-entry denials were already recorded individually by the
-        // checks themselves. `ECANCELED` slots are abort short-circuit
-        // cancellations — those entries never executed, so the span books
-        // them separately from real failures (nothing else in the kernel
-        // produces that errno).
-        let cancelled = outcomes
-            .iter()
-            .filter(|o| **o == Some(Errno::ECANCELED))
-            .count();
-        let failed = outcomes
-            .iter()
-            .filter(|o| o.is_some() && **o != Some(Errno::ECANCELED))
-            .count();
+        // checks themselves. `ECANCELED` slots are dependency-poisoning
+        // cancellations (abort cones, missing slot inputs) — those entries
+        // never executed, so the span books them separately from real
+        // failures (nothing else in the kernel produces that errno). The
+        // per-wave split applies the same accounting to each dependency
+        // wave, and is identical between in-order and scheduled execution
+        // of the same batch.
+        let split = |slots: &[usize]| {
+            let mut wave = crate::log::BatchWaveAudit::default();
+            for &slot in slots {
+                match outcomes.get(slot) {
+                    Some(Some(Errno::ECANCELED)) => wave.cancelled += 1,
+                    Some(Some(_)) => {
+                        wave.executed += 1;
+                        wave.failed += 1;
+                    }
+                    _ => wave.executed += 1,
+                }
+            }
+            wave
+        };
+        let waves: Vec<crate::log::BatchWaveAudit> = waves.iter().map(|w| split(w)).collect();
+        let cancelled: usize = waves.iter().map(|w| w.cancelled).sum();
+        let failed: usize = waves.iter().map(|w| w.failed).sum();
         st.log.push(LogEvent::BatchSpan {
             session: sid,
             pid: ctx.pid,
@@ -465,6 +477,7 @@ impl MacPolicy for ShillPolicy {
             failed,
             cancelled,
             outcomes: outcomes.to_vec(),
+            waves,
         });
     }
 

@@ -14,7 +14,10 @@
 use std::sync::Arc;
 
 use shill::cap::{CapPrivs, Priv, PrivSet};
-use shill::kernel::{BatchEntry, BatchOut, Fd, Kernel, OpenFlags, Pid, SyscallBatch};
+use shill::kernel::{
+    completions_to_slots, BatchArg, BatchEntry, BatchFd, BatchOut, Fd, Kernel, OpenFlags, Pid,
+    SyscallBatch,
+};
 use shill::prelude::*;
 use shill::sandbox::{setup_sandbox, Grant, LogEvent, SandboxSpec, ShillPolicy};
 use shill::scenarios::set_scenario_cache_mode;
@@ -202,7 +205,7 @@ fn arb_entry(rng: &mut Rng, fds: &[Fd]) -> BatchEntry {
         3 => BatchEntry::WriteFile {
             dirfd: None,
             path: format!("/data/pub/inner/w{}", rng.below(3)),
-            data: vec![b'x'; 1 + rng.below(64)],
+            data: vec![b'x'; 1 + rng.below(64)].into(),
             mode: Mode::FILE_DEFAULT,
             append: rng.flag(),
         },
@@ -210,7 +213,7 @@ fn arb_entry(rng: &mut Rng, fds: &[Fd]) -> BatchEntry {
             // Denied region: creates here produce EACCES in both modes.
             dirfd: None,
             path: format!("/data/secret/w{}", rng.below(2)),
-            data: vec![b'y'; 8],
+            data: vec![b'y'; 8].into(),
             mode: Mode::FILE_DEFAULT,
             append: false,
         },
@@ -220,17 +223,17 @@ fn arb_entry(rng: &mut Rng, fds: &[Fd]) -> BatchEntry {
             remove_dir: false,
         },
         6 => BatchEntry::Pread {
-            fd: fds[0],
+            fd: fds[0].into(),
             offset: rng.below(8) as u64,
             len: 1 + rng.below(16),
         },
         7 => BatchEntry::Write {
-            fd: fds[1],
-            data: vec![b'z'; 1 + rng.below(32)],
+            fd: fds[1].into(),
+            data: vec![b'z'; 1 + rng.below(32)].into(),
         },
-        8 => BatchEntry::ReadDir { fd: fds[2] },
+        8 => BatchEntry::ReadDir { fd: fds[2].into() },
         _ => BatchEntry::Fstat {
-            fd: fds[rng.below(3)],
+            fd: fds[rng.below(3)].into(),
         },
     }
 }
@@ -415,7 +418,7 @@ fn abort_cancellations_are_cancellations_not_denials_or_successes() {
         BatchEntry::WriteFile {
             dirfd: None,
             path: "/data/pub/inner/wx".into(),
-            data: b"never".to_vec(),
+            data: b"never".to_vec().into(),
             mode: Mode::FILE_DEFAULT,
             append: false,
         },
@@ -552,4 +555,497 @@ fn batch_audit_span_records_per_entry_outcomes() {
     assert_eq!(outcomes[1], Some(shill::vfs::Errno::EACCES));
     // The denial inside the batch is still individually logged.
     assert_eq!(denial_fingerprint(&f.policy).len(), 1);
+}
+
+// ===================================================================
+// ISSUE 4: the batch scheduler (out-of-order wave execution) must be
+// observationally equivalent to `run_sequential` — results, errnos, audit
+// denials, and stats counters — under both flat batches and random
+// dependency DAGs, in both cache modes.
+// ===================================================================
+
+/// Flat batches (the PR 2/3 generator): no declared edges, so the
+/// scheduler degenerates to index order — equivalence must be *exact*,
+/// including denial order and the full stats-parity counter list.
+#[test]
+fn scheduled_flat_batches_equivalent_to_sequential() {
+    for cached in [true, false] {
+        set_scenario_cache_mode(cached);
+        let mut rng = Rng::new(0x05EE_DDA6);
+        for case in 0..16 {
+            let mut scheduled = build_fixture(cached);
+            let mut sequential = build_fixture(cached);
+            scheduled.k.stats.reset();
+            sequential.k.stats.reset();
+            for round in 0..3 {
+                let batch = arb_batch(&mut rng, &scheduled.fds);
+                let completions = scheduled
+                    .k
+                    .submit_scheduled(scheduled.child, &batch)
+                    .expect("scheduled");
+                let sch = completions_to_slots(batch.entries.len(), &completions);
+                let seq = sequential
+                    .k
+                    .run_sequential(sequential.child, &batch)
+                    .expect("sequential");
+                assert_eq!(
+                    sch.iter().map(fingerprint).collect::<Vec<_>>(),
+                    seq.iter().map(fingerprint).collect::<Vec<_>>(),
+                    "case {case} round {round} (cached={cached}): flat scheduled diverged"
+                );
+            }
+            assert_eq!(
+                denial_fingerprint(&scheduled.policy),
+                denial_fingerprint(&sequential.policy),
+                "case {case} (cached={cached}): flat scheduled denial order diverged"
+            );
+            let b = scheduled.k.stats.snapshot();
+            let s = sequential.k.stats.snapshot();
+            let ctxt = format!("flat case {case} cached={cached}");
+            assert_eq!(b.syscalls, s.syscalls, "{ctxt}: syscalls");
+            assert_eq!(b.lookups, s.lookups, "{ctxt}: lookups");
+            assert_eq!(b.mac_vnode_checks, s.mac_vnode_checks, "{ctxt}: checks");
+            assert_eq!(b.dcache_hits, s.dcache_hits, "{ctxt}: dcache hits");
+            assert_eq!(b.avc_hits, s.avc_hits, "{ctxt}: avc hits");
+        }
+    }
+    set_scenario_cache_mode(true);
+}
+
+/// Random dependency-DAG generator. Conflicting entries are ordered by the
+/// DAG (the io_uring contract the scheduler documents): entries touching
+/// the fd table (Open/Close) form one chain, entries using the same
+/// in-batch descriptor form a chain per descriptor, and namespace/content
+/// mutations are full barriers. Read-only entries between barriers reorder
+/// freely — that is where the out-of-order execution happens.
+struct DagBuilder {
+    batch: SyscallBatch,
+    /// Slots of `Open` entries whose fd is still referencable.
+    open_slots: Vec<usize>,
+    /// Slots producing data (for `OutputOf` references).
+    data_slots: Vec<usize>,
+    /// Last fd-table mutation (Open/Close chain).
+    last_fd_op: Option<usize>,
+    /// Last user of each in-batch descriptor (keyed by producer slot).
+    last_fd_use: std::collections::HashMap<usize, usize>,
+    /// Last full barrier (namespace/content mutation).
+    last_barrier: Option<usize>,
+    /// Entries since the last barrier (the next barrier depends on all).
+    since_barrier: Vec<usize>,
+}
+
+impl DagBuilder {
+    fn new(fail_mode: shill::kernel::FailMode) -> DagBuilder {
+        DagBuilder {
+            batch: SyscallBatch {
+                entries: Vec::new(),
+                fail_mode,
+                deps: Vec::new(),
+            },
+            open_slots: Vec::new(),
+            data_slots: Vec::new(),
+            last_fd_op: None,
+            last_fd_use: std::collections::HashMap::new(),
+            last_barrier: None,
+            since_barrier: Vec::new(),
+        }
+    }
+
+    fn dep(&mut self, slot: usize, on: Option<usize>) {
+        if let Some(on) = on {
+            if on < slot {
+                self.batch.deps.push((slot, on));
+            }
+        }
+    }
+
+    /// A read-only entry: ordered only after the last barrier.
+    fn read_only(&mut self, e: BatchEntry) -> usize {
+        let produces_data = e.produces_data_for_test();
+        let slot = self.batch.push(e);
+        self.dep(slot, self.last_barrier);
+        self.since_barrier.push(slot);
+        if produces_data {
+            self.data_slots.push(slot);
+        }
+        slot
+    }
+
+    /// A namespace/content mutation: a full barrier (depends on everything
+    /// since the previous barrier; everything after depends on it).
+    fn barrier(&mut self, e: BatchEntry) -> usize {
+        let slot = self.batch.push(e);
+        let prior: Vec<usize> = self.since_barrier.drain(..).collect();
+        for j in prior {
+            self.dep(slot, Some(j));
+        }
+        self.dep(slot, self.last_barrier);
+        self.last_barrier = Some(slot);
+        slot
+    }
+
+    /// An fd-table mutation (Open/Close): chained with other fd-table
+    /// mutations so descriptor numbering matches index order.
+    fn fd_table_op(&mut self, e: BatchEntry) -> usize {
+        let slot = self.read_only(e);
+        self.dep(slot, self.last_fd_op);
+        self.last_fd_op = Some(slot);
+        slot
+    }
+
+    /// An entry using the descriptor produced by `producer`: chained with
+    /// that descriptor's previous user (offsets are shared state).
+    fn uses_fd(&mut self, slot: usize, producer: usize) {
+        let prev = self.last_fd_use.insert(producer, slot);
+        self.dep(slot, prev);
+    }
+}
+
+/// Helper exposed for the generator (mirrors the kernel's internal
+/// classification of data-producing entries).
+trait ProducesData {
+    fn produces_data_for_test(&self) -> bool;
+}
+
+impl ProducesData for BatchEntry {
+    fn produces_data_for_test(&self) -> bool {
+        matches!(
+            self,
+            BatchEntry::Read { .. }
+                | BatchEntry::Pread { .. }
+                | BatchEntry::Readv { .. }
+                | BatchEntry::Preadv { .. }
+                | BatchEntry::ReadFile { .. }
+        )
+    }
+}
+
+fn arb_dag_batch(rng: &mut Rng, fds: &[Fd]) -> SyscallBatch {
+    let fail_mode = if rng.flag() {
+        shill::kernel::FailMode::Continue
+    } else {
+        shill::kernel::FailMode::Abort
+    };
+    let mut b = DagBuilder::new(fail_mode);
+    for _ in 0..2 + rng.below(ENTRIES_PER_BATCH) {
+        match rng.below(12) {
+            0 | 1 => {
+                b.read_only(BatchEntry::Stat {
+                    dirfd: None,
+                    path: arb_path(rng),
+                    follow: rng.flag(),
+                });
+            }
+            2 | 3 => {
+                b.read_only(BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: arb_path(rng),
+                });
+            }
+            4 => {
+                let slot = b.fd_table_op(BatchEntry::Open {
+                    dirfd: None,
+                    path: arb_path(rng),
+                    flags: OpenFlags::RDONLY,
+                    mode: Mode(0),
+                });
+                b.open_slots.push(slot);
+            }
+            5 | 6 if !b.open_slots.is_empty() => {
+                // Read through an in-batch descriptor (moves its offset:
+                // chained per descriptor). The open may have failed (denied
+                // path) — then this slot is poisoned, in both modes.
+                let producer = b.open_slots[rng.below(b.open_slots.len())];
+                let slot = b.read_only(BatchEntry::Read {
+                    fd: BatchFd::FromEntry(producer),
+                    len: 1 + rng.below(24),
+                });
+                b.uses_fd(slot, producer);
+                b.data_slots.push(slot);
+            }
+            7 if !b.open_slots.is_empty() => {
+                let idx = rng.below(b.open_slots.len());
+                let producer = b.open_slots.swap_remove(idx);
+                let slot = b.fd_table_op(BatchEntry::Close {
+                    fd: BatchFd::FromEntry(producer),
+                });
+                b.uses_fd(slot, producer);
+            }
+            8 => {
+                b.read_only(BatchEntry::Pread {
+                    fd: fds[0].into(),
+                    offset: rng.below(8) as u64,
+                    len: 1 + rng.below(16),
+                });
+            }
+            9 => {
+                // Content mutation through a fixture descriptor: barrier
+                // (paths may read the same file).
+                b.barrier(BatchEntry::Write {
+                    fd: fds[1].into(),
+                    data: vec![b'z'; 1 + rng.below(24)].into(),
+                });
+            }
+            10 => {
+                // Create/overwrite, possibly consuming earlier read data
+                // through a slot reference. Namespace mutation: barrier.
+                let data: BatchArg = if !b.data_slots.is_empty() && rng.flag() {
+                    BatchArg::OutputOf(b.data_slots[rng.below(b.data_slots.len())])
+                } else {
+                    vec![b'x'; 1 + rng.below(48)].into()
+                };
+                b.barrier(BatchEntry::WriteFile {
+                    dirfd: None,
+                    path: format!("/data/pub/inner/w{}", rng.below(3)),
+                    data,
+                    mode: Mode::FILE_DEFAULT,
+                    append: rng.flag(),
+                });
+            }
+            _ => {
+                b.barrier(BatchEntry::Unlink {
+                    dirfd: None,
+                    path: format!("/data/pub/inner/w{}", rng.below(3)),
+                    remove_dir: false,
+                });
+            }
+        }
+    }
+    b.batch
+}
+
+/// The DAG property suite (ISSUE 4 acceptance): scheduled out-of-order
+/// execution vs the sequential oracle on random dependency DAGs, in both
+/// cache modes — identical per-slot results, identical denial *sets* (the
+/// order of independent entries' denials is legitimately schedule-
+/// dependent), and identical cache/check counters.
+#[test]
+fn random_dags_scheduled_equivalent_to_sequential() {
+    let mut total_reorders = 0u64;
+    for cached in [true, false] {
+        set_scenario_cache_mode(cached);
+        let mut rng = Rng::new(0xDA6_5EED);
+        for case in 0..24 {
+            let mut scheduled = build_fixture(cached);
+            let mut sequential = build_fixture(cached);
+            scheduled.k.stats.reset();
+            sequential.k.stats.reset();
+            let (mut expected_executed, mut expected_cancelled) = (0u64, 0u64);
+            for round in 0..3 {
+                let batch = arb_dag_batch(&mut rng, &scheduled.fds);
+                let completions = scheduled
+                    .k
+                    .submit_scheduled(scheduled.child, &batch)
+                    .expect("scheduled");
+                let sch = completions_to_slots(batch.entries.len(), &completions);
+                let seq = sequential
+                    .k
+                    .run_sequential(sequential.child, &batch)
+                    .expect("sequential");
+                // Descriptor *numbers* are compared modulo renaming: the
+                // fd allocator is a monotonic counter, so an `Open`'s
+                // number shifts with execution order (transient fused
+                // opens allocate too). Nothing else observable depends on
+                // it — in-batch consumers use slot references.
+                let fp = |r: &Result<BatchOut, shill::vfs::Errno>| match r {
+                    Ok(BatchOut::Fd(_)) => "fd".to_string(),
+                    other => fingerprint(other),
+                };
+                assert_eq!(
+                    sch.iter().map(fp).collect::<Vec<_>>(),
+                    seq.iter().map(fp).collect::<Vec<_>>(),
+                    "case {case} round {round} (cached={cached}): DAG scheduled \
+                     diverged for {batch:?}"
+                );
+                for r in &sch {
+                    if *r == Err(shill::vfs::Errno::ECANCELED) {
+                        expected_cancelled += 1;
+                    } else {
+                        expected_executed += 1;
+                    }
+                }
+            }
+            let mut sch_denials = denial_fingerprint(&scheduled.policy);
+            let mut seq_denials = denial_fingerprint(&sequential.policy);
+            sch_denials.sort();
+            seq_denials.sort();
+            assert_eq!(
+                sch_denials, seq_denials,
+                "case {case} (cached={cached}): DAG denial sets diverged"
+            );
+            let b = scheduled.k.stats.snapshot();
+            let s = sequential.k.stats.snapshot();
+            let ctxt = format!("DAG case {case} cached={cached}");
+            assert_eq!(b.syscalls, s.syscalls, "{ctxt}: syscalls");
+            assert_eq!(b.lookups, s.lookups, "{ctxt}: lookups");
+            assert_eq!(
+                b.mac_vnode_checks, s.mac_vnode_checks,
+                "{ctxt}: policy-reaching vnode checks"
+            );
+            assert_eq!(b.dcache_hits, s.dcache_hits, "{ctxt}: dcache hits");
+            assert_eq!(b.dcache_misses, s.dcache_misses, "{ctxt}: dcache misses");
+            assert_eq!(b.dcache_neg_hits, s.dcache_neg_hits, "{ctxt}: neg hits");
+            assert_eq!(b.dir_scans, s.dir_scans, "{ctxt}: dir scans");
+            assert_eq!(b.avc_hits, s.avc_hits, "{ctxt}: avc hits");
+            assert_eq!(b.avc_misses, s.avc_misses, "{ctxt}: avc misses");
+            assert_eq!(b.slot_links, s.slot_links, "{ctxt}: slot links");
+            // Cancelled slots never count as executed; the cone counter
+            // books exactly the ECANCELED slots.
+            assert_eq!(b.batch_entries, expected_executed, "{ctxt}: executed");
+            assert_eq!(
+                b.sched_cancelled_cone, expected_cancelled,
+                "{ctxt}: cancellations"
+            );
+            total_reorders += b.sched_reorders;
+        }
+    }
+    assert!(
+        total_reorders > 0,
+        "the DAG suite must actually exercise out-of-order execution"
+    );
+    set_scenario_cache_mode(true);
+}
+
+/// ISSUE 4 acceptance: a copy pipeline — open→read→write→close — completes
+/// in ONE submission via slot references, with the read's bytes flowing to
+/// the write in-kernel.
+#[test]
+fn copy_pipeline_completes_in_one_submission() {
+    let mut f = build_fixture(true);
+    f.k.stats.reset();
+    let batch = SyscallBatch::aborting(vec![
+        BatchEntry::Open {
+            dirfd: None,
+            path: "/data/pub/note.txt".into(),
+            flags: OpenFlags::RDONLY,
+            mode: Mode(0),
+        },
+        BatchEntry::Read {
+            fd: BatchFd::FromEntry(0),
+            len: 4096,
+        },
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: "/data/pub/inner/note-copy".into(),
+            data: BatchArg::OutputOf(1),
+            mode: Mode::FILE_DEFAULT,
+            append: false,
+        },
+        BatchEntry::Close {
+            fd: BatchFd::FromEntry(0),
+        },
+    ])
+    .after(3, 1);
+    let out = completions_to_slots(4, &f.k.submit_scheduled(f.child, &batch).unwrap());
+    assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
+    let st = f.k.stats.snapshot();
+    assert_eq!(st.batches, 1, "one kernel submission for the whole copy");
+    assert_eq!(st.slot_links, 3, "fd→read, fd→close, data→write");
+    assert!(st.sched_waves >= 3, "pipeline executed as dependency waves");
+    let copied =
+        f.k.submit_single(
+            f.child,
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/data/pub/inner/note-copy".into(),
+            },
+        )
+        .unwrap();
+    assert_eq!(copied, BatchOut::Data(b"note".to_vec()));
+}
+
+/// ISSUE 4 satellite: scheduled-mode `ECANCELED` slots carry identical
+/// `BatchSpan` accounting (executed/failed/cancelled, per-entry outcomes,
+/// per-wave split) and `batch_entries` semantics as the in-order abort
+/// path — span parity between `submit_batch` and `submit_scheduled` twins.
+#[test]
+fn scheduled_and_in_order_spans_are_in_parity() {
+    let make_batch = || {
+        // Failing read (denied) with a data dependent and a transitive
+        // dependent; an independent stat survives the abort.
+        SyscallBatch::aborting(vec![
+            BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/data/secret/key".into(), // denied: EACCES
+            },
+            BatchEntry::WriteFile {
+                dirfd: None,
+                path: "/data/pub/inner/never".into(),
+                data: BatchArg::OutputOf(0),
+                mode: Mode::FILE_DEFAULT,
+                append: false,
+            },
+            BatchEntry::Stat {
+                dirfd: None,
+                path: "/data/pub/inner/never".into(),
+                follow: true,
+            },
+            BatchEntry::Stat {
+                dirfd: None,
+                path: "/data/pub/note.txt".into(),
+                follow: true,
+            },
+        ])
+        .after(2, 1)
+    };
+    let span_of = |policy: &ShillPolicy| -> LogEvent {
+        policy
+            .log_events()
+            .iter()
+            .find(|e| matches!(e, LogEvent::BatchSpan { .. }))
+            .expect("span present")
+            .clone()
+    };
+
+    let mut in_order = build_fixture(true);
+    in_order.policy.enable_logging(true);
+    in_order.k.stats.reset();
+    let a = in_order
+        .k
+        .submit_batch(in_order.child, &make_batch())
+        .unwrap();
+
+    let mut scheduled = build_fixture(true);
+    scheduled.policy.enable_logging(true);
+    scheduled.k.stats.reset();
+    let b = completions_to_slots(
+        4,
+        &scheduled
+            .k
+            .submit_scheduled(scheduled.child, &make_batch())
+            .unwrap(),
+    );
+    assert_eq!(a, b, "results identical across execution strategies");
+    assert_eq!(a[1], Err(shill::vfs::Errno::ECANCELED));
+    assert_eq!(a[2], Err(shill::vfs::Errno::ECANCELED), "transitive cone");
+    assert!(a[3].is_ok(), "independent entry survives");
+
+    let span_a = span_of(&in_order.policy);
+    let span_b = span_of(&scheduled.policy);
+    let (LogEvent::BatchSpan { session: sa, .. }, LogEvent::BatchSpan { session: sb, .. }) =
+        (&span_a, &span_b)
+    else {
+        unreachable!()
+    };
+    assert_eq!(sa, sb, "twin sessions line up");
+    assert_eq!(span_a, span_b, "identical spans, per-wave split included");
+    let LogEvent::BatchSpan {
+        executed,
+        failed,
+        cancelled,
+        waves,
+        ..
+    } = span_a
+    else {
+        unreachable!()
+    };
+    assert_eq!(executed, 2);
+    assert_eq!(failed, 1, "only the denied read is a failure");
+    assert_eq!(cancelled, 2, "the cone, not every later entry");
+    assert_eq!(waves.len(), 3, "read+stat wave, write wave, stat wave");
+    assert_eq!(
+        in_order.k.stats.snapshot().batch_entries,
+        scheduled.k.stats.snapshot().batch_entries,
+        "cancelled entries never count as executed in either strategy"
+    );
 }

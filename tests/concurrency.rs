@@ -214,7 +214,7 @@ fn session_batches(i: usize, fds: &[Fd]) -> Vec<SyscallBatch> {
                     3 => BatchEntry::WriteFile {
                         dirfd: None,
                         path: format!("/data/t{i}/inner/w{}", rng.below(3)),
-                        data: vec![b'x'; 1 + rng.below(48)],
+                        data: vec![b'x'; 1 + rng.below(48)].into(),
                         mode: Mode::FILE_DEFAULT,
                         append: rng.flag(),
                     },
@@ -224,13 +224,13 @@ fn session_batches(i: usize, fds: &[Fd]) -> Vec<SyscallBatch> {
                         remove_dir: false,
                     },
                     5 => BatchEntry::Pread {
-                        fd: fds[0],
+                        fd: fds[0].into(),
                         offset: rng.below(4) as u64,
                         len: 1 + rng.below(16),
                     },
-                    6 => BatchEntry::ReadDir { fd: fds[2] },
+                    6 => BatchEntry::ReadDir { fd: fds[2].into() },
                     _ => BatchEntry::Fstat {
-                        fd: fds[rng.below(3)],
+                        fd: fds[rng.below(3)].into(),
                     },
                 })
                 .collect();
@@ -392,4 +392,180 @@ fn threaded_outcomes_identical_across_cache_modes() {
         on_denials, off_denials,
         "cache mode changed threaded denials"
     );
+}
+
+// ===================================================================
+// ISSUE 4: the BatchPool — scheduled batches from different sessions on
+// worker threads that acquire the kernel per dependency wave — must
+// preserve the same per-session equivalence as the per-session-thread
+// executor, with waves of different submissions interleaving freely.
+// ===================================================================
+
+use shill::kernel::{completions_to_slots, BatchArg, BatchFd};
+use shill::sandbox::{BatchJob, BatchPool};
+
+/// The deterministic fused-pipeline job each session submits per round:
+/// open → read → write-copy → close, plus a denied probe of the
+/// neighbour's subtree (exercising denials under wave interleaving).
+fn session_pipeline(i: usize, round: usize) -> SyscallBatch {
+    SyscallBatch::aborting(vec![
+        BatchEntry::Open {
+            dirfd: None,
+            path: format!("/data/t{i}/inner/f{}", round % 3),
+            flags: OpenFlags::RDONLY,
+            mode: Mode(0),
+        },
+        BatchEntry::Read {
+            fd: BatchFd::FromEntry(0),
+            len: 64,
+        },
+        BatchEntry::WriteFile {
+            dirfd: None,
+            path: format!("/data/t{i}/inner/copy{round}"),
+            data: BatchArg::OutputOf(1),
+            mode: Mode::FILE_DEFAULT,
+            append: false,
+        },
+        BatchEntry::Close {
+            fd: BatchFd::FromEntry(0),
+        },
+    ])
+    .after(3, 1)
+}
+
+fn neighbour_probe(i: usize) -> SyscallBatch {
+    SyscallBatch::single(BatchEntry::ReadFile {
+        dirfd: None,
+        path: format!("/data/x{i}/key"),
+    })
+}
+
+/// Pool execution vs sequential replay: per-session results and denial
+/// sequences must match exactly (fd numbers excluded — descriptor
+/// allocation order under interleaved waves is legitimately different).
+#[test]
+fn batch_pool_matches_sequential_replay() {
+    for cached in [true, false] {
+        let (kernel_a, policy_a, fixtures_a) = build_kernel(cached);
+        let (mut kernel_b, policy_b, fixtures_b) = build_kernel(cached);
+        for (a, b) in fixtures_a.iter().zip(&fixtures_b) {
+            assert_eq!(a.session, b.session);
+        }
+        let shared = SharedKernel::new(kernel_a);
+        let pool = BatchPool::new(4);
+        let mut pool_results: Vec<Vec<String>> = vec![Vec::new(); SESSIONS];
+
+        // Each round submits one pipeline + one denied probe per session
+        // through the pool; a session's rounds stay ordered (its own
+        // subtree mutations must not race), different sessions' waves
+        // interleave inside each round.
+        for round in 0..ROUNDS {
+            let jobs: Vec<BatchJob> = fixtures_a
+                .iter()
+                .enumerate()
+                .flat_map(|(i, fx)| {
+                    [
+                        BatchJob {
+                            pid: fx.child,
+                            batch: session_pipeline(i, round),
+                        },
+                        BatchJob {
+                            pid: fx.child,
+                            batch: neighbour_probe(i),
+                        },
+                    ]
+                })
+                .collect();
+            let outs = pool.run(&shared, jobs);
+            for (j, out) in outs.into_iter().enumerate() {
+                let session = j / 2;
+                let n = if j % 2 == 0 { 4 } else { 1 };
+                let slots = completions_to_slots(n, &out.expect("pool job"));
+                pool_results[session].extend(slots.iter().map(fingerprint));
+            }
+        }
+        assert!(
+            !shared.with(|k| k.batch_in_flight()),
+            "no batch state may leak past the pool"
+        );
+
+        // Sequential replay of the identical per-session job streams.
+        let mut seq_results: Vec<Vec<String>> = vec![Vec::new(); SESSIONS];
+        for round in 0..ROUNDS {
+            for (i, fx) in fixtures_b.iter().enumerate() {
+                for batch in [session_pipeline(i, round), neighbour_probe(i)] {
+                    let out = kernel_b.run_sequential(fx.child, &batch).expect("seq");
+                    seq_results[i].extend(out.iter().map(fingerprint));
+                }
+            }
+        }
+        for i in 0..SESSIONS {
+            assert_eq!(
+                pool_results[i], seq_results[i],
+                "session {i} (cached={cached}): pool execution diverged from \
+                 sequential replay"
+            );
+            assert_eq!(
+                session_denials(&policy_a, fixtures_a[i].session),
+                session_denials(&policy_b, fixtures_b[i].session),
+                "session {i} (cached={cached}): pool denials diverged"
+            );
+        }
+    }
+}
+
+/// The pool must also be equivalent for the random *flat* batch streams
+/// the per-session-thread suites use — one job per batch, per-session
+/// order preserved by submitting each session's rounds as successive
+/// pool runs.
+#[test]
+fn batch_pool_random_flat_batches_match_sequential_replay() {
+    let (kernel_a, policy_a, fixtures_a) = build_kernel(true);
+    let (mut kernel_b, policy_b, fixtures_b) = build_kernel(true);
+    let shared = SharedKernel::new(kernel_a);
+    let pool = BatchPool::new(4);
+    let all_batches: Vec<Vec<SyscallBatch>> = fixtures_a
+        .iter()
+        .enumerate()
+        .map(|(i, fx)| session_batches(i, &fx.fds))
+        .collect();
+
+    let mut pool_results: Vec<Vec<String>> = vec![Vec::new(); SESSIONS];
+    for round in 0..ROUNDS {
+        let jobs: Vec<BatchJob> = fixtures_a
+            .iter()
+            .zip(&all_batches)
+            .map(|(fx, batches)| BatchJob {
+                pid: fx.child,
+                batch: batches[round].clone(),
+            })
+            .collect();
+        let outs = pool.run(&shared, jobs);
+        for (i, out) in outs.into_iter().enumerate() {
+            let n = all_batches[i][round].entries.len();
+            let slots = completions_to_slots(n, &out.expect("pool job"));
+            pool_results[i].extend(slots.iter().map(fingerprint));
+        }
+    }
+
+    // Sessions are confined to disjoint subtrees, so session-major replay
+    // order is equivalent to round-major.
+    let mut seq_results: Vec<Vec<String>> = vec![Vec::new(); SESSIONS];
+    for (i, fx) in fixtures_b.iter().enumerate() {
+        for batch in &all_batches[i] {
+            let out = kernel_b.run_sequential(fx.child, batch).expect("seq");
+            seq_results[i].extend(out.iter().map(fingerprint));
+        }
+    }
+    for i in 0..SESSIONS {
+        assert_eq!(
+            pool_results[i], seq_results[i],
+            "session {i}: pooled flat batches diverged from sequential replay"
+        );
+        assert_eq!(
+            session_denials(&policy_a, fixtures_a[i].session),
+            session_denials(&policy_b, fixtures_b[i].session),
+            "session {i}: pooled flat-batch denials diverged"
+        );
+    }
 }
