@@ -161,75 +161,140 @@ impl From<&[u8]> for BatchArg {
 pub enum BatchEntry {
     /// `openat` → [`BatchOut::Fd`].
     Open {
+        /// Base directory for relative paths (`None` = cwd).
         dirfd: Option<BatchFd>,
+        /// Path to open, resolved like `openat`.
         path: String,
+        /// Open flags (`RDONLY`, `creat_trunc_w`, …).
         flags: OpenFlags,
+        /// Creation mode when the flags create.
         mode: Mode,
     },
     /// `close` → [`BatchOut::Unit`].
-    Close { fd: BatchFd },
+    Close {
+        /// Descriptor to close.
+        fd: BatchFd,
+    },
     /// `read` at the descriptor offset → [`BatchOut::Data`].
-    Read { fd: BatchFd, len: usize },
+    Read {
+        /// Descriptor to read from.
+        fd: BatchFd,
+        /// Maximum bytes to read.
+        len: usize,
+    },
     /// Positional `pread` → [`BatchOut::Data`].
     Pread {
+        /// Descriptor to read from.
         fd: BatchFd,
+        /// File offset to read at (descriptor offset unchanged).
         offset: u64,
+        /// Maximum bytes to read.
         len: usize,
     },
     /// Vectored read at the descriptor offset: one chunk per len, stopping
     /// at EOF → [`BatchOut::Data`] (concatenated).
-    Readv { fd: BatchFd, lens: Vec<usize> },
+    Readv {
+        /// Descriptor to read from.
+        fd: BatchFd,
+        /// Chunk lengths, one read per element.
+        lens: Vec<usize>,
+    },
     /// Vectored positional read → [`BatchOut::Data`] (concatenated).
     Preadv {
+        /// Descriptor to read from.
         fd: BatchFd,
+        /// Starting file offset.
         offset: u64,
+        /// Chunk lengths, one read per element.
         lens: Vec<usize>,
     },
     /// `write` at the descriptor offset → [`BatchOut::Written`].
-    Write { fd: BatchFd, data: BatchArg },
+    Write {
+        /// Descriptor to write to.
+        fd: BatchFd,
+        /// Bytes to write (literal or slot reference).
+        data: BatchArg,
+    },
     /// Positional `pwrite` → [`BatchOut::Written`].
     Pwrite {
+        /// Descriptor to write to.
         fd: BatchFd,
+        /// File offset to write at (descriptor offset unchanged).
         offset: u64,
+        /// Bytes to write (literal or slot reference).
         data: BatchArg,
     },
     /// Vectored write at the descriptor offset → [`BatchOut::Written`]
     /// (total).
-    Writev { fd: BatchFd, bufs: Vec<Vec<u8>> },
+    Writev {
+        /// Descriptor to write to.
+        fd: BatchFd,
+        /// Buffers written back to back.
+        bufs: Vec<Vec<u8>>,
+    },
     /// Append regardless of offset → [`BatchOut::Written`].
-    Append { fd: BatchFd, data: BatchArg },
+    Append {
+        /// Descriptor to append through.
+        fd: BatchFd,
+        /// Bytes to append (literal or slot reference).
+        data: BatchArg,
+    },
     /// `ftruncate` → [`BatchOut::Unit`].
-    Ftruncate { fd: BatchFd, len: u64 },
+    Ftruncate {
+        /// Descriptor whose file is truncated.
+        fd: BatchFd,
+        /// New length.
+        len: u64,
+    },
     /// `fstat` → [`BatchOut::Stat`].
-    Fstat { fd: BatchFd },
+    Fstat {
+        /// Descriptor to stat.
+        fd: BatchFd,
+    },
     /// `fstatat` → [`BatchOut::Stat`].
     Stat {
+        /// Base directory for relative paths (`None` = cwd).
         dirfd: Option<BatchFd>,
+        /// Path to stat.
         path: String,
+        /// Whether a trailing symlink is followed.
         follow: bool,
     },
     /// `getdirentries` on an open directory → [`BatchOut::Names`].
-    ReadDir { fd: BatchFd },
+    ReadDir {
+        /// Open directory descriptor.
+        fd: BatchFd,
+    },
     /// Fused open→read-to-EOF→close → [`BatchOut::Data`]. One entry instead
     /// of N+2 calls; every per-chunk MAC `Read` check still fires.
     ReadFile {
+        /// Base directory for relative paths (`None` = cwd).
         dirfd: Option<BatchFd>,
+        /// Path of the file to slurp.
         path: String,
     },
     /// Fused open(create)→write→close → [`BatchOut::Written`]. With
     /// `append`, opens append-mode (creating if missing) instead of
     /// truncating.
     WriteFile {
+        /// Base directory for relative paths (`None` = cwd).
         dirfd: Option<BatchFd>,
+        /// Path of the file to write.
         path: String,
+        /// Bytes to write (literal or slot reference).
         data: BatchArg,
+        /// Creation mode when the file is created.
         mode: Mode,
+        /// Append instead of truncate.
         append: bool,
     },
     /// `unlinkat` → [`BatchOut::Unit`].
     Unlink {
+        /// Base directory for relative paths (`None` = cwd).
         dirfd: Option<BatchFd>,
+        /// Path to remove.
         path: String,
+        /// Remove a directory (`rmdir` semantics) instead of a file.
         remove_dir: bool,
     },
 }
@@ -294,11 +359,17 @@ impl BatchEntry {
 /// Per-entry result payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchOut {
+    /// Side-effect-only entry completed (close, truncate, unlink).
     Unit,
+    /// Descriptor produced by an `Open` entry.
     Fd(Fd),
+    /// Bytes produced by a read-class entry.
     Data(Vec<u8>),
+    /// Byte count produced by a write-class entry.
     Written(usize),
+    /// Metadata produced by a stat-class entry.
     Stat(Stat),
+    /// Directory entry names produced by `ReadDir`.
     Names(Vec<String>),
 }
 
@@ -330,9 +401,49 @@ impl BatchOut {
 
 /// An ordered sequence of entries submitted as one kernel crossing, plus
 /// the dependency edges that constrain out-of-order execution.
+///
+/// # Examples
+///
+/// Slot references fuse a whole open→read→copy pipeline into one
+/// submission: [`BatchFd::FromEntry`] names the descriptor an earlier
+/// `Open` produced, [`BatchArg::OutputOf`] the bytes an earlier read
+/// produced, and neither the descriptor nor the payload ever surfaces to
+/// the submitter. The explicit [`SyscallBatch::after`] edge keeps the
+/// close behind the read (two users of one descriptor — a conflict the
+/// kernel cannot infer from the references alone):
+///
+/// ```
+/// use shill_kernel::{BatchArg, BatchEntry, BatchFd, BatchOut, Kernel, OpenFlags, SyscallBatch};
+/// use shill_vfs::{Cred, Mode};
+///
+/// let mut k = Kernel::new();
+/// k.fs.put_file("/tmp/src", b"payload", Mode(0o644),
+///               shill_vfs::Uid::ROOT, shill_vfs::Gid::WHEEL).unwrap();
+/// let pid = k.spawn_user(Cred::ROOT);
+///
+/// let mut batch = SyscallBatch::new(Vec::new());
+/// let open = batch.push(BatchEntry::Open {
+///     dirfd: None, path: "/tmp/src".into(), flags: OpenFlags::RDONLY, mode: Mode(0),
+/// });
+/// let read = batch.push(BatchEntry::Read { fd: BatchFd::FromEntry(open), len: 64 });
+/// let copy = batch.push(BatchEntry::WriteFile {
+///     dirfd: None, path: "/tmp/dst".into(), data: BatchArg::OutputOf(read),
+///     mode: Mode(0o644), append: false,
+/// });
+/// let close = batch.push(BatchEntry::Close { fd: BatchFd::FromEntry(open) });
+/// let batch = batch.after(close, read);
+///
+/// // One kernel crossing; the scheduler may run `copy` and `close` in
+/// // either order (they conflict with nothing unordered).
+/// let out = k.submit_batch(pid, &batch).unwrap();
+/// assert_eq!(out[read], Ok(BatchOut::Data(b"payload".to_vec())));
+/// assert_eq!(out[copy], Ok(BatchOut::Written(7)));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SyscallBatch {
+    /// The operations, in submission (slot) order.
     pub entries: Vec<BatchEntry>,
+    /// What happens to dependents when an entry fails.
     pub fail_mode: FailMode,
     /// Explicit ordering edges as `(entry, depends_on)` pairs with
     /// `depends_on < entry`. Slot references add data edges implicitly;
@@ -342,6 +453,7 @@ pub struct SyscallBatch {
 }
 
 impl SyscallBatch {
+    /// A batch of independent entries ([`FailMode::Continue`], no edges).
     pub fn new(entries: Vec<BatchEntry>) -> SyscallBatch {
         SyscallBatch {
             entries,
@@ -350,10 +462,12 @@ impl SyscallBatch {
         }
     }
 
+    /// A one-entry batch (the fused-entry convenience shape).
     pub fn single(entry: BatchEntry) -> SyscallBatch {
         SyscallBatch::new(vec![entry])
     }
 
+    /// A batch with `&&`-chain failure semantics ([`FailMode::Abort`]).
     pub fn aborting(entries: Vec<BatchEntry>) -> SyscallBatch {
         SyscallBatch {
             entries,
@@ -387,9 +501,13 @@ impl SyscallBatch {
 /// replaying the `post_lookup` propagation notification).
 #[derive(Debug, Clone)]
 pub struct PrefixStep {
+    /// Directory the component was looked up in.
     pub dir: NodeId,
+    /// `dir`'s dcache generation observed by the original walk.
     pub gen: u64,
+    /// The component name.
     pub name: String,
+    /// What the lookup resolved to.
     pub child: NodeId,
 }
 
@@ -401,13 +519,16 @@ pub struct PrefixHit {
     pub parent: NodeId,
     /// MAC combined epoch at resolution time.
     pub epoch: u64,
+    /// Every directory step the walk took (revalidated on reuse).
     pub steps: Vec<PrefixStep>,
 }
 
 /// Walk-time recording used to build a [`PrefixHit`].
 #[derive(Debug, Default)]
 pub struct PrefixTrace {
+    /// Directory steps recorded while walking the dirname.
     pub steps: Vec<PrefixStep>,
+    /// The directory containing the final component, once resolved.
     pub parent_of_last: Option<NodeId>,
     /// Set when the prefix traversed a symlink: such resolutions are never
     /// cached (the generation fence does not cover link targets).

@@ -64,6 +64,9 @@ pub struct Kernel {
     /// Installed and cleared exclusively through the batch drop-guard so
     /// an unwind mid-batch can never leave it populated.
     pub(crate) batch: Option<BatchState>,
+    /// Which shard of a [`crate::shard::KernelShards`] this kernel is (0
+    /// for a standalone kernel). Determines the id-space offsets below.
+    shard: usize,
     next_pid: u32,
     rng: u64,
 }
@@ -78,7 +81,35 @@ impl Kernel {
     /// A kernel with a root filesystem containing `/dev/{null,zero,tty,random}`,
     /// `/tmp`, and an `init` process (pid 1, root, cwd `/`).
     pub fn new() -> Kernel {
-        let mut fs = Filesystem::new();
+        Kernel::new_shard(0)
+    }
+
+    /// A kernel for shard `shard` of a [`crate::shard::KernelShards`]: same
+    /// contents as [`Kernel::new`], but every id allocator (pids, vnode ids,
+    /// pipe ids, socket ids) starts at the shard's stride offset. Shards
+    /// share one MAC policy module whose labels are keyed by pid and object
+    /// id, so the id spaces must be disjoint — a grant on shard 0's
+    /// `vnode#7` must never alias shard 1's `vnode#7`. The one deliberate
+    /// exception is `init` (pid 1), which exists per shard: it never joins
+    /// a session and is never granted capabilities, so policy-side aliasing
+    /// is harmless. `new_shard(0)` is identical to `new()`.
+    ///
+    /// # Panics
+    ///
+    /// If `shard >= MAX_SHARDS`. The cap is a sanity bound enforced here
+    /// because this constructor is public on its own (`KernelShards`
+    /// clamps separately); the hard arithmetic limit is further out — at
+    /// shard 4096 the pid-stride product overflows `u32` and would
+    /// silently alias shard 0's pid space — so anyone raising
+    /// `MAX_SHARDS` must keep it below `u32::MAX / SHARD_PID_STRIDE`.
+    pub fn new_shard(shard: usize) -> Kernel {
+        assert!(
+            shard < crate::shard::MAX_SHARDS,
+            "shard index {shard} exceeds MAX_SHARDS ({}): the pid stride would alias",
+            crate::shard::MAX_SHARDS
+        );
+        let obj_base = shard as u64 * crate::shard::SHARD_OBJ_STRIDE;
+        let mut fs = Filesystem::with_id_base(obj_base);
         let root = fs.root();
         let dev = fs
             .create_dir(
@@ -117,8 +148,8 @@ impl Kernel {
 
         Kernel {
             fs,
-            pipes: PipeTable::new(),
-            net: NetStack::new(),
+            pipes: PipeTable::with_id_base(obj_base),
+            net: NetStack::with_id_base(obj_base),
             stats: KernelStats::default(),
             console: Vec::new(),
             procs,
@@ -128,9 +159,15 @@ impl Kernel {
             sysctls,
             kenv: HashMap::new(),
             batch: None,
-            next_pid: 1,
+            shard,
+            next_pid: shard as u32 * crate::shard::SHARD_PID_STRIDE + 1,
             rng: 0x9E3779B97F4A7C15,
         }
+    }
+
+    /// Which shard this kernel is (0 for a standalone kernel).
+    pub fn shard_index(&self) -> usize {
+        self.shard
     }
 
     // --- policy / executable registries ---------------------------------
@@ -290,11 +327,27 @@ impl Kernel {
         Ok(())
     }
 
-    /// Create a fresh top-level user process (child of init) with the given
-    /// credentials; used by ambient scripts and test setup.
-    pub fn spawn_user(&mut self, cred: Cred) -> Pid {
+    /// Allocate the next pid, enforcing the shard stride the sharded
+    /// policy-label safety argument depends on: a shard that exhausts its
+    /// pid range must fail (`EAGAIN`, like real pid exhaustion) rather
+    /// than silently bleed into the next shard's range — a bled pid would
+    /// route to the wrong shard's lock *and* could alias a live pid there
+    /// in the shared policy's pid-keyed session/label maps.
+    fn alloc_pid(&mut self) -> SysResult<Pid> {
+        let base = self.shard as u32 * crate::shard::SHARD_PID_STRIDE;
+        if self.next_pid - base >= crate::shard::SHARD_PID_STRIDE - 1 {
+            return Err(Errno::EAGAIN);
+        }
         self.next_pid += 1;
-        let pid = Pid(self.next_pid);
+        Ok(Pid(self.next_pid))
+    }
+
+    /// Create a fresh top-level user process (child of init) with the given
+    /// credentials; used by ambient scripts and test setup. Panics if the
+    /// shard's pid space (2^20 lifetime pids) is exhausted — fallible
+    /// allocation is [`Kernel::fork`]'s `EAGAIN`.
+    pub fn spawn_user(&mut self, cred: Cred) -> Pid {
+        let pid = self.alloc_pid().expect("shard pid space exhausted");
         let root = self.fs.root();
         self.procs
             .insert(pid, Process::new(pid, Pid(1), cred, root));
@@ -322,8 +375,7 @@ impl Kernel {
             }
             (p.cred, p.cwd, p.ulimits, p.fds.clone())
         };
-        self.next_pid += 1;
-        let pid = Pid(self.next_pid);
+        let pid = self.alloc_pid()?;
         let mut child = Process::new(pid, parent, cred, cwd);
         child.ulimits = ulimits;
         for (fd, of) in fds {
@@ -1102,6 +1154,19 @@ mod tests {
         let c = k.fork(u).unwrap();
         k.kill(u, c).unwrap();
         assert_eq!(k.waitpid(u, c).unwrap(), -9);
+    }
+
+    #[test]
+    fn pid_allocation_never_bleeds_into_the_next_shard_stride() {
+        let mut k = Kernel::new_shard(1);
+        // Fast-forward the allocator to the end of shard 1's range: the
+        // last in-range pid is handed out, then allocation fails with
+        // EAGAIN instead of bleeding into shard 2's stride (which would
+        // misroute the pid and could alias shard 2's policy labels).
+        k.next_pid = 2 * crate::shard::SHARD_PID_STRIDE - 2;
+        let u = k.spawn_user(Cred::user(100));
+        assert_eq!(u.0, 2 * crate::shard::SHARD_PID_STRIDE - 1);
+        assert_eq!(k.fork(u).unwrap_err(), Errno::EAGAIN);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! `shill-sandbox` crate; this crate is policy-agnostic.
 
 pub mod avc;
+#[warn(missing_docs)]
 pub mod batch;
 pub mod kernel;
 pub mod mac;
@@ -18,7 +19,10 @@ pub mod net;
 pub mod pipe;
 pub mod process;
 pub mod registry;
+#[warn(missing_docs)]
 pub mod sched;
+#[warn(missing_docs)]
+pub mod shard;
 pub mod stats;
 pub mod syscalls;
 pub mod types;
@@ -31,6 +35,10 @@ pub use net::{InjConnId, RemoteHandler};
 pub use process::{FdObject, OpenFile, ProcState, Process};
 pub use registry::PolicyRegistry;
 pub use sched::{completions_to_slots, BatchDag, Completion, ScheduledRun};
+pub use shard::{
+    shard_count_from_env, KernelShards, MAX_SHARDS, SHARD_OBJ_STRIDE, SHARD_PID_STRIDE,
+    SHILL_SHARDS_ENV,
+};
 pub use stats::{KernelStats, StatsSnapshot};
 pub use types::{
     Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits,

@@ -83,6 +83,16 @@ impl NetStack {
         NetStack::default()
     }
 
+    /// A stack allocating `SockId`s from `base` upward. Kernel shards use
+    /// disjoint bases so socket ids — which key shared MAC policy labels —
+    /// never alias across shards.
+    pub fn with_id_base(base: u64) -> NetStack {
+        NetStack {
+            next_sock: base,
+            ..NetStack::default()
+        }
+    }
+
     /// Register a simulated remote host at `addr`.
     pub fn register_remote(&mut self, addr: SockAddr, handler: RemoteHandler) {
         self.remotes.insert(addr, handler);

@@ -32,6 +32,16 @@ impl PipeTable {
         PipeTable::default()
     }
 
+    /// A table allocating `PipeId`s from `base` upward. Kernel shards use
+    /// disjoint bases so pipe ids — which key shared MAC policy labels —
+    /// never alias across shards.
+    pub fn with_id_base(base: u64) -> PipeTable {
+        PipeTable {
+            next: base,
+            ..PipeTable::default()
+        }
+    }
+
     /// Allocate a new pipe with one reader and one writer reference.
     pub fn create(&mut self) -> PipeId {
         self.next += 1;

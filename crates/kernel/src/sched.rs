@@ -76,7 +76,9 @@ use crate::types::Pid;
 /// entry never executed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
+    /// The submission slot (index into [`SyscallBatch::entries`]).
     pub slot: usize,
+    /// The slot's outcome (or `ECANCELED` for a poisoned slot).
     pub out: SysResult<BatchOut>,
 }
 

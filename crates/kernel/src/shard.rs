@@ -1,0 +1,553 @@
+//! Kernel sharding: N independent kernel instances behind per-shard locks,
+//! with sessions pinned to shards and epoch-fenced cross-shard
+//! invalidation through the shared MAC policy module.
+//!
+//! PR 3 made the kernel's hot state thread-safe and PR 4 let a worker pool
+//! acquire the kernel **per dependency wave** — but every wave of every
+//! session still serialized on the ONE `SharedKernel` lock, and
+//! `BENCH_concurrency.json` recorded the consequence: threaded/single
+//! ≈ 1.0×. This module is the sharding step the ROADMAP called for:
+//!
+//! * **[`KernelShards`]** owns `N` [`Kernel`]s, each behind its own lock.
+//!   Every shard owns its *entire* hot state: process table, filesystem
+//!   tree (and the per-shard dcache inside it), AVC, pipe and socket
+//!   tables, stats. Two sessions pinned to different shards share **no**
+//!   kernel lock and no kernel data structure — their syscalls genuinely
+//!   overlap on a multi-core box.
+//! * **Sessions are pinned to a shard** at launch: the sandbox executor
+//!   (`shill-sandbox`) runs the whole `fork`/`shill_init`/grant/
+//!   `shill_enter` choreography against one shard's kernel, and every pid
+//!   encodes its shard ([`KernelShards::shard_of`]) so later submissions
+//!   route without a table lookup.
+//! * **Id spaces are disjoint by construction.** Shards share one MAC
+//!   policy module (the `ShillPolicy`), whose labels are keyed by pid and
+//!   [`crate::types::ObjId`]. [`Kernel::new_shard`] therefore offsets every
+//!   id allocator by the shard's stride ([`SHARD_PID_STRIDE`],
+//!   [`SHARD_OBJ_STRIDE`]) so a grant on one shard's object can never alias
+//!   another shard's.
+//!
+//! ## Cross-shard invalidation
+//!
+//! The only state shards share is the policy module itself, and its
+//! invalidation channel is exactly the one PR 1 built: the policy's cache
+//! epoch (an `AtomicU64` read without any lock) feeds every shard's
+//! `combined_epoch`, so an authority-shrinking event performed while
+//! holding *any* shard's lock — or no kernel lock at all — is observed by
+//! *every* shard's AVC and batch prefix cache on its next probe. No
+//! cross-shard broadcast call is needed: epochs are validated at probe
+//! time, which is what makes shard-local waves safe to run concurrently
+//! with policy-state changes driven from other shards. Dcache generations
+//! stay shard-private (each shard has its own namespace tree, hence its
+//! own dcache).
+//!
+//! ## Rendezvous
+//!
+//! Operations that must be ordered against **every** shard's waves —
+//! policy attach/detach, cache-mode toggles, aggregate stats reads, and
+//! cross-shard batch jobs — pay an explicit rendezvous:
+//! [`KernelShards::rendezvous`] (all shards) or [`KernelShards::fenced`]
+//! (an explicit shard set) acquires the touched shard locks in **ascending
+//! shard order** (the deadlock-freedom discipline; there is no other
+//! multi-shard acquisition path) and runs the closure while all of them
+//! are held. A fenced scheduler wave is therefore totally ordered with
+//! respect to every wave of every touched shard. The price is exactly the
+//! serialization sharding removes, which is why the scheduler classifies
+//! waves shard-local (the overwhelming case: route straight to the pinned
+//! shard's lock) vs cross-shard (rendezvous), and why
+//! [`KernelShards::rendezvous_count`] is exposed for tests and benches to
+//! prove the fast path stays fast.
+//!
+//! See `docs/concurrency.md` for the written specification (lock order,
+//! pinning, epoch fencing, rendezvous protocol) these invariants are
+//! tested against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, MutexGuard};
+
+use shill_vfs::sync::Mutex;
+use shill_vfs::SysResult;
+
+use crate::batch::SyscallBatch;
+use crate::kernel::Kernel;
+use crate::mac::MacPolicy;
+use crate::sched::Completion;
+use crate::stats::StatsSnapshot;
+use crate::types::Pid;
+
+/// Pid-space stride between shards: shard `i` allocates pids from
+/// `i * SHARD_PID_STRIDE + 2` upward (pid 1 is each shard's `init`).
+/// `shard_of_pid` is a shift, not a table lookup.
+pub const SHARD_PID_STRIDE: u32 = 1 << 20;
+
+/// Object-id-space stride between shards: shard `i`'s vnode, pipe, and
+/// socket ids start at `i * SHARD_OBJ_STRIDE`. Disjoint ranges keep the
+/// shared policy module's labels from aliasing across shards.
+pub const SHARD_OBJ_STRIDE: u64 = 1 << 32;
+
+/// Hard cap on the shard count (the pid stride supports 4095; this is a
+/// sanity bound far above any sensible configuration).
+pub const MAX_SHARDS: usize = 1024;
+
+/// Environment knob the stress suites and benches read to pick a shard
+/// count (`SHILL_SHARDS=1,2,4` in CI).
+pub const SHILL_SHARDS_ENV: &str = "SHILL_SHARDS";
+
+/// The shard count requested via [`SHILL_SHARDS_ENV`], or `default` when
+/// unset/unparsable. Clamped to `1..=MAX_SHARDS`.
+pub fn shard_count_from_env(default: usize) -> usize {
+    std::env::var(SHILL_SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+        .clamp(1, MAX_SHARDS)
+}
+
+struct Inner {
+    shards: Vec<Mutex<Kernel>>,
+    /// Cross-shard fences paid so far ([`KernelShards::rendezvous`] and
+    /// [`KernelShards::fenced`] acquisitions spanning >1 shard).
+    rendezvous: AtomicU64,
+}
+
+/// `N` kernels behind per-shard locks. Cheaply cloneable (`Arc` inside);
+/// clones address the same shards. The single-shard form is exactly the
+/// PR 3 `SharedKernel` and behaves identically.
+///
+/// # Examples
+///
+/// Pids encode their shard, so submissions route without a table lookup:
+///
+/// ```
+/// use shill_kernel::KernelShards;
+/// use shill_vfs::Cred;
+///
+/// let shards = KernelShards::new(2);
+/// let pid = shards.with_shard(1, |k| k.spawn_user(Cred::ROOT));
+/// assert_eq!(shards.shard_of(pid), 1);
+/// // Shard-local crossings never touch another shard's lock:
+/// shards.with_pid(pid, |k| assert_eq!(k.shard_index(), 1));
+/// assert_eq!(shards.rendezvous_count(), 0);
+/// ```
+#[derive(Clone)]
+pub struct KernelShards {
+    inner: Arc<Inner>,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KernelShards>();
+};
+
+impl KernelShards {
+    /// Create `n` shards (at least one), each a fresh [`Kernel::new_shard`].
+    pub fn new(n: usize) -> KernelShards {
+        let n = n.clamp(1, MAX_SHARDS);
+        KernelShards {
+            inner: Arc::new(Inner {
+                shards: (0..n).map(|i| Mutex::new(Kernel::new_shard(i))).collect(),
+                rendezvous: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create `n` shards and run `init` on each before any lock is shared
+    /// (per-shard filesystem population, policy-free setup).
+    pub fn new_with(n: usize, mut init: impl FnMut(&mut Kernel, usize)) -> KernelShards {
+        let n = n.clamp(1, MAX_SHARDS);
+        KernelShards {
+            inner: Arc::new(Inner {
+                shards: (0..n)
+                    .map(|i| {
+                        let mut k = Kernel::new_shard(i);
+                        init(&mut k, i);
+                        Mutex::new(k)
+                    })
+                    .collect(),
+                rendezvous: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wrap an existing kernel as a single shard (the PR 3 `SharedKernel`
+    /// construction; the kernel keeps whatever state it already has).
+    pub fn from_kernel(kernel: Kernel) -> KernelShards {
+        KernelShards {
+            inner: Arc::new(Inner {
+                shards: vec![Mutex::new(kernel)],
+                rendezvous: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard a pid is pinned to. Pids allocated by
+    /// [`Kernel::new_shard`] encode their shard in the pid-stride bits;
+    /// the modulo keeps foreign pids (a [`KernelShards::from_kernel`]
+    /// wrap of an arbitrary kernel) on shard 0.
+    pub fn shard_of(&self, pid: Pid) -> usize {
+        (pid.0 / SHARD_PID_STRIDE) as usize % self.count()
+    }
+
+    /// Lock one shard directly (multi-step setup/teardown choreography).
+    pub fn lock_shard(&self, shard: usize) -> MutexGuard<'_, Kernel> {
+        self.inner.shards[shard].lock()
+    }
+
+    /// Run one kernel crossing under `shard`'s lock.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.inner.shards[shard].lock())
+    }
+
+    /// Run one kernel crossing under the lock of the shard `pid` is pinned
+    /// to (the shard-local fast path — no other shard is touched).
+    pub fn with_pid<R>(&self, pid: Pid, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        self.with_shard(self.shard_of(pid), f)
+    }
+
+    /// The rendezvous: acquire **every** shard's lock in ascending order
+    /// and run `f` with all of them held. Use for operations whose effects
+    /// must be ordered against every shard's waves (policy attach, cache
+    /// toggles, aggregate reads). This is the serialization sharding
+    /// exists to avoid — keep it off hot paths.
+    pub fn rendezvous<R>(&self, f: impl FnOnce(&mut [&mut Kernel]) -> R) -> R {
+        if self.count() > 1 {
+            self.inner.rendezvous.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut guards: Vec<MutexGuard<'_, Kernel>> =
+            self.inner.shards.iter().map(|m| m.lock()).collect();
+        let mut refs: Vec<&mut Kernel> = guards.iter_mut().map(|g| &mut **g).collect();
+        f(&mut refs)
+    }
+
+    /// Normalize a fence declaration into the ascending, deduped lock set
+    /// (always containing `home`) that [`KernelShards::fenced_ordered`]
+    /// consumes. Callers that fence repeatedly (the batch pool, once per
+    /// wave) compute this once per job into a reusable buffer.
+    ///
+    /// # Panics
+    ///
+    /// If `home` or any fence entry is out of range (the same contract as
+    /// [`KernelShards::lock_shard`]). Silently dropping an out-of-range
+    /// fence entry would quietly run the job *unfenced* — losing exactly
+    /// the cross-shard ordering guarantee the fence was declared for,
+    /// with no error and no `rendezvous_count` signal.
+    pub fn fence_set(&self, home: usize, fence: &[usize], set: &mut Vec<usize>) {
+        assert!(
+            home < self.count(),
+            "home shard {home} out of range (count {})",
+            self.count()
+        );
+        for &i in fence {
+            assert!(
+                i < self.count(),
+                "fence shard {i} out of range (count {})",
+                self.count()
+            );
+        }
+        set.clear();
+        set.extend(fence.iter().copied().chain(std::iter::once(home)));
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    /// A partial rendezvous: acquire the locks of `home` plus every shard
+    /// in `fence` (ascending order, duplicates ignored) and run `f` on
+    /// `home`'s kernel while all of them are held. A scheduler wave run
+    /// under this fence is totally ordered against every wave of every
+    /// touched shard — this is what a cross-shard batch job pays per wave.
+    ///
+    /// # Panics
+    ///
+    /// If `home` is out of range (see [`KernelShards::fence_set`]).
+    pub fn fenced<R>(&self, home: usize, fence: &[usize], f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let mut set = Vec::new();
+        self.fence_set(home, fence, &mut set);
+        self.fenced_ordered(home, &set, f)
+    }
+
+    /// [`KernelShards::fenced`] over a pre-normalized lock set (from
+    /// [`KernelShards::fence_set`]): no per-call sort or allocation, so a
+    /// worker fencing every wave of a job pays the normalization once.
+    ///
+    /// # Panics
+    ///
+    /// If `ordered` is not an ascending, deduped, in-range set containing
+    /// `home` (debug-asserted; the home lookup fails hard either way).
+    pub fn fenced_ordered<R>(
+        &self,
+        home: usize,
+        ordered: &[usize],
+        f: impl FnOnce(&mut Kernel) -> R,
+    ) -> R {
+        debug_assert!(ordered.windows(2).all(|w| w[0] < w[1]), "set not ascending");
+        debug_assert!(ordered.iter().all(|&i| i < self.count()), "out of range");
+        let home_at = ordered
+            .iter()
+            .position(|&i| i == home)
+            .expect("fence set must contain the home shard");
+        if ordered.len() > 1 {
+            self.inner.rendezvous.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut guards: Vec<MutexGuard<'_, Kernel>> = Vec::with_capacity(ordered.len());
+        for &i in ordered {
+            guards.push(self.inner.shards[i].lock());
+        }
+        f(&mut guards[home_at])
+    }
+
+    /// Multi-shard lock acquisitions paid so far (tests and benches assert
+    /// the shard-local fast path stays rendezvous-free).
+    pub fn rendezvous_count(&self) -> u64 {
+        self.inner.rendezvous.load(Ordering::Relaxed)
+    }
+
+    /// Attach one policy module to every shard, under a rendezvous: no
+    /// shard may run a wave between "policy live on shard A" and "policy
+    /// live on shard B". Each shard flushes its own AVC on attach, exactly
+    /// as [`Kernel::register_policy`] does standalone.
+    pub fn register_policy(&self, policy: Arc<dyn MacPolicy>) {
+        self.rendezvous(|shards| {
+            for k in shards {
+                k.register_policy(Arc::clone(&policy));
+            }
+        });
+    }
+
+    /// Toggle the resolution caches on every shard under one rendezvous
+    /// (the sharded form of [`Kernel::set_cache_enabled`]).
+    pub fn set_cache_enabled(&self, dcache: bool, avc: bool) {
+        self.rendezvous(|shards| {
+            for k in shards {
+                k.set_cache_enabled(dcache, avc);
+            }
+        });
+    }
+
+    /// Aggregate stats snapshot across all shards, under a rendezvous so
+    /// no wave is mid-flight while counters are read.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.rendezvous(|shards| {
+            shards
+                .iter()
+                .map(|k| k.stats.snapshot())
+                .fold(StatsSnapshot::default(), |acc, s| acc.merged(&s))
+        })
+    }
+
+    /// Submit a scheduled batch for `pid` on its pinned shard (the
+    /// shard-local one-shot path; worker pools use the steppable per-wave
+    /// form instead — see `shill-sandbox`'s `BatchPool`).
+    pub fn submit_scheduled(&self, pid: Pid, batch: &SyscallBatch) -> SysResult<Vec<Completion>> {
+        self.with_pid(pid, |k| k.submit_scheduled(pid, batch))
+    }
+
+    /// Recover the kernels once every clone is gone (`None` while other
+    /// handles are alive). Shard order is preserved.
+    pub fn try_into_kernels(self) -> Option<Vec<Kernel>> {
+        Arc::try_unwrap(self.inner)
+            .ok()
+            .map(|inner| inner.shards.into_iter().map(|m| m.into_inner()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchEntry;
+    use crate::types::ObjId;
+    use shill_vfs::{Cred, Gid, Mode, Uid};
+
+    #[test]
+    fn shard_id_spaces_are_disjoint() {
+        let shards = KernelShards::new(3);
+        let mut pids = Vec::new();
+        let mut roots = Vec::new();
+        let mut nodes = Vec::new();
+        for i in 0..3 {
+            shards.with_shard(i, |k| {
+                assert_eq!(k.shard_index(), i);
+                pids.push(k.spawn_user(Cred::user(100)));
+                roots.push(k.fs.root());
+                k.fs.put_file("/data.txt", b"x", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+                    .unwrap();
+                nodes.push(k.fs.resolve_abs("/data.txt").unwrap());
+            });
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == b {
+                    continue;
+                }
+                assert_ne!(pids[a], pids[b], "pid spaces must not alias");
+                assert_ne!(roots[a], roots[b], "root vnodes must not alias");
+                assert_ne!(nodes[a], nodes[b], "vnode ids must not alias");
+            }
+        }
+        // Pins route back to the allocating shard.
+        for (i, &pid) in pids.iter().enumerate() {
+            assert_eq!(shards.shard_of(pid), i);
+        }
+    }
+
+    #[test]
+    fn pipe_and_socket_ids_are_disjoint_across_shards() {
+        let shards = KernelShards::new(2);
+        let mut pipe_objs = Vec::new();
+        for i in 0..2 {
+            shards.with_shard(i, |k| {
+                let pid = k.spawn_user(Cred::user(100));
+                let (r, _w) = k.pipe(pid).unwrap();
+                pipe_objs.push(k.fd_object(pid, r).unwrap());
+            });
+        }
+        assert_ne!(
+            format!("{:?}", pipe_objs[0]),
+            format!("{:?}", pipe_objs[1]),
+            "pipe ids must not alias across shards"
+        );
+    }
+
+    #[test]
+    fn new_shard_zero_matches_new() {
+        let a = Kernel::new();
+        let b = Kernel::new_shard(0);
+        assert_eq!(a.fs.root(), b.fs.root());
+        assert_eq!(a.shard_index(), b.shard_index());
+        assert!(b.fs.resolve_abs("/dev/null").is_ok());
+    }
+
+    #[test]
+    fn rendezvous_counts_only_multi_shard_acquisitions() {
+        let shards = KernelShards::new(2);
+        shards.with_shard(0, |_| {});
+        shards.with_shard(1, |_| {});
+        assert_eq!(shards.rendezvous_count(), 0, "shard-local path is free");
+        shards.rendezvous(|ks| assert_eq!(ks.len(), 2));
+        assert_eq!(shards.rendezvous_count(), 1);
+        shards.fenced(0, &[1], |_| {});
+        assert_eq!(shards.rendezvous_count(), 2);
+        shards.fenced(0, &[0], |_| {});
+        assert_eq!(shards.rendezvous_count(), 2, "degenerate fence is local");
+
+        let single = KernelShards::new(1);
+        single.rendezvous(|_| {});
+        assert_eq!(single.rendezvous_count(), 0, "one shard never pays a fence");
+    }
+
+    #[test]
+    fn policy_attach_reaches_every_shard() {
+        let shards = KernelShards::new(2);
+        shards.register_policy(Arc::new(crate::mac::NullPolicy));
+        for i in 0..2 {
+            assert!(shards.with_shard(i, |k| k.has_policy("null")));
+        }
+        shards.set_cache_enabled(false, false);
+        for i in 0..2 {
+            assert_eq!(shards.with_shard(i, |k| k.cache_enabled()), (false, false));
+        }
+    }
+
+    #[test]
+    fn scheduled_submission_routes_to_the_pinned_shard() {
+        let shards = KernelShards::new_with(2, |k, i| {
+            k.fs.put_file(
+                &format!("/s{i}.txt"),
+                format!("shard-{i}").as_bytes(),
+                Mode(0o644),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        });
+        let pid1 = shards.with_shard(1, |k| k.spawn_user(Cred::ROOT));
+        let out = shards
+            .submit_scheduled(
+                pid1,
+                &SyscallBatch::single(BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: "/s1.txt".into(),
+                }),
+            )
+            .unwrap();
+        assert_eq!(
+            out[0].out,
+            Ok(crate::batch::BatchOut::Data(b"shard-1".to_vec()))
+        );
+        // The other shard's namespace is genuinely elsewhere.
+        let miss = shards.submit_scheduled(
+            pid1,
+            &SyscallBatch::single(BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/s0.txt".into(),
+            }),
+        );
+        assert_eq!(
+            crate::sched::completions_to_slots(1, &miss.unwrap())[0],
+            Err(shill_vfs::Errno::ENOENT)
+        );
+        assert_eq!(shards.stats().batches, 2);
+    }
+
+    #[test]
+    fn shared_policy_labels_never_alias_across_shards() {
+        // The reason the id strides exist: one policy, two shards, a label
+        // on shard 0's node must not leak authority to shard 1's namesake.
+        let shards = KernelShards::new(2);
+        let n0 = shards.with_shard(0, |k| {
+            k.fs.put_file("/f", b"0", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+                .unwrap();
+            k.fs.resolve_abs("/f").unwrap()
+        });
+        let n1 = shards.with_shard(1, |k| {
+            k.fs.put_file("/f", b"1", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+                .unwrap();
+            k.fs.resolve_abs("/f").unwrap()
+        });
+        assert_ne!(ObjId::Vnode(n0), ObjId::Vnode(n1));
+    }
+
+    #[test]
+    fn try_into_kernels_requires_sole_ownership() {
+        let shards = KernelShards::new(2);
+        let clone = shards.clone();
+        assert!(clone.try_into_kernels().is_none());
+        let kernels = shards.try_into_kernels().expect("sole owner");
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[1].shard_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fenced_rejects_an_out_of_range_home() {
+        let shards = KernelShards::new(2);
+        shards.fenced(5, &[0], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "fence shard 3 out of range")]
+    fn fenced_rejects_out_of_range_fence_entries_rather_than_unfencing() {
+        // Silently dropping the entry would run the job unfenced — losing
+        // the cross-shard ordering the caller declared the fence for.
+        let shards = KernelShards::new(2);
+        shards.fenced(0, &[3], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_SHARDS")]
+    fn new_shard_rejects_indices_beyond_the_stride() {
+        let _ = Kernel::new_shard(MAX_SHARDS);
+    }
+
+    #[test]
+    fn env_knob_parses_and_clamps() {
+        // Not set in the test environment by default.
+        if std::env::var(SHILL_SHARDS_ENV).is_err() {
+            assert_eq!(shard_count_from_env(2), 2);
+        }
+        assert!(shard_count_from_env(0) >= 1);
+    }
+}

@@ -147,6 +147,39 @@ impl KernelStats {
     }
 }
 
+impl StatsSnapshot {
+    /// Field-wise sum of two snapshots: the aggregate view across kernel
+    /// shards ([`crate::shard::KernelShards::stats`] folds per-shard
+    /// snapshots with this).
+    pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            syscalls: self.syscalls + other.syscalls,
+            lookups: self.lookups + other.lookups,
+            dcache_hits: self.dcache_hits + other.dcache_hits,
+            dcache_misses: self.dcache_misses + other.dcache_misses,
+            dcache_neg_hits: self.dcache_neg_hits + other.dcache_neg_hits,
+            dir_scans: self.dir_scans + other.dir_scans,
+            mac_vnode_checks: self.mac_vnode_checks + other.mac_vnode_checks,
+            avc_hits: self.avc_hits + other.avc_hits,
+            avc_misses: self.avc_misses + other.avc_misses,
+            avc_flushes: self.avc_flushes + other.avc_flushes,
+            mac_other_checks: self.mac_other_checks + other.mac_other_checks,
+            execs: self.execs + other.execs,
+            forks: self.forks + other.forks,
+            charge_calls: self.charge_calls + other.charge_calls,
+            mac_ctx_setups: self.mac_ctx_setups + other.mac_ctx_setups,
+            batches: self.batches + other.batches,
+            batch_entries: self.batch_entries + other.batch_entries,
+            batch_prefix_hits: self.batch_prefix_hits + other.batch_prefix_hits,
+            batch_prefix_misses: self.batch_prefix_misses + other.batch_prefix_misses,
+            sched_waves: self.sched_waves + other.sched_waves,
+            sched_reorders: self.sched_reorders + other.sched_reorders,
+            slot_links: self.slot_links + other.slot_links,
+            sched_cancelled_cone: self.sched_cancelled_cone + other.sched_cancelled_cone,
+        }
+    }
+}
+
 /// Copyable snapshot of [`KernelStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {

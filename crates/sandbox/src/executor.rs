@@ -1,35 +1,41 @@
 //! Concurrent session execution: N worker threads, each driving one
-//! sandboxed session against shared kernel infrastructure.
+//! sandboxed session against a **sharded** kernel.
 //!
 //! The kernel's interior-mutable hot state (stats counters, the AVC, the
 //! dcache, in-flight batch state) is thread-safe (atomics + lock-guarded
-//! maps), so a whole [`Kernel`] can sit behind one lock and be shared by
-//! worker threads: [`SharedKernel`] is the shard wrapper the ROADMAP's
-//! sharding item builds on — `Send + Sync`, cheaply cloneable, one lock per
-//! shard (currently one shard).
+//! maps), so whole [`Kernel`]s sit behind per-shard locks
+//! ([`shill_kernel::KernelShards`]) and sessions pinned to different shards
+//! genuinely overlap. [`SharedKernel`] is a cheap handle pinned to one
+//! shard — the single-shard construction ([`SharedKernel::new`]) is the
+//! PR 3 shape and behaves identically.
 //!
 //! Execution model: each [`SessionTask`] is the analogue of one `exec`-style
-//! sandbox launch. A worker thread sets the sandbox up under the kernel
-//! lock (fork, `shill_init`, grants, `shill_enter`), waits on a barrier so
-//! every session is entered before any body runs (maximizing interleaving),
-//! then drives its body — which takes the lock per kernel crossing, exactly
-//! as independent processes contend for a real kernel — and finally tears
-//! the session down (exit, reap, label scrub + epoch bump).
+//! sandbox launch. A worker thread sets the sandbox up under its shard's
+//! kernel lock (fork, `shill_init`, grants, `shill_enter` — this is where
+//! the session is **pinned**: every process it ever holds lives in that
+//! shard's process table, so every later crossing routes to that shard),
+//! waits on a barrier so every session is entered before any body runs
+//! (maximizing interleaving), then drives its body — which takes the shard
+//! lock per kernel crossing, exactly as independent processes contend for a
+//! real kernel — and finally tears the session down (exit, reap, label
+//! scrub + epoch bump).
 //!
 //! Consistency under interleaving is inherited from the PR 1/2 invalidation
 //! machinery, not re-derived here: every namespace mutation bumps dcache
-//! generations *while holding the kernel lock*, every authority-shrinking
-//! policy event bumps the `ShillPolicy` epoch before the lock is released,
-//! and the AVC/prefix caches validate against those fences on the next
-//! lock-holder's probe. The lock order is: kernel lock first, then any
-//! interior cache/policy lock — no interior lock is ever held across a
-//! kernel-lock acquisition.
+//! generations *while holding the owning shard's lock*, every
+//! authority-shrinking policy event bumps the `ShillPolicy` epoch (an
+//! atomic shared by **all** shards — the cross-shard invalidation
+//! broadcast) before its state-lock hold ends, and the AVC/prefix caches
+//! validate against those fences on the next lock-holder's probe. The lock
+//! order is: shard lock(s) first — ascending shard order when a rendezvous
+//! takes several — then any interior cache/policy lock; no interior lock is
+//! ever held across a shard-lock acquisition. See `docs/concurrency.md`
+//! for the full specification.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Barrier, MutexGuard};
+use std::sync::{mpsc, Arc, Barrier, MutexGuard};
 use std::thread;
 
-use shill_kernel::{Completion, Kernel, Pid, ScheduledRun, SyscallBatch};
+use shill_kernel::{Completion, Kernel, KernelShards, Pid, ScheduledRun, SyscallBatch};
 use shill_vfs::sync::Mutex;
 use shill_vfs::{Cred, Errno, SysResult};
 
@@ -37,11 +43,14 @@ use crate::harness::{setup_sandbox, SandboxSpec};
 use crate::policy::ShillPolicy;
 use crate::session::SessionId;
 
-/// A kernel shared between session worker threads: the single-shard form of
-/// the sharded kernel the ROADMAP aims at.
+/// A kernel handle pinned to one shard of a [`KernelShards`]: what a
+/// session body holds. The single-shard form ([`SharedKernel::new`]) wraps
+/// one kernel behind one lock — the PR 3 `SharedKernel`, unchanged in
+/// behaviour.
 #[derive(Clone)]
 pub struct SharedKernel {
-    inner: Arc<Mutex<Kernel>>,
+    shards: KernelShards,
+    shard: usize,
 }
 
 const _: () = {
@@ -50,28 +59,51 @@ const _: () = {
 };
 
 impl SharedKernel {
+    /// Wrap one kernel as a single shard (the PR 3 construction).
     pub fn new(kernel: Kernel) -> SharedKernel {
         SharedKernel {
-            inner: Arc::new(Mutex::new(kernel)),
+            shards: KernelShards::from_kernel(kernel),
+            shard: 0,
         }
     }
 
+    /// A handle pinned to `shard` of an existing shard set.
+    pub fn pinned(shards: KernelShards, shard: usize) -> SharedKernel {
+        let shard = shard % shards.count();
+        SharedKernel { shards, shard }
+    }
+
+    /// The underlying shard set.
+    pub fn shards(&self) -> &KernelShards {
+        &self.shards
+    }
+
+    /// Which shard this handle is pinned to.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
     /// Run one kernel crossing (or a small compound operation) under the
-    /// lock. Bodies should keep critical sections to single operations so
-    /// sessions genuinely interleave.
+    /// pinned shard's lock. Bodies should keep critical sections to single
+    /// operations so sessions genuinely interleave.
     pub fn with<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
-        f(&mut self.inner.lock())
+        self.shards.with_shard(self.shard, f)
     }
 
-    /// Take the lock directly (multi-step setup/teardown choreography).
+    /// Take the pinned shard's lock directly (multi-step setup/teardown
+    /// choreography).
     pub fn lock(&self) -> MutexGuard<'_, Kernel> {
-        self.inner.lock()
+        self.shards.lock_shard(self.shard)
     }
 
-    /// Recover the kernel once every worker is done. `None` while other
-    /// clones are still alive.
+    /// Recover the kernel once every handle is gone. `None` while other
+    /// clones are alive or the handle spans more than one shard (recover a
+    /// multi-shard set via [`KernelShards::try_into_kernels`] instead).
     pub fn try_into_inner(self) -> Option<Kernel> {
-        Arc::try_unwrap(self.inner).ok().map(|m| m.into_inner())
+        if self.shards.count() != 1 {
+            return None;
+        }
+        self.shards.try_into_kernels().and_then(|mut v| v.pop())
     }
 }
 
@@ -96,6 +128,17 @@ pub struct SessionOutcome {
     pub status: i32,
 }
 
+/// A session task pinned to a kernel shard for
+/// [`run_sessions_sharded`]. Pinning happens at launch: the task's parent
+/// process, sandbox choreography, and every body crossing run against
+/// `shard`'s kernel.
+pub struct ShardedSessionTask {
+    /// The shard this session lives on (taken modulo the shard count).
+    pub shard: usize,
+    /// The session to run there.
+    pub task: SessionTask,
+}
+
 /// Run every task as its own sandboxed session on its own worker thread,
 /// against one shared kernel and one policy module. Each task gets a fresh
 /// (unsandboxed) parent process with `parent_cred`; the returned outcomes
@@ -107,6 +150,36 @@ pub fn run_sessions(
     parent_cred: Cred,
     tasks: Vec<SessionTask>,
 ) -> SysResult<Vec<SessionOutcome>> {
+    let pinned = tasks
+        .into_iter()
+        .map(|task| (shared.shard_index(), task))
+        .collect();
+    run_pinned(shared.shards(), policy, parent_cred, pinned)
+}
+
+/// [`run_sessions`] across kernel shards: each task's whole lifecycle
+/// (parent spawn, sandbox setup, body, teardown) runs against its pinned
+/// shard, so tasks on different shards contend on **no** kernel lock.
+/// Bodies receive a [`SharedKernel`] pinned to their shard.
+pub fn run_sessions_sharded(
+    shards: &KernelShards,
+    policy: &Arc<ShillPolicy>,
+    parent_cred: Cred,
+    tasks: Vec<ShardedSessionTask>,
+) -> SysResult<Vec<SessionOutcome>> {
+    let pinned = tasks
+        .into_iter()
+        .map(|t| (t.shard % shards.count(), t.task))
+        .collect();
+    run_pinned(shards, policy, parent_cred, pinned)
+}
+
+fn run_pinned(
+    shards: &KernelShards,
+    policy: &Arc<ShillPolicy>,
+    parent_cred: Cred,
+    tasks: Vec<(usize, SessionTask)>,
+) -> SysResult<Vec<SessionOutcome>> {
     let n = tasks.len();
     if n == 0 {
         return Ok(Vec::new());
@@ -115,8 +188,8 @@ pub fn run_sessions(
     let results: Vec<SysResult<SessionOutcome>> = thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .into_iter()
-            .map(|task| {
-                let shared = shared.clone();
+            .map(|(shard, task)| {
+                let shared = SharedKernel::pinned(shards.clone(), shard);
                 let policy = Arc::clone(policy);
                 let entered = Arc::clone(&entered);
                 scope.spawn(move || -> SysResult<SessionOutcome> {
@@ -181,81 +254,239 @@ pub fn run_sessions(
 /// One scheduled submission for the batch worker pool: which process
 /// submits, and what.
 pub struct BatchJob {
+    /// The submitting process; its pid pins the job to a shard.
     pub pid: Pid,
+    /// The dependency-aware batch to execute.
     pub batch: SyscallBatch,
 }
 
-/// A worker pool executing scheduled batches from (typically) different
-/// sessions against one [`SharedKernel`]. Where `run_sessions` bodies hold
-/// the kernel lock for every crossing of one session, the pool's workers
-/// acquire the lock **per dependency wave**: DAG validation
-/// ([`ScheduledRun::prepare`]), completion-queue assembly, and payload
-/// handling all happen outside the lock, and waves of different
-/// submissions interleave under it. This is what turns the PR 3
-/// `BENCH_concurrency.json` ≈1.0× threaded/single baseline into real
-/// overlap (ablation bench group 7 / `BENCH_sched.json`).
-///
-/// Lock order: the kernel lock is taken per wave and released before any
-/// pool bookkeeping lock (job queue, result slots) is touched — no
-/// interior lock is ever held across a kernel-lock acquisition.
-pub struct BatchPool {
-    workers: usize,
+/// A [`BatchJob`] classified for the sharded pool: shard-local (the
+/// overwhelming case — every wave takes only the pinned shard's lock) or
+/// cross-shard (every wave pays a rendezvous that fences the listed
+/// shards, totally ordering it against their waves).
+pub struct ShardedBatchJob {
+    /// The submission.
+    pub job: BatchJob,
+    /// Extra shards each wave must fence (empty = shard-local). Use for
+    /// jobs whose effects must be ordered against other shards' waves —
+    /// e.g. a namespace mutation feeding a shared-policy revocation that
+    /// sessions on other shards must not outrun. Every entry must be a
+    /// valid shard index: an out-of-range entry panics the job's worker
+    /// slot rather than silently running the job unfenced.
+    pub fence: Vec<usize>,
 }
 
-impl BatchPool {
-    pub fn new(workers: usize) -> BatchPool {
-        BatchPool {
-            workers: workers.max(1),
+impl ShardedBatchJob {
+    /// A shard-local job (no fence — the fast path).
+    pub fn local(job: BatchJob) -> ShardedBatchJob {
+        ShardedBatchJob {
+            job,
+            fence: Vec::new(),
         }
     }
 
-    /// Execute every job, `workers` at a time, returning completion queues
-    /// in job order. A job's `Err` is its submission-level failure
-    /// (malformed DAG, dead process); per-entry failures live in its
-    /// completions.
+    /// A cross-shard job: every wave runs with `fence`'s shard locks (plus
+    /// the pid's own shard) held in ascending order.
+    pub fn fenced(job: BatchJob, fence: Vec<usize>) -> ShardedBatchJob {
+        ShardedBatchJob { job, fence }
+    }
+}
+
+/// One unit of work fed to a pool worker: the job, the shard set to run it
+/// against, and where to deliver the result.
+struct PoolTask {
+    shards: KernelShards,
+    idx: usize,
+    job: ShardedBatchJob,
+    done: mpsc::Sender<(usize, SysResult<Vec<Completion>>)>,
+}
+
+/// Per-worker scratch reused across jobs: a cross-shard job's fence
+/// declaration is normalized once per job ([`KernelShards::fence_set`])
+/// into this buffer, and every wave's multi-lock acquisition then runs
+/// allocation- and sort-free ([`KernelShards::fenced_ordered`]).
+#[derive(Default)]
+struct WorkerArena {
+    fence: Vec<usize>,
+}
+
+/// A **persistent** worker pool executing scheduled batches from
+/// (typically) different sessions against a sharded kernel. Workers are
+/// spawned once at construction, fed through a channel, and joined
+/// (after draining the queue) on drop — `BatchPool::run` no longer pays a
+/// per-call `thread::scope` spawn, the cost the PR 4 ablation flagged.
+///
+/// Where `run_sessions` bodies hold their shard's lock for every crossing
+/// of one session, the pool's workers acquire locks **per dependency
+/// wave**: DAG validation ([`ScheduledRun::prepare`]), completion-queue
+/// assembly, and payload handling all happen outside any kernel lock.
+/// Wave classification is the sharding dispatch layer:
+///
+/// * a **shard-local** job's waves route straight to the pinned shard's
+///   lock, so jobs of sessions on different shards genuinely overlap;
+/// * a **cross-shard** job's waves each pay an explicit rendezvous
+///   ([`KernelShards::fenced`]) that holds every touched shard's lock in
+///   ascending order for the wave's duration.
+///
+/// Lock order: shard lock(s) per wave, released before any pool
+/// bookkeeping (channel sends, result collection) — no interior lock is
+/// ever held across a shard-lock acquisition.
+pub struct BatchPool {
+    tx: Option<mpsc::Sender<PoolTask>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl BatchPool {
+    /// Spawn a pool of `workers` persistent threads (at least one). The
+    /// threads idle on the job channel until [`BatchPool::run`] /
+    /// [`BatchPool::run_sharded`] feed them, and exit when the pool drops.
+    pub fn new(workers: usize) -> BatchPool {
+        let (tx, rx) = mpsc::channel::<PoolTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || {
+                    let mut arena = WorkerArena::default();
+                    loop {
+                        // Hold the receiver lock only for the dequeue; the
+                        // job itself runs with pool bookkeeping released.
+                        let task = rx.lock().recv();
+                        let Ok(PoolTask {
+                            shards,
+                            idx,
+                            job,
+                            done,
+                        }) = task
+                        else {
+                            break;
+                        };
+                        // A panicking policy module must cost one job (its
+                        // slot reports EINVAL, as the scoped pool's join
+                        // did), not a pool worker for the process lifetime.
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            Self::run_one(&shards, job, &mut arena)
+                        }))
+                        .unwrap_or(Err(Errno::EINVAL));
+                        // The result send is the "job done" edge: no kernel
+                        // handle may outlive it, so a caller that saw every
+                        // result can immediately recover sole ownership of
+                        // the shard set (the reuse regression pins this).
+                        drop(shards);
+                        let _ = done.send((idx, r));
+                    }
+                })
+            })
+            .collect();
+        BatchPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute every job as shard-local work routed by pid, returning
+    /// completion queues in job order. A job's `Err` is its
+    /// submission-level failure (malformed DAG, dead process); per-entry
+    /// failures live in its completions.
     pub fn run(
         &self,
         shared: &SharedKernel,
         jobs: Vec<BatchJob>,
     ) -> Vec<SysResult<Vec<Completion>>> {
+        self.run_sharded(
+            shared.shards(),
+            jobs.into_iter().map(ShardedBatchJob::local).collect(),
+        )
+    }
+
+    /// Execute classified jobs against a shard set. Shard-local jobs of
+    /// different shards overlap wave-for-wave; cross-shard jobs rendezvous.
+    /// Results come back in job order. The pool may be reused across calls
+    /// and across different shard sets — workers hold a shard-set handle
+    /// only while executing a job of it (the reuse regression test pins
+    /// this down: a drained pool holds no kernel, session, or batch state).
+    pub fn run_sharded(
+        &self,
+        shards: &KernelShards,
+        jobs: Vec<ShardedBatchJob>,
+    ) -> Vec<SysResult<Vec<Completion>>> {
         let n = jobs.len();
         if n == 0 {
             return Vec::new();
         }
-        let queue: Mutex<VecDeque<(usize, BatchJob)>> =
-            Mutex::new(jobs.into_iter().enumerate().collect());
-        let results: Mutex<Vec<Option<SysResult<Vec<Completion>>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(|| loop {
-                    let job = queue.lock().pop_front();
-                    let Some((idx, job)) = job else { break };
-                    let r = Self::run_one(shared, job);
-                    results.lock()[idx] = Some(r);
-                });
+        let tx = self.tx.as_ref().expect("pool not dropped");
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut out: Vec<SysResult<Vec<Completion>>> = (0..n).map(|_| Err(Errno::EINVAL)).collect();
+        let mut expected = 0usize;
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let task = PoolTask {
+                shards: shards.clone(),
+                idx,
+                job,
+                done: done_tx.clone(),
+            };
+            if tx.send(task).is_ok() {
+                expected += 1;
             }
-        });
-        results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.unwrap_or(Err(Errno::EINVAL)))
-            .collect()
+        }
+        drop(done_tx);
+        for (idx, r) in done_rx.iter().take(expected) {
+            out[idx] = r;
+        }
+        out
     }
 
-    /// Drive one job: validate outside the lock, execute wave by wave
-    /// acquiring the kernel once per wave, audit under the lock, and
-    /// assemble the completion queue (the payload moves) outside it.
-    fn run_one(shared: &SharedKernel, job: BatchJob) -> SysResult<Vec<Completion>> {
-        let mut run = ScheduledRun::prepare(job.pid, job.batch)?;
+    /// Drive one job: validate outside any lock, execute wave by wave
+    /// acquiring the pinned shard's lock (or the fence's rendezvous) once
+    /// per wave, audit under the same discipline, and assemble the
+    /// completion queue (the payload moves) outside it.
+    fn run_one(
+        shards: &KernelShards,
+        job: ShardedBatchJob,
+        arena: &mut WorkerArena,
+    ) -> SysResult<Vec<Completion>> {
+        let pid = job.job.pid;
+        let home = shards.shard_of(pid);
+        let fenced = !job.fence.is_empty();
+        if fenced {
+            // Normalize the fence once per job; every wave then acquires
+            // the pre-ordered set without sorting or allocating.
+            shards.fence_set(home, &job.fence, &mut arena.fence);
+        }
+        let mut run = ScheduledRun::prepare(pid, job.job.batch)?;
         loop {
-            let more = shared.with(|k| k.sched_run_wave(&mut run))?;
+            let more = if fenced {
+                shards.fenced_ordered(home, &arena.fence, |k| k.sched_run_wave(&mut run))?
+            } else {
+                shards.with_shard(home, |k| k.sched_run_wave(&mut run))?
+            };
             if !more {
                 break;
             }
         }
-        shared.with(|k| k.sched_audit(&run))?;
+        if fenced {
+            shards.fenced_ordered(home, &arena.fence, |k| k.sched_audit(&run))?;
+        } else {
+            shards.with_shard(home, |k| k.sched_audit(&run))?;
+        }
         Ok(run.into_completions())
+    }
+}
+
+impl Drop for BatchPool {
+    /// Drain on drop: close the job channel (workers finish what is
+    /// already queued — results of an in-flight `run_sharded` on another
+    /// thread still arrive) and join every worker.
+    fn drop(&mut self) {
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -523,6 +754,266 @@ mod tests {
         }
         // No batch state may leak past the pool run.
         assert!(!shared.with(|k| k.batch_in_flight()));
+    }
+
+    /// One confined sandbox per shard, reading its shard-local file.
+    fn sharded_fixture(shards: &KernelShards, policy: &Arc<ShillPolicy>) -> Vec<(Pid, Pid)> {
+        (0..shards.count())
+            .map(|s| {
+                let mut k = shards.lock_shard(s);
+                let root = k.fs.root();
+                let dir = k.fs.resolve_abs("/work").unwrap();
+                let file = k.fs.resolve_abs("/work/data.txt").unwrap();
+                let parent = k.spawn_user(Cred::user(100));
+                let spec = SandboxSpec {
+                    grants: vec![
+                        Grant::vnode(root, caps(&[Priv::Lookup])),
+                        Grant::vnode(dir, caps(&[Priv::Lookup])),
+                        Grant::vnode(file, caps(&[Priv::Read, Priv::Stat])),
+                    ],
+                    ..Default::default()
+                };
+                let sb = setup_sandbox(&mut k, policy, parent, &spec).unwrap();
+                (parent, sb.child)
+            })
+            .collect()
+    }
+
+    fn populate_shard(k: &mut Kernel, s: usize) {
+        k.fs.put_file(
+            "/work/data.txt",
+            format!("shard-{s}").as_bytes(),
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn persistent_pool_is_reusable_and_leaks_nothing_across_runs() {
+        use shill_kernel::completions_to_slots;
+
+        let pool = BatchPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        // Two generations against two *different* shard sets: a worker may
+        // hold a kernel or session only while executing a job of it.
+        for generation in 0..2 {
+            let policy = ShillPolicy::new();
+            let shards = KernelShards::new_with(2, populate_shard);
+            shards.register_policy(policy.clone());
+            let sandboxes = sharded_fixture(&shards, &policy);
+
+            for round in 0..3 {
+                let jobs: Vec<ShardedBatchJob> = sandboxes
+                    .iter()
+                    .map(|&(_, child)| {
+                        ShardedBatchJob::local(BatchJob {
+                            pid: child,
+                            batch: SyscallBatch::single(shill_kernel::BatchEntry::ReadFile {
+                                dirfd: None,
+                                path: "/work/data.txt".into(),
+                            }),
+                        })
+                    })
+                    .collect();
+                let outs = pool.run_sharded(&shards, jobs);
+                for (s, out) in outs.iter().enumerate() {
+                    let slots = completions_to_slots(1, out.as_ref().unwrap());
+                    assert_eq!(
+                        slots[0],
+                        Ok(shill_kernel::BatchOut::Data(
+                            format!("shard-{s}").into_bytes()
+                        )),
+                        "generation {generation} round {round}"
+                    );
+                }
+                for s in 0..2 {
+                    assert!(
+                        !shards.with_shard(s, |k| k.batch_in_flight()),
+                        "batch state leaked past pool run (gen {generation}, round {round})"
+                    );
+                }
+            }
+            // Tear the sessions down; reclamation must leave no label
+            // residue even with the pool still alive.
+            for &(parent, child) in &sandboxes {
+                shards.with_pid(child, |k| {
+                    k.exit(child, 0);
+                    let _ = k.waitpid(parent, child);
+                    k.exit(parent, 0);
+                    let _ = k.waitpid(Pid(1), parent);
+                });
+            }
+            assert_eq!(policy.label_entries(), 0, "sessions leaked across runs");
+            // Every worker dropped its shard-set handle when it posted its
+            // last result: the caller holds the only reference.
+            assert!(
+                shards.try_into_kernels().is_some(),
+                "a pool worker kept a kernel handle after its jobs finished"
+            );
+        }
+        // All-local traffic never paid a rendezvous inside the pool (the
+        // register/teardown rendezvous are accounted before/after runs).
+        drop(pool);
+    }
+
+    #[test]
+    fn fenced_jobs_pay_a_rendezvous_per_wave_and_stay_equivalent() {
+        use shill_kernel::completions_to_slots;
+
+        let policy = ShillPolicy::new();
+        let shards = KernelShards::new_with(2, populate_shard);
+        shards.register_policy(policy.clone());
+        let sandboxes = sharded_fixture(&shards, &policy);
+        let pool = BatchPool::new(2);
+        let batch = || {
+            SyscallBatch::aborting(vec![
+                shill_kernel::BatchEntry::Stat {
+                    dirfd: None,
+                    path: "/work/data.txt".into(),
+                    follow: true,
+                },
+                shill_kernel::BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: "/work/data.txt".into(),
+                },
+            ])
+        };
+
+        let before = shards.rendezvous_count();
+        let local = pool.run_sharded(
+            &shards,
+            vec![ShardedBatchJob::local(BatchJob {
+                pid: sandboxes[0].1,
+                batch: batch(),
+            })],
+        );
+        assert!(local[0].is_ok());
+        assert_eq!(
+            shards.rendezvous_count(),
+            before,
+            "a shard-local job must never fence"
+        );
+
+        let fenced = pool.run_sharded(
+            &shards,
+            vec![ShardedBatchJob::fenced(
+                BatchJob {
+                    pid: sandboxes[0].1,
+                    batch: batch(),
+                },
+                vec![1],
+            )],
+        );
+        assert!(fenced[0].is_ok());
+        // Two waves (abort chain) + the audit delivery, all fenced.
+        assert_eq!(
+            shards.rendezvous_count(),
+            before + 3,
+            "every wave of a cross-shard job pays the rendezvous"
+        );
+        // Fencing changes ordering guarantees, never results.
+        assert_eq!(
+            completions_to_slots(2, local[0].as_ref().unwrap()),
+            completions_to_slots(2, fenced[0].as_ref().unwrap()),
+        );
+    }
+
+    #[test]
+    fn sharded_sessions_run_pinned_and_confined() {
+        let policy = ShillPolicy::new();
+        let shards = KernelShards::new_with(2, |k, s| {
+            for i in 0..2 {
+                k.fs.put_file(
+                    &format!("/work/s{i}/data.txt"),
+                    format!("shard-{s}-sess-{i}").as_bytes(),
+                    Mode(0o666),
+                    Uid::ROOT,
+                    Gid::WHEEL,
+                )
+                .unwrap();
+            }
+        });
+        shards.register_policy(policy.clone());
+        let before = shards.rendezvous_count();
+
+        let leaf = caps(&[Priv::Read, Priv::Stat, Priv::Path]);
+        let tasks: Vec<ShardedSessionTask> = (0..4usize)
+            .map(|t| {
+                let (shard, i) = (t % 2, t / 2);
+                // Grants are resolved against the pinned shard's namespace.
+                let (root, work, dir) = shards.with_shard(shard, |k| {
+                    (
+                        k.fs.root(),
+                        k.fs.resolve_abs("/work").unwrap(),
+                        k.fs.resolve_abs(&format!("/work/s{i}")).unwrap(),
+                    )
+                });
+                let spec = SandboxSpec {
+                    grants: vec![
+                        Grant::vnode(root, caps(&[Priv::Lookup])),
+                        Grant::vnode(work, caps(&[Priv::Lookup])),
+                        Grant::vnode(
+                            dir,
+                            caps(&[Priv::Lookup]).with_modifier(Priv::Lookup, leaf.clone()),
+                        ),
+                    ],
+                    ..Default::default()
+                };
+                let body: SessionBody = Arc::new(move |sk: &SharedKernel, pid, _sid| {
+                    assert_eq!(sk.shard_index(), shard, "body runs on its pinned shard");
+                    for _ in 0..40 {
+                        let ok = sk.with(|k| {
+                            assert_eq!(k.shard_index(), shard);
+                            let fd = k.open(
+                                pid,
+                                &format!("/work/s{i}/data.txt"),
+                                OpenFlags::RDONLY,
+                                Mode(0),
+                            )?;
+                            let data = k.read(pid, fd, 64)?;
+                            k.close(pid, fd)?;
+                            Ok::<_, Errno>(data)
+                        });
+                        if ok != Ok(format!("shard-{shard}-sess-{i}").into_bytes()) {
+                            return 1;
+                        }
+                        // The sibling session's subtree (same shard) stays
+                        // denied even with both shards' sessions running.
+                        let peer = (i + 1) % 2;
+                        let denied = sk.with(|k| {
+                            k.open(
+                                pid,
+                                &format!("/work/s{peer}/data.txt"),
+                                OpenFlags::RDONLY,
+                                Mode(0),
+                            )
+                        });
+                        if denied != Err(Errno::EACCES) {
+                            return 2;
+                        }
+                    }
+                    0
+                });
+                ShardedSessionTask {
+                    shard,
+                    task: SessionTask { spec, body },
+                }
+            })
+            .collect();
+
+        let outcomes = run_sessions_sharded(&shards, &policy, Cred::user(100), tasks).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert_eq!(o.status, 0, "session {:?} failed", o.session);
+        }
+        assert_eq!(
+            shards.rendezvous_count(),
+            before,
+            "pinned sessions are shard-local end to end"
+        );
+        assert_eq!(policy.label_entries(), 0);
     }
 
     #[test]

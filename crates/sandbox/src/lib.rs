@@ -21,10 +21,12 @@ pub mod session;
 pub mod sync;
 
 pub use executor::{
-    run_sessions, BatchJob, BatchPool, SessionBody, SessionOutcome, SessionTask, SharedKernel,
+    run_sessions, run_sessions_sharded, BatchJob, BatchPool, SessionBody, SessionOutcome,
+    SessionTask, ShardedBatchJob, ShardedSessionTask, SharedKernel,
 };
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
 pub use log::{BatchWaveAudit, LogEvent, SandboxLog};
 pub use policy::{PolicyStats, ShillPolicy};
 pub use policyfile::{build_spec, parse_policy, ParseError, Rule};
 pub use session::{Session, SessionId};
+pub use shill_kernel::KernelShards;

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::sync::Mutex;
+use crate::sync::RwLock;
 
 use shill_cap::{pipe_op_priv, socket_op_priv, vnode_op_priv, CapPrivs, Priv, PrivSet};
 use shill_kernel::SockDomain;
@@ -172,7 +172,13 @@ impl State {
 /// [`ShillPolicy::shill_enter`].
 #[derive(Default)]
 pub struct ShillPolicy {
-    state: Mutex<State>,
+    /// Session/label state. A reader-writer lock: mutating entry points
+    /// take the write side; the hot propagation hook
+    /// ([`MacPolicy::vnode_post_lookup`]) probes under the read side first
+    /// and upgrades only when the label map would actually change, so warm
+    /// re-propagation from sessions pinned to different kernel shards does
+    /// not serialize here.
+    state: RwLock<State>,
     /// Cache epoch for the kernel's access-vector cache: bumped whenever
     /// this policy's authority can *shrink* (a session being entered turns
     /// permissive verdicts restrictive; a session being reclaimed scrubs
@@ -200,7 +206,7 @@ impl ShillPolicy {
     /// process is already in a session the new one is its child and can
     /// hold at most the parent's privileges (hierarchical attenuation).
     pub fn shill_init(&self, pid: Pid) -> SysResult<SessionId> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let parent = st.proc_session.get(&pid).copied();
         st.next_session += 1;
         let sid = SessionId(st.next_session);
@@ -224,7 +230,7 @@ impl ShillPolicy {
         obj: ObjId,
         privs: Arc<CapPrivs>,
     ) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         {
             let s = st.sessions.get(&session).ok_or(Errno::EINVAL)?;
             if s.entered {
@@ -258,7 +264,7 @@ impl ShillPolicy {
         session: SessionId,
         privs: PrivSet,
     ) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         if let Some(gsid) = st.entered_session(granter) {
             let held = st
                 .sessions
@@ -280,7 +286,7 @@ impl ShillPolicy {
 
     /// Grant a pipe-factory capability.
     pub fn shill_grant_pipe_factory(&self, _granter: Pid, session: SessionId) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
         if s.entered {
             return Err(Errno::EINVAL);
@@ -292,7 +298,7 @@ impl ShillPolicy {
     /// `shill_enter`: seal the session; from now on its processes are
     /// restricted to the granted capabilities.
     pub fn shill_enter(&self, pid: Pid) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let sid = *st.proc_session.get(&pid).ok_or(Errno::EINVAL)?;
         let s = st.sessions.get_mut(&sid).ok_or(Errno::EINVAL)?;
         if s.entered {
@@ -313,42 +319,42 @@ impl ShillPolicy {
 
     /// Put a session in debug mode (§3.2.2).
     pub fn set_debug(&self, session: SessionId, debug: bool) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?.debug = debug;
         Ok(())
     }
 
     /// Enable verbose grant logging.
     pub fn enable_logging(&self, enabled: bool) {
-        self.state.lock().log.enabled = enabled;
+        self.state.write().log.enabled = enabled;
     }
 
     /// Snapshot of the audit log.
     pub fn log_events(&self) -> Vec<LogEvent> {
-        self.state.lock().log.events().to_vec()
+        self.state.read().log.events().to_vec()
     }
 
     pub fn clear_log(&self) {
-        self.state.lock().log.clear();
+        self.state.write().log.clear();
     }
 
     pub fn stats(&self) -> PolicyStats {
-        self.state.lock().stats
+        self.state.read().stats
     }
 
     /// The session a process belongs to (entered or not).
     pub fn session_of(&self, pid: Pid) -> Option<SessionId> {
-        self.state.lock().proc_session.get(&pid).copied()
+        self.state.read().proc_session.get(&pid).copied()
     }
 
     /// The privileges a session holds on an object (tests/diagnostics).
     pub fn privs_on(&self, session: SessionId, obj: ObjId) -> Option<Arc<CapPrivs>> {
-        self.state.lock().privs_on(session, obj)
+        self.state.read().privs_on(session, obj)
     }
 
     /// Number of live label entries (tests: session scrubbing).
     pub fn label_entries(&self) -> usize {
-        self.state.lock().labels.values().map(|m| m.len()).sum()
+        self.state.read().labels.values().map(|m| m.len()).sum()
     }
 }
 
@@ -370,7 +376,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn vnode_check(&self, ctx: MacCtx, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return Ok(());
         };
@@ -393,7 +399,37 @@ impl MacPolicy for ShillPolicy {
         if name == ".." || name == "." {
             return;
         }
-        let mut st = self.state.lock();
+        // Warm fast path under the read lock: repeated lookups re-derive
+        // the same `Arc` from the parent label (`derived` clones the
+        // modifier Arc or the parent itself), so when the child already
+        // holds that exact entry the merge is a guaranteed no-op — no
+        // write lock, no serialization of sessions on other shards. Every
+        // other case (no entry yet, structural change, races with a
+        // concurrent mutation) re-runs the full logic under the write
+        // lock, whose outcome is authoritative.
+        {
+            let st = self.state.read();
+            let Some(sid) = st.entered_session(ctx.pid) else {
+                return;
+            };
+            let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+                return;
+            };
+            if !parent_privs.allows(Priv::Lookup) {
+                return;
+            }
+            let derived = parent_privs.derived(Priv::Lookup);
+            if let Some(existing) = st
+                .labels
+                .get(&ObjId::Vnode(child))
+                .and_then(|m| m.get(&sid))
+            {
+                if Arc::ptr_eq(existing, &derived) {
+                    return;
+                }
+            }
+        }
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
@@ -417,7 +453,7 @@ impl MacPolicy for ShillPolicy {
         child: NodeId,
         ftype: FileType,
     ) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
@@ -439,7 +475,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>], waves: &[Vec<usize>]) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
@@ -482,7 +518,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn pipe_post_create(&self, ctx: MacCtx, pipe: ObjId) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
@@ -491,7 +527,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn socket_post_create(&self, ctx: MacCtx, sock: ObjId) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return;
         };
@@ -506,7 +542,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn pipe_check(&self, ctx: MacCtx, pipe: ObjId, op: PipeOp) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return Ok(());
         };
@@ -520,7 +556,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn socket_check(&self, ctx: MacCtx, sock: ObjId, op: &SocketOp) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.entered_session(ctx.pid) else {
             return Ok(());
         };
@@ -552,7 +588,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn proc_check(&self, ctx: MacCtx, op: ProcOp) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(actor) = st.entered_session(ctx.pid) else {
             return Ok(());
         };
@@ -574,7 +610,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn system_check(&self, ctx: MacCtx, op: &SystemOp) -> SysResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(_sid) = st.entered_session(ctx.pid) else {
             return Ok(());
         };
@@ -594,12 +630,12 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn vnode_destroy(&self, node: NodeId) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         st.labels.remove(&ObjId::Vnode(node));
     }
 
     fn proc_fork(&self, parent: Pid, child: Pid) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         // §3.2.1: spawned processes join the parent's session by default.
         if let Some(sid) = st.proc_session.get(&parent).copied() {
             st.proc_session.insert(child, sid);
@@ -610,7 +646,7 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn proc_exit(&self, pid: Pid) {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let Some(sid) = st.proc_session.remove(&pid) else {
             return;
         };

@@ -5,4 +5,4 @@
 //! share one primitive; the historical `shill_sandbox::sync::Mutex` path
 //! keeps working for existing users.
 
-pub use shill_vfs::sync::Mutex;
+pub use shill_vfs::sync::{Mutex, RwLock};

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::thread;
 
 use shill_cap::{CapPrivs, Priv, PrivSet};
-use shill_kernel::{BatchEntry, Kernel, OpenFlags, SyscallBatch};
+use shill_kernel::{
+    shard_count_from_env, BatchEntry, Kernel, KernelShards, OpenFlags, Pid, SyscallBatch,
+};
 use shill_sandbox::{
     run_sessions, setup_sandbox, Grant, SandboxSpec, SessionBody, SessionTask, SharedKernel,
     ShillPolicy,
@@ -351,4 +353,268 @@ fn session_churn_does_not_disturb_unrelated_sessions() {
     // residue from reclaimed sessions survives.
     assert!(policy.stats().epoch_bumps >= churned);
     assert_eq!(policy.label_entries(), 0);
+}
+
+// ===================================================================
+// ISSUE 5: the sharded kernel. A session is pinned to one shard; the only
+// state shards share is the policy module, whose cache epoch is the
+// cross-shard invalidation broadcast. The tests below honor SHILL_SHARDS
+// (CI runs them at 1, 2, and 4 shards).
+// ===================================================================
+
+/// The cross-shard revocation claim: an authority-shrinking event driven
+/// by a thread working **shard A** (here: `shill_enter` flipping a session
+/// from permissive to restricted, followed by session churn) is never
+/// outrun by a cached verdict on **shard B**, even though the revoker
+/// never takes shard B's lock. The ordering fence is the policy's shared
+/// epoch plus the test flags' release/acquire edges — exactly the
+/// machinery `docs/concurrency.md` specifies.
+#[test]
+fn cross_shard_revocation_is_never_stale_served() {
+    const ITERS: usize = 400;
+    const WARM: u64 = 100;
+
+    let n = shard_count_from_env(2);
+    let policy = ShillPolicy::new();
+    let shards = KernelShards::new_with(n, |k, s| {
+        k.fs.put_file(
+            "/pool/secret",
+            format!("classified-{s}").as_bytes(),
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    });
+    shards.register_policy(policy.clone());
+    let shard_a = 0;
+    let shard_b = n - 1;
+
+    // A session on shard B, created but NOT yet entered: its process is
+    // unrestricted, so shard B's AVC fills with permissive allows — the
+    // verdicts the cross-shard enter must revoke.
+    let reader_pid = {
+        let mut k = shards.lock_shard(shard_b);
+        let parent = k.spawn_user(Cred::user(100));
+        let child = k.fork(parent).unwrap();
+        policy.shill_init(child).unwrap();
+        child
+    };
+
+    // Two-flag bracketing of the revocation: `entering` is set before the
+    // epoch bump, `entered` after it. A denial is legitimate as soon as
+    // `entering` is up; an allow is stale only once `entered` is up.
+    let entering = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    thread::scope(|scope| {
+        let reader = {
+            let shards = shards.clone();
+            let entering = Arc::clone(&entering);
+            let entered = Arc::clone(&entered);
+            let progress = Arc::clone(&progress);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    shards.with_shard(shard_b, |k| {
+                        let was_entered = entered.load(Ordering::SeqCst);
+                        let open = k.open(reader_pid, "/pool/secret", OpenFlags::RDONLY, Mode(0));
+                        match open {
+                            Ok(fd) => {
+                                let _ = k.close(reader_pid, fd);
+                                if was_entered {
+                                    eprintln!(
+                                        "stale permissive allow served after cross-shard enter"
+                                    );
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(Errno::EACCES) => {
+                                if !entering.load(Ordering::SeqCst) {
+                                    eprintln!("denial before any enter began");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("unexpected open errno {e:?}");
+                                failures.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        // The batched path must obey the same fences.
+                        if i % 3 == 0 {
+                            let was_entered = entered.load(Ordering::SeqCst);
+                            let out = k
+                                .submit_batch(
+                                    reader_pid,
+                                    &SyscallBatch::single(BatchEntry::Stat {
+                                        dirfd: None,
+                                        path: "/pool/secret".into(),
+                                        follow: true,
+                                    }),
+                                )
+                                .expect("submit");
+                            match &out[0] {
+                                Ok(_) if was_entered => {
+                                    eprintln!("stale batched allow after cross-shard enter");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                                Err(Errno::EACCES) if !entering.load(Ordering::SeqCst) => {
+                                    eprintln!("batched denial before any enter began");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                                _ => {}
+                            }
+                        }
+                    });
+                    progress.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        // The revocation, driven from shard A. It never touches shard B's
+        // lock: the shared policy epoch is the only broadcast.
+        let revoker = {
+            let shards = shards.clone();
+            let policy = Arc::clone(&policy);
+            let entering = Arc::clone(&entering);
+            let entered = Arc::clone(&entered);
+            let progress = Arc::clone(&progress);
+            scope.spawn(move || {
+                while progress.load(Ordering::SeqCst) < WARM {
+                    thread::yield_now();
+                }
+                entering.store(true, Ordering::SeqCst);
+                shards.with_shard(shard_a, |k| {
+                    // Real shard-A kernel work in the same lock hold, so
+                    // the enter is literally performed "on shard A".
+                    let probe = k.spawn_user(Cred::user(9));
+                    policy.shill_enter(reader_pid).expect("enter");
+                    k.exit(probe, 0);
+                    let _ = k.waitpid(Pid(1), probe);
+                });
+                entered.store(true, Ordering::SeqCst);
+                // Keep shrinking authority from shard A while the reader
+                // probes: every churned session bumps the shared epoch.
+                for _ in 0..10 {
+                    shards.with_shard(shard_a, |k| {
+                        let parent = k.spawn_user(Cred::user(7));
+                        let sb = setup_sandbox(k, &policy, parent, &SandboxSpec::default())
+                            .expect("churn sandbox");
+                        k.exit(sb.child, 0);
+                        let _ = k.waitpid(parent, sb.child);
+                        k.exit(parent, 0);
+                        let _ = k.waitpid(Pid(1), parent);
+                    });
+                    thread::yield_now();
+                }
+            })
+        };
+        reader.join().unwrap();
+        revoker.join().unwrap();
+    });
+
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        0,
+        "stale verdicts crossed the shard boundary"
+    );
+    assert!(
+        entered.load(Ordering::SeqCst),
+        "the enter must have happened mid-run"
+    );
+}
+
+/// Deterministic form of the epoch broadcast: a fully warm session pinned
+/// to shard B revalidates its AVC verdicts (misses grow) after a session
+/// is churned on shard A — and its live grants still hold. One policy,
+/// two kernels, no shared kernel lock.
+#[test]
+fn cross_shard_epoch_broadcast_reaches_remote_shard_caches() {
+    let n = shard_count_from_env(2);
+    let policy = ShillPolicy::new();
+    let shards = KernelShards::new_with(n, |k, s| {
+        k.fs.put_file(
+            "/data/r.txt",
+            format!("reader-{s}").as_bytes(),
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+    });
+    shards.register_policy(policy.clone());
+    let shard_a = 0;
+    let shard_b = n - 1;
+
+    // A granted, entered session pinned to shard B.
+    let reader = {
+        let mut k = shards.lock_shard(shard_b);
+        let root = k.fs.root();
+        let data = k.fs.resolve_abs("/data").unwrap();
+        let file = k.fs.resolve_abs("/data/r.txt").unwrap();
+        let parent = k.spawn_user(Cred::user(100));
+        let spec = SandboxSpec {
+            grants: vec![
+                Grant::vnode(root, caps(&[Priv::Lookup])),
+                Grant::vnode(data, caps(&[Priv::Lookup])),
+                Grant::vnode(file, caps(&[Priv::Read, Priv::Stat])),
+            ],
+            ..Default::default()
+        };
+        setup_sandbox(&mut k, &policy, parent, &spec).unwrap().child
+    };
+    let read_once = || {
+        let d = shards.with_shard(shard_b, |k| {
+            let fd = k.open(reader, "/data/r.txt", OpenFlags::RDONLY, Mode(0))?;
+            let d = k.read(reader, fd, 32)?;
+            k.close(reader, fd)?;
+            Ok::<_, Errno>(d)
+        });
+        assert_eq!(
+            d,
+            Ok(format!("reader-{shard_b}").into_bytes()),
+            "a live grant must never flip"
+        );
+    };
+
+    for _ in 0..5 {
+        read_once();
+    }
+    let warm = shards.with_shard(shard_b, |k| k.stats.snapshot());
+    for _ in 0..5 {
+        read_once();
+    }
+    let steady = shards.with_shard(shard_b, |k| k.stats.snapshot());
+    assert_eq!(
+        steady.avc_misses, warm.avc_misses,
+        "a warm shard must be serving pure AVC hits"
+    );
+    assert!(steady.avc_hits > warm.avc_hits);
+
+    // Churn one whole session on shard A: enter + reclaim = two
+    // authority-shrinking epoch bumps through the shared policy.
+    let bumps_before = policy.stats().epoch_bumps;
+    shards.with_shard(shard_a, |k| {
+        let parent = k.spawn_user(Cred::user(7));
+        let sb = setup_sandbox(k, &policy, parent, &SandboxSpec::default()).expect("churn");
+        k.exit(sb.child, 0);
+        let _ = k.waitpid(parent, sb.child);
+        k.exit(parent, 0);
+        let _ = k.waitpid(Pid(1), parent);
+    });
+    assert!(policy.stats().epoch_bumps >= bumps_before + 2);
+
+    for _ in 0..5 {
+        read_once();
+    }
+    let after = shards.with_shard(shard_b, |k| k.stats.snapshot());
+    assert!(
+        after.avc_misses > steady.avc_misses,
+        "the shard-A epoch bump must invalidate shard B's cached verdicts \
+         (misses {} -> {})",
+        steady.avc_misses,
+        after.avc_misses
+    );
 }

@@ -49,7 +49,15 @@ impl Filesystem {
     /// Create a filesystem containing only a root directory owned by root
     /// with mode 0755.
     pub fn new() -> Filesystem {
-        let root_id = NodeId(1);
+        Filesystem::with_id_base(0)
+    }
+
+    /// Create a filesystem whose node ids are allocated from `base` upward
+    /// (root is `base + 1`). Kernel shards use disjoint bases so that
+    /// `NodeId`s — which key MAC policy labels shared across shards — never
+    /// alias between shards' namespaces.
+    pub fn with_id_base(base: u64) -> Filesystem {
+        let root_id = NodeId(base + 1);
         let mut nodes = HashMap::new();
         nodes.insert(
             root_id,
@@ -67,7 +75,7 @@ impl Filesystem {
         Filesystem {
             nodes,
             root: root_id,
-            next_id: 2,
+            next_id: base + 2,
             clock: 1,
             name_cache: HashMap::new(),
             open_refs: HashMap::new(),

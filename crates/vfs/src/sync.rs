@@ -7,7 +7,7 @@
 //! so the dcache, the kernel's AVC/batch state, and the sandbox policy all
 //! share one primitive (`shill_sandbox::sync` re-exports it).
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T>(std::sync::Mutex<T>);
@@ -25,6 +25,41 @@ impl<T> Mutex<T> {
     }
 
     /// Consume the mutex, recovering the value even if poisoned.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Poison-recovering reader-writer lock over `std::sync::RwLock`, shaped
+/// like the [`Mutex`] shim above. The sandbox policy's hot read paths
+/// (warm privilege-propagation probes) take the read side so sessions
+/// pinned to different kernel shards don't serialize on the policy state.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the lock, recovering the value even if poisoned.
     pub fn into_inner(self) -> T {
         match self.0.into_inner() {
             Ok(v) => v,

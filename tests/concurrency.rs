@@ -62,16 +62,10 @@ struct SessionFixture {
     fds: Vec<Fd>,
 }
 
-/// Build a kernel hosting `SESSIONS` sandboxes, each confined to
-/// `/data/t{i}` (with an ungranted `/data/x{i}` sibling for denials). The
-/// construction is fully deterministic so two calls produce identical
-/// kernels.
-fn build_kernel(cached: bool) -> (Kernel, Arc<ShillPolicy>, Vec<SessionFixture>) {
-    let mut k = Kernel::new();
-    k.set_cache_enabled(cached, cached);
-    let policy = ShillPolicy::new();
-    k.register_policy(policy.clone());
-
+/// Populate the deterministic `/data` tree (`SESSIONS` confined subtrees
+/// plus ungranted `/data/x{i}` siblings for denials) on a kernel — the
+/// same construction whether the kernel stands alone or is one shard.
+fn populate_fs(k: &mut Kernel) {
     for i in 0..SESSIONS {
         for j in 0..3 {
             k.fs.put_file(
@@ -100,7 +94,10 @@ fn build_kernel(cached: bool) -> (Kernel, Arc<ShillPolicy>, Vec<SessionFixture>)
         )
         .unwrap();
     }
+}
 
+/// Build `SESSIONS` sandboxes on an already-populated kernel.
+fn build_sessions(k: &mut Kernel, policy: &Arc<ShillPolicy>) -> Vec<SessionFixture> {
     let root = k.fs.root();
     let data = k.fs.resolve_abs("/data").unwrap();
     let user = k.spawn_user(Cred::ROOT);
@@ -147,7 +144,7 @@ fn build_kernel(cached: bool) -> (Kernel, Arc<ShillPolicy>, Vec<SessionFixture>)
             ],
             ..Default::default()
         };
-        let sb = setup_sandbox(&mut k, &policy, user, &spec).unwrap();
+        let sb = setup_sandbox(k, policy, user, &spec).unwrap();
         let rd = k
             .open(
                 sb.child,
@@ -173,6 +170,19 @@ fn build_kernel(cached: bool) -> (Kernel, Arc<ShillPolicy>, Vec<SessionFixture>)
             fds: vec![rd, wr, dir],
         });
     }
+    fixtures
+}
+
+/// Build a standalone kernel hosting `SESSIONS` sandboxes. The
+/// construction is fully deterministic so two calls produce identical
+/// kernels.
+fn build_kernel(cached: bool) -> (Kernel, Arc<ShillPolicy>, Vec<SessionFixture>) {
+    let mut k = Kernel::new();
+    k.set_cache_enabled(cached, cached);
+    let policy = ShillPolicy::new();
+    k.register_policy(policy.clone());
+    populate_fs(&mut k);
+    let fixtures = build_sessions(&mut k, &policy);
     (k, policy, fixtures)
 }
 
@@ -567,5 +577,125 @@ fn batch_pool_random_flat_batches_match_sequential_replay() {
             session_denials(&policy_b, fixtures_b[i].session),
             "session {i}: pooled flat-batch denials diverged"
         );
+    }
+}
+
+// ===================================================================
+// ISSUE 5: the sharded kernel. The PR 4 equivalence guarantees must hold
+// unchanged against `KernelShards` at any shard count: shard-count-1 is
+// bit-for-bit the PR 3/4 single-lock kernel, and at N shards each shard's
+// sessions must match a standalone twin built identically — any
+// cross-shard interference through the shared policy state would diverge.
+// Honors SHILL_SHARDS (CI runs 1, 2, and 4).
+// ===================================================================
+
+use shill::kernel::{shard_count_from_env, KernelShards};
+use shill::sandbox::ShardedBatchJob;
+
+#[test]
+fn sharded_pool_matches_per_shard_sequential_replay() {
+    let nshards = shard_count_from_env(2);
+    for cached in [true, false] {
+        // Sharded side: ONE policy across all shards, `SESSIONS` sandboxes
+        // per shard, every job shard-local through the persistent pool.
+        let policy_a = ShillPolicy::new();
+        let shards = KernelShards::new_with(nshards, |k, _| {
+            k.set_cache_enabled(cached, cached);
+            populate_fs(k);
+        });
+        shards.register_policy(policy_a.clone());
+        let fixtures_a: Vec<Vec<SessionFixture>> = (0..nshards)
+            .map(|s| {
+                let mut k = shards.lock_shard(s);
+                build_sessions(&mut k, &policy_a)
+            })
+            .collect();
+
+        // Twin side: per-shard standalone kernels with their own policy,
+        // built identically (same shard index, so identical id spaces).
+        let mut twins: Vec<(Kernel, Arc<ShillPolicy>, Vec<SessionFixture>)> = (0..nshards)
+            .map(|s| {
+                let mut k = Kernel::new_shard(s);
+                k.set_cache_enabled(cached, cached);
+                let p = ShillPolicy::new();
+                k.register_policy(p.clone());
+                populate_fs(&mut k);
+                let f = build_sessions(&mut k, &p);
+                (k, p, f)
+            })
+            .collect();
+        for (s, (_, _, fb)) in twins.iter().enumerate() {
+            for (a, b) in fixtures_a[s].iter().zip(fb) {
+                assert_eq!(a.child, b.child, "twin shard {s} diverged");
+                assert_eq!(a.fds, b.fds);
+            }
+        }
+
+        let pool = BatchPool::new(4);
+        let rendezvous_before = shards.rendezvous_count();
+        let mut pool_results: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); SESSIONS]; nshards];
+        for round in 0..ROUNDS {
+            let jobs: Vec<ShardedBatchJob> = (0..nshards)
+                .flat_map(|s| {
+                    fixtures_a[s].iter().enumerate().flat_map(move |(i, fx)| {
+                        [
+                            ShardedBatchJob::local(BatchJob {
+                                pid: fx.child,
+                                batch: session_pipeline(i, round),
+                            }),
+                            ShardedBatchJob::local(BatchJob {
+                                pid: fx.child,
+                                batch: neighbour_probe(i),
+                            }),
+                        ]
+                    })
+                })
+                .collect();
+            let outs = pool.run_sharded(&shards, jobs);
+            for (j, out) in outs.into_iter().enumerate() {
+                let (s, rest) = (j / (SESSIONS * 2), j % (SESSIONS * 2));
+                let (i, n) = (rest / 2, if rest % 2 == 0 { 4 } else { 1 });
+                let slots = completions_to_slots(n, &out.expect("pool job"));
+                pool_results[s][i].extend(slots.iter().map(fingerprint));
+            }
+        }
+        for s in 0..nshards {
+            assert!(
+                !shards.with_shard(s, |k| k.batch_in_flight()),
+                "batch state leaked on shard {s}"
+            );
+        }
+        assert_eq!(
+            shards.rendezvous_count(),
+            rendezvous_before,
+            "shard-local jobs must never pay a rendezvous"
+        );
+
+        // Per-shard sequential replay on the twins.
+        for (s, (kernel_b, policy_b, fixtures_b)) in twins.iter_mut().enumerate() {
+            for round in 0..ROUNDS {
+                for (i, fx) in fixtures_b.iter().enumerate() {
+                    let mut seq = Vec::new();
+                    for batch in [session_pipeline(i, round), neighbour_probe(i)] {
+                        let out = kernel_b.run_sequential(fx.child, &batch).expect("seq");
+                        seq.extend(out.iter().map(fingerprint));
+                    }
+                    let start = round * seq.len();
+                    assert_eq!(
+                        &pool_results[s][i][start..start + seq.len()],
+                        &seq[..],
+                        "shard {s} session {i} round {round} (cached={cached}, \
+                         shards={nshards}): sharded pool diverged from twin replay"
+                    );
+                }
+            }
+            for (a, b) in fixtures_a[s].iter().zip(fixtures_b.iter()) {
+                assert_eq!(
+                    session_denials(&policy_a, a.session),
+                    session_denials(policy_b, b.session),
+                    "shard {s}: audit denials diverged (cached={cached})"
+                );
+            }
+        }
     }
 }

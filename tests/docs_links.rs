@@ -1,0 +1,119 @@
+//! Link check over the documentation book (ISSUE 5 docs satellite): every
+//! relative link in `docs/*.md`, `ARCHITECTURE.md`, and `ROADMAP.md` must
+//! resolve to a real file, and every file the prose claims to exist
+//! (backtick-quoted `docs/*.md` references included) must exist. CI runs
+//! this as part of the docs job, so the book cannot rot silently.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root: integration tests run with the crate root as cwd.
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `](target)` markdown link targets from `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("](") {
+        rest = &rest[i + 2..];
+        if let Some(end) = rest.find(')') {
+            out.push(rest[..end].to_string());
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Backtick-quoted repo paths the prose references (`docs/foo.md`,
+/// `crates/kernel/src/shard.rs`, …): any such claim must hold.
+fn quoted_paths(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for piece in text.split('`').skip(1).step_by(2) {
+        // A span wrapped across lines is prose, not a path claim.
+        if piece.contains('\n') {
+            continue;
+        }
+        let looks_like_path = (piece.starts_with("docs/")
+            || piece.starts_with("crates/")
+            || piece.starts_with("tests/")
+            || piece.starts_with(".github/"))
+            && !piece.contains(' ')
+            && !piece.contains('*')
+            && !piece.contains('{');
+        if looks_like_path {
+            out.push(piece.to_string());
+        }
+    }
+    out
+}
+
+fn check_file(path: &Path, failures: &mut Vec<String>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    for target in link_targets(&text) {
+        // External links and intra-page anchors are out of scope.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        let file_part = target.split('#').next().unwrap_or("");
+        if file_part.is_empty() {
+            continue;
+        }
+        let resolved = dir.join(file_part);
+        if !resolved.exists() {
+            failures.push(format!(
+                "{}: broken link `{target}` (resolved {resolved:?})",
+                path.display()
+            ));
+        }
+    }
+    for quoted in quoted_paths(&text) {
+        if !root().join(&quoted).exists() {
+            failures.push(format!(
+                "{}: references `{quoted}`, which does not exist",
+                path.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn documentation_links_resolve() {
+    let root = root();
+    let mut files = vec![root.join("ARCHITECTURE.md"), root.join("ROADMAP.md")];
+    let docs = root.join("docs");
+    assert!(
+        docs.is_dir(),
+        "the docs book (docs/) must exist — ISSUE 5 split ARCHITECTURE.md into it"
+    );
+    let mut book = 0;
+    for entry in std::fs::read_dir(&docs).expect("read docs/") {
+        let p = entry.expect("dir entry").path();
+        if p.extension().and_then(|e| e.to_str()) == Some("md") {
+            files.push(p);
+            book += 1;
+        }
+    }
+    assert!(
+        book >= 4,
+        "expected the four-chapter book (concurrency, completion-model, caches, tuning), found {book}"
+    );
+
+    let mut failures = Vec::new();
+    for f in &files {
+        check_file(f, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "documentation link check failed:\n{}",
+        failures.join("\n")
+    );
+}
