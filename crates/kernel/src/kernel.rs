@@ -635,6 +635,22 @@ impl Kernel {
         self.fs.dcache().stats().evictions
     }
 
+    /// Stats snapshot that first drains each registered policy's contention
+    /// counter ([`MacPolicy::take_contention`]) into
+    /// `KernelStats::policy_stripe_contention`. [`crate::shard::KernelShards::stats`]
+    /// folds these per-shard snapshots under one rendezvous, so the merged
+    /// view accounts every contended stripe acquisition exactly once.
+    /// `self.stats.snapshot()` remains the raw, drain-free form.
+    pub fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
+        for p in self.registry.iter() {
+            let drained = p.take_contention();
+            if drained > 0 {
+                KernelStats::add(&self.stats.policy_stripe_contention, drained);
+            }
+        }
+        self.stats.snapshot()
+    }
+
     /// Deterministic pseudo-random byte source for `/dev/random`.
     pub(crate) fn next_random(&mut self) -> u8 {
         self.rng ^= self.rng << 13;

@@ -164,6 +164,17 @@ pub trait MacPolicy: Send + Sync {
         0
     }
 
+    /// Drain the number of *contended* internal lock acquisitions the
+    /// policy accumulated since the last drain (a striped policy counts an
+    /// acquisition whose `try_lock` probe found the stripe held). The
+    /// kernel pulls this at snapshot time and folds it into
+    /// `KernelStats::policy_stripe_contention`; draining (return-and-reset)
+    /// keeps the aggregate exact even with one policy attached to many
+    /// shards. Policies without internal striping report 0.
+    fn take_contention(&self) -> u64 {
+        0
+    }
+
     // --- checks ---------------------------------------------------------
     fn vnode_check(&self, _ctx: MacCtx, _node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
         Ok(())

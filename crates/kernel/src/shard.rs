@@ -328,12 +328,15 @@ impl KernelShards {
     }
 
     /// Aggregate stats snapshot across all shards, under a rendezvous so
-    /// no wave is mid-flight while counters are read.
+    /// no wave is mid-flight while counters are read. Uses the draining
+    /// form ([`Kernel::stats_snapshot`]) so policy-side contention counters
+    /// land in `policy_stripe_contention` exactly once even though one
+    /// policy module is attached to every shard.
     pub fn stats(&self) -> StatsSnapshot {
         self.rendezvous(|shards| {
             shards
                 .iter()
-                .map(|k| k.stats.snapshot())
+                .map(|k| k.stats_snapshot())
                 .fold(StatsSnapshot::default(), |acc, s| acc.merged(&s))
         })
     }

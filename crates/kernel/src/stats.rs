@@ -75,6 +75,16 @@ pub struct KernelStats {
     /// Entries cancelled by scheduler dependency poisoning (the abort/
     /// missing-input cone), booked as cancellations, not failures.
     pub sched_cancelled_cone: AtomicU64,
+    /// Contended policy stripe-lock acquisitions drained from registered
+    /// MAC policies ([`crate::mac::MacPolicy::take_contention`]) at
+    /// snapshot time. Zero when every stripe acquisition found its lock
+    /// free — the healthy state for shard-affine traffic.
+    pub policy_stripe_contention: AtomicU64,
+    /// Jobs a `BatchPool` worker stole from another worker's deque and
+    /// executed against this shard. Booked under the stolen job's first
+    /// wave lock, so the per-shard split shows *whose* traffic overflowed
+    /// its affine worker.
+    pub pool_steals: AtomicU64,
 }
 
 impl KernelStats {
@@ -113,6 +123,8 @@ impl KernelStats {
             sched_reorders: get(&self.sched_reorders),
             slot_links: get(&self.slot_links),
             sched_cancelled_cone: get(&self.sched_cancelled_cone),
+            policy_stripe_contention: get(&self.policy_stripe_contention),
+            pool_steals: get(&self.pool_steals),
         }
     }
 
@@ -141,6 +153,8 @@ impl KernelStats {
             &self.sched_reorders,
             &self.slot_links,
             &self.sched_cancelled_cone,
+            &self.policy_stripe_contention,
+            &self.pool_steals,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -176,6 +190,9 @@ impl StatsSnapshot {
             sched_reorders: self.sched_reorders + other.sched_reorders,
             slot_links: self.slot_links + other.slot_links,
             sched_cancelled_cone: self.sched_cancelled_cone + other.sched_cancelled_cone,
+            policy_stripe_contention: self.policy_stripe_contention
+                + other.policy_stripe_contention,
+            pool_steals: self.pool_steals + other.pool_steals,
         }
     }
 }
@@ -206,6 +223,8 @@ pub struct StatsSnapshot {
     pub sched_reorders: u64,
     pub slot_links: u64,
     pub sched_cancelled_cone: u64,
+    pub policy_stripe_contention: u64,
+    pub pool_steals: u64,
 }
 
 #[cfg(test)]

@@ -301,6 +301,34 @@ struct PoolTask {
     done: mpsc::Sender<(usize, SysResult<Vec<Completion>>)>,
 }
 
+/// Pool bookkeeping shared by producers ([`BatchPool::run_sharded`]) and
+/// workers. The single job channel of the earlier pool is replaced by one
+/// deque **per worker** plus work stealing, so shard-affine jobs land on
+/// the worker that last executed that shard's traffic (warm shard lock,
+/// warm caches) and only overflow migrates.
+struct PoolShared {
+    /// Per-worker job deques. The owner pops its own **front**; a starving
+    /// worker steals from a victim's **back** — the end furthest from what
+    /// the owner touches next, classic work-stealing order.
+    queues: Vec<Mutex<std::collections::VecDeque<PoolTask>>>,
+    /// Wait-state guarded by one small mutex: producers bump `queued`
+    /// *before* publishing a task, workers decrement after taking one, so
+    /// `queued == 0` under this lock really means "nothing in flight".
+    state: Mutex<PoolState>,
+    /// Workers park here when every deque is dry and the pool is open.
+    cv: std::sync::Condvar,
+    /// Jobs taken from another worker's deque (the pool-side steal count;
+    /// the kernel-side [`StatsSnapshot::pool_steals`] is booked per shard
+    /// under the stolen job's first wave lock and can only lag this —
+    /// a stolen job whose DAG validation fails never touches a shard).
+    steals: std::sync::atomic::AtomicU64,
+}
+
+struct PoolState {
+    closed: bool,
+    queued: usize,
+}
+
 /// Per-worker scratch reused across jobs: a cross-shard job's fence
 /// declaration is normalized once per job ([`KernelShards::fence_set`])
 /// into this buffer, and every wave's multi-lock acquisition then runs
@@ -332,61 +360,117 @@ struct WorkerArena {
 /// bookkeeping (channel sends, result collection) — no interior lock is
 /// ever held across a shard-lock acquisition.
 pub struct BatchPool {
-    tx: Option<mpsc::Sender<PoolTask>>,
+    shared: Arc<PoolShared>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl BatchPool {
-    /// Spawn a pool of `workers` persistent threads (at least one). The
-    /// threads idle on the job channel until [`BatchPool::run`] /
-    /// [`BatchPool::run_sharded`] feed them, and exit when the pool drops.
+    /// Spawn a pool of `workers` persistent threads (at least one). Each
+    /// worker owns a deque; threads idle on the pool condvar until
+    /// [`BatchPool::run`] / [`BatchPool::run_sharded`] feed them, and exit
+    /// when the pool drops. A worker drains its **own** deque first and
+    /// steals from siblings only when it runs dry, so shard affinity holds
+    /// exactly as long as the affine worker keeps up.
     pub fn new(workers: usize) -> BatchPool {
-        let (tx, rx) = mpsc::channel::<PoolTask>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                thread::spawn(move || {
-                    let mut arena = WorkerArena::default();
-                    loop {
-                        // Hold the receiver lock only for the dequeue; the
-                        // job itself runs with pool bookkeeping released.
-                        let task = rx.lock().recv();
-                        let Ok(PoolTask {
-                            shards,
-                            idx,
-                            job,
-                            done,
-                        }) = task
-                        else {
-                            break;
-                        };
-                        // A panicking policy module must cost one job (its
-                        // slot reports EINVAL, as the scoped pool's join
-                        // did), not a pool worker for the process lifetime.
-                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            Self::run_one(&shards, job, &mut arena)
-                        }))
-                        .unwrap_or(Err(Errno::EINVAL));
-                        // The result send is the "job done" edge: no kernel
-                        // handle may outlive it, so a caller that saw every
-                        // result can immediately recover sole ownership of
-                        // the shard set (the reuse regression pins this).
-                        drop(shards);
-                        let _ = done.send((idx, r));
-                    }
-                })
+        let n = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..n)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            state: Mutex::new(PoolState {
+                closed: false,
+                queued: 0,
+            }),
+            cv: std::sync::Condvar::new(),
+            steals: std::sync::atomic::AtomicU64::new(0),
+        });
+        let workers = (0..n)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || Self::worker_loop(&shared, me))
             })
             .collect();
-        BatchPool {
-            tx: Some(tx),
-            workers,
+        BatchPool { shared, workers }
+    }
+
+    fn worker_loop(shared: &PoolShared, me: usize) {
+        let mut arena = WorkerArena::default();
+        let n = shared.queues.len();
+        loop {
+            // Own deque first (front: submission order); hold each deque
+            // lock only for the pop — the job runs with pool bookkeeping
+            // released.
+            let mut found = shared.queues[me].lock().pop_front().map(|t| (t, false));
+            if found.is_none() {
+                // Dry: steal from a sibling's back. Scan order starts at
+                // the next worker so victims rotate instead of piling onto
+                // worker 0.
+                for off in 1..n {
+                    let victim = (me + off) % n;
+                    if let Some(t) = shared.queues[victim].lock().pop_back() {
+                        shared
+                            .steals
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        found = Some((t, true));
+                        break;
+                    }
+                }
+            }
+            let Some((task, stolen)) = found else {
+                let st = shared.state.lock();
+                if st.queued > 0 {
+                    // A producer has announced a task it hasn't finished
+                    // publishing (or a sibling popped between our scan and
+                    // this lock): rescan rather than sleep through it.
+                    drop(st);
+                    thread::yield_now();
+                    continue;
+                }
+                if st.closed {
+                    break;
+                }
+                let _unused = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
+                continue;
+            };
+            shared.state.lock().queued -= 1;
+            let PoolTask {
+                shards,
+                idx,
+                job,
+                done,
+            } = task;
+            // A panicking policy module must cost one job (its slot
+            // reports EINVAL, as the scoped pool's join did), not a pool
+            // worker for the process lifetime.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Self::run_one(&shards, job, stolen, &mut arena)
+            }))
+            .unwrap_or(Err(Errno::EINVAL));
+            // The result send is the "job done" edge: no kernel handle may
+            // outlive it, so a caller that saw every result can immediately
+            // recover sole ownership of the shard set (the reuse
+            // regression pins this).
+            drop(shards);
+            let _ = done.send((idx, r));
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs executed by a worker other than the one they were routed to,
+    /// over the pool's lifetime. Zero while every affine worker keeps up
+    /// with its own shard's traffic; growth is the load-imbalance signal
+    /// (and the proof, in tests, that stealing actually engaged).
+    pub fn steals(&self) -> u64 {
+        self.shared
+            .steals
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Execute every job as shard-local work routed by pid, returning
@@ -410,6 +494,13 @@ impl BatchPool {
     /// and across different shard sets — workers hold a shard-set handle
     /// only while executing a job of it (the reuse regression test pins
     /// this down: a drained pool holds no kernel, session, or batch state).
+    ///
+    /// Routing: on a multi-shard set, a job goes to the deque of worker
+    /// `shard_of(pid) % workers` — jobs of one shard queue behind each
+    /// other on the worker whose caches that shard's traffic last warmed,
+    /// and contend for its shard lock from one thread instead of several.
+    /// On a single-shard set there is no affinity to exploit, so jobs
+    /// round-robin. Either way, idle workers steal the overflow.
     pub fn run_sharded(
         &self,
         shards: &KernelShards,
@@ -419,23 +510,30 @@ impl BatchPool {
         if n == 0 {
             return Vec::new();
         }
-        let tx = self.tx.as_ref().expect("pool not dropped");
+        let workers = self.workers.len();
+        let affine = shards.count() > 1;
         let (done_tx, done_rx) = mpsc::channel();
         let mut out: Vec<SysResult<Vec<Completion>>> = (0..n).map(|_| Err(Errno::EINVAL)).collect();
-        let mut expected = 0usize;
         for (idx, job) in jobs.into_iter().enumerate() {
+            let target = if affine {
+                shards.shard_of(job.job.pid) % workers
+            } else {
+                idx % workers
+            };
             let task = PoolTask {
                 shards: shards.clone(),
                 idx,
                 job,
                 done: done_tx.clone(),
             };
-            if tx.send(task).is_ok() {
-                expected += 1;
-            }
+            // Announce before publishing: a worker that sees `queued > 0`
+            // with an empty scan knows to rescan, never to sleep.
+            self.shared.state.lock().queued += 1;
+            self.shared.queues[target].lock().push_back(task);
+            self.shared.cv.notify_one();
         }
         drop(done_tx);
-        for (idx, r) in done_rx.iter().take(expected) {
+        for (idx, r) in done_rx.iter().take(n) {
             out[idx] = r;
         }
         out
@@ -444,10 +542,13 @@ impl BatchPool {
     /// Drive one job: validate outside any lock, execute wave by wave
     /// acquiring the pinned shard's lock (or the fence's rendezvous) once
     /// per wave, audit under the same discipline, and assemble the
-    /// completion queue (the payload moves) outside it.
+    /// completion queue (the payload moves) outside it. A stolen job books
+    /// one `pool_steals` on its home shard inside its first wave hold, so
+    /// the per-shard stat split shows whose traffic overflowed.
     fn run_one(
         shards: &KernelShards,
         job: ShardedBatchJob,
+        stolen: bool,
         arena: &mut WorkerArena,
     ) -> SysResult<Vec<Completion>> {
         let pid = job.job.pid;
@@ -459,11 +560,19 @@ impl BatchPool {
             shards.fence_set(home, &job.fence, &mut arena.fence);
         }
         let mut run = ScheduledRun::prepare(pid, job.job.batch)?;
+        let mut credit_steal = stolen;
+        let mut wave = |k: &mut Kernel, run: &mut ScheduledRun| {
+            if credit_steal {
+                shill_kernel::KernelStats::bump(&k.stats.pool_steals);
+                credit_steal = false;
+            }
+            k.sched_run_wave(run)
+        };
         loop {
             let more = if fenced {
-                shards.fenced_ordered(home, &arena.fence, |k| k.sched_run_wave(&mut run))?
+                shards.fenced_ordered(home, &arena.fence, |k| wave(k, &mut run))?
             } else {
-                shards.with_shard(home, |k| k.sched_run_wave(&mut run))?
+                shards.with_shard(home, |k| wave(k, &mut run))?
             };
             if !more {
                 break;
@@ -479,11 +588,12 @@ impl BatchPool {
 }
 
 impl Drop for BatchPool {
-    /// Drain on drop: close the job channel (workers finish what is
-    /// already queued — results of an in-flight `run_sharded` on another
-    /// thread still arrive) and join every worker.
+    /// Drain on drop: close the pool (workers finish every task already
+    /// deposited — results of an in-flight `run_sharded` on another thread
+    /// still arrive), wake all sleepers, and join every worker.
     fn drop(&mut self) {
-        self.tx.take();
+        self.shared.state.lock().closed = true;
+        self.shared.cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -856,6 +966,93 @@ mod tests {
         // All-local traffic never paid a rendezvous inside the pool (the
         // register/teardown rendezvous are accounted before/after runs).
         drop(pool);
+    }
+
+    /// A policy that parks `blocked`'s first vnode check until `release`'s
+    /// first vnode check has happened — a deterministic way to wedge one
+    /// worker mid-wave and force its remaining queue onto a thief.
+    struct GatePolicy {
+        blocked: Pid,
+        release: Pid,
+        tx: Mutex<Option<mpsc::Sender<()>>>,
+        rx: Mutex<Option<mpsc::Receiver<()>>>,
+    }
+
+    impl shill_kernel::MacPolicy for GatePolicy {
+        fn name(&self) -> &str {
+            "gate"
+        }
+        fn vnode_check(
+            &self,
+            ctx: shill_kernel::MacCtx,
+            _node: shill_vfs::NodeId,
+            _op: &shill_kernel::VnodeOp<'_>,
+        ) -> SysResult<()> {
+            if ctx.pid == self.release {
+                if let Some(tx) = self.tx.lock().take() {
+                    let _ = tx.send(());
+                }
+            } else if ctx.pid == self.blocked {
+                if let Some(rx) = self.rx.lock().take() {
+                    // A generous timeout turns a broken steal path into a
+                    // loud test failure instead of a hung suite.
+                    rx.recv_timeout(std::time::Duration::from_secs(10))
+                        .expect("gate never released: the idle worker did not steal");
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn starving_worker_steals_from_a_wedged_siblings_deque() {
+        use shill_kernel::completions_to_slots;
+
+        // Three shards, two workers: shards 0 and 2 both route to worker 0
+        // (`shard % workers`), shard 1 to worker 1. The shard-0 job wedges
+        // inside its first wave (holding only shard 0's lock), so the
+        // shard-2 job behind it in worker 0's deque can only finish if
+        // worker 1 steals it — and the gate only opens when it runs, making
+        // completion itself the proof that stealing engaged.
+        let shards = KernelShards::new_with(3, populate_shard);
+        let wedged = shards.with_shard(0, |k| k.spawn_user(Cred::user(100)));
+        let runner = shards.with_shard(2, |k| k.spawn_user(Cred::user(100)));
+        let (tx, rx) = mpsc::channel();
+        shards.register_policy(Arc::new(GatePolicy {
+            blocked: wedged,
+            release: runner,
+            tx: Mutex::new(Some(tx)),
+            rx: Mutex::new(Some(rx)),
+        }));
+
+        let pool = BatchPool::new(2);
+        let read = |pid: Pid| {
+            ShardedBatchJob::local(BatchJob {
+                pid,
+                batch: SyscallBatch::single(shill_kernel::BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: "/work/data.txt".into(),
+                }),
+            })
+        };
+        let outs = pool.run_sharded(&shards, vec![read(wedged), read(runner)]);
+        for (i, (out, shard)) in outs.iter().zip([0usize, 2]).enumerate() {
+            let slots = completions_to_slots(1, out.as_ref().unwrap());
+            assert_eq!(
+                slots[0],
+                Ok(shill_kernel::BatchOut::Data(
+                    format!("shard-{shard}").into_bytes()
+                )),
+                "job {i}"
+            );
+        }
+        // The pool observed the steal, and the stolen job booked it on its
+        // home shard; the kernel-side count can only lag the pool's (a
+        // stolen job credits the stat inside its first wave).
+        assert!(pool.steals() >= 1, "no steal recorded");
+        let merged = shards.stats();
+        assert!(merged.pool_steals >= 1, "kernel never saw the steal");
+        assert!(merged.pool_steals <= pool.steals());
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub use executor::{
 };
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
 pub use log::{BatchWaveAudit, LogEvent, SandboxLog};
-pub use policy::{PolicyStats, ShillPolicy};
+pub use policy::{
+    stripe_count_from_env, PolicyStats, ShillPolicy, DEFAULT_POLICY_STRIPES, MAX_POLICY_STRIPES,
+    POLICY_STRIPES_ENV,
+};
 pub use policyfile::{build_spec, parse_policy, ParseError, Rule};
 pub use session::{Session, SessionId};
 pub use shill_kernel::KernelShards;

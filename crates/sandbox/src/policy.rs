@@ -16,12 +16,28 @@
 //! The policy also enforces the coarser MAC granularity the paper reports:
 //! to write (or append) a session needs **both** `+write` and `+append`
 //! (§3.2.3), because the framework has one write entry point.
+//!
+//! # Striped state
+//!
+//! SHILL's capability semantics require per-session label isolation plus a
+//! globally ordered revocation epoch — nothing couples two sessions' label
+//! maps. The state is therefore **striped by session**: labels are kept
+//! session-major (`SessionId → ObjId → CapPrivs`) inside N lock stripes
+//! keyed by `SessionId`, so a session's enter, label merges, checks, and
+//! reclaim scrub touch only its own stripe. Pid→session routing lives in a
+//! second stripe array keyed by pid. The revocation epoch stays one global
+//! `AtomicU64` (the cross-shard/cross-stripe invalidation broadcast), the
+//! audit log sits behind its own mutex, and every counter is an atomic —
+//! there is **no** global lock left on any label path. Stripe locks are
+//! leaves: no other lock is ever acquired while one is held (log pushes
+//! happen after the stripe guard drops). The stripe count comes from
+//! `SHILL_POLICY_STRIPES` (default [`DEFAULT_POLICY_STRIPES`]).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::sync::RwLock;
+use crate::sync::{Mutex, RwLock};
 
 use shill_cap::{pipe_op_priv, socket_op_priv, vnode_op_priv, CapPrivs, Priv, PrivSet};
 use shill_kernel::SockDomain;
@@ -30,6 +46,29 @@ use shill_vfs::{Errno, FileType, NodeId, SysResult};
 
 use crate::log::{LogEvent, SandboxLog};
 use crate::session::{Session, SessionId};
+
+/// Environment knob selecting the policy stripe count (clamped to
+/// 1..=[`MAX_POLICY_STRIPES`]).
+pub const POLICY_STRIPES_ENV: &str = "SHILL_POLICY_STRIPES";
+
+/// Default stripe count: enough to keep sessions of a handful of kernel
+/// shards on distinct locks without bloating the tiny single-session case.
+pub const DEFAULT_POLICY_STRIPES: usize = 8;
+
+/// Upper bound on the stripe count (mirrors the kernel's shard clamp).
+pub const MAX_POLICY_STRIPES: usize = 1024;
+
+/// Stripe count from [`POLICY_STRIPES_ENV`], falling back to `default`;
+/// out-of-range or unparsable values clamp/fall back rather than panic.
+pub fn stripe_count_from_env(default: usize) -> usize {
+    match std::env::var(POLICY_STRIPES_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_POLICY_STRIPES),
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
 
 /// Counters exposed for tests and the benchmark harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,123 +85,69 @@ pub struct PolicyStats {
     /// session reclamation) that invalidated the kernel's access-vector
     /// cache.
     pub epoch_bumps: u64,
+    /// Stripe-lock acquisitions (label or pid-routing stripes) whose
+    /// `try_lock` probe found the stripe held by another thread. Zero for
+    /// single-threaded and perfectly shard-affine workloads; growth means
+    /// sessions are colliding on a stripe (raise `SHILL_POLICY_STRIPES`).
+    pub stripe_contention: u64,
 }
 
+/// Per-policy atomic counters ([`PolicyStats`] is their snapshot).
+#[derive(Debug, Default)]
+struct PolicyCounters {
+    sessions_created: AtomicU64,
+    grants: AtomicU64,
+    propagations: AtomicU64,
+    denials: AtomicU64,
+    checks: AtomicU64,
+    scrubbed: AtomicU64,
+    epoch_bumps: AtomicU64,
+    stripe_contention: AtomicU64,
+    /// Watermark of `stripe_contention` already drained to the kernel via
+    /// [`MacPolicy::take_contention`].
+    contention_drained: AtomicU64,
+}
+
+/// One session's state inside its stripe: metadata plus its session-major
+/// label map (`ObjId → privileges`). Reclaiming the session drops the whole
+/// struct — the scrub is `O(own labels)` and touches no other stripe.
+struct SessionState {
+    meta: Session,
+    labels: HashMap<ObjId, Arc<CapPrivs>>,
+}
+
+impl SessionState {
+    fn new(id: SessionId, parent: Option<SessionId>) -> SessionState {
+        SessionState {
+            meta: Session::new(id, parent),
+            labels: HashMap::new(),
+        }
+    }
+}
+
+/// One lock stripe of session-major state.
 #[derive(Default)]
-struct State {
-    sessions: HashMap<SessionId, Session>,
-    proc_session: HashMap<Pid, SessionId>,
-    labels: HashMap<ObjId, HashMap<SessionId, Arc<CapPrivs>>>,
-    next_session: u64,
-    log: SandboxLog,
-    stats: PolicyStats,
+struct Stripe {
+    sessions: HashMap<SessionId, SessionState>,
 }
 
-impl State {
-    /// The *entered* session of a process, if any — only entered sessions
-    /// are restricted (§3.2.1).
-    fn entered_session(&self, pid: Pid) -> Option<SessionId> {
-        let sid = *self.proc_session.get(&pid)?;
-        let s = self.sessions.get(&sid)?;
-        if s.entered {
-            Some(sid)
-        } else {
-            None
+/// Merge a propagated/granted entry under the no-amplification rule:
+/// keep the existing entry unless the new one subsumes it.
+fn merge_label(labels: &mut HashMap<ObjId, Arc<CapPrivs>>, obj: ObjId, new: Arc<CapPrivs>) -> bool {
+    match labels.get(&obj) {
+        // Re-propagation of the very same description (hot path: every
+        // repeated lookup re-derives the same `Arc` from the parent
+        // label) — nothing can change, skip the structural compare.
+        Some(existing) if Arc::ptr_eq(existing, &new) => false,
+        None => {
+            labels.insert(obj, new);
+            true
         }
-    }
-
-    fn privs_on(&self, session: SessionId, obj: ObjId) -> Option<Arc<CapPrivs>> {
-        self.labels.get(&obj)?.get(&session).cloned()
-    }
-
-    /// Merge a propagated/granted entry under the no-amplification rule:
-    /// keep the existing entry unless the new one subsumes it.
-    fn merge_label(&mut self, session: SessionId, obj: ObjId, new: Arc<CapPrivs>) -> bool {
-        let slot = self.labels.entry(obj).or_default();
-        match slot.get(&session) {
-            // Re-propagation of the very same description (hot path: every
-            // repeated lookup re-derives the same `Arc` from the parent
-            // label) — nothing can change, skip the structural compare.
-            Some(existing) if Arc::ptr_eq(existing, &new) => false,
-            None => {
-                slot.insert(session, new);
-                true
-            }
-            Some(existing) if existing.is_subset(&new) => {
-                slot.insert(session, new);
-                true
-            }
-            Some(_) => false, // conflicting or weaker: refuse (conservative)
+        Some(existing) if existing.is_subset(&new) => {
+            labels.insert(obj, new);
+            true
         }
-    }
-
-    /// Does `candidate` equal or descend from `ancestor`?
-    fn descends(&self, candidate: SessionId, ancestor: SessionId) -> bool {
-        let mut cur = Some(candidate);
-        while let Some(c) = cur {
-            if c == ancestor {
-                return true;
-            }
-            cur = self.sessions.get(&c).and_then(|s| s.parent);
-        }
-        false
-    }
-
-    /// Check a privilege against an object label, applying debug-mode
-    /// auto-grant. Returns `Ok` or logs + returns `EACCES`.
-    fn check_priv(
-        &mut self,
-        pid: Pid,
-        session: SessionId,
-        obj: ObjId,
-        needed: Priv,
-    ) -> SysResult<()> {
-        self.stats.checks += 1;
-        let allowed = self
-            .privs_on(session, obj)
-            .map(|p| p.allows(needed))
-            .unwrap_or(false);
-        if allowed {
-            return Ok(());
-        }
-        let debug = self
-            .sessions
-            .get(&session)
-            .map(|s| s.debug)
-            .unwrap_or(false);
-        if debug {
-            // §3.2.2: debugging mode "automatically grants the necessary
-            // privileges if an operation would fail".
-            let base = self
-                .privs_on(session, obj)
-                .map(|p| (*p).clone())
-                .unwrap_or_else(CapPrivs::none);
-            let mut privs = base.privs;
-            privs.insert(needed);
-            let upgraded = Arc::new(CapPrivs {
-                privs,
-                modifiers: base.modifiers,
-            });
-            self.labels
-                .entry(obj)
-                .or_default()
-                .insert(session, upgraded);
-            self.log.push_always(LogEvent::DebugAutoGrant {
-                session,
-                pid,
-                obj,
-                granted: needed,
-            });
-            return Ok(());
-        }
-        self.stats.denials += 1;
-        self.log.push_always(LogEvent::Denied {
-            session,
-            pid,
-            obj,
-            needed,
-        });
-        Err(Errno::EACCES)
+        Some(_) => false, // conflicting or weaker: refuse (conservative)
     }
 }
 
@@ -170,34 +155,234 @@ impl State {
 /// [`shill_kernel::Kernel::register_policy`]; create sessions around `exec`
 /// with [`ShillPolicy::shill_init`] / [`ShillPolicy::shill_grant`] /
 /// [`ShillPolicy::shill_enter`].
-#[derive(Default)]
 pub struct ShillPolicy {
-    /// Session/label state. A reader-writer lock: mutating entry points
-    /// take the write side; the hot propagation hook
-    /// ([`MacPolicy::vnode_post_lookup`]) probes under the read side first
-    /// and upgrades only when the label map would actually change, so warm
-    /// re-propagation from sessions pinned to different kernel shards does
-    /// not serialize here.
-    state: RwLock<State>,
+    /// Session-major label stripes, keyed by `SessionId`. Leaf locks: MAC
+    /// hooks take exactly one (the acting session's), never two at once,
+    /// and acquire nothing else while holding one.
+    stripes: Vec<RwLock<Stripe>>,
+    /// Pid → session routing, striped by pid so session churn on one shard
+    /// never serializes against routing lookups for another.
+    procs: Vec<RwLock<HashMap<Pid, SessionId>>>,
+    /// Audit log behind its **own** lock (never nested with a stripe lock):
+    /// logging a denial cannot block a label merge on any stripe, and
+    /// log-only operations (`set_log_enabled`, `clear_log`) contend with
+    /// nothing but other log accesses.
+    log: Mutex<SandboxLog>,
+    /// Verbose-logging gate mirrored outside the log lock so gated pushes
+    /// skip the lock entirely when logging is off (the common case).
+    log_enabled: AtomicBool,
+    /// Session id allocator.
+    next_session: AtomicU64,
     /// Cache epoch for the kernel's access-vector cache: bumped whenever
     /// this policy's authority can *shrink* (a session being entered turns
     /// permissive verdicts restrictive; a session being reclaimed scrubs
-    /// labels). Kept outside the state lock so the kernel's hot path reads
-    /// it without contention.
+    /// labels). A lone global atomic — the cross-shard, cross-stripe
+    /// invalidation broadcast — read by every shard's hot path without
+    /// any lock.
     epoch: AtomicU64,
+    counters: PolicyCounters,
+}
+
+impl Default for ShillPolicy {
+    fn default() -> ShillPolicy {
+        ShillPolicy::with_stripes(stripe_count_from_env(DEFAULT_POLICY_STRIPES))
+    }
 }
 
 impl ShillPolicy {
+    /// Stripe count from [`POLICY_STRIPES_ENV`] (default
+    /// [`DEFAULT_POLICY_STRIPES`]).
     pub fn new() -> Arc<ShillPolicy> {
         Arc::new(ShillPolicy::default())
     }
 
-    /// Invalidate every AVC verdict cached against this policy and record
-    /// the bump in stats and (verbose) audit log.
-    fn bump_epoch(&self, st: &mut State, session: SessionId) {
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        st.stats.epoch_bumps += 1;
-        st.log.push(LogEvent::CacheEpochBump { session, epoch });
+    /// Explicit stripe count (tests and benches; clamped to at least 1).
+    pub fn with_stripes(stripes: usize) -> ShillPolicy {
+        let n = stripes.clamp(1, MAX_POLICY_STRIPES);
+        ShillPolicy {
+            stripes: (0..n).map(|_| RwLock::new(Stripe::default())).collect(),
+            procs: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            log: Mutex::new(SandboxLog::default()),
+            log_enabled: AtomicBool::new(false),
+            next_session: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            counters: PolicyCounters::default(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Which stripe a session's state lives on (tests use this to place
+    /// sessions on distinct stripes).
+    pub fn stripe_of(&self, session: SessionId) -> usize {
+        (session.0 as usize) % self.stripes.len()
+    }
+
+    fn proc_stripe_of(&self, pid: Pid) -> usize {
+        (pid.0 as usize) % self.procs.len()
+    }
+
+    // --- striped lock plumbing --------------------------------------------
+
+    fn count_contended(&self) {
+        self.counters
+            .stripe_contention
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stripe_read(&self, sid: SessionId) -> RwLockReadGuard<'_, Stripe> {
+        let lock = &self.stripes[self.stripe_of(sid)];
+        match lock.try_read() {
+            Some(g) => g,
+            None => {
+                self.count_contended();
+                lock.read()
+            }
+        }
+    }
+
+    fn stripe_write(&self, sid: SessionId) -> RwLockWriteGuard<'_, Stripe> {
+        let lock = &self.stripes[self.stripe_of(sid)];
+        match lock.try_write() {
+            Some(g) => g,
+            None => {
+                self.count_contended();
+                lock.write()
+            }
+        }
+    }
+
+    fn proc_read(&self, pid: Pid) -> RwLockReadGuard<'_, HashMap<Pid, SessionId>> {
+        let lock = &self.procs[self.proc_stripe_of(pid)];
+        match lock.try_read() {
+            Some(g) => g,
+            None => {
+                self.count_contended();
+                lock.read()
+            }
+        }
+    }
+
+    fn proc_write(&self, pid: Pid) -> RwLockWriteGuard<'_, HashMap<Pid, SessionId>> {
+        let lock = &self.procs[self.proc_stripe_of(pid)];
+        match lock.try_write() {
+            Some(g) => g,
+            None => {
+                self.count_contended();
+                lock.write()
+            }
+        }
+    }
+
+    /// Push a verbose (gated) log event; the atomic gate keeps the log
+    /// lock untouched when logging is off.
+    fn log_verbose(&self, event: LogEvent) {
+        if self.log_enabled.load(Ordering::Relaxed) {
+            self.log.lock().push(event);
+        }
+    }
+
+    /// Push an always-recorded event (denials, debug auto-grants).
+    fn log_always(&self, event: LogEvent) {
+        self.log.lock().push_always(event);
+    }
+
+    /// The *entered* session of a process, if any — only entered sessions
+    /// are restricted (§3.2.1).
+    fn entered_session_of(&self, pid: Pid) -> Option<SessionId> {
+        let sid = self.session_of(pid)?;
+        let st = self.stripe_read(sid);
+        match st.sessions.get(&sid) {
+            Some(s) if s.meta.entered => Some(sid),
+            _ => None,
+        }
+    }
+
+    /// Does `candidate` equal or descend from `ancestor`? Walks the parent
+    /// chain one stripe-read at a time — never two stripe locks at once.
+    fn descends(&self, candidate: SessionId, ancestor: SessionId) -> bool {
+        let mut cur = Some(candidate);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self
+                .stripe_read(c)
+                .sessions
+                .get(&c)
+                .and_then(|s| s.meta.parent);
+        }
+        false
+    }
+
+    /// Check a privilege against the session's own label map, applying
+    /// debug-mode auto-grant. The warm path is a stripe **read**; only a
+    /// debug auto-grant upgrades to the stripe's write side. Denials are
+    /// logged after the stripe guard drops (stripe locks stay leaves).
+    fn check_priv(&self, pid: Pid, sid: SessionId, obj: ObjId, needed: Priv) -> SysResult<()> {
+        let debug = {
+            let st = self.stripe_read(sid);
+            let Some(s) = st.sessions.get(&sid) else {
+                return Ok(()); // session gone: unrestricted
+            };
+            if !s.meta.entered {
+                return Ok(());
+            }
+            self.counters.checks.fetch_add(1, Ordering::Relaxed);
+            if s.labels
+                .get(&obj)
+                .map(|p| p.allows(needed))
+                .unwrap_or(false)
+            {
+                return Ok(());
+            }
+            s.meta.debug
+        };
+        if debug {
+            // §3.2.2: debugging mode "automatically grants the necessary
+            // privileges if an operation would fail".
+            {
+                let mut st = self.stripe_write(sid);
+                let Some(s) = st.sessions.get_mut(&sid) else {
+                    return Ok(());
+                };
+                if !s.meta.entered {
+                    return Ok(());
+                }
+                let base = s
+                    .labels
+                    .get(&obj)
+                    .map(|p| (**p).clone())
+                    .unwrap_or_else(CapPrivs::none);
+                let mut privs = base.privs;
+                privs.insert(needed);
+                s.labels.insert(
+                    obj,
+                    Arc::new(CapPrivs {
+                        privs,
+                        modifiers: base.modifiers,
+                    }),
+                );
+            }
+            self.log_always(LogEvent::DebugAutoGrant {
+                session: sid,
+                pid,
+                obj,
+                granted: needed,
+            });
+            return Ok(());
+        }
+        self.counters.denials.fetch_add(1, Ordering::Relaxed);
+        self.log_always(LogEvent::Denied {
+            session: sid,
+            pid,
+            obj,
+            needed,
+        });
+        Err(Errno::EACCES)
     }
 
     // --- the module's system calls (§3.2.1) -------------------------------
@@ -206,14 +391,18 @@ impl ShillPolicy {
     /// process is already in a session the new one is its child and can
     /// hold at most the parent's privileges (hierarchical attenuation).
     pub fn shill_init(&self, pid: Pid) -> SysResult<SessionId> {
-        let mut st = self.state.write();
-        let parent = st.proc_session.get(&pid).copied();
-        st.next_session += 1;
-        let sid = SessionId(st.next_session);
-        st.sessions.insert(sid, Session::new(sid, parent));
-        st.proc_session.insert(pid, sid);
-        st.stats.sessions_created += 1;
-        st.log.push(LogEvent::SessionCreated {
+        let parent = self.session_of(pid);
+        let sid = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+        // Session state first, routing second: a pid never resolves to a
+        // session whose stripe entry does not exist yet.
+        self.stripe_write(sid)
+            .sessions
+            .insert(sid, SessionState::new(sid, parent));
+        self.proc_write(pid).insert(pid, sid);
+        self.counters
+            .sessions_created
+            .fetch_add(1, Ordering::Relaxed);
+        self.log_verbose(LogEvent::SessionCreated {
             session: sid,
             parent,
         });
@@ -230,15 +419,18 @@ impl ShillPolicy {
         obj: ObjId,
         privs: Arc<CapPrivs>,
     ) -> SysResult<()> {
-        let mut st = self.state.write();
         {
+            let st = self.stripe_read(session);
             let s = st.sessions.get(&session).ok_or(Errno::EINVAL)?;
-            if s.entered {
+            if s.meta.entered {
                 return Err(Errno::EINVAL);
             }
         }
-        if let Some(gsid) = st.entered_session(granter) {
-            let held = st
+        // Attenuation snapshot from the granter's (possibly different)
+        // stripe — taken and released before the target stripe is locked,
+        // so no two stripe locks are ever held together.
+        if let Some(gsid) = self.entered_session_of(granter) {
+            let held = self
                 .privs_on(gsid, obj)
                 .unwrap_or_else(|| Arc::new(CapPrivs::none()));
             if !privs.is_subset(&held) {
@@ -246,9 +438,16 @@ impl ShillPolicy {
             }
         }
         let desc = privs.to_string();
-        st.merge_label(session, obj, privs);
-        st.stats.grants += 1;
-        st.log.push(LogEvent::Grant {
+        {
+            let mut st = self.stripe_write(session);
+            let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
+            if s.meta.entered {
+                return Err(Errno::EINVAL); // raced with shill_enter
+            }
+            merge_label(&mut s.labels, obj, privs);
+        }
+        self.counters.grants.fetch_add(1, Ordering::Relaxed);
+        self.log_verbose(LogEvent::Grant {
             session,
             obj,
             privs: desc,
@@ -264,54 +463,68 @@ impl ShillPolicy {
         session: SessionId,
         privs: PrivSet,
     ) -> SysResult<()> {
-        let mut st = self.state.write();
-        if let Some(gsid) = st.entered_session(granter) {
-            let held = st
-                .sessions
-                .get(&gsid)
-                .map(|s| s.socket_privs)
-                .unwrap_or(PrivSet::EMPTY);
+        if let Some(gsid) = self.entered_session_of(granter) {
+            let held = {
+                self.stripe_read(gsid)
+                    .sessions
+                    .get(&gsid)
+                    .map(|s| s.meta.socket_privs)
+                    .unwrap_or(PrivSet::EMPTY)
+            };
             if !privs.is_subset(&held) {
                 return Err(Errno::EACCES);
             }
         }
-        let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
-        if s.entered {
-            return Err(Errno::EINVAL);
+        {
+            let mut st = self.stripe_write(session);
+            let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
+            if s.meta.entered {
+                return Err(Errno::EINVAL);
+            }
+            s.meta.socket_privs = s.meta.socket_privs.union(privs);
         }
-        s.socket_privs = s.socket_privs.union(privs);
-        st.stats.grants += 1;
+        self.counters.grants.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Grant a pipe-factory capability.
     pub fn shill_grant_pipe_factory(&self, _granter: Pid, session: SessionId) -> SysResult<()> {
-        let mut st = self.state.write();
+        let mut st = self.stripe_write(session);
         let s = st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?;
-        if s.entered {
+        if s.meta.entered {
             return Err(Errno::EINVAL);
         }
-        s.pipe_factory = true;
+        s.meta.pipe_factory = true;
         Ok(())
     }
 
     /// `shill_enter`: seal the session; from now on its processes are
     /// restricted to the granted capabilities.
     pub fn shill_enter(&self, pid: Pid) -> SysResult<()> {
-        let mut st = self.state.write();
-        let sid = *st.proc_session.get(&pid).ok_or(Errno::EINVAL)?;
-        let s = st.sessions.get_mut(&sid).ok_or(Errno::EINVAL)?;
-        if s.entered {
-            return Err(Errno::EINVAL);
-        }
-        s.entered = true;
-        st.log.push(LogEvent::SessionEntered { session: sid });
-        // Entering flips this session's processes from unrestricted to
-        // capability-checked: verdicts cached before the flip are void.
-        self.bump_epoch(&mut st, sid);
-        if let Some(s) = st.sessions.get_mut(&sid) {
-            s.entered_epoch = self.epoch.load(Ordering::Relaxed);
-        }
+        let sid = self.session_of(pid).ok_or(Errno::EINVAL)?;
+        let epoch = {
+            let mut st = self.stripe_write(sid);
+            let s = st.sessions.get_mut(&sid).ok_or(Errno::EINVAL)?;
+            if s.meta.entered {
+                return Err(Errno::EINVAL);
+            }
+            s.meta.entered = true;
+            // Entering flips this session's processes from unrestricted to
+            // capability-checked: verdicts cached before the flip are void.
+            // The bump happens inside the stripe hold so the flip and the
+            // broadcast publish together, exactly as the single-lock form
+            // did (an atomic increment, not a lock acquisition — the
+            // stripe stays a leaf).
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            s.meta.entered_epoch = epoch;
+            epoch
+        };
+        self.counters.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+        self.log_verbose(LogEvent::SessionEntered { session: sid });
+        self.log_verbose(LogEvent::CacheEpochBump {
+            session: sid,
+            epoch,
+        });
         Ok(())
     }
 
@@ -319,42 +532,77 @@ impl ShillPolicy {
 
     /// Put a session in debug mode (§3.2.2).
     pub fn set_debug(&self, session: SessionId, debug: bool) -> SysResult<()> {
-        let mut st = self.state.write();
-        st.sessions.get_mut(&session).ok_or(Errno::EINVAL)?.debug = debug;
+        self.stripe_write(session)
+            .sessions
+            .get_mut(&session)
+            .ok_or(Errno::EINVAL)?
+            .meta
+            .debug = debug;
         Ok(())
     }
 
-    /// Enable verbose grant logging.
+    /// Enable verbose grant logging. Touches only the log lock and its
+    /// atomic gate — never a label stripe.
+    pub fn set_log_enabled(&self, enabled: bool) {
+        self.log_enabled.store(enabled, Ordering::Relaxed);
+        self.log.lock().enabled = enabled;
+    }
+
+    /// Alias for [`ShillPolicy::set_log_enabled`] (historical name).
     pub fn enable_logging(&self, enabled: bool) {
-        self.state.write().log.enabled = enabled;
+        self.set_log_enabled(enabled);
     }
 
     /// Snapshot of the audit log.
     pub fn log_events(&self) -> Vec<LogEvent> {
-        self.state.read().log.events().to_vec()
+        self.log.lock().events().to_vec()
     }
 
     pub fn clear_log(&self) {
-        self.state.write().log.clear();
+        self.log.lock().clear();
     }
 
     pub fn stats(&self) -> PolicyStats {
-        self.state.read().stats
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        PolicyStats {
+            sessions_created: g(&self.counters.sessions_created),
+            grants: g(&self.counters.grants),
+            propagations: g(&self.counters.propagations),
+            denials: g(&self.counters.denials),
+            checks: g(&self.counters.checks),
+            scrubbed: g(&self.counters.scrubbed),
+            epoch_bumps: g(&self.counters.epoch_bumps),
+            stripe_contention: g(&self.counters.stripe_contention),
+        }
     }
 
     /// The session a process belongs to (entered or not).
     pub fn session_of(&self, pid: Pid) -> Option<SessionId> {
-        self.state.read().proc_session.get(&pid).copied()
+        self.proc_read(pid).get(&pid).copied()
     }
 
     /// The privileges a session holds on an object (tests/diagnostics).
     pub fn privs_on(&self, session: SessionId, obj: ObjId) -> Option<Arc<CapPrivs>> {
-        self.state.read().privs_on(session, obj)
+        self.stripe_read(session)
+            .sessions
+            .get(&session)?
+            .labels
+            .get(&obj)
+            .cloned()
     }
 
     /// Number of live label entries (tests: session scrubbing).
     pub fn label_entries(&self) -> usize {
-        self.state.read().labels.values().map(|m| m.len()).sum()
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.read()
+                    .sessions
+                    .values()
+                    .map(|ss| ss.labels.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -375,20 +623,30 @@ impl MacPolicy for ShillPolicy {
         self.epoch.load(Ordering::Relaxed)
     }
 
+    /// Drain contended stripe acquisitions since the last drain; the
+    /// kernel books them as `policy_stripe_contention` at snapshot time.
+    fn take_contention(&self) -> u64 {
+        let cur = self.counters.stripe_contention.load(Ordering::Relaxed);
+        let prev = self
+            .counters
+            .contention_drained
+            .swap(cur, Ordering::Relaxed);
+        cur.saturating_sub(prev)
+    }
+
     fn vnode_check(&self, ctx: MacCtx, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return Ok(());
         };
         let obj = ObjId::Vnode(node);
         let needed = vnode_op_priv(op);
         if needed == Priv::Write {
             // §3.2.3: single write entry point ⇒ require both privileges.
-            st.check_priv(ctx.pid, sid, obj, Priv::Write)?;
-            st.check_priv(ctx.pid, sid, obj, Priv::Append)?;
+            self.check_priv(ctx.pid, sid, obj, Priv::Write)?;
+            self.check_priv(ctx.pid, sid, obj, Priv::Append)?;
             return Ok(());
         }
-        st.check_priv(ctx.pid, sid, obj, needed)
+        self.check_priv(ctx.pid, sid, obj, needed)
     }
 
     fn vnode_post_lookup(&self, ctx: MacCtx, dir: NodeId, name: &str, child: NodeId) {
@@ -399,49 +657,54 @@ impl MacPolicy for ShillPolicy {
         if name == ".." || name == "." {
             return;
         }
-        // Warm fast path under the read lock: repeated lookups re-derive
-        // the same `Arc` from the parent label (`derived` clones the
-        // modifier Arc or the parent itself), so when the child already
+        let Some(sid) = self.session_of(ctx.pid) else {
+            return;
+        };
+        // Warm fast path under the stripe's read lock: repeated lookups
+        // re-derive the same `Arc` from the parent label (`derived` clones
+        // the modifier Arc or the parent itself), so when the child already
         // holds that exact entry the merge is a guaranteed no-op — no
-        // write lock, no serialization of sessions on other shards. Every
-        // other case (no entry yet, structural change, races with a
-        // concurrent mutation) re-runs the full logic under the write
-        // lock, whose outcome is authoritative.
+        // write lock, and sessions on other stripes were never in play.
+        // Every other case (no entry yet, structural change, races with a
+        // concurrent mutation) re-runs the full logic under the stripe's
+        // write lock, whose outcome is authoritative.
         {
-            let st = self.state.read();
-            let Some(sid) = st.entered_session(ctx.pid) else {
+            let st = self.stripe_read(sid);
+            let Some(s) = st.sessions.get(&sid) else {
                 return;
             };
-            let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+            if !s.meta.entered {
+                return;
+            }
+            let Some(parent_privs) = s.labels.get(&ObjId::Vnode(dir)) else {
                 return;
             };
             if !parent_privs.allows(Priv::Lookup) {
                 return;
             }
             let derived = parent_privs.derived(Priv::Lookup);
-            if let Some(existing) = st
-                .labels
-                .get(&ObjId::Vnode(child))
-                .and_then(|m| m.get(&sid))
-            {
+            if let Some(existing) = s.labels.get(&ObjId::Vnode(child)) {
                 if Arc::ptr_eq(existing, &derived) {
                     return;
                 }
             }
         }
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let mut st = self.stripe_write(sid);
+        let Some(s) = st.sessions.get_mut(&sid) else {
             return;
         };
-        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+        if !s.meta.entered {
+            return;
+        }
+        let Some(parent_privs) = s.labels.get(&ObjId::Vnode(dir)).cloned() else {
             return;
         };
         if !parent_privs.allows(Priv::Lookup) {
             return;
         }
         let derived = parent_privs.derived(Priv::Lookup);
-        if st.merge_label(sid, ObjId::Vnode(child), derived) {
-            st.stats.propagations += 1;
+        if merge_label(&mut s.labels, ObjId::Vnode(child), derived) {
+            self.counters.propagations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -453,11 +716,17 @@ impl MacPolicy for ShillPolicy {
         child: NodeId,
         ftype: FileType,
     ) {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return;
         };
-        let Some(parent_privs) = st.privs_on(sid, ObjId::Vnode(dir)) else {
+        let mut st = self.stripe_write(sid);
+        let Some(s) = st.sessions.get_mut(&sid) else {
+            return;
+        };
+        if !s.meta.entered {
+            return;
+        }
+        let Some(parent_privs) = s.labels.get(&ObjId::Vnode(dir)).cloned() else {
             return;
         };
         let via = match ftype {
@@ -469,14 +738,18 @@ impl MacPolicy for ShillPolicy {
             return;
         }
         let derived = parent_privs.derived(via);
-        if st.merge_label(sid, ObjId::Vnode(child), derived) {
-            st.stats.propagations += 1;
+        if merge_label(&mut s.labels, ObjId::Vnode(child), derived) {
+            self.counters.propagations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>], waves: &[Vec<usize>]) {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        // Span events are verbose-gated; skip everything (including the
+        // session probe) when logging is off.
+        if !self.log_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(sid) = self.entered_session_of(ctx.pid) else {
             return;
         };
         // One span per batch (verbose log level, like grants): the
@@ -505,7 +778,7 @@ impl MacPolicy for ShillPolicy {
         let waves: Vec<crate::log::BatchWaveAudit> = waves.iter().map(|w| split(w)).collect();
         let cancelled: usize = waves.iter().map(|w| w.cancelled).sum();
         let failed: usize = waves.iter().map(|w| w.failed).sum();
-        st.log.push(LogEvent::BatchSpan {
+        self.log_verbose(LogEvent::BatchSpan {
             session: sid,
             pid: ctx.pid,
             entries: outcomes.len(),
@@ -518,78 +791,101 @@ impl MacPolicy for ShillPolicy {
     }
 
     fn pipe_post_create(&self, ctx: MacCtx, pipe: ObjId) {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return;
         };
+        let mut st = self.stripe_write(sid);
+        let Some(s) = st.sessions.get_mut(&sid) else {
+            return;
+        };
+        if !s.meta.entered {
+            return;
+        }
         // A pipe created inside the sandbox is fully usable by its session.
-        st.merge_label(sid, pipe, Arc::new(CapPrivs::full()));
+        merge_label(&mut s.labels, pipe, Arc::new(CapPrivs::full()));
     }
 
     fn socket_post_create(&self, ctx: MacCtx, sock: ObjId) {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return;
         };
-        let privs = st
-            .sessions
-            .get(&sid)
-            .map(|s| s.socket_privs)
-            .unwrap_or(PrivSet::EMPTY);
+        let mut st = self.stripe_write(sid);
+        let Some(s) = st.sessions.get_mut(&sid) else {
+            return;
+        };
+        if !s.meta.entered {
+            return;
+        }
+        let privs = s.meta.socket_privs;
         if !privs.is_empty() {
-            st.merge_label(sid, sock, Arc::new(CapPrivs::of(privs)));
+            merge_label(&mut s.labels, sock, Arc::new(CapPrivs::of(privs)));
         }
     }
 
     fn pipe_check(&self, ctx: MacCtx, pipe: ObjId, op: PipeOp) -> SysResult<()> {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return Ok(());
         };
         let needed = pipe_op_priv(op);
         if needed == Priv::Write {
-            st.check_priv(ctx.pid, sid, pipe, Priv::Write)?;
-            st.check_priv(ctx.pid, sid, pipe, Priv::Append)?;
+            self.check_priv(ctx.pid, sid, pipe, Priv::Write)?;
+            self.check_priv(ctx.pid, sid, pipe, Priv::Append)?;
             return Ok(());
         }
-        st.check_priv(ctx.pid, sid, pipe, needed)
+        self.check_priv(ctx.pid, sid, pipe, needed)
     }
 
     fn socket_check(&self, ctx: MacCtx, sock: ObjId, op: &SocketOp) -> SysResult<()> {
-        let mut st = self.state.write();
-        let Some(sid) = st.entered_session(ctx.pid) else {
+        let Some(sid) = self.session_of(ctx.pid) else {
             return Ok(());
         };
         if let SocketOp::Create(domain) = op {
-            // Figure 7: "Sockets (other): Denied" — even with a factory.
-            if *domain == SockDomain::Other {
-                st.stats.denials += 1;
-                return Err(Errno::EACCES);
+            enum Verdict {
+                Unrestricted,
+                Allowed,
+                DeniedOther,
+                DeniedFactory,
             }
-            // Session-scoped factory check.
-            let privs = st
-                .sessions
-                .get(&sid)
-                .map(|s| s.socket_privs)
-                .unwrap_or(PrivSet::EMPTY);
-            if privs.contains(Priv::SockCreate) {
-                return Ok(());
-            }
-            st.stats.denials += 1;
-            st.log.push_always(LogEvent::Denied {
-                session: sid,
-                pid: ctx.pid,
-                obj: sock,
-                needed: Priv::SockCreate,
-            });
-            return Err(Errno::EACCES);
+            let v = {
+                let st = self.stripe_read(sid);
+                match st.sessions.get(&sid) {
+                    Some(s) if s.meta.entered => {
+                        // Figure 7: "Sockets (other): Denied" — even with a
+                        // factory.
+                        if *domain == SockDomain::Other {
+                            Verdict::DeniedOther
+                        } else if s.meta.socket_privs.contains(Priv::SockCreate) {
+                            Verdict::Allowed
+                        } else {
+                            Verdict::DeniedFactory
+                        }
+                    }
+                    _ => Verdict::Unrestricted,
+                }
+            };
+            return match v {
+                Verdict::Unrestricted | Verdict::Allowed => Ok(()),
+                Verdict::DeniedOther => {
+                    self.counters.denials.fetch_add(1, Ordering::Relaxed);
+                    Err(Errno::EACCES)
+                }
+                Verdict::DeniedFactory => {
+                    self.counters.denials.fetch_add(1, Ordering::Relaxed);
+                    self.log_always(LogEvent::Denied {
+                        session: sid,
+                        pid: ctx.pid,
+                        obj: sock,
+                        needed: Priv::SockCreate,
+                    });
+                    Err(Errno::EACCES)
+                }
+            };
         }
-        st.check_priv(ctx.pid, sid, sock, socket_op_priv(op))
+        self.check_priv(ctx.pid, sid, sock, socket_op_priv(op))
     }
 
     fn proc_check(&self, ctx: MacCtx, op: ProcOp) -> SysResult<()> {
-        let mut st = self.state.write();
-        let Some(actor) = st.entered_session(ctx.pid) else {
+        let Some(actor) = self.entered_session_of(ctx.pid) else {
             return Ok(());
         };
         let target_pid = match op {
@@ -597,23 +893,22 @@ impl MacPolicy for ShillPolicy {
         };
         // §3.2.2 "Process interaction": only processes in the same session
         // or a descendant session.
-        let ok = match st.proc_session.get(&target_pid) {
-            Some(t) => st.descends(*t, actor),
+        let ok = match self.session_of(target_pid) {
+            Some(t) => self.descends(t, actor),
             None => false,
         };
         if ok {
             Ok(())
         } else {
-            st.stats.denials += 1;
+            self.counters.denials.fetch_add(1, Ordering::Relaxed);
             Err(Errno::EACCES)
         }
     }
 
     fn system_check(&self, ctx: MacCtx, op: &SystemOp) -> SysResult<()> {
-        let mut st = self.state.write();
-        let Some(_sid) = st.entered_session(ctx.pid) else {
+        if self.entered_session_of(ctx.pid).is_none() {
             return Ok(());
-        };
+        }
         // Paper Figure 7: sysctl read-only; kenv, kernel modules, POSIX IPC
         // and System V IPC all denied.
         match op {
@@ -623,65 +918,92 @@ impl MacPolicy for ShillPolicy {
             | SystemOp::KernelModule
             | SystemOp::PosixIpc
             | SystemOp::SysvIpc => {
-                st.stats.denials += 1;
+                self.counters.denials.fetch_add(1, Ordering::Relaxed);
                 Err(Errno::EACCES)
             }
         }
     }
 
     fn vnode_destroy(&self, node: NodeId) {
-        let mut st = self.state.write();
-        st.labels.remove(&ObjId::Vnode(node));
+        // Labels are session-major, so an object-keyed scrub sweeps the
+        // stripes one at a time (never holding two). Object ids are never
+        // reused (per-shard monotone allocators with disjoint strides), so
+        // this is garbage collection, not a correctness fence.
+        let obj = ObjId::Vnode(node);
+        for stripe in &self.stripes {
+            let mut st = stripe.write();
+            for ss in st.sessions.values_mut() {
+                ss.labels.remove(&obj);
+            }
+        }
     }
 
     fn proc_fork(&self, parent: Pid, child: Pid) {
-        let mut st = self.state.write();
         // §3.2.1: spawned processes join the parent's session by default.
-        if let Some(sid) = st.proc_session.get(&parent).copied() {
-            st.proc_session.insert(child, sid);
+        let Some(sid) = self.session_of(parent) else {
+            return;
+        };
+        // Liveness first, routing second: the session cannot be reclaimed
+        // out from under a child that is about to be routed to it.
+        {
+            let mut st = self.stripe_write(sid);
             if let Some(s) = st.sessions.get_mut(&sid) {
-                s.live_procs += 1;
+                s.meta.live_procs += 1;
             }
         }
+        self.proc_write(child).insert(child, sid);
     }
 
     fn proc_exit(&self, pid: Pid) {
-        let mut st = self.state.write();
-        let Some(sid) = st.proc_session.remove(&pid) else {
+        let sid = { self.proc_write(pid).remove(&pid) };
+        let Some(sid) = sid else {
             return;
         };
-        let reclaim = match st.sessions.get_mut(&sid) {
-            Some(s) => {
-                s.live_procs = s.live_procs.saturating_sub(1);
-                s.live_procs == 0
-            }
-            None => false,
-        };
-        if reclaim {
-            // Scrub this session's entries from every privilege map. This
-            // is the (here synchronous) analogue of the kernel's
-            // asynchronous session cleanup the paper blames for part of
-            // Find's overhead (§4.2).
-            let mut scrubbed = 0usize;
-            st.labels.retain(|_, m| {
-                if m.remove(&sid).is_some() {
-                    scrubbed += 1;
+        let reclaimed = {
+            let mut st = self.stripe_write(sid);
+            let reclaim = match st.sessions.get_mut(&sid) {
+                Some(s) => {
+                    s.meta.live_procs = s.meta.live_procs.saturating_sub(1);
+                    s.meta.live_procs == 0
                 }
-                !m.is_empty()
-            });
-            st.sessions.remove(&sid);
-            st.stats.scrubbed += scrubbed as u64;
-            st.log.push(LogEvent::SessionReclaimed {
+                None => false,
+            };
+            if reclaim {
+                // Scrub this session's labels by dropping its own map —
+                // O(own labels), touching no other session and no other
+                // stripe. This is the (here synchronous) analogue of the
+                // kernel's asynchronous session cleanup the paper blames
+                // for part of Find's overhead (§4.2).
+                let scrubbed = st
+                    .sessions
+                    .remove(&sid)
+                    .map(|ss| ss.labels.len())
+                    .unwrap_or(0);
+                // Conservative: the scrub removed label entries, so nothing
+                // cached against this policy may survive it. Bumped inside
+                // the stripe hold so scrub and broadcast publish together.
+                let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                Some((scrubbed, epoch))
+            } else {
+                None
+            }
+        };
+        if let Some((scrubbed, epoch)) = reclaimed {
+            self.counters
+                .scrubbed
+                .fetch_add(scrubbed as u64, Ordering::Relaxed);
+            self.counters.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+            self.log_verbose(LogEvent::SessionReclaimed {
                 session: sid,
                 labels_scrubbed: scrubbed,
             });
-            // Conservative: the scrub removed label entries, so nothing
-            // cached against this policy may survive it.
-            self.bump_epoch(&mut st, sid);
+            self.log_verbose(LogEvent::CacheEpochBump {
+                session: sid,
+                epoch,
+            });
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

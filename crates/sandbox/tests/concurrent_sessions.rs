@@ -526,6 +526,288 @@ fn cross_shard_revocation_is_never_stale_served() {
     );
 }
 
+// ===================================================================
+// ISSUE 6: the striped policy plane. Label state is session-major inside
+// lock stripes; the audit log has its own lock. The tests below pin the
+// two independence claims: a revocation on one stripe is never coupled to
+// a first-touch storm on another, and denial logging never blocks a label
+// merge on another stripe.
+// ===================================================================
+
+/// Churn-under-revocation across stripes: sessions on one stripe hammer
+/// first-touch label merges (the write-heaviest path the policy has) while
+/// a session on another stripe is revoked (`shill_enter` flips it from
+/// permissive to restricted) and probed from a different shard. The enter
+/// touches only the reader's stripe, so it must complete mid-storm, and
+/// the two-flag bracket proves no stale allow is served across stripes.
+#[test]
+fn stripe_revocation_is_not_stalled_by_first_touch_storms() {
+    const ITERS: usize = 400;
+    const WARM: u64 = 80;
+    const STORM_FILES: usize = 16;
+
+    let n = shard_count_from_env(2);
+    let policy = Arc::new(ShillPolicy::with_stripes(2));
+    let shards = KernelShards::new_with(n, |k, s| {
+        k.fs.put_file(
+            "/pool/secret",
+            format!("classified-{s}").as_bytes(),
+            Mode(0o666),
+            Uid::ROOT,
+            Gid::WHEEL,
+        )
+        .unwrap();
+        for j in 0..STORM_FILES {
+            k.fs.put_file(
+                &format!("/storm/f{j}"),
+                b"storm",
+                Mode(0o666),
+                Uid::ROOT,
+                Gid::WHEEL,
+            )
+            .unwrap();
+        }
+    });
+    shards.register_policy(policy.clone());
+    let shard_a = 0;
+    let shard_b = n - 1;
+
+    // The victim: a session on shard B, created but not entered, so shard
+    // B's AVC fills with permissive allows that the enter must revoke.
+    let reader_pid = {
+        let mut k = shards.lock_shard(shard_b);
+        let parent = k.spawn_user(Cred::user(100));
+        let child = k.fork(parent).unwrap();
+        policy.shill_init(child).unwrap();
+        child
+    };
+    let reader_sid = policy.session_of(reader_pid).unwrap();
+
+    let entering = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let off_stripe_storms = Arc::new(AtomicU64::new(0));
+
+    thread::scope(|scope| {
+        let reader = {
+            let shards = shards.clone();
+            let entering = Arc::clone(&entering);
+            let entered = Arc::clone(&entered);
+            let progress = Arc::clone(&progress);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                for _ in 0..ITERS {
+                    shards.with_shard(shard_b, |k| {
+                        let was_entered = entered.load(Ordering::SeqCst);
+                        let open = k.open(reader_pid, "/pool/secret", OpenFlags::RDONLY, Mode(0));
+                        match open {
+                            Ok(fd) => {
+                                let _ = k.close(reader_pid, fd);
+                                if was_entered {
+                                    eprintln!("stale allow served after cross-stripe enter");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(Errno::EACCES) => {
+                                if !entering.load(Ordering::SeqCst) {
+                                    eprintln!("denial before any enter began");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("unexpected open errno {e:?}");
+                                failures.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    });
+                    progress.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        // First-touch storm on shard A: each round builds a fresh session,
+        // merges STORM_FILES labels through lookup propagation (stripe
+        // write locks), and reclaims it (stripe write + epoch bump).
+        // Session ids are consecutive, so with two stripes every other
+        // storm session shares the reader's stripe and the rest prove the
+        // off-stripe independence claim.
+        let storm = {
+            let shards = shards.clone();
+            let policy = Arc::clone(&policy);
+            let stop = Arc::clone(&stop);
+            let off_stripe = Arc::clone(&off_stripe_storms);
+            scope.spawn(move || {
+                let mut storms = 0u64;
+                while !stop.load(Ordering::SeqCst) || storms < 3 {
+                    let sid = shards.with_shard(shard_a, |k| {
+                        let parent = k.spawn_user(Cred::user(7));
+                        let root = k.fs.root();
+                        let dir = k.fs.resolve_abs("/storm").unwrap();
+                        let spec = SandboxSpec {
+                            grants: vec![
+                                Grant::vnode(root, caps(&[Priv::Lookup])),
+                                Grant::vnode(
+                                    dir,
+                                    caps(&[Priv::Lookup]).with_modifier(
+                                        Priv::Lookup,
+                                        caps(&[Priv::Read, Priv::Stat]),
+                                    ),
+                                ),
+                            ],
+                            ..Default::default()
+                        };
+                        let sb = setup_sandbox(k, &policy, parent, &spec).expect("storm sandbox");
+                        for j in 0..STORM_FILES {
+                            let fd = k
+                                .open(
+                                    sb.child,
+                                    &format!("/storm/f{j}"),
+                                    OpenFlags::RDONLY,
+                                    Mode(0),
+                                )
+                                .expect("storm open");
+                            let _ = k.read(sb.child, fd, 8);
+                            let _ = k.close(sb.child, fd);
+                        }
+                        k.exit(sb.child, 0);
+                        let _ = k.waitpid(parent, sb.child);
+                        k.exit(parent, 0);
+                        let _ = k.waitpid(Pid(1), parent);
+                        sb.session
+                    });
+                    if policy.stripe_of(sid) != policy.stripe_of(reader_sid) {
+                        off_stripe.fetch_add(1, Ordering::SeqCst);
+                    }
+                    storms += 1;
+                    thread::yield_now();
+                }
+                storms
+            })
+        };
+
+        // The revocation: `shill_enter` touches only the reader's routing
+        // and label stripes — no kernel lock, no storm stripe. It must
+        // complete while the storm keeps pounding its own stripe.
+        let revoker = {
+            let policy = Arc::clone(&policy);
+            let entering = Arc::clone(&entering);
+            let entered = Arc::clone(&entered);
+            let progress = Arc::clone(&progress);
+            scope.spawn(move || {
+                while progress.load(Ordering::SeqCst) < WARM {
+                    thread::yield_now();
+                }
+                entering.store(true, Ordering::SeqCst);
+                policy.shill_enter(reader_pid).expect("enter");
+                entered.store(true, Ordering::SeqCst);
+            })
+        };
+
+        reader.join().unwrap();
+        revoker.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let storms = storm.join().unwrap();
+        assert!(storms >= 3, "storm never cycled");
+    });
+
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        0,
+        "stale verdicts crossed the stripe boundary"
+    );
+    assert!(entered.load(Ordering::SeqCst), "the revocation never ran");
+    assert!(
+        off_stripe_storms.load(Ordering::SeqCst) >= 1,
+        "no storm session landed on a different stripe than the reader"
+    );
+    // Every storm session was reclaimed on its own stripe; the reader's
+    // entered-but-grantless session holds no labels.
+    assert_eq!(policy.label_entries(), 0);
+}
+
+/// Satellite regression (audit log off the label lock): a denial storm —
+/// every event goes through `push_always` under the log's own mutex —
+/// must never block first-touch label merges of a session on another
+/// stripe. Drives the policy hooks directly: no kernel lock anywhere, so
+/// the only locks in play are the two stripes and the log mutex.
+#[test]
+fn denial_logging_never_blocks_label_merges_on_other_stripes() {
+    use shill_kernel::{MacCtx, MacPolicy, ObjId, VnodeOp};
+    use shill_vfs::NodeId;
+
+    const N: usize = 5_000;
+
+    let p = Arc::new(ShillPolicy::with_stripes(2));
+    let denier_pid = Pid(1);
+    let merger_pid = Pid(2);
+    let denier_sid = p.shill_init(denier_pid).unwrap();
+    let merger_sid = p.shill_init(merger_pid).unwrap();
+    // Consecutive session ids, two stripes: guaranteed disjoint.
+    assert_ne!(p.stripe_of(denier_sid), p.stripe_of(merger_sid));
+
+    // Denier: entered with no grants — every check denies and logs.
+    p.shill_enter(denier_pid).unwrap();
+    // Merger: a lookup-propagating grant, so every fresh child node is a
+    // first-touch merge under its stripe's write lock.
+    let parent_dir = NodeId(1000);
+    p.shill_grant(
+        Pid(3),
+        merger_sid,
+        ObjId::Vnode(parent_dir),
+        Arc::new(
+            caps(&[Priv::Lookup]).with_modifier(Priv::Lookup, caps(&[Priv::Read, Priv::Stat])),
+        ),
+    )
+    .unwrap();
+    p.shill_enter(merger_pid).unwrap();
+
+    thread::scope(|scope| {
+        let denier = {
+            let p = Arc::clone(&p);
+            scope.spawn(move || {
+                let ctx = MacCtx {
+                    pid: denier_pid,
+                    cred: Cred::user(100),
+                };
+                for _ in 0..N {
+                    assert_eq!(
+                        p.vnode_check(ctx, NodeId(5), &VnodeOp::Read),
+                        Err(Errno::EACCES)
+                    );
+                }
+            })
+        };
+        let merger = {
+            let p = Arc::clone(&p);
+            scope.spawn(move || {
+                let ctx = MacCtx {
+                    pid: merger_pid,
+                    cred: Cred::user(100),
+                };
+                for i in 0..N {
+                    p.vnode_post_lookup(ctx, parent_dir, "f", NodeId(2000 + i as u64));
+                }
+            })
+        };
+        denier.join().unwrap();
+        merger.join().unwrap();
+    });
+
+    let st = p.stats();
+    assert_eq!(st.denials, N as u64, "every probe must have denied");
+    assert_eq!(
+        st.propagations, N as u64,
+        "every first touch must have merged"
+    );
+    // Denials are push_always events: all N are in the log even though
+    // verbose logging was never enabled — and none of them cost the merger
+    // its stripe.
+    assert_eq!(p.log_events().len(), N);
+    assert_eq!(p.label_entries(), N + 1); // parent grant + N children
+}
+
 /// Deterministic form of the epoch broadcast: a fully warm session pinned
 /// to shard B revalidates its AVC verdicts (misses grow) after a session
 /// is churned on shard A — and its live grants still hold. One policy,

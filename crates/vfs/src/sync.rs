@@ -7,7 +7,7 @@
 //! so the dcache, the kernel's AVC/batch state, and the sandbox policy all
 //! share one primitive (`shill_sandbox::sync` re-exports it).
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 #[derive(Debug, Default)]
 pub struct Mutex<T>(std::sync::Mutex<T>);
@@ -21,6 +21,18 @@ impl<T> Mutex<T> {
         match self.0.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking acquisition: `None` when the lock is held elsewhere.
+    /// Contention instrumentation (e.g. the sandbox policy's stripe
+    /// counters) probes with this before falling back to a blocking
+    /// [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
         }
     }
 
@@ -56,6 +68,24 @@ impl<T> RwLock<T> {
         match self.0.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking read acquisition: `None` when a writer holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Non-blocking write acquisition: `None` when any guard is out.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
         }
     }
 

@@ -631,7 +631,11 @@ fn sharded_pool_matches_per_shard_sequential_replay() {
             }
         }
 
-        let pool = BatchPool::new(4);
+        // Twice as many workers as shards: the non-affine half has nothing
+        // routed to it and lives entirely off stolen jobs, so the replay
+        // equivalence below is checked *with stealing engaged*, not just
+        // with affine workers keeping up.
+        let pool = BatchPool::new(nshards * 2);
         let rendezvous_before = shards.rendezvous_count();
         let mut pool_results: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); SESSIONS]; nshards];
         for round in 0..ROUNDS {
@@ -669,6 +673,15 @@ fn sharded_pool_matches_per_shard_sequential_replay() {
             shards.rendezvous_count(),
             rendezvous_before,
             "shard-local jobs must never pay a rendezvous"
+        );
+        // Steal accounting: the kernel books a stolen job on its home
+        // shard inside its first wave, so the merged kernel count can
+        // never exceed the pool's own tally.
+        assert!(
+            shards.stats().pool_steals <= pool.steals(),
+            "kernel recorded more steals ({}) than the pool ({})",
+            shards.stats().pool_steals,
+            pool.steals()
         );
 
         // Per-shard sequential replay on the twins.
