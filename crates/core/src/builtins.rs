@@ -792,10 +792,17 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
         });
     }
 
-    // Sandbox setup (fork / shill_init / grants / shill_enter).
+    // Sandbox setup (fork / shill_init / grants / shill_enter). Setup
+    // failures — fork-time pid-space exhaustion (EAGAIN from the shard
+    // pid stride), max_processes ulimit exhaustion, a refused grant —
+    // surface as catchable `syserror` values, not harness-level aborts: a
+    // script that hits a resource wall must be able to observe it with
+    // `is_syserror` and degrade, exactly like any other denied syscall.
     let parent = interp.pid;
-    let sandbox = shill_sandbox::setup_sandbox(&mut interp.kernel, &policy, parent, &spec)
-        .map_err(ShillError::Sys)?;
+    let sandbox = match shill_sandbox::setup_sandbox(&mut interp.kernel, &policy, parent, &spec) {
+        Ok(sb) => sb,
+        Err(e) => return Ok(Value::SysErr(e)),
+    };
     interp.profile.sandboxes += 1;
     interp.profile.sandbox_setup += setup_start.elapsed();
 
@@ -811,10 +818,13 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
         }
     };
     interp.kernel.exit(sandbox.child, status);
-    let status = interp
-        .kernel
-        .waitpid(parent, sandbox.child)
-        .map_err(ShillError::Sys)?;
+    let status = match interp.kernel.waitpid(parent, sandbox.child) {
+        Ok(s) => s,
+        Err(e) => {
+            interp.profile.sandboxed_exec += exec_start.elapsed();
+            return Ok(Value::SysErr(e));
+        }
+    };
     interp.profile.sandboxed_exec += exec_start.elapsed();
     Ok(Value::Num(status as i64))
 }

@@ -32,10 +32,21 @@ impl std::error::Error for ParseError {}
 
 type PResult<T> = Result<T, ParseError>;
 
+/// Deepest expression/contract nesting the parser accepts. Recursive
+/// descent consumes native stack per nesting level; adversarial input
+/// (`((((…`, `!!!!…x`) must produce a clean [`ParseError`], not a stack
+/// overflow. The bound sits above anything a reasonable script needs and
+/// below the thread stack limit, mirroring the evaluator's own call-depth
+/// cap.
+const MAX_PARSE_DEPTH: usize = 200;
+
 struct Parser {
     toks: Vec<Token>,
     i: usize,
     dialect: Dialect,
+    /// Current recursion depth across `expr`/`unary_expr`/`contract` — the
+    /// three choke points every recursive production passes through.
+    depth: usize,
 }
 
 impl Parser {
@@ -194,7 +205,23 @@ impl Parser {
 
     // --- expressions --------------------------------------------------------
 
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn expr(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.expr_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_unguarded(&mut self) -> PResult<Expr> {
         if self.dialect == Dialect::Ambient {
             // Ambient restriction: flag structured control flow.
             match self.peek() {
@@ -299,6 +326,15 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> PResult<Expr> {
+        // Self-recursive (`--x`, `!!x`) without re-entering `expr`, so it
+        // needs its own slot in the shared depth budget.
+        self.enter()?;
+        let r = self.unary_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_unguarded(&mut self) -> PResult<Expr> {
         match self.peek() {
             Tok::Not => {
                 let pos = self.pos();
@@ -454,6 +490,13 @@ impl Parser {
     // --- contracts -----------------------------------------------------------
 
     fn contract(&mut self) -> PResult<ContractExpr> {
+        self.enter()?;
+        let r = self.contract_unguarded();
+        self.depth -= 1;
+        r
+    }
+
+    fn contract_unguarded(&mut self) -> PResult<ContractExpr> {
         if *self.peek() == Tok::Forall {
             self.bump();
             let var = self.ident("contract variable")?;
@@ -664,6 +707,7 @@ pub fn parse_script(src: &str) -> PResult<Script> {
         toks,
         i: 0,
         dialect: Dialect::CapSafe,
+        depth: 0,
     };
     p.script()
 }
@@ -678,6 +722,7 @@ pub fn parse_contract(src: &str) -> PResult<ContractExpr> {
         toks,
         i: 0,
         dialect: Dialect::CapSafe,
+        depth: 0,
     };
     let c = p.contract()?;
     if *p.peek() != Tok::Eof {

@@ -729,6 +729,11 @@ impl Kernel {
                 // `batch_entries` and their `ECANCELED` slot is an audit
                 // cancellation, not a denial.
                 Err(Errno::ECANCELED)
+            } else if let Err(e) = self.fault_batch_entry(pid, i) {
+                // An injected entry fault fails the slot before it runs;
+                // dependents are cancelled by the normal poisoning rules —
+                // a deterministic mid-batch cancellation.
+                Err(e)
             } else {
                 if as_batch {
                     KernelStats::bump(&self.stats.batch_entries);

@@ -11,6 +11,7 @@ use shill_vfs::{
 
 use crate::avc::{avc_class, avc_pipe_class, avc_socket_class, Avc};
 use crate::batch::{BatchState, PrefixHit, PrefixStep, PrefixTrace};
+use crate::fault::{path_key, FaultPlane, FaultSite};
 use crate::mac::{MacCtx, MacPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 use crate::net::NetStack;
 use crate::pipe::PipeTable;
@@ -69,6 +70,10 @@ pub struct Kernel {
     shard: usize,
     next_pid: u32,
     rng: u64,
+    /// Fault-injection plane, if installed (see [`crate::fault`]). Shared
+    /// with the filesystem's data-path hook via `Arc`; `None` costs one
+    /// branch per consulted site.
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl Default for Kernel {
@@ -146,7 +151,7 @@ impl Kernel {
         sysctls.insert(SYSCTL_DCACHE.to_string(), "1".to_string());
         sysctls.insert(SYSCTL_AVC.to_string(), "1".to_string());
 
-        Kernel {
+        let mut k = Kernel {
             fs,
             pipes: PipeTable::with_id_base(obj_base),
             net: NetStack::with_id_base(obj_base),
@@ -162,7 +167,69 @@ impl Kernel {
             shard,
             next_pid: shard as u32 * crate::shard::SHARD_PID_STRIDE + 1,
             rng: 0x9E3779B97F4A7C15,
+            faults: None,
+        };
+        // `SHILL_FAULTS` arms every kernel in the process with the same
+        // schedule — shard-relative keying makes the planes agree on which
+        // operations fail regardless of which shard runs them.
+        if let Some(plane) = FaultPlane::from_env() {
+            k.set_fault_plane(Some(plane));
         }
+        k
+    }
+
+    /// Install (or clear) a fault-injection plane, returning the plane it
+    /// displaced. The plane is shared with the filesystem so data-path
+    /// faults originate below the MAC hooks; clearing removes the hook
+    /// too. The returned handle (counters intact) can be put back with
+    /// [`Kernel::restore_fault_plane`] — the idiom for standing a
+    /// schedule down across fixture choreography.
+    pub fn set_fault_plane(&mut self, plane: Option<FaultPlane>) -> Option<Arc<FaultPlane>> {
+        let plane = plane.map(Arc::new);
+        self.fs
+            .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
+        std::mem::replace(&mut self.faults, plane)
+    }
+
+    /// Reinstall a plane previously displaced by
+    /// [`Kernel::set_fault_plane`], hit counters and pending accounting
+    /// intact.
+    pub fn restore_fault_plane(&mut self, plane: Option<Arc<FaultPlane>>) {
+        self.fs
+            .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
+        self.faults = plane;
+    }
+
+    /// The installed fault plane, if any (containment sites book survived
+    /// panics through this).
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.faults.as_ref()
+    }
+
+    /// Consult the fault plane at a control-path site.
+    fn fault_check(&self, site: FaultSite, key: u64) -> SysResult<()> {
+        if let Some(f) = &self.faults {
+            if let Some(e) = f.check(site, key) {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shard-relative pid: the mode- and shard-invariant session key fault
+    /// schedules fire on.
+    fn fault_pid_key(pid: Pid) -> u64 {
+        (pid.0 % crate::shard::SHARD_PID_STRIDE) as u64
+    }
+
+    /// Consult the fault plane for a batch entry, keyed by slot identity
+    /// (never execution order) so in-order, out-of-order, and pooled
+    /// execution fail the same entries.
+    pub(crate) fn fault_batch_entry(&self, pid: Pid, slot: usize) -> SysResult<()> {
+        self.fault_check(
+            FaultSite::Batch,
+            Self::fault_pid_key(pid) << 32 | slot as u64,
+        )
     }
 
     /// Which shard this kernel is (0 for a standalone kernel).
@@ -259,6 +326,15 @@ impl Kernel {
         self.batch.is_some()
     }
 
+    /// Defensive teardown of any batch state left installed. The batch
+    /// drop-guard makes a stuck batch unreachable in principle; the worker
+    /// pool still calls this after containing a panic, because a kernel
+    /// wedged with stale batch state would fail every later submission on
+    /// the shard with `EINVAL`. Returns whether anything was cleared.
+    pub fn abort_stale_batch(&mut self) -> bool {
+        self.batch.take().is_some()
+    }
+
     /// Register a simulated executable under `program` (matched against the
     /// `#!SIMBIN <program>` line of executable files).
     pub fn register_exec(&mut self, program: &str, handler: ExecHandler) {
@@ -310,6 +386,9 @@ impl Kernel {
     /// when the batch completes.
     pub(crate) fn charge(&mut self, pid: Pid) -> SysResult<()> {
         KernelStats::bump(&self.stats.syscalls);
+        // Injected ulimit exhaustion fires here — before the batch branch —
+        // so sequential and batched execution trip at identical points.
+        self.fault_check(FaultSite::Charge, Self::fault_pid_key(pid))?;
         if let Some(b) = &self.batch {
             if b.ctx.pid == pid {
                 return b.consume_tick();
@@ -335,6 +414,9 @@ impl Kernel {
     /// in the shared policy's pid-keyed session/label maps.
     fn alloc_pid(&mut self) -> SysResult<Pid> {
         let base = self.shard as u32 * crate::shard::SHARD_PID_STRIDE;
+        // Simulated pid-space exhaustion, keyed by the shard-relative pid
+        // about to be handed out.
+        self.fault_check(FaultSite::AllocPid, (self.next_pid + 1 - base) as u64)?;
         if self.next_pid - base >= crate::shard::SHARD_PID_STRIDE - 1 {
             return Err(Errno::EAGAIN);
         }
@@ -344,10 +426,19 @@ impl Kernel {
 
     /// Create a fresh top-level user process (child of init) with the given
     /// credentials; used by ambient scripts and test setup. Panics if the
-    /// shard's pid space (2^20 lifetime pids) is exhausted — fallible
-    /// allocation is [`Kernel::fork`]'s `EAGAIN`.
+    /// shard's pid space (2^20 lifetime pids) is exhausted — callers that
+    /// must degrade instead of abort use [`Kernel::try_spawn_user`].
     pub fn spawn_user(&mut self, cred: Cred) -> Pid {
-        let pid = self.alloc_pid().expect("shard pid space exhausted");
+        self.try_spawn_user(cred)
+            .expect("shard pid space exhausted")
+    }
+
+    /// Fallible [`Kernel::spawn_user`]: pid-space exhaustion (the shard
+    /// stride guard, or an injected `alloc_pid` fault) surfaces as the
+    /// same `EAGAIN` real pid exhaustion produces, so callers can hand
+    /// scripts a catchable `syserror` instead of aborting the harness.
+    pub fn try_spawn_user(&mut self, cred: Cred) -> SysResult<Pid> {
+        let pid = self.alloc_pid()?;
         let root = self.fs.root();
         self.procs
             .insert(pid, Process::new(pid, Pid(1), cred, root));
@@ -357,7 +448,7 @@ impl Kernel {
         for p in self.registry.iter() {
             p.proc_fork(Pid(1), pid);
         }
-        pid
+        Ok(pid)
     }
 
     /// Fork: the child inherits credentials, cwd, ulimits, and descriptors
@@ -479,6 +570,13 @@ impl Kernel {
     pub(crate) fn mac_vnode(&self, pid: Pid, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
         if self.registry.is_empty() {
             return Ok(());
+        }
+        // Injected policy-module panic: fires before the AVC probe and the
+        // policy iteration, modeling a hook that dies mid-check. Only
+        // armed when a policy is actually registered (it is a *policy*
+        // fault); containment is the caller's unwind boundary.
+        if let Some(f) = &self.faults {
+            f.maybe_panic(Self::fault_pid_key(pid));
         }
         // Fast path: a previously memoized allow for this access vector,
         // still valid at the current combined epoch. Denials are never
@@ -648,6 +746,15 @@ impl Kernel {
                 KernelStats::add(&self.stats.policy_stripe_contention, drained);
             }
         }
+        if let Some(f) = &self.faults {
+            let (injected, survived) = f.drain();
+            if injected > 0 {
+                KernelStats::add(&self.stats.faults_injected, injected);
+            }
+            if survived > 0 {
+                KernelStats::add(&self.stats.faults_survived, survived);
+            }
+        }
         self.stats.snapshot()
     }
 
@@ -753,6 +860,11 @@ impl Kernel {
         if path.len() > 1024 {
             return Err(Errno::ENAMETOOLONG);
         }
+        // Injected resolution failure, keyed by the path string itself: a
+        // cursed path fails identically whether the walk would have been
+        // served by the dcache, the in-batch prefix cache, or a full walk
+        // — which is what keeps fault schedules cache-mode-invariant.
+        self.fault_check(FaultSite::Namei, path_key(path))?;
         let cred = self.process(pid)?.cred;
         let start = self.walk_start(pid, dirfd, path)?;
         let mut hops = 0u32;

@@ -13,6 +13,8 @@
 pub mod avc;
 #[warn(missing_docs)]
 pub mod batch;
+#[warn(missing_docs)]
+pub mod fault;
 pub mod kernel;
 pub mod mac;
 pub mod net;
@@ -29,6 +31,7 @@ pub mod types;
 
 pub use avc::{avc_class, avc_pipe_class, avc_socket_class, Avc, AvcClass};
 pub use batch::{BatchArg, BatchEntry, BatchFd, BatchOut, FailMode, SyscallBatch};
+pub use fault::{path_key, FaultPlane, FaultSite};
 pub use kernel::{ExecHandler, Kernel, Lookup, SYSCTL_AVC, SYSCTL_DCACHE};
 pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 pub use net::{InjConnId, RemoteHandler};

@@ -442,6 +442,11 @@ impl Kernel {
             let r = if dag.should_cancel(slot, batch.fail_mode, results) {
                 KernelStats::bump(&self.stats.sched_cancelled_cone);
                 Err(Errno::ECANCELED)
+            } else if let Err(e) = self.fault_batch_entry(pid, slot) {
+                // Slot-keyed injection: the same entry fails here as on
+                // the in-order path, no matter which wave or worker runs
+                // it — execution order never changes the fault schedule.
+                Err(e)
             } else {
                 KernelStats::bump(&self.stats.batch_entries);
                 self.exec_entry(pid, &batch.entries[slot], results)

@@ -317,6 +317,28 @@ impl KernelShards {
         });
     }
 
+    /// Install one fault schedule on every shard, under a rendezvous so
+    /// no wave runs with half the shards armed. Each shard gets its own
+    /// plane parsed from the same spec — per-shard hit counters keep
+    /// nth-hit entries deterministic per shard, while the shared seed and
+    /// shard-relative keying make hash-rate firing agree across shards.
+    /// Pass `None` to disarm.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed spec (same contract as [`crate::fault::FaultPlane::parse`]
+    /// via `SHILL_FAULTS`: a schedule that silently fails to arm would
+    /// make a red run green).
+    pub fn set_fault_plane(&self, spec: Option<&str>) {
+        self.rendezvous(|shards| {
+            for k in shards {
+                let plane = spec
+                    .map(|s| crate::fault::FaultPlane::parse(s).expect("malformed fault schedule"));
+                k.set_fault_plane(plane);
+            }
+        });
+    }
+
     /// Toggle the resolution caches on every shard under one rendezvous
     /// (the sharded form of [`Kernel::set_cache_enabled`]).
     pub fn set_cache_enabled(&self, dcache: bool, avc: bool) {

@@ -85,6 +85,15 @@ pub struct KernelStats {
     /// wave lock, so the per-shard split shows *whose* traffic overflowed
     /// its affine worker.
     pub pool_steals: AtomicU64,
+    /// Faults fired by the fault-injection plane ([`crate::fault`]):
+    /// errno failures, short I/O, and injected panics. Drained from the
+    /// plane at snapshot time like `policy_stripe_contention`.
+    pub faults_injected: AtomicU64,
+    /// Injected faults that degraded cleanly: surfaced as an errno or a
+    /// legal short op, or (for injected panics) were caught at a
+    /// containment boundary. `faults_injected == faults_survived` is the
+    /// machine-checkable "no panic escaped" invariant.
+    pub faults_survived: AtomicU64,
 }
 
 impl KernelStats {
@@ -125,6 +134,8 @@ impl KernelStats {
             sched_cancelled_cone: get(&self.sched_cancelled_cone),
             policy_stripe_contention: get(&self.policy_stripe_contention),
             pool_steals: get(&self.pool_steals),
+            faults_injected: get(&self.faults_injected),
+            faults_survived: get(&self.faults_survived),
         }
     }
 
@@ -155,6 +166,8 @@ impl KernelStats {
             &self.sched_cancelled_cone,
             &self.policy_stripe_contention,
             &self.pool_steals,
+            &self.faults_injected,
+            &self.faults_survived,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -193,6 +206,8 @@ impl StatsSnapshot {
             policy_stripe_contention: self.policy_stripe_contention
                 + other.policy_stripe_contention,
             pool_steals: self.pool_steals + other.pool_steals,
+            faults_injected: self.faults_injected + other.faults_injected,
+            faults_survived: self.faults_survived + other.faults_survived,
         }
     }
 }
@@ -225,6 +240,8 @@ pub struct StatsSnapshot {
     pub sched_cancelled_cone: u64,
     pub policy_stripe_contention: u64,
     pub pool_steals: u64,
+    pub faults_injected: u64,
+    pub faults_survived: u64,
 }
 
 #[cfg(test)]

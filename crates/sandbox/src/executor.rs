@@ -445,10 +445,28 @@ impl BatchPool {
             // A panicking policy module must cost one job (its slot
             // reports EINVAL, as the scoped pool's join did), not a pool
             // worker for the process lifetime.
+            let job_pid = job.job.pid;
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Self::run_one(&shards, job, stolen, &mut arena)
             }))
-            .unwrap_or(Err(Errno::EINVAL));
+            .unwrap_or_else(|_| {
+                // Containment bookkeeping, under the home shard's lock
+                // (released by the unwind — the sync shim never poisons):
+                // the wave that died is booked as a cancellation, any
+                // batch state the drop-guard could not reach is cleared so
+                // the shard stays usable, and an armed fault plane records
+                // the panic as survived — keeping `faults_injected ==
+                // faults_survived` the no-escape invariant.
+                let home = shards.shard_of(job_pid);
+                shards.with_shard(home, |k| {
+                    k.abort_stale_batch();
+                    shill_kernel::KernelStats::bump(&k.stats.sched_cancelled_cone);
+                    if let Some(plane) = k.fault_plane() {
+                        plane.book_survived();
+                    }
+                });
+                Err(Errno::EINVAL)
+            });
             // The result send is the "job done" edge: no kernel handle may
             // outlive it, so a caller that saw every result can immediately
             // recover sole ownership of the shard set (the reuse
@@ -1053,6 +1071,116 @@ mod tests {
         let merged = shards.stats();
         assert!(merged.pool_steals >= 1, "kernel never saw the steal");
         assert!(merged.pool_steals <= pool.steals());
+    }
+
+    /// A policy whose vnode hook panics exactly once, for one pid — the
+    /// deliberately buggy module of the robustness plan.
+    struct PanicOncePolicy {
+        victim: Pid,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl shill_kernel::MacPolicy for PanicOncePolicy {
+        fn name(&self) -> &str {
+            "panic-once"
+        }
+        fn vnode_check(
+            &self,
+            ctx: shill_kernel::MacCtx,
+            _node: shill_vfs::NodeId,
+            _op: &shill_kernel::VnodeOp<'_>,
+        ) -> SysResult<()> {
+            if ctx.pid == self.victim && self.armed.swap(false, std::sync::atomic::Ordering::SeqCst)
+            {
+                panic!("deliberately panicking policy module");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_policy_panicking_mid_wave_on_a_stolen_job() {
+        use shill_kernel::completions_to_slots;
+
+        // Same steal topology as above: shards 0 and 2 route to worker 0
+        // and the shard-0 job wedges mid-wave, so worker 1 must steal the
+        // shard-2 job — whose policy hook then panics. The gate is keyed
+        // to the victim's check (which runs before the panicking module in
+        // registration order), so the panic provably happens on a *stolen*
+        // job; it must cost exactly that job, not the thief, the shard, or
+        // the pool.
+        let shards = KernelShards::new_with(3, populate_shard);
+        let wedged = shards.with_shard(0, |k| k.spawn_user(Cred::user(100)));
+        let bystander = shards.with_shard(1, |k| k.spawn_user(Cred::user(100)));
+        let victim = shards.with_shard(2, |k| k.spawn_user(Cred::user(100)));
+        let (tx, rx) = mpsc::channel();
+        shards.register_policy(Arc::new(GatePolicy {
+            blocked: wedged,
+            release: victim,
+            tx: Mutex::new(Some(tx)),
+            rx: Mutex::new(Some(rx)),
+        }));
+        shards.register_policy(Arc::new(PanicOncePolicy {
+            victim,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        }));
+
+        let pool = BatchPool::new(2);
+        let read = |pid: Pid| {
+            ShardedBatchJob::local(BatchJob {
+                pid,
+                batch: SyscallBatch::single(shill_kernel::BatchEntry::ReadFile {
+                    dirfd: None,
+                    path: "/work/data.txt".into(),
+                }),
+            })
+        };
+        let outs = pool.run_sharded(&shards, vec![read(wedged), read(bystander), read(victim)]);
+        match &outs[2] {
+            Err(e) => assert_eq!(*e, Errno::EINVAL, "panicked job reports EINVAL"),
+            Ok(_) => panic!("the panicked job must not report success"),
+        }
+        for (i, shard) in [(0usize, 0usize), (1, 1)] {
+            let slots = completions_to_slots(1, outs[i].as_ref().unwrap());
+            assert_eq!(
+                slots[0],
+                Ok(shill_kernel::BatchOut::Data(
+                    format!("shard-{shard}").into_bytes()
+                )),
+                "job {i} must complete despite the sibling panic"
+            );
+        }
+        assert!(pool.steals() >= 1, "the panicking job was not stolen");
+        // Containment booked the dead wave as a cancellation and left no
+        // batch state installed anywhere.
+        let merged = shards.stats();
+        assert!(merged.sched_cancelled_cone >= 1, "dead wave not booked");
+        for s in 0..3 {
+            assert!(
+                !shards.with_shard(s, |k| k.batch_in_flight()),
+                "batch state stuck on shard {s} after a contained panic"
+            );
+        }
+        // The worker that contained the panic is still alive and the
+        // victim's shard still serves: a full healthy round on the same
+        // pool (the panic policy is disarmed after its one shot).
+        let outs = pool.run_sharded(&shards, vec![read(wedged), read(bystander), read(victim)]);
+        for (out, shard) in outs.iter().zip([0usize, 1, 2]) {
+            let slots = completions_to_slots(1, out.as_ref().unwrap());
+            assert_eq!(
+                slots[0],
+                Ok(shill_kernel::BatchOut::Data(
+                    format!("shard-{shard}").into_bytes()
+                )),
+                "post-panic round failed on shard {shard}"
+            );
+        }
+        // Drain-on-drop joins every worker; no kernel handle outlives it.
+        drop(pool);
+        assert!(
+            shards.try_into_kernels().is_some(),
+            "a worker kept a kernel handle after the contained panic"
+        );
     }
 
     #[test]

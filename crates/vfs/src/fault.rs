@@ -1,0 +1,47 @@
+//! Fault-hook seam at the filesystem boundary.
+//!
+//! The kernel's fault-injection plane (`shill-kernel`'s `fault` module)
+//! implements this trait and installs itself on the [`crate::Filesystem`]
+//! so data-path failures — I/O errors and short reads/writes — originate
+//! at the same layer they would in a real kernel: below the MAC hooks,
+//! inside the filesystem proper. The vfs stays mechanism-only; it never
+//! decides *whether* to fail, it only honors a verdict handed down by the
+//! hook.
+//!
+//! Hooks are consulted with *shard-relative* node ids (the node id minus
+//! the filesystem's id base) so a fault schedule keyed on object identity
+//! fires identically no matter which shard's namespace the object lives
+//! in — the property the differential oracle depends on when it replays
+//! one workload on a standalone kernel and on a sharded pool.
+
+use std::sync::Arc;
+
+use crate::errno::Errno;
+
+/// Verdict returned by a fault hook for one data-path operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Fail the operation outright with this errno.
+    Fail(Errno),
+    /// Truncate the operation to at most `n` bytes (a short read or short
+    /// write — the caller sees fewer bytes than requested, not an error).
+    Short(usize),
+}
+
+/// Decision point consulted by [`crate::Filesystem::read`] and
+/// [`crate::Filesystem::write`]. Implementations must be cheap, take
+/// `&self` (the read path holds only a shared borrow), and be
+/// deterministic for a given (site, key) so schedules replay bit-for-bit.
+pub trait FaultHook: Send + Sync + std::fmt::Debug {
+    /// Consulted before a file read of `len` bytes at `offset` from the
+    /// shard-relative node `rel_node`. `None` means proceed untouched.
+    fn on_read(&self, rel_node: u64, offset: u64, len: usize) -> Option<IoFault>;
+
+    /// Consulted before a file write of `len` bytes at `offset` to the
+    /// shard-relative node `rel_node`.
+    fn on_write(&self, rel_node: u64, offset: u64, len: usize) -> Option<IoFault>;
+}
+
+/// Shared handle to an installed hook (the kernel and the filesystem both
+/// hold one; the plane's counters are interior-mutable atomics).
+pub type SharedFaultHook = Arc<dyn FaultHook>;

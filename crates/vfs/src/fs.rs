@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::dcache::Dcache;
 use crate::errno::{Errno, SysResult};
+use crate::fault::{IoFault, SharedFaultHook};
 use crate::node::{DeviceKind, NodeBody, Vnode};
 use crate::types::{Gid, Mode, NodeId, Timestamp, Uid};
 
@@ -37,6 +38,13 @@ pub struct Filesystem {
     /// namespace mutation below invalidates the affected directory's
     /// generation (see [`crate::dcache`]).
     dcache: Dcache,
+    /// Node-id base this filesystem allocates from (shard stride); hooks
+    /// below are consulted with ids relative to it so fault schedules are
+    /// shard-invariant.
+    id_base: u64,
+    /// Fault-injection hook consulted on the data path (see
+    /// [`crate::fault`]). `None` — the default — means no injection.
+    fault: Option<SharedFaultHook>,
 }
 
 impl Default for Filesystem {
@@ -80,6 +88,26 @@ impl Filesystem {
             name_cache: HashMap::new(),
             open_refs: HashMap::new(),
             dcache: Dcache::new(),
+            id_base: base,
+            fault: None,
+        }
+    }
+
+    /// Install (or clear) the data-path fault hook. The kernel's fault
+    /// plane installs itself here so injected I/O failures originate below
+    /// the MAC layer, where real media errors would.
+    pub fn set_fault_hook(&mut self, hook: Option<SharedFaultHook>) {
+        self.fault = hook;
+    }
+
+    /// Consult the installed fault hook for a data-path op on `node`.
+    fn fault_io(&self, write: bool, node: NodeId, offset: u64, len: usize) -> Option<IoFault> {
+        let hook = self.fault.as_ref()?;
+        let rel = node.0.wrapping_sub(self.id_base);
+        if write {
+            hook.on_write(rel, offset, len)
+        } else {
+            hook.on_read(rel, offset, len)
         }
     }
 
@@ -406,6 +434,11 @@ impl Filesystem {
 
     /// Read up to `len` bytes from a regular file at `offset`.
     pub fn read(&self, node: NodeId, offset: u64, len: usize) -> SysResult<Vec<u8>> {
+        let len = match self.fault_io(false, node, offset, len) {
+            Some(IoFault::Fail(e)) => return Err(e),
+            Some(IoFault::Short(n)) => len.min(n),
+            None => len,
+        };
         let n = self.node(node)?;
         let data = n.file_data()?;
         let start = (offset as usize).min(data.len());
@@ -416,6 +449,11 @@ impl Filesystem {
     /// Write `buf` into a regular file at `offset`, extending (zero-filling)
     /// as needed. Returns the number of bytes written.
     pub fn write(&mut self, node: NodeId, offset: u64, buf: &[u8]) -> SysResult<usize> {
+        let buf = match self.fault_io(true, node, offset, buf.len()) {
+            Some(IoFault::Fail(e)) => return Err(e),
+            Some(IoFault::Short(n)) => &buf[..buf.len().min(n)],
+            None => buf,
+        };
         let now = self.tick();
         let n = self.node_mut(node)?;
         let data = n.file_data_mut()?;

@@ -18,6 +18,7 @@
 pub mod dac;
 pub mod dcache;
 pub mod errno;
+pub mod fault;
 pub mod fs;
 pub mod node;
 pub mod sync;
@@ -25,6 +26,7 @@ pub mod types;
 
 pub use dcache::{Dcache, DcacheProbe, DcacheStats};
 pub use errno::{Errno, SysResult};
+pub use fault::{FaultHook, IoFault, SharedFaultHook};
 pub use fs::Filesystem;
 pub use node::{DeviceKind, NodeBody, Vnode};
 pub use types::{Access, Cred, FileType, Gid, Mode, NodeId, Stat, Timestamp, Uid};

@@ -56,9 +56,16 @@ pub mod setup {
     use crate::vfs::Cred;
 
     /// A kernel with every simulated binary and library installed.
+    ///
+    /// A `SHILL_FAULTS` schedule governs the *workload*, not environment
+    /// construction: the plane armed by [`Kernel::new`] is stood down
+    /// while the standard binaries install and rearmed afterwards, so a
+    /// data-path schedule cannot fail the install choreography.
     pub fn standard_kernel() -> Kernel {
         let mut k = Kernel::new();
+        let plane = k.set_fault_plane(None);
         crate::binaries::install_all(&mut k);
+        k.restore_fault_plane(plane);
         k
     }
 

@@ -1,0 +1,295 @@
+//! Robustness regression tests: resource exhaustion surfaces to scripts as
+//! *catchable* eval errors (`is_syserror`), the parser survives adversarial
+//! input, and the kernel degrades — never aborts the harness — when the
+//! fault-injection plane fires.
+
+use std::sync::Arc;
+
+use shill::kernel::{FaultPlane, FaultSite, Ulimits};
+use shill::prelude::*;
+use shill::vfs::{Errno, Gid, Mode, Uid};
+
+/// A kernel with one trivial simulated binary (no NEEDS lines) so `exec`
+/// reaches the fork without any library plumbing.
+fn kernel_with_trueish() -> Kernel {
+    let mut k = Kernel::new();
+    k.register_exec(
+        "trueish",
+        Arc::new(|_k: &mut Kernel, _pid: Pid, _argv: &[String]| 0),
+    );
+    k.fs.put_file(
+        "/bin/trueish",
+        b"#!SIMBIN trueish\n",
+        Mode(0o755),
+        Uid::ROOT,
+        Gid::WHEEL,
+    )
+    .unwrap();
+    k
+}
+
+fn runtime() -> ShillRuntime {
+    let mut rt = ShillRuntime::new(kernel_with_trueish(), RuntimeConfig::WithPolicy, Cred::ROOT);
+    rt.add_script("describe.cap", DESCRIBE_CAP);
+    rt
+}
+
+/// Cap-language helper (ambient scripts cannot use conditionals): report
+/// whether a result was a catchable syserror (and which errno) or a value.
+const DESCRIBE_CAP: &str = r#"#lang shill/cap
+describe = fun(r) {
+  if is_syserror(r) then "caught " ++ to_string(r) else "status " ++ to_string(r)
+};
+provide describe : any -> is_string;
+"#;
+
+/// A script that execs the trivial binary and reports whether the result
+/// was a catchable syserror (and which errno) or a normal exit status.
+const EXEC_PROBE: &str = r#"#lang shill/ambient
+require "describe.cap";
+bin = open_file("/bin/trueish");
+r = exec(bin, ["trueish"]);
+describe(r)
+"#;
+
+// --- satellite: fork-time exhaustion is catchable, not a harness abort ----
+
+#[test]
+fn exec_pid_space_exhaustion_is_a_catchable_syserror() {
+    let mut rt = runtime();
+    // Installed *after* runtime construction, so the next pid allocation —
+    // the sandbox fork performed by `exec` — is the plane's first AllocPid
+    // hit and fails with the same EAGAIN real pid exhaustion produces.
+    rt.kernel()
+        .set_fault_plane(Some(FaultPlane::seeded(7, 0, &[]).fail_on(
+            FaultSite::AllocPid,
+            1,
+            Errno::EAGAIN,
+        )));
+    let v = rt.run("probe", EXEC_PROBE).unwrap();
+    assert_eq!(v.display(), "caught <syserror EAGAIN>");
+
+    // The fault was one-shot: the runtime survives and the very next exec
+    // in the same interpreter succeeds. Degrade, don't abort.
+    let v = rt.run("probe2", EXEC_PROBE).unwrap();
+    assert_eq!(v.display(), "status 0");
+}
+
+#[test]
+fn exec_process_ulimit_exhaustion_is_a_catchable_syserror() {
+    let mut rt = runtime();
+    let pid = rt.interp.pid;
+    // Real (not injected) ulimit exhaustion: with zero descendant
+    // processes allowed, the sandbox fork trips max_processes.
+    rt.kernel()
+        .set_ulimits(
+            pid,
+            Ulimits {
+                max_processes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let v = rt.run("probe", EXEC_PROBE).unwrap();
+    assert_eq!(v.display(), "caught <syserror EAGAIN>");
+
+    // Lifting the limit restores exec in the same runtime.
+    rt.kernel().set_ulimits(pid, Ulimits::default()).unwrap();
+    let v = rt.run("probe2", EXEC_PROBE).unwrap();
+    assert_eq!(v.display(), "status 0");
+}
+
+const OPEN_PROBE: &str = r#"#lang shill/ambient
+require "describe.cap";
+r = open_file("/bin/trueish");
+describe(r)
+"#;
+
+#[test]
+fn cpu_tick_ulimit_exhaustion_is_a_catchable_syserror() {
+    let mut rt = runtime();
+    let pid = rt.interp.pid;
+    // Real cpu-budget exhaustion: with a zero tick budget every charged
+    // syscall returns EAGAIN, and the script observes it with
+    // `is_syserror` instead of aborting evaluation.
+    rt.kernel()
+        .set_ulimits(
+            pid,
+            Ulimits {
+                max_cpu_ticks: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let v = rt.run("probe", OPEN_PROBE).unwrap();
+    assert_eq!(v.display(), "caught <syserror EAGAIN>");
+
+    // Refilling the budget restores the runtime.
+    rt.kernel().set_ulimits(pid, Ulimits::default()).unwrap();
+    let v = rt.run("probe2", OPEN_PROBE).unwrap();
+    assert!(
+        v.display().starts_with("status <capability"),
+        "{}",
+        v.display()
+    );
+}
+
+#[test]
+fn injected_charge_exhaustion_is_a_catchable_syserror() {
+    let mut rt = runtime();
+    // The same exhaustion injected through the fault plane (parsed from the
+    // SHILL_FAULTS schedule syntax): rate=1 on the charge site fails every
+    // charged syscall with EAGAIN, exactly like a spent cpu ulimit.
+    rt.kernel().set_fault_plane(Some(
+        FaultPlane::parse("seed=1;rate=1;sites=charge").unwrap(),
+    ));
+    let v = rt.run("probe", OPEN_PROBE).unwrap();
+    assert_eq!(v.display(), "caught <syserror EAGAIN>");
+
+    // Removing the plane restores the runtime.
+    rt.kernel().set_fault_plane(None);
+    let v = rt.run("probe2", OPEN_PROBE).unwrap();
+    assert!(
+        v.display().starts_with("status <capability"),
+        "{}",
+        v.display()
+    );
+}
+
+#[test]
+fn real_pid_stride_exhaustion_matches_injected_errno() {
+    // The injected AllocPid fault must be indistinguishable from the real
+    // stride guard: both are EAGAIN from the same call.
+    let mut k = Kernel::new();
+    let u = k.spawn_user(Cred::user(100));
+    assert_eq!(
+        k.try_spawn_user(Cred::user(100)).map(|p| p.0 > u.0),
+        Ok(true)
+    );
+    k.set_fault_plane(Some(FaultPlane::seeded(3, 0, &[]).fail_on(
+        FaultSite::AllocPid,
+        1,
+        Errno::EAGAIN,
+    )));
+    assert_eq!(k.try_spawn_user(Cred::user(100)), Err(Errno::EAGAIN));
+    // One-shot: allocation recovers afterwards.
+    assert!(k.try_spawn_user(Cred::user(100)).is_ok());
+}
+
+// --- satellite: lexer/parser survive adversarial input --------------------
+
+mod adversarial_input {
+    use shill::core::{parse_contract, parse_script};
+
+    /// Parsing must return `Result`, never panic, for any input: every case
+    /// below is a classic front-end killer (truncation mid-token, NUL and
+    /// replacement characters, unbounded nesting, megabyte tokens) and each
+    /// must yield a clean error — or, for the benign ones, a clean script.
+    fn parses_without_panic(src: &str) -> bool {
+        parse_script(src).is_ok()
+    }
+
+    #[test]
+    fn truncated_scripts_error_cleanly() {
+        let whole = "#lang shill/cap\nf = fun(x) { if x > 0 then [x, \"s\"] else f(x + 1) };\nprovide f : {x : is_num} -> any;\n";
+        // Every prefix of a valid script is handled: some parse (a prefix
+        // can end on a statement boundary), none panic.
+        for end in 0..whole.len() {
+            if !whole.is_char_boundary(end) {
+                continue;
+            }
+            let _ = parses_without_panic(&whole[..end]);
+        }
+    }
+
+    #[test]
+    fn nul_bytes_are_clean_lex_errors() {
+        for src in [
+            "\0",
+            "#lang shill/cap\n\0",
+            "#lang shill/cap\nx = \0 1;",
+            "#lang shill/cap\nx = \"a\0b\";", // NUL inside a string is fine
+        ] {
+            let _ = parses_without_panic(src);
+        }
+        assert!(parse_script("#lang shill/cap\nx = \"a\0b\";\nx").is_ok());
+        assert!(parse_script("#lang shill/cap\nx = \0;").is_err());
+    }
+
+    #[test]
+    fn non_utf8_input_is_handled_after_lossy_decoding() {
+        // Scripts arrive as `&str`, so raw non-UTF-8 must be decoded first;
+        // the replacement characters then lex as clean errors.
+        let raw: &[u8] = b"#lang shill/cap\nx = \xff\xfe 1;";
+        let src = String::from_utf8_lossy(raw);
+        assert!(parse_script(&src).is_err());
+        // Multi-byte UTF-8 in identifiers/strings must not split the lexer.
+        assert!(parse_script("#lang shill/cap\nx = \"héllo…🦀\";\nx").is_ok());
+        assert!(parse_script("#lang shill/cap\né = 1;").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_clean_error_not_a_stack_overflow() {
+        // 10k levels would need ~10k native stack frames without the depth
+        // bound; with it, parsing fails fast with a clean error.
+        let deep = format!(
+            "#lang shill/cap\nx = {}1{};",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let e = parse_script(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{}", e.message);
+
+        let deep_list = format!(
+            "#lang shill/cap\nx = {}1{};",
+            "[".repeat(10_000),
+            "]".repeat(10_000)
+        );
+        assert!(parse_script(&deep_list).is_err());
+
+        let deep_unary = format!("#lang shill/cap\nx = {}1;", "-".repeat(100_000));
+        let e = parse_script(&deep_unary).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{}", e.message);
+
+        let deep_not = format!("#lang shill/cap\nx = {}true;", "!".repeat(100_000));
+        assert!(parse_script(&deep_not).is_err());
+
+        let deep_contract = format!(
+            "forall x . {}is_num{}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        assert!(parse_contract(&deep_contract).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // The depth bound must not reject plausible real scripts.
+        let ok = format!(
+            "#lang shill/cap\nx = {}1{};\nx",
+            "(".repeat(64),
+            ")".repeat(64)
+        );
+        assert!(parse_script(&ok).is_ok());
+        let ok = format!("#lang shill/cap\nx = {}true;\nx", "!".repeat(64));
+        assert!(parse_script(&ok).is_ok());
+    }
+
+    #[test]
+    fn megabyte_tokens_lex_without_incident() {
+        // A 1 MiB string literal round-trips.
+        let big = "a".repeat(1 << 20);
+        let src = format!("#lang shill/cap\nx = \"{big}\";\nx");
+        assert!(parse_script(&src).is_ok());
+        // A 1 MiB identifier is one (valid) token.
+        let src = format!("#lang shill/cap\n{big} = 1;\n{big}");
+        assert!(parse_script(&src).is_ok());
+        // A 1 MiB numeric literal overflows i64: clean lex error.
+        let digits = "9".repeat(1 << 20);
+        assert!(parse_script(&format!("#lang shill/cap\nx = {digits};")).is_err());
+        // A 1 MiB unterminated string: clean lex error.
+        assert!(parse_script(&format!("#lang shill/cap\nx = \"{big}")).is_err());
+        // A 1 MiB comment is skipped.
+        assert!(parse_script(&format!("#lang shill/cap\n# {big}\nx = 1;\nx")).is_ok());
+    }
+}
