@@ -35,6 +35,11 @@
 //!    validation and completion assembly outside the lock) vs the same
 //!    jobs driven by a single thread. Set `SHILL_BENCH_SCHED_JSON=<path>`
 //!    to record the baseline (committed as `BENCH_sched.json`).
+//! 10. **Language-surface fusion** — a SHILL script's async pipeline
+//!     (deferred copy + reads + stat sweep forced by one `await_all`) vs
+//!     its sequential twin, comparing wall time and batch submissions per
+//!     round. Set `SHILL_BENCH_LANG_JSON=<path>` to record the baseline
+//!     (committed as `BENCH_lang.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -1494,6 +1499,133 @@ fn bench_policy() {
     }
 }
 
+/// The group-10 script pair: the async pipeline and its sequential twin,
+/// identical work — copy src→dst (slot-linked), two reads, one stat
+/// sweep — differing only in when the kernel sees it.
+const LANG_PIPELINE: &str = r#"#lang shill/cap
+require shill/filesys;
+provide fused :
+  {src : file(+read), a : file(+read), b : file(+read),
+   d : dir(+contents, +lookup, +stat), dst : file(+write)} -> is_list;
+provide sequential :
+  {src : file(+read), a : file(+read), b : file(+read),
+   d : dir(+contents, +lookup, +stat), dst : file(+write)} -> is_list;
+fused = fun(src, a, b, d, dst) {
+  f0 = async copy_file(src, dst);
+  f1 = async read(a);
+  f2 = async read(b);
+  f3 = async dir_stats(d);
+  await_all([f0, f1, f2, f3])
+};
+sequential = fun(src, a, b, d, dst) {
+  [copy_file(src, dst), read(a), read(b), dir_stats(d)]
+};
+"#;
+
+/// One group-10 measurement: drive `rounds` pipeline invocations through
+/// a fresh runtime, returning (ns/round, batch submissions/round).
+fn lang_mode_run(mode: &str, rounds: usize) -> (f64, f64) {
+    let mut rt = shill::setup::standard_runtime();
+    for (path, data) in [
+        ("/home/user/lang/src.bin", vec![b'p'; 16_384]),
+        ("/home/user/lang/a.txt", b"alpha".to_vec()),
+        ("/home/user/lang/b.txt", b"bravo".to_vec()),
+        ("/home/user/lang/dst.bin", Vec::new()),
+    ] {
+        rt.kernel()
+            .fs
+            .put_file(path, &data, Mode(0o644), Uid(100), Gid(100))
+            .unwrap();
+    }
+    for i in 0..6 {
+        rt.kernel()
+            .fs
+            .put_file(
+                &format!("/home/user/lang/sweep/s{i}.txt"),
+                &vec![b's'; 100 * (i + 1)],
+                Mode(0o644),
+                Uid(100),
+                Gid(100),
+            )
+            .unwrap();
+    }
+    rt.add_script("pipeline.cap", LANG_PIPELINE);
+    let driver = format!(
+        r#"#lang shill/ambient
+require "pipeline.cap";
+{mode}(open_file("/home/user/lang/src.bin"), open_file("/home/user/lang/a.txt"),
+   open_file("/home/user/lang/b.txt"), open_dir("/home/user/lang/sweep"),
+   open_file("/home/user/lang/dst.bin"))
+"#
+    );
+    // Warm the module cache and the dcache before timing.
+    rt.run("warmup", &driver).expect("warmup");
+    let before = rt.kernel().stats_snapshot();
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        rt.run(&format!("round{i}"), &driver).expect("round");
+    }
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    let after = rt.kernel().stats_snapshot();
+    (
+        elapsed / rounds as f64,
+        (after.batches - before.batches) as f64 / rounds as f64,
+    )
+}
+
+/// Group 10 — language-surface fusion: the async script vs its
+/// sequential twin. The submission count is the structural win (ONE
+/// `submit_scheduled` per round vs one private batch per operation);
+/// wall time mostly tracks the amortizations that buys.
+fn bench_lang() {
+    let rounds = 300;
+    println!(
+        "\n10. language-surface fusion (copy + 2 reads + stat sweep x {rounds} \
+         rounds, best of 3):"
+    );
+    let best = |mode: &str| -> (f64, f64) {
+        (0..3)
+            .map(|_| lang_mode_run(mode, rounds))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap()
+    };
+    let (fused_ns, fused_batches) = best("fused");
+    let (seq_ns, seq_batches) = best("sequential");
+    println!("   async (fused):    {fused_ns:>8.0}ns/round  {fused_batches:.1} submissions/round");
+    println!("   sequential twin:  {seq_ns:>8.0}ns/round  {seq_batches:.1} submissions/round");
+    let sub_ratio = seq_batches / fused_batches.max(1e-9);
+    let time_ratio = seq_ns / fused_ns.max(1e-9);
+    println!("   fusion: {sub_ratio:.1}× fewer submissions, {time_ratio:.2}× wall time vs twin");
+    assert!(
+        fused_batches < seq_batches,
+        "the fused script must submit fewer batches than its twin"
+    );
+    if let Ok(path) = std::env::var("SHILL_BENCH_LANG_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"script pipeline per round: copy 16KiB (slot-linked) + 2 reads + 6-file stat sweep; async form forced by one await_all vs eager sequential twin\",\n",
+                "  \"rounds\": {rounds},\n",
+                "  \"fused\": {{\"ns_per_round\": {:.1}, \"submissions_per_round\": {:.2}}},\n",
+                "  \"sequential\": {{\"ns_per_round\": {:.1}, \"submissions_per_round\": {:.2}}},\n",
+                "  \"submission_ratio_sequential_over_fused\": {:.3},\n",
+                "  \"time_ratio_sequential_over_fused\": {:.3},\n",
+                "  \"note\": \"submissions/round is the structural claim (one submit_scheduled vs one private batch per op); ns/round varies with the box\"\n",
+                "}}\n"
+            ),
+            fused_ns,
+            fused_batches,
+            seq_ns,
+            seq_batches,
+            sub_ratio,
+            time_ratio,
+            rounds = rounds,
+        );
+        std::fs::write(&path, json).expect("write lang baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     // `SHILL_BENCH_ONLY=policy` (comma-separated names) runs a subset —
@@ -1529,6 +1661,9 @@ fn main() {
     }
     if want("policy") {
         bench_policy();
+    }
+    if want("lang") {
+        bench_lang();
     }
     let _ = Arc::new(());
 }

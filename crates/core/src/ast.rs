@@ -132,6 +132,13 @@ pub enum Expr {
     /// A contract written in expression position (contracts are values and
     /// can be bound to names, enabling user-defined contract abbreviations).
     Contract(Box<ContractExpr>, Pos),
+    /// `async e` — evaluate `e` with I/O builtins deferring into the
+    /// interpreter's accumulated batch; yields a future.
+    Async(Box<Expr>, Pos),
+    /// `await e` — force a future: flush the accumulated batch in one
+    /// scheduled submission and return the resolved value. Non-future
+    /// operands pass through unchanged.
+    Await(Box<Expr>, Pos),
 }
 
 impl Expr {
@@ -149,7 +156,9 @@ impl Expr {
             | Expr::For { pos: p, .. }
             | Expr::Unary { pos: p, .. }
             | Expr::Binary { pos: p, .. }
-            | Expr::Contract(_, p) => *p,
+            | Expr::Contract(_, p)
+            | Expr::Async(_, p)
+            | Expr::Await(_, p) => *p,
         }
     }
 }

@@ -11,11 +11,12 @@ use shill_kernel::{Kernel, Pid};
 use shill_sandbox::ShillPolicy;
 
 use crate::ast::{contract_to_string, BinOp, ContractExpr, Dialect, Expr, Script, Stmt, UnOp};
+use crate::batchio::DeferredAcc;
 use crate::builtins;
 use crate::env::Env;
 use crate::parse::parse_script;
 use crate::profile::Profile;
-use crate::value::{Closure, ContractedFn, EvalResult, ShillError, Value};
+use crate::value::{Closure, ContractedFn, EvalResult, FutureCell, ShillError, Value};
 
 /// Maximum evaluation depth (recursion guard).
 /// Applications may nest this deep. The bound is set so that the native
@@ -45,6 +46,16 @@ pub struct Interp {
     /// Output of the `display` builtin.
     pub out: Vec<u8>,
     depth: usize,
+    /// The pending accumulated batch: `async` expressions enqueue deferred
+    /// I/O fragments here; the first `await` flushes it in one scheduled
+    /// submission. At most one accumulator exists at a time, so any
+    /// pending future always belongs to it.
+    pub deferred: Option<DeferredAcc>,
+    /// Non-zero while evaluating inside an `async` operand — the I/O
+    /// builtins consult this to defer instead of submitting eagerly. A
+    /// plain counter (not a flag): `async` forms nest, including through
+    /// closure calls made inside the operand.
+    pub async_depth: usize,
 }
 
 impl Interp {
@@ -61,6 +72,16 @@ impl Interp {
             profile: Profile::default(),
             out: Vec::new(),
             depth: 0,
+            deferred: None,
+            async_depth: 0,
+        }
+    }
+
+    /// Force the accumulated batch: one scheduled submission resolving
+    /// every pending future. No-op when nothing is deferred.
+    pub fn flush_deferred(&mut self) {
+        if let Some(acc) = self.deferred.take() {
+            crate::batchio::flush_deferred(&mut self.kernel, self.pid, acc);
         }
     }
 
@@ -247,6 +268,40 @@ impl Interp {
                 env: env.clone(),
             }))),
             Expr::Contract(c, _) => Ok(Value::Contract(Rc::new((**c).clone()))),
+            Expr::Async(inner, _) => {
+                // Evaluate the operand with deferral armed: I/O builtins
+                // enqueue fragments into the accumulator and hand back
+                // pending futures. Anything else the operand produces is
+                // wrapped as an already-ready future, so
+                // `await (async e) == e` uniformly.
+                if self.deferred.is_none() {
+                    self.deferred = Some(DeferredAcc::new());
+                }
+                self.async_depth += 1;
+                let r = self.eval_expr(env, inner);
+                self.async_depth -= 1;
+                Ok(match r? {
+                    f @ Value::Future(_) => f,
+                    other => Value::Future(FutureCell::ready(other)),
+                })
+            }
+            Expr::Await(inner, _) => {
+                let v = self.eval_expr(env, inner)?;
+                match v {
+                    Value::Future(f) => {
+                        // A pending future always belongs to the single
+                        // live accumulator; forcing it flushes everything
+                        // accumulated so far in one submission.
+                        if f.is_pending() {
+                            self.flush_deferred();
+                        }
+                        Ok(f.ready_value().unwrap_or(Value::Void))
+                    }
+                    // Awaiting a non-future is the identity, so scripts
+                    // can sprinkle `await` over values of either shape.
+                    other => Ok(other),
+                }
+            }
             Expr::Unary { op, expr, .. } => {
                 let v = self.eval_expr(env, expr)?;
                 match op {

@@ -29,6 +29,8 @@ pub enum Tok {
     False,   // false
     Forall,  // forall
     With,    // with
+    Async,   // async
+    Await,   // await
     // punctuation
     LParen,
     RParen,
@@ -376,6 +378,8 @@ impl<'a> Lexer<'a> {
                     "false" => Tok::False,
                     "forall" => Tok::Forall,
                     "with" => Tok::With,
+                    "async" => Tok::Async,
+                    "await" => Tok::Await,
                     _ => Tok::Ident(word),
                 };
                 mk(tok)

@@ -129,6 +129,20 @@ fn filesys_module() -> HashMap<String, Value> {
             let (src, _b1) = interp.unseal_for(&args[0], Priv::Read)?;
             let (dst, _b2) = interp.unseal_for(&args[1], Priv::Write)?;
             let pid = interp.pid;
+            // Under `async`, the first window joins the accumulated batch as
+            // a read → truncate → write DAG fragment; the future resolves to
+            // the byte count (continuing eagerly past the first window for
+            // large files).
+            if interp.async_depth > 0 {
+                if let Some(acc) = interp.deferred.as_mut() {
+                    match acc.defer_copy(&src, &dst) {
+                        Ok(Some(fut)) => return Ok(Value::Future(fut)),
+                        Ok(None) => {}
+                        Err(CapError::Sys(e)) => return Ok(Value::SysErr(e)),
+                        Err(CapError::Violation(v)) => return Err(ShillError::Violation(v)),
+                    }
+                }
+            }
             match crate::batchio::cap_copy(&mut interp.kernel, pid, &src, &dst) {
                 Ok(n) => Ok(Value::Num(n as i64)),
                 Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
@@ -147,6 +161,20 @@ fn filesys_module() -> HashMap<String, Value> {
             }
             let (dir, _b) = interp.unseal_for(&args[0], Priv::Contents)?;
             let pid = interp.pid;
+            // Under `async`, the readdir still runs eagerly (the stat sweep
+            // needs the names) but the per-name fstatat fan joins the
+            // accumulated batch; the future resolves to the same
+            // [[name, size], …] shape.
+            if interp.async_depth > 0 {
+                let kernel = &mut interp.kernel;
+                if let Some(acc) = interp.deferred.as_mut() {
+                    return match acc.defer_dir_stats(kernel, pid, &dir) {
+                        Ok(fut) => Ok(Value::Future(fut)),
+                        Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
+                        Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
+                    };
+                }
+            }
             match crate::batchio::cap_dir_stats(&mut interp.kernel, pid, &dir) {
                 Ok(pairs) => Ok(Value::list(
                     pairs
@@ -160,6 +188,60 @@ fn filesys_module() -> HashMap<String, Value> {
                 Err(CapError::Sys(e)) => Ok(Value::SysErr(e)),
                 Err(CapError::Violation(v)) => Err(ShillError::Violation(v)),
             }
+        }),
+    );
+    // slurp_many(caps) -> list of file contents (per-element syserrors for
+    // the files that fail). The whole sweep is ONE scheduled submission —
+    // a Preadv window per file — instead of a read syscall per element.
+    // Under `async` it joins the accumulated batch and returns a future.
+    m.insert(
+        "slurp_many".into(),
+        native_fn("slurp_many", |interp, args, _kw| {
+            if args.len() != 1 {
+                return Err(ShillError::Runtime("slurp_many expects (cap-list)".into()));
+            }
+            let items: Vec<Value> = match &args[0] {
+                Value::List(l) => l.iter().cloned().collect(),
+                other => vec![other.clone()],
+            };
+            let mut caps = Vec::with_capacity(items.len());
+            for v in &items {
+                let (cap, _b) = interp.unseal_for(v, Priv::Read)?;
+                caps.push(cap);
+            }
+            let pid = interp.pid;
+            let deferred = interp.async_depth > 0 && interp.deferred.is_some();
+            let mut own = crate::batchio::DeferredAcc::new();
+            let acc = if deferred {
+                interp.deferred.as_mut().unwrap()
+            } else {
+                &mut own
+            };
+            match acc.defer_slurp(&caps) {
+                Ok(Some(fut)) => {
+                    if deferred {
+                        return Ok(Value::Future(fut));
+                    }
+                    // Eager call: force the private accumulator right away —
+                    // still one submission for the whole sweep.
+                    crate::batchio::flush_deferred(&mut interp.kernel, pid, own);
+                    return Ok(fut.ready_value().unwrap_or(Value::Void));
+                }
+                Ok(None) => {}
+                Err(CapError::Sys(e)) => return Ok(Value::SysErr(e)),
+                Err(CapError::Violation(v)) => return Err(ShillError::Violation(v)),
+            }
+            // Some capability was not batchable (pipe/socket): read each
+            // eagerly, keeping the per-element string/syserror shape.
+            let mut out = Vec::with_capacity(caps.len());
+            for cap in &caps {
+                match crate::batchio::cap_read_all(&mut interp.kernel, pid, cap) {
+                    Ok(d) => out.push(Value::str(String::from_utf8_lossy(&d).into_owned())),
+                    Err(CapError::Sys(e)) => out.push(Value::SysErr(e)),
+                    Err(CapError::Violation(v)) => return Err(ShillError::Violation(v)),
+                }
+            }
+            Ok(Value::list(out))
         }),
     );
     m

@@ -36,7 +36,8 @@
 //!
 //! `rate=N` means each enabled site fires on ~1/N of its keys (`rate=0`
 //! or no `sites=` clause disables hash firing). Site names: `charge`,
-//! `alloc_pid`, `namei`, `fs.read`, `fs.write`, `batch`, `mac_panic`.
+//! `alloc_pid`, `namei`, `fs.read`, `fs.write`, `batch`, `mac_panic`,
+//! `pipe.read`, `pipe.write`, `sock.send`, `sock.recv`.
 //! Explicit actions: an errno name (`EIO`), `short:K` (data sites only:
 //! truncate the op to `K` bytes), or `panic`.
 //!
@@ -57,7 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use shill_vfs::{Errno, FaultHook, IoFault};
 
 /// Number of [`FaultSite`] variants (sizes the per-site hit counters).
-const N_SITES: usize = 7;
+const N_SITES: usize = 11;
 
 /// Injection points the plane knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,21 @@ pub enum FaultSite {
     /// Injected panic in the MAC vnode hook, modeling a buggy policy
     /// module. Keyed by shard-relative pid.
     MacPanic = 6,
+    /// Pipe drains inside [`crate::pipe::PipeTable`], keyed by
+    /// (shard-relative pipe id, requested length) — below MAC, above the
+    /// buffer, so every execution mode that touches the pipe sees the
+    /// same verdict. May fail or go short.
+    PipeRead = 7,
+    /// Pipe fills, same keying as pipe reads (shard-relative pipe id,
+    /// payload length).
+    PipeWrite = 8,
+    /// Socket sends inside [`crate::net::NetStack`], keyed by
+    /// (shard-relative socket id, payload length) — fires after the
+    /// connection is classified, modeling a peer that resets mid-send.
+    SockSend = 9,
+    /// Socket receives, keyed by (shard-relative socket id, requested
+    /// length). May fail or deliver short.
+    SockRecv = 10,
 }
 
 impl FaultSite {
@@ -99,6 +115,10 @@ impl FaultSite {
             FaultSite::FsWrite => "fs.write",
             FaultSite::Batch => "batch",
             FaultSite::MacPanic => "mac_panic",
+            FaultSite::PipeRead => "pipe.read",
+            FaultSite::PipeWrite => "pipe.write",
+            FaultSite::SockSend => "sock.send",
+            FaultSite::SockRecv => "sock.recv",
         }
     }
 
@@ -111,6 +131,10 @@ impl FaultSite {
             "fs.write" => FaultSite::FsWrite,
             "batch" => FaultSite::Batch,
             "mac_panic" => FaultSite::MacPanic,
+            "pipe.read" => FaultSite::PipeRead,
+            "pipe.write" => FaultSite::PipeWrite,
+            "sock.send" => FaultSite::SockSend,
+            "sock.recv" => FaultSite::SockRecv,
             _ => return None,
         })
     }
@@ -124,6 +148,10 @@ impl FaultSite {
             FaultSite::FsWrite => &[Errno::EIO, Errno::ENOSPC],
             FaultSite::Batch => &[Errno::EIO, Errno::EAGAIN],
             FaultSite::MacPanic => &[],
+            FaultSite::PipeRead => &[Errno::EIO],
+            FaultSite::PipeWrite => &[Errno::EPIPE, Errno::EIO],
+            FaultSite::SockSend => &[Errno::ECONNRESET, Errno::EPIPE],
+            FaultSite::SockRecv => &[Errno::ECONNRESET, Errno::EIO],
         }
     }
 }
@@ -472,6 +500,7 @@ fn errno_from_name(name: &str) -> Option<Errno> {
         Errno::ENOSYS,
         Errno::ENOEXEC,
         Errno::ECANCELED,
+        Errno::ECONNRESET,
     ];
     ALL.iter().copied().find(|e| e.name() == name)
 }
@@ -566,6 +595,33 @@ mod tests {
         assert_eq!(p.drain(), (1, 0));
         p.book_survived();
         assert_eq!(p.drain(), (0, 1));
+    }
+
+    #[test]
+    fn pipe_and_socket_sites_parse_and_fire() {
+        let p = FaultPlane::parse("seed=3;rate=2;sites=pipe.read+pipe.write+sock.send+sock.recv")
+            .unwrap();
+        for s in [
+            FaultSite::PipeRead,
+            FaultSite::PipeWrite,
+            FaultSite::SockSend,
+            FaultSite::SockRecv,
+        ] {
+            assert!(
+                p.site_mask & (1 << (s as usize)) != 0,
+                "{} enabled",
+                s.name()
+            );
+            assert_eq!(FaultSite::from_name(s.name()), Some(s), "name round-trip");
+            let fired = (0..64).filter(|k| p.check_io(s, *k, 16).is_some()).count();
+            assert!(fired > 8, "rate=2 must fire at {}: {fired}", s.name());
+        }
+        // Data-path menus stay inside the errnos a real pipe/socket can
+        // produce (plus EIO), so injected faults are indistinguishable
+        // from organic ones to a script.
+        assert!(FaultSite::SockSend.menu().contains(&Errno::ECONNRESET));
+        assert!(FaultSite::PipeWrite.menu().contains(&Errno::EPIPE));
+        assert!(FaultPlane::parse("sock.recv@1=ECONNRESET").is_ok());
     }
 
     #[test]

@@ -188,6 +188,8 @@ impl Kernel {
         let plane = plane.map(Arc::new);
         self.fs
             .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
+        self.pipes.set_fault_plane(plane.clone());
+        self.net.set_fault_plane(plane.clone());
         std::mem::replace(&mut self.faults, plane)
     }
 
@@ -197,6 +199,8 @@ impl Kernel {
     pub fn restore_fault_plane(&mut self, plane: Option<Arc<FaultPlane>>) {
         self.fs
             .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
+        self.pipes.set_fault_plane(plane.clone());
+        self.net.set_fault_plane(plane.clone());
         self.faults = plane;
     }
 

@@ -15,9 +15,12 @@
 //!   side before/after the server runs rather than concurrently.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use shill_vfs::{Errno, SysResult};
+use shill_vfs::{Errno, IoFault, SysResult};
 
+use crate::fault::{FaultPlane, FaultSite};
+use crate::pipe::data_fault_key;
 use crate::types::{SockAddr, SockDomain, SockId};
 
 /// Handler for a simulated remote host: consumes one request message and
@@ -76,6 +79,9 @@ pub struct NetStack {
     /// Total bytes sent/received through sockets, for tests and reports.
     pub bytes_sent: u64,
     pub bytes_received: u64,
+    /// Fault plane consulted on the data path (`sock.send` / `sock.recv`
+    /// sites); installed by [`crate::kernel::Kernel::set_fault_plane`].
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl NetStack {
@@ -91,6 +97,11 @@ impl NetStack {
             next_sock: base,
             ..NetStack::default()
         }
+    }
+
+    /// Install (or clear) the fault plane consulted on sends and receives.
+    pub fn set_fault_plane(&mut self, plane: Option<Arc<FaultPlane>>) {
+        self.faults = plane;
     }
 
     /// Register a simulated remote host at `addr`.
@@ -260,7 +271,7 @@ impl NetStack {
     /// request message; the handler's response is buffered for `recv`. For
     /// injected connections the bytes accumulate as the response the driver
     /// will collect.
-    pub fn send(&mut self, sock: SockId, buf: &[u8]) -> SysResult<usize> {
+    pub fn send(&mut self, sock: SockId, mut buf: &[u8]) -> SysResult<usize> {
         self.bytes_sent += buf.len() as u64;
         // Classify the connection first so the socket borrow ends before we
         // touch the handler or injected-connection tables.
@@ -273,6 +284,24 @@ impl NetStack {
             SockState::Connected(ConnKind::Injected(conn)) => Target::Injected(*conn),
             _ => return Err(Errno::ENOTCONN),
         };
+        // Fault check after classification: an injected reset models the
+        // peer dying mid-send, not a bad descriptor.
+        if let Some(plane) = &self.faults {
+            match plane.check_io(
+                FaultSite::SockSend,
+                data_fault_key(sock.0, buf.len()),
+                buf.len(),
+            ) {
+                Some(IoFault::Fail(e)) => return Err(e),
+                Some(IoFault::Short(n)) => {
+                    // Only the prefix goes on the wire; keep the counter
+                    // honest about what was actually transmitted.
+                    self.bytes_sent -= (buf.len() - n) as u64;
+                    buf = &buf[..n];
+                }
+                None => {}
+            }
+        }
         match target {
             Target::Remote(addr) => {
                 // Take/put the handler so it cannot observe a partially
@@ -297,8 +326,17 @@ impl NetStack {
     }
 
     /// Receive up to `len` bytes; `Ok(empty)` signals EOF.
-    pub fn recv(&mut self, sock: SockId, len: usize) -> SysResult<Vec<u8>> {
+    pub fn recv(&mut self, sock: SockId, mut len: usize) -> SysResult<Vec<u8>> {
         let s = self.sockets.get_mut(&sock).ok_or(Errno::EBADF)?;
+        if let Some(plane) = &self.faults {
+            if matches!(s.state, SockState::Connected(_)) {
+                match plane.check_io(FaultSite::SockRecv, data_fault_key(sock.0, len), len) {
+                    Some(IoFault::Fail(e)) => return Err(e),
+                    Some(IoFault::Short(n)) => len = n,
+                    None => {}
+                }
+            }
+        }
         let out = match &mut s.state {
             SockState::Connected(ConnKind::Remote { recv_buf, .. }) => {
                 let n = len.min(recv_buf.len());
@@ -428,6 +466,42 @@ mod tests {
         // Closing the listener frees the address.
         n.close(a);
         n.bind(b, addr).unwrap();
+    }
+
+    #[test]
+    fn injected_socket_faults_fail_and_shorten() {
+        let mut n = NetStack::new();
+        n.register_remote(
+            inet(80),
+            Box::new(|req| {
+                let mut v = b"echo:".to_vec();
+                v.extend_from_slice(req);
+                v
+            }),
+        );
+        let s = n.socket(SockDomain::Inet);
+        n.connect(s, inet(80)).unwrap();
+        n.set_fault_plane(Some(Arc::new(
+            FaultPlane::seeded(1, 0, &[])
+                .fail_on(FaultSite::SockSend, 1, Errno::ECONNRESET)
+                .short_on(FaultSite::SockSend, 2, 3)
+                .fail_on(FaultSite::SockRecv, 1, Errno::ECONNRESET),
+        )));
+        assert_eq!(n.send(s, b"hello").unwrap_err(), Errno::ECONNRESET);
+        assert_eq!(n.send(s, b"hello").unwrap(), 3, "short send");
+        assert_eq!(n.bytes_sent, 5 + 3, "counter reflects transmitted bytes");
+        assert_eq!(n.recv(s, 100).unwrap_err(), Errno::ECONNRESET);
+        assert_eq!(
+            n.recv(s, 100).unwrap(),
+            b"echo:hel",
+            "prefix was the request"
+        );
+        let plane = n.faults.as_ref().unwrap();
+        assert_eq!(
+            plane.drain(),
+            (3, 3),
+            "all injected faults surfaced cleanly"
+        );
     }
 
     #[test]

@@ -7,10 +7,21 @@
 //! a blocking read could never be satisfied in a synchronous world).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use shill_vfs::{Errno, SysResult};
+use shill_vfs::{Errno, IoFault, SysResult};
 
+use crate::fault::{FaultPlane, FaultSite};
+use crate::shard::SHARD_OBJ_STRIDE;
 use crate::types::PipeId;
+
+/// Mode-invariant fault key for a pipe/socket data op: shard-relative
+/// object id mixed with the op length — never global order, so the same
+/// schedule fires identically under sequential, batched, and pooled
+/// execution.
+pub(crate) fn data_fault_key(id: u64, len: usize) -> u64 {
+    (id % SHARD_OBJ_STRIDE) ^ (len as u64).rotate_left(37)
+}
 
 /// One pipe buffer plus reference counts for each end.
 #[derive(Debug)]
@@ -25,6 +36,9 @@ struct PipeBuf {
 pub struct PipeTable {
     pipes: HashMap<PipeId, PipeBuf>,
     next: u64,
+    /// Fault plane consulted on the data path (`pipe.read` / `pipe.write`
+    /// sites); installed by [`crate::kernel::Kernel::set_fault_plane`].
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl PipeTable {
@@ -40,6 +54,11 @@ impl PipeTable {
             next: base,
             ..PipeTable::default()
         }
+    }
+
+    /// Install (or clear) the fault plane consulted on reads and writes.
+    pub fn set_fault_plane(&mut self, plane: Option<Arc<FaultPlane>>) {
+        self.faults = plane;
     }
 
     /// Allocate a new pipe with one reader and one writer reference.
@@ -97,10 +116,21 @@ impl PipeTable {
     }
 
     /// Write into the pipe. Fails with `EPIPE` when no reader remains.
-    pub fn write(&mut self, id: PipeId, buf: &[u8]) -> SysResult<usize> {
+    pub fn write(&mut self, id: PipeId, mut buf: &[u8]) -> SysResult<usize> {
         let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
         if p.readers == 0 {
             return Err(Errno::EPIPE);
+        }
+        if let Some(plane) = &self.faults {
+            match plane.check_io(
+                FaultSite::PipeWrite,
+                data_fault_key(id.0, buf.len()),
+                buf.len(),
+            ) {
+                Some(IoFault::Fail(e)) => return Err(e),
+                Some(IoFault::Short(n)) => buf = &buf[..n],
+                None => {}
+            }
         }
         p.data.extend(buf.iter().copied());
         Ok(buf.len())
@@ -108,8 +138,15 @@ impl PipeTable {
 
     /// Read up to `len` bytes. Empty + writers alive → `EAGAIN`; empty + no
     /// writers → EOF (empty vec).
-    pub fn read(&mut self, id: PipeId, len: usize) -> SysResult<Vec<u8>> {
+    pub fn read(&mut self, id: PipeId, mut len: usize) -> SysResult<Vec<u8>> {
         let p = self.pipes.get_mut(&id).ok_or(Errno::EBADF)?;
+        if let Some(plane) = &self.faults {
+            match plane.check_io(FaultSite::PipeRead, data_fault_key(id.0, len), len) {
+                Some(IoFault::Fail(e)) => return Err(e),
+                Some(IoFault::Short(n)) => len = n,
+                None => {}
+            }
+        }
         if p.data.is_empty() {
             if p.writers == 0 {
                 return Ok(Vec::new());
@@ -179,6 +216,41 @@ mod tests {
         t.release(id, true);
         assert_eq!(t.len(), 0);
         assert_eq!(t.write(id, b"x").unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn injected_pipe_faults_fail_and_shorten() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.set_fault_plane(Some(Arc::new(
+            FaultPlane::seeded(1, 0, &[])
+                .fail_on(FaultSite::PipeWrite, 1, Errno::EPIPE)
+                .short_on(FaultSite::PipeWrite, 2, 2)
+                .fail_on(FaultSite::PipeRead, 1, Errno::EIO),
+        )));
+        assert_eq!(t.write(id, b"abcdef").unwrap_err(), Errno::EPIPE);
+        assert_eq!(t.write(id, b"abcdef").unwrap(), 2, "short write");
+        assert_eq!(t.read(id, 10).unwrap_err(), Errno::EIO);
+        assert_eq!(
+            t.read(id, 10).unwrap(),
+            b"ab",
+            "only the short prefix landed"
+        );
+        let plane = t.faults.as_ref().unwrap();
+        assert_eq!(
+            plane.drain(),
+            (3, 3),
+            "all injected faults surfaced cleanly"
+        );
+    }
+
+    #[test]
+    fn pipe_fault_key_is_shard_relative() {
+        // The same pipe ordinal on two shards maps to one key: a schedule
+        // fires identically wherever the session happens to be pinned.
+        let base = 3 * SHARD_OBJ_STRIDE;
+        assert_eq!(data_fault_key(7, 16), data_fault_key(base + 7, 16));
+        assert_ne!(data_fault_key(7, 16), data_fault_key(8, 16));
     }
 
     #[test]

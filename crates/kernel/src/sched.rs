@@ -260,6 +260,22 @@ impl ScheduledRun {
         self.next_wave >= self.dag.waves.len()
     }
 
+    /// Slots completed so far, in execution order — the steppable
+    /// consumer's per-wave peek: after each [`Kernel::sched_run_wave`] a
+    /// caller (streaming reads, `select`) can see which slots have
+    /// delivered while later waves are still pending.
+    pub fn completed_slots(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Borrow a completed slot's result (`None` until it executes or is
+    /// cancelled). Payloads stay in place — the streaming consumer clones
+    /// the wave it is about to hand out and leaves the rest unmoved for
+    /// [`ScheduledRun::into_completions`].
+    pub fn result_of(&self, slot: usize) -> Option<&SysResult<BatchOut>> {
+        self.results.get(slot)?.as_ref()
+    }
+
     /// Slot-ordered results (the `submit_batch` shape).
     pub fn slot_results(&self) -> Vec<SysResult<BatchOut>> {
         self.results

@@ -1,0 +1,123 @@
+//! The completion model at the language surface: an async SHILL pipeline.
+//!
+//! 1. `async` builtins accumulate deferred I/O — a copy (read → truncate →
+//!    write, bytes flowing through a slot link) plus two reads — and ONE
+//!    `await_all` forces everything as a single scheduled submission.
+//! 2. The sequential twin performs the identical work eagerly, one
+//!    submission per operation; the results are identical, the submission
+//!    counts are not.
+//! 3. `stream_read` steps a chunk chain wave by wave, piping a large file
+//!    through a handler without buffering it.
+//!
+//! Run with: `cargo run --example async_pipeline`
+
+use shill::prelude::*;
+
+const PIPELINE_CAP: &str = r#"#lang shill/cap
+require shill/filesys;
+
+provide fused :
+  {src : file(+read), notes : file(+read), extra : file(+read),
+   dst : file(+write)} -> is_list;
+provide sequential :
+  {src : file(+read), notes : file(+read), extra : file(+read),
+   dst : file(+write)} -> is_list;
+provide pump : {src : file(+read), dst : file(+append)} -> is_num;
+
+fused = fun(src, notes, extra, dst) {
+  fc = async copy_file(src, dst);
+  fn = async read(notes);
+  fx = async read(extra);
+  await_all([fc, fn, fx])
+};
+
+sequential = fun(src, notes, extra, dst) {
+  [copy_file(src, dst), read(notes), read(extra)]
+};
+
+pump = fun(src, dst) {
+  stream_read(src, fun(chunk) { append(dst, chunk) })
+};
+"#;
+
+fn put(rt: &mut shill::core::ShillRuntime, path: &str, data: &[u8]) {
+    rt.kernel()
+        .fs
+        .put_file(path, data, Mode(0o644), Uid(100), Gid(100))
+        .unwrap();
+}
+
+fn workload(rt: &mut shill::core::ShillRuntime) {
+    put(rt, "/home/user/data.bin", &vec![b'd'; 48_000]);
+    put(rt, "/home/user/notes.txt", b"meeting notes");
+    put(rt, "/home/user/extra.txt", b"appendix");
+    put(rt, "/home/user/copy.bin", b"");
+    put(rt, "/home/user/archive.txt", b"");
+}
+
+const DRIVE: &str = r#"#lang shill/ambient
+require "pipeline.cap";
+MODE(open_file("/home/user/data.bin"), open_file("/home/user/notes.txt"),
+     open_file("/home/user/extra.txt"), open_file("/home/user/copy.bin"))
+"#;
+
+fn main() {
+    // --- 1. the fused pipeline: one submission --------------------------
+    let mut rt = shill::setup::standard_runtime();
+    workload(&mut rt);
+    rt.add_script("pipeline.cap", PIPELINE_CAP);
+    let before = rt.kernel().stats_snapshot();
+    let v = rt
+        .run("main", &DRIVE.replace("MODE", "fused"))
+        .expect("fused pipeline");
+    let after = rt.kernel().stats_snapshot();
+    println!("== 1. async pipeline (copy + 2 reads) ==");
+    println!(
+        "submissions: {}, slot links: {}, waves: {}",
+        after.batches - before.batches,
+        after.slot_links - before.slot_links,
+        after.sched_waves - before.sched_waves,
+    );
+    let Value::List(items) = &v else {
+        panic!("{v:?}")
+    };
+    println!(
+        "copied {} bytes; notes: {:?}; extra: {:?}",
+        items[0].display(),
+        items[1].display(),
+        items[2].display()
+    );
+    assert_eq!(after.batches - before.batches, 1, "must be ONE submission");
+
+    // --- 2. the sequential twin: same answer, more submissions ----------
+    let mut rt2 = shill::setup::standard_runtime();
+    workload(&mut rt2);
+    rt2.add_script("pipeline.cap", PIPELINE_CAP);
+    let before = rt2.kernel().stats_snapshot();
+    let v2 = rt2
+        .run("main", &DRIVE.replace("MODE", "sequential"))
+        .expect("sequential twin");
+    let after = rt2.kernel().stats_snapshot();
+    println!("\n== 2. sequential twin ==");
+    println!("submissions: {}", after.batches - before.batches);
+    assert_eq!(v.display(), v2.display(), "twins must agree");
+    println!("results identical: {}", v.display() == v2.display());
+
+    // --- 3. wave streaming ----------------------------------------------
+    let before = rt.kernel().stats_snapshot();
+    let v = rt
+        .run(
+            "main3",
+            r#"#lang shill/ambient
+require "pipeline.cap";
+pump(open_file("/home/user/data.bin"), open_file("/home/user/archive.txt"))
+"#,
+        )
+        .expect("stream_read");
+    let after = rt.kernel().stats_snapshot();
+    println!(
+        "\n== 3. stream_read: {} bytes pumped wave by wave ==",
+        v.display()
+    );
+    println!("waves: {}", after.sched_waves - before.sched_waves);
+}
