@@ -40,11 +40,17 @@
 //!     its sequential twin, comparing wall time and batch submissions per
 //!     round. Set `SHILL_BENCH_LANG_JSON=<path>` to record the baseline
 //!     (committed as `BENCH_lang.json`).
+//! 11. **Observability ablation** — the group-5 deep-stat batched workload
+//!     with the trace plane absent vs armed on every site, isolating the
+//!     tracing tax: off-path is one relaxed load per instrumented site,
+//!     on-path pays two clock reads plus a ring push per span. Set
+//!     `SHILL_BENCH_OBS_JSON=<path>` to record the baseline (committed as
+//!     `BENCH_obs.json`); CI gates the on/off ratio at 1.10×.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use shill::kernel::{BatchEntry, SyscallBatch};
+use shill::kernel::{BatchEntry, SyscallBatch, TracePlane, TraceSite};
 use shill::prelude::*;
 use shill_bench::{sample, Stats};
 use shill_cap::{CapPrivs, Priv, PrivSet};
@@ -1626,6 +1632,119 @@ fn bench_lang() {
     }
 }
 
+/// One group-11 measurement.
+struct ObsRun {
+    ns_per_op: f64,
+    trace_events: u64,
+    trace_dropped: u64,
+}
+
+/// Drive the group-5 deep-stat batched workload with the trace plane
+/// absent (`traced = false`) or armed on every site. Rounds are timed
+/// individually and the ring is drained between them, so the measurement
+/// is the steady-state push cost, never the ring-full fast path.
+fn obs_stat_run(traced: bool, rounds: usize, width: usize) -> ObsRun {
+    let depth = 9;
+    let mut p = String::from("/deep");
+    for i in 0..depth {
+        p.push_str(&format!("/d{i}"));
+    }
+    let file = format!("{p}/leaf.bin");
+    let (mut k, pid) = batch_fixture(|k| {
+        k.fs.put_file(&file, b"z", Mode(0o644), Uid::ROOT, Gid::WHEEL)
+            .unwrap();
+    });
+    if traced {
+        k.set_trace_plane(Some(Arc::new(TracePlane::new(
+            TraceSite::ALL_MASK,
+            1 << 16,
+        ))));
+    }
+    let entries: Vec<BatchEntry> = (0..width)
+        .map(|_| BatchEntry::Stat {
+            dirfd: None,
+            path: file.clone(),
+            follow: true,
+        })
+        .collect();
+    let batch = SyscallBatch::new(entries);
+    // Warmup (propagation + caches), then measure.
+    k.fstatat(pid, None, &file, true).unwrap();
+    k.stats.reset();
+    let mut busy = std::time::Duration::ZERO;
+    let mut trace_events = 0u64;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let out = k.submit_batch(pid, &batch).unwrap();
+        busy += t0.elapsed();
+        debug_assert!(out.iter().all(|r| r.is_ok()));
+        if let Some(plane) = k.trace_plane_handle() {
+            trace_events += plane.drain().len() as u64;
+        }
+    }
+    let st = k.stats_snapshot();
+    ObsRun {
+        ns_per_op: busy.as_nanos() as f64 / (rounds * width) as f64,
+        trace_events,
+        trace_dropped: st.trace_dropped,
+    }
+}
+
+/// Group 11 — observability-plane overhead: deep-stat batched with the
+/// trace plane off vs armed on every site.
+fn bench_obs() {
+    println!("\n11. observability ablation (deep-stat batched, trace plane off vs on):");
+    let rounds = 2_000;
+    let width = 64;
+    // Interleaved best-of-3: off/on pairs sampled close together so a
+    // box-wide hiccup hits both sides of the ratio.
+    let keep = |slot: &mut Option<ObsRun>, r: ObsRun| {
+        if slot.as_ref().is_none_or(|b| r.ns_per_op < b.ns_per_op) {
+            *slot = Some(r);
+        }
+    };
+    let (mut off, mut on) = (None, None);
+    for _ in 0..3 {
+        keep(&mut off, obs_stat_run(false, rounds, width));
+        keep(&mut on, obs_stat_run(true, rounds, width));
+    }
+    let (off, on) = (off.unwrap(), on.unwrap());
+    assert_eq!(
+        on.trace_dropped, 0,
+        "ring drained every round; nothing may drop"
+    );
+    assert!(on.trace_events > 0, "armed plane must record events");
+    let overhead = on.ns_per_op / off.ns_per_op.max(1e-9);
+    println!("   trace off: {:>8.0}ns/op", off.ns_per_op);
+    println!(
+        "   trace on:  {:>8.0}ns/op  events {:>8}  dropped {:>4}",
+        on.ns_per_op, on.trace_events, on.trace_dropped
+    );
+    println!("   overhead (on/off): {overhead:.3}×");
+    if let Ok(path) = std::env::var("SHILL_BENCH_OBS_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"fstatat at depth 9, {r} rounds x {w}-entry batches via submit_batch (the group-5 deep-stat shape), ring drained between rounds\",\n",
+                "  \"off\": {{\"ns_per_op\": {:.1}}},\n",
+                "  \"on\": {{\"ns_per_op\": {:.1}, \"trace_events\": {}, \"trace_dropped\": {}}},\n",
+                "  \"overhead_on_over_off\": {:.3},\n",
+                "  \"note\": \"off is the shipped default (no plane installed: one relaxed load per site); the CI gate holds on/off at 1.10x measured in the same process\"\n",
+                "}}\n"
+            ),
+            off.ns_per_op,
+            on.ns_per_op,
+            on.trace_events,
+            on.trace_dropped,
+            overhead,
+            r = rounds,
+            w = width,
+        );
+        std::fs::write(&path, json).expect("write obs baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     // `SHILL_BENCH_ONLY=policy` (comma-separated names) runs a subset —
@@ -1664,6 +1783,9 @@ fn main() {
     }
     if want("lang") {
         bench_lang();
+    }
+    if want("obs") {
+        bench_obs();
     }
     let _ = Arc::new(());
 }

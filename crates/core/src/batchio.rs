@@ -358,7 +358,7 @@ impl DeferredAcc {
         Ok(Some(self.push_future(FragKind::Write { slots: [tr, wr] })))
     }
 
-    /// Defer a copy: the first [`copy_windows`] window as a fragment —
+    /// Defer a copy: the first `copy_windows` window as a fragment —
     /// `Preadv(src) → Ftruncate(dst) → Pwrite(dst, OutputOf(read))`, the
     /// read's bytes flowing to the write through the slot reference —
     /// with resolution continuing from window two eagerly. `None` for

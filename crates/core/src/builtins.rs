@@ -59,6 +59,7 @@ const COMMON: &[&str] = &[
     "strip_prefix",
     "to_string",
     "display",
+    "telemetry",
     "wallet_get",
     "wallet_keys",
     "wallet_set",
@@ -556,6 +557,46 @@ pub fn call_builtin(
             Ok(Value::Void)
         }
 
+        // --- observability ----------------------------------------------------------
+        "telemetry" => {
+            // Draining snapshot of the kernel's observability plane.
+            // `telemetry()` renders Prometheus text exposition;
+            // `telemetry("chrome")` renders a chrome://tracing JSON
+            // document. Both are strings the script can write wherever
+            // its capabilities allow.
+            let format = match args.len() {
+                0 => "text",
+                1 => match &args[0] {
+                    Value::Str(s) => match s.as_str() {
+                        "text" | "chrome" => s.as_str(),
+                        other => {
+                            return Err(ShillError::Runtime(format!(
+                                "telemetry: unknown format {other:?} (want \"text\" or \"chrome\")"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(ShillError::Runtime(format!(
+                            "telemetry format must be a string, got {}",
+                            other.type_name()
+                        )))
+                    }
+                },
+                _ => {
+                    return Err(ShillError::Runtime(
+                        "telemetry expects at most one argument".into(),
+                    ))
+                }
+            };
+            let snap = interp.kernel.telemetry();
+            let rendered = if format == "chrome" {
+                snap.render_chrome_json()
+            } else {
+                snap.render_text()
+            };
+            Ok(Value::str(rendered))
+        }
+
         // --- wallets ----------------------------------------------------------------
         "wallet_get" => {
             arity(&args, 2, name)?;
@@ -1051,16 +1092,25 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
         Err(e) => return Ok(Value::SysErr(e)),
     };
     interp.profile.sandboxes += 1;
-    interp.profile.sandbox_setup += setup_start.elapsed();
+    // Setup cannot recurse back into the interpreter, but when this exec
+    // is itself nested inside another exec's window the enclosing phase
+    // must subtract it — book it as a leaf.
+    let setup_span = interp.phase_nest.book_leaf(setup_start.elapsed());
+    interp.profile.sandbox_setup += setup_span;
 
-    // Sandboxed execution.
+    // Sandboxed execution. The handler behind `exec_node` may re-enter
+    // the interpreter (a script spawning a script), so the window is a
+    // proper phase: every exit path closes it through `phase_nest` and
+    // books only the innermost-attributable remainder.
     let exec_start = Instant::now();
+    interp.phase_nest.enter();
     let status = match interp.kernel.exec_node(sandbox.child, exec_node, &argv) {
         Ok(s) => s,
         Err(e) => {
             interp.kernel.exit(sandbox.child, 126);
             let _ = interp.kernel.waitpid(parent, sandbox.child);
-            interp.profile.sandboxed_exec += exec_start.elapsed();
+            let span = interp.phase_nest.exit(exec_start.elapsed());
+            interp.profile.sandboxed_exec += span;
             return Ok(Value::SysErr(e));
         }
     };
@@ -1068,11 +1118,13 @@ fn builtin_exec(interp: &mut Interp, args: Vec<Value>, kwargs: Vec<(String, Valu
     let status = match interp.kernel.waitpid(parent, sandbox.child) {
         Ok(s) => s,
         Err(e) => {
-            interp.profile.sandboxed_exec += exec_start.elapsed();
+            let span = interp.phase_nest.exit(exec_start.elapsed());
+            interp.profile.sandboxed_exec += span;
             return Ok(Value::SysErr(e));
         }
     };
-    interp.profile.sandboxed_exec += exec_start.elapsed();
+    let span = interp.phase_nest.exit(exec_start.elapsed());
+    interp.profile.sandboxed_exec += span;
     Ok(Value::Num(status as i64))
 }
 

@@ -24,6 +24,6 @@ pub use ast::{ContractExpr, Dialect, Script};
 pub use env::Env;
 pub use eval::Interp;
 pub use parse::{parse_contract, parse_script, ParseError};
-pub use profile::Profile;
+pub use profile::{PhaseNesting, Profile};
 pub use runtime::{RuntimeConfig, ShillRuntime};
 pub use value::{EvalResult, ShillError, Value};

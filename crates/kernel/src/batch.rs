@@ -663,6 +663,11 @@ impl Kernel {
         batch: &SyscallBatch,
     ) -> SysResult<Vec<SysResult<BatchOut>>> {
         let dag = BatchDag::build(batch)?;
+        let batch_span = self.trace_span(
+            crate::trace::TraceSite::Batch,
+            pid.0 as u64,
+            batch.entries.len() as u64,
+        );
         let (out, ctx) = {
             let guard = BatchGuard::install(self, pid)?;
             KernelStats::bump(&guard.k.stats.batches);
@@ -670,11 +675,14 @@ impl Kernel {
             let out = guard.k.run_entries_in_order(pid, batch, &dag, true);
             (out, ctx)
         };
+        drop(batch_span);
         // One audit span per batch with per-entry outcomes and the wave
-        // structure the dependency DAG implies.
+        // structure the dependency DAG implies. The in-order path has no
+        // per-wave timing (waves are a layering of a sequential run):
+        // `wave_ns` is empty, which policies render as zeros.
         let outcomes: Vec<Option<Errno>> = out.iter().map(|r| r.as_ref().err().copied()).collect();
         for p in self.policies() {
-            p.batch_complete(ctx, &outcomes, dag.waves());
+            p.batch_complete(ctx, &outcomes, dag.waves(), &[]);
         }
         Ok(out)
     }
@@ -738,6 +746,11 @@ impl Kernel {
                 if as_batch {
                     KernelStats::bump(&self.stats.batch_entries);
                 }
+                // Per-entry dispatch span: this loop serves both the
+                // sequential oracle and `submit_batch`, so the syscall
+                // site covers every in-order execution mode.
+                let _syscall_span =
+                    self.trace_span(crate::trace::TraceSite::Syscall, pid.0 as u64, i as u64);
                 self.exec_entry(pid, entry, &results)
             };
             results[i] = Some(r);

@@ -54,8 +54,12 @@
 //! time, like policy stripe contention.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use shill_vfs::sync::Mutex;
 use shill_vfs::{Errno, FaultHook, IoFault};
+
+use crate::trace::{TracePlane, TraceSite};
 
 /// Number of [`FaultSite`] variants (sizes the per-site hit counters).
 const N_SITES: usize = 11;
@@ -186,6 +190,10 @@ pub struct FaultPlane {
     /// Faults that surfaced as clean errnos (or were contained), not yet
     /// drained.
     pending_survived: AtomicU64,
+    /// Tracing plane handle, when armed: every firing records an
+    /// instant event tagged with the fault-site name. Only touched on
+    /// the (rare) firing path, never on the hit-count fast path.
+    trace: Mutex<Option<Arc<TracePlane>>>,
 }
 
 impl FaultPlane {
@@ -204,6 +212,19 @@ impl FaultPlane {
             hits: Default::default(),
             pending_injected: AtomicU64::new(0),
             pending_survived: AtomicU64::new(0),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Arm tracing: subsequent firings record [`TraceSite::Fault`]
+    /// instant events tagged with the fault-site name.
+    pub fn attach_trace(&self, plane: &Arc<TracePlane>) {
+        *self.trace.lock() = Some(Arc::clone(plane));
+    }
+
+    fn trace_fire(&self, site: FaultSite) {
+        if let Some(plane) = self.trace.lock().as_ref() {
+            plane.instant(TraceSite::Fault, 0, 0, site.name());
         }
     }
 
@@ -338,9 +359,10 @@ impl FaultPlane {
         h.is_multiple_of(self.rate).then_some(h / self.rate)
     }
 
-    fn book_errno(&self) {
+    fn book_errno(&self, site: FaultSite) {
         self.pending_injected.fetch_add(1, Ordering::Relaxed);
         self.pending_survived.fetch_add(1, Ordering::Relaxed);
+        self.trace_fire(site);
     }
 
     /// Consult the plane at a control-path site. `Some(errno)` means the
@@ -352,11 +374,12 @@ impl FaultPlane {
         if let Some(action) = self.explicit_for(site, hit) {
             match action {
                 ExplicitAction::Fail(e) => {
-                    self.book_errno();
+                    self.book_errno(site);
                     return Some(e);
                 }
                 ExplicitAction::Panic => {
                     self.pending_injected.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fire(site);
                     panic!("injected fault: panic at site {}", site.name());
                 }
                 ExplicitAction::Short(_) => return None,
@@ -367,7 +390,7 @@ impl FaultPlane {
         if menu.is_empty() {
             return None;
         }
-        self.book_errno();
+        self.book_errno(site);
         Some(menu[(roll % menu.len() as u64) as usize])
     }
 
@@ -379,21 +402,22 @@ impl FaultPlane {
         if let Some(action) = self.explicit_for(site, hit) {
             match action {
                 ExplicitAction::Fail(e) => {
-                    self.book_errno();
+                    self.book_errno(site);
                     return Some(IoFault::Fail(e));
                 }
                 ExplicitAction::Short(n) => {
-                    self.book_errno();
+                    self.book_errno(site);
                     return Some(IoFault::Short(n));
                 }
                 ExplicitAction::Panic => {
                     self.pending_injected.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fire(site);
                     panic!("injected fault: panic at site {}", site.name());
                 }
             }
         }
         let roll = self.hash_fires(site, key)?;
-        self.book_errno();
+        self.book_errno(site);
         // Alternate failures and short ops off the roll: bit 0 picks the
         // kind, higher bits pick the errno or the truncated length. A
         // short length of `len` (no truncation) is excluded so a firing
@@ -419,6 +443,7 @@ impl FaultPlane {
             || self.hash_fires(site, key).is_some();
         if fires {
             self.pending_injected.fetch_add(1, Ordering::Relaxed);
+            self.trace_fire(site);
             panic!("injected fault: policy-hook panic (site mac_panic)");
         }
     }

@@ -18,6 +18,7 @@ use crate::pipe::PipeTable;
 use crate::process::{FdObject, OpenFile, ProcState, Process};
 use crate::registry::PolicyRegistry;
 use crate::stats::KernelStats;
+use crate::trace::{Telemetry, TracePlane, TraceScope, TraceSite};
 use crate::types::{Fd, ObjId, Pid, PipeEnd, Ulimits};
 
 /// Sysctl knob toggling the directory-entry cache (`0`/`1`).
@@ -74,6 +75,10 @@ pub struct Kernel {
     /// with the filesystem's data-path hook via `Arc`; `None` costs one
     /// branch per consulted site.
     faults: Option<Arc<FaultPlane>>,
+    /// Tracing plane, if armed (see [`crate::trace`]). `None` (the
+    /// default) costs one branch per instrumented site; armed but with a
+    /// site masked off costs one relaxed load.
+    trace: Option<Arc<TracePlane>>,
 }
 
 impl Default for Kernel {
@@ -168,12 +173,18 @@ impl Kernel {
             next_pid: shard as u32 * crate::shard::SHARD_PID_STRIDE + 1,
             rng: 0x9E3779B97F4A7C15,
             faults: None,
+            trace: None,
         };
         // `SHILL_FAULTS` arms every kernel in the process with the same
         // schedule — shard-relative keying makes the planes agree on which
         // operations fail regardless of which shard runs them.
         if let Some(plane) = FaultPlane::from_env() {
             k.set_fault_plane(Some(plane));
+        }
+        // `SHILL_TRACE` arms a per-shard trace ring; shards share one
+        // monotonic epoch so the merged timeline is coherent.
+        if let Some(plane) = TracePlane::from_env() {
+            k.set_trace_plane(Some(plane));
         }
         k
     }
@@ -190,6 +201,9 @@ impl Kernel {
             .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
         self.pipes.set_fault_plane(plane.clone());
         self.net.set_fault_plane(plane.clone());
+        if let (Some(f), Some(t)) = (&plane, &self.trace) {
+            f.attach_trace(t);
+        }
         std::mem::replace(&mut self.faults, plane)
     }
 
@@ -201,6 +215,9 @@ impl Kernel {
             .set_fault_hook(plane.clone().map(|p| p as shill_vfs::SharedFaultHook));
         self.pipes.set_fault_plane(plane.clone());
         self.net.set_fault_plane(plane.clone());
+        if let (Some(f), Some(t)) = (&plane, &self.trace) {
+            f.attach_trace(t);
+        }
         self.faults = plane;
     }
 
@@ -208,6 +225,77 @@ impl Kernel {
     /// panics through this).
     pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
         self.faults.as_ref()
+    }
+
+    // --- tracing plane ----------------------------------------------------
+
+    /// Arm (or disarm) the tracing plane. The plane is stamped with this
+    /// kernel's shard index and handed to the fault plane (so firings
+    /// record instants) and to every registered policy (so stripe waits
+    /// record spans). Returns the plane it displaced.
+    pub fn set_trace_plane(&mut self, plane: Option<Arc<TracePlane>>) -> Option<Arc<TracePlane>> {
+        if let Some(t) = &plane {
+            t.set_shard(self.shard as u64);
+            if let Some(f) = &self.faults {
+                f.attach_trace(t);
+            }
+            for p in self.registry.iter() {
+                p.attach_trace(t);
+            }
+        }
+        std::mem::replace(&mut self.trace, plane)
+    }
+
+    /// The armed tracing plane, if any.
+    pub fn trace_plane_handle(&self) -> Option<Arc<TracePlane>> {
+        self.trace.clone()
+    }
+
+    /// Whether a site is currently traced: `false` with no plane (one
+    /// branch), else one relaxed load of the site mask.
+    #[inline]
+    pub(crate) fn trace_wants(&self, site: TraceSite) -> bool {
+        matches!(&self.trace, Some(t) if t.wants(site))
+    }
+
+    /// Open a span at an instrumented site. The returned guard owns its
+    /// plane handle, so the caller keeps `&mut self` while it is live and
+    /// an unwind still closes the span. `None` when untraced.
+    #[inline]
+    pub(crate) fn trace_span(&self, site: TraceSite, pid: u64, arg: u64) -> Option<TraceScope> {
+        match &self.trace {
+            Some(t) => t.span(site, pid, arg),
+            None => None,
+        }
+    }
+
+    /// Record a point event at an instrumented site (no-op when untraced).
+    /// Public so out-of-crate executors (the sandbox worker pool) can mark
+    /// events such as work steals without holding a plane handle.
+    #[inline]
+    pub fn trace_instant(&self, site: TraceSite, pid: u64, arg: u64, tag: &'static str) {
+        if let Some(t) = &self.trace {
+            t.instant(site, pid, arg, tag);
+        }
+    }
+
+    /// One unified observability snapshot: drained counters (see
+    /// [`Kernel::stats_snapshot`]), per-site latency histograms, and the
+    /// drained trace ring. With no plane armed the histogram and event
+    /// sections are empty but the counters are still exported.
+    pub fn telemetry(&self) -> Telemetry {
+        let stats = self.stats_snapshot();
+        match &self.trace {
+            Some(t) => Telemetry {
+                stats,
+                hists: t.hists(),
+                events: t.drain(),
+            },
+            None => Telemetry {
+                stats,
+                ..Telemetry::default()
+            },
+        }
     }
 
     /// Consult the fault plane at a control-path site.
@@ -249,6 +337,9 @@ impl Kernel {
     /// counts only flushes that dropped live verdicts — attaching to a
     /// kernel whose cache is empty is not an eviction event.
     pub fn register_policy(&mut self, policy: Arc<dyn MacPolicy>) {
+        if let Some(t) = &self.trace {
+            policy.attach_trace(t);
+        }
         self.registry.attach(policy);
         if self.avc.flush() > 0 {
             KernelStats::bump(&self.stats.avc_flushes);
@@ -600,6 +691,9 @@ impl Kernel {
             KernelStats::bump(&self.stats.avc_misses);
         }
         let ctx = self.ctx(pid)?;
+        // Only checks that reach the policy modules are spanned: an AVC
+        // hit returned above without touching the trace plane.
+        let _mac_span = self.trace_span(TraceSite::Mac, pid.0 as u64, node.0);
         for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_vnode_checks);
             p.vnode_check(ctx, node, op)?;
@@ -656,6 +750,7 @@ impl Kernel {
             KernelStats::bump(&self.stats.avc_misses);
         }
         let ctx = self.ctx(pid)?;
+        let _mac_span = self.trace_span(TraceSite::Mac, pid.0 as u64, 0);
         for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.pipe_check(ctx, obj, op)?;
@@ -686,6 +781,7 @@ impl Kernel {
             KernelStats::bump(&self.stats.avc_misses);
         }
         let ctx = self.ctx(pid)?;
+        let _mac_span = self.trace_span(TraceSite::Mac, pid.0 as u64, 0);
         for p in self.registry.iter() {
             KernelStats::bump(&self.stats.mac_other_checks);
             p.socket_check(ctx, obj, op)?;
@@ -748,6 +844,16 @@ impl Kernel {
             let drained = p.take_contention();
             if drained > 0 {
                 KernelStats::add(&self.stats.policy_stripe_contention, drained);
+            }
+            let dropped = p.take_log_dropped();
+            if dropped > 0 {
+                KernelStats::add(&self.stats.log_dropped, dropped);
+            }
+        }
+        if let Some(t) = &self.trace {
+            let dropped = t.take_dropped();
+            if dropped > 0 {
+                KernelStats::add(&self.stats.trace_dropped, dropped);
             }
         }
         if let Some(f) = &self.faults {

@@ -15,6 +15,8 @@ pub mod avc;
 pub mod batch;
 #[warn(missing_docs)]
 pub mod fault;
+#[warn(missing_docs)]
+pub mod hist;
 pub mod kernel;
 pub mod mac;
 pub mod net;
@@ -27,11 +29,14 @@ pub mod sched;
 pub mod shard;
 pub mod stats;
 pub mod syscalls;
+#[warn(missing_docs)]
+pub mod trace;
 pub mod types;
 
 pub use avc::{avc_class, avc_pipe_class, avc_socket_class, Avc, AvcClass};
 pub use batch::{BatchArg, BatchEntry, BatchFd, BatchOut, FailMode, SyscallBatch};
 pub use fault::{path_key, FaultPlane, FaultSite};
+pub use hist::{HistSnapshot, LatencyHist, SiteHists, SiteHistsSnapshot, HIST_BUCKETS};
 pub use kernel::{ExecHandler, Kernel, Lookup, SYSCTL_AVC, SYSCTL_DCACHE};
 pub use mac::{MacCtx, MacPolicy, NullPolicy, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
 pub use net::{InjConnId, RemoteHandler};
@@ -43,6 +48,10 @@ pub use shard::{
     SHILL_SHARDS_ENV,
 };
 pub use stats::{KernelStats, StatsSnapshot};
+pub use trace::{
+    trace_now_ns, Telemetry, TraceEvent, TraceKind, TracePlane, TraceScope, TraceSite,
+    DEFAULT_TRACE_CAP,
+};
 pub use types::{
     Fd, ObjId, OpenFlags, Pid, PipeEnd, PipeId, SockAddr, SockDomain, SockId, Ulimits,
 };

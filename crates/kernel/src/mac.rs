@@ -175,6 +175,23 @@ pub trait MacPolicy: Send + Sync {
         0
     }
 
+    /// Drain the number of audit-log events the policy discarded because
+    /// its bounded log ring was full (see `SHILL_LOG_CAP` in the sandbox
+    /// crate). Pulled at snapshot time into `KernelStats::log_dropped`,
+    /// with the same return-and-reset discipline as
+    /// [`MacPolicy::take_contention`]. Policies without an audit log
+    /// report 0.
+    fn take_log_dropped(&self) -> u64 {
+        0
+    }
+
+    /// The kernel's tracing plane ([`crate::trace::TracePlane`]) was
+    /// armed; policies that instrument their own waits (e.g. stripe-lock
+    /// contention spans) keep the handle. Called once per
+    /// `set_trace_plane`/`register_policy` pairing; the default ignores
+    /// it.
+    fn attach_trace(&self, _plane: &std::sync::Arc<crate::trace::TracePlane>) {}
+
     // --- checks ---------------------------------------------------------
     fn vnode_check(&self, _ctx: MacCtx, _node: NodeId, _op: &VnodeOp<'_>) -> SysResult<()> {
         Ok(())
@@ -214,8 +231,17 @@ pub trait MacPolicy: Send + Sync {
     /// executed in (slot indices per wave — a single wave for a flat
     /// batch, one wave per link for an `&&` chain). Policies with an audit
     /// log record one span per batch instead of one event per call, split
-    /// per wave.
-    fn batch_complete(&self, _ctx: MacCtx, _outcomes: &[Option<Errno>], _waves: &[Vec<usize>]) {}
+    /// per wave. `wave_ns` carries per-wave execution durations in
+    /// nanoseconds when the tracing plane measured them (empty or zeroed
+    /// otherwise — timing is observability, never policy input).
+    fn batch_complete(
+        &self,
+        _ctx: MacCtx,
+        _outcomes: &[Option<Errno>],
+        _waves: &[Vec<usize>],
+        _wave_ns: &[u64],
+    ) {
+    }
 
     /// A pipe pair was created by `ctx.pid`.
     fn pipe_post_create(&self, _ctx: MacCtx, _pipe: ObjId) {}

@@ -230,6 +230,10 @@ pub struct ScheduledRun {
     /// even if the submitting process is gone by finish time.
     ctx: Option<crate::mac::MacCtx>,
     next_wave: usize,
+    /// Per-wave execution durations in nanoseconds, one slot per executed
+    /// wave. Measured only while the tracing plane's wave site is armed
+    /// (zeros otherwise) and handed to the audit span at finish.
+    wave_ns: Vec<u64>,
 }
 
 impl ScheduledRun {
@@ -247,6 +251,7 @@ impl ScheduledRun {
             order: Vec::new(),
             ctx: None,
             next_wave: 0,
+            wave_ns: Vec::new(),
         })
     }
 
@@ -342,20 +347,28 @@ impl Kernel {
         let mut results: Vec<Option<SysResult<BatchOut>>> = Vec::new();
         results.resize_with(n, || None);
         let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut wave_ns: Vec<u64> = Vec::with_capacity(dag.waves.len());
+        let batch_span = self.trace_span(
+            crate::trace::TraceSite::Batch,
+            pid.0 as u64,
+            batch.entries.len() as u64,
+        );
         let ctx = {
             let guard = BatchGuard::install(self, pid)?;
             KernelStats::bump(&guard.k.stats.batches);
             let ctx = guard.ctx();
             for wave in 0..dag.waves.len() {
-                guard
+                let ns = guard
                     .k
                     .exec_wave_core(pid, batch, &dag, wave, &mut results, &mut order);
+                wave_ns.push(ns);
             }
             ctx
         };
+        drop(batch_span);
         let outcomes = outcomes_of(&results);
         for p in self.policies() {
-            p.batch_complete(ctx, &outcomes, dag.waves());
+            p.batch_complete(ctx, &outcomes, dag.waves(), &wave_ns);
         }
         Ok(drain_completions(order, &mut results))
     }
@@ -403,7 +416,7 @@ impl Kernel {
         if let Some(ctx) = run.ctx {
             let outcomes = run.outcomes();
             for p in self.policies() {
-                p.batch_complete(ctx, &outcomes, run.dag.waves());
+                p.batch_complete(ctx, &outcomes, run.dag.waves(), &run.wave_ns);
             }
         }
         Ok(())
@@ -429,13 +442,18 @@ impl Kernel {
             results,
             order,
             next_wave,
+            wave_ns,
             ..
         } = run;
-        self.exec_wave_core(*pid, batch, dag, *next_wave, results, order);
+        let ns = self.exec_wave_core(*pid, batch, dag, *next_wave, results, order);
+        wave_ns.push(ns);
         *next_wave += 1;
     }
 
     /// The wave executor shared by the one-shot and steppable paths.
+    /// Returns the wave's execution duration in nanoseconds when the
+    /// tracing plane's wave site is armed, 0 otherwise — the off path
+    /// never reads the clock.
     fn exec_wave_core(
         &mut self,
         pid: Pid,
@@ -444,8 +462,12 @@ impl Kernel {
         wave: usize,
         results: &mut [Option<SysResult<BatchOut>>],
         order: &mut Vec<usize>,
-    ) {
+    ) -> u64 {
         KernelStats::bump(&self.stats.sched_waves);
+        let _wave_span = self.trace_span(crate::trace::TraceSite::Wave, pid.0 as u64, wave as u64);
+        let wave_t0 = self
+            .trace_wants(crate::trace::TraceSite::Wave)
+            .then(std::time::Instant::now);
         // Out-of-order accounting: each already-completed slot with a
         // *larger* index than an executing slot is one submission-order
         // inversion. Slots executed earlier in *this* wave always have
@@ -465,6 +487,11 @@ impl Kernel {
                 Err(e)
             } else {
                 KernelStats::bump(&self.stats.batch_entries);
+                // Per-entry dispatch span: with the in-order loop in
+                // `crate::batch`, this covers syscall dispatch in all
+                // four execution modes.
+                let _syscall_span =
+                    self.trace_span(crate::trace::TraceSite::Syscall, pid.0 as u64, slot as u64);
                 self.exec_entry(pid, &batch.entries[slot], results)
             };
             let inversions = (prior.len() - prior.partition_point(|&s| s < slot)) as u64;
@@ -472,6 +499,7 @@ impl Kernel {
             results[slot] = Some(r);
             order.push(slot);
         }
+        wave_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
     }
 }
 

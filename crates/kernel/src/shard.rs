@@ -68,10 +68,12 @@ use shill_vfs::sync::Mutex;
 use shill_vfs::SysResult;
 
 use crate::batch::SyscallBatch;
+use crate::hist::SiteHistsSnapshot;
 use crate::kernel::Kernel;
 use crate::mac::MacPolicy;
 use crate::sched::Completion;
 use crate::stats::StatsSnapshot;
+use crate::trace::{Telemetry, TracePlane};
 use crate::types::Pid;
 
 /// Pid-space stride between shards: shard `i` allocates pids from
@@ -339,6 +341,27 @@ impl KernelShards {
         });
     }
 
+    /// Install a tracing plane on every shard, under a rendezvous so no
+    /// wave runs with half the shards instrumented. Each shard gets its
+    /// own plane parsed from the same spec (per-shard rings keep the hot
+    /// path lock-shard-local); [`Kernel::set_trace_plane`] stamps the
+    /// shard id into each plane so merged event streams stay
+    /// attributable. Pass `None` to disarm.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed spec (same contract as [`crate::trace::TracePlane::parse`]
+    /// via `SHILL_TRACE`).
+    pub fn set_trace_plane(&self, spec: Option<&str>) {
+        self.rendezvous(|shards| {
+            for k in shards {
+                let plane = spec
+                    .map(|s| Arc::new(TracePlane::parse(s).expect("malformed SHILL_TRACE spec")));
+                k.set_trace_plane(plane);
+            }
+        });
+    }
+
     /// Toggle the resolution caches on every shard under one rendezvous
     /// (the sharded form of [`Kernel::set_cache_enabled`]).
     pub fn set_cache_enabled(&self, dcache: bool, avc: bool) {
@@ -360,6 +383,31 @@ impl KernelShards {
                 .iter()
                 .map(|k| k.stats_snapshot())
                 .fold(StatsSnapshot::default(), |acc, s| acc.merged(&s))
+        })
+    }
+
+    /// Aggregate telemetry snapshot across all shards, under one
+    /// rendezvous: merged (draining) stats, field-wise merged latency
+    /// histograms, and the concatenation of every shard's drained trace
+    /// ring (shard attribution lives inside each event). Shards without
+    /// an armed plane contribute empty histograms and no events.
+    pub fn telemetry(&self) -> Telemetry {
+        self.rendezvous(|shards| {
+            let mut stats = StatsSnapshot::default();
+            let mut hists: Vec<SiteHistsSnapshot> = Vec::with_capacity(shards.len());
+            let mut events = Vec::new();
+            for k in shards.iter_mut() {
+                let t = k.telemetry();
+                stats = stats.merged(&t.stats);
+                hists.push(t.hists);
+                events.extend(t.events);
+            }
+            events.sort_by_key(|e| e.ts_ns);
+            Telemetry {
+                stats,
+                hists: SiteHistsSnapshot::merged(&hists),
+                events,
+            }
         })
     }
 

@@ -5,243 +5,170 @@
 //! threads can share one kernel without data races. Individual counters
 //! are monotone; `snapshot` is not atomic across counters (fine for the
 //! tests and reports that consume it, which quiesce the kernel first).
+//!
+//! The counter list is declared ONCE in the `kernel_stats!` invocation
+//! below: the macro expands the atomic struct, the plain snapshot, and
+//! `snapshot`/`reset`/`merged`/`fields` from the same list, so adding a
+//! counter cannot silently skip reset, shard-merge, or the telemetry
+//! exposition (previously three hand-maintained parallel lists).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Kernel-wide event counters.
-#[derive(Debug, Default)]
-pub struct KernelStats {
+/// Declares [`KernelStats`] (atomics) and [`StatsSnapshot`] (plain
+/// `u64`s) plus every derived accessor from one field list.
+macro_rules! kernel_stats {
+    ($( $(#[$meta:meta])* $name:ident, )+) => {
+        /// Kernel-wide event counters.
+        #[derive(Debug, Default)]
+        pub struct KernelStats {
+            $( $(#[$meta])* pub $name: AtomicU64, )+
+        }
+
+        /// Copyable snapshot of [`KernelStats`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct StatsSnapshot {
+            $( $(#[$meta])* pub $name: u64, )+
+        }
+
+        impl KernelStats {
+            /// Plain-value snapshot for assertions and reports.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+
+            /// Zero every counter.
+            pub fn reset(&self) {
+                $( self.$name.store(0, Ordering::Relaxed); )+
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise sum of two snapshots: the aggregate view across
+            /// kernel shards ([`crate::shard::KernelShards::stats`] folds
+            /// per-shard snapshots with this).
+            pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name + other.$name, )+
+                }
+            }
+
+            /// Every counter as a `(name, value)` pair in declaration
+            /// order — the telemetry text exposition iterates this, so a
+            /// new counter shows up in exported metrics for free.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
+        }
+    };
+}
+
+kernel_stats! {
     /// Total system calls dispatched.
-    pub syscalls: AtomicU64,
+    syscalls,
     /// Per-component directory lookups performed by the path walker.
-    pub lookups: AtomicU64,
+    lookups,
     /// Path-walker components answered from the directory-entry cache.
-    pub dcache_hits: AtomicU64,
+    dcache_hits,
     /// Path-walker components that missed the dcache (or ran with it off).
-    pub dcache_misses: AtomicU64,
+    dcache_misses,
     /// Lookups answered by a cached negative entry (name known absent):
     /// the directory scan *and* the ENOENT re-derivation were skipped.
-    pub dcache_neg_hits: AtomicU64,
+    dcache_neg_hits,
     /// Real directory-entry scans performed (i.e. dcache misses that went
     /// to the filesystem); with the cache on and a warm workload this stays
     /// flat while `lookups` keeps climbing.
-    pub dir_scans: AtomicU64,
+    dir_scans,
     /// MAC vnode checks that *reached* policy modules (0 when no policy is
     /// registered; with the AVC on, far fewer than checks requested).
-    pub mac_vnode_checks: AtomicU64,
+    mac_vnode_checks,
     /// MAC vnode decisions answered from the access-vector cache.
-    pub avc_hits: AtomicU64,
+    avc_hits,
     /// MAC vnode decisions that missed the AVC and consulted policies.
-    pub avc_misses: AtomicU64,
+    avc_misses,
     /// Wholesale AVC flushes that actually dropped live cached verdicts
     /// (policy attach/detach, cache toggles). A flush of an already-empty
     /// or disabled cache is not counted.
-    pub avc_flushes: AtomicU64,
+    avc_flushes,
     /// MAC socket/pipe/proc/system checks invoked.
-    pub mac_other_checks: AtomicU64,
+    mac_other_checks,
     /// Executables run.
-    pub execs: AtomicU64,
+    execs,
     /// Processes forked.
-    pub forks: AtomicU64,
+    forks,
     /// Ulimit accounting operations: one per sequential syscall, one per
     /// submitted batch (the batch path's whole point is that this grows
     /// far slower than `syscalls`).
-    pub charge_calls: AtomicU64,
+    charge_calls,
     /// MAC subject contexts constructed (credential snapshots). Batched
     /// submission builds one per batch and reuses it for every check.
-    pub mac_ctx_setups: AtomicU64,
+    mac_ctx_setups,
     /// Batches submitted via [`crate::kernel::Kernel::submit_batch`].
-    pub batches: AtomicU64,
+    batches,
     /// Entries *executed* across all submitted batches. Entries cancelled
     /// by [`crate::batch::FailMode::Abort`] short-circuiting never run and
     /// are not counted.
-    pub batch_entries: AtomicU64,
+    batch_entries,
     /// `namei` dirname resolutions reused from the in-batch prefix cache.
-    pub batch_prefix_hits: AtomicU64,
+    batch_prefix_hits,
     /// In-batch prefix probes that fell back to a full walk (cold entry or
     /// a mid-batch dcache/AVC epoch invalidation).
-    pub batch_prefix_misses: AtomicU64,
+    batch_prefix_misses,
     /// Dependency waves executed by the batch scheduler
     /// ([`crate::kernel::Kernel::submit_scheduled`] and the steppable
     /// per-wave path).
-    pub sched_waves: AtomicU64,
+    sched_waves,
     /// Submission-order inversions performed by the scheduler: pairs where
     /// an entry completed before an earlier-submitted entry (the measure
     /// of real out-of-order execution).
-    pub sched_reorders: AtomicU64,
+    sched_reorders,
     /// Slot references resolved (`BatchFd::FromEntry` descriptors plus
     /// `BatchArg::OutputOf` data links) across all submission paths.
-    pub slot_links: AtomicU64,
+    slot_links,
     /// Entries cancelled by scheduler dependency poisoning (the abort/
     /// missing-input cone), booked as cancellations, not failures.
-    pub sched_cancelled_cone: AtomicU64,
+    sched_cancelled_cone,
     /// Contended policy stripe-lock acquisitions drained from registered
     /// MAC policies ([`crate::mac::MacPolicy::take_contention`]) at
     /// snapshot time. Zero when every stripe acquisition found its lock
     /// free — the healthy state for shard-affine traffic.
-    pub policy_stripe_contention: AtomicU64,
+    policy_stripe_contention,
     /// Jobs a `BatchPool` worker stole from another worker's deque and
     /// executed against this shard. Booked under the stolen job's first
     /// wave lock, so the per-shard split shows *whose* traffic overflowed
     /// its affine worker.
-    pub pool_steals: AtomicU64,
+    pool_steals,
     /// Faults fired by the fault-injection plane ([`crate::fault`]):
     /// errno failures, short I/O, and injected panics. Drained from the
     /// plane at snapshot time like `policy_stripe_contention`.
-    pub faults_injected: AtomicU64,
+    faults_injected,
     /// Injected faults that degraded cleanly: surfaced as an errno or a
     /// legal short op, or (for injected panics) were caught at a
     /// containment boundary. `faults_injected == faults_survived` is the
     /// machine-checkable "no panic escaped" invariant.
-    pub faults_survived: AtomicU64,
+    faults_survived,
+    /// Trace events overwritten because a shard's trace ring was full
+    /// ([`crate::trace::TracePlane`]); drained from the plane at snapshot
+    /// time. A nonzero value means the chrome timeline has a hole — raise
+    /// `cap=` in `SHILL_TRACE`.
+    trace_dropped,
+    /// Audit-log events discarded because the sandbox log ring hit its
+    /// capacity (`SHILL_LOG_CAP`); drained from registered policies
+    /// ([`crate::mac::MacPolicy::take_log_dropped`]) at snapshot time.
+    log_dropped,
 }
 
 impl KernelStats {
+    /// Add one to a counter (relaxed).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Add `n` to a counter (relaxed).
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
-
-    /// Plain-value snapshot for assertions and reports.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        StatsSnapshot {
-            syscalls: get(&self.syscalls),
-            lookups: get(&self.lookups),
-            dcache_hits: get(&self.dcache_hits),
-            dcache_misses: get(&self.dcache_misses),
-            dcache_neg_hits: get(&self.dcache_neg_hits),
-            dir_scans: get(&self.dir_scans),
-            mac_vnode_checks: get(&self.mac_vnode_checks),
-            avc_hits: get(&self.avc_hits),
-            avc_misses: get(&self.avc_misses),
-            avc_flushes: get(&self.avc_flushes),
-            mac_other_checks: get(&self.mac_other_checks),
-            execs: get(&self.execs),
-            forks: get(&self.forks),
-            charge_calls: get(&self.charge_calls),
-            mac_ctx_setups: get(&self.mac_ctx_setups),
-            batches: get(&self.batches),
-            batch_entries: get(&self.batch_entries),
-            batch_prefix_hits: get(&self.batch_prefix_hits),
-            batch_prefix_misses: get(&self.batch_prefix_misses),
-            sched_waves: get(&self.sched_waves),
-            sched_reorders: get(&self.sched_reorders),
-            slot_links: get(&self.slot_links),
-            sched_cancelled_cone: get(&self.sched_cancelled_cone),
-            policy_stripe_contention: get(&self.policy_stripe_contention),
-            pool_steals: get(&self.pool_steals),
-            faults_injected: get(&self.faults_injected),
-            faults_survived: get(&self.faults_survived),
-        }
-    }
-
-    pub fn reset(&self) {
-        for c in [
-            &self.syscalls,
-            &self.lookups,
-            &self.dcache_hits,
-            &self.dcache_misses,
-            &self.dcache_neg_hits,
-            &self.dir_scans,
-            &self.mac_vnode_checks,
-            &self.avc_hits,
-            &self.avc_misses,
-            &self.avc_flushes,
-            &self.mac_other_checks,
-            &self.execs,
-            &self.forks,
-            &self.charge_calls,
-            &self.mac_ctx_setups,
-            &self.batches,
-            &self.batch_entries,
-            &self.batch_prefix_hits,
-            &self.batch_prefix_misses,
-            &self.sched_waves,
-            &self.sched_reorders,
-            &self.slot_links,
-            &self.sched_cancelled_cone,
-            &self.policy_stripe_contention,
-            &self.pool_steals,
-            &self.faults_injected,
-            &self.faults_survived,
-        ] {
-            c.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-impl StatsSnapshot {
-    /// Field-wise sum of two snapshots: the aggregate view across kernel
-    /// shards ([`crate::shard::KernelShards::stats`] folds per-shard
-    /// snapshots with this).
-    pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            syscalls: self.syscalls + other.syscalls,
-            lookups: self.lookups + other.lookups,
-            dcache_hits: self.dcache_hits + other.dcache_hits,
-            dcache_misses: self.dcache_misses + other.dcache_misses,
-            dcache_neg_hits: self.dcache_neg_hits + other.dcache_neg_hits,
-            dir_scans: self.dir_scans + other.dir_scans,
-            mac_vnode_checks: self.mac_vnode_checks + other.mac_vnode_checks,
-            avc_hits: self.avc_hits + other.avc_hits,
-            avc_misses: self.avc_misses + other.avc_misses,
-            avc_flushes: self.avc_flushes + other.avc_flushes,
-            mac_other_checks: self.mac_other_checks + other.mac_other_checks,
-            execs: self.execs + other.execs,
-            forks: self.forks + other.forks,
-            charge_calls: self.charge_calls + other.charge_calls,
-            mac_ctx_setups: self.mac_ctx_setups + other.mac_ctx_setups,
-            batches: self.batches + other.batches,
-            batch_entries: self.batch_entries + other.batch_entries,
-            batch_prefix_hits: self.batch_prefix_hits + other.batch_prefix_hits,
-            batch_prefix_misses: self.batch_prefix_misses + other.batch_prefix_misses,
-            sched_waves: self.sched_waves + other.sched_waves,
-            sched_reorders: self.sched_reorders + other.sched_reorders,
-            slot_links: self.slot_links + other.slot_links,
-            sched_cancelled_cone: self.sched_cancelled_cone + other.sched_cancelled_cone,
-            policy_stripe_contention: self.policy_stripe_contention
-                + other.policy_stripe_contention,
-            pool_steals: self.pool_steals + other.pool_steals,
-            faults_injected: self.faults_injected + other.faults_injected,
-            faults_survived: self.faults_survived + other.faults_survived,
-        }
-    }
-}
-
-/// Copyable snapshot of [`KernelStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StatsSnapshot {
-    pub syscalls: u64,
-    pub lookups: u64,
-    pub dcache_hits: u64,
-    pub dcache_misses: u64,
-    pub dcache_neg_hits: u64,
-    pub dir_scans: u64,
-    pub mac_vnode_checks: u64,
-    pub avc_hits: u64,
-    pub avc_misses: u64,
-    pub avc_flushes: u64,
-    pub mac_other_checks: u64,
-    pub execs: u64,
-    pub forks: u64,
-    pub charge_calls: u64,
-    pub mac_ctx_setups: u64,
-    pub batches: u64,
-    pub batch_entries: u64,
-    pub batch_prefix_hits: u64,
-    pub batch_prefix_misses: u64,
-    pub sched_waves: u64,
-    pub sched_reorders: u64,
-    pub slot_links: u64,
-    pub sched_cancelled_cone: u64,
-    pub policy_stripe_contention: u64,
-    pub pool_steals: u64,
-    pub faults_injected: u64,
-    pub faults_survived: u64,
 }
 
 #[cfg(test)]
@@ -280,5 +207,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().syscalls, 4000);
+    }
+
+    #[test]
+    fn fields_cover_every_counter_once() {
+        let s = KernelStats::default();
+        KernelStats::bump(&s.trace_dropped);
+        KernelStats::add(&s.log_dropped, 2);
+        let fields = s.snapshot().fields();
+        // One entry per declared counter, names unique, values wired.
+        let names: std::collections::HashSet<_> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), fields.len());
+        let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("trace_dropped"), 1);
+        assert_eq!(get("log_dropped"), 2);
+        assert_eq!(get("syscalls"), 0);
+        assert!(fields.len() >= 29);
+    }
+
+    #[test]
+    fn merged_sums_new_counters_too() {
+        let a = KernelStats::default();
+        let b = KernelStats::default();
+        KernelStats::bump(&a.log_dropped);
+        KernelStats::add(&b.log_dropped, 4);
+        KernelStats::bump(&b.trace_dropped);
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.log_dropped, 5);
+        assert_eq!(m.trace_dropped, 1);
     }
 }

@@ -577,25 +577,48 @@ impl BatchPool {
             // the pre-ordered set without sorting or allocating.
             shards.fence_set(home, &job.fence, &mut arena.fence);
         }
+        let entries = job.job.batch.entries.len() as u64;
         let mut run = ScheduledRun::prepare(pid, job.job.batch)?;
         let mut credit_steal = stolen;
-        let mut wave = |k: &mut Kernel, run: &mut ScheduledRun| {
-            if credit_steal {
-                shill_kernel::KernelStats::bump(&k.stats.pool_steals);
-                credit_steal = false;
-            }
-            k.sched_run_wave(run)
-        };
-        loop {
-            let more = if fenced {
-                shards.fenced_ordered(home, &arena.fence, |k| wave(k, &mut run))?
-            } else {
-                shards.with_shard(home, |k| wave(k, &mut run))?
+        // The pool steps waves directly and never passes through
+        // `submit_batch`/`submit_scheduled`, so open the batch-site span
+        // here: it covers the whole job, across every wave and any lock
+        // release between them.
+        let mut batch_span: Option<shill_kernel::TraceScope> = None;
+        {
+            let mut wave = |k: &mut Kernel, run: &mut ScheduledRun| {
+                if credit_steal {
+                    shill_kernel::KernelStats::bump(&k.stats.pool_steals);
+                    k.trace_instant(
+                        shill_kernel::TraceSite::Steal,
+                        pid.0 as u64,
+                        0,
+                        "pool_steal",
+                    );
+                    credit_steal = false;
+                }
+                if batch_span.is_none() {
+                    if let Some(plane) = k.trace_plane_handle() {
+                        batch_span =
+                            plane.span(shill_kernel::TraceSite::Batch, pid.0 as u64, entries);
+                    }
+                }
+                k.sched_run_wave(run)
             };
-            if !more {
-                break;
+            loop {
+                let more = if fenced {
+                    shards.fenced_ordered(home, &arena.fence, |k| wave(k, &mut run))?
+                } else {
+                    shards.with_shard(home, |k| wave(k, &mut run))?
+                };
+                if !more {
+                    break;
+                }
             }
         }
+        // End the span before the audit: the histogram measures execution,
+        // not bookkeeping.
+        drop(batch_span);
         if fenced {
             shards.fenced_ordered(home, &arena.fence, |k| k.sched_audit(&run))?;
         } else {

@@ -25,7 +25,7 @@ pub use executor::{
     SessionTask, ShardedBatchJob, ShardedSessionTask, SharedKernel,
 };
 pub use harness::{run_sandboxed, setup_sandbox, Grant, Sandbox, SandboxSpec};
-pub use log::{BatchWaveAudit, LogEvent, SandboxLog};
+pub use log::{BatchWaveAudit, LogEvent, SandboxLog, DEFAULT_LOG_CAP, SHILL_LOG_CAP_ENV};
 pub use policy::{
     stripe_count_from_env, PolicyStats, ShillPolicy, DEFAULT_POLICY_STRIPES, MAX_POLICY_STRIPES,
     POLICY_STRIPES_ENV,

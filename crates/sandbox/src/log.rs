@@ -4,11 +4,31 @@
 //! session in addition to all operations that were denied because of
 //! insufficient privileges."
 
+use std::collections::VecDeque;
+
 use shill_cap::Priv;
 use shill_kernel::{ObjId, Pid};
 use shill_vfs::Errno;
 
 use crate::session::SessionId;
+
+/// Default capacity of the audit-log ring: events beyond this drop the
+/// oldest entry and bump the drop counter instead of growing without
+/// bound (a long-lived server with verbose logging on must not leak).
+pub const DEFAULT_LOG_CAP: usize = 65536;
+
+/// Environment knob overriding [`DEFAULT_LOG_CAP`]. Unset or unparsable
+/// values silently fall back to the default (unlike `SHILL_TRACE`, a bad
+/// log cap cannot make a red run green — it only changes retention).
+pub const SHILL_LOG_CAP_ENV: &str = "SHILL_LOG_CAP";
+
+fn log_cap_from_env() -> usize {
+    std::env::var(SHILL_LOG_CAP_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_LOG_CAP)
+        .max(1)
+}
 
 /// One audit event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,30 +108,98 @@ pub struct BatchWaveAudit {
     pub executed: usize,
     pub failed: usize,
     pub cancelled: usize,
+    /// Wall-clock duration of the wave in nanoseconds, recorded only when
+    /// the kernel's tracing plane has the `wave` site armed (0 otherwise,
+    /// and always 0 on the in-order execution path). Timing is
+    /// observability metadata: the differential oracle compares the
+    /// executed/failed/cancelled split, never `wave_ns`.
+    pub wave_ns: u64,
 }
 
-/// Append-only event log, viewable by privileged users.
-#[derive(Debug, Default)]
+/// Bounded audit-event ring, viewable by privileged users. Capacity
+/// defaults to [`DEFAULT_LOG_CAP`] (override via `SHILL_LOG_CAP`); when
+/// full, the **oldest** event is dropped and [`SandboxLog::dropped`]
+/// counts the loss, so a long-lived session degrades to "recent history"
+/// rather than unbounded growth.
+#[derive(Debug)]
 pub struct SandboxLog {
     pub enabled: bool,
-    events: Vec<LogEvent>,
+    cap: usize,
+    events: VecDeque<LogEvent>,
+    dropped: u64,
+}
+
+impl Default for SandboxLog {
+    fn default() -> Self {
+        SandboxLog::with_capacity(log_cap_from_env())
+    }
 }
 
 impl SandboxLog {
+    /// A ring holding at most `cap` events (clamped to at least 1).
+    pub fn with_capacity(cap: usize) -> SandboxLog {
+        SandboxLog {
+            enabled: false,
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Re-bound the ring; excess oldest events are dropped (and counted)
+    /// immediately.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.events.len() > self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The ring's current bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     pub fn push(&mut self, e: LogEvent) {
         if self.enabled {
-            self.events.push(e);
+            self.push_always(e);
         }
     }
 
     /// Denials and auto-grants are always recorded (they are the debugging
     /// signal), even when verbose grant logging is off.
     pub fn push_always(&mut self, e: LogEvent) {
-        self.events.push(e);
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
     }
 
-    pub fn events(&self) -> &[LogEvent] {
-        &self.events
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &LogEvent> {
+        self.events.iter()
+    }
+
+    /// Events currently retained (≤ the ring capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Oldest-event drops since the last [`SandboxLog::take_dropped`]
+    /// (ring overflow only — `clear` does not count).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain the drop counter (telemetry swap discipline: each loss is
+    /// reported exactly once).
+    pub fn take_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.dropped)
     }
 
     pub fn clear(&mut self) {
@@ -166,14 +254,14 @@ mod tests {
         log.push(LogEvent::SessionEntered {
             session: SessionId(1),
         });
-        assert!(log.events().is_empty());
+        assert!(log.is_empty());
         log.push_always(LogEvent::Denied {
             session: SessionId(1),
             pid: Pid(5),
             obj: ObjId::Vnode(NodeId(9)),
             needed: Priv::Read,
         });
-        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.len(), 1);
         assert_eq!(log.denials(SessionId(1)).len(), 1);
         assert!(log.denials(SessionId(2)).is_empty());
     }
@@ -191,8 +279,43 @@ mod tests {
         log.push(LogEvent::SessionEntered {
             session: SessionId(1),
         });
-        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.len(), 2);
         log.clear();
-        assert!(log.events().is_empty());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut log = SandboxLog::with_capacity(2);
+        log.enabled = true;
+        for epoch in 0..5u64 {
+            log.push(LogEvent::CacheEpochBump {
+                session: SessionId(1),
+                epoch,
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        // The survivors are the newest two, in order.
+        let epochs: Vec<u64> = log
+            .events()
+            .map(|e| match e {
+                LogEvent::CacheEpochBump { epoch, .. } => *epoch,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(epochs, vec![3, 4]);
+        assert_eq!(log.take_dropped(), 3);
+        assert_eq!(log.take_dropped(), 0);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn env_cap_falls_back_silently() {
+        // Whatever SHILL_LOG_CAP holds in this process, Default must
+        // produce a usable ring with a positive capacity.
+        let log = SandboxLog::default();
+        assert!(log.cap >= 1);
+        assert!(log.is_empty());
     }
 }

@@ -42,6 +42,7 @@ use crate::sync::{Mutex, RwLock};
 use shill_cap::{pipe_op_priv, socket_op_priv, vnode_op_priv, CapPrivs, Priv, PrivSet};
 use shill_kernel::SockDomain;
 use shill_kernel::{MacCtx, MacPolicy, ObjId, Pid, PipeOp, ProcOp, SocketOp, SystemOp, VnodeOp};
+use shill_kernel::{TracePlane, TraceScope, TraceSite};
 use shill_vfs::{Errno, FileType, NodeId, SysResult};
 
 use crate::log::{LogEvent, SandboxLog};
@@ -181,6 +182,14 @@ pub struct ShillPolicy {
     /// any lock.
     epoch: AtomicU64,
     counters: PolicyCounters,
+    /// Kernel tracing plane, attached via [`MacPolicy::attach_trace`] when
+    /// the owning kernel arms tracing. Behind its own mutex (only touched
+    /// on attach and on the already-slow contended-stripe path), with
+    /// [`ShillPolicy::trace_armed`] mirroring "is a plane attached" so the
+    /// uncontended hot path pays one relaxed load and no lock.
+    trace: Mutex<Option<Arc<TracePlane>>>,
+    /// Lock-free mirror of `trace.is_some()`.
+    trace_armed: AtomicBool,
 }
 
 impl Default for ShillPolicy {
@@ -207,6 +216,8 @@ impl ShillPolicy {
             next_session: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             counters: PolicyCounters::default(),
+            trace: Mutex::new(None),
+            trace_armed: AtomicBool::new(false),
         }
     }
 
@@ -233,45 +244,66 @@ impl ShillPolicy {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Open a `stripe` trace span covering a blocking stripe-lock wait.
+    /// Only reached on the contended path (the `try_*` probe already
+    /// failed), so taking the trace mutex here costs nothing on the hot
+    /// path; the atomic mirror skips even that when no plane is attached.
+    /// `arg` is the stripe index the waiter blocked on.
+    fn stripe_wait_span(&self, arg: u64) -> Option<TraceScope> {
+        if !self.trace_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let plane = self.trace.lock().clone()?;
+        plane.span(TraceSite::Stripe, 0, arg)
+    }
+
     fn stripe_read(&self, sid: SessionId) -> RwLockReadGuard<'_, Stripe> {
-        let lock = &self.stripes[self.stripe_of(sid)];
+        let idx = self.stripe_of(sid);
+        let lock = &self.stripes[idx];
         match lock.try_read() {
             Some(g) => g,
             None => {
                 self.count_contended();
+                let _wait = self.stripe_wait_span(idx as u64);
                 lock.read()
             }
         }
     }
 
     fn stripe_write(&self, sid: SessionId) -> RwLockWriteGuard<'_, Stripe> {
-        let lock = &self.stripes[self.stripe_of(sid)];
+        let idx = self.stripe_of(sid);
+        let lock = &self.stripes[idx];
         match lock.try_write() {
             Some(g) => g,
             None => {
                 self.count_contended();
+                let _wait = self.stripe_wait_span(idx as u64);
                 lock.write()
             }
         }
     }
 
     fn proc_read(&self, pid: Pid) -> RwLockReadGuard<'_, HashMap<Pid, SessionId>> {
-        let lock = &self.procs[self.proc_stripe_of(pid)];
+        let idx = self.proc_stripe_of(pid);
+        let lock = &self.procs[idx];
         match lock.try_read() {
             Some(g) => g,
             None => {
                 self.count_contended();
+                let _wait = self.stripe_wait_span(idx as u64);
                 lock.read()
             }
         }
     }
 
     fn proc_write(&self, pid: Pid) -> RwLockWriteGuard<'_, HashMap<Pid, SessionId>> {
-        let lock = &self.procs[self.proc_stripe_of(pid)];
+        let idx = self.proc_stripe_of(pid);
+        let lock = &self.procs[idx];
         match lock.try_write() {
             Some(g) => g,
             None => {
                 self.count_contended();
+                let _wait = self.stripe_wait_span(idx as u64);
                 lock.write()
             }
         }
@@ -553,9 +585,16 @@ impl ShillPolicy {
         self.set_log_enabled(enabled);
     }
 
+    /// Re-bound the audit-log ring (default [`crate::log::DEFAULT_LOG_CAP`],
+    /// env `SHILL_LOG_CAP`). Dropped-oldest overflow is surfaced through
+    /// the kernel's `log_dropped` telemetry counter.
+    pub fn set_log_capacity(&self, cap: usize) {
+        self.log.lock().set_capacity(cap);
+    }
+
     /// Snapshot of the audit log.
     pub fn log_events(&self) -> Vec<LogEvent> {
-        self.log.lock().events().to_vec()
+        self.log.lock().events().cloned().collect()
     }
 
     pub fn clear_log(&self) {
@@ -632,6 +671,19 @@ impl MacPolicy for ShillPolicy {
             .contention_drained
             .swap(cur, Ordering::Relaxed);
         cur.saturating_sub(prev)
+    }
+
+    /// Accept the kernel's tracing plane; contended stripe waits start
+    /// emitting `stripe` spans into it.
+    fn attach_trace(&self, plane: &Arc<TracePlane>) {
+        *self.trace.lock() = Some(Arc::clone(plane));
+        self.trace_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Drain audit-ring overflow drops; the kernel books them as
+    /// `log_dropped` at snapshot time.
+    fn take_log_dropped(&self) -> u64 {
+        self.log.lock().take_dropped()
     }
 
     fn vnode_check(&self, ctx: MacCtx, node: NodeId, op: &VnodeOp<'_>) -> SysResult<()> {
@@ -743,7 +795,13 @@ impl MacPolicy for ShillPolicy {
         }
     }
 
-    fn batch_complete(&self, ctx: MacCtx, outcomes: &[Option<Errno>], waves: &[Vec<usize>]) {
+    fn batch_complete(
+        &self,
+        ctx: MacCtx,
+        outcomes: &[Option<Errno>],
+        waves: &[Vec<usize>],
+        wave_ns: &[u64],
+    ) {
         // Span events are verbose-gated; skip everything (including the
         // session probe) when logging is off.
         if !self.log_enabled.load(Ordering::Relaxed) {
@@ -775,7 +833,18 @@ impl MacPolicy for ShillPolicy {
             }
             wave
         };
-        let waves: Vec<crate::log::BatchWaveAudit> = waves.iter().map(|w| split(w)).collect();
+        let waves: Vec<crate::log::BatchWaveAudit> = waves
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut audit = split(w);
+                // Timing arrives only from the scheduled path with the
+                // trace plane's wave site armed; 0 everywhere else. The
+                // differential oracle never compares it.
+                audit.wave_ns = wave_ns.get(i).copied().unwrap_or(0);
+                audit
+            })
+            .collect();
         let cancelled: usize = waves.iter().map(|w| w.cancelled).sum();
         let failed: usize = waves.iter().map(|w| w.failed).sum();
         self.log_verbose(LogEvent::BatchSpan {

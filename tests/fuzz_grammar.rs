@@ -1139,3 +1139,124 @@ fn corpus_replays_deterministically() {
         }
     }
 }
+
+// =======================================================================
+// Layer 3b: span discipline under the standing fault schedules (ISSUE 9).
+// =======================================================================
+
+/// With the tracing plane armed on top of the fuzzed workload stream,
+/// every `Begin` event still has a matching `End` — under every standing
+/// errno schedule and under injected policy panics that unwind mid-batch.
+/// The differential identities the plain oracle checks must also hold
+/// with tracing on: results match the untraced sequential twin, and
+/// `faults_injected == faults_survived` (tracing must not open an escape
+/// hatch for a contained panic, nor leak a scope while unwinding).
+#[test]
+fn fuzzed_workloads_keep_spans_balanced_with_tracing_on() {
+    use shill::kernel::{TraceKind, TracePlane, TraceSite};
+
+    let n = iters().min(200);
+    let mut all_schedules: Vec<Option<&str>> = SCHEDULES.to_vec();
+    // Injected policy panics: the hard case for RAII scope closure.
+    all_schedules.push(Some("mac_panic@5=panic;mac_panic@17=panic"));
+
+    for (si, schedule) in all_schedules.iter().enumerate() {
+        let mut rng = Rng::new(0x0B5E ^ (si as u64) << 8);
+        let probe_fds = {
+            let (_, _, _, fds) = standalone_fixture(true, None);
+            fds
+        };
+        let batches: Vec<SyscallBatch> =
+            (0..n).map(|_| gen_workload(&mut rng, &probe_fds)).collect();
+
+        // Untraced sequential oracle (contained, since mac_panic unwinds).
+        let (mut k_seq, _pol_seq, child_seq, _f) = standalone_fixture(true, *schedule);
+        let mut seq_results = Vec::with_capacity(batches.len());
+        for b in &batches {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                k_seq
+                    .run_sequential(child_seq, b)
+                    .map(|out| out.iter().map(fingerprint).collect::<Vec<_>>())
+            }));
+            match r {
+                Ok(out) => seq_results.push(Some(out.expect("sequential"))),
+                Err(_) => {
+                    if let Some(p) = k_seq.fault_plane() {
+                        p.book_survived();
+                    }
+                    seq_results.push(None);
+                }
+            }
+        }
+
+        // Traced scheduled twin.
+        let (mut k, _policy, child, _fds) = standalone_fixture(true, *schedule);
+        k.set_trace_plane(Some(std::sync::Arc::new(TracePlane::new(
+            TraceSite::ALL_MASK,
+            1 << 17,
+        ))));
+        for (i, b) in batches.iter().enumerate() {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                k.submit_scheduled(child, b).map(|c| {
+                    completions_to_slots(b.entries.len(), &c)
+                        .iter()
+                        .map(fingerprint)
+                        .collect::<Vec<_>>()
+                })
+            }));
+            match r {
+                Ok(out) => {
+                    let got = out.expect("scheduled");
+                    // A batch the sequential twin completed without a
+                    // panic must agree with the traced run. Nth-hit panic
+                    // schedules are NOT mode-invariant (see fault.rs), so
+                    // under mac_panic only balance and containment are
+                    // checked — a panic at a different entry leaves
+                    // legitimately divergent partial state.
+                    let mode_invariant = schedule.is_none_or(|s| !s.contains("mac_panic"));
+                    if let (true, Some(want)) = (mode_invariant, &seq_results[i]) {
+                        assert_eq!(
+                            want, &got,
+                            "workload {i} diverged with tracing on (schedule {schedule:?})"
+                        );
+                    }
+                }
+                Err(_) => {
+                    if let Some(p) = k.fault_plane() {
+                        p.book_survived();
+                    }
+                }
+            }
+        }
+
+        let tele = k.telemetry();
+        assert_eq!(
+            tele.stats.trace_dropped, 0,
+            "ring overflow voids the balance check (schedule {schedule:?})"
+        );
+        let mut begins: std::collections::HashMap<&str, i64> = std::collections::HashMap::new();
+        for e in &tele.events {
+            match e.kind {
+                TraceKind::Begin => *begins.entry(e.site.name()).or_default() += 1,
+                TraceKind::End => *begins.entry(e.site.name()).or_default() -= 1,
+                TraceKind::Instant => {}
+            }
+        }
+        for (site, open) in begins {
+            assert_eq!(
+                open, 0,
+                "site {site}: {open} unmatched span(s) (schedule {schedule:?})"
+            );
+        }
+        assert_eq!(
+            tele.stats.faults_injected, tele.stats.faults_survived,
+            "a fault escaped containment with tracing on (schedule {schedule:?})"
+        );
+        if schedule.is_some() {
+            assert!(
+                tele.stats.faults_injected > 0,
+                "schedule {schedule:?} never fired against the traced twin"
+            );
+        }
+    }
+}
