@@ -46,6 +46,13 @@
 //!     on-path pays two clock reads plus a ring push per span. Set
 //!     `SHILL_BENCH_OBS_JSON=<path>` to record the baseline (committed as
 //!     `BENCH_obs.json`); CI gates the on/off ratio at 1.10×.
+//! 12. **Server front-end load generation** — ≥1000 concurrent
+//!     authenticated TCP sessions against the multi-tenant server,
+//!     per-request latency sampled end-to-end through the framed
+//!     protocol (exact-sorted p50/p99). Knobs:
+//!     `SHILL_BENCH_SERVER_SESSIONS`, `SHILL_BENCH_SERVER_ROUNDS`,
+//!     `SHILL_BENCH_SERVER_DRIVERS`. Set `SHILL_BENCH_SERVER_JSON=<path>`
+//!     to record the baseline (committed as `BENCH_server.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -1745,6 +1752,169 @@ fn bench_obs() {
     }
 }
 
+/// Group 12 — server front-end load generation. Open `sessions`
+/// concurrent authenticated TCP connections (thread-per-connection on
+/// the server side, `drivers` client threads each owning a slice), then
+/// push `rounds` read frames down every connection, timing each request
+/// end-to-end: frame write, server dispatch through the batch pool,
+/// reply frame read. Latency quantiles are exact (sorted samples, one
+/// per request), never histogram-bucketed.
+fn bench_server() {
+    use shill::server::{
+        Client, Server, ServerConfig, ServerCore, StaticTokens, TenantQuota, TenantSpec,
+    };
+
+    let envnum = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let sessions = envnum("SHILL_BENCH_SERVER_SESSIONS", 1000);
+    let rounds = envnum("SHILL_BENCH_SERVER_ROUNDS", 3);
+    let drivers = envnum("SHILL_BENCH_SERVER_DRIVERS", 16).max(1);
+    const TENANTS: usize = 8;
+    println!("\n12. server front-end ({sessions} concurrent sessions, {rounds} rounds, {drivers} drivers):");
+
+    let core = ServerCore::new(
+        ServerConfig {
+            shards: 4,
+            pool_workers: 4,
+            max_sessions: sessions + drivers,
+            tenants: (0..TENANTS)
+                .map(|i| {
+                    TenantSpec::new(format!("t{i}")).with_quota(TenantQuota {
+                        max_sessions: sessions,
+                        max_inflight: sessions,
+                        ..Default::default()
+                    })
+                })
+                .collect(),
+            ..Default::default()
+        },
+        Box::new(StaticTokens::new(
+            (0..TENANTS).map(|i| (format!("t{i}"), format!("s{i}"))),
+        )),
+    );
+    let server = Server::start(core).expect("bind loopback");
+    let addr = server.tcp_addr();
+
+    // Phase 1: the session storm — every connection authenticated and
+    // its sandbox entered before any request is timed.
+    let t_open = Instant::now();
+    let mut conns: Vec<Vec<(Client, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for s in (d..sessions).step_by(drivers) {
+                        let tenant = format!("t{}", s % TENANTS);
+                        let mut c = Client::connect_tcp(addr).expect("connect");
+                        let reply = c
+                            .auth(&tenant, &format!("s{}", s % TENANTS))
+                            .expect("auth frame");
+                        assert!(reply.starts_with("ok "), "auth refused: {reply}");
+                        mine.push((c, format!("read /srv/{tenant}/seed.txt")));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let open_s = t_open.elapsed().as_secs_f64();
+    let opened: usize = conns.iter().map(|v| v.len()).sum();
+    assert_eq!(opened, sessions, "every session must open");
+    println!(
+        "   opened {opened} sessions in {open_s:.2}s ({:.0}/s)",
+        opened as f64 / open_s.max(1e-9)
+    );
+
+    // Phase 2: the request storm, one latency sample per request.
+    let t0 = Instant::now();
+    let samples: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = conns
+            .iter_mut()
+            .map(|mine| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(mine.len() * rounds);
+                    for _ in 0..rounds {
+                        for (c, req) in mine.iter_mut() {
+                            let t = Instant::now();
+                            let reply = c.req(req).expect("request frame");
+                            lat.push(t.elapsed().as_nanos() as u64);
+                            assert!(reply.starts_with("ok "), "refused: {reply}");
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = samples.into_iter().flatten().collect();
+    all.sort_unstable();
+    let total = all.len();
+    let q = |p: f64| all[(((total as f64) * p) as usize).min(total - 1)];
+    let (p50, p99) = (q(0.50), q(0.99));
+    let mean = all.iter().sum::<u64>() as f64 / total as f64;
+    let rps = total as f64 / wall.max(1e-9);
+    println!(
+        "   {total} requests in {wall:.2}s: {rps:.0} req/s  p50 {:.1}µs  p99 {:.1}µs  mean {:.1}µs",
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        mean / 1e3
+    );
+
+    // Orderly close so the gauge really returns to zero.
+    for (mut c, _) in conns.into_iter().flatten() {
+        let _ = c.req("bye");
+    }
+    let core = server.core();
+    server.shutdown();
+    let open_now: u64 = (0..TENANTS)
+        .map(|i| {
+            core.tenant_counters(&format!("t{i}"))
+                .unwrap()
+                .open_sessions
+        })
+        .sum();
+    assert_eq!(open_now, 0, "sessions must all close after the storm");
+
+    if let Ok(path) = std::env::var("SHILL_BENCH_SERVER_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"{s} concurrent authenticated TCP sessions across {t} tenants, {r} read frames each through the framed protocol onto a 4-shard kernel + 4-worker batch pool; latency is per-request end-to-end (client write to client read), quantiles exact-sorted\",\n",
+                "  \"sessions\": {s},\n",
+                "  \"drivers\": {d},\n",
+                "  \"requests\": {n},\n",
+                "  \"open_seconds\": {:.2},\n",
+                "  \"throughput_rps\": {:.0},\n",
+                "  \"p50_ns\": {},\n",
+                "  \"p99_ns\": {},\n",
+                "  \"mean_ns\": {:.0},\n",
+                "  \"note\": \"thread-per-connection server on loopback; on a single-core CI box the quantiles measure the multiplexing queue, not the kernel crossing\"\n",
+                "}}\n"
+            ),
+            open_s,
+            rps,
+            p50,
+            p99,
+            mean,
+            s = sessions,
+            t = TENANTS,
+            r = rounds,
+            d = drivers,
+            n = total,
+        );
+        std::fs::write(&path, json).expect("write server baseline");
+        println!("   baseline written to {path}");
+    }
+}
+
 fn main() {
     println!("Ablation benches — design-choice costs\n");
     // `SHILL_BENCH_ONLY=policy` (comma-separated names) runs a subset —
@@ -1786,6 +1956,9 @@ fn main() {
     }
     if want("obs") {
         bench_obs();
+    }
+    if want("server") {
+        bench_server();
     }
     let _ = Arc::new(());
 }

@@ -59,6 +59,7 @@ const COMMON: &[&str] = &[
     "strip_prefix",
     "to_string",
     "display",
+    "syserror",
     "telemetry",
     "wallet_get",
     "wallet_keys",
@@ -555,6 +556,27 @@ pub fn call_builtin(
             }
             interp.out.push(b'\n');
             Ok(Value::Void)
+        }
+
+        "syserror" => {
+            // Construct a catchable system error from its errno name —
+            // the value a denied syscall would have produced. Scripts
+            // talking to the server front-end use this to re-raise wire
+            // errors (`err EAGAIN ...`) as ordinary `is_syserror` values
+            // their retry logic already handles.
+            arity(&args, 1, name)?;
+            let Value::Str(s) = &args[0] else {
+                return Err(ShillError::Runtime(format!(
+                    "syserror wants an errno name string, got {}",
+                    args[0].type_name()
+                )));
+            };
+            match Errno::from_name(s) {
+                Some(e) => Ok(Value::SysErr(e)),
+                None => Err(ShillError::Runtime(format!(
+                    "syserror: unknown errno name {s:?}"
+                ))),
+            }
         }
 
         // --- observability ----------------------------------------------------------

@@ -565,6 +565,22 @@ fn syserror_values_are_observable_not_fatal() {
 }
 
 #[test]
+fn syserror_builtin_constructs_catchable_errors() {
+    let mut rt = runtime();
+    // The constructed value is a first-class syserror, equal to the one a
+    // real denial produces — the retry class a server client re-raises.
+    let v = rt.run_ok("#lang shill/ambient\ne = syserror(\"EAGAIN\");\nis_syserror(e)");
+    assert!(matches!(v, Value::Bool(true)));
+    let v = rt.run_ok("#lang shill/ambient\nsyserror(\"EAGAIN\")");
+    assert!(matches!(v, Value::SysErr(shill_vfs::Errno::EAGAIN)));
+    // Unknown names are a programming error, not a silent default.
+    let err = rt
+        .run("main", "#lang shill/ambient\nsyserror(\"EWHATEVER\")")
+        .unwrap_err();
+    assert!(matches!(err, ShillError::Runtime(m) if m.contains("unknown errno name")));
+}
+
+#[test]
 fn user_defined_contract_abbreviations() {
     let mut rt = runtime();
     rt.add_script(

@@ -37,7 +37,7 @@
 //! `rate=N` means each enabled site fires on ~1/N of its keys (`rate=0`
 //! or no `sites=` clause disables hash firing). Site names: `charge`,
 //! `alloc_pid`, `namei`, `fs.read`, `fs.write`, `batch`, `mac_panic`,
-//! `pipe.read`, `pipe.write`, `sock.send`, `sock.recv`.
+//! `pipe.read`, `pipe.write`, `sock.send`, `sock.recv`, `fence`.
 //! Explicit actions: an errno name (`EIO`), `short:K` (data sites only:
 //! truncate the op to `K` bytes), or `panic`.
 //!
@@ -62,7 +62,7 @@ use shill_vfs::{Errno, FaultHook, IoFault};
 use crate::trace::{TracePlane, TraceSite};
 
 /// Number of [`FaultSite`] variants (sizes the per-site hit counters).
-const N_SITES: usize = 11;
+const N_SITES: usize = 12;
 
 /// Injection points the plane knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +106,15 @@ pub enum FaultSite {
     /// Socket receives, keyed by (shard-relative socket id, requested
     /// length). May fail or deliver short.
     SockRecv = 10,
+    /// Injected panic inside a multi-shard rendezvous
+    /// ([`crate::shard::KernelShards::fenced_ordered`]), fired *after*
+    /// every fence lock is acquired — modeling a shard that dies
+    /// mid-rendezvous with the cross-shard locks held. Keyed by the
+    /// (home, fence-set) fingerprint, which is a property of the job's
+    /// fence declaration, never of execution order. Panic-only, like
+    /// `mac_panic`: survival is booked by the containment boundary that
+    /// catches the unwind (the `BatchPool` worker).
+    Fence = 11,
 }
 
 impl FaultSite {
@@ -123,6 +132,7 @@ impl FaultSite {
             FaultSite::PipeWrite => "pipe.write",
             FaultSite::SockSend => "sock.send",
             FaultSite::SockRecv => "sock.recv",
+            FaultSite::Fence => "fence",
         }
     }
 
@@ -139,6 +149,7 @@ impl FaultSite {
             "pipe.write" => FaultSite::PipeWrite,
             "sock.send" => FaultSite::SockSend,
             "sock.recv" => FaultSite::SockRecv,
+            "fence" => FaultSite::Fence,
             _ => return None,
         })
     }
@@ -151,7 +162,7 @@ impl FaultSite {
             FaultSite::FsRead => &[Errno::EIO],
             FaultSite::FsWrite => &[Errno::EIO, Errno::ENOSPC],
             FaultSite::Batch => &[Errno::EIO, Errno::EAGAIN],
-            FaultSite::MacPanic => &[],
+            FaultSite::MacPanic | FaultSite::Fence => &[],
             FaultSite::PipeRead => &[Errno::EIO],
             FaultSite::PipeWrite => &[Errno::EPIPE, Errno::EIO],
             FaultSite::SockSend => &[Errno::ECONNRESET, Errno::EPIPE],
@@ -437,14 +448,21 @@ impl FaultPlane {
     /// [`FaultPlane::book_survived`], keeping `injected == survived` the
     /// no-escape invariant.
     pub fn maybe_panic(&self, key: u64) {
-        let site = FaultSite::MacPanic;
+        self.maybe_panic_at(FaultSite::MacPanic, key);
+    }
+
+    /// Consult a panic-only site (`mac_panic`, `fence`); panics if it
+    /// fires. Booked as injected only, exactly like
+    /// [`FaultPlane::maybe_panic`]: the containment boundary that catches
+    /// the unwind books survival.
+    pub fn maybe_panic_at(&self, site: FaultSite, key: u64) {
         let hit = self.record_hit(site);
         let fires = matches!(self.explicit_for(site, hit), Some(ExplicitAction::Panic))
             || self.hash_fires(site, key).is_some();
         if fires {
             self.pending_injected.fetch_add(1, Ordering::Relaxed);
             self.trace_fire(site);
-            panic!("injected fault: policy-hook panic (site mac_panic)");
+            panic!("injected fault: panic at site {}", site.name());
         }
     }
 

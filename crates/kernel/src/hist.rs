@@ -189,25 +189,29 @@ pub struct SiteHists {
     pub wave: LatencyHist,
     /// MAC checks that miss the AVC and reach a policy.
     pub mac: LatencyHist,
+    /// Server front-end frame dispatch latency (`shill-server`).
+    pub dispatch: LatencyHist,
 }
 
 impl SiteHists {
-    /// Snapshot all four site histograms.
+    /// Snapshot every site histogram.
     pub fn snapshot(&self) -> SiteHistsSnapshot {
         SiteHistsSnapshot {
             syscall: self.syscall.snapshot(),
             batch: self.batch.snapshot(),
             wave: self.wave.snapshot(),
             mac: self.mac.snapshot(),
+            dispatch: self.dispatch.snapshot(),
         }
     }
 
-    /// Zero all four site histograms.
+    /// Zero every site histogram.
     pub fn reset(&self) {
         self.syscall.reset();
         self.batch.reset();
         self.wave.reset();
         self.mac.reset();
+        self.dispatch.reset();
     }
 }
 
@@ -222,6 +226,8 @@ pub struct SiteHistsSnapshot {
     pub wave: HistSnapshot,
     /// MAC checks that reach a policy.
     pub mac: HistSnapshot,
+    /// Server front-end frame dispatch latency.
+    pub dispatch: HistSnapshot,
 }
 
 impl SiteHistsSnapshot {
@@ -232,16 +238,18 @@ impl SiteHistsSnapshot {
             batch: HistSnapshot::merged(&snaps.iter().map(|s| s.batch).collect::<Vec<_>>()),
             wave: HistSnapshot::merged(&snaps.iter().map(|s| s.wave).collect::<Vec<_>>()),
             mac: HistSnapshot::merged(&snaps.iter().map(|s| s.mac).collect::<Vec<_>>()),
+            dispatch: HistSnapshot::merged(&snaps.iter().map(|s| s.dispatch).collect::<Vec<_>>()),
         }
     }
 
     /// Iterate `(site name, snapshot)` pairs in a stable order.
-    pub fn sites(&self) -> [(&'static str, &HistSnapshot); 4] {
+    pub fn sites(&self) -> [(&'static str, &HistSnapshot); 5] {
         [
             ("syscall", &self.syscall),
             ("batch", &self.batch),
             ("wave", &self.wave),
             ("mac", &self.mac),
+            ("dispatch", &self.dispatch),
         ]
     }
 }

@@ -104,6 +104,19 @@ pub fn shard_count_from_env(default: usize) -> usize {
         .clamp(1, MAX_SHARDS)
 }
 
+/// FNV-1a over (home, fence set): the mode-invariant key for `fence`
+/// faults. Two jobs with the same home shard and fence declaration share
+/// a verdict; the verdict never depends on which worker ran the wave or
+/// in what order rendezvous were paid.
+fn fence_fingerprint(home: usize, ordered: &[usize]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ ((home as u64 + 1).rotate_left(17));
+    for &i in ordered {
+        h ^= i as u64 + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 struct Inner {
     shards: Vec<Mutex<Kernel>>,
     /// Cross-shard fences paid so far ([`KernelShards::rendezvous`] and
@@ -297,6 +310,22 @@ impl KernelShards {
         let mut guards: Vec<MutexGuard<'_, Kernel>> = Vec::with_capacity(ordered.len());
         for &i in ordered {
             guards.push(self.inner.shards[i].lock());
+        }
+        if ordered.len() > 1 {
+            // Mid-rendezvous fault injection: every fence lock is held at
+            // this point, so a firing models a shard dying with the
+            // cross-shard locks acquired. The key is the (home, fence-set)
+            // fingerprint — a property of the job's fence declaration, not
+            // of wave order or worker identity — so one schedule kills the
+            // same rendezvous in every execution mode. Unwinding drops the
+            // guards (the sync shim never poisons): no lock is left held,
+            // which the no-escape regression pins down.
+            if let Some(plane) = guards[home_at].fault_plane() {
+                plane.maybe_panic_at(
+                    crate::fault::FaultSite::Fence,
+                    fence_fingerprint(home, ordered),
+                );
+            }
         }
         f(&mut guards[home_at])
     }
@@ -591,6 +620,44 @@ mod tests {
         let kernels = shards.try_into_kernels().expect("sole owner");
         assert_eq!(kernels.len(), 2);
         assert_eq!(kernels[1].shard_index(), 1);
+    }
+
+    #[test]
+    fn fence_fault_fires_mid_rendezvous_and_leaves_no_lock_held() {
+        let shards = KernelShards::new(2);
+        shards.set_fault_plane(Some("fence@1=panic"));
+        // The fence site consults the HOME shard's plane with all fence
+        // locks held; the explicit first-hit entry fires on the first
+        // multi-shard acquisition.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shards.fenced(0, &[1], |_| {})
+        }));
+        assert!(r.is_err(), "armed fence site must panic mid-rendezvous");
+        // No lock left held: every shard lock is immediately reacquirable,
+        // including a full rendezvous over all of them.
+        shards.with_shard(0, |_| {});
+        shards.with_shard(1, |_| {});
+        shards.rendezvous(|ks| assert_eq!(ks.len(), 2));
+        // Containment bookkeeping is the catcher's job; book it here the
+        // way a pool worker would, then check the accounting balances.
+        shards.with_shard(0, |k| k.fault_plane().unwrap().book_survived());
+        let stats = shards.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.faults_survived, 1);
+        // A degenerate (single-shard) fence never consults the site.
+        shards.set_fault_plane(Some("fence@1=panic"));
+        shards.fenced(1, &[1], |_| {});
+        // And a disarmed plane never fires.
+        shards.set_fault_plane(None);
+        shards.fenced(0, &[1], |_| {});
+    }
+
+    #[test]
+    fn fence_fingerprint_is_mode_invariant_and_set_dependent() {
+        let a = fence_fingerprint(0, &[0, 1]);
+        assert_eq!(a, fence_fingerprint(0, &[0, 1]), "pure function of inputs");
+        assert_ne!(a, fence_fingerprint(1, &[0, 1]), "home matters");
+        assert_ne!(a, fence_fingerprint(0, &[0, 1, 2]), "fence set matters");
     }
 
     #[test]

@@ -56,11 +56,20 @@ pub enum TraceSite {
     Steal = 5,
     /// A fault-plane injection firing.
     Fault = 6,
+    /// A server front-end connection accept (`shill-server`).
+    Accept = 7,
+    /// A server front-end authentication attempt (factor check +
+    /// session entry).
+    Auth = 8,
+    /// A server front-end frame dispatched onto the batch pool; the
+    /// span covers queueing *and* execution, and its `End` feeds the
+    /// `dispatch` latency histogram.
+    Dispatch = 9,
 }
 
 impl TraceSite {
     /// Every site, in mask-bit order.
-    pub const ALL: [TraceSite; 7] = [
+    pub const ALL: [TraceSite; 10] = [
         TraceSite::Syscall,
         TraceSite::Batch,
         TraceSite::Wave,
@@ -68,10 +77,13 @@ impl TraceSite {
         TraceSite::Stripe,
         TraceSite::Steal,
         TraceSite::Fault,
+        TraceSite::Accept,
+        TraceSite::Auth,
+        TraceSite::Dispatch,
     ];
 
     /// Mask with every site enabled.
-    pub const ALL_MASK: u32 = (1 << 7) - 1;
+    pub const ALL_MASK: u32 = (1 << 10) - 1;
 
     /// The site's bit in the site mask.
     #[inline]
@@ -89,6 +101,9 @@ impl TraceSite {
             TraceSite::Stripe => "stripe",
             TraceSite::Steal => "steal",
             TraceSite::Fault => "fault",
+            TraceSite::Accept => "accept",
+            TraceSite::Auth => "auth",
+            TraceSite::Dispatch => "dispatch",
         }
     }
 
@@ -325,6 +340,7 @@ impl TracePlane {
             TraceSite::Batch => self.hists.batch.record(dur_ns),
             TraceSite::Wave => self.hists.wave.record(dur_ns),
             TraceSite::Mac => self.hists.mac.record(dur_ns),
+            TraceSite::Dispatch => self.hists.dispatch.record(dur_ns),
             _ => {}
         }
     }

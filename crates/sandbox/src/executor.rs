@@ -1269,6 +1269,57 @@ mod tests {
     }
 
     #[test]
+    fn fence_fault_mid_rendezvous_is_contained_and_leaves_no_lock_held() {
+        // The no-escape regression for the `fence` site: a shard "dies"
+        // mid-rendezvous (injected panic with every fence lock held), the
+        // worker's containment boundary books survival, the failed job
+        // reports a clean submission error, and no shard lock stays held —
+        // later shard-local *and* fenced jobs run normally.
+        let policy = ShillPolicy::new();
+        let shards = KernelShards::new_with(2, populate_shard);
+        shards.register_policy(policy.clone());
+        let sandboxes = sharded_fixture(&shards, &policy);
+        let pool = BatchPool::new(2);
+        shards.set_fault_plane(Some("fence@1=panic"));
+
+        let job = |pid| BatchJob {
+            pid,
+            batch: SyscallBatch::single(shill_kernel::BatchEntry::ReadFile {
+                dirfd: None,
+                path: "/work/data.txt".into(),
+            }),
+        };
+        let out = pool.run_sharded(
+            &shards,
+            vec![ShardedBatchJob::fenced(job(sandboxes[0].1), vec![1])],
+        );
+        assert_eq!(out[0], Err(Errno::EINVAL), "the killed job costs its slot");
+
+        // No lock escaped the unwind: shard-local traffic, a full
+        // rendezvous, and a fresh fenced job (the explicit entry fired on
+        // hit 1; hit 2 passes) all complete.
+        let local = pool.run_sharded(&shards, vec![ShardedBatchJob::local(job(sandboxes[0].1))]);
+        assert!(local[0].is_ok());
+        let fenced_again = pool.run_sharded(
+            &shards,
+            vec![ShardedBatchJob::fenced(job(sandboxes[0].1), vec![1])],
+        );
+        assert!(
+            fenced_again[0].is_ok(),
+            "the fence site fires once, not forever"
+        );
+
+        // Fault accounting balances: one injected panic, one contained.
+        let stats = shards.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(
+            stats.faults_survived, stats.faults_injected,
+            "no injected rendezvous fault may escape"
+        );
+        shards.set_fault_plane(None);
+    }
+
+    #[test]
     fn sharded_sessions_run_pinned_and_confined() {
         let policy = ShillPolicy::new();
         let shards = KernelShards::new_with(2, |k, s| {

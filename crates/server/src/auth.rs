@@ -1,0 +1,114 @@
+//! Pluggable authentication factors — the shape of `sibsecsh`'s auth
+//! gate, mapped onto SHILL session entry.
+//!
+//! A factor answers one question: does `(tenant, secret)` pass? The
+//! server consults its configured factor once per `auth` frame, under an
+//! `auth` trace span; only a passing connection reaches the
+//! fork/grant/`shill_enter` choreography that actually confers
+//! authority. Factors compose with [`ChainAll`] (every factor must
+//! pass), so a deployment can stack a static token check with, say, a
+//! rate-limiting or out-of-band factor without touching the server.
+
+use std::collections::HashMap;
+
+/// One authentication factor. Implementations must be cheap and
+/// side-effect-free enough to call once per `auth` frame under no lock.
+pub trait AuthFactor: Send + Sync {
+    /// Factor name, for telemetry and error detail.
+    fn name(&self) -> &str;
+    /// Does this (tenant, secret) pair pass the factor?
+    fn verify(&self, tenant: &str, secret: &str) -> bool;
+}
+
+/// Accepts every tenant the server knows about (tests, benches, and the
+/// loopback load generator; admission and quota still apply).
+pub struct AllowAll;
+
+impl AuthFactor for AllowAll {
+    fn name(&self) -> &str {
+        "allow-all"
+    }
+    fn verify(&self, _tenant: &str, _secret: &str) -> bool {
+        true
+    }
+}
+
+/// Static per-tenant tokens: the minimal real factor. Unknown tenants
+/// fail closed.
+pub struct StaticTokens {
+    tokens: HashMap<String, String>,
+}
+
+impl StaticTokens {
+    /// Build from `(tenant, token)` pairs.
+    pub fn new<I, S>(pairs: I) -> StaticTokens
+    where
+        I: IntoIterator<Item = (S, S)>,
+        S: Into<String>,
+    {
+        StaticTokens {
+            tokens: pairs
+                .into_iter()
+                .map(|(t, s)| (t.into(), s.into()))
+                .collect(),
+        }
+    }
+}
+
+impl AuthFactor for StaticTokens {
+    fn name(&self) -> &str {
+        "static-tokens"
+    }
+    fn verify(&self, tenant: &str, secret: &str) -> bool {
+        self.tokens.get(tenant).is_some_and(|t| t == secret)
+    }
+}
+
+/// Conjunction of factors: every factor must pass. An empty chain
+/// fails closed (a misconfigured gate must not become allow-all).
+pub struct ChainAll {
+    factors: Vec<Box<dyn AuthFactor>>,
+}
+
+impl ChainAll {
+    /// Build from a list of factors.
+    pub fn new(factors: Vec<Box<dyn AuthFactor>>) -> ChainAll {
+        ChainAll { factors }
+    }
+}
+
+impl AuthFactor for ChainAll {
+    fn name(&self) -> &str {
+        "chain-all"
+    }
+    fn verify(&self, tenant: &str, secret: &str) -> bool {
+        !self.factors.is_empty() && self.factors.iter().all(|f| f.verify(tenant, secret))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tokens_fail_closed() {
+        let f = StaticTokens::new([("alice", "sesame"), ("bob", "hunter2")]);
+        assert!(f.verify("alice", "sesame"));
+        assert!(!f.verify("alice", "hunter2"));
+        assert!(!f.verify("mallory", "sesame"));
+    }
+
+    #[test]
+    fn chain_requires_every_factor_and_fails_closed_when_empty() {
+        let chain = ChainAll::new(vec![
+            Box::new(AllowAll),
+            Box::new(StaticTokens::new([("alice", "sesame")])),
+        ]);
+        assert!(chain.verify("alice", "sesame"));
+        assert!(
+            !chain.verify("bob", "x"),
+            "one failing factor fails the chain"
+        );
+        assert!(!ChainAll::new(vec![]).verify("alice", "sesame"));
+    }
+}

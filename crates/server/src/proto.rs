@@ -1,0 +1,252 @@
+//! Wire protocol: length-prefixed frames carrying UTF-8 text payloads.
+//!
+//! A frame is a 4-byte big-endian length followed by that many payload
+//! bytes. Payloads are single text lines (the "line" half of the
+//! line/length-prefixed design: the length prefix delimits, the text
+//! keeps every exchange inspectable with a hex dump). Requests:
+//!
+//! ```text
+//! auth <tenant> <secret>        → ok <session>
+//! ping                          → ok pong
+//! read <path>                   → ok <data>
+//! write <path> <data>           → ok <bytes-written>
+//! stat <path>                   → ok size=<n>
+//! copy <src> <dst>              → ok <bytes-written>   (fused read→write)
+//! sync                          → ok synced            (fenced: all shards)
+//! telemetry                     → ok <prometheus text>
+//! bye                           → ok bye
+//! ```
+//!
+//! Every failure is a typed error frame `err <ERRNO> <detail>`, where
+//! `<ERRNO>` is a kernel errno name: `EACCES` for an auth or capability
+//! denial, `EAGAIN` for admission/backpressure/quota exhaustion (the
+//! catchable, retry-later class), `ECANCELED` for frames refused by a
+//! draining server, `EINVAL` for malformed requests, `EFBIG` for an
+//! oversized frame.
+
+use std::io::{Read, Write};
+
+/// Default cap on a frame payload (bytes). A declared length above the
+/// cap is refused *before* any payload is read, so a hostile client
+/// cannot make the server buffer gigabytes.
+pub const MAX_FRAME_DEFAULT: usize = 64 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary (the peer hung up).
+    Closed,
+    /// EOF or I/O error mid-frame (truncated length prefix or payload).
+    Truncated,
+    /// Declared payload length exceeds the cap (nothing was consumed
+    /// past the prefix; the connection is out of sync and must close).
+    Oversized(usize),
+}
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, refusing payloads larger than `max`.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(_) => return Err(FrameError::Truncated),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(_) => return Err(FrameError::Truncated),
+        }
+    }
+    Ok(payload)
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `auth <tenant> <secret>` — pass the factor gate and enter a
+    /// session.
+    Auth { tenant: String, secret: String },
+    /// `ping` — liveness probe, no session required.
+    Ping,
+    /// `read <path>` — fused open→read→close in the session's sandbox.
+    Read { path: String },
+    /// `write <path> <data>` — fused open(create)→write→close.
+    Write { path: String, data: Vec<u8> },
+    /// `stat <path>`.
+    Stat { path: String },
+    /// `copy <src> <dst>` — a two-entry dependency batch (the write
+    /// consumes the read's output slot).
+    Copy { src: String, dst: String },
+    /// `sync` — a cross-shard fenced no-op: the session's wave is
+    /// totally ordered against every shard's waves (and is therefore
+    /// the server op the `fence` fault site can kill mid-rendezvous).
+    Sync,
+    /// `telemetry` — render the server's merged telemetry text.
+    Telemetry,
+    /// `bye` — close the connection after acknowledging.
+    Bye,
+}
+
+impl Request {
+    /// Parse a frame payload. `None` means the payload is not valid
+    /// UTF-8 or not a known verb — the caller answers `err EINVAL`.
+    pub fn parse(payload: &[u8]) -> Option<Request> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let text = text.strip_suffix('\n').unwrap_or(text);
+        let (verb, rest) = match text.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (text, ""),
+        };
+        Some(match verb {
+            "auth" => {
+                let (tenant, secret) = rest.split_once(' ')?;
+                if tenant.is_empty() || secret.is_empty() {
+                    return None;
+                }
+                Request::Auth {
+                    tenant: tenant.to_string(),
+                    secret: secret.to_string(),
+                }
+            }
+            "ping" if rest.is_empty() => Request::Ping,
+            "read" if !rest.is_empty() => Request::Read {
+                path: rest.to_string(),
+            },
+            "write" => {
+                let (path, data) = rest.split_once(' ')?;
+                if path.is_empty() {
+                    return None;
+                }
+                Request::Write {
+                    path: path.to_string(),
+                    data: data.as_bytes().to_vec(),
+                }
+            }
+            "stat" if !rest.is_empty() => Request::Stat {
+                path: rest.to_string(),
+            },
+            "copy" => {
+                let (src, dst) = rest.split_once(' ')?;
+                if src.is_empty() || dst.is_empty() {
+                    return None;
+                }
+                Request::Copy {
+                    src: src.to_string(),
+                    dst: dst.to_string(),
+                }
+            }
+            "sync" if rest.is_empty() => Request::Sync,
+            "telemetry" if rest.is_empty() => Request::Telemetry,
+            "bye" if rest.is_empty() => Request::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// Render a success frame payload.
+pub fn ok_payload(data: &[u8]) -> Vec<u8> {
+    let mut out = b"ok ".to_vec();
+    out.extend_from_slice(data);
+    out
+}
+
+/// Render a typed error frame payload.
+pub fn err_payload(errno: &str, detail: &str) -> Vec<u8> {
+    format!("err {errno} {detail}").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"ping").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"ping");
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 64), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed() {
+        // Truncated length prefix.
+        let mut r: &[u8] = &[0, 0];
+        assert_eq!(read_frame(&mut r, 64), Err(FrameError::Truncated));
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64), Err(FrameError::Truncated));
+        // Oversized: refused from the prefix alone.
+        let mut r: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(
+            read_frame(&mut r, 64),
+            Err(FrameError::Oversized(0xFFFF_FFFF))
+        );
+    }
+
+    #[test]
+    fn request_grammar_parses_and_rejects() {
+        assert_eq!(
+            Request::parse(b"auth alice sesame"),
+            Some(Request::Auth {
+                tenant: "alice".into(),
+                secret: "sesame".into()
+            })
+        );
+        assert_eq!(Request::parse(b"ping"), Some(Request::Ping));
+        assert_eq!(
+            Request::parse(b"write /srv/a/f hello world"),
+            Some(Request::Write {
+                path: "/srv/a/f".into(),
+                data: b"hello world".to_vec()
+            })
+        );
+        assert_eq!(
+            Request::parse(b"copy /srv/a/f /srv/a/g"),
+            Some(Request::Copy {
+                src: "/srv/a/f".into(),
+                dst: "/srv/a/g".into()
+            })
+        );
+        assert_eq!(Request::parse(b"sync"), Some(Request::Sync));
+        assert_eq!(Request::parse(b"bye"), Some(Request::Bye));
+        for bad in [
+            &b"auth alice"[..],
+            b"warp 9",
+            b"read",
+            b"ping extra",
+            b"\xFF\xFE",
+            b"",
+        ] {
+            assert_eq!(Request::parse(bad), None, "{bad:?} must be malformed");
+        }
+    }
+}

@@ -138,6 +138,56 @@ impl Errno {
         }
     }
 
+    /// Every errno, in declaration order (drives [`Errno::from_name`] and
+    /// exhaustiveness-style tests).
+    pub const ALL: [Errno; 38] = [
+        Errno::EPERM,
+        Errno::ENOENT,
+        Errno::ESRCH,
+        Errno::EINTR,
+        Errno::EIO,
+        Errno::EBADF,
+        Errno::ECHILD,
+        Errno::EAGAIN,
+        Errno::ENOMEM,
+        Errno::EACCES,
+        Errno::EFAULT,
+        Errno::EBUSY,
+        Errno::EEXIST,
+        Errno::EXDEV,
+        Errno::ENODEV,
+        Errno::ENOTDIR,
+        Errno::EISDIR,
+        Errno::EINVAL,
+        Errno::ENFILE,
+        Errno::EMFILE,
+        Errno::EFBIG,
+        Errno::ENOSPC,
+        Errno::EROFS,
+        Errno::EMLINK,
+        Errno::EPIPE,
+        Errno::EADDRINUSE,
+        Errno::EADDRNOTAVAIL,
+        Errno::ENOTCONN,
+        Errno::ECONNREFUSED,
+        Errno::ELOOP,
+        Errno::ENAMETOOLONG,
+        Errno::ENOTEMPTY,
+        Errno::ENOSYS,
+        Errno::ENOEXEC,
+        Errno::ENOTSOCK,
+        Errno::ETIMEDOUT,
+        Errno::ECONNRESET,
+        Errno::ECANCELED,
+    ];
+
+    /// The inverse of [`Errno::name`]: `"EACCES"` → `Errno::EACCES`.
+    /// `None` for an unknown name (callers decide whether that is an
+    /// error or a default).
+    pub fn from_name(name: &str) -> Option<Errno> {
+        Errno::ALL.into_iter().find(|e| e.name() == name)
+    }
+
     /// Human-readable description, mirroring `strerror(3)`.
     pub fn message(self) -> &'static str {
         match self {
@@ -223,5 +273,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn from_name_round_trips_every_errno() {
+        for e in Errno::ALL {
+            assert_eq!(Errno::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Errno::from_name("EWHATEVER"), None);
+        assert_eq!(Errno::from_name(""), None);
     }
 }

@@ -14,7 +14,9 @@
 //! * [`sandbox`] — the SHILL MAC policy module (sessions, privilege maps);
 //! * [`cap`]/[`contracts`] — capabilities, privileges, guards, seals;
 //! * [`core`] — the SHILL language and runtime;
-//! * [`binaries`] — simulated executables and workload generators.
+//! * [`binaries`] — simulated executables and workload generators;
+//! * [`server`] — the multi-tenant server front-end: framed protocol,
+//!   pluggable auth gate, per-tenant quotas, session multiplexing.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use shill_contracts as contracts;
 pub use shill_core as core;
 pub use shill_kernel as kernel;
 pub use shill_sandbox as sandbox;
+pub use shill_server as server;
 pub use shill_vfs as vfs;
 
 /// Common imports for examples and tests.

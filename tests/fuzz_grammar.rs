@@ -1260,3 +1260,197 @@ fn fuzzed_workloads_keep_spans_balanced_with_tracing_on() {
         }
     }
 }
+
+// =======================================================================
+// Layer 4: multi-session server workloads under standing fault schedules
+// (ISSUE 10).
+// =======================================================================
+
+/// The server-path extension of the differential oracle: generated
+/// multi-tenant request streams run through `ServerCore::dispatch` — the
+/// same admission/backpressure/quota/pool path the socket front-end uses
+/// — under standing fault schedules, including the `fence` rendezvous
+/// site (exercised by generated `sync` frames, whose waves fence every
+/// shard). Meanwhile a revoker thread churns whole sessions
+/// (`shill_enter` via `open_session`, reclamation via `close_session`),
+/// so privilege labels and cache epochs turn over constantly.
+///
+/// Oracles, all order-free so thread interleaving cannot weaken them:
+///
+/// * **No stale allow**: a prober session holds no capability on the
+///   victim tenant's subtree, so every cross-tenant probe must answer an
+///   error — never data — no matter how many reclaimed sessions held
+///   that grant moments earlier.
+/// * **Fault accounting balances**: `faults_injected == faults_survived`
+///   across every shard when the storm ends — a mid-rendezvous fence
+///   panic with all shard locks held is contained by the pool worker,
+///   books its survival, and leaves no lock behind (proved by the very
+///   next dispatch succeeding).
+/// * **Dead-oracle guard**: each armed schedule must actually fire.
+#[test]
+fn fuzzed_server_sessions_survive_fault_storms_without_stale_allows() {
+    use shill::kernel::FaultSite;
+    use shill::server::{Request, ServerConfig, ServerCore, StaticTokens, TenantSpec};
+
+    const SCHEDULES4: &[Option<&str>] = &[
+        None,
+        Some("seed=7;rate=6;sites=namei+fs.read+fs.write"),
+        Some("seed=13;rate=4;sites=batch+fence"),
+        Some("fence@1=panic;fence@5=panic"),
+    ];
+    let ops = iters().min(150);
+
+    for (si, schedule) in SCHEDULES4.iter().enumerate() {
+        let core = Arc::new(ServerCore::new(
+            ServerConfig {
+                shards: 3,
+                pool_workers: 3,
+                tenants: vec![
+                    TenantSpec::new("victim"),
+                    TenantSpec::new("p0"),
+                    TenantSpec::new("p1"),
+                ],
+                fault_spec: schedule.map(str::to_string),
+                ..Default::default()
+            },
+            Box::new(StaticTokens::new([
+                ("victim", "vs"),
+                ("p0", "s0"),
+                ("p1", "s1"),
+            ])),
+        ));
+
+        // Open a session with retries: an injected errno may fail the
+        // sandbox choreography itself, which is a refusal, not a crash.
+        let open = |core: &ServerCore, tenant: &str, secret: &str| {
+            for _ in 0..64 {
+                if let Ok(h) = core.open_session(tenant, secret) {
+                    return h;
+                }
+            }
+            panic!("session for {tenant} never opened (schedule {schedule:?})");
+        };
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        // The revoker: churn enter/reclaim on the victim tenant so its
+        // grants are created and scrubbed all storm long.
+        let revoker = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut churned = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if let Ok(h) = core.open_session("victim", "vs") {
+                        // The reclaimed-in-a-moment session really holds
+                        // (and may exercise) the victim grant.
+                        let _ = core.dispatch(
+                            &h,
+                            &Request::Read {
+                                path: "/srv/victim/seed.txt".into(),
+                            },
+                        );
+                        core.close_session(h);
+                        churned += 1;
+                    }
+                }
+                churned
+            })
+        };
+
+        // Probers: generated request streams on their own subtree plus
+        // cross-tenant probes of the victim's seed file.
+        let mut stale_allows = 0usize;
+        let mut contained_syncs = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let core = Arc::clone(&core);
+                    let tenant = if t % 2 == 0 { "p0" } else { "p1" };
+                    let secret = if t % 2 == 0 { "s0" } else { "s1" };
+                    scope.spawn(move || {
+                        let mut rng = Rng::new(0x5E4 ^ ((si as u64) << 16) ^ (t as u64));
+                        let h = open(&core, tenant, secret);
+                        let own = format!("/srv/{tenant}/seed.txt");
+                        let mut stale = 0usize;
+                        let mut contained = 0usize;
+                        for i in 0..ops {
+                            let req = match rng.next() % 6 {
+                                0 => Request::Read { path: own.clone() },
+                                1 => Request::Write {
+                                    path: format!("/srv/{tenant}/w{t}-{i}.txt"),
+                                    data: b"x".repeat(1 + (rng.next() % 32) as usize),
+                                },
+                                2 => Request::Stat { path: own.clone() },
+                                3 => Request::Copy {
+                                    src: own.clone(),
+                                    dst: format!("/srv/{tenant}/c{t}.txt"),
+                                },
+                                // Fence coverage: a cross-shard sync wave.
+                                4 => Request::Sync,
+                                // The stale-allow probe.
+                                _ => Request::Read {
+                                    path: "/srv/victim/seed.txt".into(),
+                                },
+                            };
+                            let is_probe =
+                                matches!(&req, Request::Read { path } if path.starts_with("/srv/victim"));
+                            let is_sync = matches!(req, Request::Sync);
+                            match core.dispatch(&h, &req) {
+                                Ok(_) if is_probe => stale += 1,
+                                Err(_) if is_sync => contained += 1,
+                                _ => {}
+                            }
+                        }
+                        core.close_session(h);
+                        (stale, contained)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (stale, contained) = h.join().unwrap();
+                stale_allows += stale;
+                contained_syncs += contained;
+            }
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let churned = revoker.join().unwrap();
+
+        assert_eq!(
+            stale_allows, 0,
+            "a cross-tenant probe was served (schedule {schedule:?}, {churned} sessions churned)"
+        );
+        let stats = core.stats();
+        assert_eq!(
+            stats.faults_injected, stats.faults_survived,
+            "fault accounting must balance (schedule {schedule:?})"
+        );
+        if schedule.is_some() {
+            assert!(
+                stats.faults_injected > 0,
+                "schedule {schedule:?} never fired through the server path"
+            );
+            assert!(churned > 0, "the revoker never churned a session");
+        }
+        // The fence schedules must actually kill syncs mid-rendezvous —
+        // and the server must keep answering afterwards (no lock left
+        // held: the very assertion above required later frames to run).
+        if schedule.is_some_and(|s| s.contains("fence")) {
+            let fence_hits: u64 = (0..core.shards().count())
+                .map(|s| {
+                    core.shards().with_shard(s, |k| {
+                        k.fault_plane().map_or(0, |p| p.hits(FaultSite::Fence))
+                    })
+                })
+                .sum();
+            assert!(
+                fence_hits > 0,
+                "no sync wave ever consulted the fence site (schedule {schedule:?})"
+            );
+            assert!(
+                contained_syncs > 0,
+                "no fence fault was ever contained through dispatch (schedule {schedule:?})"
+            );
+        }
+    }
+}
